@@ -1,0 +1,53 @@
+//! Real execution engine throughput: one sweep of representative kernels
+//! on small grids under different tunings. This is the measured (not
+//! simulated) counterpart of the machine model, demonstrating that the
+//! tuning parameters act on a real runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use stencil_exec::{BenchmarkKernel, Engine, MeasureConfig};
+use stencil_model::{GridSize, TuningVector};
+
+fn bench_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor");
+    g.sample_size(10);
+    let mut engine = Engine::new(4);
+    let cfg = MeasureConfig { warmup: 0, reps: 1 };
+
+    let cases: [(&str, BenchmarkKernel, GridSize, TuningVector); 4] = [
+        (
+            "laplacian_64_blocked",
+            BenchmarkKernel::Laplacian,
+            GridSize::cube(64),
+            TuningVector::new(32, 16, 8, 2, 2),
+        ),
+        (
+            "laplacian_64_tiny_tiles",
+            BenchmarkKernel::Laplacian,
+            GridSize::cube(64),
+            TuningVector::new(2, 2, 2, 0, 1),
+        ),
+        (
+            "blur_256_blocked",
+            BenchmarkKernel::Blur,
+            GridSize::square(256),
+            TuningVector::new(128, 16, 1, 4, 2),
+        ),
+        (
+            "tricubic_32_blocked",
+            BenchmarkKernel::Tricubic,
+            GridSize::cube(32),
+            TuningVector::new(32, 8, 4, 2, 1),
+        ),
+    ];
+    for (name, kernel, size, tuning) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| black_box(kernel.measure(&mut engine, size, &tuning, cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Kendall τ computation cost: the naive O(n^2) counter vs. the
+//! O(n log n) merge-sort variant, at the group sizes the experiments see.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use ranksvm::kendall::{tau_a, tau_a_fast, tau_b};
+
+fn bench_kendall(c: &mut Criterion) {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+    let mut g = c.benchmark_group("kendall");
+    for n in [100usize, 1000] {
+        let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut b: Vec<f64> = a.clone();
+        b.shuffle(&mut rng);
+        g.bench_with_input(BenchmarkId::new("tau_a_naive", n), &n, |bench, _| {
+            bench.iter(|| black_box(tau_a(&a, &b)))
+        });
+        g.bench_with_input(BenchmarkId::new("tau_b_naive", n), &n, |bench, _| {
+            bench.iter(|| black_box(tau_b(&a, &b)))
+        });
+        g.bench_with_input(BenchmarkId::new("tau_a_mergesort", n), &n, |bench, _| {
+            bench.iter(|| black_box(tau_a_fast(&a, &b)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kendall);
+criterion_main!(benches);

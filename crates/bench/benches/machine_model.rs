@@ -1,0 +1,38 @@
+//! Simulated machine throughput: cost-model evaluations per second. The
+//! whole evaluation methodology rests on the simulator being orders of
+//! magnitude cheaper than real execution, so regressions here matter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use stencil_machine::Machine;
+use stencil_model::{GridSize, StencilExecution, StencilInstance, StencilKernel, TuningVector};
+
+fn bench_machine(c: &mut Criterion) {
+    let machine = Machine::xeon_e5_2680_v3();
+    let sparse = StencilExecution::new(
+        StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(256)).unwrap(),
+        TuningVector::new(64, 16, 8, 2, 2),
+    )
+    .unwrap();
+    let dense = StencilExecution::new(
+        StencilInstance::new(StencilKernel::tricubic(), GridSize::cube(256)).unwrap(),
+        TuningVector::new(64, 16, 8, 2, 2),
+    )
+    .unwrap();
+
+    let mut g = c.benchmark_group("machine_model");
+    g.bench_function("simulate_sparse_7pt", |b| {
+        b.iter(|| black_box(machine.execute(black_box(&sparse))))
+    });
+    g.bench_function("simulate_dense_64pt", |b| {
+        b.iter(|| black_box(machine.execute(black_box(&dense))))
+    });
+    g.bench_function("cost_breakdown_noiseless", |b| {
+        b.iter(|| black_box(machine.cost(black_box(&sparse))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ranking (regression-phase) latency — the paper's "< 1 ms" claim
+//! (Table II, Regression column).
+//!
+//! Two granularities: scoring a single already-encoded candidate (the
+//! number comparable to svm_rank's per-example cost) and the full
+//! tune-an-instance path including feature encoding of the whole
+//! predefined set.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use sorl::pipeline::{PipelineConfig, TrainingPipeline};
+use sorl::tuner::StandaloneTuner;
+use stencil_model::{GridSize, StencilInstance, StencilKernel, TuningSpace};
+
+fn bench_rank_latency(c: &mut Criterion) {
+    let out = TrainingPipeline::new(PipelineConfig {
+        training_size: 960,
+        ..Default::default()
+    })
+    .run();
+    let ranker = out.ranker.clone();
+    let tuner = StandaloneTuner::new(out.ranker);
+    let q3 = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+    let q2 = StencilInstance::new(StencilKernel::blur(), GridSize::square(1024)).unwrap();
+
+    let mut g = c.benchmark_group("rank_latency");
+
+    // Single-candidate scoring on a pre-encoded feature row.
+    let exec = stencil_model::StencilExecution::new(
+        q3.clone(),
+        stencil_model::TuningVector::new(64, 16, 8, 2, 2),
+    )
+    .unwrap();
+    let features = ranker.encoder().encode(&exec);
+    g.bench_function("score_single_candidate", |b| {
+        b.iter(|| black_box(ranker.model().score(black_box(&features))))
+    });
+
+    // Encoding + scoring one candidate.
+    g.bench_function("encode_and_score_single", |b| {
+        b.iter(|| black_box(ranker.score(black_box(&exec))))
+    });
+
+    // Full predefined-set ranking (8640 3-D candidates).
+    let set3 = TuningSpace::d3().predefined_set();
+    g.bench_function("tune_3d_predefined_8640", |b| {
+        b.iter_batched(
+            || (),
+            |_| black_box(tuner.tune_over(&q3, &set3)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Full predefined-set ranking (1600 2-D candidates).
+    let set2 = TuningSpace::d2().predefined_set();
+    g.bench_function("tune_2d_predefined_1600", |b| {
+        b.iter_batched(
+            || (),
+            |_| black_box(tuner.tune_over(&q2, &set2)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rank_latency
+}
+criterion_main!(benches);

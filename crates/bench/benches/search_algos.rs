@@ -1,0 +1,33 @@
+//! Search-engine overhead: the four baselines at a 256-evaluation budget on
+//! a simulated laplacian 64^3 objective. Measures the full search loop, so
+//! it reflects both algorithm bookkeeping and cost-model calls.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sorl::objective::MachineObjective;
+use stencil_machine::Machine;
+use stencil_model::{GridSize, StencilInstance, StencilKernel};
+use stencil_search::paper_baselines;
+
+fn bench_search(c: &mut Criterion) {
+    let machine = Machine::xeon_e5_2680_v3();
+    let instance =
+        StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(64)).unwrap();
+
+    let mut g = c.benchmark_group("search_algos");
+    g.sample_size(10);
+    for algo in paper_baselines() {
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &(), |b, _| {
+            b.iter(|| {
+                let mut obj = MachineObjective::new(&machine, instance.clone());
+                let space = obj.search_space();
+                black_box(algo.run(&space, &mut obj, 256, 42))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Training-phase throughput (Table II, Training column): ranking-SVM fits
+//! at two training-set sizes, measured over prebuilt datasets so only the
+//! solver is timed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ranksvm::{RankSvmTrainer, TrainConfig};
+use stencil_gen::TrainingSetBuilder;
+
+fn bench_train(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_throughput");
+    g.sample_size(10);
+    for size in [960usize, 3840] {
+        let ts = TrainingSetBuilder::paper().build_size(size);
+        g.bench_with_input(BenchmarkId::new("rank_svm", size), &ts, |b, ts| {
+            let trainer = RankSvmTrainer::new(TrainConfig::paper());
+            b.iter(|| black_box(trainer.train(&ts.dataset)))
+        });
+    }
+    // Pair generation alone (the data preparation part of training).
+    let ts = TrainingSetBuilder::paper().build_size(3840);
+    g.bench_function("pair_generation_3840", |b| {
+        b.iter(|| black_box(ts.dataset.pairs(1e-4).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 1 — the 3-D training stencil shapes (line, hyperplane, hypercube,
+//! laplacian), rendered as z-slices of the occupancy box.
+//!
+//! Purely illustrative (the paper's Fig. 1 is a diagram), but it documents
+//! exactly which geometries the training corpus generator emits.
+
+use stencil_model::shape::Axis;
+use stencil_model::ShapeFamily;
+
+fn main() {
+    println!("Fig. 1: 3-D training stencil shapes (offset r = 1; z slices left to right)\n");
+    let families = [
+        ("(a) line", ShapeFamily::Line(Axis::X)),
+        ("(b) hyperplane", ShapeFamily::Hyperplane(Axis::Z)),
+        ("(c) hypercube", ShapeFamily::Hypercube),
+        ("(d) laplacian", ShapeFamily::Laplacian),
+    ];
+    for (label, family) in families {
+        let p = family.build(3, 1).expect("fig1 shapes build");
+        println!("{label}  —  {}", p.summary());
+        render(&p, 1);
+        println!();
+    }
+    println!("(o = accessed point, C = accessed centre, . = untouched)");
+}
+
+fn render(p: &stencil_model::StencilPattern, r: i32) {
+    for dy in -r..=r {
+        let mut line = String::new();
+        for dz in -r..=r {
+            for dx in -r..=r {
+                let o = stencil_model::Offset::new(dx, dy, dz);
+                line.push(if p.contains(o) {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        'C'
+                    } else {
+                        'o'
+                    }
+                } else {
+                    '.'
+                });
+                line.push(' ');
+            }
+            line.push_str("   ");
+        }
+        println!("    {line}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Fig. 6 — Kendall's τ per training instance, for two training-set sizes.
+//!
+//! For every stencil instance `q` in the training set, the τ coefficient
+//! compares the model's predicted ordering of that instance's executions
+//! with their measured (simulated) runtime ordering. The paper shows the
+//! ~200 per-instance values for sizes 960 and 6720: larger training sets
+//! lift the cloud and shrink its spread.
+
+use ranksvm::metrics::kendall_per_group;
+use sorl::experiments::quartiles;
+use sorl::pipeline::{PipelineConfig, TrainingPipeline};
+use stencil_gen::TrainingSetBuilder;
+
+fn main() {
+    println!("Fig. 6: Kendall tau on the training set, per instance\n");
+    let mut rows = Vec::new();
+    for size in [960usize, 6720] {
+        let config = PipelineConfig { training_size: size, ..Default::default() };
+        let out = TrainingPipeline::new(config).run();
+        // Rebuild the identical training set to evaluate the ranking.
+        let ts = TrainingSetBuilder::paper().with_seed(config.seed).build_size(size);
+        let taus = kendall_per_group(&ts.dataset, out.ranker.model());
+
+        let values: Vec<f64> = taus.iter().map(|(_, t)| *t).collect();
+        let q = quartiles(&values);
+        println!(
+            "size={size}: {} instances, tau min={:+.2} q1={:+.2} median={:+.2} q3={:+.2} max={:+.2}",
+            values.len(),
+            q.min,
+            q.q1,
+            q.median,
+            q.q3,
+            q.max
+        );
+        // A coarse scatter rendering: instances on x, tau bucketed on y.
+        render_scatter(&values);
+        println!();
+
+        for (group, tau) in &taus {
+            rows.push(vec![size.to_string(), group.to_string(), format!("{tau:.4}")]);
+        }
+    }
+    let path = sorl_bench::results_dir().join("fig6.csv");
+    sorl_bench::write_csv(&path, &["ts_size", "instance", "kendall_tau"], &rows);
+}
+
+/// Prints a terminal scatter plot: x = instance index, y = tau in [-1, 1].
+fn render_scatter(taus: &[f64]) {
+    const ROWS: usize = 11; // tau = 1.0 at the top, -1.0 at the bottom
+    const COLS: usize = 100;
+    let mut canvas = vec![vec![' '; COLS]; ROWS];
+    for (i, &t) in taus.iter().enumerate() {
+        let col = i * COLS / taus.len().max(1);
+        let row = ((1.0 - t.clamp(-1.0, 1.0)) / 2.0 * (ROWS - 1) as f64).round() as usize;
+        canvas[row][col.min(COLS - 1)] = '*';
+    }
+    for (r, line) in canvas.iter().enumerate() {
+        let label = 1.0 - 2.0 * r as f64 / (ROWS - 1) as f64;
+        println!("{label:+.1} |{}", line.iter().collect::<String>());
+    }
+    println!("     +{}", "-".repeat(COLS));
+    println!("      0 .. {} (instances)", taus.len());
+}

@@ -1,0 +1,97 @@
+//! Fig. 7 — distribution of Kendall's τ vs. training-set size.
+//!
+//! The paper's box/violin plot over the per-instance τ values for twelve
+//! training sizes (960 .. 32000, C = 0.01 in svm_rank's scaling). The
+//! observation to reproduce: the median improves slightly with more
+//! samples while the spread shrinks markedly, stabilizing ranking quality.
+
+use ranksvm::metrics::kendall_per_group;
+use sorl::experiments::quartiles;
+use sorl::pipeline::{PipelineConfig, TrainingPipeline};
+use stencil_gen::TrainingSetBuilder;
+use sorl_bench::TABLE2_SIZES;
+
+fn main() {
+    println!("Fig. 7: Kendall tau distribution vs. training set size\n");
+    println!(
+        "{:>8}  {:>6} {:>6} {:>6} {:>6} {:>6}  {:>6}  box",
+        "TS size", "min", "q1", "med", "q3", "max", "mean"
+    );
+    let mut rows = Vec::new();
+    let mut densities = Vec::new();
+    for size in TABLE2_SIZES {
+        let config = PipelineConfig { training_size: size, ..Default::default() };
+        let out = TrainingPipeline::new(config).run();
+        let ts = TrainingSetBuilder::paper().with_seed(config.seed).build_size(size);
+        let taus: Vec<f64> =
+            kendall_per_group(&ts.dataset, out.ranker.model()).iter().map(|(_, t)| *t).collect();
+        let q = quartiles(&taus);
+        println!(
+            "{:>8}  {:>+6.2} {:>+6.2} {:>+6.2} {:>+6.2} {:>+6.2}  {:>+6.2}  {}",
+            size,
+            q.min,
+            q.q1,
+            q.median,
+            q.q3,
+            q.max,
+            q.mean,
+            box_line(&q)
+        );
+        rows.push(vec![
+            size.to_string(),
+            format!("{:.4}", q.min),
+            format!("{:.4}", q.q1),
+            format!("{:.4}", q.median),
+            format!("{:.4}", q.q3),
+            format!("{:.4}", q.max),
+            format!("{:.4}", q.mean),
+        ]);
+        densities.push((size, histogram(&taus, 20)));
+    }
+
+    // Violin-style densities, one row per size.
+    println!("\nDensity over tau in [-1, 1] (20 bins, '#' ~ relative mass):");
+    for (size, hist) in &densities {
+        let max = hist.iter().copied().max().unwrap_or(1).max(1);
+        let line: String = hist
+            .iter()
+            .map(|&c| match (c * 8) / max {
+                0 if c > 0 => '.',
+                0 => ' ',
+                1 => ':',
+                2 | 3 => '+',
+                4 | 5 => '#',
+                _ => '@',
+            })
+            .collect();
+        println!("{size:>8} |{line}|");
+    }
+    println!("{:>8}  -1.0{}+1.0", "", " ".repeat(12));
+
+    let path = sorl_bench::results_dir().join("fig7.csv");
+    sorl_bench::write_csv(
+        &path,
+        &["ts_size", "min", "q1", "median", "q3", "max", "mean"],
+        &rows,
+    );
+}
+
+/// One-line box plot over the [-1, 1] range, 60 characters wide.
+fn box_line(q: &sorl::experiments::Quartiles) -> String {
+    const W: usize = 60;
+    let pos = |v: f64| (((v.clamp(-1.0, 1.0) + 1.0) / 2.0) * (W - 1) as f64).round() as usize;
+    let mut line = vec![' '; W];
+    line[pos(q.min)..=pos(q.max)].fill('-');
+    line[pos(q.q1)..=pos(q.q3)].fill('=');
+    line[pos(q.median)] = 'O';
+    line.into_iter().collect()
+}
+
+fn histogram(values: &[f64], bins: usize) -> Vec<u32> {
+    let mut hist = vec![0u32; bins];
+    for &v in values {
+        let idx = (((v.clamp(-1.0, 1.0) + 1.0) / 2.0) * bins as f64) as usize;
+        hist[idx.min(bins - 1)] += 1;
+    }
+    hist
+}

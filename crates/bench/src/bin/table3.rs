@@ -1,0 +1,77 @@
+//! Table III — the stencil test benchmark suite.
+//!
+//! Regenerates the paper's benchmark inventory: 9 kernels, 17 (kernel,
+//! size) benchmarks, with shape, buffer and type metadata derived from the
+//! very kernel models the experiments execute.
+
+use std::collections::BTreeMap;
+
+use sorl::benchmarks::table3_benchmarks;
+
+fn main() {
+    println!("Table III: stencil test benchmarks");
+    println!(
+        "{:<14} {:<5} {:<34} {:<12} {:<8} sizes",
+        "Stencil Code", "Type", "Shape", "Buffer read", "Dtype"
+    );
+
+    // Group the 17 benchmarks back into the 9 kernel rows of the table.
+    let mut rows: BTreeMap<String, (String, String, String, String, Vec<String>)> =
+        BTreeMap::new();
+    let mut order = Vec::new();
+    for b in table3_benchmarks() {
+        let k = b.instance.kernel();
+        let key = k.name().to_string();
+        if !rows.contains_key(&key) {
+            order.push(key.clone());
+        }
+        let entry = rows.entry(key).or_insert_with(|| {
+            let p = k.pattern();
+            let shape = format!(
+                "{}{}",
+                p.summary(),
+                if p.reads_center() { "" } else { " (centre not read)" }
+            );
+            (
+                format!("{}D", k.dim()),
+                shape,
+                k.buffers().to_string(),
+                k.dtype().to_string(),
+                Vec::new(),
+            )
+        });
+        entry.4.push(b.instance.size().to_string());
+    }
+
+    let mut csv_rows = Vec::new();
+    let mut total = 0usize;
+    for name in order {
+        let (ty, shape, buffers, dtype, sizes) = &rows[&name];
+        total += sizes.len();
+        println!(
+            "{:<14} {:<5} {:<34} {:<12} {:<8} {}",
+            name,
+            ty,
+            shape,
+            buffers,
+            dtype,
+            sizes.join(", ")
+        );
+        csv_rows.push(vec![
+            name.clone(),
+            ty.clone(),
+            shape.clone(),
+            buffers.clone(),
+            dtype.clone(),
+            sizes.join(";"),
+        ]);
+    }
+    println!("\n{} kernels, {} benchmarks in total", rows.len(), total);
+
+    let path = sorl_bench::results_dir().join("table3.csv");
+    sorl_bench::write_csv(
+        &path,
+        &["kernel", "type", "shape", "buffers_read", "dtype", "sizes"],
+        &csv_rows,
+    );
+}

@@ -1,0 +1,90 @@
+//! The 17 evaluation benchmarks of Table III.
+
+use stencil_model::{GridSize, StencilInstance, StencilKernel};
+
+/// One evaluation benchmark: a Table III kernel at a concrete size.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Display name, e.g. `"laplacian 128x128x128"`.
+    pub name: String,
+    /// The instance to tune.
+    pub instance: StencilInstance,
+}
+
+impl Benchmark {
+    fn new(kernel: StencilKernel, size: GridSize) -> Self {
+        let instance = StencilInstance::new(kernel, size).expect("Table III benchmark is valid");
+        Benchmark { name: instance.id().replace('/', " "), instance }
+    }
+}
+
+/// The 17 test benchmarks in the paper's Fig. 4 order.
+pub fn table3_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new(StencilKernel::blur(), GridSize::square(1024)),
+        Benchmark::new(StencilKernel::blur(), GridSize::d2(1024, 768)),
+        Benchmark::new(StencilKernel::wave(), GridSize::cube(128)),
+        Benchmark::new(StencilKernel::wave(), GridSize::cube(256)),
+        Benchmark::new(StencilKernel::tricubic(), GridSize::cube(128)),
+        Benchmark::new(StencilKernel::tricubic(), GridSize::cube(256)),
+        Benchmark::new(StencilKernel::edge(), GridSize::square(512)),
+        Benchmark::new(StencilKernel::edge(), GridSize::square(1024)),
+        Benchmark::new(StencilKernel::game_of_life(), GridSize::square(512)),
+        Benchmark::new(StencilKernel::game_of_life(), GridSize::square(1024)),
+        Benchmark::new(StencilKernel::divergence(), GridSize::cube(128)),
+        Benchmark::new(StencilKernel::gradient(), GridSize::cube(128)),
+        Benchmark::new(StencilKernel::gradient(), GridSize::cube(256)),
+        Benchmark::new(StencilKernel::laplacian(), GridSize::cube(128)),
+        Benchmark::new(StencilKernel::laplacian(), GridSize::cube(256)),
+        Benchmark::new(StencilKernel::laplacian6(), GridSize::cube(128)),
+        Benchmark::new(StencilKernel::laplacian6(), GridSize::cube(256)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_benchmarks() {
+        assert_eq!(table3_benchmarks().len(), 17);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let b = table3_benchmarks();
+        let mut names: Vec<&str> = b.iter().map(|x| x.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn nine_distinct_kernels() {
+        let b = table3_benchmarks();
+        let mut kernels: Vec<&str> =
+            b.iter().map(|x| x.instance.kernel().name()).collect();
+        kernels.sort();
+        kernels.dedup();
+        assert_eq!(kernels.len(), 9);
+    }
+
+    #[test]
+    fn divergence_appears_once() {
+        let n = table3_benchmarks()
+            .iter()
+            .filter(|b| b.instance.kernel().name() == "divergence")
+            .count();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn blur_sizes_match_table() {
+        let sizes: Vec<GridSize> = table3_benchmarks()
+            .iter()
+            .filter(|b| b.instance.kernel().name() == "blur")
+            .map(|b| b.instance.size())
+            .collect();
+        assert_eq!(sizes, vec![GridSize::square(1024), GridSize::d2(1024, 768)]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Search-objective adapters over the simulated machine.
+
+use stencil_machine::Machine;
+use stencil_model::{StencilExecution, StencilInstance, TuningSpace};
+use stencil_search::{IntSpace, Objective};
+
+/// Exposes "compile and run this tuning on the machine" as a black-box
+/// search objective, the operation iterative compilation pays per
+/// evaluation.
+///
+/// Each call draws a fresh noise repetition, so re-evaluating the same
+/// configuration returns a fresh (noisy) measurement — like a real run.
+pub struct MachineObjective<'m> {
+    machine: &'m Machine,
+    instance: StencilInstance,
+    space: TuningSpace,
+    evals: u32,
+}
+
+impl<'m> MachineObjective<'m> {
+    /// Creates the objective for one instance.
+    pub fn new(machine: &'m Machine, instance: StencilInstance) -> Self {
+        let space = TuningSpace::for_dim(instance.dim()).expect("instance dims valid");
+        MachineObjective { machine, instance, space, evals: 0 }
+    }
+
+    /// The tuning space of the instance (genome layout).
+    pub fn tuning_space(&self) -> TuningSpace {
+        self.space
+    }
+
+    /// The genome search space matching [`Self::tuning_space`].
+    pub fn search_space(&self) -> IntSpace {
+        IntSpace::new(self.space.genome_bounds(), self.space.genome_log_scaled())
+    }
+
+    /// Number of evaluations performed.
+    pub fn evals(&self) -> u32 {
+        self.evals
+    }
+}
+
+impl Objective for MachineObjective<'_> {
+    fn eval(&mut self, x: &[i64]) -> f64 {
+        let tuning = self.space.from_genome(x).expect("genome matches space");
+        let exec = StencilExecution::new(self.instance.clone(), tuning)
+            .expect("clamped tuning is admissible");
+        let rep = self.evals;
+        self.evals += 1;
+        self.machine.execute_rep(&exec, rep).seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_model::{GridSize, StencilKernel};
+
+    fn lap() -> StencilInstance {
+        StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(64)).unwrap()
+    }
+
+    #[test]
+    fn objective_evaluates_genomes() {
+        let m = Machine::xeon_e5_2680_v3();
+        let mut obj = MachineObjective::new(&m, lap());
+        let space = obj.search_space();
+        assert_eq!(space.len(), 5);
+        let secs = obj.eval(&[32, 32, 16, 2, 2]);
+        assert!(secs > 0.0);
+        assert_eq!(obj.evals(), 1);
+    }
+
+    #[test]
+    fn repeated_evals_differ_by_noise() {
+        let m = Machine::xeon_e5_2680_v3();
+        let mut obj = MachineObjective::new(&m, lap());
+        let a = obj.eval(&[32, 32, 16, 2, 2]);
+        let b = obj.eval(&[32, 32, 16, 2, 2]);
+        assert_ne!(a, b);
+        assert!((a / b - 1.0).abs() < 0.3, "noise should be small");
+    }
+
+    #[test]
+    fn two_d_instances_use_four_genes() {
+        let m = Machine::xeon_e5_2680_v3();
+        let blur = StencilInstance::new(StencilKernel::blur(), GridSize::square(512)).unwrap();
+        let mut obj = MachineObjective::new(&m, blur);
+        assert_eq!(obj.search_space().len(), 4);
+        let secs = obj.eval(&[64, 8, 2, 4]);
+        assert!(secs > 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_genomes_are_clamped_not_fatal() {
+        let m = Machine::xeon_e5_2680_v3();
+        let mut obj = MachineObjective::new(&m, lap());
+        let secs = obj.eval(&[1 << 30, -5, 3, 100, 0]);
+        assert!(secs > 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The end-to-end training pipeline (paper Fig. 3) with phase timings.
+//!
+//! Code generation -> (modelled) double compilation -> training-set
+//! execution on the machine -> partial-ranking assembly -> SVM-rank
+//! training. The returned [`PhaseTimings`] carry exactly the columns of
+//! Table II: modelled compile time, training-set generation time (simulated
+//! machine seconds), model training time and per-query regression time.
+
+use serde::{Deserialize, Serialize};
+
+use ranksvm::{RankSvmTrainer, TrainConfig, TrainReport};
+use stencil_gen::{Corpus, TrainingSetBuilder};
+use stencil_machine::{CompileModel, Machine};
+use stencil_model::{EncodingKind, FeatureConfig, FeatureEncoder};
+
+use crate::ranker::StencilRanker;
+
+/// Configuration of a full training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Number of training samples (the paper sweeps 960..32000).
+    pub training_size: usize,
+    /// SVM training parameters (the paper uses `C = 0.01`).
+    pub train: TrainConfig,
+    /// Feature layout.
+    pub encoding: EncodingKind,
+    /// Seed for tuning-vector sampling.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            training_size: 3840,
+            train: TrainConfig::paper(),
+            encoding: EncodingKind::Interaction,
+            seed: 0x534F_524C, // "SORL"
+        }
+    }
+}
+
+/// Table II columns for one training-set size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Modelled PATUS + gcc compile time for the whole corpus, seconds
+    /// ("TS Comp.", ~32 h in the paper, shared by all sizes).
+    pub ts_compile_modelled: f64,
+    /// Simulated machine time to execute the training set, seconds
+    /// ("TS Generation").
+    pub ts_generation_simulated: f64,
+    /// Wall-clock seconds this process spent building the training set.
+    pub ts_generation_wall: f64,
+    /// Wall-clock seconds spent training the ranking SVM ("Training").
+    pub training_wall: f64,
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// The trained ranker.
+    pub ranker: StencilRanker,
+    /// Phase timings (Table II row).
+    pub timings: PhaseTimings,
+    /// Trainer diagnostics.
+    pub report: TrainReport,
+    /// Number of samples actually used.
+    pub samples: usize,
+}
+
+/// Drives corpus generation, simulated execution and training.
+#[derive(Debug, Clone)]
+pub struct TrainingPipeline {
+    config: PipelineConfig,
+    machine: Machine,
+    compile_model: CompileModel,
+}
+
+impl TrainingPipeline {
+    /// A pipeline on the default simulated Xeon.
+    pub fn new(config: PipelineConfig) -> Self {
+        TrainingPipeline {
+            config,
+            machine: Machine::xeon_e5_2680_v3(),
+            compile_model: CompileModel::default(),
+        }
+    }
+
+    /// Replaces the machine (e.g. a noiseless one for calibration tests).
+    pub fn with_machine(mut self, machine: Machine) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline.
+    pub fn run(&self) -> PipelineOutcome {
+        let encoder = FeatureEncoder::new(FeatureConfig {
+            encoding: self.config.encoding,
+            ..FeatureConfig::default()
+        });
+        let corpus = Corpus::paper();
+        let ts_compile_modelled = self.compile_model.corpus_seconds(corpus.kernels());
+
+        let builder = TrainingSetBuilder::paper()
+            .with_corpus(corpus)
+            .with_machine(self.machine.clone())
+            .with_encoder(encoder.clone())
+            .with_seed(self.config.seed);
+        let ts = builder.build_size(self.config.training_size);
+
+        let trainer = RankSvmTrainer::new(self.config.train);
+        let t0 = std::time::Instant::now();
+        let (model, report) = trainer.train(&ts.dataset);
+        let training_wall = t0.elapsed().as_secs_f64();
+
+        PipelineOutcome {
+            samples: ts.dataset.len(),
+            ranker: StencilRanker::new(encoder, model),
+            timings: PhaseTimings {
+                ts_compile_modelled,
+                ts_generation_simulated: ts.simulated_seconds,
+                ts_generation_wall: ts.wall_seconds,
+                training_wall,
+            },
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_produces_trained_model() {
+        let out = TrainingPipeline::new(PipelineConfig {
+            training_size: 960,
+            ..Default::default()
+        })
+        .run();
+        assert_eq!(out.samples, 960);
+        assert!(out.report.pairs > 0);
+        assert!(out.ranker.model().norm() > 0.0);
+        assert!(out.timings.training_wall > 0.0);
+        assert!(out.timings.ts_generation_simulated > 0.0);
+    }
+
+    #[test]
+    fn compile_time_is_in_paper_ballpark() {
+        // The paper reports ~32 hours to compile the 60-code corpus; the
+        // model should land within a loose band around that.
+        let out = TrainingPipeline::new(PipelineConfig {
+            training_size: 320,
+            ..Default::default()
+        })
+        .run();
+        let hours = out.timings.ts_compile_modelled / 3600.0;
+        assert!(
+            (20.0..48.0).contains(&hours),
+            "modelled corpus compile time {hours:.1} h outside [20, 48]"
+        );
+    }
+
+    #[test]
+    fn training_learns_the_simulated_landscape() {
+        // Pair accuracy on the training set must be far above chance.
+        let out = TrainingPipeline::new(PipelineConfig {
+            training_size: 1920,
+            train: TrainConfig::paper(),
+            ..Default::default()
+        })
+        .run();
+        assert!(
+            out.report.train_pair_accuracy > 0.7,
+            "pair accuracy {}",
+            out.report.train_pair_accuracy
+        );
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let cfg = PipelineConfig { training_size: 640, ..Default::default() };
+        let a = TrainingPipeline::new(cfg).run();
+        let b = TrainingPipeline::new(cfg).run();
+        assert_eq!(a.ranker.model().weights(), b.ranker.model().weights());
+    }
+
+    #[test]
+    fn paper_concat_encoding_also_trains() {
+        let out = TrainingPipeline::new(PipelineConfig {
+            training_size: 960,
+            encoding: EncodingKind::PaperConcat,
+            ..Default::default()
+        })
+        .run();
+        assert!(out.report.train_pair_accuracy > 0.5);
+    }
+}

@@ -1,0 +1,179 @@
+//! The trained stencil ranker: feature encoder + linear ranking model.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use ranksvm::LinearRanker;
+use stencil_model::{FeatureEncoder, ModelError, StencilExecution, StencilInstance, TuningVector};
+
+/// A ranking function over stencil executions: encodes `(q, t)` and scores
+/// it with a linear model; higher scores predict faster executions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StencilRanker {
+    encoder: FeatureEncoder,
+    model: LinearRanker,
+}
+
+impl StencilRanker {
+    /// Wraps a fitted model.
+    ///
+    /// # Panics
+    /// Panics when model and encoder dimensions disagree.
+    pub fn new(encoder: FeatureEncoder, model: LinearRanker) -> Self {
+        assert_eq!(encoder.dim(), model.dim(), "encoder/model dimension mismatch");
+        StencilRanker { encoder, model }
+    }
+
+    /// The feature encoder.
+    pub fn encoder(&self) -> &FeatureEncoder {
+        &self.encoder
+    }
+
+    /// The linear model.
+    pub fn model(&self) -> &LinearRanker {
+        &self.model
+    }
+
+    /// Scores one admissible execution (higher = predicted faster).
+    pub fn score(&self, exec: &StencilExecution) -> f64 {
+        self.model.score(&self.encoder.encode(exec))
+    }
+
+    /// Scores `candidates` for `instance`; inadmissible candidates (wrong
+    /// dimensionality) yield an error.
+    pub fn scores(
+        &self,
+        instance: &StencilInstance,
+        candidates: &[TuningVector],
+    ) -> Result<Vec<f64>, ModelError> {
+        let mut features = Vec::with_capacity(self.encoder.dim());
+        candidates
+            .iter()
+            .map(|&t| {
+                let exec = StencilExecution::new(instance.clone(), t)?;
+                self.encoder.encode_into(&exec, &mut features);
+                Ok(self.model.score(&features))
+            })
+            .collect()
+    }
+
+    /// Ranks `candidates` best-first; ties break towards the lower index so
+    /// the ranking is deterministic.
+    pub fn rank(
+        &self,
+        instance: &StencilInstance,
+        candidates: &[TuningVector],
+    ) -> Result<Vec<usize>, ModelError> {
+        let scores = self.scores(instance, candidates)?;
+        let mut idx: Vec<usize> = (0..candidates.len()).collect();
+        idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+        Ok(idx)
+    }
+
+    /// The top-ranked candidate (`None` for an empty candidate list).
+    pub fn top1(
+        &self,
+        instance: &StencilInstance,
+        candidates: &[TuningVector],
+    ) -> Result<Option<TuningVector>, ModelError> {
+        Ok(self.rank(instance, candidates)?.first().map(|&i| candidates[i]))
+    }
+
+    /// Serializes the ranker to pretty JSON at `path`.
+    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self).expect("ranker serializes");
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(json.as_bytes())
+    }
+
+    /// Loads a ranker saved by [`save_json`](Self::save_json).
+    pub fn load_json(path: &Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_model::{GridSize, StencilKernel};
+
+    /// A hand-made ranker whose only non-zero weight sits on the unroll
+    /// feature of the concatenated block, so candidates with higher u rank
+    /// first — enough to test the plumbing deterministically.
+    fn unroll_loving_ranker() -> StencilRanker {
+        let encoder = FeatureEncoder::paper_concat();
+        let mut w = vec![0.0; encoder.dim()];
+        let unroll_feature = encoder.dim() - 2; // [.., bx, by, bz, u, c]
+        w[unroll_feature] = 1.0;
+        StencilRanker::new(encoder, LinearRanker::from_weights(w))
+    }
+
+    fn lap128() -> StencilInstance {
+        StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap()
+    }
+
+    #[test]
+    fn rank_orders_by_score() {
+        let r = unroll_loving_ranker();
+        let cands = vec![
+            TuningVector::new(8, 8, 8, 2, 1),
+            TuningVector::new(8, 8, 8, 8, 1),
+            TuningVector::new(8, 8, 8, 0, 1),
+        ];
+        let order = r.rank(&lap128(), &cands).unwrap();
+        assert_eq!(order, vec![1, 0, 2]);
+        assert_eq!(r.top1(&lap128(), &cands).unwrap(), Some(cands[1]));
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let r = unroll_loving_ranker();
+        let cands = vec![
+            TuningVector::new(16, 8, 8, 4, 1),
+            TuningVector::new(8, 16, 8, 4, 2),
+        ];
+        assert_eq!(r.rank(&lap128(), &cands).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let r = unroll_loving_ranker();
+        assert_eq!(r.top1(&lap128(), &[]).unwrap(), None);
+        assert!(r.rank(&lap128(), &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn inadmissible_candidate_is_an_error() {
+        let r = unroll_loving_ranker();
+        // bz > 1 for a 2-D instance.
+        let blur =
+            StencilInstance::new(StencilKernel::blur(), GridSize::square(512)).unwrap();
+        assert!(r.scores(&blur, &[TuningVector::new(8, 8, 8, 0, 1)]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        StencilRanker::new(FeatureEncoder::paper_concat(), LinearRanker::zeros(3));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = unroll_loving_ranker();
+        let dir = std::env::temp_dir().join("sorl-ranker-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ranker.json");
+        r.save_json(&path).unwrap();
+        let back = StencilRanker::load_json(&path).unwrap();
+        let cands = vec![TuningVector::new(8, 8, 8, 3, 1)];
+        assert_eq!(
+            r.scores(&lap128(), &cands).unwrap(),
+            back.scores(&lap128(), &cands).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

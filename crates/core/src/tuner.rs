@@ -1,0 +1,167 @@
+//! The standalone autotuner (paper Section VI-A).
+//!
+//! Given an unseen stencil instance, the tuner ranks the *predefined*
+//! hierarchically sampled configuration set (1600 candidates for 2-D
+//! stencils, 8640 for 3-D) with the trained model and returns the
+//! top-ranked tuning vector — no execution, no compilation, sub-millisecond
+//! latency. The achievable performance is bounded by the best configuration
+//! inside the predefined set, exactly as the paper notes.
+
+use std::time::Instant;
+
+use stencil_model::{StencilInstance, TuningSpace, TuningVector};
+
+use crate::ranker::StencilRanker;
+
+/// The tuner's answer for one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunerDecision {
+    /// The configuration to run.
+    pub tuning: TuningVector,
+    /// Its model score.
+    pub score: f64,
+    /// Number of candidates that were ranked.
+    pub candidates: usize,
+    /// Ranking latency in seconds (the paper's "Regression" column).
+    pub seconds: f64,
+}
+
+/// Ranks predefined candidate sets with a trained [`StencilRanker`].
+#[derive(Debug, Clone)]
+pub struct StandaloneTuner {
+    ranker: StencilRanker,
+}
+
+impl StandaloneTuner {
+    /// Wraps a trained ranker.
+    pub fn new(ranker: StencilRanker) -> Self {
+        StandaloneTuner { ranker }
+    }
+
+    /// The underlying ranker.
+    pub fn ranker(&self) -> &StencilRanker {
+        &self.ranker
+    }
+
+    /// Tunes `instance` over the paper's predefined set for its
+    /// dimensionality.
+    pub fn tune(&self, instance: &StencilInstance) -> TunerDecision {
+        let space = TuningSpace::for_dim(instance.dim()).expect("valid instance dims");
+        self.tune_over(instance, &space.predefined_set())
+    }
+
+    /// Tunes `instance` over an explicit candidate list (e.g. user-supplied
+    /// settings, or samples proposed by a higher-level search).
+    ///
+    /// # Panics
+    /// Panics on an empty candidate list or inadmissible candidates.
+    pub fn tune_over(
+        &self,
+        instance: &StencilInstance,
+        candidates: &[TuningVector],
+    ) -> TunerDecision {
+        assert!(!candidates.is_empty(), "candidate set must not be empty");
+        let t0 = Instant::now();
+        let scores =
+            self.ranker.scores(instance, candidates).expect("admissible candidates");
+        let mut best = 0usize;
+        for i in 1..scores.len() {
+            if scores[i] > scores[best] {
+                best = i;
+            }
+        }
+        TunerDecision {
+            tuning: candidates[best],
+            score: scores[best],
+            candidates: candidates.len(),
+            seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Full ranking of the predefined set, best first (used by the hybrid
+    /// tuner and by the ranking-quality experiments).
+    pub fn rank_predefined(&self, instance: &StencilInstance) -> Vec<TuningVector> {
+        let space = TuningSpace::for_dim(instance.dim()).expect("valid instance dims");
+        let set = space.predefined_set();
+        let order = self.ranker.rank(instance, &set).expect("predefined set is admissible");
+        order.into_iter().map(|i| set[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{PipelineConfig, TrainingPipeline};
+    use stencil_model::{GridSize, StencilKernel};
+
+    fn trained_tuner() -> StandaloneTuner {
+        let out = TrainingPipeline::new(PipelineConfig {
+            training_size: 960,
+            ..Default::default()
+        })
+        .run();
+        StandaloneTuner::new(out.ranker)
+    }
+
+    #[test]
+    fn tunes_2d_and_3d_instances() {
+        let tuner = trained_tuner();
+        let lap =
+            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+        let d = tuner.tune(&lap);
+        assert_eq!(d.candidates, 8640);
+        assert!(TuningSpace::d3().contains(&d.tuning));
+
+        let blur =
+            StencilInstance::new(StencilKernel::blur(), GridSize::square(1024)).unwrap();
+        let d2 = tuner.tune(&blur);
+        assert_eq!(d2.candidates, 1600);
+        assert_eq!(d2.tuning.bz, 1);
+    }
+
+    #[test]
+    fn ranking_latency_is_fast() {
+        // The paper reports < 1 ms; allow a loose bound for debug builds
+        // and noisy CI machines.
+        let tuner = trained_tuner();
+        let lap =
+            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+        let d = tuner.tune(&lap);
+        assert!(d.seconds < 2.0, "ranking took {}s", d.seconds);
+    }
+
+    #[test]
+    fn rank_predefined_returns_full_permutation() {
+        let tuner = trained_tuner();
+        let lap =
+            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+        let ranked = tuner.rank_predefined(&lap);
+        assert_eq!(ranked.len(), 8640);
+        assert_eq!(ranked[0], tuner.tune(&lap).tuning);
+        let mut sorted = ranked.clone();
+        sorted.sort_by_key(|t| t.as_array());
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8640, "ranking must be a permutation");
+    }
+
+    #[test]
+    fn tune_over_explicit_candidates() {
+        let tuner = trained_tuner();
+        let lap =
+            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+        let cands =
+            vec![TuningVector::new(2, 2, 2, 0, 64), TuningVector::new(64, 16, 8, 2, 2)];
+        let d = tuner.tune_over(&lap, &cands);
+        assert!(cands.contains(&d.tuning));
+        assert_eq!(d.candidates, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_candidates_panic() {
+        let tuner = trained_tuner();
+        let lap =
+            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(64)).unwrap();
+        tuner.tune_over(&lap, &[]);
+    }
+}

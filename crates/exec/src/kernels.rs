@@ -1,0 +1,784 @@
+//! Stencil kernel implementations.
+//!
+//! [`StencilFn`] is the compute interface of the engine: given the input
+//! grids and a point, produce the updated value. Every implementation also
+//! carries its [`StencilKernel`] model (shape, buffers, dtype) so the
+//! engine can size halos and validate inputs, and so the autotuner can
+//! extract features from the very same object it executes.
+//!
+//! The nine Table III benchmarks are provided as concrete types behind the
+//! [`BenchmarkKernel`] enum; [`WeightedKernel`] covers arbitrary linear
+//! stencils (used for the generated training corpus and by property tests).
+
+use stencil_model::{DType, ModelError, Offset, StencilKernel, StencilPattern};
+
+use crate::grid::Grid;
+
+/// A per-point stencil function over grids of element type `T`.
+pub trait StencilFn<T>: Sync {
+    /// The declared kernel (shape/buffers/dtype) this function computes.
+    fn model(&self) -> &StencilKernel;
+
+    /// Computes the updated value at interior point `(x, y, z)`.
+    fn apply(&self, inputs: &[&Grid<T>], x: usize, y: usize, z: usize) -> T;
+}
+
+// ---------------------------------------------------------------------------
+// Generic weighted (linear) stencils
+// ---------------------------------------------------------------------------
+
+/// An arbitrary linear stencil: `out[p] = sum_i w_i * inputs[b_i][p + o_i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedKernel {
+    model: StencilKernel,
+    taps: Vec<Tap>,
+}
+
+/// One weighted access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Tap {
+    dx: i32,
+    dy: i32,
+    dz: i32,
+    buffer: usize,
+    weight: f64,
+}
+
+impl WeightedKernel {
+    /// Builds a weighted kernel from `(dx, dy, dz, buffer, weight)` taps.
+    /// The model pattern is the per-buffer sum of the tap positions, as in
+    /// the paper's multi-buffer encoding.
+    pub fn new(
+        name: impl Into<String>,
+        taps: Vec<(i32, i32, i32, usize, f64)>,
+        buffers: u8,
+        dtype: DType,
+    ) -> Result<Self, ModelError> {
+        let mut pattern = StencilPattern::new();
+        let mut converted = Vec::with_capacity(taps.len());
+        for &(dx, dy, dz, buffer, weight) in &taps {
+            if buffer >= buffers as usize {
+                return Err(ModelError::OutOfRange {
+                    what: "tap buffer index",
+                    value: buffer as i64,
+                    lo: 0,
+                    hi: buffers as i64 - 1,
+                });
+            }
+            pattern.add(Offset::new(dx, dy, dz));
+            converted.push(Tap { dx, dy, dz, buffer, weight });
+        }
+        let model = StencilKernel::new(name, pattern, buffers, dtype)?;
+        Ok(WeightedKernel { model, taps: converted })
+    }
+
+    /// Builds a uniform-weight kernel over every point of `pattern`
+    /// (weight = 1 / points), reading buffer 0 — the shape of kernel used
+    /// for the generated training corpus.
+    pub fn uniform(
+        name: impl Into<String>,
+        pattern: &StencilPattern,
+        buffers: u8,
+        dtype: DType,
+    ) -> Result<Self, ModelError> {
+        let w = 1.0 / pattern.total_accesses().max(1) as f64;
+        let mut taps = Vec::new();
+        for (o, count) in pattern.iter() {
+            // Spread multi-count cells across buffers round-robin, so the
+            // executable kernel touches every declared buffer.
+            for rep in 0..count {
+                taps.push((o.dx, o.dy, o.dz, (rep as usize) % buffers as usize, w));
+            }
+        }
+        WeightedKernel::new(name, taps, buffers, dtype)
+    }
+
+    /// The declared kernel model. Inherent version so callers do not have
+    /// to disambiguate between the `StencilFn<f32>` and `StencilFn<f64>`
+    /// implementations.
+    pub fn model(&self) -> &StencilKernel {
+        &self.model
+    }
+
+    fn eval<T>(&self, inputs: &[&Grid<T>], x: usize, y: usize, z: usize) -> f64
+    where
+        T: Copy + Default + Into<f64>,
+    {
+        let mut acc = 0.0;
+        for t in &self.taps {
+            acc += t.weight * inputs[t.buffer].at(x, y, z, t.dx, t.dy, t.dz).into();
+        }
+        acc
+    }
+}
+
+impl StencilFn<f64> for WeightedKernel {
+    fn model(&self) -> &StencilKernel {
+        &self.model
+    }
+
+    #[inline]
+    fn apply(&self, inputs: &[&Grid<f64>], x: usize, y: usize, z: usize) -> f64 {
+        self.eval(inputs, x, y, z)
+    }
+}
+
+impl StencilFn<f32> for WeightedKernel {
+    fn model(&self) -> &StencilKernel {
+        &self.model
+    }
+
+    #[inline]
+    fn apply(&self, inputs: &[&Grid<f32>], x: usize, y: usize, z: usize) -> f32 {
+        self.eval(inputs, x, y, z) as f32
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table III kernels
+// ---------------------------------------------------------------------------
+
+macro_rules! kernel_struct {
+    ($(#[$doc:meta])* $name:ident, $ctor:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            model: StencilKernel,
+        }
+
+        impl $name {
+            /// Creates the kernel with its Table III model.
+            pub fn new() -> Self {
+                $name { model: StencilKernel::$ctor() }
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+    };
+}
+
+kernel_struct!(
+    /// 2-D 5x5 box blur (single precision).
+    Blur,
+    blur
+);
+
+impl StencilFn<f32> for Blur {
+    fn model(&self) -> &StencilKernel {
+        &self.model
+    }
+
+    #[inline]
+    fn apply(&self, inputs: &[&Grid<f32>], x: usize, y: usize, z: usize) -> f32 {
+        let g = inputs[0];
+        let mut acc = 0.0f32;
+        for dy in -2..=2 {
+            for dx in -2..=2 {
+                acc += g.at(x, y, z, dx, dy, 0);
+            }
+        }
+        acc * (1.0 / 25.0)
+    }
+}
+
+kernel_struct!(
+    /// 2-D 3x3 edge detection: `8 c - sum(neighbours)` (single precision).
+    Edge,
+    edge
+);
+
+impl StencilFn<f32> for Edge {
+    fn model(&self) -> &StencilKernel {
+        &self.model
+    }
+
+    #[inline]
+    fn apply(&self, inputs: &[&Grid<f32>], x: usize, y: usize, z: usize) -> f32 {
+        let g = inputs[0];
+        let mut acc = 0.0f32;
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                let w = if dx == 0 && dy == 0 { 8.0 } else { -1.0 };
+                acc += w * g.at(x, y, z, dx, dy, 0);
+            }
+        }
+        acc
+    }
+}
+
+kernel_struct!(
+    /// Conway's game of life on a float grid (alive = value > 0.5).
+    GameOfLife,
+    game_of_life
+);
+
+impl StencilFn<f32> for GameOfLife {
+    fn model(&self) -> &StencilKernel {
+        &self.model
+    }
+
+    #[inline]
+    fn apply(&self, inputs: &[&Grid<f32>], x: usize, y: usize, z: usize) -> f32 {
+        let g = inputs[0];
+        let mut alive = 0u32;
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                if (dx != 0 || dy != 0) && g.at(x, y, z, dx, dy, 0) > 0.5 {
+                    alive += 1;
+                }
+            }
+        }
+        let me = g.at(x, y, z, 0, 0, 0) > 0.5;
+        let next = matches!((me, alive), (true, 2) | (true, 3) | (false, 3));
+        if next {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+kernel_struct!(
+    /// 3-D wave step: `u + k^2 * lap13(u)` with an extra centre read for
+    /// the (folded) previous time step — the paper's "13 laplacian + 1".
+    Wave,
+    wave
+);
+
+impl StencilFn<f32> for Wave {
+    fn model(&self) -> &StencilKernel {
+        &self.model
+    }
+
+    #[inline]
+    fn apply(&self, inputs: &[&Grid<f32>], x: usize, y: usize, z: usize) -> f32 {
+        let g = inputs[0];
+        let c = g.at(x, y, z, 0, 0, 0);
+        let prev = g.at(x, y, z, 0, 0, 0); // the "+1" access
+        // 4th-order 13-point laplacian coefficients per axis:
+        // -5/2 (centre), 4/3 (distance 1), -1/12 (distance 2).
+        const W1: f32 = 4.0 / 3.0;
+        const W2: f32 = -1.0 / 12.0;
+        let mut lap = -7.5 * c; // 3 * (-5/2)
+        lap += W1
+            * (g.at(x, y, z, 1, 0, 0)
+                + g.at(x, y, z, -1, 0, 0)
+                + g.at(x, y, z, 0, 1, 0)
+                + g.at(x, y, z, 0, -1, 0)
+                + g.at(x, y, z, 0, 0, 1)
+                + g.at(x, y, z, 0, 0, -1));
+        lap += W2
+            * (g.at(x, y, z, 2, 0, 0)
+                + g.at(x, y, z, -2, 0, 0)
+                + g.at(x, y, z, 0, 2, 0)
+                + g.at(x, y, z, 0, -2, 0)
+                + g.at(x, y, z, 0, 0, 2)
+                + g.at(x, y, z, 0, 0, -2));
+        2.0 * c - prev + 0.25 * lap
+    }
+}
+
+kernel_struct!(
+    /// Tricubic interpolation: 64-point weighted gather with per-point
+    /// fractional coordinates from the two auxiliary buffers.
+    Tricubic,
+    tricubic
+);
+
+/// Catmull-Rom cubic weight for offset `i` in {-1, 0, 1, 2} at fraction `f`.
+#[inline]
+fn cubic_weight(i: i32, f: f32) -> f32 {
+    // Catmull-Rom basis evaluated at distance |i - f|.
+    let t = f - i as f32;
+    let a = t.abs();
+    if a < 1.0 {
+        1.5 * a * a * a - 2.5 * a * a + 1.0
+    } else if a < 2.0 {
+        -0.5 * a * a * a + 2.5 * a * a - 4.0 * a + 2.0
+    } else {
+        0.0
+    }
+}
+
+impl StencilFn<f32> for Tricubic {
+    fn model(&self) -> &StencilKernel {
+        &self.model
+    }
+
+    #[inline]
+    fn apply(&self, inputs: &[&Grid<f32>], x: usize, y: usize, z: usize) -> f32 {
+        let field = inputs[0];
+        // Fractions in [0, 1) derived from the auxiliary buffers.
+        let fx = inputs[1].at(x, y, z, 0, 0, 0).fract().abs();
+        let fy = inputs[2].at(x, y, z, 0, 0, 0).fract().abs();
+        let fz = (0.5 * (fx + fy)).fract();
+        let mut acc = 0.0f32;
+        for dz in -1..=2 {
+            let wz = cubic_weight(dz, fz);
+            for dy in -1..=2 {
+                let wyz = cubic_weight(dy, fy) * wz;
+                for dx in -1..=2 {
+                    acc += cubic_weight(dx, fx) * wyz * field.at(x, y, z, dx, dy, dz);
+                }
+            }
+        }
+        acc
+    }
+}
+
+kernel_struct!(
+    /// Divergence of a vector field stored in three double buffers; each
+    /// buffer is differenced along one axis (centre not read).
+    Divergence,
+    divergence
+);
+
+impl StencilFn<f64> for Divergence {
+    fn model(&self) -> &StencilKernel {
+        &self.model
+    }
+
+    #[inline]
+    fn apply(&self, inputs: &[&Grid<f64>], x: usize, y: usize, z: usize) -> f64 {
+        let gx = inputs[0];
+        let gy = inputs[1];
+        let gz = inputs[2];
+        0.5 * ((gx.at(x, y, z, 1, 0, 0) - gx.at(x, y, z, -1, 0, 0))
+            + (gy.at(x, y, z, 0, 1, 0) - gy.at(x, y, z, 0, -1, 0))
+            + (gz.at(x, y, z, 0, 0, 1) - gz.at(x, y, z, 0, 0, -1)))
+    }
+}
+
+kernel_struct!(
+    /// Gradient magnitude of a scalar double field (centre not read).
+    Gradient,
+    gradient
+);
+
+impl StencilFn<f64> for Gradient {
+    fn model(&self) -> &StencilKernel {
+        &self.model
+    }
+
+    #[inline]
+    fn apply(&self, inputs: &[&Grid<f64>], x: usize, y: usize, z: usize) -> f64 {
+        let g = inputs[0];
+        let dx = 0.5 * (g.at(x, y, z, 1, 0, 0) - g.at(x, y, z, -1, 0, 0));
+        let dy = 0.5 * (g.at(x, y, z, 0, 1, 0) - g.at(x, y, z, 0, -1, 0));
+        let dz = 0.5 * (g.at(x, y, z, 0, 0, 1) - g.at(x, y, z, 0, 0, -1));
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+kernel_struct!(
+    /// Classic 7-point laplacian (double).
+    Laplacian,
+    laplacian
+);
+
+impl StencilFn<f64> for Laplacian {
+    fn model(&self) -> &StencilKernel {
+        &self.model
+    }
+
+    #[inline]
+    fn apply(&self, inputs: &[&Grid<f64>], x: usize, y: usize, z: usize) -> f64 {
+        let g = inputs[0];
+        g.at(x, y, z, 1, 0, 0)
+            + g.at(x, y, z, -1, 0, 0)
+            + g.at(x, y, z, 0, 1, 0)
+            + g.at(x, y, z, 0, -1, 0)
+            + g.at(x, y, z, 0, 0, 1)
+            + g.at(x, y, z, 0, 0, -1)
+            - 6.0 * g.at(x, y, z, 0, 0, 0)
+    }
+}
+
+kernel_struct!(
+    /// 6th-order 19-point laplacian (double).
+    Laplacian6,
+    laplacian6
+);
+
+impl StencilFn<f64> for Laplacian6 {
+    fn model(&self) -> &StencilKernel {
+        &self.model
+    }
+
+    #[inline]
+    fn apply(&self, inputs: &[&Grid<f64>], x: usize, y: usize, z: usize) -> f64 {
+        let g = inputs[0];
+        // 6th-order coefficients: 1/90, -3/20, 3/2 per side, -49/18 centre.
+        const W1: f64 = 1.5;
+        const W2: f64 = -3.0 / 20.0;
+        const W3: f64 = 1.0 / 90.0;
+        const WC: f64 = -49.0 / 18.0;
+        let mut acc = 3.0 * WC * g.at(x, y, z, 0, 0, 0);
+        acc += W1
+            * (g.at(x, y, z, 1, 0, 0)
+                + g.at(x, y, z, -1, 0, 0)
+                + g.at(x, y, z, 0, 1, 0)
+                + g.at(x, y, z, 0, -1, 0)
+                + g.at(x, y, z, 0, 0, 1)
+                + g.at(x, y, z, 0, 0, -1));
+        acc += W2
+            * (g.at(x, y, z, 2, 0, 0)
+                + g.at(x, y, z, -2, 0, 0)
+                + g.at(x, y, z, 0, 2, 0)
+                + g.at(x, y, z, 0, -2, 0)
+                + g.at(x, y, z, 0, 0, 2)
+                + g.at(x, y, z, 0, 0, -2));
+        acc += W3
+            * (g.at(x, y, z, 3, 0, 0)
+                + g.at(x, y, z, -3, 0, 0)
+                + g.at(x, y, z, 0, 3, 0)
+                + g.at(x, y, z, 0, -3, 0)
+                + g.at(x, y, z, 0, 0, 3)
+                + g.at(x, y, z, 0, 0, -3));
+        acc
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The benchmark suite
+// ---------------------------------------------------------------------------
+
+/// The nine Table III kernels as a closed enum, dispatching to the typed
+/// implementations above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchmarkKernel {
+    Blur,
+    Edge,
+    GameOfLife,
+    Wave,
+    Tricubic,
+    Divergence,
+    Gradient,
+    Laplacian,
+    Laplacian6,
+}
+
+impl BenchmarkKernel {
+    /// All nine kernels in Table III order.
+    pub const ALL: [BenchmarkKernel; 9] = [
+        BenchmarkKernel::Blur,
+        BenchmarkKernel::Edge,
+        BenchmarkKernel::GameOfLife,
+        BenchmarkKernel::Wave,
+        BenchmarkKernel::Tricubic,
+        BenchmarkKernel::Divergence,
+        BenchmarkKernel::Gradient,
+        BenchmarkKernel::Laplacian,
+        BenchmarkKernel::Laplacian6,
+    ];
+
+    /// Looks a kernel up by its Table III name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.model().name() == name)
+    }
+
+    /// The kernel model (shape, buffers, dtype).
+    pub fn model(&self) -> StencilKernel {
+        match self {
+            BenchmarkKernel::Blur => StencilKernel::blur(),
+            BenchmarkKernel::Edge => StencilKernel::edge(),
+            BenchmarkKernel::GameOfLife => StencilKernel::game_of_life(),
+            BenchmarkKernel::Wave => StencilKernel::wave(),
+            BenchmarkKernel::Tricubic => StencilKernel::tricubic(),
+            BenchmarkKernel::Divergence => StencilKernel::divergence(),
+            BenchmarkKernel::Gradient => StencilKernel::gradient(),
+            BenchmarkKernel::Laplacian => StencilKernel::laplacian(),
+            BenchmarkKernel::Laplacian6 => StencilKernel::laplacian6(),
+        }
+    }
+
+    /// Measures a sweep with the engine (median seconds per sweep).
+    pub fn measure(
+        &self,
+        engine: &mut crate::engine::Engine,
+        size: stencil_model::GridSize,
+        tuning: &stencil_model::TuningVector,
+        cfg: crate::engine::MeasureConfig,
+    ) -> f64 {
+        match self {
+            BenchmarkKernel::Blur => engine.measure::<f32, _>(&Blur::new(), size, tuning, cfg),
+            BenchmarkKernel::Edge => engine.measure::<f32, _>(&Edge::new(), size, tuning, cfg),
+            BenchmarkKernel::GameOfLife => {
+                engine.measure::<f32, _>(&GameOfLife::new(), size, tuning, cfg)
+            }
+            BenchmarkKernel::Wave => engine.measure::<f32, _>(&Wave::new(), size, tuning, cfg),
+            BenchmarkKernel::Tricubic => {
+                engine.measure::<f32, _>(&Tricubic::new(), size, tuning, cfg)
+            }
+            BenchmarkKernel::Divergence => {
+                engine.measure::<f64, _>(&Divergence::new(), size, tuning, cfg)
+            }
+            BenchmarkKernel::Gradient => {
+                engine.measure::<f64, _>(&Gradient::new(), size, tuning, cfg)
+            }
+            BenchmarkKernel::Laplacian => {
+                engine.measure::<f64, _>(&Laplacian::new(), size, tuning, cfg)
+            }
+            BenchmarkKernel::Laplacian6 => {
+                engine.measure::<f64, _>(&Laplacian6::new(), size, tuning, cfg)
+            }
+        }
+    }
+
+    /// Runs an engine sweep and the reference interpreter on identical
+    /// inputs and returns the maximum absolute difference (0.0 means the
+    /// blocked/unrolled/parallel schedule is exactly equivalent).
+    pub fn verify(
+        &self,
+        threads: usize,
+        size: stencil_model::GridSize,
+        tuning: &stencil_model::TuningVector,
+    ) -> f64 {
+        match self {
+            BenchmarkKernel::Blur => verify_typed::<f32, _>(&Blur::new(), threads, size, tuning),
+            BenchmarkKernel::Edge => verify_typed::<f32, _>(&Edge::new(), threads, size, tuning),
+            BenchmarkKernel::GameOfLife => {
+                verify_typed::<f32, _>(&GameOfLife::new(), threads, size, tuning)
+            }
+            BenchmarkKernel::Wave => verify_typed::<f32, _>(&Wave::new(), threads, size, tuning),
+            BenchmarkKernel::Tricubic => {
+                verify_typed::<f32, _>(&Tricubic::new(), threads, size, tuning)
+            }
+            BenchmarkKernel::Divergence => {
+                verify_typed::<f64, _>(&Divergence::new(), threads, size, tuning)
+            }
+            BenchmarkKernel::Gradient => {
+                verify_typed::<f64, _>(&Gradient::new(), threads, size, tuning)
+            }
+            BenchmarkKernel::Laplacian => {
+                verify_typed::<f64, _>(&Laplacian::new(), threads, size, tuning)
+            }
+            BenchmarkKernel::Laplacian6 => {
+                verify_typed::<f64, _>(&Laplacian6::new(), threads, size, tuning)
+            }
+        }
+    }
+}
+
+/// Helper shared by [`BenchmarkKernel::verify`]: engine vs. reference.
+fn verify_typed<T, F>(
+    kernel: &F,
+    threads: usize,
+    size: stencil_model::GridSize,
+    tuning: &stencil_model::TuningVector,
+) -> f64
+where
+    T: Copy + Default + Send + Sync + crate::engine::FromF64 + Into<f64> + PartialOrd,
+    F: StencilFn<T>,
+{
+    let radius = kernel.model().pattern().radius_per_axis();
+    let buffers = kernel.model().buffers() as usize;
+    let inputs: Vec<Grid<T>> = (0..buffers)
+        .map(|b| {
+            let mut g = Grid::for_size(size, radius);
+            g.fill_with(|x, y, z| T::from_f64(crate::engine::test_field(b, x, y, z)));
+            g
+        })
+        .collect();
+    let input_refs: Vec<&Grid<T>> = inputs.iter().collect();
+
+    let mut expected = Grid::for_size(size, radius);
+    crate::reference::reference_sweep(kernel, &input_refs, &mut expected);
+
+    let mut out = Grid::for_size(size, radius);
+    let mut engine = crate::engine::Engine::new(threads);
+    engine.sweep(kernel, &input_refs, &mut out, tuning);
+
+    let (nx, ny, nz) = out.extent();
+    let mut worst = 0.0f64;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let a: f64 = out.get(x, y, z).into();
+                let b: f64 = expected.get(x, y, z).into();
+                worst = worst.max((a - b).abs());
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_model::{GridSize, TuningVector};
+
+    #[test]
+    fn weighted_kernel_validates_buffer_indices() {
+        assert!(WeightedKernel::new("bad", vec![(0, 0, 0, 2, 1.0)], 2, DType::F64).is_err());
+        assert!(WeightedKernel::new("ok", vec![(0, 0, 0, 1, 1.0)], 2, DType::F64).is_ok());
+    }
+
+    #[test]
+    fn uniform_kernel_weights_sum_to_one() {
+        let p = stencil_model::ShapeFamily::Laplacian.build(3, 1).unwrap();
+        let k = WeightedKernel::uniform("u", &p, 1, DType::F64).unwrap();
+        let total: f64 = k.taps.iter().map(|t| t.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(k.taps.len(), 7);
+    }
+
+    #[test]
+    fn uniform_kernel_touches_all_buffers_for_multicount_patterns() {
+        let mut p = StencilPattern::new();
+        p.add_count(Offset::ORIGIN, 3);
+        let k = WeightedKernel::uniform("m", &p, 3, DType::F32).unwrap();
+        let buffers: std::collections::HashSet<usize> =
+            k.taps.iter().map(|t| t.buffer).collect();
+        assert_eq!(buffers.len(), 3);
+    }
+
+    #[test]
+    fn models_match_table3() {
+        for k in BenchmarkKernel::ALL {
+            let m = k.model();
+            assert!(!m.pattern().is_empty());
+        }
+        assert_eq!(BenchmarkKernel::Blur.model().pattern().len(), 25);
+        assert_eq!(BenchmarkKernel::Tricubic.model().buffers(), 3);
+    }
+
+    #[test]
+    fn from_name_roundtrips() {
+        for k in BenchmarkKernel::ALL {
+            assert_eq!(BenchmarkKernel::from_name(k.model().name()), Some(k));
+        }
+        assert_eq!(BenchmarkKernel::from_name("nope"), None);
+    }
+
+    #[test]
+    fn all_benchmarks_verify_against_reference() {
+        // Small grids, an awkward tuning (non-dividing blocks, unrolling,
+        // chunking) and 4 threads: the engine must agree exactly.
+        for k in BenchmarkKernel::ALL {
+            let size = if k.model().dim() == 2 {
+                GridSize::square(33)
+            } else {
+                GridSize::cube(17)
+            };
+            let tuning = if k.model().dim() == 2 {
+                TuningVector::new(5, 7, 1, 3, 2)
+            } else {
+                TuningVector::new(5, 7, 3, 3, 2)
+            };
+            let diff = k.verify(4, size, &tuning);
+            assert_eq!(diff, 0.0, "{:?} diverged from reference", k);
+        }
+    }
+
+    #[test]
+    fn game_of_life_rules() {
+        // A blinker oscillates: three cells in a row become a column.
+        let k = GameOfLife::new();
+        let mut g: Grid<f32> = Grid::new(5, 5, 1, 1, 1, 0);
+        for x in 1..=3 {
+            g.set(x, 2, 0, 1.0);
+        }
+        let refs = [&g];
+        assert_eq!(k.apply(&refs, 2, 1, 0), 1.0); // grows above
+        assert_eq!(k.apply(&refs, 2, 2, 0), 1.0); // centre survives
+        assert_eq!(k.apply(&refs, 2, 3, 0), 1.0); // grows below
+        assert_eq!(k.apply(&refs, 1, 2, 0), 0.0); // end dies
+        assert_eq!(k.apply(&refs, 3, 2, 0), 0.0); // end dies
+        assert_eq!(k.apply(&refs, 0, 0, 0), 0.0); // empty stays empty
+    }
+
+    #[test]
+    fn laplacian_of_constant_field_is_zero() {
+        let k = Laplacian::new();
+        let mut g: Grid<f64> = Grid::new(3, 3, 3, 1, 1, 1);
+        g.fill_with(|_, _, _| 7.0);
+        assert!((k.apply(&[&g], 1, 1, 1)).abs() < 1e-12);
+        let k6 = Laplacian6::new();
+        let mut g6: Grid<f64> = Grid::new(7, 7, 7, 3, 3, 3);
+        g6.fill_with(|_, _, _| 7.0);
+        assert!((k6.apply(&[&g6], 3, 3, 3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplacian_of_quadratic_is_constant() {
+        // lap(x^2 + y^2 + z^2) = 6 for the 2nd-order 7-point stencil.
+        let k = Laplacian::new();
+        let mut g: Grid<f64> = Grid::new(3, 3, 3, 1, 1, 1);
+        g.fill_with(|x, y, z| (x * x + y * y + z * z) as f64);
+        assert!((k.apply(&[&g], 1, 1, 1) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_of_linear_field() {
+        // grad(2x + y) has magnitude sqrt(4 + 1).
+        let k = Gradient::new();
+        let mut g: Grid<f64> = Grid::new(3, 3, 3, 1, 1, 1);
+        g.fill_with(|x, y, _| (2 * x + y) as f64);
+        assert!((k.apply(&[&g], 1, 1, 1) - 5.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergence_of_linear_vector_field() {
+        // div(x, 2y, 3z) = 6.
+        let k = Divergence::new();
+        let mut gx: Grid<f64> = Grid::new(3, 3, 3, 1, 1, 1);
+        let mut gy: Grid<f64> = Grid::new(3, 3, 3, 1, 1, 1);
+        let mut gz: Grid<f64> = Grid::new(3, 3, 3, 1, 1, 1);
+        gx.fill_with(|x, _, _| x as f64);
+        gy.fill_with(|_, y, _| 2.0 * y as f64);
+        gz.fill_with(|_, _, z| 3.0 * z as f64);
+        assert!((k.apply(&[&gx, &gy, &gz], 1, 1, 1) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blur_of_constant_is_identity() {
+        let k = Blur::new();
+        let mut g: Grid<f32> = Grid::new(5, 5, 1, 2, 2, 0);
+        g.fill_with(|_, _, _| 3.0);
+        assert!((k.apply(&[&g], 2, 2, 0) - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn edge_of_constant_is_zero() {
+        let k = Edge::new();
+        let mut g: Grid<f32> = Grid::new(3, 3, 1, 1, 1, 0);
+        g.fill_with(|_, _, _| 3.0);
+        assert!((k.apply(&[&g], 1, 1, 0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cubic_weights_partition_unity() {
+        // Catmull-Rom weights over {-1, 0, 1, 2} sum to 1 for any fraction.
+        for f in [0.0f32, 0.25, 0.5, 0.75, 0.99] {
+            let s: f32 = (-1..=2).map(|i| cubic_weight(i, f)).sum();
+            assert!((s - 1.0).abs() < 1e-5, "f = {f}: sum {s}");
+        }
+    }
+
+    #[test]
+    fn tricubic_of_constant_field_is_constant() {
+        let k = Tricubic::new();
+        let mut field: Grid<f32> = Grid::new(5, 5, 5, 2, 2, 2);
+        field.fill_with(|_, _, _| 2.0);
+        let mut fx: Grid<f32> = Grid::new(5, 5, 5, 2, 2, 2);
+        fx.fill_with(|_, _, _| 0.3);
+        let mut fy: Grid<f32> = Grid::new(5, 5, 5, 2, 2, 2);
+        fy.fill_with(|_, _, _| 0.7);
+        let v = k.apply(&[&field, &fx, &fy], 2, 2, 2);
+        assert!((v - 2.0).abs() < 1e-4, "v = {v}");
+    }
+
+    #[test]
+    fn wave_preserves_constant_field() {
+        // For constant u: laplacian = 0, out = 2c - c + 0 = c.
+        let k = Wave::new();
+        let mut g: Grid<f32> = Grid::new(5, 5, 5, 2, 2, 2);
+        g.fill_with(|_, _, _| 1.5);
+        assert!((k.apply(&[&g], 2, 2, 2) - 1.5).abs() < 1e-4);
+    }
+}

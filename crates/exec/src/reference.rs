@@ -1,0 +1,75 @@
+//! Naive single-threaded reference interpreter.
+//!
+//! The reference applies the kernel in plain triple-loop order without
+//! tiling, unrolling or threads. Because every engine schedule computes
+//! the same per-point function on the same inputs, engine output must match
+//! the reference *bit for bit* — any deviation indicates a skipped,
+//! duplicated or mis-indexed point.
+
+use crate::grid::Grid;
+use crate::kernels::StencilFn;
+
+/// Applies `kernel` to every interior point of `out` in canonical order.
+///
+/// # Panics
+/// Panics when input and output extents disagree.
+pub fn reference_sweep<T, F>(kernel: &F, inputs: &[&Grid<T>], out: &mut Grid<T>)
+where
+    T: Copy + Default,
+    F: StencilFn<T>,
+{
+    for g in inputs {
+        assert_eq!(g.extent(), out.extent(), "input/output extents differ");
+    }
+    let (nx, ny, nz) = out.extent();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let v = kernel.apply(inputs, x, y, z);
+                out.set(x, y, z, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::WeightedKernel;
+    use stencil_model::DType;
+
+    #[test]
+    fn reference_identity() {
+        let k =
+            WeightedKernel::new("id", vec![(0, 0, 0, 0, 1.0)], 1, DType::F64).unwrap();
+        let mut input: Grid<f64> = Grid::new(3, 3, 1, 0, 0, 0);
+        input.fill_with(|x, y, _| (x + 10 * y) as f64);
+        let mut out: Grid<f64> = Grid::new(3, 3, 1, 0, 0, 0);
+        reference_sweep(&k, &[&input], &mut out);
+        assert_eq!(out.max_abs_diff(&input), 0.0);
+    }
+
+    #[test]
+    fn reference_shift() {
+        // out[p] = in[p + x] shifts the field left.
+        let k =
+            WeightedKernel::new("shift", vec![(1, 0, 0, 0, 1.0)], 1, DType::F64).unwrap();
+        let mut input: Grid<f64> = Grid::new(4, 1, 1, 1, 0, 0);
+        input.fill_with(|x, _, _| x as f64);
+        let mut out: Grid<f64> = Grid::new(4, 1, 1, 1, 0, 0);
+        reference_sweep(&k, &[&input], &mut out);
+        for x in 0..4 {
+            assert_eq!(out.get(x, 0, 0), (x + 1) as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "extents differ")]
+    fn extent_mismatch_panics() {
+        let k =
+            WeightedKernel::new("id", vec![(0, 0, 0, 0, 1.0)], 1, DType::F64).unwrap();
+        let input: Grid<f64> = Grid::new(3, 3, 1, 0, 0, 0);
+        let mut out: Grid<f64> = Grid::new(4, 3, 1, 0, 0, 0);
+        reference_sweep(&k, &[&input], &mut out);
+    }
+}

@@ -1,0 +1,173 @@
+//! Tile decomposition of the iteration space (loop blocking).
+
+use stencil_model::TuningVector;
+
+/// A half-open box `[x0, x1) x [y0, y1) x [z0, z1)` of interior points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    pub x0: usize,
+    pub x1: usize,
+    pub y0: usize,
+    pub y1: usize,
+    pub z0: usize,
+    pub z1: usize,
+}
+
+impl Tile {
+    /// Number of points in the tile.
+    pub fn points(&self) -> usize {
+        (self.x1 - self.x0) * (self.y1 - self.y0) * (self.z1 - self.z0)
+    }
+}
+
+/// The blocked decomposition of an `(nx, ny, nz)` iteration space.
+///
+/// Tiles are ordered x-fastest, then y, then z — the order in which chunks
+/// of `c` consecutive tiles are handed to threads, so consecutive tiles in
+/// a chunk share y/z planes (spatial locality per thread, as in PATUS).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileGrid {
+    tiles: Vec<Tile>,
+}
+
+impl TileGrid {
+    /// Decomposes `(nx, ny, nz)` into `(bx, by, bz)` blocks (boundary tiles
+    /// are smaller). Block sizes larger than the extent are clipped.
+    ///
+    /// # Panics
+    /// Panics on zero extents or zero block sizes.
+    pub fn new(nx: usize, ny: usize, nz: usize, bx: usize, by: usize, bz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "extents must be positive");
+        assert!(bx > 0 && by > 0 && bz > 0, "blocks must be positive");
+        let (bx, by, bz) = (bx.min(nx), by.min(ny), bz.min(nz));
+        let mut tiles = Vec::with_capacity(nx.div_ceil(bx) * ny.div_ceil(by) * nz.div_ceil(bz));
+        let mut z0 = 0;
+        while z0 < nz {
+            let z1 = (z0 + bz).min(nz);
+            let mut y0 = 0;
+            while y0 < ny {
+                let y1 = (y0 + by).min(ny);
+                let mut x0 = 0;
+                while x0 < nx {
+                    let x1 = (x0 + bx).min(nx);
+                    tiles.push(Tile { x0, x1, y0, y1, z0, z1 });
+                    x0 = x1;
+                }
+                y0 = y1;
+            }
+            z0 = z1;
+        }
+        TileGrid { tiles }
+    }
+
+    /// Decomposition induced by a tuning vector over an interior extent.
+    pub fn from_tuning(nx: usize, ny: usize, nz: usize, t: &TuningVector) -> Self {
+        Self::new(nx, ny, nz, t.bx as usize, t.by as usize, t.bz as usize)
+    }
+
+    /// All tiles in schedule order.
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Number of tiles.
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Whether the decomposition is empty (never true for valid input).
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// The chunks of `c` consecutive tiles, as index ranges into
+    /// [`tiles`](Self::tiles).
+    pub fn chunks(&self, c: usize) -> Vec<std::ops::Range<usize>> {
+        assert!(c > 0, "chunk size must be positive");
+        let mut out = Vec::with_capacity(self.tiles.len().div_ceil(c));
+        let mut i = 0;
+        while i < self.tiles.len() {
+            let j = (i + c).min(self.tiles.len());
+            out.push(i..j);
+            i = j;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let tg = TileGrid::new(8, 8, 8, 4, 4, 4);
+        assert_eq!(tg.len(), 8);
+        assert!(tg.tiles().iter().all(|t| t.points() == 64));
+    }
+
+    #[test]
+    fn boundary_tiles_are_smaller() {
+        let tg = TileGrid::new(10, 1, 1, 4, 1, 1);
+        assert_eq!(tg.len(), 3);
+        assert_eq!(tg.tiles()[2].points(), 2);
+    }
+
+    #[test]
+    fn oversized_blocks_clip() {
+        let tg = TileGrid::new(4, 4, 1, 1024, 1024, 1024);
+        assert_eq!(tg.len(), 1);
+        assert_eq!(tg.tiles()[0].points(), 16);
+    }
+
+    #[test]
+    fn tiles_partition_the_space() {
+        // Every point covered exactly once, for awkward sizes.
+        for (n, b) in [(7usize, 3usize), (16, 5), (9, 9), (5, 1)] {
+            let tg = TileGrid::new(n, n, n, b, b + 1, b.max(2) - 1);
+            let mut cover = vec![0u8; n * n * n];
+            for t in tg.tiles() {
+                for z in t.z0..t.z1 {
+                    for y in t.y0..t.y1 {
+                        for x in t.x0..t.x1 {
+                            cover[(z * n + y) * n + x] += 1;
+                        }
+                    }
+                }
+            }
+            assert!(cover.iter().all(|&c| c == 1), "n={n} b={b}");
+        }
+    }
+
+    #[test]
+    fn order_is_x_fastest() {
+        let tg = TileGrid::new(4, 4, 1, 2, 2, 1);
+        let t = tg.tiles();
+        assert_eq!((t[0].x0, t[0].y0), (0, 0));
+        assert_eq!((t[1].x0, t[1].y0), (2, 0));
+        assert_eq!((t[2].x0, t[2].y0), (0, 2));
+    }
+
+    #[test]
+    fn chunks_cover_all_tiles() {
+        let tg = TileGrid::new(8, 8, 1, 2, 2, 1);
+        assert_eq!(tg.len(), 16);
+        let chunks = tg.chunks(3);
+        assert_eq!(chunks.len(), 6);
+        assert_eq!(chunks.last().unwrap().len(), 1);
+        let covered: usize = chunks.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 16);
+    }
+
+    #[test]
+    fn from_tuning_matches_new() {
+        let t = TuningVector::new(4, 8, 2, 0, 1);
+        assert_eq!(TileGrid::from_tuning(16, 16, 4, &t), TileGrid::new(16, 16, 4, 4, 8, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_panics() {
+        TileGrid::new(4, 4, 4, 2, 2, 2).chunks(0);
+    }
+}

@@ -1,0 +1,213 @@
+//! The synthetic training corpus: 60 kernels, 200 instances.
+
+use stencil_model::shape::Axis;
+use stencil_model::{
+    DType, GridSize, ModelError, ShapeFamily, StencilInstance, StencilKernel,
+};
+
+/// Corpus dimensions. The defaults reproduce the paper: 20 2-D and 40 3-D
+/// kernels, instantiated at the standard training sizes, giving
+/// `20 * 4 + 40 * 3 = 200` instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusConfig {
+    /// Number of 2-D kernels.
+    pub kernels_2d: usize,
+    /// Number of 3-D kernels.
+    pub kernels_3d: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig { kernels_2d: 20, kernels_3d: 40 }
+    }
+}
+
+/// The generated kernels and their instances.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    kernels: Vec<StencilKernel>,
+    instances: Vec<StencilInstance>,
+}
+
+impl Corpus {
+    /// Generates the paper's corpus.
+    pub fn paper() -> Self {
+        Self::generate(CorpusConfig::default()).expect("default corpus generates")
+    }
+
+    /// Generates a corpus of the requested dimensions by enumerating shape
+    /// family x offset x dtype x buffer-count combinations in a fixed,
+    /// diversity-first order.
+    pub fn generate(config: CorpusConfig) -> Result<Self, ModelError> {
+        let kernels_2d = enumerate_kernels(2, config.kernels_2d)?;
+        let kernels_3d = enumerate_kernels(3, config.kernels_3d)?;
+        let mut kernels = kernels_2d;
+        kernels.extend(kernels_3d);
+
+        let mut instances = Vec::new();
+        for k in &kernels {
+            let sizes: &[GridSize] = if k.dim() == 2 {
+                &GridSize::TRAINING_2D
+            } else {
+                &GridSize::TRAINING_3D
+            };
+            for &s in sizes {
+                instances.push(StencilInstance::new(k.clone(), s)?);
+            }
+        }
+        Ok(Corpus { kernels, instances })
+    }
+
+    /// The generated kernels (2-D first).
+    pub fn kernels(&self) -> &[StencilKernel] {
+        &self.kernels
+    }
+
+    /// The generated instances, grouped by kernel in generation order. The
+    /// index of an instance in this slice is its ranking group id.
+    pub fn instances(&self) -> &[StencilInstance] {
+        &self.instances
+    }
+}
+
+/// Enumerates `count` distinct kernels of dimensionality `dim`.
+///
+/// The stream interleaves shape families before deepening offsets so any
+/// prefix stays diverse; dtype and buffer-count variants come from a fixed
+/// rotation, mirroring the paper's "different shapes, number of buffers and
+/// buffer types".
+fn enumerate_kernels(dim: u8, count: usize) -> Result<Vec<StencilKernel>, ModelError> {
+    // Families are chosen so the resulting pattern really has the target
+    // dimensionality: a line along x is planar no matter how it is
+    // embedded, and a hyperplane orthogonal to z degenerates to a 2-D
+    // hypercube — such shapes belong to the 2-D corpus only.
+    let families: Vec<ShapeFamily> = if dim == 2 {
+        vec![
+            ShapeFamily::Line(Axis::X),
+            ShapeFamily::Line(Axis::Y),
+            ShapeFamily::Hypercube,
+            ShapeFamily::Laplacian,
+        ]
+    } else {
+        vec![
+            ShapeFamily::Line(Axis::Z),
+            ShapeFamily::Hyperplane(Axis::X),
+            ShapeFamily::Hyperplane(Axis::Y),
+            ShapeFamily::Hypercube,
+            ShapeFamily::Laplacian,
+        ]
+    };
+    // (dtype, buffers) rotation; single float buffers dominate, as the
+    // paper's benchmark suite does.
+    let variants: [(DType, u8); 4] =
+        [(DType::F32, 1), (DType::F64, 1), (DType::F32, 2), (DType::F64, 3)];
+
+    let mut kernels = Vec::with_capacity(count);
+    'outer: for round in 0usize.. {
+        // Round r walks all families at offset (r % 3) + 1 with variant
+        // (r / 3) % 4; after 3 x 4 rounds every combination has been seen.
+        let offset = (round % 3 + 1) as u32;
+        let (dtype, buffers) = variants[(round / 3) % variants.len()];
+        if round >= 3 * variants.len() {
+            return Err(ModelError::InvalidPattern(format!(
+                "cannot enumerate {count} distinct {dim}-D kernels"
+            )));
+        }
+        for family in &families {
+            if kernels.len() >= count {
+                break 'outer;
+            }
+            let pattern = family.build(dim, offset)?;
+            let name =
+                format!("train-{dim}d-{}-r{offset}-{}-b{buffers}", family.name(), dtype);
+            // The family remap in 2-D (line-z -> line-x) can produce
+            // duplicate shapes under the same variant; skip those.
+            let kernel = StencilKernel::new(name, pattern, buffers, dtype)?;
+            let dup = kernels.iter().any(|k: &StencilKernel| {
+                k.pattern() == kernel.pattern()
+                    && k.buffers() == kernel.buffers()
+                    && k.dtype() == kernel.dtype()
+            });
+            if !dup {
+                kernels.push(kernel);
+            }
+        }
+    }
+    Ok(kernels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_corpus_dimensions() {
+        let c = Corpus::paper();
+        assert_eq!(c.kernels().len(), 60);
+        assert_eq!(c.instances().len(), 200);
+        let k2 = c.kernels().iter().filter(|k| k.dim() == 2).count();
+        let k3 = c.kernels().iter().filter(|k| k.dim() == 3).count();
+        assert_eq!(k2, 20);
+        assert_eq!(k3, 40);
+    }
+
+    #[test]
+    fn instances_use_paper_training_sizes() {
+        let c = Corpus::paper();
+        for q in c.instances() {
+            if q.dim() == 2 {
+                assert!(GridSize::TRAINING_2D.contains(&q.size()), "{q}");
+            } else {
+                assert!(GridSize::TRAINING_3D.contains(&q.size()), "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_are_structurally_unique() {
+        let c = Corpus::paper();
+        for (i, a) in c.kernels().iter().enumerate() {
+            for b in &c.kernels()[i + 1..] {
+                assert!(
+                    a.pattern() != b.pattern()
+                        || a.buffers() != b.buffers()
+                        || a.dtype() != b.dtype(),
+                    "duplicate kernels {} / {}",
+                    a.name(),
+                    b.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_covers_all_families_and_types() {
+        let c = Corpus::paper();
+        let names: Vec<&str> = c.kernels().iter().map(|k| k.name()).collect();
+        for needle in ["line", "hypercube", "laplacian", "hyperplane"] {
+            assert!(names.iter().any(|n| n.contains(needle)), "missing {needle}");
+        }
+        assert!(c.kernels().iter().any(|k| k.dtype() == DType::F32));
+        assert!(c.kernels().iter().any(|k| k.dtype() == DType::F64));
+        assert!(c.kernels().iter().any(|k| k.buffers() > 1));
+    }
+
+    #[test]
+    fn custom_sizes_work() {
+        let c = Corpus::generate(CorpusConfig { kernels_2d: 4, kernels_3d: 6 }).unwrap();
+        assert_eq!(c.kernels().len(), 10);
+        assert_eq!(c.instances().len(), 4 * 4 + 6 * 3);
+    }
+
+    #[test]
+    fn impossible_corpus_is_an_error() {
+        assert!(Corpus::generate(CorpusConfig { kernels_2d: 1000, kernels_3d: 1 }).is_err());
+    }
+
+    #[test]
+    fn offsets_reach_three() {
+        let c = Corpus::paper();
+        let max_r = c.kernels().iter().map(|k| k.pattern().radius()).max().unwrap();
+        assert_eq!(max_r, 3, "corpus should exercise the full encoder radius");
+    }
+}

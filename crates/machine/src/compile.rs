@@ -1,0 +1,90 @@
+//! Compile-time model for the "double compilation" workflow.
+//!
+//! The paper compiles every training stencil through PATUS and gcc and
+//! reports ~32 hours for the full 60-code training corpus ("particularly
+//! slow for very dense stencil patterns"). We model that cost so Table II's
+//! "TS Comp." column can be regenerated: per-kernel compile time grows
+//! superlinearly in the number of pattern points (dense patterns blow up
+//! the generated unrolled variants) and is higher for 3-D kernels.
+
+use serde::{Deserialize, Serialize};
+use stencil_model::StencilKernel;
+
+/// Analytic PATUS + gcc compile-time model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompileModel {
+    /// Fixed cost per kernel (PATUS + gcc startup, scaffolding), seconds.
+    pub base_seconds: f64,
+    /// Cost per pattern point, seconds (codegen of each access).
+    pub per_point_seconds: f64,
+    /// Superlinear coefficient for dense patterns (unroll variants x
+    /// accesses), seconds.
+    pub dense_coeff: f64,
+    /// Multiplier for 3-D kernels (more loop nests and variants).
+    pub dim3_factor: f64,
+}
+
+impl Default for CompileModel {
+    fn default() -> Self {
+        CompileModel {
+            base_seconds: 45.0,
+            per_point_seconds: 13.0,
+            dense_coeff: 2.2,
+            dim3_factor: 1.6,
+        }
+    }
+}
+
+impl CompileModel {
+    /// Modelled seconds to compile one kernel to a binary.
+    pub fn kernel_seconds(&self, kernel: &StencilKernel) -> f64 {
+        let n = kernel.pattern().len() as f64;
+        let dim = if kernel.dim() == 3 { self.dim3_factor } else { 1.0 };
+        dim * (self.base_seconds + self.per_point_seconds * n + self.dense_coeff * n * n.sqrt())
+    }
+
+    /// Modelled seconds to compile a whole corpus.
+    pub fn corpus_seconds<'a, I: IntoIterator<Item = &'a StencilKernel>>(&self, kernels: I) -> f64 {
+        kernels.into_iter().map(|k| self.kernel_seconds(k)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_patterns_compile_much_slower() {
+        let m = CompileModel::default();
+        let sparse = m.kernel_seconds(&StencilKernel::laplacian()); // 7 pts
+        let dense = m.kernel_seconds(&StencilKernel::tricubic()); // 64 pts
+        assert!(dense > 5.0 * sparse, "dense {dense} vs sparse {sparse}");
+    }
+
+    #[test]
+    fn three_d_kernels_cost_more() {
+        let m = CompileModel::default();
+        // Same point count, different dimensionality.
+        let d2 = m.kernel_seconds(&StencilKernel::edge()); // 9 pts, 2-D
+        let d3 = m.kernel_seconds(
+            &StencilKernel::new(
+                "star9",
+                stencil_model::ShapeFamily::Laplacian.build(3, 1).unwrap(),
+                1,
+                stencil_model::DType::F32,
+            )
+            .unwrap(),
+        ); // 7 pts, 3-D
+        assert!(d3 > d2 * 0.9);
+    }
+
+    #[test]
+    fn corpus_sums_kernels() {
+        let m = CompileModel::default();
+        let ks = StencilKernel::table3_kernels();
+        let total = m.corpus_seconds(ks.iter());
+        let manual: f64 = ks.iter().map(|k| m.kernel_seconds(k)).sum();
+        assert!((total - manual).abs() < 1e-9);
+        assert!(total > 0.0);
+    }
+}

@@ -1,0 +1,400 @@
+//! The analytic cost model.
+//!
+//! For an execution `(k, s, t)` the model computes:
+//!
+//! 1. **Compute cost per point** on one core: `flops / (peak * eff)` where
+//!    the efficiency combines a base factor, an ILP ramp in the unroll
+//!    factor, a register-pressure penalty for `unroll x pattern-size`, and a
+//!    vector cleanup penalty when the x block is short relative to
+//!    `unroll * lanes`.
+//! 2. **Memory cost per point**: compulsory traffic times the tile halo
+//!    redundancy factor `prod_d (1 + 2 r_d / b_d)` from DRAM, plus refetch
+//!    traffic from L3/DRAM when the tile working set overflows L2/L3
+//!    (thrashing), all over the shared bandwidths.
+//! 3. **Scheduling**: tiles are grouped into chunks of `c`; chunks are
+//!    assigned greedily to `cores` workers. The makespan accounts for
+//!    per-chunk queue costs, per-tile and per-row loop overheads, and load
+//!    imbalance (including idle cores when there are fewer chunks than
+//!    cores).
+//!
+//! The returned [`CostBreakdown`] keeps every term so tests (and the
+//! ablation benches) can assert directional behaviour — e.g. "halving the
+//! tile height must reduce thrash time for an L2-overflowing tile".
+
+use serde::{Deserialize, Serialize};
+use stencil_model::StencilExecution;
+
+use crate::spec::MachineSpec;
+
+/// Decomposed simulated cost of one stencil execution (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Per-point compute time on one core.
+    pub compute_pp: f64,
+    /// Per-point memory time with all cores sharing bandwidth.
+    pub memory_pp: f64,
+    /// Per-point loop (row) overhead.
+    pub row_pp: f64,
+    /// Time one core needs for one full tile (work + tile overhead).
+    pub tile_time: f64,
+    /// Number of tiles.
+    pub tiles: u64,
+    /// Number of chunks.
+    pub chunks: u64,
+    /// Makespan over all workers, excluding the launch overhead.
+    pub makespan: f64,
+    /// Total simulated wall time in seconds.
+    pub total: f64,
+}
+
+impl CostBreakdown {
+    /// True when the execution is memory bound (memory term dominates).
+    pub fn memory_bound(&self) -> bool {
+        self.memory_pp > self.compute_pp
+    }
+}
+
+/// Computes the noiseless cost of an execution on `spec`.
+pub fn simulate(spec: &MachineSpec, exec: &StencilExecution) -> CostBreakdown {
+    let q = exec.instance();
+    let k = q.kernel();
+    let t = exec.tuning();
+    let size = q.size();
+    let n = size.points() as f64;
+
+    let (bx, by, bz) = exec.effective_blocks();
+    let (rx, ry, rz) = k.pattern().radius_per_axis();
+    let bytes = k.dtype().bytes();
+    let buffers = k.buffers() as f64;
+    let flops = k.flops_per_point() as f64;
+
+    // ---- 1. compute ------------------------------------------------------
+    let lanes = (spec.simd_bytes / bytes) as f64;
+    let peak = spec.peak_flops_core(bytes);
+    let u = t.u.min(8) as f64;
+    // ILP ramps from 0.66 (no unrolling) to 1.0 around u = 3.
+    let ilp = 0.55 + 0.45 * ((u + 1.0) / 4.0).min(1.0);
+    // Register pressure: each unrolled iteration keeps accumulators plus a
+    // share of the stencil's live loads; 16 architectural vector registers.
+    let live = (k.pattern().len() as f64).min(64.0);
+    let pressure = ((u + 1.0) * (2.0 + live / 8.0) - 16.0).max(0.0);
+    let spill = 1.0 / (1.0 + 0.01 * pressure);
+    // Vector cleanup when the x block is short relative to the unrolled
+    // vector body.
+    let cleanup = 1.0 + 0.25 * (((u + 1.0) * lanes) / bx as f64).min(1.0);
+    let eff = spec.base_efficiency * ilp * spill / cleanup;
+    let compute_pp = flops / (peak * eff);
+
+    // ---- 2. memory -------------------------------------------------------
+    let halo = (1.0 + 2.0 * rx as f64 / bx as f64)
+        * (1.0 + 2.0 * ry as f64 / by as f64)
+        * (1.0 + 2.0 * rz as f64 / bz as f64);
+    let in_bytes = buffers * bytes as f64;
+    let out_bytes = 2.0 * bytes as f64; // write-allocate + writeback
+    // Tile working set: all input halos plus the output tile.
+    let ws = bytes as f64
+        * (buffers
+            * (bx as f64 + 2.0 * rx as f64)
+            * (by as f64 + 2.0 * ry as f64)
+            * (bz as f64 + 2.0 * rz as f64)
+            + (bx as f64 * by as f64 * bz as f64));
+    // Distinct (dy, dz) rows of the pattern bound how often a point can be
+    // refetched while streaming along x.
+    let row_reuse = {
+        let mut rows = std::collections::BTreeSet::new();
+        for (o, _) in k.pattern().iter() {
+            rows.insert((o.dy, o.dz));
+        }
+        rows.len() as f64
+    };
+    let l2 = spec.l2_bytes as f64;
+    // Machines without an L3 (share smaller than L2) send every L2 miss to
+    // memory; clamping the share to L2 keeps the branches below well-formed.
+    let l3s = spec.l3_share().max(l2);
+    // Refetch factors: how many extra times input bytes are re-read, and
+    // from which level they are served.
+    let (theta_l3, theta_dram) = if ws <= l2 {
+        (0.0, 0.0)
+    } else if ws <= l3s {
+        (((ws / l2).log2() * 0.55).min(row_reuse - 1.0).max(0.0), 0.0)
+    } else {
+        let sat = ((l3s / l2).log2() * 0.55).max(0.0);
+        let extra = ((ws / l3s).log2() * 0.9).max(0.0);
+        let total = (sat + extra).min((row_reuse - 1.0).max(0.0));
+        (sat.min(total), (total - sat).max(0.0))
+    };
+    let dram_pp = (in_bytes * halo * (1.0 + theta_dram) + out_bytes) / spec.dram_bw;
+    let l3_pp = in_bytes * theta_l3 / spec.l3_bw;
+    // Every active core sees its share of the socket bandwidth.
+    let memory_pp = (dram_pp + l3_pp) * spec.cores as f64;
+
+    // ---- 3. scheduling ---------------------------------------------------
+    let row_pp = spec.row_overhead / bx as f64;
+    let point_time = compute_pp.max(memory_pp) + row_pp;
+    let tile_points = bx as f64 * by as f64 * bz as f64;
+    let tile_time = tile_points * point_time + spec.tile_overhead;
+
+    let tiles = exec.tile_count();
+    let chunks = exec.chunk_count();
+    let cores = spec.cores as u64;
+    // Greedy static assignment of equal chunks: the busiest worker gets
+    // ceil(chunks / cores) chunks; the final chunk may be partial, which we
+    // conservatively ignore.
+    let chunks_max = chunks.div_ceil(cores);
+    let tiles_max = (chunks_max * t.c as u64).min(tiles);
+    let makespan = tiles_max as f64 * tile_time + chunks_max as f64 * spec.chunk_overhead;
+
+    let total = makespan + spec.launch_overhead;
+    debug_assert!(total.is_finite() && total > 0.0);
+    let _ = n;
+
+    CostBreakdown {
+        compute_pp,
+        memory_pp,
+        row_pp,
+        tile_time,
+        tiles,
+        chunks,
+        makespan,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_model::{GridSize, StencilInstance, StencilKernel, TuningVector};
+
+    fn exec(k: StencilKernel, s: GridSize, t: TuningVector) -> StencilExecution {
+        StencilExecution::new(StencilInstance::new(k, s).unwrap(), t).unwrap()
+    }
+
+    fn spec() -> MachineSpec {
+        MachineSpec::xeon_e5_2680_v3()
+    }
+
+    #[test]
+    fn cost_is_positive_and_finite() {
+        let c = simulate(
+            &spec(),
+            &exec(StencilKernel::laplacian(), GridSize::cube(128), TuningVector::new(32, 32, 32, 2, 4)),
+        );
+        assert!(c.total.is_finite());
+        assert!(c.total > 0.0);
+        assert!(c.makespan > 0.0);
+    }
+
+    #[test]
+    fn tiny_tiles_pay_overhead() {
+        let base = TuningVector::new(64, 32, 16, 2, 4);
+        let tiny = TuningVector::new(2, 2, 2, 2, 4);
+        let m = spec();
+        let k = StencilKernel::laplacian();
+        let c_base = simulate(&m, &exec(k.clone(), GridSize::cube(128), base));
+        let c_tiny = simulate(&m, &exec(k, GridSize::cube(128), tiny));
+        assert!(
+            c_tiny.total > 2.0 * c_base.total,
+            "tiny {} vs base {}",
+            c_tiny.total,
+            c_base.total
+        );
+    }
+
+    #[test]
+    fn huge_tiles_thrash_for_wide_stencils() {
+        // laplacian6 (radius 3) on a 256^3 grid: a full-plane tile overflows
+        // L2 badly; a moderate tile does not.
+        let m = spec();
+        let k = StencilKernel::laplacian6();
+        let good = simulate(&m, &exec(k.clone(), GridSize::cube(256), TuningVector::new(256, 16, 8, 2, 1)));
+        let bad = simulate(&m, &exec(k, GridSize::cube(256), TuningVector::new(256, 256, 256, 2, 1)));
+        assert!(bad.total > good.total, "bad {} vs good {}", bad.total, good.total);
+    }
+
+    #[test]
+    fn single_tile_serializes_the_machine() {
+        // One tile = one worker does everything; 12x worse than balanced.
+        let m = spec();
+        let k = StencilKernel::laplacian();
+        let one = simulate(&m, &exec(k.clone(), GridSize::cube(128), TuningVector::new(128, 128, 128, 2, 1)));
+        let many = simulate(&m, &exec(k, GridSize::cube(128), TuningVector::new(64, 16, 16, 2, 1)));
+        assert!(one.total > 4.0 * many.total);
+        assert_eq!(one.tiles, 1);
+    }
+
+    #[test]
+    fn oversized_chunks_cause_imbalance() {
+        let m = spec();
+        let k = StencilKernel::laplacian();
+        // 64 tiles over 12 cores: c=1 balances (6 tiles max), c=64 serializes.
+        let balanced = simulate(&m, &exec(k.clone(), GridSize::cube(128), TuningVector::new(32, 32, 32, 2, 1)));
+        let serialized = simulate(&m, &exec(k, GridSize::cube(128), TuningVector::new(32, 32, 32, 2, 64)));
+        assert!(serialized.total > 5.0 * balanced.total);
+    }
+
+    #[test]
+    fn double_precision_is_slower_than_single() {
+        // Same shape and size, different dtype: f64 moves twice the bytes.
+        let m = spec();
+        let t = TuningVector::new(64, 32, 16, 2, 2);
+        let f64k = StencilKernel::laplacian(); // 7-pt double
+        let f32k = StencilKernel::new(
+            "laplacian-f32",
+            f64k.pattern().clone(),
+            1,
+            stencil_model::DType::F32,
+        )
+        .unwrap();
+        let c64 = simulate(&m, &exec(f64k, GridSize::cube(128), t));
+        let c32 = simulate(&m, &exec(f32k, GridSize::cube(128), t));
+        assert!(c64.total > 1.5 * c32.total);
+    }
+
+    #[test]
+    fn more_buffers_cost_more_bandwidth() {
+        let m = spec();
+        let t = TuningVector::new(64, 32, 16, 2, 2);
+        let one = StencilKernel::gradient(); // 6-pt, 1 double buffer
+        let three = StencilKernel::divergence(); // 6-pt, 3 double buffers
+        let c1 = simulate(&m, &exec(one, GridSize::cube(128), t));
+        let c3 = simulate(&m, &exec(three, GridSize::cube(128), t));
+        assert!(c3.total > c1.total);
+    }
+
+    #[test]
+    fn moderate_unroll_helps_compute_bound_kernels() {
+        // tricubic is compute heavy; unrolling to u=2..4 should beat u=0.
+        let m = spec();
+        let k = StencilKernel::tricubic();
+        let u0 = simulate(&m, &exec(k.clone(), GridSize::cube(128), TuningVector::new(64, 16, 16, 0, 2)));
+        let u3 = simulate(&m, &exec(k.clone(), GridSize::cube(128), TuningVector::new(64, 16, 16, 3, 2)));
+        let u8 = simulate(&m, &exec(k, GridSize::cube(128), TuningVector::new(64, 16, 16, 8, 2)));
+        assert!(u3.total < u0.total, "u3 {} vs u0 {}", u3.total, u0.total);
+        // Excessive unrolling of a 64-point stencil spills registers.
+        assert!(u8.total > u3.total, "u8 {} vs u3 {}", u8.total, u3.total);
+    }
+
+    #[test]
+    fn star_stencils_are_memory_bound() {
+        let m = spec();
+        let c = simulate(
+            &m,
+            &exec(StencilKernel::gradient(), GridSize::cube(256), TuningVector::new(64, 16, 16, 2, 2)),
+        );
+        assert!(c.memory_bound());
+    }
+
+    #[test]
+    fn gflops_land_in_paper_ballpark() {
+        // Calibration guard: with a reasonable tuning, simulated GFlop/s
+        // must sit within (loose) factors of the paper's Fig. 5 levels.
+        let m = spec();
+        let cases: [(StencilKernel, GridSize, f64, f64); 4] = [
+            (StencilKernel::gradient(), GridSize::cube(256), 2.0, 14.0),
+            (StencilKernel::tricubic(), GridSize::cube(256), 25.0, 110.0),
+            (StencilKernel::blur(), GridSize::d2(1024, 768), 18.0, 90.0),
+            (StencilKernel::divergence(), GridSize::cube(128), 2.0, 20.0),
+        ];
+        for (k, s, lo, hi) in cases {
+            let dim = k.dim();
+            let t = if dim == 2 {
+                TuningVector::new(256, 16, 1, 2, 2)
+            } else {
+                TuningVector::new(64, 16, 8, 2, 2)
+            };
+            let e = exec(k.clone(), s, t);
+            let c = simulate(&m, &e);
+            let gf = e.gflops(c.total);
+            assert!(
+                gf > lo && gf < hi,
+                "{}: {gf:.1} GF/s outside [{lo}, {hi}]",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn two_d_blocks_behave() {
+        let m = spec();
+        let k = StencilKernel::blur();
+        let c = simulate(&m, &exec(k, GridSize::square(1024), TuningVector::new(128, 8, 1, 2, 2)));
+        assert!(c.total.is_finite() && c.total > 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use stencil_model::{Offset, StencilPattern};
+
+        fn arb_execution() -> impl Strategy<Value = StencilExecution> {
+            (
+                prop::collection::vec(((-3i32..=3), (-3i32..=3), (-3i32..=3)), 1..16),
+                1u8..=4,
+                prop::bool::ANY,
+                4u32..=8, // grid 16..256 per axis
+                (2u32..=1024, 2u32..=1024, 2u32..=1024, 0u32..=8, 1u32..=256),
+            )
+                .prop_map(|(pts, buffers, dbl, exp, (bx, by, bz, u, c))| {
+                    let mut p = StencilPattern::from_points(pts);
+                    p.add(Offset::new(0, 0, 1)); // force 3-D
+                    let dtype =
+                        if dbl { stencil_model::DType::F64 } else { stencil_model::DType::F32 };
+                    let k = StencilKernel::new("prop", p, buffers, dtype).unwrap();
+                    let q = StencilInstance::new(k, GridSize::cube(1 << exp)).unwrap();
+                    StencilExecution::new(q, TuningVector::new(bx, by, bz, u, c)).unwrap()
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// The simulator never produces degenerate costs, whatever the
+            /// (kernel, size, tuning) combination.
+            #[test]
+            fn cost_is_always_positive_and_finite(e in arb_execution()) {
+                let c = simulate(&MachineSpec::xeon_e5_2680_v3(), &e);
+                prop_assert!(c.total.is_finite() && c.total > 0.0);
+                prop_assert!(c.compute_pp > 0.0 && c.memory_pp > 0.0);
+                prop_assert!(c.makespan <= c.total);
+                prop_assert!(c.tiles >= 1 && c.chunks >= 1 && c.chunks <= c.tiles);
+            }
+
+            /// Work conservation: the makespan is never shorter than a
+            /// perfectly balanced division of per-tile work across cores.
+            #[test]
+            fn makespan_respects_the_parallel_lower_bound(e in arb_execution()) {
+                let spec = MachineSpec::xeon_e5_2680_v3();
+                let c = simulate(&spec, &e);
+                let ideal = c.tiles as f64 * c.tile_time / spec.cores as f64;
+                prop_assert!(c.makespan >= ideal * 0.999);
+            }
+
+            /// Doubling the grid (8x the points) must increase the cost —
+            /// no tuning tricks can make more work cheaper.
+            #[test]
+            fn bigger_grids_cost_more(
+                exp in 4u32..=7,
+                bx in 2u32..=256, by in 2u32..=256, bz in 2u32..=256,
+                u in 0u32..=8, ch in 1u32..=64,
+            ) {
+                let spec = MachineSpec::xeon_e5_2680_v3();
+                let t = TuningVector::new(bx, by, bz, u, ch);
+                let mk = |n: u32| {
+                    let q = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(n))
+                        .unwrap();
+                    simulate(&spec, &StencilExecution::new(q, t).unwrap()).total
+                };
+                prop_assert!(mk(2 << exp) > mk(1 << exp));
+            }
+
+            /// Alternative machine specs stay well-formed too.
+            #[test]
+            fn alternative_machines_produce_finite_costs(e in arb_execution()) {
+                for spec in [MachineSpec::phi_like(), MachineSpec::embedded_quad()] {
+                    let c = simulate(&spec, &e);
+                    prop_assert!(c.total.is_finite() && c.total > 0.0, "{}", spec.name);
+                }
+            }
+        }
+    }
+}

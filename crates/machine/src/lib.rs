@@ -1,0 +1,41 @@
+//! Simulated execution testbed (substitute for the paper's Intel Xeon
+//! E5-2680 v3).
+//!
+//! Re-running the paper's evaluation takes on the order of 10^5 stencil
+//! executions at sizes up to 256^3 — the very cost (32 h of pre-processing,
+//! hours per search run) the paper is about. This crate replaces the
+//! hardware with a deterministic analytic machine model that preserves the
+//! *structure* of the tuning landscape:
+//!
+//! * **blocking** trades redundant halo traffic (small tiles) against cache
+//!   thrashing (tiles whose working set exceeds L2/L3) — see [`cost`],
+//! * **unrolling** improves instruction-level parallelism up to a point and
+//!   then pays register pressure, interacting with the x block length
+//!   (vector cleanup),
+//! * **chunked multi-threading** trades scheduling overhead (many small
+//!   chunks) against load imbalance (few large chunks) on 12 cores,
+//! * measured times carry seeded multiplicative log-normal noise so that
+//!   rankings contain realistic tie/inversion structure.
+//!
+//! The model is roofline-style: per-point compute cost and per-point memory
+//! cost are combined by `max`, then scheduled tile-by-tile. Absolute
+//! GFlop/s values are calibrated only coarsely to the paper's figures
+//! (units for star stencils in double precision, tens for blur/tricubic in
+//! single precision); all experiments report *simulated* numbers.
+//!
+//! A real execution engine for correctness-scale runs lives in
+//! `stencil-exec`; both implement the same conceptual interface.
+
+pub mod cache_sim;
+pub mod compile;
+pub mod cost;
+pub mod machine;
+pub mod noise;
+pub mod spec;
+
+pub use cache_sim::{simulate_tile, CacheSim, TileMissStats};
+pub use compile::CompileModel;
+pub use cost::CostBreakdown;
+pub use machine::{Machine, Measurement};
+pub use noise::NoiseModel;
+pub use spec::MachineSpec;

@@ -1,0 +1,153 @@
+//! The simulated machine facade.
+
+use serde::{Deserialize, Serialize};
+use stencil_model::StencilExecution;
+
+use crate::cost::{simulate, CostBreakdown};
+use crate::noise::NoiseModel;
+use crate::spec::MachineSpec;
+
+/// One simulated runtime measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Simulated wall time, seconds.
+    pub seconds: f64,
+    /// Achieved GFlop/s for this execution.
+    pub gflops: f64,
+}
+
+/// A deterministic simulated machine: cost model plus measurement noise.
+///
+/// ```
+/// use stencil_machine::Machine;
+/// use stencil_model::*;
+///
+/// let machine = Machine::xeon_e5_2680_v3();
+/// let q = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+/// let good = StencilExecution::new(q.clone(), TuningVector::new(64, 16, 8, 2, 1)).unwrap();
+/// let bad = StencilExecution::new(q, TuningVector::new(128, 128, 128, 0, 1)).unwrap();
+/// // One whole-domain tile serializes the machine; blocking wins big.
+/// assert!(machine.execute(&bad).seconds > 4.0 * machine.execute(&good).seconds);
+/// // Measurements are deterministic per (execution, repetition).
+/// assert_eq!(machine.execute(&good).seconds, machine.execute(&good).seconds);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Machine {
+    spec: MachineSpec,
+    noise: NoiseModel,
+}
+
+impl Machine {
+    /// A machine with explicit spec and noise.
+    pub fn new(spec: MachineSpec, noise: NoiseModel) -> Self {
+        Machine { spec, noise }
+    }
+
+    /// The paper's testbed with default noise.
+    pub fn xeon_e5_2680_v3() -> Self {
+        Machine { spec: MachineSpec::xeon_e5_2680_v3(), noise: NoiseModel::default() }
+    }
+
+    /// The paper's testbed without measurement noise.
+    pub fn noiseless() -> Self {
+        Machine { spec: MachineSpec::xeon_e5_2680_v3(), noise: NoiseModel::disabled() }
+    }
+
+    /// The hardware description.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// The noise model.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// "Runs" the execution once (repetition 0) and reports the measurement.
+    pub fn execute(&self, exec: &StencilExecution) -> Measurement {
+        self.execute_rep(exec, 0)
+    }
+
+    /// "Runs" repetition `rep`; different repetitions draw different noise.
+    pub fn execute_rep(&self, exec: &StencilExecution, rep: u32) -> Measurement {
+        let cost = simulate(&self.spec, exec);
+        let seconds = cost.total * self.noise.factor(exec, rep);
+        Measurement { seconds, gflops: exec.gflops(seconds) }
+    }
+
+    /// Median of `reps` repeated measurements — what a careful benchmark
+    /// harness would report.
+    pub fn execute_median(&self, exec: &StencilExecution, reps: u32) -> Measurement {
+        assert!(reps > 0, "need at least one repetition");
+        let mut times: Vec<f64> =
+            (0..reps).map(|r| self.execute_rep(exec, r).seconds).collect();
+        times.sort_by(f64::total_cmp);
+        let seconds = times[times.len() / 2];
+        Measurement { seconds, gflops: exec.gflops(seconds) }
+    }
+
+    /// The noiseless cost decomposition (for tests and ablations).
+    pub fn cost(&self, exec: &StencilExecution) -> CostBreakdown {
+        simulate(&self.spec, exec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_model::{GridSize, StencilInstance, StencilKernel, TuningVector};
+
+    fn exec() -> StencilExecution {
+        StencilExecution::new(
+            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap(),
+            TuningVector::new(32, 32, 16, 2, 2),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn execute_is_deterministic() {
+        let m = Machine::xeon_e5_2680_v3();
+        let e = exec();
+        assert_eq!(m.execute(&e).seconds, m.execute(&e).seconds);
+    }
+
+    #[test]
+    fn noiseless_matches_cost_model() {
+        let m = Machine::noiseless();
+        let e = exec();
+        assert_eq!(m.execute(&e).seconds, m.cost(&e).total);
+    }
+
+    #[test]
+    fn repetitions_differ_under_noise() {
+        let m = Machine::xeon_e5_2680_v3();
+        let e = exec();
+        assert_ne!(m.execute_rep(&e, 0).seconds, m.execute_rep(&e, 1).seconds);
+    }
+
+    #[test]
+    fn median_is_stabler_than_single_shot() {
+        let m = Machine::xeon_e5_2680_v3();
+        let e = exec();
+        let truth = m.cost(&e).total;
+        let med = m.execute_median(&e, 9).seconds;
+        // Median of 9 log-normal draws at sigma 8% stays within ~2 standard
+        // errors (1.25 * sigma / sqrt(9) ~ 3.3% each).
+        assert!((med / truth - 1.0).abs() < 0.08, "median {med} vs truth {truth}");
+    }
+
+    #[test]
+    fn gflops_consistent_with_seconds() {
+        let m = Machine::xeon_e5_2680_v3();
+        let e = exec();
+        let meas = m.execute(&e);
+        assert!((meas.gflops - e.gflops(meas.seconds)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_reps_panics() {
+        Machine::noiseless().execute_median(&exec(), 0);
+    }
+}

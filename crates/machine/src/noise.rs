@@ -1,0 +1,207 @@
+//! Deterministic measurement noise.
+//!
+//! Real runtime measurements scatter; rankings built from them contain ties
+//! and inversions near the noise floor, which the learner must tolerate.
+//! The simulator therefore applies multiplicative log-normal noise whose
+//! RNG is seeded from a stable fingerprint of the execution itself, so that
+//! the same `(machine seed, execution, repetition)` always reproduces the
+//! same "measurement" — across runs and across platforms.
+
+use serde::{Deserialize, Serialize};
+use stencil_model::StencilExecution;
+
+/// Multiplicative log-normal noise, `exp(sigma * z)` with `z ~ N(0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Log-scale standard deviation. The default 0.08 (~8% run-to-run
+    /// scatter) matches multi-threaded stencil measurements on a shared
+    /// 12-core socket; it is what makes training rankings imperfect and
+    /// search results plateau, as on the paper's real testbed.
+    pub sigma: f64,
+    /// Machine-level seed mixed into every fingerprint.
+    pub seed: u64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel { sigma: 0.08, seed: 0x0053_5445_4E43_494C_u64 } // "STENCIL"
+    }
+}
+
+impl NoiseModel {
+    /// A noise-free model (useful for calibration and monotonicity tests).
+    pub fn disabled() -> Self {
+        NoiseModel { sigma: 0.0, seed: 0 }
+    }
+
+    /// The multiplicative factor for `exec` at repetition `rep`.
+    pub fn factor(&self, exec: &StencilExecution, rep: u32) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        let h = fingerprint(exec, self.seed, rep);
+        let z = standard_normal(h);
+        (self.sigma * z).exp()
+    }
+}
+
+/// FNV-1a over the semantic content of the execution (pattern cells,
+/// buffers, dtype, size, tuning), the machine seed and the repetition
+/// index. Kernel *names* are deliberately excluded: two kernels with equal
+/// structure measure identically.
+pub fn fingerprint(exec: &StencilExecution, seed: u64, rep: u32) -> u64 {
+    let mut h = Fnv::new(seed);
+    let k = exec.instance().kernel();
+    for (o, c) in k.pattern().iter() {
+        h.write_i64(o.dx as i64);
+        h.write_i64(o.dy as i64);
+        h.write_i64(o.dz as i64);
+        h.write_u64(c as u64);
+    }
+    h.write_u64(k.buffers() as u64);
+    h.write_u64(k.dtype().bytes() as u64);
+    for v in exec.instance().size().as_array() {
+        h.write_u64(v as u64);
+    }
+    for v in exec.tuning().as_array() {
+        h.write_u64(v as u64);
+    }
+    h.write_u64(rep as u64);
+    h.finish()
+}
+
+/// A standard normal variate derived from a hash via Box-Muller on two
+/// splitmix64 streams.
+fn standard_normal(h: u64) -> f64 {
+    let u1 = to_unit(splitmix64(h));
+    let u2 = to_unit(splitmix64(h ^ 0x9E37_79B9_7F4A_7C15));
+    // Guard u1 away from zero for the logarithm.
+    let u1 = u1.max(1e-12);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn to_unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Minimal FNV-1a 64-bit hasher (stable across platforms and versions,
+/// unlike `DefaultHasher`).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new(seed: u64) -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325 ^ seed)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_model::{GridSize, StencilInstance, StencilKernel, TuningVector};
+
+    fn sample_exec(t: TuningVector) -> StencilExecution {
+        StencilExecution::new(
+            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(64)).unwrap(),
+            t,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_is_deterministic() {
+        let n = NoiseModel::default();
+        let e = sample_exec(TuningVector::new(16, 16, 16, 2, 2));
+        assert_eq!(n.factor(&e, 0), n.factor(&e, 0));
+        assert_ne!(n.factor(&e, 0), n.factor(&e, 1));
+    }
+
+    #[test]
+    fn different_tunings_get_different_noise() {
+        let n = NoiseModel::default();
+        let a = sample_exec(TuningVector::new(16, 16, 16, 2, 2));
+        let b = sample_exec(TuningVector::new(16, 16, 16, 2, 4));
+        assert_ne!(n.factor(&a, 0), n.factor(&b, 0));
+    }
+
+    #[test]
+    fn seed_changes_noise() {
+        let e = sample_exec(TuningVector::new(16, 16, 16, 2, 2));
+        let a = NoiseModel { sigma: 0.05, seed: 1 };
+        let b = NoiseModel { sigma: 0.05, seed: 2 };
+        assert_ne!(a.factor(&e, 0), b.factor(&e, 0));
+    }
+
+    #[test]
+    fn disabled_noise_is_identity() {
+        let e = sample_exec(TuningVector::new(16, 16, 16, 2, 2));
+        assert_eq!(NoiseModel::disabled().factor(&e, 0), 1.0);
+    }
+
+    #[test]
+    fn noise_magnitude_matches_sigma() {
+        // Empirical std of log-factors over many reps should be near sigma.
+        let n = NoiseModel { sigma: 0.05, seed: 7 };
+        let e = sample_exec(TuningVector::new(16, 16, 16, 2, 2));
+        let logs: Vec<f64> = (0..4000).map(|r| n.factor(&e, r).ln()).collect();
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / logs.len() as f64;
+        let std = var.sqrt();
+        assert!((std - 0.05).abs() < 0.01, "std {std}");
+        assert!(mean.abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn fingerprint_ignores_kernel_name() {
+        let k1 = StencilKernel::laplacian();
+        let k2 = StencilKernel::new("renamed", k1.pattern().clone(), 1, k1.dtype()).unwrap();
+        let t = TuningVector::new(16, 16, 16, 2, 2);
+        let e1 = StencilExecution::new(
+            StencilInstance::new(k1, GridSize::cube(64)).unwrap(),
+            t,
+        )
+        .unwrap();
+        let e2 = StencilExecution::new(
+            StencilInstance::new(k2, GridSize::cube(64)).unwrap(),
+            t,
+        )
+        .unwrap();
+        assert_eq!(fingerprint(&e1, 0, 0), fingerprint(&e2, 0, 0));
+    }
+
+    #[test]
+    fn fingerprint_sees_size() {
+        let k = StencilKernel::laplacian();
+        let t = TuningVector::new(16, 16, 16, 2, 2);
+        let mk = |n: u32| {
+            StencilExecution::new(
+                StencilInstance::new(k.clone(), GridSize::cube(n)).unwrap(),
+                t,
+            )
+            .unwrap()
+        };
+        assert_ne!(fingerprint(&mk(64), 0, 0), fingerprint(&mk(128), 0, 0));
+    }
+}

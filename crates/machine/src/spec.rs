@@ -1,0 +1,181 @@
+//! Machine descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware parameters of the simulated machine.
+///
+/// The default instance mirrors the paper's testbed: a 12-core Intel Xeon
+/// E5-2680 v3 at 2.5 GHz with AVX2, 256 KiB of private L2 per core, a
+/// 30 MiB shared L3 and 32 GiB of RAM. The bandwidth and efficiency knobs
+/// below are *effective* model constants calibrated against the paper's
+/// reported GFlop/s ranges, not datasheet values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Worker cores (threads used by the runtime).
+    pub cores: u32,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// SIMD register width in bytes (32 = AVX2).
+    pub simd_bytes: u32,
+    /// FMA throughput in vector operations per cycle per core (2 on Haswell).
+    pub fma_per_cycle: f64,
+    /// Private L2 capacity per core in bytes.
+    pub l2_bytes: u64,
+    /// Shared L3 capacity in bytes.
+    pub l3_bytes: u64,
+    /// Effective DRAM bandwidth for stencil streams, bytes/s (all cores).
+    pub dram_bw: f64,
+    /// Effective L3 bandwidth for intra-tile refetches, bytes/s.
+    pub l3_bw: f64,
+    /// Fraction of peak FLOP throughput reachable by compiled stencil code.
+    pub base_efficiency: f64,
+    /// Fixed cost of entering/leaving a parallel region, seconds.
+    pub launch_overhead: f64,
+    /// Cost of popping one chunk from the shared work queue, seconds.
+    pub chunk_overhead: f64,
+    /// Fixed per-tile loop setup cost, seconds.
+    pub tile_overhead: f64,
+    /// Per-row (innermost-loop start) cost, seconds.
+    pub row_overhead: f64,
+}
+
+impl MachineSpec {
+    /// The paper's testbed: Xeon E5-2680 v3.
+    pub fn xeon_e5_2680_v3() -> Self {
+        MachineSpec {
+            name: "Intel Xeon E5-2680 v3 (simulated)".to_string(),
+            cores: 12,
+            freq_ghz: 2.5,
+            simd_bytes: 32,
+            fma_per_cycle: 2.0,
+            l2_bytes: 256 * 1024,
+            l3_bytes: 30 * 1024 * 1024,
+            dram_bw: 24.0e9,
+            l3_bw: 110.0e9,
+            base_efficiency: 0.09,
+            launch_overhead: 8.0e-6,
+            chunk_overhead: 150.0e-9,
+            tile_overhead: 150.0e-9,
+            row_overhead: 4.0e-9,
+        }
+    }
+
+    /// A many-core wide-SIMD accelerator in the spirit of the Xeon Phi the
+    /// paper names as a PATUS-supported retraining target: 60 slower cores,
+    /// 512-bit vectors, small per-core caches, high aggregate bandwidth.
+    /// Retraining the ranker against this spec demonstrates the autotuner's
+    /// performance portability story.
+    pub fn phi_like() -> Self {
+        MachineSpec {
+            name: "many-core wide-SIMD accelerator (simulated)".to_string(),
+            cores: 60,
+            freq_ghz: 1.2,
+            simd_bytes: 64,
+            fma_per_cycle: 1.0,
+            l2_bytes: 512 * 1024, // shared by core pairs; modelled per core
+            l3_bytes: 0,          // no L3: L2 misses go to memory
+            dram_bw: 90.0e9,
+            l3_bw: 90.0e9,
+            base_efficiency: 0.06,
+            launch_overhead: 25.0e-6,
+            chunk_overhead: 400.0e-9,
+            tile_overhead: 300.0e-9,
+            row_overhead: 8.0e-9,
+        }
+    }
+
+    /// A small embedded quad-core: narrow SIMD, tiny caches, thin memory
+    /// bus. The third corner of the portability experiment.
+    pub fn embedded_quad() -> Self {
+        MachineSpec {
+            name: "embedded quad-core (simulated)".to_string(),
+            cores: 4,
+            freq_ghz: 1.5,
+            simd_bytes: 16,
+            fma_per_cycle: 1.0,
+            l2_bytes: 64 * 1024,
+            l3_bytes: 1024 * 1024,
+            dram_bw: 6.0e9,
+            l3_bw: 20.0e9,
+            base_efficiency: 0.12,
+            launch_overhead: 4.0e-6,
+            chunk_overhead: 100.0e-9,
+            tile_overhead: 120.0e-9,
+            row_overhead: 3.0e-9,
+        }
+    }
+
+    /// Peak FLOP/s of one core for elements of `bytes` width
+    /// (`freq * lanes * fma_per_cycle * 2` — multiply and add per FMA).
+    pub fn peak_flops_core(&self, bytes: u32) -> f64 {
+        let lanes = (self.simd_bytes / bytes) as f64;
+        self.freq_ghz * 1e9 * lanes * self.fma_per_cycle * 2.0
+    }
+
+    /// L3 capacity available to one core when all cores are active.
+    pub fn l3_share(&self) -> f64 {
+        self.l3_bytes as f64 / self.cores as f64
+    }
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        Self::xeon_e5_2680_v3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_matches_paper_description() {
+        let m = MachineSpec::xeon_e5_2680_v3();
+        assert_eq!(m.cores, 12);
+        assert_eq!(m.freq_ghz, 2.5);
+        assert_eq!(m.l2_bytes, 256 * 1024);
+    }
+
+    #[test]
+    fn peak_flops() {
+        let m = MachineSpec::xeon_e5_2680_v3();
+        // f64: 4 lanes x 2 FMA x 2 flops x 2.5 GHz = 40 GF/core.
+        assert!((m.peak_flops_core(8) - 40.0e9).abs() < 1e-3);
+        // f32 doubles the lanes.
+        assert!((m.peak_flops_core(4) - 80.0e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn l3_share_divides_by_cores() {
+        let m = MachineSpec::xeon_e5_2680_v3();
+        assert!((m.l3_share() - 2.5 * 1024.0 * 1024.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = MachineSpec::default();
+        let back: MachineSpec = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn alternative_machines_are_distinct() {
+        let xeon = MachineSpec::xeon_e5_2680_v3();
+        let phi = MachineSpec::phi_like();
+        let quad = MachineSpec::embedded_quad();
+        assert!(phi.cores > xeon.cores);
+        assert!(phi.simd_bytes > xeon.simd_bytes);
+        assert!(quad.cores < xeon.cores);
+        assert!(quad.dram_bw < xeon.dram_bw);
+        // Peak per-core flops ordering: Xeon > Phi core > embedded core (f64).
+        assert!(xeon.peak_flops_core(8) > phi.peak_flops_core(8));
+        assert!(phi.peak_flops_core(8) > quad.peak_flops_core(8));
+    }
+
+    #[test]
+    fn phi_without_l3_has_zero_share() {
+        assert_eq!(MachineSpec::phi_like().l3_share(), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Buffer element types.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of the stencil buffers.
+///
+/// The paper assumes homogeneous buffers (all buffers of a kernel share one
+/// type) and encodes the type as a single binary feature: 0 for `float`,
+/// 1 for `double`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float (`float`).
+    F32,
+    /// 64-bit IEEE float (`double`).
+    F64,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn bytes(&self) -> u32 {
+        match self {
+            DType::F32 => 4,
+            DType::F64 => 8,
+        }
+    }
+
+    /// The paper's binary feature value.
+    pub const fn feature(&self) -> f64 {
+        match self {
+            DType::F32 => 0.0,
+            DType::F64 => 1.0,
+        }
+    }
+
+    /// Inverse of [`feature`](Self::feature) with midpoint rounding.
+    pub fn from_feature(v: f64) -> DType {
+        if v >= 0.5 {
+            DType::F64
+        } else {
+            DType::F32
+        }
+    }
+
+    /// SIMD lanes for a given vector register width in bytes (e.g. 32 for AVX2).
+    pub const fn lanes(&self, vector_bytes: u32) -> u32 {
+        vector_bytes / self.bytes()
+    }
+
+    /// C type name, used by the code emitter.
+    pub const fn c_name(&self) -> &'static str {
+        match self {
+            DType::F32 => "float",
+            DType::F64 => "double",
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.c_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_features() {
+        assert_eq!(DType::F32.bytes(), 4);
+        assert_eq!(DType::F64.bytes(), 8);
+        assert_eq!(DType::F32.feature(), 0.0);
+        assert_eq!(DType::F64.feature(), 1.0);
+    }
+
+    #[test]
+    fn feature_roundtrip() {
+        for d in [DType::F32, DType::F64] {
+            assert_eq!(DType::from_feature(d.feature()), d);
+        }
+    }
+
+    #[test]
+    fn avx2_lanes() {
+        assert_eq!(DType::F32.lanes(32), 8);
+        assert_eq!(DType::F64.lanes(32), 4);
+    }
+
+    #[test]
+    fn c_names() {
+        assert_eq!(DType::F32.to_string(), "float");
+        assert_eq!(DType::F64.to_string(), "double");
+    }
+}

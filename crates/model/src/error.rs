@@ -1,0 +1,58 @@
+//! Error type shared by the modeling layer.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating stencil model objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A stencil pattern violated a structural requirement.
+    InvalidPattern(String),
+    /// A kernel/size/tuning combination is dimensionally inconsistent
+    /// (e.g. a 2-D kernel paired with a 3-D grid).
+    DimMismatch { expected: u8, found: u8 },
+    /// A scalar parameter fell outside its admissible range.
+    OutOfRange { what: &'static str, value: i64, lo: i64, hi: i64 },
+    /// A feature vector could not be decoded back into a stencil execution.
+    DecodeError(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidPattern(msg) => write!(f, "invalid stencil pattern: {msg}"),
+            ModelError::DimMismatch { expected, found } => {
+                write!(f, "dimensionality mismatch: expected {expected}-D, found {found}-D")
+            }
+            ModelError::OutOfRange { what, value, lo, hi } => {
+                write!(f, "{what} = {value} outside [{lo}, {hi}]")
+            }
+            ModelError::DecodeError(msg) => write!(f, "feature decode error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = ModelError::InvalidPattern("empty".into());
+        assert!(e.to_string().contains("empty"));
+        let e = ModelError::DimMismatch { expected: 2, found: 3 };
+        assert!(e.to_string().contains("expected 2-D"));
+        let e = ModelError::OutOfRange { what: "bx", value: 4096, lo: 2, hi: 1024 };
+        assert!(e.to_string().contains("bx"));
+        assert!(e.to_string().contains("4096"));
+        let e = ModelError::DecodeError("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ModelError::InvalidPattern("x".into()));
+    }
+}

@@ -1,0 +1,139 @@
+//! Stencil executions: the triple `(k, s, t)`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::instance::StencilInstance;
+use crate::tuning::{TuningSpace, TuningVector};
+
+/// A fully specified stencil run: an instance plus the tuning applied to it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StencilExecution {
+    instance: StencilInstance,
+    tuning: TuningVector,
+}
+
+impl StencilExecution {
+    /// Pairs an instance with a tuning vector, enforcing that the tuning is
+    /// admissible for the instance's dimensionality (in particular `bz = 1`
+    /// for 2-D stencils).
+    pub fn new(instance: StencilInstance, tuning: TuningVector) -> Result<Self, ModelError> {
+        let space = TuningSpace::for_dim(instance.dim())?;
+        if !space.contains(&tuning) {
+            return Err(ModelError::OutOfRange {
+                what: "tuning vector",
+                value: tuning.tile_points() as i64,
+                lo: space.block_min as i64,
+                hi: space.block_max as i64,
+            });
+        }
+        Ok(StencilExecution { instance, tuning })
+    }
+
+    /// The instance `q = (k, s)`.
+    pub fn instance(&self) -> &StencilInstance {
+        &self.instance
+    }
+
+    /// The tuning vector `t`.
+    pub fn tuning(&self) -> TuningVector {
+        self.tuning
+    }
+
+    /// Effective block extents after clipping each block to the grid: a
+    /// 1024-wide block on a 256-wide axis behaves like a 256 block.
+    pub fn effective_blocks(&self) -> (u32, u32, u32) {
+        let s = self.instance.size();
+        (self.tuning.bx.min(s.x), self.tuning.by.min(s.y), self.tuning.bz.min(s.z))
+    }
+
+    /// Number of tiles the blocked iteration space decomposes into.
+    pub fn tile_count(&self) -> u64 {
+        let s = self.instance.size();
+        let (bx, by, bz) = self.effective_blocks();
+        let t = |n: u32, b: u32| n.div_ceil(b) as u64;
+        t(s.x, bx) * t(s.y, by) * t(s.z, bz)
+    }
+
+    /// Number of chunks handed to the thread pool (`ceil(tiles / c)`).
+    pub fn chunk_count(&self) -> u64 {
+        self.tile_count().div_ceil(self.tuning.c as u64)
+    }
+
+    /// Total floating point work of the execution.
+    pub fn total_flops(&self) -> u64 {
+        self.instance.total_flops()
+    }
+
+    /// GFlop/s achieved for a measured/simulated runtime in seconds.
+    pub fn gflops(&self, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_flops() as f64 / seconds / 1e9
+    }
+}
+
+impl fmt::Display for StencilExecution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.instance, self.tuning)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::StencilKernel;
+    use crate::size::GridSize;
+
+    fn lap128() -> StencilInstance {
+        StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap()
+    }
+
+    #[test]
+    fn rejects_inadmissible_tuning() {
+        // bz must be 1 for a 2-D stencil.
+        let blur = StencilInstance::new(StencilKernel::blur(), GridSize::square(512)).unwrap();
+        assert!(StencilExecution::new(blur.clone(), TuningVector::new(8, 8, 8, 0, 1)).is_err());
+        assert!(StencilExecution::new(blur, TuningVector::new(8, 8, 1, 0, 1)).is_ok());
+        // ... and a 3-D stencil needs bz >= 2.
+        assert!(StencilExecution::new(lap128(), TuningVector::new(8, 8, 1, 0, 1)).is_err());
+    }
+
+    #[test]
+    fn tile_count_with_exact_division() {
+        let e = StencilExecution::new(lap128(), TuningVector::new(32, 16, 8, 0, 1)).unwrap();
+        assert_eq!(e.tile_count(), (128 / 32) * (128 / 16) * (128 / 8));
+    }
+
+    #[test]
+    fn tile_count_with_remainder_uses_ceiling() {
+        let e = StencilExecution::new(lap128(), TuningVector::new(48, 128, 128, 0, 1)).unwrap();
+        assert_eq!(e.tile_count(), 3); // ceil(128/48) = 3
+    }
+
+    #[test]
+    fn oversized_blocks_clip_to_grid() {
+        let e = StencilExecution::new(lap128(), TuningVector::new(1024, 1024, 1024, 0, 1)).unwrap();
+        assert_eq!(e.effective_blocks(), (128, 128, 128));
+        assert_eq!(e.tile_count(), 1);
+    }
+
+    #[test]
+    fn chunk_count_ceils() {
+        let e = StencilExecution::new(lap128(), TuningVector::new(32, 32, 32, 0, 3)).unwrap();
+        assert_eq!(e.tile_count(), 64);
+        assert_eq!(e.chunk_count(), 22); // ceil(64/3)
+    }
+
+    #[test]
+    fn gflops_accounting() {
+        let e = StencilExecution::new(lap128(), TuningVector::new(32, 32, 32, 0, 1)).unwrap();
+        let flops = e.total_flops() as f64;
+        assert!((e.gflops(1.0) - flops / 1e9).abs() < 1e-9);
+        assert_eq!(e.gflops(0.0), 0.0);
+        assert_eq!(e.gflops(-1.0), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Stencil instances `q = (k, s)`: a kernel bound to a concrete input size.
+//!
+//! An instance is the *query* of the ranking problem: executions of the same
+//! instance are comparable (they form a partial ranking); executions of
+//! different instances are not.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::kernel::StencilKernel;
+use crate::size::GridSize;
+
+/// A stencil kernel together with an input size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StencilInstance {
+    kernel: StencilKernel,
+    size: GridSize,
+}
+
+impl StencilInstance {
+    /// Binds `kernel` to `size`, checking dimensional consistency: a 2-D
+    /// kernel requires a planar grid, a 3-D kernel a volumetric one, and the
+    /// grid must be strictly larger than the stencil footprint on every axis.
+    pub fn new(kernel: StencilKernel, size: GridSize) -> Result<Self, ModelError> {
+        size.validate()?;
+        if kernel.dim() == 2 && !size.is_2d() {
+            return Err(ModelError::DimMismatch { expected: 2, found: 3 });
+        }
+        if kernel.dim() == 3 && size.is_2d() {
+            return Err(ModelError::DimMismatch { expected: 3, found: 2 });
+        }
+        let (rx, ry, rz) = kernel.pattern().radius_per_axis();
+        let min_extent = |r: u32| 2 * r + 1;
+        if size.x < min_extent(rx) || size.y < min_extent(ry) || size.z < min_extent(rz) {
+            return Err(ModelError::InvalidPattern(format!(
+                "grid {} too small for pattern radius ({rx},{ry},{rz})",
+                size
+            )));
+        }
+        Ok(StencilInstance { kernel, size })
+    }
+
+    /// The kernel `k`.
+    pub fn kernel(&self) -> &StencilKernel {
+        &self.kernel
+    }
+
+    /// The input size `s`.
+    pub fn size(&self) -> GridSize {
+        self.size
+    }
+
+    /// Dimensionality of the computation (2 or 3).
+    pub fn dim(&self) -> u8 {
+        self.kernel.dim()
+    }
+
+    /// Total floating-point work of one sweep over the grid.
+    pub fn total_flops(&self) -> u64 {
+        self.kernel.flops_per_point() * self.size.points()
+    }
+
+    /// A stable identifier such as `"laplacian/128x128x128"`, used to group
+    /// executions into partial rankings.
+    pub fn id(&self) -> String {
+        format!("{}/{}", self.kernel.name(), self.size)
+    }
+}
+
+impl fmt::Display for StencilInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_consistency_is_enforced() {
+        assert!(StencilInstance::new(StencilKernel::blur(), GridSize::cube(64)).is_err());
+        assert!(StencilInstance::new(StencilKernel::laplacian(), GridSize::square(512)).is_err());
+        assert!(StencilInstance::new(StencilKernel::blur(), GridSize::square(512)).is_ok());
+        assert!(StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(64)).is_ok());
+    }
+
+    #[test]
+    fn grid_must_exceed_footprint() {
+        // laplacian6 has radius 3 -> needs at least 7 points per axis.
+        assert!(StencilInstance::new(StencilKernel::laplacian6(), GridSize::cube(6)).is_err());
+        assert!(StencilInstance::new(StencilKernel::laplacian6(), GridSize::cube(7)).is_ok());
+    }
+
+    #[test]
+    fn total_flops() {
+        let q = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(64)).unwrap();
+        assert_eq!(q.total_flops(), 14 * 64 * 64 * 64);
+    }
+
+    #[test]
+    fn id_is_stable() {
+        let q = StencilInstance::new(StencilKernel::blur(), GridSize::d2(1024, 768)).unwrap();
+        assert_eq!(q.id(), "blur/1024x768");
+        assert_eq!(q.to_string(), "blur/1024x768");
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        assert!(StencilInstance::new(StencilKernel::blur(), GridSize::d2(0, 5)).is_err());
+    }
+}

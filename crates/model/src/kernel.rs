@@ -1,0 +1,271 @@
+//! Stencil kernels `k = (s, b, d)`: a pattern, a buffer count and an element
+//! type, as defined in paper Section III-A.
+//!
+//! The constructors for the nine evaluation kernels of Table III live here so
+//! that the execution engine, the simulated machine and the experiment
+//! harness all agree on their shapes:
+//!
+//! | kernel      | type | shape                                | buffers | type  |
+//! |-------------|------|--------------------------------------|---------|-------|
+//! | blur        | 2-D  | 5x5 hypercube                        | 1       | float |
+//! | edge        | 2-D  | 3x3 hypercube                        | 1       | float |
+//! | game-of-life| 2-D  | 3x3 hypercube                        | 1       | float |
+//! | wave        | 3-D  | 13-pt laplacian + 1                  | 1 (+1)  | float |
+//! | tricubic    | 3-D  | 4x4x4 hypercube                      | 3       | float |
+//! | divergence  | 3-D  | 6-pt laplacian (centre not read)     | 3       | double|
+//! | gradient    | 3-D  | 6-pt laplacian (centre not read)     | 1       | double|
+//! | laplacian   | 3-D  | 7-pt laplacian                       | 1       | double|
+//! | laplacian6  | 3-D  | 19-pt laplacian                      | 1       | double|
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dtype::DType;
+use crate::error::ModelError;
+use crate::pattern::{Offset, StencilPattern};
+use crate::shape::{Axis, ShapeFamily};
+
+/// A stencil kernel: the static part of a stencil computation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StencilKernel {
+    name: String,
+    pattern: StencilPattern,
+    buffers: u8,
+    dtype: DType,
+}
+
+impl StencilKernel {
+    /// Creates a kernel, validating that the pattern is non-empty and the
+    /// buffer count is at least one.
+    pub fn new(
+        name: impl Into<String>,
+        pattern: StencilPattern,
+        buffers: u8,
+        dtype: DType,
+    ) -> Result<Self, ModelError> {
+        if pattern.is_empty() {
+            return Err(ModelError::InvalidPattern("kernel pattern must be non-empty".into()));
+        }
+        if buffers == 0 {
+            return Err(ModelError::OutOfRange { what: "buffers", value: 0, lo: 1, hi: 8 });
+        }
+        Ok(StencilKernel { name: name.into(), pattern, buffers, dtype })
+    }
+
+    /// Kernel identifier (unique within a corpus).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The combined access pattern.
+    pub fn pattern(&self) -> &StencilPattern {
+        &self.pattern
+    }
+
+    /// Number of input buffers read per update.
+    pub fn buffers(&self) -> u8 {
+        self.buffers
+    }
+
+    /// Element type of all buffers.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Geometric dimensionality of the kernel (2 or 3).
+    pub fn dim(&self) -> u8 {
+        self.pattern.dim()
+    }
+
+    /// Floating point operations per updated grid point. We count one
+    /// multiply and one add per access (a fused multiply-add pair), the same
+    /// accounting PATUS uses for its GFlop/s reports.
+    pub fn flops_per_point(&self) -> u64 {
+        2 * self.pattern.total_accesses() as u64
+    }
+
+    /// Bytes of input data nominally read per point (before caching).
+    pub fn bytes_read_per_point(&self) -> u64 {
+        self.pattern.total_accesses() as u64 * self.dtype.bytes() as u64
+    }
+
+    // ---- Table III kernels -------------------------------------------------
+
+    /// 2-D 5x5 box blur, 1 float buffer.
+    pub fn blur() -> Self {
+        Self::new("blur", ShapeFamily::Hypercube.build(2, 2).unwrap(), 1, DType::F32).unwrap()
+    }
+
+    /// 2-D 3x3 edge detection (convolution), 1 float buffer.
+    pub fn edge() -> Self {
+        Self::new("edge", ShapeFamily::Hypercube.build(2, 1).unwrap(), 1, DType::F32).unwrap()
+    }
+
+    /// Conway's game of life on a float grid, 3x3 neighbourhood.
+    pub fn game_of_life() -> Self {
+        Self::new("game-of-life", ShapeFamily::Hypercube.build(2, 1).unwrap(), 1, DType::F32)
+            .unwrap()
+    }
+
+    /// 3-D wave equation: 13-point laplacian on `u(t)` plus the centre point
+    /// of `u(t-1)`; the paper counts it as one read buffer ("+1").
+    pub fn wave() -> Self {
+        let mut p = ShapeFamily::Laplacian.build(3, 2).unwrap();
+        p.add(Offset::ORIGIN); // the u(t-1) centre access
+        Self::new("wave", p, 1, DType::F32).unwrap()
+    }
+
+    /// Tricubic interpolation: 4x4x4 neighbourhood (offsets -1..=2), 3 float
+    /// buffers.
+    pub fn tricubic() -> Self {
+        let mut p = StencilPattern::new();
+        for dz in -1..=2 {
+            for dy in -1..=2 {
+                for dx in -1..=2 {
+                    p.add(Offset::new(dx, dy, dz));
+                }
+            }
+        }
+        Self::new("tricubic", p, 3, DType::F32).unwrap()
+    }
+
+    /// Divergence operator: three buffers each read along one axis; the
+    /// combined pattern is the 6-point star without the centre, with each
+    /// buffer contributing a 2-point line.
+    pub fn divergence() -> Self {
+        let mut p = StencilPattern::new();
+        for axis in Axis::ALL {
+            p.add(axis.offset(1));
+            p.add(axis.offset(-1));
+        }
+        Self::new("divergence", p, 3, DType::F64).unwrap()
+    }
+
+    /// Gradient magnitude: 6-point star without the centre, 1 double buffer.
+    pub fn gradient() -> Self {
+        let mut p = StencilPattern::new();
+        for axis in Axis::ALL {
+            p.add(axis.offset(1));
+            p.add(axis.offset(-1));
+        }
+        Self::new("gradient", p, 1, DType::F64).unwrap()
+    }
+
+    /// Classic 7-point laplacian, 1 double buffer.
+    pub fn laplacian() -> Self {
+        Self::new("laplacian", ShapeFamily::Laplacian.build(3, 1).unwrap(), 1, DType::F64).unwrap()
+    }
+
+    /// 6th-order 19-point laplacian, 1 double buffer.
+    pub fn laplacian6() -> Self {
+        Self::new("laplacian6", ShapeFamily::Laplacian.build(3, 3).unwrap(), 1, DType::F64)
+            .unwrap()
+    }
+
+    /// All nine Table III kernels in paper order.
+    pub fn table3_kernels() -> Vec<StencilKernel> {
+        vec![
+            Self::blur(),
+            Self::edge(),
+            Self::game_of_life(),
+            Self::wave(),
+            Self::tricubic(),
+            Self::divergence(),
+            Self::gradient(),
+            Self::laplacian(),
+            Self::laplacian6(),
+        ]
+    }
+}
+
+impl fmt::Display for StencilKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} | {} buffer(s) | {}]",
+            self.name,
+            self.pattern.summary(),
+            self.buffers,
+            self.dtype
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_empty_pattern_and_zero_buffers() {
+        assert!(StencilKernel::new("x", StencilPattern::new(), 1, DType::F32).is_err());
+        let p = StencilPattern::from_points([(0, 0, 0)]);
+        assert!(StencilKernel::new("x", p, 0, DType::F32).is_err());
+    }
+
+    #[test]
+    fn table3_shapes_match_paper() {
+        assert_eq!(StencilKernel::blur().pattern().len(), 25);
+        assert_eq!(StencilKernel::blur().dim(), 2);
+        assert_eq!(StencilKernel::edge().pattern().len(), 9);
+        assert_eq!(StencilKernel::game_of_life().pattern().len(), 9);
+        // 13-point laplacian + 1 extra centre access.
+        let wave = StencilKernel::wave();
+        assert_eq!(wave.pattern().len(), 13);
+        assert_eq!(wave.pattern().total_accesses(), 14);
+        assert_eq!(StencilKernel::tricubic().pattern().len(), 64);
+        assert_eq!(StencilKernel::tricubic().buffers(), 3);
+        let div = StencilKernel::divergence();
+        assert_eq!(div.pattern().len(), 6);
+        assert!(!div.pattern().reads_center());
+        assert_eq!(div.buffers(), 3);
+        assert_eq!(div.dtype(), DType::F64);
+        let grad = StencilKernel::gradient();
+        assert_eq!(grad.pattern().len(), 6);
+        assert!(!grad.pattern().reads_center());
+        assert_eq!(grad.buffers(), 1);
+        assert_eq!(StencilKernel::laplacian().pattern().len(), 7);
+        assert_eq!(StencilKernel::laplacian6().pattern().len(), 19);
+        assert_eq!(StencilKernel::laplacian6().pattern().radius(), 3);
+    }
+
+    #[test]
+    fn table3_has_nine_kernels_with_unique_names() {
+        let ks = StencilKernel::table3_kernels();
+        assert_eq!(ks.len(), 9);
+        let mut names: Vec<_> = ks.iter().map(|k| k.name().to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn flops_counting() {
+        // 7-point laplacian: 14 flops/point (7 FMA pairs).
+        assert_eq!(StencilKernel::laplacian().flops_per_point(), 14);
+        // Wave counts its extra centre access: 14 accesses -> 28 flops.
+        assert_eq!(StencilKernel::wave().flops_per_point(), 28);
+    }
+
+    #[test]
+    fn bytes_read_depends_on_dtype() {
+        assert_eq!(StencilKernel::laplacian().bytes_read_per_point(), 7 * 8);
+        assert_eq!(StencilKernel::edge().bytes_read_per_point(), 9 * 4);
+    }
+
+    #[test]
+    fn display_mentions_name_and_shape() {
+        let s = StencilKernel::laplacian().to_string();
+        assert!(s.contains("laplacian"));
+        assert!(s.contains("7pt"));
+        assert!(s.contains("double"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let k = StencilKernel::tricubic();
+        let json = serde_json::to_string(&k).unwrap();
+        let back: StencilKernel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, k);
+    }
+}

@@ -1,0 +1,464 @@
+//! Stencil access patterns (*shapes*).
+//!
+//! A pattern records, relative to the updated point, which neighbouring grid
+//! points a stencil reads and how many times. The paper represents a pattern
+//! as a binary occupancy matrix of side `2R + 1` per dimension (`R` being the
+//! maximum neighbour offset) and, when a stencil reads several buffers with
+//! different shapes, as the *sum* of the per-buffer access matrices (its
+//! `divergence` benchmark is the one case where counts exceed one).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// A relative neighbour coordinate `(dx, dy, dz)`.
+///
+/// Two-dimensional stencils are embedded in 3-D space on the `dz = 0` plane,
+/// exactly as the paper maps all kernels into one feature space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Offset {
+    pub dx: i32,
+    pub dy: i32,
+    pub dz: i32,
+}
+
+impl Offset {
+    /// Creates an offset.
+    pub const fn new(dx: i32, dy: i32, dz: i32) -> Self {
+        Offset { dx, dy, dz }
+    }
+
+    /// The origin (the point being updated).
+    pub const ORIGIN: Offset = Offset::new(0, 0, 0);
+
+    /// Chebyshev norm: the largest absolute component.
+    pub fn radius(&self) -> u32 {
+        self.dx.unsigned_abs().max(self.dy.unsigned_abs()).max(self.dz.unsigned_abs())
+    }
+
+    /// Whether the offset lies in the `dz = 0` plane.
+    pub fn is_planar(&self) -> bool {
+        self.dz == 0
+    }
+}
+
+impl fmt::Display for Offset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.dx, self.dy, self.dz)
+    }
+}
+
+/// A sparse stencil access pattern: neighbour offsets with access counts.
+///
+/// The map is kept sorted so that iteration order, equality, hashing of the
+/// dense form, and feature encoding are all deterministic.
+///
+/// ```
+/// use stencil_model::StencilPattern;
+///
+/// // The paper's running example: a 2-D five-point laplacian.
+/// let p = StencilPattern::from_points([(0, -1, 0), (-1, 0, 0), (0, 0, 0), (1, 0, 0), (0, 1, 0)]);
+/// assert_eq!(p.len(), 5);
+/// assert_eq!(p.radius(), 1);
+/// assert!(p.is_planar());
+/// // Its dense radius-1 occupancy matrix has the familiar cross shape:
+/// let z0 = &p.dense(1).unwrap()[9..18];
+/// assert_eq!(z0, &[0, 1, 0, 1, 1, 1, 0, 1, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StencilPattern {
+    #[serde(with = "cells_as_pairs")]
+    cells: BTreeMap<Offset, u16>,
+}
+
+/// Serializes the cell map as a sequence of `(offset, count)` pairs so that
+/// formats with string-only map keys (JSON) can represent patterns.
+mod cells_as_pairs {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        cells: &BTreeMap<Offset, u16>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let pairs: Vec<(Offset, u16)> = cells.iter().map(|(&o, &c)| (o, c)).collect();
+        serde::Serialize::serialize(&pairs, ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<Offset, u16>, D::Error> {
+        let pairs: Vec<(Offset, u16)> = serde::Deserialize::deserialize(de)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl StencilPattern {
+    /// An empty pattern. Note that an empty pattern is not a valid kernel
+    /// shape; [`StencilKernel`](crate::kernel::StencilKernel) validates this.
+    pub fn new() -> Self {
+        StencilPattern { cells: BTreeMap::new() }
+    }
+
+    /// Builds a pattern from unit-count offsets. Duplicate offsets accumulate.
+    pub fn from_offsets<I: IntoIterator<Item = Offset>>(offsets: I) -> Self {
+        let mut p = StencilPattern::new();
+        for o in offsets {
+            p.add(o);
+        }
+        p
+    }
+
+    /// Builds a pattern from `(dx, dy, dz)` triples. Duplicates accumulate.
+    pub fn from_points<I: IntoIterator<Item = (i32, i32, i32)>>(points: I) -> Self {
+        Self::from_offsets(points.into_iter().map(|(x, y, z)| Offset::new(x, y, z)))
+    }
+
+    /// Registers one more access to `offset`.
+    pub fn add(&mut self, offset: Offset) {
+        *self.cells.entry(offset).or_insert(0) += 1;
+    }
+
+    /// Registers `count` accesses to `offset`.
+    pub fn add_count(&mut self, offset: Offset, count: u16) {
+        if count > 0 {
+            *self.cells.entry(offset).or_insert(0) += count;
+        }
+    }
+
+    /// Number of *distinct* accessed points.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no point is accessed.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total number of accesses (counts summed over all points); for a
+    /// single-buffer stencil this equals [`len`](Self::len).
+    pub fn total_accesses(&self) -> u32 {
+        self.cells.values().map(|&c| c as u32).sum()
+    }
+
+    /// Access count at `offset` (0 when not accessed).
+    pub fn count(&self, offset: Offset) -> u16 {
+        self.cells.get(&offset).copied().unwrap_or(0)
+    }
+
+    /// Whether `offset` is accessed at all.
+    pub fn contains(&self, offset: Offset) -> bool {
+        self.cells.contains_key(&offset)
+    }
+
+    /// Whether the updated point itself is read.
+    pub fn reads_center(&self) -> bool {
+        self.contains(Offset::ORIGIN)
+    }
+
+    /// Iterates over `(offset, count)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (Offset, u16)> + '_ {
+        self.cells.iter().map(|(&o, &c)| (o, c))
+    }
+
+    /// Iterates over the distinct offsets in deterministic order.
+    pub fn offsets(&self) -> impl Iterator<Item = Offset> + '_ {
+        self.cells.keys().copied()
+    }
+
+    /// Maximum Chebyshev radius over all accessed points.
+    pub fn radius(&self) -> u32 {
+        self.cells.keys().map(|o| o.radius()).max().unwrap_or(0)
+    }
+
+    /// Per-axis maximum absolute offset `(rx, ry, rz)`.
+    pub fn radius_per_axis(&self) -> (u32, u32, u32) {
+        let mut r = (0u32, 0u32, 0u32);
+        for o in self.cells.keys() {
+            r.0 = r.0.max(o.dx.unsigned_abs());
+            r.1 = r.1.max(o.dy.unsigned_abs());
+            r.2 = r.2.max(o.dz.unsigned_abs());
+        }
+        r
+    }
+
+    /// Per-axis `(min, max)` offsets; `(0, 0)` per axis for an empty pattern.
+    pub fn extents(&self) -> [(i32, i32); 3] {
+        let mut e = [(0i32, 0i32); 3];
+        let mut first = true;
+        for o in self.cells.keys() {
+            let c = [o.dx, o.dy, o.dz];
+            for d in 0..3 {
+                if first {
+                    e[d] = (c[d], c[d]);
+                } else {
+                    e[d].0 = e[d].0.min(c[d]);
+                    e[d].1 = e[d].1.max(c[d]);
+                }
+            }
+            first = false;
+        }
+        e
+    }
+
+    /// True when all accesses lie on the `dz = 0` plane (a 2-D pattern).
+    pub fn is_planar(&self) -> bool {
+        self.cells.keys().all(|o| o.is_planar())
+    }
+
+    /// Geometric dimensionality: 2 when planar, 3 otherwise.
+    pub fn dim(&self) -> u8 {
+        if self.is_planar() {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// Fraction of occupied cells within the bounding box of side `2R + 1`
+    /// (per active dimension). Used as a derived learning feature.
+    pub fn density(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let r = self.radius().max(1) as f64;
+        let side = 2.0 * r + 1.0;
+        let volume = if self.is_planar() { side * side } else { side * side * side };
+        self.len() as f64 / volume
+    }
+
+    /// Element-wise sum of two patterns; this is how the paper combines the
+    /// per-buffer access shapes of multi-buffer stencils.
+    pub fn sum(&self, other: &StencilPattern) -> StencilPattern {
+        let mut out = self.clone();
+        for (o, c) in other.iter() {
+            out.add_count(o, c);
+        }
+        out
+    }
+
+    /// Dense row-major occupancy matrix of side `2 * radius + 1` in each
+    /// dimension (z-major, then y, then x), with the access count per cell.
+    ///
+    /// Fails when the requested radius cannot contain the pattern.
+    pub fn dense(&self, radius: u32) -> Result<Vec<u16>, ModelError> {
+        if self.radius() > radius {
+            return Err(ModelError::InvalidPattern(format!(
+                "pattern radius {} exceeds requested dense radius {}",
+                self.radius(),
+                radius
+            )));
+        }
+        let side = (2 * radius + 1) as usize;
+        let mut m = vec![0u16; side * side * side];
+        let r = radius as i32;
+        for (o, c) in self.iter() {
+            let ix = (o.dx + r) as usize;
+            let iy = (o.dy + r) as usize;
+            let iz = (o.dz + r) as usize;
+            m[(iz * side + iy) * side + ix] = c;
+        }
+        Ok(m)
+    }
+
+    /// Rebuilds a pattern from a dense matrix produced by [`dense`](Self::dense).
+    pub fn from_dense(matrix: &[u16], radius: u32) -> Result<StencilPattern, ModelError> {
+        let side = (2 * radius + 1) as usize;
+        if matrix.len() != side * side * side {
+            return Err(ModelError::InvalidPattern(format!(
+                "dense matrix has {} cells, expected {}",
+                matrix.len(),
+                side * side * side
+            )));
+        }
+        let r = radius as i32;
+        let mut p = StencilPattern::new();
+        for iz in 0..side {
+            for iy in 0..side {
+                for ix in 0..side {
+                    let c = matrix[(iz * side + iy) * side + ix];
+                    if c > 0 {
+                        p.add_count(Offset::new(ix as i32 - r, iy as i32 - r, iz as i32 - r), c);
+                    }
+                }
+            }
+        }
+        Ok(p)
+    }
+
+    /// A short structural fingerprint, e.g. `"7pt r1 3D"`.
+    pub fn summary(&self) -> String {
+        format!("{}pt r{} {}D", self.len(), self.radius(), self.dim())
+    }
+}
+
+impl fmt::Display for StencilPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (o, c)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if c == 1 {
+                write!(f, "{o}")?;
+            } else {
+                write!(f, "{o}x{c}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn five_point() -> StencilPattern {
+        StencilPattern::from_points([(0, -1, 0), (-1, 0, 0), (0, 0, 0), (1, 0, 0), (0, 1, 0)])
+    }
+
+    #[test]
+    fn five_point_laplacian_basics() {
+        let p = five_point();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.total_accesses(), 5);
+        assert_eq!(p.radius(), 1);
+        assert_eq!(p.radius_per_axis(), (1, 1, 0));
+        assert!(p.is_planar());
+        assert_eq!(p.dim(), 2);
+        assert!(p.reads_center());
+    }
+
+    #[test]
+    fn duplicate_offsets_accumulate() {
+        let p = StencilPattern::from_points([(1, 0, 0), (1, 0, 0), (0, 0, 0)]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.total_accesses(), 3);
+        assert_eq!(p.count(Offset::new(1, 0, 0)), 2);
+    }
+
+    #[test]
+    fn add_count_zero_is_noop() {
+        let mut p = StencilPattern::new();
+        p.add_count(Offset::ORIGIN, 0);
+        assert!(p.is_empty());
+        assert!(!p.contains(Offset::ORIGIN));
+    }
+
+    #[test]
+    fn extents_cover_asymmetric_pattern() {
+        // A 4-wide (tricubic-like) asymmetric span on x: offsets -1..=2.
+        let p = StencilPattern::from_points([(-1, 0, 0), (0, 0, 0), (1, 0, 0), (2, 0, 0)]);
+        assert_eq!(p.extents()[0], (-1, 2));
+        assert_eq!(p.extents()[1], (0, 0));
+        assert_eq!(p.radius(), 2);
+    }
+
+    #[test]
+    fn sum_merges_counts() {
+        let a = StencilPattern::from_points([(1, 0, 0), (0, 0, 0)]);
+        let b = StencilPattern::from_points([(0, 1, 0), (0, 0, 0)]);
+        let s = a.sum(&b);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.count(Offset::ORIGIN), 2);
+        assert_eq!(s.total_accesses(), 4);
+    }
+
+    #[test]
+    fn dense_roundtrip_five_point() {
+        let p = five_point();
+        let m = p.dense(1).unwrap();
+        assert_eq!(m.len(), 27);
+        // Paper's example matrix (z = 0 slice of radius-1 box):
+        //   0 1 0
+        //   1 1 1
+        //   0 1 0
+        let z0: Vec<u16> = m[9..18].to_vec();
+        assert_eq!(z0, vec![0, 1, 0, 1, 1, 1, 0, 1, 0]);
+        let back = StencilPattern::from_dense(&m, 1).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn dense_rejects_too_small_radius() {
+        let p = StencilPattern::from_points([(3, 0, 0)]);
+        assert!(p.dense(2).is_err());
+        assert!(p.dense(3).is_ok());
+    }
+
+    #[test]
+    fn from_dense_rejects_wrong_length() {
+        assert!(StencilPattern::from_dense(&[0u16; 26], 1).is_err());
+    }
+
+    #[test]
+    fn dense_larger_radius_embeds() {
+        let p = five_point();
+        let m = p.dense(3).unwrap();
+        assert_eq!(m.len(), 343);
+        let back = StencilPattern::from_dense(&m, 3).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn density_of_full_box_is_one() {
+        let mut pts = Vec::new();
+        for dz in -1..=1 {
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    pts.push((dx, dy, dz));
+                }
+            }
+        }
+        let p = StencilPattern::from_points(pts);
+        assert!((p.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planar_density_uses_2d_volume() {
+        // Full 3x3 2-D box has density 1 even though embedded in 3-D space.
+        let mut pts = Vec::new();
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                pts.push((dx, dy, 0));
+            }
+        }
+        let p = StencilPattern::from_points(pts);
+        assert!((p.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pattern_properties() {
+        let p = StencilPattern::new();
+        assert!(p.is_empty());
+        assert_eq!(p.radius(), 0);
+        assert_eq!(p.density(), 0.0);
+        assert_eq!(p.extents(), [(0, 0); 3]);
+        assert_eq!(p.dense(0).unwrap(), vec![0u16]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let p = StencilPattern::from_points([(0, 0, 0), (0, 0, 0)]);
+        assert_eq!(p.to_string(), "{(0,0,0)x2}");
+    }
+
+    #[test]
+    fn offset_radius_is_chebyshev() {
+        assert_eq!(Offset::new(-3, 2, 1).radius(), 3);
+        assert_eq!(Offset::ORIGIN.radius(), 0);
+    }
+
+    #[test]
+    fn iteration_order_is_deterministic() {
+        let a = StencilPattern::from_points([(1, 0, 0), (-1, 0, 0), (0, 1, 0)]);
+        let b = StencilPattern::from_points([(0, 1, 0), (1, 0, 0), (-1, 0, 0)]);
+        let oa: Vec<_> = a.offsets().collect();
+        let ob: Vec<_> = b.offsets().collect();
+        assert_eq!(oa, ob);
+    }
+}

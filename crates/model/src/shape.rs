@@ -1,0 +1,261 @@
+//! The training shape families of the paper (Fig. 1): line, hyperplane,
+//! hypercube and laplacian, parameterized by dimensionality and maximum
+//! neighbour offset.
+//!
+//! During training-set generation these families are instantiated with
+//! several offsets to produce the synthetic corpus of 60 stencil codes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::pattern::{Offset, StencilPattern};
+
+/// A coordinate axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Axis {
+    X,
+    Y,
+    Z,
+}
+
+impl Axis {
+    /// All three axes.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// Unit offset along the axis scaled by `k`.
+    pub fn offset(&self, k: i32) -> Offset {
+        match self {
+            Axis::X => Offset::new(k, 0, 0),
+            Axis::Y => Offset::new(0, k, 0),
+            Axis::Z => Offset::new(0, 0, k),
+        }
+    }
+
+    /// Index of the axis (x = 0, y = 1, z = 2).
+    pub fn index(&self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::X => write!(f, "x"),
+            Axis::Y => write!(f, "y"),
+            Axis::Z => write!(f, "z"),
+        }
+    }
+}
+
+/// One of the four training shape families of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShapeFamily {
+    /// `2r + 1` collinear points through the centre along one axis.
+    Line(Axis),
+    /// A full `(2r + 1)^(n-1)` slab orthogonal to one axis, through the centre.
+    Hyperplane(Axis),
+    /// The full `(2r + 1)^n` box.
+    Hypercube,
+    /// The axis-aligned star: centre plus `r` points per direction per axis
+    /// (`4r + 1` points in 2-D, `6r + 1` points in 3-D).
+    Laplacian,
+}
+
+impl ShapeFamily {
+    /// The four families with a canonical axis choice, used when enumerating
+    /// the training corpus.
+    pub const CANONICAL: [ShapeFamily; 4] = [
+        ShapeFamily::Line(Axis::X),
+        ShapeFamily::Hyperplane(Axis::Z),
+        ShapeFamily::Hypercube,
+        ShapeFamily::Laplacian,
+    ];
+
+    /// Builds the pattern for this family with maximum offset `r` in `dim`
+    /// dimensions (2 or 3). Two-dimensional patterns live on the `dz = 0`
+    /// plane; a hyperplane orthogonal to `z` degenerates to a line in 2-D
+    /// terms but stays a valid planar pattern.
+    pub fn build(&self, dim: u8, r: u32) -> Result<StencilPattern, ModelError> {
+        if !(2..=3).contains(&dim) {
+            return Err(ModelError::DimMismatch { expected: 3, found: dim });
+        }
+        if r == 0 {
+            return Err(ModelError::OutOfRange { what: "shape offset", value: 0, lo: 1, hi: 8 });
+        }
+        if dim == 2 {
+            if let ShapeFamily::Line(Axis::Z) | ShapeFamily::Hyperplane(Axis::Z) = self {
+                // In 2-D the z axis does not exist; remap to x, matching how
+                // the training generator flattens 3-D families.
+                return match self {
+                    ShapeFamily::Line(_) => ShapeFamily::Line(Axis::X).build(dim, r),
+                    _ => ShapeFamily::Hyperplane(Axis::X).build(dim, r),
+                };
+            }
+        }
+        let ri = r as i32;
+        let mut p = StencilPattern::new();
+        match self {
+            ShapeFamily::Line(axis) => {
+                for k in -ri..=ri {
+                    p.add(axis.offset(k));
+                }
+            }
+            ShapeFamily::Hyperplane(axis) => {
+                // All points with the `axis` coordinate fixed to zero.
+                for dz in -ri..=ri {
+                    for dy in -ri..=ri {
+                        for dx in -ri..=ri {
+                            let o = Offset::new(dx, dy, dz);
+                            if dim == 2 && o.dz != 0 {
+                                continue;
+                            }
+                            let coord = [o.dx, o.dy, o.dz][axis.index()];
+                            if coord == 0 {
+                                p.add(o);
+                            }
+                        }
+                    }
+                }
+            }
+            ShapeFamily::Hypercube => {
+                for dz in -ri..=ri {
+                    for dy in -ri..=ri {
+                        for dx in -ri..=ri {
+                            if dim == 2 && dz != 0 {
+                                continue;
+                            }
+                            p.add(Offset::new(dx, dy, dz));
+                        }
+                    }
+                }
+            }
+            ShapeFamily::Laplacian => {
+                p.add(Offset::ORIGIN);
+                let axes: &[Axis] =
+                    if dim == 2 { &[Axis::X, Axis::Y] } else { &[Axis::X, Axis::Y, Axis::Z] };
+                for axis in axes {
+                    for k in 1..=ri {
+                        p.add(axis.offset(k));
+                        p.add(axis.offset(-k));
+                    }
+                }
+            }
+        }
+        Ok(p)
+    }
+
+    /// Short family name used in generated kernel identifiers.
+    pub fn name(&self) -> String {
+        match self {
+            ShapeFamily::Line(a) => format!("line-{a}"),
+            ShapeFamily::Hyperplane(a) => format!("hyperplane-{a}"),
+            ShapeFamily::Hypercube => "hypercube".to_string(),
+            ShapeFamily::Laplacian => "laplacian".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_counts() {
+        let p = ShapeFamily::Line(Axis::X).build(3, 2).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.radius_per_axis(), (2, 0, 0));
+        let p = ShapeFamily::Line(Axis::Z).build(3, 1).unwrap();
+        assert_eq!(p.radius_per_axis(), (0, 0, 1));
+    }
+
+    #[test]
+    fn line_z_in_2d_remaps_to_x() {
+        let p = ShapeFamily::Line(Axis::Z).build(2, 2).unwrap();
+        assert!(p.is_planar());
+        assert_eq!(p.radius_per_axis(), (2, 0, 0));
+    }
+
+    #[test]
+    fn hyperplane_counts_3d() {
+        // Plane orthogonal to z with r = 1: 3x3 = 9 points on dz = 0.
+        let p = ShapeFamily::Hyperplane(Axis::Z).build(3, 1).unwrap();
+        assert_eq!(p.len(), 9);
+        assert!(p.is_planar());
+        // Orthogonal to x: 3x3 points with dx = 0.
+        let p = ShapeFamily::Hyperplane(Axis::X).build(3, 1).unwrap();
+        assert_eq!(p.len(), 9);
+        assert!(!p.is_planar());
+        assert_eq!(p.radius_per_axis(), (0, 1, 1));
+    }
+
+    #[test]
+    fn hyperplane_counts_2d() {
+        // In 2-D a hyperplane orthogonal to x is the y line.
+        let p = ShapeFamily::Hyperplane(Axis::X).build(2, 2).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.radius_per_axis(), (0, 2, 0));
+    }
+
+    #[test]
+    fn hypercube_counts() {
+        assert_eq!(ShapeFamily::Hypercube.build(2, 1).unwrap().len(), 9);
+        assert_eq!(ShapeFamily::Hypercube.build(3, 1).unwrap().len(), 27);
+        assert_eq!(ShapeFamily::Hypercube.build(3, 2).unwrap().len(), 125);
+        assert_eq!(ShapeFamily::Hypercube.build(2, 2).unwrap().len(), 25);
+    }
+
+    #[test]
+    fn laplacian_counts() {
+        // 2-D: 4r + 1; 3-D: 6r + 1 (the paper's 7/13/19-point stars).
+        assert_eq!(ShapeFamily::Laplacian.build(2, 1).unwrap().len(), 5);
+        assert_eq!(ShapeFamily::Laplacian.build(3, 1).unwrap().len(), 7);
+        assert_eq!(ShapeFamily::Laplacian.build(3, 2).unwrap().len(), 13);
+        assert_eq!(ShapeFamily::Laplacian.build(3, 3).unwrap().len(), 19);
+    }
+
+    #[test]
+    fn all_families_include_center_except_pure_line_offsets() {
+        for fam in ShapeFamily::CANONICAL {
+            let p = fam.build(3, 2).unwrap();
+            assert!(p.reads_center(), "{fam} should include the centre");
+        }
+    }
+
+    #[test]
+    fn dimension_and_offset_validation() {
+        assert!(ShapeFamily::Hypercube.build(1, 1).is_err());
+        assert!(ShapeFamily::Hypercube.build(4, 1).is_err());
+        assert!(ShapeFamily::Hypercube.build(3, 0).is_err());
+    }
+
+    #[test]
+    fn two_d_patterns_are_planar() {
+        for fam in ShapeFamily::CANONICAL {
+            for r in 1..=3 {
+                let p = fam.build(2, r).unwrap();
+                assert!(p.is_planar(), "{fam} r={r}");
+                assert_eq!(p.dim(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ShapeFamily::Line(Axis::X).name(), "line-x");
+        assert_eq!(ShapeFamily::Hyperplane(Axis::Z).name(), "hyperplane-z");
+        assert_eq!(ShapeFamily::Hypercube.name(), "hypercube");
+        assert_eq!(ShapeFamily::Laplacian.name(), "laplacian");
+    }
+}

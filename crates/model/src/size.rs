@@ -1,0 +1,144 @@
+//! Grid sizes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// The extent of the computed field `s = (sx, sy, sz)`.
+///
+/// Two-dimensional computations use `sz = 1` (the paper treats a 2-D stencil
+/// as a 3-D one confined to the `z = 0` plane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridSize {
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+}
+
+impl GridSize {
+    /// A 2-D size `(x, y, 1)`.
+    pub const fn d2(x: u32, y: u32) -> Self {
+        GridSize { x, y, z: 1 }
+    }
+
+    /// A 3-D size.
+    pub const fn d3(x: u32, y: u32, z: u32) -> Self {
+        GridSize { x, y, z }
+    }
+
+    /// A cubic 3-D size.
+    pub const fn cube(n: u32) -> Self {
+        GridSize { x: n, y: n, z: n }
+    }
+
+    /// A square 2-D size.
+    pub const fn square(n: u32) -> Self {
+        GridSize { x: n, y: n, z: 1 }
+    }
+
+    /// Validates that every extent is at least one.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for (what, v) in [("sx", self.x), ("sy", self.y), ("sz", self.z)] {
+            if v == 0 {
+                return Err(ModelError::OutOfRange { what, value: 0, lo: 1, hi: i64::MAX });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of grid points.
+    pub fn points(&self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// Whether this is a planar (2-D) size.
+    pub fn is_2d(&self) -> bool {
+        self.z == 1
+    }
+
+    /// Geometric dimensionality: 2 or 3.
+    pub fn dim(&self) -> u8 {
+        if self.is_2d() {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// Extents as an array `[x, y, z]`.
+    pub fn as_array(&self) -> [u32; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// The training input sizes used by the paper for 3-D kernels.
+    pub const TRAINING_3D: [GridSize; 3] =
+        [GridSize::cube(64), GridSize::cube(128), GridSize::cube(256)];
+
+    /// The training input sizes used by the paper for 2-D kernels.
+    pub const TRAINING_2D: [GridSize; 4] = [
+        GridSize::square(256),
+        GridSize::square(512),
+        GridSize::square(1024),
+        GridSize::square(2048),
+    ];
+}
+
+impl fmt::Display for GridSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_2d() {
+            write!(f, "{}x{}", self.x, self.y)
+        } else {
+            write!(f, "{}x{}x{}", self.x, self.y, self.z)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_points() {
+        assert_eq!(GridSize::d2(1024, 768).points(), 1024 * 768);
+        assert_eq!(GridSize::cube(128).points(), 128 * 128 * 128);
+        assert_eq!(GridSize::square(512), GridSize::d2(512, 512));
+    }
+
+    #[test]
+    fn dimensionality() {
+        assert!(GridSize::d2(8, 8).is_2d());
+        assert_eq!(GridSize::d2(8, 8).dim(), 2);
+        assert!(!GridSize::cube(8).is_2d());
+        assert_eq!(GridSize::cube(8).dim(), 3);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(GridSize::d3(0, 4, 4).validate().is_err());
+        assert!(GridSize::d3(4, 0, 4).validate().is_err());
+        assert!(GridSize::d3(4, 4, 0).validate().is_err());
+        assert!(GridSize::d2(4, 4).validate().is_ok());
+    }
+
+    #[test]
+    fn training_sizes_match_paper() {
+        assert_eq!(GridSize::TRAINING_3D.len(), 3);
+        assert_eq!(GridSize::TRAINING_2D.len(), 4);
+        assert_eq!(GridSize::TRAINING_3D[0], GridSize::cube(64));
+        assert_eq!(GridSize::TRAINING_2D[3], GridSize::square(2048));
+    }
+
+    #[test]
+    fn display_elides_unit_z() {
+        assert_eq!(GridSize::d2(1024, 768).to_string(), "1024x768");
+        assert_eq!(GridSize::cube(128).to_string(), "128x128x128");
+    }
+
+    #[test]
+    fn points_do_not_overflow_u32_product() {
+        // 2048^3 > u32::MAX; make sure arithmetic is u64.
+        assert_eq!(GridSize::cube(2048).points(), 8_589_934_592u64);
+    }
+}

@@ -1,0 +1,274 @@
+//! Kendall rank correlation coefficients (paper Section VI-B).
+//!
+//! Given two paired sequences (here: predicted scores and measured runtimes
+//! of the executions of one stencil instance), the coefficients measure
+//! ordinal association from the numbers of concordant (`Con`) and discordant
+//! (`Dis`) pairs:
+//!
+//! * [`tau_a`]  — `(Con - Dis) / (n (n-1) / 2)`, the paper's
+//!   `1 - 2 Dis / C(n,2)` form (assumes no ties),
+//! * [`tau_b`]  — tie-corrected variant (used for our reported numbers since
+//!   measured runtimes can tie within noise),
+//! * [`gamma`]  — Goodman-Kruskal `(Con - Dis) / (Con + Dis)`, the paper's
+//!   first form, which ignores tied pairs entirely.
+//!
+//! A perfect agreement yields 1, perfect inversion -1, independence ~0.
+
+/// Classification of all pairs of a paired sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PairCounts {
+    /// Concordant pairs (same order in both sequences).
+    pub concordant: u64,
+    /// Discordant pairs (opposite order).
+    pub discordant: u64,
+    /// Pairs tied in the first sequence only.
+    pub ties_a: u64,
+    /// Pairs tied in the second sequence only.
+    pub ties_b: u64,
+    /// Pairs tied in both sequences.
+    pub ties_both: u64,
+}
+
+impl PairCounts {
+    /// Total number of pairs `n (n - 1) / 2`.
+    pub fn total(&self) -> u64 {
+        self.concordant + self.discordant + self.ties_a + self.ties_b + self.ties_both
+    }
+}
+
+/// Counts concordant/discordant/tied pairs in `O(n^2)`.
+///
+/// # Panics
+/// Panics when the sequences have different lengths.
+pub fn count_pairs(a: &[f64], b: &[f64]) -> PairCounts {
+    assert_eq!(a.len(), b.len(), "paired sequences must have equal length");
+    let mut c = PairCounts::default();
+    for i in 0..a.len() {
+        for j in (i + 1)..a.len() {
+            let da = a[i].total_cmp(&a[j]);
+            let db = b[i].total_cmp(&b[j]);
+            use std::cmp::Ordering::Equal;
+            match (da == Equal, db == Equal) {
+                (true, true) => c.ties_both += 1,
+                (true, false) => c.ties_a += 1,
+                (false, true) => c.ties_b += 1,
+                (false, false) => {
+                    if da == db {
+                        c.concordant += 1;
+                    } else {
+                        c.discordant += 1;
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Kendall's τ-a: `(Con - Dis) / C(n, 2)`. Ties count as neither.
+/// Returns 0 for sequences shorter than 2.
+pub fn tau_a(a: &[f64], b: &[f64]) -> f64 {
+    let c = count_pairs(a, b);
+    let total = c.total();
+    if total == 0 {
+        return 0.0;
+    }
+    (c.concordant as f64 - c.discordant as f64) / total as f64
+}
+
+/// Kendall's τ-b with tie correction:
+/// `(Con - Dis) / sqrt((T - Ta)(T - Tb))` where `T` is the pair total and
+/// `Ta`, `Tb` the pairs tied in each sequence. Returns 0 when either
+/// sequence is constant.
+pub fn tau_b(a: &[f64], b: &[f64]) -> f64 {
+    let c = count_pairs(a, b);
+    let total = c.total();
+    if total == 0 {
+        return 0.0;
+    }
+    let denom_a = (total - c.ties_a - c.ties_both) as f64;
+    let denom_b = (total - c.ties_b - c.ties_both) as f64;
+    let denom = (denom_a * denom_b).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (c.concordant as f64 - c.discordant as f64) / denom
+}
+
+/// Goodman-Kruskal gamma: `(Con - Dis) / (Con + Dis)`; tied pairs are
+/// excluded from the denominator. Returns 0 when every pair is tied.
+pub fn gamma(a: &[f64], b: &[f64]) -> f64 {
+    let c = count_pairs(a, b);
+    let denom = c.concordant + c.discordant;
+    if denom == 0 {
+        return 0.0;
+    }
+    (c.concordant as f64 - c.discordant as f64) / denom as f64
+}
+
+/// The default coefficient used across the experiments: τ-b.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    tau_b(a, b)
+}
+
+/// Counts discordant pairs in `O(n log n)` via merge sort, for tie-free
+/// data. Used by the fast path of [`tau_a_fast`] and as a cross-check in
+/// tests and benches.
+pub fn discordant_fast(a: &[f64], b: &[f64]) -> u64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    // Sort indices by `a`, then count inversions in the induced `b` order.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| a[i].total_cmp(&a[j]));
+    let mut seq: Vec<f64> = idx.iter().map(|&i| b[i]).collect();
+    let mut buf = vec![0.0; n];
+    count_inversions(&mut seq, &mut buf)
+}
+
+/// τ-a computed with the `O(n log n)` inversion counter. Only valid when
+/// neither sequence contains ties (checked with `debug_assert` in tests via
+/// the naive counter).
+pub fn tau_a_fast(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as u64;
+    if n < 2 {
+        return 0.0;
+    }
+    let total = n * (n - 1) / 2;
+    let dis = discordant_fast(a, b);
+    1.0 - 2.0 * dis as f64 / total as f64
+}
+
+/// Classic merge-sort inversion counting.
+fn count_inversions(seq: &mut [f64], buf: &mut [f64]) -> u64 {
+    let n = seq.len();
+    if n <= 1 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left, right) = seq.split_at_mut(mid);
+    let mut inv = count_inversions(left, &mut buf[..mid]) + count_inversions(right, &mut buf[mid..]);
+    // Merge while counting cross inversions.
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        if left[i] <= right[j] {
+            buf[k] = left[i];
+            i += 1;
+        } else {
+            inv += (left.len() - i) as u64;
+            buf[k] = right[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    buf[k..k + left.len() - i].copy_from_slice(&left[i..]);
+    let k2 = k + left.len() - i;
+    buf[k2..k2 + right.len() - j].copy_from_slice(&right[j..]);
+    seq.copy_from_slice(&buf[..n]);
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(tau_a(&a, &a), 1.0);
+        assert_eq!(tau_b(&a, &a), 1.0);
+        assert_eq!(gamma(&a, &a), 1.0);
+        assert_eq!(tau_a_fast(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn perfect_inversion_is_minus_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(tau_a(&a, &b), -1.0);
+        assert_eq!(tau_b(&a, &b), -1.0);
+        assert_eq!(tau_a_fast(&a, &b), -1.0);
+    }
+
+    #[test]
+    fn single_swap() {
+        // One discordant pair out of C(4,2) = 6: tau_a = (5 - 1)/6 = 2/3.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 1.0, 3.0, 4.0];
+        assert!((tau_a(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((tau_a_fast(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_sequences_yield_zero() {
+        assert_eq!(tau_a(&[], &[]), 0.0);
+        assert_eq!(tau_a(&[1.0], &[2.0]), 0.0);
+        assert_eq!(tau_b(&[1.0], &[2.0]), 0.0);
+        assert_eq!(tau_a_fast(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn constant_sequence_is_zero_under_tau_b() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(tau_b(&a, &b), 0.0);
+        assert_eq!(gamma(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn tie_handling_differs_between_variants() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        // 5 concordant, 1 tie in a, 0 discordant.
+        let c = count_pairs(&a, &b);
+        assert_eq!(c.concordant, 5);
+        assert_eq!(c.ties_a, 1);
+        assert_eq!(c.discordant, 0);
+        assert!((tau_a(&a, &b) - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(gamma(&a, &b), 1.0);
+        let expect_b = 5.0 / ((5.0f64) * 6.0).sqrt();
+        assert!((tau_b(&a, &b) - expect_b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_are_symmetric_in_arguments() {
+        let a = [3.0, 1.0, 4.0, 1.5, 9.0];
+        let b = [2.0, 7.0, 1.0, 8.0, 2.5];
+        let ab = count_pairs(&a, &b);
+        let ba = count_pairs(&b, &a);
+        assert_eq!(ab.concordant, ba.concordant);
+        assert_eq!(ab.discordant, ba.discordant);
+        assert_eq!(ab.ties_a, ba.ties_b);
+    }
+
+    #[test]
+    fn fast_matches_naive_on_permutations() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        for n in [2usize, 5, 17, 64, 257] {
+            let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let mut b = a.clone();
+            b.shuffle(&mut rng);
+            let naive = tau_a(&a, &b);
+            let fast = tau_a_fast(&a, &b);
+            assert!((naive - fast).abs() < 1e-12, "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        tau_a(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn independence_is_near_zero() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let n = 2000;
+        let a: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
+        assert!(tau_a(&a, &b).abs() < 0.05);
+    }
+}

@@ -1,0 +1,212 @@
+//! Minimal dense linear algebra for the baseline learners: symmetric
+//! positive-definite solves via Cholesky decomposition.
+
+/// A dense symmetric matrix stored row-major (full storage for simplicity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// The zero matrix of order `n`.
+    pub fn zeros(n: usize) -> Self {
+        SymMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Element access.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Symmetric element update (sets both `(i, j)` and `(j, i)`).
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+
+    /// Adds `v` to `(i, j)` (and `(j, i)` when off-diagonal).
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] += v;
+        if i != j {
+            self.data[j * self.n + i] += v;
+        }
+    }
+
+    /// Accumulates `X^T X` for row-major `rows` with `dim == n`, plus
+    /// `ridge` on the diagonal.
+    pub fn gram(rows: &[f64], dim: usize, ridge: f64) -> Self {
+        assert_eq!(rows.len() % dim.max(1), 0);
+        let mut m = SymMatrix::zeros(dim);
+        for row in rows.chunks_exact(dim) {
+            for i in 0..dim {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                // Only the upper triangle, mirrored afterwards.
+                for (j, &rj) in row.iter().enumerate().skip(i) {
+                    m.data[i * dim + j] += ri * rj;
+                }
+            }
+        }
+        for i in 0..dim {
+            for j in (i + 1)..dim {
+                m.data[j * dim + i] = m.data[i * dim + j];
+            }
+            m.data[i * dim + i] += ridge;
+        }
+        m
+    }
+
+    /// In-place Cholesky factorization `A = L L^T`; returns `None` when the
+    /// matrix is not positive definite.
+    pub fn cholesky(mut self) -> Option<Cholesky> {
+        let n = self.n;
+        for j in 0..n {
+            let mut d = self.get(j, j);
+            for k in 0..j {
+                let l = self.data[j * n + k];
+                d -= l * l;
+            }
+            if d <= 0.0 {
+                return None;
+            }
+            let d = d.sqrt();
+            self.data[j * n + j] = d;
+            for i in (j + 1)..n {
+                let mut s = self.data[i * n + j];
+                for k in 0..j {
+                    s -= self.data[i * n + k] * self.data[j * n + k];
+                }
+                self.data[i * n + j] = s / d;
+            }
+        }
+        // Zero the strict upper triangle so L is clean.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                self.data[i * n + j] = 0.0;
+            }
+        }
+        Some(Cholesky { l: self })
+    }
+}
+
+/// A Cholesky factor `L` with `A = L L^T`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: SymMatrix,
+}
+
+impl Cholesky {
+    /// Solves `A x = b` via forward/backward substitution.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.n;
+        assert_eq!(b.len(), n);
+        let l = &self.l.data;
+        // L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= l[i * n + k] * y[k];
+            }
+            y[i] = s / l[i * n + i];
+        }
+        // L^T x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= l[k * n + i] * x[k];
+            }
+            x[i] = s / l[i * n + i];
+        }
+        x
+    }
+}
+
+/// `X^T y` for row-major `rows`.
+pub fn xt_y(rows: &[f64], dim: usize, y: &[f64]) -> Vec<f64> {
+    assert_eq!(rows.len(), dim * y.len());
+    let mut out = vec![0.0; dim];
+    for (row, &yi) in rows.chunks_exact(dim).zip(y) {
+        for (o, &r) in out.iter_mut().zip(row) {
+            *o += r * yi;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_solves_identity() {
+        let mut a = SymMatrix::zeros(3);
+        for i in 0..3 {
+            a.set(i, i, 1.0);
+        }
+        let ch = a.cholesky().unwrap();
+        assert_eq!(ch.solve(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn cholesky_solves_known_system() {
+        // A = [[4, 2], [2, 3]], b = [10, 9] -> x = [1.5, 2].
+        let mut a = SymMatrix::zeros(2);
+        a.set(0, 0, 4.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 1, 3.0);
+        let x = a.cholesky().unwrap().solve(&[10.0, 9.0]);
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut a = SymMatrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 1, 1.0); // eigenvalues 3 and -1
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn gram_matches_manual_computation() {
+        // X = [[1, 2], [3, 4]] -> X^T X = [[10, 14], [14, 20]].
+        let g = SymMatrix::gram(&[1.0, 2.0, 3.0, 4.0], 2, 0.0);
+        assert_eq!(g.get(0, 0), 10.0);
+        assert_eq!(g.get(0, 1), 14.0);
+        assert_eq!(g.get(1, 0), 14.0);
+        assert_eq!(g.get(1, 1), 20.0);
+        let g = SymMatrix::gram(&[1.0, 2.0, 3.0, 4.0], 2, 0.5);
+        assert_eq!(g.get(0, 0), 10.5);
+        assert_eq!(g.get(1, 1), 20.5);
+        assert_eq!(g.get(0, 1), 14.0);
+    }
+
+    #[test]
+    fn ridge_regression_recovers_weights() {
+        // y = 2 x0 - x1 exactly; ridge ~ 0 recovers the weights.
+        let rows = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 1.0];
+        let y = [2.0, -1.0, 1.0, 3.0];
+        let gram = SymMatrix::gram(&rows, 2, 1e-9);
+        let rhs = xt_y(&rows, 2, &y);
+        let w = gram.cholesky().unwrap().solve(&rhs);
+        assert!((w[0] - 2.0).abs() < 1e-6);
+        assert!((w[1] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn xt_y_shapes() {
+        let v = xt_y(&[1.0, 2.0, 3.0, 4.0], 2, &[1.0, 1.0]);
+        assert_eq!(v, vec![4.0, 6.0]);
+    }
+}

@@ -1,0 +1,166 @@
+//! The linear ranking model.
+
+use serde::{Deserialize, Serialize};
+
+/// A linear scoring function `r(x) = w . x`.
+///
+/// Higher scores mean higher rank (better / faster configurations). The
+/// model is the signed distance to a hyperplane with normal `w`, exactly the
+/// geometric picture of the paper's Fig. 2c.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRanker {
+    w: Vec<f64>,
+}
+
+impl LinearRanker {
+    /// A zero model of the given dimensionality (scores everything equally).
+    pub fn zeros(dim: usize) -> Self {
+        LinearRanker { w: vec![0.0; dim] }
+    }
+
+    /// Wraps an explicit weight vector.
+    pub fn from_weights(w: Vec<f64>) -> Self {
+        LinearRanker { w }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.w.len()
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Mutable access for trainers.
+    pub(crate) fn weights_mut(&mut self) -> &mut [f64] {
+        &mut self.w
+    }
+
+    /// Scores one feature row.
+    ///
+    /// # Panics
+    /// Panics when the row length differs from the model dimension.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.w.len(), "feature dimension mismatch");
+        dot(&self.w, x)
+    }
+
+    /// Scores many rows given as a flat row-major matrix.
+    pub fn score_rows(&self, rows: &[f64]) -> Vec<f64> {
+        assert_eq!(rows.len() % self.w.len(), 0, "row matrix not a multiple of dim");
+        rows.chunks_exact(self.w.len()).map(|r| dot(&self.w, r)).collect()
+    }
+
+    /// Returns candidate indices sorted best-first (descending score, ties
+    /// broken by index for determinism).
+    pub fn rank(&self, rows: &[&[f64]]) -> Vec<usize> {
+        let scores: Vec<f64> = rows.iter().map(|r| self.score(r)).collect();
+        argsort_desc(&scores)
+    }
+
+    /// Index of the best-scoring row.
+    pub fn top1(&self, rows: &[&[f64]]) -> Option<usize> {
+        self.rank(rows).first().copied()
+    }
+
+    /// Euclidean norm of the weights.
+    pub fn norm(&self) -> f64 {
+        dot(&self.w, &self.w).sqrt()
+    }
+}
+
+/// Dense dot product.
+#[inline]
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    // Four accumulators let LLVM vectorize without relying on float
+    // re-association.
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Indices sorted by descending value; ties broken by ascending index.
+pub(crate) fn argsort_desc(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[b].total_cmp(&values[a]).then(a.cmp(&b)));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_is_dot_product() {
+        let m = LinearRanker::from_weights(vec![1.0, -2.0, 0.5]);
+        assert_eq!(m.score(&[2.0, 1.0, 4.0]), 2.0 - 2.0 + 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn score_rejects_wrong_dim() {
+        LinearRanker::zeros(3).score(&[1.0]);
+    }
+
+    #[test]
+    fn score_rows_matches_score() {
+        let m = LinearRanker::from_weights(vec![0.5, 0.25]);
+        let rows = [1.0, 2.0, 3.0, 4.0, 0.0, 8.0];
+        let s = m.score_rows(&rows);
+        assert_eq!(s, vec![1.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn rank_is_descending_with_stable_ties() {
+        let m = LinearRanker::from_weights(vec![1.0]);
+        let rows: Vec<Vec<f64>> = vec![vec![1.0], vec![3.0], vec![3.0], vec![2.0]];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(m.rank(&refs), vec![1, 2, 3, 0]);
+        assert_eq!(m.top1(&refs), Some(1));
+    }
+
+    #[test]
+    fn top1_of_empty_is_none() {
+        let m = LinearRanker::zeros(1);
+        assert_eq!(m.top1(&[]), None);
+    }
+
+    #[test]
+    fn zero_model_scores_zero() {
+        let m = LinearRanker::zeros(4);
+        assert_eq!(m.score(&[1.0, 2.0, 3.0, 4.0]), 0.0);
+        assert_eq!(m.norm(), 0.0);
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        for n in 0..10 {
+            let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i * 2) as f64).collect();
+            let expect: f64 = (0..n).map(|i| (i * i * 2) as f64).sum();
+            assert_eq!(dot(&a, &b), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = LinearRanker::from_weights(vec![0.1, 0.2, 0.3]);
+        let s = serde_json::to_string(&m).unwrap();
+        let back: LinearRanker = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,123 @@
+//! Per-feature min-max normalization to `[0, 1]`.
+//!
+//! The stencil feature encoder already emits normalized values, but the
+//! scaler keeps the learner usable with arbitrary feature sources and is
+//! exercised by the baseline learners.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted per-dimension affine map onto `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>, // max - min; 0 for constant features
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler on row-major data.
+    ///
+    /// # Panics
+    /// Panics when `dim == 0` or the data length is not a multiple of `dim`.
+    pub fn fit(rows: &[f64], dim: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert_eq!(rows.len() % dim, 0, "data not a multiple of dim");
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for row in rows.chunks_exact(dim) {
+            for (d, &v) in row.iter().enumerate() {
+                mins[d] = mins[d].min(v);
+                maxs[d] = maxs[d].max(v);
+            }
+        }
+        if rows.is_empty() {
+            mins.fill(0.0);
+            maxs.fill(0.0);
+        }
+        let ranges = mins.iter().zip(&maxs).map(|(lo, hi)| hi - lo).collect();
+        MinMaxScaler { mins, ranges }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Transforms one row in place. Constant features map to 0; values
+    /// outside the fitted range are clamped.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.dim());
+        for (d, v) in row.iter_mut().enumerate() {
+            if self.ranges[d] > 0.0 {
+                *v = ((*v - self.mins[d]) / self.ranges[d]).clamp(0.0, 1.0);
+            } else {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Transforms row-major data in place.
+    pub fn transform(&self, rows: &mut [f64]) {
+        assert_eq!(rows.len() % self.dim().max(1), 0);
+        let dim = self.dim();
+        for row in rows.chunks_exact_mut(dim) {
+            self.transform_row(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_to_unit_interval() {
+        let data = [0.0, 10.0, 5.0, 20.0, 10.0, 30.0];
+        let scaler = MinMaxScaler::fit(&data, 2);
+        let mut rows = data;
+        scaler.transform(&mut rows);
+        assert_eq!(rows, [0.0, 0.0, 0.5, 0.5, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_features_map_to_zero() {
+        let data = [5.0, 1.0, 5.0, 2.0];
+        let scaler = MinMaxScaler::fit(&data, 2);
+        let mut row = [5.0, 1.5];
+        scaler.transform_row(&mut row);
+        assert_eq!(row[0], 0.0);
+        assert_eq!(row[1], 0.5);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let scaler = MinMaxScaler::fit(&[0.0, 1.0], 1);
+        let mut row = [5.0];
+        scaler.transform_row(&mut row);
+        assert_eq!(row[0], 1.0);
+        let mut row = [-5.0];
+        scaler.transform_row(&mut row);
+        assert_eq!(row[0], 0.0);
+    }
+
+    #[test]
+    fn empty_fit_is_identity_zero() {
+        let scaler = MinMaxScaler::fit(&[], 3);
+        let mut row = [1.0, 2.0, 3.0];
+        scaler.transform_row(&mut row);
+        assert_eq!(row, [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn wrong_stride_panics() {
+        MinMaxScaler::fit(&[1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let scaler = MinMaxScaler::fit(&[0.0, 1.0, 2.0, 3.0], 2);
+        let json = serde_json::to_string(&scaler).unwrap();
+        let back: MinMaxScaler = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scaler);
+    }
+}

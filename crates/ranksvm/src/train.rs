@@ -1,0 +1,541 @@
+//! Ranking SVM training.
+//!
+//! The trainer minimizes the SVM-rank objective over within-group preference
+//! pairs with averaged stochastic subgradient descent (Pegasos-style):
+//!
+//! ```text
+//!   J(w) = 1/2 ||w||^2 + C * sum_{(i,j) in P} max(0, 1 - w . (x_i - x_j))
+//! ```
+//!
+//! Dividing by `C m` gives the Pegasos form `lambda/2 ||w||^2 + mean hinge`
+//! with `lambda = 1 / (C m)`. Steps follow `eta_t = 1 / (lambda (t + t0))`
+//! with an offset `t0` that bounds the first step, followed by the optional
+//! Pegasos projection onto the `1/sqrt(lambda)` ball. Iterate averaging over
+//! the second half of training gives the stability of the cutting-plane
+//! solver the paper uses (Joachims' SVM-rank) at a fraction of the code.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::RankingDataset;
+use crate::model::LinearRanker;
+
+/// Which optimizer fits the pairwise objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Solver {
+    /// Averaged stochastic subgradient descent (Pegasos-style): fast,
+    /// approximate, the default for the experiments.
+    Sgd,
+    /// Dual coordinate descent on the box-constrained dual: converges to
+    /// the exact minimizer; used as the reference solver in tests and the
+    /// solver ablation (this is the family of solvers Joachims' tools
+    /// belong to).
+    DualCoordinateDescent,
+}
+
+/// Hyper-parameters of the trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// SVM trade-off constant.
+    ///
+    /// The paper trains Joachims' `svm_rank` with `C = 0.01`; that solver
+    /// scales `C` internally by the number of rankings, so the value is not
+    /// directly portable. For this Pegasos-style solver (regularization
+    /// `lambda = 1 / (C m)`) the equivalent trade-off — calibrated so a
+    /// 960-sample training set reaches the paper's reported quality — is
+    /// `C = 1.0`, the default. The C-sensitivity ablation bench sweeps it.
+    pub c: f64,
+    /// Maximum number of passes over the pair set.
+    pub epochs: u32,
+    /// Cap on total SGD updates; large pair sets reduce the effective epoch
+    /// count so training time stays within Table II's regime. `None`
+    /// disables the cap.
+    pub max_updates: Option<u64>,
+    /// RNG seed for pair shuffling (training is deterministic given a seed).
+    pub seed: u64,
+    /// Relative tie tolerance when generating pairs.
+    pub tie_eps: f64,
+    /// Average iterates over the second half of training.
+    pub average: bool,
+    /// Project onto the Pegasos ball after each step.
+    pub project: bool,
+    /// The optimizer.
+    pub solver: Solver,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            c: 1.0,
+            epochs: 20,
+            max_updates: Some(3_000_000),
+            seed: 0x5053_5652, // "RVSP"
+            tie_eps: 1e-4,
+            average: true,
+            project: true,
+            solver: Solver::Sgd,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The configuration reproducing the paper's setup (linear kernel; see
+    /// [`TrainConfig::c`] for the `C = 0.01` calibration note).
+    pub fn paper() -> Self {
+        TrainConfig::default()
+    }
+
+    /// Same configuration with a different `C` (used by the sensitivity
+    /// study).
+    pub fn with_c(mut self, c: f64) -> Self {
+        self.c = c;
+        self
+    }
+
+    /// Same configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Same configuration with a different epoch count.
+    pub fn with_epochs(mut self, epochs: u32) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Same configuration with a different solver.
+    pub fn with_solver(mut self, solver: Solver) -> Self {
+        self.solver = solver;
+        self
+    }
+}
+
+/// Summary statistics of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Number of training samples.
+    pub samples: usize,
+    /// Number of preference pairs (`m' = |union of P_i|`, Eq. 3).
+    pub pairs: usize,
+    /// Epochs performed.
+    pub epochs: u32,
+    /// Final objective value `J(w)`.
+    pub objective: f64,
+    /// Fraction of pairs ranked correctly by the final model.
+    pub train_pair_accuracy: f64,
+    /// Wall-clock training time in seconds.
+    pub train_seconds: f64,
+}
+
+/// Trains [`LinearRanker`] models on [`RankingDataset`]s.
+///
+/// ```
+/// use ranksvm::{RankSvmTrainer, RankingDataset, TrainConfig};
+///
+/// // Two groups; within each, higher x[0] means faster (lower target).
+/// let mut data = RankingDataset::new(1);
+/// data.push(&[0.9], 1.0, 0);
+/// data.push(&[0.1], 2.0, 0);
+/// data.push(&[0.8], 5.0, 1);
+/// data.push(&[0.2], 9.0, 1);
+///
+/// let (model, report) = RankSvmTrainer::new(TrainConfig::default()).train(&data);
+/// assert_eq!(report.pairs, 2); // only within-group pairs
+/// assert!(model.score(&[0.9]) > model.score(&[0.1]));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RankSvmTrainer {
+    config: TrainConfig,
+}
+
+impl RankSvmTrainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        RankSvmTrainer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains a model, returning it with a [`TrainReport`].
+    ///
+    /// An empty dataset or a dataset without any comparable pair yields the
+    /// zero model (which ranks arbitrarily but deterministically).
+    pub fn train(&self, data: &RankingDataset) -> (LinearRanker, TrainReport) {
+        let start = std::time::Instant::now();
+        let dim = data.dim();
+        let mut pairs = data.pairs(self.config.tie_eps);
+        let m = pairs.len();
+        let mut model = LinearRanker::zeros(dim);
+        if m == 0 {
+            let report = TrainReport {
+                samples: data.len(),
+                pairs: 0,
+                epochs: 0,
+                objective: 0.0,
+                train_pair_accuracy: 1.0,
+                train_seconds: start.elapsed().as_secs_f64(),
+            };
+            return (model, report);
+        }
+
+        let epochs = match self.config.max_updates {
+            Some(cap) => {
+                let fit = (cap / m as u64).max(1).min(self.config.epochs as u64);
+                fit as u32
+            }
+            None => self.config.epochs,
+        };
+        model = match self.config.solver {
+            Solver::Sgd => self.solve_sgd(data, &mut pairs, dim, epochs),
+            Solver::DualCoordinateDescent => self.solve_dcd(data, &mut pairs, dim, epochs),
+        };
+
+        let (objective, acc) = self.evaluate(&model, data, &pairs);
+        let report = TrainReport {
+            samples: data.len(),
+            pairs: m,
+            epochs,
+            objective,
+            train_pair_accuracy: acc,
+            train_seconds: start.elapsed().as_secs_f64(),
+        };
+        (model, report)
+    }
+
+    /// Averaged projected stochastic subgradient descent (Pegasos).
+    fn solve_sgd(
+        &self,
+        data: &RankingDataset,
+        pairs: &mut [(u32, u32)],
+        dim: usize,
+        epochs: u32,
+    ) -> LinearRanker {
+        let m = pairs.len();
+        let mut model = LinearRanker::zeros(dim);
+        let lambda = 1.0 / (self.config.c * m as f64);
+        let radius = 1.0 / lambda.sqrt();
+        // First step size ~0.5 regardless of lambda.
+        let t0 = 2.0 / lambda;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut avg = vec![0.0f64; dim];
+        let mut avg_count = 0u64;
+        let total_steps = epochs as u64 * m as u64;
+        let avg_start = if self.config.average { total_steps / 2 } else { total_steps };
+
+        let mut t = 0u64;
+        for _ in 0..epochs {
+            pairs.shuffle(&mut rng);
+            for &(i, j) in pairs.iter() {
+                t += 1;
+                let eta = 1.0 / (lambda * (t as f64 + t0));
+                let (xi, xj) = (data.row(i as usize), data.row(j as usize));
+                let w = model.weights_mut();
+                let mut margin = 0.0;
+                for k in 0..dim {
+                    margin += w[k] * (xi[k] - xj[k]);
+                }
+                // w <- (1 - eta lambda) w [+ eta (x_i - x_j) if margin < 1]
+                let shrink = 1.0 - eta * lambda;
+                if margin < 1.0 {
+                    for k in 0..dim {
+                        w[k] = shrink * w[k] + eta * (xi[k] - xj[k]);
+                    }
+                } else {
+                    for v in w.iter_mut() {
+                        *v *= shrink;
+                    }
+                }
+                if self.config.project {
+                    let norm2: f64 = w.iter().map(|v| v * v).sum();
+                    if norm2 > radius * radius {
+                        let scale = radius / norm2.sqrt();
+                        for v in w.iter_mut() {
+                            *v *= scale;
+                        }
+                    }
+                }
+                if t > avg_start {
+                    for (a, &v) in avg.iter_mut().zip(model.weights()) {
+                        *a += v;
+                    }
+                    avg_count += 1;
+                }
+            }
+        }
+        if self.config.average && avg_count > 0 {
+            let inv = 1.0 / avg_count as f64;
+            model = LinearRanker::from_weights(avg.iter().map(|v| v * inv).collect());
+        }
+        model
+    }
+
+    /// Dual coordinate descent on
+    /// `max_alpha  sum(alpha) - 1/2 || sum alpha_k d_k ||^2, 0 <= alpha <= C`
+    /// where `d_k = x_i - x_j` for pair `k = (i, j)`. Maintains
+    /// `w = sum alpha_k d_k`, so each coordinate update is O(dim). This is
+    /// the exact solver of the primal objective in the crate docs.
+    fn solve_dcd(
+        &self,
+        data: &RankingDataset,
+        pairs: &mut [(u32, u32)],
+        dim: usize,
+        epochs: u32,
+    ) -> LinearRanker {
+        let m = pairs.len();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut w = vec![0.0f64; dim];
+        let mut alpha = vec![0.0f64; m];
+        // Squared norms of the pair differences (the coordinate curvatures).
+        let q: Vec<f64> = pairs
+            .iter()
+            .map(|&(i, j)| {
+                let (xi, xj) = (data.row(i as usize), data.row(j as usize));
+                xi.iter().zip(xj).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..m).collect();
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            let mut max_delta = 0.0f64;
+            for &k in &order {
+                if q[k] <= 1e-30 {
+                    continue; // identical feature rows carry no information
+                }
+                let (i, j) = pairs[k];
+                let (xi, xj) = (data.row(i as usize), data.row(j as usize));
+                let mut g = -1.0; // gradient of the dual coordinate
+                for d in 0..dim {
+                    g += w[d] * (xi[d] - xj[d]);
+                }
+                let new_alpha = (alpha[k] - g / q[k]).clamp(0.0, self.config.c);
+                let delta = new_alpha - alpha[k];
+                if delta != 0.0 {
+                    for d in 0..dim {
+                        w[d] += delta * (xi[d] - xj[d]);
+                    }
+                    alpha[k] = new_alpha;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < 1e-8 * self.config.c {
+                break; // converged
+            }
+        }
+        LinearRanker::from_weights(w)
+    }
+
+    /// Objective value and pairwise accuracy of `model` on `pairs`.
+    fn evaluate(
+        &self,
+        model: &LinearRanker,
+        data: &RankingDataset,
+        pairs: &[(u32, u32)],
+    ) -> (f64, f64) {
+        let w = model.weights();
+        let mut hinge_sum = 0.0;
+        let mut correct = 0usize;
+        for &(i, j) in pairs {
+            let (xi, xj) = (data.row(i as usize), data.row(j as usize));
+            let mut margin = 0.0;
+            for k in 0..w.len() {
+                margin += w[k] * (xi[k] - xj[k]);
+            }
+            hinge_sum += (1.0 - margin).max(0.0);
+            if margin > 0.0 {
+                correct += 1;
+            }
+        }
+        let reg: f64 = 0.5 * w.iter().map(|v| v * v).sum::<f64>();
+        let acc = if pairs.is_empty() { 1.0 } else { correct as f64 / pairs.len() as f64 };
+        (reg + self.config.c * hinge_sum, acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// A synthetic separable ranking problem: target = -w* . x + per-group
+    /// offset, so within-group order is exactly the w* order.
+    fn separable(groups: usize, per_group: usize, dim: usize, seed: u64) -> RankingDataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let w_star: Vec<f64> = (0..dim).map(|i| if i % 2 == 0 { 1.0 } else { -0.5 }).collect();
+        let mut ds = RankingDataset::new(dim);
+        for g in 0..groups {
+            let offset = g as f64 * 100.0;
+            for _ in 0..per_group {
+                let x: Vec<f64> = (0..dim).map(|_| rng.random::<f64>()).collect();
+                let score: f64 = x.iter().zip(&w_star).map(|(a, b)| a * b).sum();
+                ds.push(&x, offset - score, g as u32);
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn learns_separable_ranking() {
+        let ds = separable(10, 20, 8, 1);
+        let (model, report) = RankSvmTrainer::new(TrainConfig::default().with_c(1.0)).train(&ds);
+        assert!(report.train_pair_accuracy > 0.95, "accuracy {}", report.train_pair_accuracy);
+        assert!(model.norm() > 0.0);
+        assert_eq!(report.samples, 200);
+    }
+
+    #[test]
+    fn ranking_quality_measured_by_tau() {
+        let ds = separable(6, 30, 8, 2);
+        let (model, _) = RankSvmTrainer::new(TrainConfig::default().with_c(1.0)).train(&ds);
+        for g in ds.group_ids() {
+            let idx = ds.group_indices(g);
+            let scores: Vec<f64> = idx.iter().map(|&i| model.score(ds.row(i))).collect();
+            // Lower target = better, so tau(scores, -target) should be high.
+            let neg_targets: Vec<f64> = idx.iter().map(|&i| -ds.target(i)).collect();
+            let tau = crate::kendall::tau_b(&scores, &neg_targets);
+            assert!(tau > 0.85, "group {g}: tau = {tau}");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_for_fixed_seed() {
+        let ds = separable(5, 10, 4, 3);
+        let cfg = TrainConfig::default();
+        let (m1, _) = RankSvmTrainer::new(cfg).train(&ds);
+        let (m2, _) = RankSvmTrainer::new(cfg).train(&ds);
+        assert_eq!(m1.weights(), m2.weights());
+        let (m3, _) = RankSvmTrainer::new(cfg.with_seed(99)).train(&ds);
+        assert_ne!(m1.weights(), m3.weights());
+    }
+
+    #[test]
+    fn empty_dataset_yields_zero_model() {
+        let ds = RankingDataset::new(5);
+        let (model, report) = RankSvmTrainer::default().train(&ds);
+        assert_eq!(model.weights(), &[0.0; 5]);
+        assert_eq!(report.pairs, 0);
+    }
+
+    #[test]
+    fn all_ties_yield_zero_model() {
+        let mut ds = RankingDataset::new(2);
+        ds.push(&[0.0, 1.0], 5.0, 0);
+        ds.push(&[1.0, 0.0], 5.0, 0);
+        let (model, report) = RankSvmTrainer::default().train(&ds);
+        assert_eq!(report.pairs, 0);
+        assert_eq!(model.norm(), 0.0);
+    }
+
+    #[test]
+    fn cross_group_pairs_are_not_constrained() {
+        // Two groups whose global targets conflict with within-group order;
+        // the learner must still fit the within-group order.
+        let mut ds = RankingDataset::new(1);
+        // Group 0: x=1 better than x=0.
+        ds.push(&[1.0], 1.0, 0);
+        ds.push(&[0.0], 2.0, 0);
+        // Group 1: same direction but globally faster.
+        ds.push(&[1.0], 0.1, 1);
+        ds.push(&[0.0], 0.2, 1);
+        let (model, report) = RankSvmTrainer::new(TrainConfig::default().with_c(10.0)).train(&ds);
+        assert_eq!(report.pairs, 2);
+        assert!(model.weights()[0] > 0.0);
+        assert!((report.train_pair_accuracy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stronger_c_fits_training_pairs_better() {
+        let ds = separable(8, 15, 6, 7);
+        let (_, weak) = RankSvmTrainer::new(TrainConfig::default().with_c(1e-7)).train(&ds);
+        let (_, strong) = RankSvmTrainer::new(TrainConfig::default().with_c(1.0)).train(&ds);
+        assert!(strong.train_pair_accuracy >= weak.train_pair_accuracy);
+    }
+
+    #[test]
+    fn report_counts_pairs() {
+        let ds = separable(3, 4, 2, 9);
+        let (_, report) = RankSvmTrainer::default().train(&ds);
+        // 3 groups x C(4,2) pairs.
+        assert_eq!(report.pairs, 3 * 6);
+        assert_eq!(report.epochs, TrainConfig::default().epochs);
+        assert!(report.train_seconds >= 0.0);
+        assert!(report.objective.is_finite());
+    }
+
+    #[test]
+    fn unaveraged_unprojected_variant_still_learns() {
+        let ds = separable(6, 12, 4, 11);
+        let cfg = TrainConfig { average: false, project: false, c: 1.0, ..Default::default() };
+        let (_, report) = RankSvmTrainer::new(cfg).train(&ds);
+        assert!(report.train_pair_accuracy > 0.9);
+    }
+
+    #[test]
+    fn dcd_learns_separable_ranking() {
+        let ds = separable(8, 15, 6, 21);
+        let cfg = TrainConfig::default().with_c(1.0).with_solver(Solver::DualCoordinateDescent);
+        let (model, report) = RankSvmTrainer::new(cfg).train(&ds);
+        assert!(report.train_pair_accuracy > 0.97, "acc {}", report.train_pair_accuracy);
+        assert!(model.norm() > 0.0);
+    }
+
+    #[test]
+    fn dcd_objective_is_at_most_sgd_objective() {
+        // The exact solver must reach an objective no worse than SGD on the
+        // same problem (both evaluate the identical primal objective).
+        for seed in [1u64, 2, 3] {
+            let ds = separable(6, 10, 5, seed);
+            let base = TrainConfig::default().with_c(0.5).with_epochs(60);
+            let (_, sgd) = RankSvmTrainer::new(base).train(&ds);
+            let (_, dcd) = RankSvmTrainer::new(base.with_solver(Solver::DualCoordinateDescent))
+                .train(&ds);
+            assert!(
+                dcd.objective <= sgd.objective * 1.01,
+                "seed {seed}: dcd {} vs sgd {}",
+                dcd.objective,
+                sgd.objective
+            );
+        }
+    }
+
+    #[test]
+    fn dcd_is_deterministic() {
+        let ds = separable(4, 8, 3, 5);
+        let cfg = TrainConfig::default().with_solver(Solver::DualCoordinateDescent);
+        let (a, _) = RankSvmTrainer::new(cfg).train(&ds);
+        let (b, _) = RankSvmTrainer::new(cfg).train(&ds);
+        assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn solvers_agree_on_pairwise_preferences() {
+        // On a cleanly separable problem, both solvers must induce the same
+        // preference on a held-out comparison.
+        let ds = separable(10, 12, 4, 13);
+        let base = TrainConfig::default().with_c(1.0);
+        let (sgd, _) = RankSvmTrainer::new(base).train(&ds);
+        let (dcd, _) =
+            RankSvmTrainer::new(base.with_solver(Solver::DualCoordinateDescent)).train(&ds);
+        let probe_hi = [0.9, 0.1, 0.9, 0.1];
+        let probe_lo = [0.1, 0.9, 0.1, 0.9];
+        assert!(sgd.score(&probe_hi) > sgd.score(&probe_lo));
+        assert!(dcd.score(&probe_hi) > dcd.score(&probe_lo));
+    }
+
+    #[test]
+    fn dcd_handles_degenerate_identical_rows() {
+        let mut ds = RankingDataset::new(2);
+        ds.push(&[0.5, 0.5], 1.0, 0);
+        ds.push(&[0.5, 0.5], 2.0, 0); // same features, different targets
+        ds.push(&[0.9, 0.1], 0.5, 0);
+        let cfg = TrainConfig::default().with_solver(Solver::DualCoordinateDescent);
+        let (model, report) = RankSvmTrainer::new(cfg).train(&ds);
+        assert!(model.weights().iter().all(|v| v.is_finite()));
+        assert!(report.objective.is_finite());
+    }
+}

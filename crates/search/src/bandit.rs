@@ -1,0 +1,279 @@
+//! Multi-armed-bandit ensemble search (OpenTuner-style).
+//!
+//! The paper compares against OpenTuner, which runs several search
+//! techniques and uses a multi-armed bandit (Auer et al.'s UCB1) to
+//! allocate evaluations to whichever technique currently works best. This
+//! module implements that idea at the operator level: the arms are
+//! candidate *generation operators* (GA-style crossover+mutation, DE-style
+//! differential mutation, ES-style gaussian perturbation, and uniform
+//! restart) acting on one shared elite population; each evaluation pulls
+//! one arm, and arms are credited with a sliding-window success rate
+//! (OpenTuner's AUC credit), combined with a UCB1 exploration bonus.
+
+use std::collections::VecDeque;
+
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::objective::Objective;
+use crate::runner::{SearchAlgorithm, SearchResult};
+use crate::space::{gaussian, IntSpace};
+use crate::trace::Evaluator;
+
+/// Configuration of the bandit ensemble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BanditSearch {
+    /// Shared elite population size.
+    pub pop_size: usize,
+    /// Sliding credit window per arm (evaluations).
+    pub window: usize,
+    /// UCB exploration coefficient.
+    pub exploration: f64,
+    /// Mutation strength of the perturbation operators (log2 units).
+    pub strength: f64,
+}
+
+impl Default for BanditSearch {
+    fn default() -> Self {
+        BanditSearch { pop_size: 24, window: 64, exploration: 1.0, strength: 1.0 }
+    }
+}
+
+/// The candidate-generation operators (the bandit's arms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Arm {
+    CrossoverMutate,
+    Differential,
+    Gaussian,
+    Restart,
+}
+
+const ARMS: [Arm; 4] =
+    [Arm::CrossoverMutate, Arm::Differential, Arm::Gaussian, Arm::Restart];
+
+/// Sliding-window success statistics of one arm.
+#[derive(Debug, Default)]
+struct ArmStats {
+    pulls: u64,
+    window: VecDeque<bool>,
+    window_hits: usize,
+}
+
+impl ArmStats {
+    fn record(&mut self, success: bool, window: usize) {
+        self.pulls += 1;
+        self.window.push_back(success);
+        if success {
+            self.window_hits += 1;
+        }
+        while self.window.len() > window {
+            if self.window.pop_front() == Some(true) {
+                self.window_hits -= 1;
+            }
+        }
+    }
+
+    fn credit(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.window_hits as f64 / self.window.len() as f64
+        }
+    }
+}
+
+impl BanditSearch {
+    /// UCB1 arm choice: window credit + exploration bonus.
+    fn choose_arm(&self, stats: &[ArmStats], total: u64) -> usize {
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, s) in stats.iter().enumerate() {
+            let score = if s.pulls == 0 {
+                f64::INFINITY // pull every arm once first
+            } else {
+                s.credit()
+                    + self.exploration
+                        * ((total.max(1) as f64).ln() / s.pulls as f64).sqrt()
+            };
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Generates one candidate with the given operator.
+    fn generate(
+        &self,
+        arm: Arm,
+        rng: &mut ChaCha8Rng,
+        space: &IntSpace,
+        pop: &[(Vec<i64>, f64)],
+    ) -> Vec<i64> {
+        let pick = |rng: &mut ChaCha8Rng| &pop.choose(rng).expect("non-empty population").0;
+        match arm {
+            Arm::CrossoverMutate => {
+                let (a, b) = (pick(rng).clone(), pick(rng).clone());
+                let mut child = a;
+                for (d, (c, bv)) in child.iter_mut().zip(&b).enumerate() {
+                    if rng.random::<f64>() < 0.5 {
+                        *c = *bv;
+                    }
+                    if rng.random::<f64>() < 0.2 {
+                        *c = space.mutate_gene(rng, d, *c, self.strength);
+                    }
+                }
+                child
+            }
+            Arm::Differential => {
+                let (a, b, c) = (
+                    space.to_real(pick(rng)),
+                    space.to_real(pick(rng)),
+                    space.to_real(pick(rng)),
+                );
+                let real: Vec<f64> = a
+                    .iter()
+                    .zip(b.iter().zip(&c))
+                    .enumerate()
+                    .map(|(d, (&av, (&bv, &cv)))| {
+                        let (lo, hi) = space.real_bounds(d);
+                        (av + 0.7 * (bv - cv)).clamp(lo, hi)
+                    })
+                    .collect();
+                space.from_real(&real)
+            }
+            Arm::Gaussian => {
+                let base = space.to_real(pick(rng));
+                let real: Vec<f64> = base
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &v)| {
+                        let (lo, hi) = space.real_bounds(d);
+                        (v + self.strength * gaussian(rng)).clamp(lo, hi)
+                    })
+                    .collect();
+                space.from_real(&real)
+            }
+            Arm::Restart => space.random_point(rng),
+        }
+    }
+}
+
+impl SearchAlgorithm for BanditSearch {
+    fn name(&self) -> &'static str {
+        "bandit ensemble"
+    }
+
+    fn run(
+        &self,
+        space: &IntSpace,
+        objective: &mut dyn Objective,
+        budget: usize,
+        seed: u64,
+    ) -> SearchResult {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ev = Evaluator::new(objective, budget);
+
+        let mut pop: Vec<(Vec<i64>, f64)> = Vec::with_capacity(self.pop_size);
+        for _ in 0..self.pop_size {
+            let x = space.random_point(&mut rng);
+            match ev.eval(&x) {
+                Some(f) => pop.push((x, f)),
+                None => break,
+            }
+        }
+
+        let mut stats: Vec<ArmStats> = ARMS.iter().map(|_| ArmStats::default()).collect();
+        let mut total_pulls = 0u64;
+        while !ev.exhausted() && !pop.is_empty() {
+            let arm_idx = self.choose_arm(&stats, total_pulls);
+            let candidate = self.generate(ARMS[arm_idx], &mut rng, space, &pop);
+            let Some(f) = ev.eval(&candidate) else { break };
+            total_pulls += 1;
+            // Success: the candidate improves on the population's worst
+            // member (it earns a slot), OpenTuner's improvement credit.
+            let worst = pop
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let success = f < pop[worst].1;
+            if success {
+                pop[worst] = (candidate, f);
+            }
+            stats[arm_idx].record(success, self.window);
+        }
+
+        let (trace, best) = ev.finish();
+        let (best_x, best_f) = best.expect("at least one evaluation");
+        SearchResult { best_x, best_f, trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use crate::runner::test_support::{check_algorithm, ripple_objective, tuning_space};
+
+    #[test]
+    fn conforms_to_algorithm_contract() {
+        check_algorithm(&BanditSearch::default());
+    }
+
+    #[test]
+    fn all_arms_get_explored() {
+        // With infinite initial scores every arm is pulled at least once;
+        // verify through the public behaviour: the search works on a
+        // problem where only local refinement helps.
+        let space = tuning_space();
+        let mut obj = FnObjective(ripple_objective(&space, vec![5.0, 4.0, 3.0, 4.0, 2.0]));
+        let res = BanditSearch::default().run(&space, &mut obj, 400, 3);
+        assert!(res.best_f < 3.0, "best {}", res.best_f);
+    }
+
+    #[test]
+    fn bandit_is_competitive_with_single_engines() {
+        let space = tuning_space();
+        let target = vec![6.0, 5.0, 4.0, 2.0, 3.0];
+        let mean = |algo: &dyn SearchAlgorithm| -> f64 {
+            (0..5u64)
+                .map(|s| {
+                    let mut obj = FnObjective(ripple_objective(&space, target.clone()));
+                    algo.run(&space, &mut obj, 250, s).best_f
+                })
+                .sum::<f64>()
+                / 5.0
+        };
+        let bandit = mean(&BanditSearch::default());
+        let random = mean(&crate::random::RandomSearch);
+        assert!(bandit < random, "bandit {bandit} vs random {random}");
+    }
+
+    #[test]
+    fn window_statistics_slide() {
+        let mut s = ArmStats::default();
+        for i in 0..10 {
+            s.record(i < 5, 4); // first 5 successes, then failures
+        }
+        assert_eq!(s.pulls, 10);
+        assert_eq!(s.window.len(), 4);
+        assert_eq!(s.credit(), 0.0); // the window only holds failures now
+        s.record(true, 4);
+        assert!(s.credit() > 0.0);
+    }
+
+    #[test]
+    fn ucb_prefers_unpulled_arms_first() {
+        let b = BanditSearch::default();
+        let mut stats: Vec<ArmStats> = ARMS.iter().map(|_| ArmStats::default()).collect();
+        stats[0].record(true, 8);
+        stats[0].pulls = 5;
+        // Arms 1..3 are unpulled -> chosen before the credited arm 0.
+        let chosen = b.choose_arm(&stats, 5);
+        assert_ne!(chosen, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! (mu + lambda) evolution strategy with self-adaptive step sizes
+//! ("evolutive strategy" in the paper's figures).
+//!
+//! Each individual carries its own per-dimension step sizes, mutated with
+//! the standard log-normal rule before being applied; selection keeps the
+//! best `mu` of parents and offspring together (plus-selection).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::objective::Objective;
+use crate::runner::{SearchAlgorithm, SearchResult};
+use crate::space::{gaussian, IntSpace};
+use crate::trace::Evaluator;
+
+/// Configuration of the evolution strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvolutionStrategy {
+    /// Number of parents kept after selection.
+    pub mu: usize,
+    /// Number of offspring per generation.
+    pub lambda: usize,
+    /// Initial step size in real coordinates (log2 units on log dims).
+    pub sigma_init: f64,
+    /// Lower bound on step sizes (keeps search alive).
+    pub sigma_min: f64,
+}
+
+impl Default for EvolutionStrategy {
+    fn default() -> Self {
+        EvolutionStrategy { mu: 8, lambda: 16, sigma_init: 1.5, sigma_min: 0.05 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct EsIndividual {
+    real: Vec<f64>,
+    sigma: Vec<f64>,
+    f: f64,
+}
+
+impl SearchAlgorithm for EvolutionStrategy {
+    fn name(&self) -> &'static str {
+        "evolutive strategy"
+    }
+
+    fn run(
+        &self,
+        space: &IntSpace,
+        objective: &mut dyn Objective,
+        budget: usize,
+        seed: u64,
+    ) -> SearchResult {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ev = Evaluator::new(objective, budget);
+        let dim = space.len();
+        // Standard self-adaptation constants.
+        let tau_global = 1.0 / (2.0 * dim as f64).sqrt();
+        let tau_local = 1.0 / (2.0 * (dim as f64).sqrt()).sqrt();
+
+        let mut parents: Vec<EsIndividual> = Vec::with_capacity(self.mu);
+        for _ in 0..self.mu {
+            let x = space.random_point(&mut rng);
+            match ev.eval(&x) {
+                Some(f) => parents.push(EsIndividual {
+                    real: space.to_real(&x),
+                    sigma: vec![self.sigma_init; dim],
+                    f,
+                }),
+                None => break,
+            }
+        }
+
+        'outer: while !ev.exhausted() && !parents.is_empty() {
+            let mut offspring: Vec<EsIndividual> = Vec::with_capacity(self.lambda);
+            for _ in 0..self.lambda {
+                let p = &parents[rng.random_range(0..parents.len())];
+                // Log-normal step-size self-adaptation.
+                let g = gaussian(&mut rng);
+                let mut sigma = p.sigma.clone();
+                let mut real = p.real.clone();
+                for d in 0..dim {
+                    sigma[d] = (sigma[d]
+                        * (tau_global * g + tau_local * gaussian(&mut rng)).exp())
+                    .max(self.sigma_min);
+                    let (lo, hi) = space.real_bounds(d);
+                    real[d] = (real[d] + sigma[d] * gaussian(&mut rng)).clamp(lo, hi);
+                }
+                let x = space.from_real(&real);
+                let Some(f) = ev.eval(&x) else {
+                    parents.extend(offspring);
+                    break 'outer;
+                };
+                offspring.push(EsIndividual { real: space.to_real(&x), sigma, f });
+            }
+            // Plus-selection: best mu of parents and offspring.
+            parents.extend(offspring);
+            parents.sort_by(|a, b| a.f.total_cmp(&b.f));
+            parents.truncate(self.mu);
+        }
+
+        let (trace, best) = ev.finish();
+        let (best_x, best_f) = best.expect("at least one evaluation");
+        SearchResult { best_x, best_f, trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::test_support::check_algorithm;
+
+    #[test]
+    fn conforms_to_algorithm_contract() {
+        check_algorithm(&EvolutionStrategy::default());
+    }
+
+    #[test]
+    fn plus_selection_never_loses_the_best() {
+        use crate::objective::FnObjective;
+        let space = crate::runner::test_support::tuning_space();
+        let mut obj =
+            FnObjective(|x: &[i64]| space.to_real(x).iter().map(|v| v * v).sum::<f64>());
+        let res = EvolutionStrategy::default().run(&space, &mut obj, 200, 17);
+        let bests = res.trace.best_so_far();
+        for w in bests.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn converges_on_sphere() {
+        use crate::objective::FnObjective;
+        let space = crate::runner::test_support::tuning_space();
+        let target = [6.0, 6.0, 4.0, 4.0, 4.0];
+        let mut obj = FnObjective(|x: &[i64]| {
+            space
+                .to_real(x)
+                .iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+        });
+        let res = EvolutionStrategy::default().run(&space, &mut obj, 600, 23);
+        assert!(res.best_f < 1.0, "best {}", res.best_f);
+    }
+}

@@ -1,0 +1,235 @@
+//! Generational genetic algorithm.
+//!
+//! Tournament selection, uniform crossover, per-gene Gaussian mutation
+//! (log-space for block/chunk dimensions) and elitism. This is the paper's
+//! most stable baseline; its 1024-evaluation result is also the *base
+//! configuration* against which Fig. 4 speedups are computed.
+
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::objective::Objective;
+use crate::runner::{SearchAlgorithm, SearchResult};
+use crate::space::IntSpace;
+use crate::trace::Evaluator;
+
+/// Configuration of the generational GA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationalGa {
+    /// Population size.
+    pub pop_size: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Probability of applying crossover to a couple.
+    pub crossover_prob: f64,
+    /// Per-gene mutation probability.
+    pub mutation_prob: f64,
+    /// Mutation strength (log2 units on log dimensions).
+    pub mutation_strength: f64,
+    /// Number of elites copied unchanged into the next generation.
+    pub elitism: usize,
+}
+
+impl Default for GenerationalGa {
+    fn default() -> Self {
+        GenerationalGa {
+            pop_size: 32,
+            tournament: 2,
+            crossover_prob: 0.9,
+            mutation_prob: 0.15,
+            mutation_strength: 1.0,
+            elitism: 2,
+        }
+    }
+}
+
+/// One scored individual.
+#[derive(Debug, Clone)]
+struct Individual {
+    x: Vec<i64>,
+    f: f64,
+}
+
+impl GenerationalGa {
+    fn select<'a, R: Rng>(&self, rng: &mut R, pop: &'a [Individual]) -> &'a Individual {
+        let mut best: Option<&Individual> = None;
+        for _ in 0..self.tournament.max(1) {
+            let cand = pop.choose(rng).expect("non-empty population");
+            if best.is_none_or(|b| cand.f < b.f) {
+                best = Some(cand);
+            }
+        }
+        best.expect("tournament picked someone")
+    }
+
+    fn crossover<R: Rng>(&self, rng: &mut R, a: &[i64], b: &[i64]) -> (Vec<i64>, Vec<i64>) {
+        let mut c = a.to_vec();
+        let mut d = b.to_vec();
+        if rng.random::<f64>() < self.crossover_prob {
+            for i in 0..a.len() {
+                if rng.random::<f64>() < 0.5 {
+                    std::mem::swap(&mut c[i], &mut d[i]);
+                }
+            }
+        }
+        (c, d)
+    }
+
+    fn mutate<R: Rng>(&self, rng: &mut R, space: &IntSpace, x: &mut [i64]) {
+        for (d, v) in x.iter_mut().enumerate() {
+            if rng.random::<f64>() < self.mutation_prob {
+                *v = space.mutate_gene(rng, d, *v, self.mutation_strength);
+            }
+        }
+    }
+}
+
+impl GenerationalGa {
+    /// Like [`SearchAlgorithm::run`], but the first `seeds.len()` initial
+    /// individuals are taken from `seeds` (clamped into the space) instead
+    /// of being drawn at random. This is how the hybrid tuner injects the
+    /// ordinal-regression model's top-ranked configurations into the search
+    /// (the paper's future-work direction).
+    pub fn run_with_seeds(
+        &self,
+        space: &IntSpace,
+        objective: &mut dyn Objective,
+        budget: usize,
+        seed: u64,
+        seeds: &[Vec<i64>],
+    ) -> SearchResult {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ev = Evaluator::new(objective, budget);
+
+        // Initial population: injected seeds first, random fill afterwards.
+        let mut pop: Vec<Individual> = Vec::with_capacity(self.pop_size);
+        'init: for i in 0..self.pop_size {
+            let x = match seeds.get(i) {
+                Some(s) => {
+                    let mut s = s.clone();
+                    space.clamp(&mut s);
+                    s
+                }
+                None => space.random_point(&mut rng),
+            };
+            match ev.eval(&x) {
+                Some(f) => pop.push(Individual { x, f }),
+                None => break 'init,
+            }
+        }
+
+        while !ev.exhausted() && !pop.is_empty() {
+            // Elites survive unchanged (no re-evaluation).
+            let mut next: Vec<Individual> = {
+                let mut sorted: Vec<&Individual> = pop.iter().collect();
+                sorted.sort_by(|a, b| a.f.total_cmp(&b.f));
+                sorted.into_iter().take(self.elitism).cloned().collect()
+            };
+            'breed: while next.len() < self.pop_size {
+                let pa = self.select(&mut rng, &pop).x.clone();
+                let pb = self.select(&mut rng, &pop).x.clone();
+                let (mut ca, mut cb) = self.crossover(&mut rng, &pa, &pb);
+                self.mutate(&mut rng, space, &mut ca);
+                self.mutate(&mut rng, space, &mut cb);
+                for child in [ca, cb] {
+                    if next.len() >= self.pop_size {
+                        break;
+                    }
+                    match ev.eval(&child) {
+                        Some(f) => next.push(Individual { x: child, f }),
+                        None => break 'breed,
+                    }
+                }
+            }
+            pop = next;
+        }
+
+        let (trace, best) = ev.finish();
+        let (best_x, best_f) = best.expect("budget was at least one evaluation");
+        SearchResult { best_x, best_f, trace }
+    }
+}
+
+impl SearchAlgorithm for GenerationalGa {
+    fn name(&self) -> &'static str {
+        "genetic algorithm"
+    }
+
+    fn run(
+        &self,
+        space: &IntSpace,
+        objective: &mut dyn Objective,
+        budget: usize,
+        seed: u64,
+    ) -> SearchResult {
+        self.run_with_seeds(space, objective, budget, seed, &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::test_support::check_algorithm;
+
+    #[test]
+    fn conforms_to_algorithm_contract() {
+        check_algorithm(&GenerationalGa::default());
+    }
+
+    #[test]
+    fn tiny_budget_smaller_than_population_works() {
+        use crate::objective::FnObjective;
+        let space = crate::runner::test_support::tuning_space();
+        let mut obj = FnObjective(|x: &[i64]| x[0] as f64);
+        let res = GenerationalGa::default().run(&space, &mut obj, 5, 1);
+        assert_eq!(res.trace.len(), 5);
+    }
+
+    #[test]
+    fn elites_preserve_the_incumbent_across_generations() {
+        use crate::objective::FnObjective;
+        let space = crate::runner::test_support::tuning_space();
+        let scorer = crate::runner::test_support::tuning_space();
+        let mut obj = FnObjective(|x: &[i64]| scorer.to_real(x).iter().sum());
+        let res = GenerationalGa::default().run(&space, &mut obj, 200, 9);
+        // Best-so-far can only improve; final best equals trace minimum.
+        let min = res.trace.values().iter().copied().fold(f64::INFINITY, f64::min);
+        assert_eq!(res.best_f, min);
+    }
+
+    #[test]
+    fn seeded_population_evaluates_seeds_first() {
+        use crate::objective::FnObjective;
+        let space = crate::runner::test_support::tuning_space();
+        let seeds = vec![vec![4, 4, 4, 4, 4], vec![8, 8, 8, 0, 1]];
+        let mut seen: Vec<Vec<i64>> = Vec::new();
+        {
+            let mut obj = FnObjective(|x: &[i64]| {
+                seen.push(x.to_vec());
+                x[0] as f64
+            });
+            GenerationalGa::default().run_with_seeds(&space, &mut obj, 40, 2, &seeds);
+        }
+        assert_eq!(seen[0], seeds[0]);
+        assert_eq!(seen[1], seeds[1]);
+    }
+
+    #[test]
+    fn out_of_bounds_seeds_are_clamped() {
+        use crate::objective::FnObjective;
+        let space = crate::runner::test_support::tuning_space();
+        let seeds = vec![vec![100_000, -5, 3, 99, 0]];
+        let mut first: Option<Vec<i64>> = None;
+        {
+            let mut obj = FnObjective(|x: &[i64]| {
+                if first.is_none() {
+                    first = Some(x.to_vec());
+                }
+                1.0
+            });
+            GenerationalGa::default().run_with_seeds(&space, &mut obj, 10, 2, &seeds);
+        }
+        assert!(space.contains(&first.unwrap()));
+    }
+}

@@ -1,0 +1,73 @@
+//! Uniform random search — the sanity baseline every structured search must
+//! beat.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::objective::Objective;
+use crate::runner::{SearchAlgorithm, SearchResult};
+use crate::space::IntSpace;
+use crate::trace::Evaluator;
+
+/// Samples independent uniform points for the whole budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomSearch;
+
+impl SearchAlgorithm for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random search"
+    }
+
+    fn run(
+        &self,
+        space: &IntSpace,
+        objective: &mut dyn Objective,
+        budget: usize,
+        seed: u64,
+    ) -> SearchResult {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ev = Evaluator::new(objective, budget);
+        while !ev.exhausted() {
+            let x = space.random_point(&mut rng);
+            if ev.eval(&x).is_none() {
+                break;
+            }
+        }
+        let (trace, best) = ev.finish();
+        let (best_x, best_f) = best.expect("at least one evaluation");
+        SearchResult { best_x, best_f, trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use crate::runner::test_support::{check_algorithm, ripple_objective, tuning_space};
+
+    #[test]
+    fn conforms_to_algorithm_contract() {
+        check_algorithm(&RandomSearch);
+    }
+
+    #[test]
+    fn structured_searches_beat_random_on_average() {
+        let space = tuning_space();
+        let target = vec![5.0, 4.0, 3.0, 4.0, 2.0];
+        let budget = 200;
+        let mean_best = |algo: &dyn SearchAlgorithm| -> f64 {
+            (0..5)
+                .map(|s| {
+                    let mut obj = FnObjective(ripple_objective(&space, target.clone()));
+                    algo.run(&space, &mut obj, budget, s).best_f
+                })
+                .sum::<f64>()
+                / 5.0
+        };
+        let random = mean_best(&RandomSearch);
+        let ga = mean_best(&crate::ga::GenerationalGa::default());
+        let de = mean_best(&crate::de::DifferentialEvolution::default());
+        assert!(ga < random, "GA {ga} vs random {random}");
+        assert!(de < random, "DE {de} vs random {random}");
+    }
+}

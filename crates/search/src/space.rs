@@ -1,0 +1,288 @@
+//! Integer box search spaces with per-dimension scaling.
+
+use rand::Rng;
+
+/// An axis-aligned integer box, each dimension with inclusive bounds and a
+/// flag selecting log-scale (power-of-two-ish) or linear treatment for
+/// sampling, mutation and real-coded recombination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntSpace {
+    bounds: Vec<(i64, i64)>,
+    log_scaled: Vec<bool>,
+}
+
+impl IntSpace {
+    /// Creates a space.
+    ///
+    /// # Panics
+    /// Panics when the two vectors disagree in length, a bound is inverted,
+    /// or a log-scaled dimension has a non-positive lower bound.
+    pub fn new(bounds: Vec<(i64, i64)>, log_scaled: Vec<bool>) -> Self {
+        assert_eq!(bounds.len(), log_scaled.len(), "bounds/log flags length mismatch");
+        for (d, &(lo, hi)) in bounds.iter().enumerate() {
+            assert!(lo <= hi, "dimension {d}: inverted bounds [{lo}, {hi}]");
+            assert!(
+                !log_scaled[d] || lo > 0,
+                "dimension {d}: log scale requires positive bounds"
+            );
+        }
+        IntSpace { bounds, log_scaled }
+    }
+
+    /// A linear space (no log-scaled dimensions).
+    pub fn linear(bounds: Vec<(i64, i64)>) -> Self {
+        let n = bounds.len();
+        Self::new(bounds, vec![false; n])
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// True for a zero-dimensional space.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// Inclusive bounds of dimension `d`.
+    pub fn bounds(&self, d: usize) -> (i64, i64) {
+        self.bounds[d]
+    }
+
+    /// Whether dimension `d` is log-scaled.
+    pub fn is_log(&self, d: usize) -> bool {
+        self.log_scaled[d]
+    }
+
+    /// Whether `x` lies inside the box.
+    pub fn contains(&self, x: &[i64]) -> bool {
+        x.len() == self.len()
+            && x.iter().zip(&self.bounds).all(|(&v, &(lo, hi))| (lo..=hi).contains(&v))
+    }
+
+    /// Clamps `x` into the box in place.
+    pub fn clamp(&self, x: &mut [i64]) {
+        assert_eq!(x.len(), self.len());
+        for (v, &(lo, hi)) in x.iter_mut().zip(&self.bounds) {
+            *v = (*v).clamp(lo, hi);
+        }
+    }
+
+    /// Samples a uniform random point; log dimensions sample log-uniformly.
+    pub fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<i64> {
+        (0..self.len()).map(|d| self.random_gene(rng, d)).collect()
+    }
+
+    /// Samples one gene.
+    pub fn random_gene<R: Rng + ?Sized>(&self, rng: &mut R, d: usize) -> i64 {
+        let (lo, hi) = self.bounds[d];
+        if lo == hi {
+            return lo;
+        }
+        if self.log_scaled[d] {
+            let (llo, lhi) = ((lo as f64).ln(), (hi as f64).ln());
+            let v = rng.random_range(llo..=lhi).exp().round() as i64;
+            v.clamp(lo, hi)
+        } else {
+            rng.random_range(lo..=hi)
+        }
+    }
+
+    /// Gaussian mutation of one gene with `strength` expressed in log2
+    /// units for log dimensions and in absolute units (scaled to the range)
+    /// for linear ones. Always returns an in-bounds value.
+    pub fn mutate_gene<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        d: usize,
+        value: i64,
+        strength: f64,
+    ) -> i64 {
+        let (lo, hi) = self.bounds[d];
+        if lo == hi {
+            return lo;
+        }
+        let z: f64 = gaussian(rng);
+        let mutated = if self.log_scaled[d] {
+            let lv = (value.max(1) as f64).log2();
+            (lv + z * strength).exp2().round() as i64
+        } else {
+            let span = (hi - lo) as f64;
+            value + (z * strength * (span / 8.0).max(1.0)).round() as i64
+        };
+        mutated.clamp(lo, hi)
+    }
+
+    /// Maps a point to real coordinates (log2 for log dims).
+    pub fn to_real(&self, x: &[i64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.len());
+        x.iter()
+            .enumerate()
+            .map(|(d, &v)| if self.log_scaled[d] { (v.max(1) as f64).log2() } else { v as f64 })
+            .collect()
+    }
+
+    /// Maps real coordinates back to a clamped integer point.
+    pub fn from_real(&self, v: &[f64]) -> Vec<i64> {
+        assert_eq!(v.len(), self.len());
+        let mut x: Vec<i64> = v
+            .iter()
+            .enumerate()
+            .map(|(d, &r)| {
+                if self.log_scaled[d] {
+                    r.exp2().round() as i64
+                } else {
+                    r.round() as i64
+                }
+            })
+            .collect();
+        self.clamp(&mut x);
+        x
+    }
+
+    /// Real-coordinate bounds of dimension `d` (log2 for log dims).
+    pub fn real_bounds(&self, d: usize) -> (f64, f64) {
+        let (lo, hi) = self.bounds[d];
+        if self.log_scaled[d] {
+            ((lo as f64).log2(), (hi as f64).log2())
+        } else {
+            (lo as f64, hi as f64)
+        }
+    }
+}
+
+/// A standard normal draw (Box-Muller, consuming two uniforms).
+pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tuning_like_space() -> IntSpace {
+        IntSpace::new(
+            vec![(2, 1024), (2, 1024), (2, 1024), (0, 8), (1, 256)],
+            vec![true, true, true, false, true],
+        )
+    }
+
+    #[test]
+    fn construction_validates() {
+        let s = tuning_like_space();
+        assert_eq!(s.len(), 5);
+        assert!(s.is_log(0));
+        assert!(!s.is_log(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted bounds")]
+    fn inverted_bounds_panic() {
+        IntSpace::linear(vec![(5, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "log scale requires positive")]
+    fn log_with_zero_lower_bound_panics() {
+        IntSpace::new(vec![(0, 8)], vec![true]);
+    }
+
+    #[test]
+    fn random_points_in_bounds() {
+        let s = tuning_like_space();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..500 {
+            let p = s.random_point(&mut rng);
+            assert!(s.contains(&p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn mutation_stays_in_bounds() {
+        let s = tuning_like_space();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..200 {
+            let p = s.random_point(&mut rng);
+            for (d, &v) in p.iter().enumerate() {
+                let m = s.mutate_gene(&mut rng, d, v, 2.0);
+                let (lo, hi) = s.bounds(d);
+                assert!((lo..=hi).contains(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_actually_moves() {
+        let s = tuning_like_space();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let moved = (0..100)
+            .filter(|_| s.mutate_gene(&mut rng, 0, 32, 1.0) != 32)
+            .count();
+        assert!(moved > 50, "only {moved} mutations moved");
+    }
+
+    #[test]
+    fn real_roundtrip() {
+        let s = tuning_like_space();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..200 {
+            let p = s.random_point(&mut rng);
+            assert_eq!(s.from_real(&s.to_real(&p)), p);
+        }
+    }
+
+    #[test]
+    fn from_real_clamps() {
+        let s = IntSpace::new(vec![(2, 16)], vec![true]);
+        assert_eq!(s.from_real(&[10.0]), vec![16]); // 2^10 clamps to 16
+        assert_eq!(s.from_real(&[-3.0]), vec![2]);
+    }
+
+    #[test]
+    fn clamp_and_contains() {
+        let s = IntSpace::linear(vec![(0, 10), (5, 5)]);
+        let mut x = vec![20, 7];
+        assert!(!s.contains(&x));
+        s.clamp(&mut x);
+        assert_eq!(x, vec![10, 5]);
+        assert!(s.contains(&x));
+    }
+
+    #[test]
+    fn degenerate_dimension_is_fixed() {
+        let s = IntSpace::linear(vec![(3, 3)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(s.random_gene(&mut rng, 0), 3);
+        assert_eq!(s.mutate_gene(&mut rng, 0, 3, 10.0), 3);
+    }
+
+    #[test]
+    fn log_sampling_covers_decades() {
+        let s = IntSpace::new(vec![(2, 1024)], vec![true]);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let (mut lo, mut hi) = (0, 0);
+        for _ in 0..1000 {
+            let g = s.random_gene(&mut rng, 0);
+            if g <= 8 {
+                lo += 1;
+            }
+            if g >= 256 {
+                hi += 1;
+            }
+        }
+        assert!(lo > 100, "low end {lo}");
+        assert!(hi > 100, "high end {hi}");
+    }
+
+    #[test]
+    fn real_bounds_match_scale() {
+        let s = tuning_like_space();
+        assert_eq!(s.real_bounds(0), (1.0, 10.0));
+        assert_eq!(s.real_bounds(3), (0.0, 8.0));
+    }
+}

@@ -1,0 +1,165 @@
+//! Budgeted evaluation with best-so-far recording.
+
+use crate::objective::Objective;
+
+/// The record of one search run: the cost of every evaluation in order plus
+/// the running best. `best_so_far()[i]` is the best cost after `i + 1`
+/// evaluations — exactly the series plotted in the paper's Fig. 5.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalTrace {
+    values: Vec<f64>,
+    best: Vec<f64>,
+}
+
+impl EvalTrace {
+    /// Records one evaluation.
+    pub fn record(&mut self, value: f64) {
+        let best = match self.best.last() {
+            Some(&b) => b.min(value),
+            None => value,
+        };
+        self.values.push(value);
+        self.best.push(best);
+    }
+
+    /// Number of recorded evaluations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw cost of each evaluation in order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Running best cost after each evaluation.
+    pub fn best_so_far(&self) -> &[f64] {
+        &self.best
+    }
+
+    /// Best cost after at most `evals` evaluations (`None` before the first).
+    pub fn best_after(&self, evals: usize) -> Option<f64> {
+        if evals == 0 || self.best.is_empty() {
+            return None;
+        }
+        Some(self.best[evals.min(self.best.len()) - 1])
+    }
+
+    /// Final best cost.
+    pub fn final_best(&self) -> Option<f64> {
+        self.best.last().copied()
+    }
+}
+
+/// Wraps an objective with an exact evaluation budget and a trace.
+///
+/// `eval` returns `None` once the budget is exhausted; algorithms unwind
+/// when they see it, guaranteeing that no run consumes more than `budget`
+/// true evaluations.
+pub struct Evaluator<'a> {
+    objective: &'a mut dyn Objective,
+    budget: usize,
+    trace: EvalTrace,
+    best_x: Option<(Vec<i64>, f64)>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator with the given budget.
+    pub fn new(objective: &'a mut dyn Objective, budget: usize) -> Self {
+        Evaluator { objective, budget, trace: EvalTrace::default(), best_x: None }
+    }
+
+    /// Evaluates `x`, or returns `None` when the budget is spent.
+    pub fn eval(&mut self, x: &[i64]) -> Option<f64> {
+        if self.trace.len() >= self.budget {
+            return None;
+        }
+        let v = self.objective.eval(x);
+        self.trace.record(v);
+        if self.best_x.as_ref().is_none_or(|(_, b)| v < *b) {
+            self.best_x = Some((x.to_vec(), v));
+        }
+        Some(v)
+    }
+
+    /// Remaining evaluations.
+    pub fn remaining(&self) -> usize {
+        self.budget - self.trace.len()
+    }
+
+    /// Whether the budget is spent.
+    pub fn exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Finishes the run, returning the trace and the incumbent.
+    pub fn finish(self) -> (EvalTrace, Option<(Vec<i64>, f64)>) {
+        (self.trace, self.best_x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let mut t = EvalTrace::default();
+        for v in [5.0, 7.0, 3.0, 4.0, 1.0] {
+            t.record(v);
+        }
+        assert_eq!(t.values(), &[5.0, 7.0, 3.0, 4.0, 1.0]);
+        assert_eq!(t.best_so_far(), &[5.0, 5.0, 3.0, 3.0, 1.0]);
+        assert_eq!(t.final_best(), Some(1.0));
+        assert_eq!(t.best_after(2), Some(5.0));
+        assert_eq!(t.best_after(3), Some(3.0));
+        assert_eq!(t.best_after(100), Some(1.0));
+        assert_eq!(t.best_after(0), None);
+    }
+
+    #[test]
+    fn evaluator_enforces_budget_exactly() {
+        let mut calls = 0usize;
+        let mut obj = FnObjective(|_: &[i64]| {
+            calls += 1;
+            1.0
+        });
+        let mut ev = Evaluator::new(&mut obj, 3);
+        assert!(ev.eval(&[0]).is_some());
+        assert!(ev.eval(&[1]).is_some());
+        assert_eq!(ev.remaining(), 1);
+        assert!(ev.eval(&[2]).is_some());
+        assert!(ev.exhausted());
+        assert!(ev.eval(&[3]).is_none());
+        assert!(ev.eval(&[4]).is_none());
+        let (trace, _) = ev.finish();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn evaluator_tracks_incumbent() {
+        let mut obj = FnObjective(|x: &[i64]| x[0] as f64);
+        let mut ev = Evaluator::new(&mut obj, 10);
+        ev.eval(&[5]);
+        ev.eval(&[2]);
+        ev.eval(&[8]);
+        let (_, best) = ev.finish();
+        let (x, f) = best.unwrap();
+        assert_eq!(x, vec![2]);
+        assert_eq!(f, 2.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = EvalTrace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.final_best(), None);
+    }
+}

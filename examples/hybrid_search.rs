@@ -1,0 +1,82 @@
+//! Hybrid tuning (the paper's future-work direction, Section VII): use the
+//! ranking model to seed an iterative search instead of replacing it.
+//!
+//! The experiment compares, on gradient 256^3, how many evaluations a
+//! plain generational GA needs to reach a quality target versus a GA whose
+//! initial population contains the model's top-ranked configurations.
+//!
+//! ```sh
+//! cargo run --release --example hybrid_search
+//! ```
+
+use stencil_autotune::machine::Machine;
+use stencil_autotune::model::{GridSize, StencilInstance, StencilKernel};
+use stencil_autotune::sorl::experiments::best_in_predefined;
+use stencil_autotune::sorl::hybrid::HybridTuner;
+use stencil_autotune::sorl::objective::MachineObjective;
+use stencil_autotune::sorl::pipeline::{PipelineConfig, TrainingPipeline};
+use stencil_autotune::search::SearchAlgorithm;
+
+const BUDGET: usize = 512;
+const RUNS: u64 = 8;
+
+fn main() {
+    let machine = Machine::xeon_e5_2680_v3();
+    let instance =
+        StencilInstance::new(StencilKernel::gradient(), GridSize::cube(256)).unwrap();
+
+    println!("training the ranking model...");
+    let outcome = TrainingPipeline::new(PipelineConfig {
+        training_size: 3840,
+        ..Default::default()
+    })
+    .run();
+    let hybrid = HybridTuner::new(outcome.ranker);
+
+    // Quality target: within 10% of the best configuration in the
+    // predefined set (a strong, search-independent reference).
+    let (_, oracle) = best_in_predefined(&machine, &instance);
+    let target = oracle * 1.10;
+    println!("target: {:.3} ms (oracle {:.3} ms + 10%)\n", target * 1e3, oracle * 1e3);
+
+    let mut plain_evals = Vec::new();
+    let mut seeded_evals = Vec::new();
+    for seed in 0..RUNS {
+        // Plain GA.
+        let mut obj = MachineObjective::new(&machine, instance.clone());
+        let space = obj.search_space();
+        let plain = hybrid.ga.run(&space, &mut obj, BUDGET, seed);
+        plain_evals.push(evals_to_target(&plain.trace, target));
+
+        // Ranker-seeded GA.
+        let seeded = hybrid.search(&machine, &instance, BUDGET, seed);
+        seeded_evals.push(evals_to_target(&seeded.trace, target));
+    }
+
+    println!("evaluations to reach the target ({} runs, budget {BUDGET}):", RUNS);
+    println!("  plain GA : {}", render(&plain_evals));
+    println!("  seeded GA: {}", render(&seeded_evals));
+    let avg = |v: &[Option<usize>]| -> f64 {
+        v.iter().map(|e| e.unwrap_or(BUDGET) as f64).sum::<f64>() / v.len() as f64
+    };
+    let (p, s) = (avg(&plain_evals), avg(&seeded_evals));
+    println!("  mean (miss counts as {BUDGET}): plain {p:.0} vs seeded {s:.0}");
+    if s < p {
+        println!("  -> model seeding saved {:.0}% of the evaluations", 100.0 * (1.0 - s / p));
+    }
+}
+
+fn evals_to_target(
+    trace: &stencil_autotune::search::EvalTrace,
+    target: f64,
+) -> Option<usize> {
+    trace.best_so_far().iter().position(|&b| b <= target).map(|i| i + 1)
+}
+
+fn render(evals: &[Option<usize>]) -> String {
+    evals
+        .iter()
+        .map(|e| e.map(|n| n.to_string()).unwrap_or_else(|| "miss".into()))
+        .collect::<Vec<_>>()
+        .join(", ")
+}

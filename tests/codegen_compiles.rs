@@ -1,0 +1,69 @@
+//! The PATUS-like C emitter must produce code a real C compiler accepts.
+//! Skipped silently when no `gcc` is on the PATH.
+
+use std::io::Write;
+use std::process::Command;
+
+use stencil_autotune::gen::emit_c_kernel;
+use stencil_autotune::model::{StencilKernel, TuningVector};
+
+fn gcc_available() -> bool {
+    Command::new("gcc").arg("--version").output().map(|o| o.status.success()).unwrap_or(false)
+}
+
+fn check_compiles(code: &str, name: &str) {
+    let dir = std::env::temp_dir().join("sorl-codegen-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}.c"));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(code.as_bytes()).unwrap();
+    drop(f);
+    let out = Command::new("gcc")
+        .args(["-fsyntax-only", "-fopenmp", "-std=c11", "-Wall", "-Werror"])
+        .arg(&path)
+        .output()
+        .expect("gcc runs");
+    assert!(
+        out.status.success(),
+        "gcc rejected {name}:\n{}\n--- code ---\n{code}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn emitted_c_compiles_for_all_table3_kernels() {
+    if !gcc_available() {
+        eprintln!("gcc not found; skipping codegen compile test");
+        return;
+    }
+    for kernel in StencilKernel::table3_kernels() {
+        let tuning = if kernel.dim() == 2 {
+            TuningVector::new(128, 8, 1, 4, 2)
+        } else {
+            TuningVector::new(64, 16, 8, 4, 2)
+        };
+        let code = emit_c_kernel(&kernel, &tuning);
+        check_compiles(&code, kernel.name());
+    }
+}
+
+#[test]
+fn emitted_c_compiles_across_tuning_extremes() {
+    if !gcc_available() {
+        eprintln!("gcc not found; skipping codegen compile test");
+        return;
+    }
+    let kernel = StencilKernel::laplacian6();
+    for (i, tuning) in [
+        TuningVector::new(2, 2, 2, 0, 1),
+        TuningVector::new(1024, 1024, 1024, 8, 256),
+        TuningVector::new(3, 1024, 2, 1, 7),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let code = emit_c_kernel(&kernel, tuning);
+        check_compiles(&code, &format!("extreme{i}"));
+    }
+}

@@ -1,0 +1,111 @@
+//! The engine's blocked/unrolled/chunked parallel schedule must be exactly
+//! equivalent to the naive reference interpreter, for every kernel and for
+//! arbitrary (pattern, tuning, size) combinations.
+
+use proptest::prelude::*;
+
+use stencil_autotune::exec::reference::reference_sweep;
+use stencil_autotune::exec::{BenchmarkKernel, Engine, Grid, WeightedKernel};
+use stencil_autotune::model::{DType, GridSize, TuningVector};
+
+#[test]
+fn all_table3_kernels_match_reference_across_tunings() {
+    let tunings_3d = [
+        TuningVector::new(2, 2, 2, 0, 1),
+        TuningVector::new(1024, 1024, 1024, 0, 1),
+        TuningVector::new(7, 5, 3, 5, 3),
+        TuningVector::new(16, 4, 8, 8, 256),
+    ];
+    let tunings_2d = [
+        TuningVector::new(2, 2, 1, 0, 1),
+        TuningVector::new(1024, 1024, 1, 0, 1),
+        TuningVector::new(7, 5, 1, 5, 3),
+        TuningVector::new(16, 4, 1, 8, 256),
+    ];
+    for k in BenchmarkKernel::ALL {
+        let (size, tunings) = if k.model().dim() == 2 {
+            (GridSize::d2(29, 23), &tunings_2d)
+        } else {
+            (GridSize::d3(13, 11, 9), &tunings_3d)
+        };
+        for t in tunings {
+            let diff = k.verify(3, size, t);
+            assert_eq!(diff, 0.0, "{k:?} with {t} diverged");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random linear stencils, random grids, random tunings, random thread
+    /// counts: the engine must equal the reference bit for bit.
+    #[test]
+    fn random_weighted_kernels_match_reference(
+        taps in prop::collection::vec(
+            (-2i32..=2, -2i32..=2, -2i32..=2, 0usize..3, -2.0f64..2.0),
+            1..12,
+        ),
+        nx in 4usize..24,
+        ny in 4usize..16,
+        nz in 1usize..10,
+        bx in 1u32..32,
+        by in 1u32..32,
+        bz in 1u32..8,
+        unroll in 0u32..=8,
+        chunk in 1u32..16,
+        threads in 1usize..5,
+    ) {
+        let kernel = WeightedKernel::new("prop", taps, 3, DType::F64).unwrap();
+        let (rx, ry, rz) = kernel.model().pattern().radius_per_axis();
+        let h = (rx as usize, ry as usize, rz as usize);
+        let mk_input = |b: usize| {
+            let mut g: Grid<f64> = Grid::new(nx, ny, nz, h.0, h.1, h.2);
+            g.fill_with(|x, y, z| ((x * 3 + y * 7 + z * 11 + b as i64 * 13) % 17) as f64 * 0.25);
+            g
+        };
+        let inputs: Vec<Grid<f64>> = (0..3).map(mk_input).collect();
+        let refs: Vec<&Grid<f64>> = inputs.iter().collect();
+
+        let mut expected: Grid<f64> = Grid::new(nx, ny, nz, h.0, h.1, h.2);
+        reference_sweep(&kernel, &refs, &mut expected);
+
+        let mut out: Grid<f64> = Grid::new(nx, ny, nz, h.0, h.1, h.2);
+        let tuning = TuningVector::new(bx.max(2), by.max(2), bz.max(2).min(nz as u32).max(1), unroll, chunk);
+        // bz must be >= 1; clamp to the grid's z extent when planar.
+        let tuning = if nz == 1 { TuningVector::new(tuning.bx, tuning.by, 1, unroll, chunk) } else { tuning };
+        let mut engine = Engine::new(threads);
+        engine.sweep(&kernel, &refs, &mut out, &tuning);
+
+        prop_assert_eq!(out.max_abs_diff(&expected), 0.0);
+    }
+
+    /// The measured sweep must be insensitive to the tuning in *values*:
+    /// every tuning computes the same function.
+    #[test]
+    fn two_random_tunings_agree_with_each_other(
+        bx1 in 2u32..64, by1 in 2u32..64, bz1 in 2u32..8,
+        bx2 in 2u32..64, by2 in 2u32..64, bz2 in 2u32..8,
+        u1 in 0u32..=8, u2 in 0u32..=8,
+    ) {
+        let kernel = WeightedKernel::new(
+            "lap",
+            vec![
+                (0, 0, 0, 0, -6.0),
+                (1, 0, 0, 0, 1.0), (-1, 0, 0, 0, 1.0),
+                (0, 1, 0, 0, 1.0), (0, -1, 0, 0, 1.0),
+                (0, 0, 1, 0, 1.0), (0, 0, -1, 0, 1.0),
+            ],
+            1,
+            DType::F64,
+        ).unwrap();
+        let mut input: Grid<f64> = Grid::new(15, 13, 7, 1, 1, 1);
+        input.fill_with(|x, y, z| (x + 2 * y + 3 * z) as f64 * 0.5);
+        let mut engine = Engine::new(2);
+        let mut a: Grid<f64> = Grid::new(15, 13, 7, 1, 1, 1);
+        let mut b: Grid<f64> = Grid::new(15, 13, 7, 1, 1, 1);
+        engine.sweep(&kernel, &[&input], &mut a, &TuningVector::new(bx1, by1, bz1, u1, 2));
+        engine.sweep(&kernel, &[&input], &mut b, &TuningVector::new(bx2, by2, bz2, u2, 5));
+        prop_assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+}

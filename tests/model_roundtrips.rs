@@ -1,0 +1,115 @@
+//! Property tests for the modeling layer: the feature encoding is a true
+//! embedding (invertible, normalized), and all auxiliary mappings
+//! round-trip.
+
+use proptest::prelude::*;
+
+use stencil_autotune::model::{
+    DType, FeatureEncoder, GridSize, Offset, StencilExecution, StencilInstance, StencilKernel,
+    StencilPattern, TuningSpace, TuningVector,
+};
+
+/// Strategy: a valid non-empty 3-D pattern within radius 3.
+fn pattern_3d() -> impl Strategy<Value = StencilPattern> {
+    prop::collection::vec(((-3i32..=3), (-3i32..=3), (-3i32..=3)), 1..24).prop_map(|pts| {
+        let mut p = StencilPattern::from_points(pts);
+        // Guarantee non-planarity so instances pair with 3-D sizes.
+        p.add(Offset::new(0, 0, 1));
+        p
+    })
+}
+
+fn tuning_3d() -> impl Strategy<Value = TuningVector> {
+    (2u32..=1024, 2u32..=1024, 2u32..=1024, 0u32..=8, 1u32..=256)
+        .prop_map(|(bx, by, bz, u, c)| TuningVector::new(bx, by, bz, u, c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encode_decode_roundtrip(
+        pattern in pattern_3d(),
+        buffers in 1u8..=4,
+        is_double in any::<bool>(),
+        size_exp in 4u32..=9, // 16 .. 512 per axis
+        tuning in tuning_3d(),
+    ) {
+        let dtype = if is_double { DType::F64 } else { DType::F32 };
+        let kernel = StencilKernel::new("prop", pattern, buffers, dtype).unwrap();
+        let size = GridSize::cube(1 << size_exp);
+        let q = StencilInstance::new(kernel, size).unwrap();
+        let exec = StencilExecution::new(q, tuning).unwrap();
+
+        for encoder in [FeatureEncoder::paper_concat(), FeatureEncoder::default_interaction()] {
+            let f = encoder.encode(&exec);
+            prop_assert_eq!(f.len(), encoder.dim());
+            prop_assert!(f.iter().all(|v| (0.0..=1.0).contains(v)));
+
+            let back = encoder.decode(&f).unwrap();
+            prop_assert_eq!(back.instance().kernel().pattern(), exec.instance().kernel().pattern());
+            prop_assert_eq!(back.instance().kernel().buffers(), exec.instance().kernel().buffers());
+            prop_assert_eq!(back.instance().kernel().dtype(), exec.instance().kernel().dtype());
+            prop_assert_eq!(back.instance().size(), exec.instance().size());
+            prop_assert_eq!(back.tuning(), exec.tuning());
+        }
+    }
+
+    #[test]
+    fn dense_pattern_roundtrip(pattern in pattern_3d()) {
+        let dense = pattern.dense(3).unwrap();
+        let back = StencilPattern::from_dense(&dense, 3).unwrap();
+        prop_assert_eq!(back, pattern);
+    }
+
+    #[test]
+    fn genome_roundtrip(tuning in tuning_3d()) {
+        let space = TuningSpace::d3();
+        let g = space.to_genome(&tuning);
+        prop_assert_eq!(space.from_genome(&g).unwrap(), tuning);
+    }
+
+    #[test]
+    fn clamp_is_idempotent_and_containing(
+        bx in 0u32..5000, by in 0u32..5000, bz in 0u32..5000,
+        u in 0u32..50, c in 0u32..5000,
+    ) {
+        let space = TuningSpace::d3();
+        let t = TuningVector::new(bx, by, bz, u, c);
+        let clamped = space.clamp(&t);
+        prop_assert!(space.contains(&clamped));
+        prop_assert_eq!(space.clamp(&clamped), clamped);
+    }
+
+    #[test]
+    fn execution_geometry_invariants(
+        pattern in pattern_3d(),
+        tuning in tuning_3d(),
+        size_exp in 4u32..=8,
+    ) {
+        let kernel = StencilKernel::new("geom", pattern, 1, DType::F32).unwrap();
+        let size = GridSize::cube(1 << size_exp);
+        let q = StencilInstance::new(kernel, size).unwrap();
+        let exec = StencilExecution::new(q, tuning).unwrap();
+
+        // Tiles cover the domain: tiles * max_tile_points >= points.
+        let (bx, by, bz) = exec.effective_blocks();
+        let max_tile = bx as u64 * by as u64 * bz as u64;
+        prop_assert!(exec.tile_count() * max_tile >= size.points());
+        // Chunks cover tiles.
+        prop_assert!(exec.chunk_count() * tuning.c as u64 >= exec.tile_count());
+        // Effective blocks never exceed the grid.
+        prop_assert!(bx <= size.x && by <= size.y && bz <= size.z);
+    }
+
+    #[test]
+    fn pattern_sum_is_commutative_and_count_additive(
+        a in pattern_3d(),
+        b in pattern_3d(),
+    ) {
+        let ab = a.sum(&b);
+        let ba = b.sum(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.total_accesses(), a.total_accesses() + b.total_accesses());
+    }
+}

@@ -1,0 +1,99 @@
+//! Search-engine behaviour on the real (simulated-machine) tuning
+//! objectives, beyond the synthetic functions of the unit tests.
+
+use stencil_autotune::machine::Machine;
+use stencil_autotune::model::{GridSize, StencilInstance, StencilKernel, TuningSpace};
+use stencil_autotune::search::{paper_baselines, RandomSearch, SearchAlgorithm};
+use stencil_autotune::sorl::objective::MachineObjective;
+
+fn lap64() -> StencilInstance {
+    StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(64)).unwrap()
+}
+
+#[test]
+fn budgets_are_exact_on_machine_objectives() {
+    let machine = Machine::xeon_e5_2680_v3();
+    for algo in paper_baselines() {
+        for budget in [1usize, 7, 32, 100] {
+            let mut obj = MachineObjective::new(&machine, lap64());
+            let space = obj.search_space();
+            let res = algo.run(&space, &mut obj, budget, 5);
+            assert_eq!(res.trace.len(), budget, "{} budget {budget}", algo.name());
+            assert_eq!(obj.evals() as usize, budget, "{}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn traces_are_monotone_and_consistent() {
+    let machine = Machine::xeon_e5_2680_v3();
+    for algo in paper_baselines() {
+        let mut obj = MachineObjective::new(&machine, lap64());
+        let space = obj.search_space();
+        let res = algo.run(&space, &mut obj, 200, 11);
+        let best = res.trace.best_so_far();
+        for w in best.windows(2) {
+            assert!(w[1] <= w[0], "{}", algo.name());
+        }
+        assert_eq!(res.best_f, *best.last().unwrap(), "{}", algo.name());
+        let min_val = res.trace.values().iter().copied().fold(f64::INFINITY, f64::min);
+        assert_eq!(res.best_f, min_val, "{}", algo.name());
+    }
+}
+
+#[test]
+fn searches_find_valid_and_good_configs() {
+    let machine = Machine::xeon_e5_2680_v3();
+    let space3 = TuningSpace::d3();
+    // Random baseline for comparison.
+    let mut robj = MachineObjective::new(&machine, lap64());
+    let rspace = robj.search_space();
+    let random = RandomSearch.run(&rspace, &mut robj, 256, 3);
+
+    for algo in paper_baselines() {
+        let mut obj = MachineObjective::new(&machine, lap64());
+        let space = obj.search_space();
+        let res = algo.run(&space, &mut obj, 256, 3);
+        let tuning = space3.from_genome(&res.best_x).expect("decodable best");
+        assert!(space3.contains(&tuning), "{}", algo.name());
+        assert!(
+            res.best_f <= random.best_f * 1.2,
+            "{} ({}) should be competitive with random ({})",
+            algo.name(),
+            res.best_f,
+            random.best_f
+        );
+    }
+}
+
+#[test]
+fn search_results_are_reproducible_per_seed() {
+    let machine = Machine::xeon_e5_2680_v3();
+    for algo in paper_baselines() {
+        let run = |seed: u64| {
+            let mut obj = MachineObjective::new(&machine, lap64());
+            let space = obj.search_space();
+            algo.run(&space, &mut obj, 96, seed)
+        };
+        let a = run(21);
+        let b = run(21);
+        assert_eq!(a.best_x, b.best_x, "{}", algo.name());
+        assert_eq!(a.trace.values(), b.trace.values(), "{}", algo.name());
+        let c = run(22);
+        assert_ne!(a.trace.values(), c.trace.values(), "{}", algo.name());
+    }
+}
+
+#[test]
+fn two_d_instances_search_a_four_gene_space() {
+    let machine = Machine::xeon_e5_2680_v3();
+    let blur = StencilInstance::new(StencilKernel::blur(), GridSize::square(512)).unwrap();
+    for algo in paper_baselines() {
+        let mut obj = MachineObjective::new(&machine, blur.clone());
+        let space = obj.search_space();
+        assert_eq!(space.len(), 4);
+        let res = algo.run(&space, &mut obj, 64, 9);
+        let t = TuningSpace::d2().from_genome(&res.best_x).unwrap();
+        assert_eq!(t.bz, 1, "{}", algo.name());
+    }
+}

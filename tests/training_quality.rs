@@ -1,0 +1,75 @@
+//! Statistical quality of the learned ranking — the invariants behind
+//! Figs. 6 and 7, asserted as tests so regressions in the learner, the
+//! encoder or the simulator surface immediately.
+
+use ranksvm::metrics::kendall_per_group;
+use stencil_autotune::gen::TrainingSetBuilder;
+use stencil_autotune::sorl::experiments::quartiles;
+use stencil_autotune::sorl::pipeline::{PipelineConfig, TrainingPipeline};
+
+fn taus_for_size(size: usize) -> Vec<f64> {
+    let config = PipelineConfig { training_size: size, ..Default::default() };
+    let out = TrainingPipeline::new(config).run();
+    let ts = TrainingSetBuilder::paper().with_seed(config.seed).build_size(size);
+    kendall_per_group(&ts.dataset, out.ranker.model())
+        .into_iter()
+        .map(|(_, t)| t)
+        .collect()
+}
+
+#[test]
+fn ranking_quality_is_far_above_chance() {
+    let taus = taus_for_size(1920);
+    let q = quartiles(&taus);
+    // Chance would be ~0; the paper's medians sit well above it.
+    assert!(q.median > 0.5, "median tau {}", q.median);
+    assert!(q.q1 > 0.2, "q1 tau {}", q.q1);
+}
+
+#[test]
+fn larger_training_sets_shrink_tau_variance() {
+    // The Fig. 7 observation: the interquartile range narrows with size.
+    let small = quartiles(&taus_for_size(960));
+    let large = quartiles(&taus_for_size(6720));
+    let iqr_small = small.q3 - small.q1;
+    let iqr_large = large.q3 - large.q1;
+    assert!(
+        iqr_large < iqr_small,
+        "iqr did not shrink: {iqr_small:.3} -> {iqr_large:.3}"
+    );
+    // And the worst instances improve markedly.
+    assert!(large.min > small.min);
+}
+
+#[test]
+fn per_instance_groups_cover_the_whole_corpus() {
+    let ts = TrainingSetBuilder::paper().build_size(960);
+    let groups = ts.dataset.group_ids();
+    assert_eq!(groups.len(), 200, "every corpus instance contributes a partial ranking");
+}
+
+#[test]
+fn training_report_is_consistent_with_dataset() {
+    let config = PipelineConfig { training_size: 960, ..Default::default() };
+    let out = TrainingPipeline::new(config).run();
+    let ts = TrainingSetBuilder::paper().with_seed(config.seed).build_size(960);
+    assert_eq!(out.samples, ts.dataset.len());
+    assert_eq!(out.report.samples, ts.dataset.len());
+    // Pair count matches an independent recomputation.
+    assert_eq!(out.report.pairs, ts.dataset.pairs(1e-4).len());
+}
+
+#[test]
+fn holdout_tunings_rank_above_chance_too() {
+    // Generalization: evaluate on fresh tuning draws for the same
+    // instances (a different sampling seed), not just the training draws.
+    let config = PipelineConfig { training_size: 3840, ..Default::default() };
+    let out = TrainingPipeline::new(config).run();
+    let holdout = TrainingSetBuilder::paper().with_seed(999).build_size(1920);
+    let taus: Vec<f64> = kendall_per_group(&holdout.dataset, out.ranker.model())
+        .into_iter()
+        .map(|(_, t)| t)
+        .collect();
+    let q = quartiles(&taus);
+    assert!(q.median > 0.5, "holdout median tau {}", q.median);
+}
