@@ -14,11 +14,8 @@ use sorl::tuner::StandaloneTuner;
 use stencil_model::{GridSize, StencilInstance, StencilKernel, TuningSpace};
 
 fn bench_rank_latency(c: &mut Criterion) {
-    let out = TrainingPipeline::new(PipelineConfig {
-        training_size: 960,
-        ..Default::default()
-    })
-    .run();
+    let out =
+        TrainingPipeline::new(PipelineConfig { training_size: 960, ..Default::default() }).run();
     let ranker = out.ranker.clone();
     let tuner = StandaloneTuner::new(out.ranker);
     let q3 = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
@@ -45,21 +42,13 @@ fn bench_rank_latency(c: &mut Criterion) {
     // Full predefined-set ranking (8640 3-D candidates).
     let set3 = TuningSpace::d3().predefined_set();
     g.bench_function("tune_3d_predefined_8640", |b| {
-        b.iter_batched(
-            || (),
-            |_| black_box(tuner.tune_over(&q3, &set3)),
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(|| (), |_| black_box(tuner.tune_over(&q3, &set3)), BatchSize::SmallInput)
     });
 
     // Full predefined-set ranking (1600 2-D candidates).
     let set2 = TuningSpace::d2().predefined_set();
     g.bench_function("tune_2d_predefined_1600", |b| {
-        b.iter_batched(
-            || (),
-            |_| black_box(tuner.tune_over(&q2, &set2)),
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(|| (), |_| black_box(tuner.tune_over(&q2, &set2)), BatchSize::SmallInput)
     });
 
     g.finish();

@@ -12,8 +12,7 @@ use stencil_search::paper_baselines;
 
 fn bench_search(c: &mut Criterion) {
     let machine = Machine::xeon_e5_2680_v3();
-    let instance =
-        StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(64)).unwrap();
+    let instance = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(64)).unwrap();
 
     let mut g = c.benchmark_group("search_algos");
     g.sample_size(10);

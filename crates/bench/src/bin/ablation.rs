@@ -22,9 +22,7 @@ use sorl::experiments::quartiles;
 use sorl::pipeline::{PipelineConfig, TrainingPipeline};
 use stencil_gen::TrainingSetBuilder;
 use stencil_machine::Machine;
-use stencil_model::{
-    EncodingKind, FeatureConfig, FeatureEncoder, StencilExecution, TuningSpace,
-};
+use stencil_model::{EncodingKind, FeatureConfig, FeatureEncoder, StencilExecution, TuningSpace};
 
 const TRAIN_SIZE: usize = 3840;
 const HOLDOUT_SEED: u64 = 0xDEAD_BEEF;
@@ -127,9 +125,7 @@ fn main() {
     }
 
     println!("\nAblation: training-set sampling (size {TRAIN_SIZE})\n");
-    for strategy in
-        [stencil_gen::SamplingStrategy::Random, stencil_gen::SamplingStrategy::Guided]
-    {
+    for strategy in [stencil_gen::SamplingStrategy::Random, stencil_gen::SamplingStrategy::Guided] {
         let ts = TrainingSetBuilder::paper()
             .with_encoder(encoder.clone())
             .with_sampling(strategy)

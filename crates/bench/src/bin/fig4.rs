@@ -16,9 +16,9 @@ use sorl::benchmarks::table3_benchmarks;
 use sorl::experiments::{measure_config, orl_choice, run_baselines};
 use sorl::pipeline::{PipelineConfig, TrainingPipeline};
 use sorl::tuner::StandaloneTuner;
+use sorl_bench::FIG4_SIZES;
 use stencil_machine::Machine;
 use stencil_model::TuningSpace;
-use sorl_bench::FIG4_SIZES;
 
 const BUDGET: usize = 1024;
 const SEED: u64 = 42;
@@ -32,11 +32,9 @@ fn main() {
     let tuners: Vec<(usize, StandaloneTuner)> = FIG4_SIZES
         .iter()
         .map(|&size| {
-            let out = TrainingPipeline::new(PipelineConfig {
-                training_size: size,
-                ..Default::default()
-            })
-            .run();
+            let out =
+                TrainingPipeline::new(PipelineConfig { training_size: size, ..Default::default() })
+                    .run();
             (size, StandaloneTuner::new(out.ranker))
         })
         .collect();

@@ -10,8 +10,8 @@ use sorl::benchmarks::table3_benchmarks;
 use sorl::experiments::{gflops, orl_choice, run_baselines};
 use sorl::pipeline::{PipelineConfig, TrainingPipeline};
 use sorl::tuner::StandaloneTuner;
-use stencil_machine::Machine;
 use sorl_bench::{fmt_seconds, FIG4_SIZES};
+use stencil_machine::Machine;
 
 const BUDGET: usize = 1024;
 const SEED: u64 = 42;
@@ -26,11 +26,9 @@ fn main() {
     let tuners: Vec<(usize, StandaloneTuner)> = FIG4_SIZES
         .iter()
         .map(|&size| {
-            let out = TrainingPipeline::new(PipelineConfig {
-                training_size: size,
-                ..Default::default()
-            })
-            .run();
+            let out =
+                TrainingPipeline::new(PipelineConfig { training_size: size, ..Default::default() })
+                    .run();
             (size, StandaloneTuner::new(out.ranker))
         })
         .collect();

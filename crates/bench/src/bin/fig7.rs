@@ -8,8 +8,8 @@
 use ranksvm::metrics::kendall_per_group;
 use sorl::experiments::quartiles;
 use sorl::pipeline::{PipelineConfig, TrainingPipeline};
-use stencil_gen::TrainingSetBuilder;
 use sorl_bench::TABLE2_SIZES;
+use stencil_gen::TrainingSetBuilder;
 
 fn main() {
     println!("Fig. 7: Kendall tau distribution vs. training set size\n");
@@ -69,11 +69,7 @@ fn main() {
     println!("{:>8}  -1.0{}+1.0", "", " ".repeat(12));
 
     let path = sorl_bench::results_dir().join("fig7.csv");
-    sorl_bench::write_csv(
-        &path,
-        &["ts_size", "min", "q1", "median", "q3", "max", "mean"],
-        &rows,
-    );
+    sorl_bench::write_csv(&path, &["ts_size", "min", "q1", "median", "q3", "max", "mean"], &rows);
 }
 
 /// One-line box plot over the [-1, 1] range, 60 characters wide.

@@ -14,13 +14,12 @@
 
 use sorl::pipeline::{PipelineConfig, TrainingPipeline};
 use sorl::tuner::StandaloneTuner;
-use stencil_model::{GridSize, StencilInstance, StencilKernel};
 use sorl_bench::{fmt_seconds, write_csv, TABLE2_SIZES};
+use stencil_model::{GridSize, StencilInstance, StencilKernel};
 
 fn main() {
     println!("Table II: computing time of phases vs. training set size\n");
-    let probe =
-        StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+    let probe = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
 
     println!(
         "{:>8}  {:>12}  {:>26}  {:>10}  {:>22}",
@@ -28,11 +27,9 @@ fn main() {
     );
     let mut rows = Vec::new();
     for size in TABLE2_SIZES {
-        let out = TrainingPipeline::new(PipelineConfig {
-            training_size: size,
-            ..Default::default()
-        })
-        .run();
+        let out =
+            TrainingPipeline::new(PipelineConfig { training_size: size, ..Default::default() })
+                .run();
         let tuner = StandaloneTuner::new(out.ranker);
 
         // Regression latency: median of several rank-the-predefined-set

@@ -16,8 +16,7 @@ fn main() {
     );
 
     // Group the 17 benchmarks back into the 9 kernel rows of the table.
-    let mut rows: BTreeMap<String, (String, String, String, String, Vec<String>)> =
-        BTreeMap::new();
+    let mut rows: BTreeMap<String, (String, String, String, String, Vec<String>)> = BTreeMap::new();
     let mut order = Vec::new();
     for b in table3_benchmarks() {
         let k = b.instance.kernel();

@@ -62,8 +62,7 @@ mod tests {
     #[test]
     fn nine_distinct_kernels() {
         let b = table3_benchmarks();
-        let mut kernels: Vec<&str> =
-            b.iter().map(|x| x.instance.kernel().name()).collect();
+        let mut kernels: Vec<&str> = b.iter().map(|x| x.instance.kernel().name()).collect();
         kernels.sort();
         kernels.dedup();
         assert_eq!(kernels.len(), 9);

@@ -26,8 +26,7 @@ pub const EVAL_OVERHEAD_SECONDS: f64 = 0.5;
 /// Simulated time-to-solution of a search run: every evaluation pays the
 /// measured sweep time plus [`EVAL_OVERHEAD_SECONDS`].
 pub fn search_time_to_solution(result: &SearchResult) -> f64 {
-    result.trace.values().iter().sum::<f64>()
-        + result.trace.len() as f64 * EVAL_OVERHEAD_SECONDS
+    result.trace.values().iter().sum::<f64>() + result.trace.len() as f64 * EVAL_OVERHEAD_SECONDS
 }
 
 /// Runs the paper's four search baselines for `budget` evaluations each and
@@ -67,10 +66,7 @@ pub fn orl_choice(
 
 /// Exhaustive oracle over the predefined set: the best configuration the
 /// ORL tuner could possibly return (its quality bound, Section VI-A).
-pub fn best_in_predefined(
-    machine: &Machine,
-    instance: &StencilInstance,
-) -> (TuningVector, f64) {
+pub fn best_in_predefined(machine: &Machine, instance: &StencilInstance) -> (TuningVector, f64) {
     let space = TuningSpace::for_dim(instance.dim()).expect("valid dims");
     let mut best: Option<(TuningVector, f64)> = None;
     for t in space.predefined_set() {

@@ -27,11 +27,7 @@ pub struct HybridTuner {
 impl HybridTuner {
     /// Wraps a trained ranker with default GA parameters and 8 seeds.
     pub fn new(ranker: StencilRanker) -> Self {
-        HybridTuner {
-            tuner: StandaloneTuner::new(ranker),
-            seeds: 8,
-            ga: GenerationalGa::default(),
-        }
+        HybridTuner { tuner: StandaloneTuner::new(ranker), seeds: 8, ga: GenerationalGa::default() }
     }
 
     /// The wrapped standalone tuner.
@@ -65,19 +61,16 @@ mod tests {
     use stencil_search::SearchAlgorithm;
 
     fn hybrid() -> HybridTuner {
-        let out = TrainingPipeline::new(PipelineConfig {
-            training_size: 1920,
-            ..Default::default()
-        })
-        .run();
+        let out =
+            TrainingPipeline::new(PipelineConfig { training_size: 1920, ..Default::default() })
+                .run();
         HybridTuner::new(out.ranker)
     }
 
     #[test]
     fn seeded_search_runs_and_respects_budget() {
         let machine = Machine::xeon_e5_2680_v3();
-        let lap =
-            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+        let lap = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
         let h = hybrid();
         let res = h.search(&machine, &lap, 96, 7);
         assert_eq!(res.trace.len(), 96);
@@ -90,8 +83,7 @@ mod tests {
         // good as the unseeded one on average (it starts from the model's
         // best guesses).
         let machine = Machine::xeon_e5_2680_v3();
-        let lap =
-            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+        let lap = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
         let h = hybrid();
         let mut seeded_best = 0.0;
         let mut unseeded_best = 0.0;

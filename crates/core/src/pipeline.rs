@@ -137,11 +137,9 @@ mod tests {
 
     #[test]
     fn pipeline_produces_trained_model() {
-        let out = TrainingPipeline::new(PipelineConfig {
-            training_size: 960,
-            ..Default::default()
-        })
-        .run();
+        let out =
+            TrainingPipeline::new(PipelineConfig { training_size: 960, ..Default::default() })
+                .run();
         assert_eq!(out.samples, 960);
         assert!(out.report.pairs > 0);
         assert!(out.ranker.model().norm() > 0.0);
@@ -153,11 +151,9 @@ mod tests {
     fn compile_time_is_in_paper_ballpark() {
         // The paper reports ~32 hours to compile the 60-code corpus; the
         // model should land within a loose band around that.
-        let out = TrainingPipeline::new(PipelineConfig {
-            training_size: 320,
-            ..Default::default()
-        })
-        .run();
+        let out =
+            TrainingPipeline::new(PipelineConfig { training_size: 320, ..Default::default() })
+                .run();
         let hours = out.timings.ts_compile_modelled / 3600.0;
         assert!(
             (20.0..48.0).contains(&hours),

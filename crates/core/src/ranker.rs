@@ -132,10 +132,7 @@ mod tests {
     #[test]
     fn ties_break_deterministically() {
         let r = unroll_loving_ranker();
-        let cands = vec![
-            TuningVector::new(16, 8, 8, 4, 1),
-            TuningVector::new(8, 16, 8, 4, 2),
-        ];
+        let cands = vec![TuningVector::new(16, 8, 8, 4, 1), TuningVector::new(8, 16, 8, 4, 2)];
         assert_eq!(r.rank(&lap128(), &cands).unwrap(), vec![0, 1]);
     }
 
@@ -150,8 +147,7 @@ mod tests {
     fn inadmissible_candidate_is_an_error() {
         let r = unroll_loving_ranker();
         // bz > 1 for a 2-D instance.
-        let blur =
-            StencilInstance::new(StencilKernel::blur(), GridSize::square(512)).unwrap();
+        let blur = StencilInstance::new(StencilKernel::blur(), GridSize::square(512)).unwrap();
         assert!(r.scores(&blur, &[TuningVector::new(8, 8, 8, 0, 1)]).is_err());
     }
 
@@ -170,10 +166,7 @@ mod tests {
         r.save_json(&path).unwrap();
         let back = StencilRanker::load_json(&path).unwrap();
         let cands = vec![TuningVector::new(8, 8, 8, 3, 1)];
-        assert_eq!(
-            r.scores(&lap128(), &cands).unwrap(),
-            back.scores(&lap128(), &cands).unwrap()
-        );
+        assert_eq!(r.scores(&lap128(), &cands).unwrap(), back.scores(&lap128(), &cands).unwrap());
         std::fs::remove_file(&path).ok();
     }
 }

@@ -62,8 +62,7 @@ impl StandaloneTuner {
     ) -> TunerDecision {
         assert!(!candidates.is_empty(), "candidate set must not be empty");
         let t0 = Instant::now();
-        let scores =
-            self.ranker.scores(instance, candidates).expect("admissible candidates");
+        let scores = self.ranker.scores(instance, candidates).expect("admissible candidates");
         let mut best = 0usize;
         for i in 1..scores.len() {
             if scores[i] > scores[best] {
@@ -95,25 +94,21 @@ mod tests {
     use stencil_model::{GridSize, StencilKernel};
 
     fn trained_tuner() -> StandaloneTuner {
-        let out = TrainingPipeline::new(PipelineConfig {
-            training_size: 960,
-            ..Default::default()
-        })
-        .run();
+        let out =
+            TrainingPipeline::new(PipelineConfig { training_size: 960, ..Default::default() })
+                .run();
         StandaloneTuner::new(out.ranker)
     }
 
     #[test]
     fn tunes_2d_and_3d_instances() {
         let tuner = trained_tuner();
-        let lap =
-            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+        let lap = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
         let d = tuner.tune(&lap);
         assert_eq!(d.candidates, 8640);
         assert!(TuningSpace::d3().contains(&d.tuning));
 
-        let blur =
-            StencilInstance::new(StencilKernel::blur(), GridSize::square(1024)).unwrap();
+        let blur = StencilInstance::new(StencilKernel::blur(), GridSize::square(1024)).unwrap();
         let d2 = tuner.tune(&blur);
         assert_eq!(d2.candidates, 1600);
         assert_eq!(d2.tuning.bz, 1);
@@ -124,8 +119,7 @@ mod tests {
         // The paper reports < 1 ms; allow a loose bound for debug builds
         // and noisy CI machines.
         let tuner = trained_tuner();
-        let lap =
-            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+        let lap = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
         let d = tuner.tune(&lap);
         assert!(d.seconds < 2.0, "ranking took {}s", d.seconds);
     }
@@ -133,8 +127,7 @@ mod tests {
     #[test]
     fn rank_predefined_returns_full_permutation() {
         let tuner = trained_tuner();
-        let lap =
-            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+        let lap = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
         let ranked = tuner.rank_predefined(&lap);
         assert_eq!(ranked.len(), 8640);
         assert_eq!(ranked[0], tuner.tune(&lap).tuning);
@@ -147,10 +140,8 @@ mod tests {
     #[test]
     fn tune_over_explicit_candidates() {
         let tuner = trained_tuner();
-        let lap =
-            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
-        let cands =
-            vec![TuningVector::new(2, 2, 2, 0, 64), TuningVector::new(64, 16, 8, 2, 2)];
+        let lap = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+        let cands = vec![TuningVector::new(2, 2, 2, 0, 64), TuningVector::new(64, 16, 8, 2, 2)];
         let d = tuner.tune_over(&lap, &cands);
         assert!(cands.contains(&d.tuning));
         assert_eq!(d.candidates, 2);
@@ -160,8 +151,7 @@ mod tests {
     #[should_panic(expected = "must not be empty")]
     fn empty_candidates_panic() {
         let tuner = trained_tuner();
-        let lap =
-            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(64)).unwrap();
+        let lap = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(64)).unwrap();
         tuner.tune_over(&lap, &[]);
     }
 }

@@ -285,13 +285,7 @@ mod tests {
     use stencil_model::DType;
 
     fn identity_kernel() -> WeightedKernel {
-        WeightedKernel::new(
-            "identity",
-            vec![(0, 0, 0, 0, 1.0)],
-            1,
-            DType::F64,
-        )
-        .unwrap()
+        WeightedKernel::new("identity", vec![(0, 0, 0, 0, 1.0)], 1, DType::F64).unwrap()
     }
 
     #[test]
@@ -352,13 +346,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "halo")]
     fn missing_halo_panics() {
-        let k = WeightedKernel::new(
-            "needs-halo",
-            vec![(-1, 0, 0, 0, 1.0)],
-            1,
-            DType::F64,
-        )
-        .unwrap();
+        let k = WeightedKernel::new("needs-halo", vec![(-1, 0, 0, 0, 1.0)], 1, DType::F64).unwrap();
         let input: Grid<f64> = Grid::new(4, 4, 1, 0, 0, 0); // no halo!
         let mut out: Grid<f64> = Grid::new(4, 4, 1, 0, 0, 0);
         Engine::new(1).sweep(&k, &[&input], &mut out, &TuningVector::new(2, 2, 1, 0, 1));

@@ -159,11 +159,7 @@ impl Grid<f64> {
     }
 }
 
-fn grid_diff<T: Copy + Default + PartialOrd>(
-    a: &Grid<T>,
-    b: &Grid<T>,
-    d: impl Fn(T, T) -> T,
-) -> T {
+fn grid_diff<T: Copy + Default + PartialOrd>(a: &Grid<T>, b: &Grid<T>, d: impl Fn(T, T) -> T) -> T {
     assert_eq!(a.extent(), b.extent(), "grid extents differ");
     let mut worst = T::default();
     for z in 0..a.nz {

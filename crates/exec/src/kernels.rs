@@ -259,6 +259,7 @@ impl StencilFn<f32> for Wave {
         let g = inputs[0];
         let c = g.at(x, y, z, 0, 0, 0);
         let prev = g.at(x, y, z, 0, 0, 0); // the "+1" access
+
         // 4th-order 13-point laplacian coefficients per axis:
         // -5/2 (centre), 4/3 (distance 1), -1/12 (distance 2).
         const W1: f32 = 4.0 / 3.0;
@@ -632,8 +633,7 @@ mod tests {
         let mut p = StencilPattern::new();
         p.add_count(Offset::ORIGIN, 3);
         let k = WeightedKernel::uniform("m", &p, 3, DType::F32).unwrap();
-        let buffers: std::collections::HashSet<usize> =
-            k.taps.iter().map(|t| t.buffer).collect();
+        let buffers: std::collections::HashSet<usize> = k.taps.iter().map(|t| t.buffer).collect();
         assert_eq!(buffers.len(), 3);
     }
 
@@ -660,11 +660,7 @@ mod tests {
         // Small grids, an awkward tuning (non-dividing blocks, unrolling,
         // chunking) and 4 threads: the engine must agree exactly.
         for k in BenchmarkKernel::ALL {
-            let size = if k.model().dim() == 2 {
-                GridSize::square(33)
-            } else {
-                GridSize::cube(17)
-            };
+            let size = if k.model().dim() == 2 { GridSize::square(33) } else { GridSize::cube(17) };
             let tuning = if k.model().dim() == 2 {
                 TuningVector::new(5, 7, 1, 3, 2)
             } else {

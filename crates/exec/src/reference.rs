@@ -40,8 +40,7 @@ mod tests {
 
     #[test]
     fn reference_identity() {
-        let k =
-            WeightedKernel::new("id", vec![(0, 0, 0, 0, 1.0)], 1, DType::F64).unwrap();
+        let k = WeightedKernel::new("id", vec![(0, 0, 0, 0, 1.0)], 1, DType::F64).unwrap();
         let mut input: Grid<f64> = Grid::new(3, 3, 1, 0, 0, 0);
         input.fill_with(|x, y, _| (x + 10 * y) as f64);
         let mut out: Grid<f64> = Grid::new(3, 3, 1, 0, 0, 0);
@@ -52,8 +51,7 @@ mod tests {
     #[test]
     fn reference_shift() {
         // out[p] = in[p + x] shifts the field left.
-        let k =
-            WeightedKernel::new("shift", vec![(1, 0, 0, 0, 1.0)], 1, DType::F64).unwrap();
+        let k = WeightedKernel::new("shift", vec![(1, 0, 0, 0, 1.0)], 1, DType::F64).unwrap();
         let mut input: Grid<f64> = Grid::new(4, 1, 1, 1, 0, 0);
         input.fill_with(|x, _, _| x as f64);
         let mut out: Grid<f64> = Grid::new(4, 1, 1, 1, 0, 0);
@@ -66,8 +64,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "extents differ")]
     fn extent_mismatch_panics() {
-        let k =
-            WeightedKernel::new("id", vec![(0, 0, 0, 0, 1.0)], 1, DType::F64).unwrap();
+        let k = WeightedKernel::new("id", vec![(0, 0, 0, 0, 1.0)], 1, DType::F64).unwrap();
         let input: Grid<f64> = Grid::new(3, 3, 1, 0, 0, 0);
         let mut out: Grid<f64> = Grid::new(4, 3, 1, 0, 0, 0);
         reference_sweep(&k, &[&input], &mut out);

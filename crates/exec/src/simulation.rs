@@ -43,11 +43,7 @@ where
         mut init: impl FnMut(i64, i64, i64) -> T,
     ) -> Self {
         let model = kernel.model();
-        assert_eq!(
-            model.buffers(),
-            1,
-            "time-stepped simulations need single-buffer kernels"
-        );
+        assert_eq!(model.buffers(), 1, "time-stepped simulations need single-buffer kernels");
         assert_eq!(model.dim(), size.dim(), "kernel/size dimensionality mismatch");
         let radius = model.pattern().radius_per_axis();
         let mut current = Grid::for_size(size, radius);
@@ -56,14 +52,7 @@ where
         // overwritten by the first sweep.
         let mut next = Grid::for_size(size, radius);
         next.fill_with(&mut init);
-        Simulation {
-            kernel,
-            current,
-            next,
-            engine: Engine::new(threads),
-            tuning,
-            steps: 0,
-        }
+        Simulation { kernel, current, next, engine: Engine::new(threads), tuning, steps: 0 }
     }
 
     /// Advances `n` time steps.
@@ -157,16 +146,20 @@ mod tests {
             1,
             init,
         );
-        let before: Vec<f32> =
-            (0..7).flat_map(|y| (0..7).map(move |x| (x, y))).map(|(x, y)| sim.state().get(x, y, 0)).collect();
+        let before: Vec<f32> = (0..7)
+            .flat_map(|y| (0..7).map(move |x| (x, y)))
+            .map(|(x, y)| sim.state().get(x, y, 0))
+            .collect();
         sim.step(1);
         // After one step the blinker is vertical.
         assert_eq!(sim.state().get(3, 2, 0), 1.0);
         assert_eq!(sim.state().get(3, 4, 0), 1.0);
         assert_eq!(sim.state().get(2, 3, 0), 0.0);
         sim.step(1);
-        let after: Vec<f32> =
-            (0..7).flat_map(|y| (0..7).map(move |x| (x, y))).map(|(x, y)| sim.state().get(x, y, 0)).collect();
+        let after: Vec<f32> = (0..7)
+            .flat_map(|y| (0..7).map(move |x| (x, y)))
+            .map(|(x, y)| sim.state().get(x, y, 0))
+            .collect();
         assert_eq!(before, after, "blinker must return after two steps");
     }
 
@@ -222,13 +215,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "single-buffer")]
     fn multi_buffer_kernels_are_rejected() {
-        let k = WeightedKernel::new(
-            "two",
-            vec![(0, 0, 0, 0, 1.0), (0, 0, 0, 1, 1.0)],
-            2,
-            DType::F64,
-        )
-        .unwrap();
+        let k =
+            WeightedKernel::new("two", vec![(0, 0, 0, 0, 1.0), (0, 0, 0, 1, 1.0)], 2, DType::F64)
+                .unwrap();
         let _ = Simulation::new(
             k,
             GridSize::cube(8),

@@ -1,9 +1,7 @@
 //! The synthetic training corpus: 60 kernels, 200 instances.
 
 use stencil_model::shape::Axis;
-use stencil_model::{
-    DType, GridSize, ModelError, ShapeFamily, StencilInstance, StencilKernel,
-};
+use stencil_model::{DType, GridSize, ModelError, ShapeFamily, StencilInstance, StencilKernel};
 
 /// Corpus dimensions. The defaults reproduce the paper: 20 2-D and 40 3-D
 /// kernels, instantiated at the standard training sizes, giving
@@ -46,11 +44,8 @@ impl Corpus {
 
         let mut instances = Vec::new();
         for k in &kernels {
-            let sizes: &[GridSize] = if k.dim() == 2 {
-                &GridSize::TRAINING_2D
-            } else {
-                &GridSize::TRAINING_3D
-            };
+            let sizes: &[GridSize] =
+                if k.dim() == 2 { &GridSize::TRAINING_2D } else { &GridSize::TRAINING_3D };
             for &s in sizes {
                 instances.push(StencilInstance::new(k.clone(), s)?);
             }
@@ -118,8 +113,7 @@ fn enumerate_kernels(dim: u8, count: usize) -> Result<Vec<StencilKernel>, ModelE
                 break 'outer;
             }
             let pattern = family.build(dim, offset)?;
-            let name =
-                format!("train-{dim}d-{}-r{offset}-{}-b{buffers}", family.name(), dtype);
+            let name = format!("train-{dim}d-{}-r{offset}-{}-b{buffers}", family.name(), dtype);
             // The family remap in 2-D (line-z -> line-x) can produce
             // duplicate shapes under the same variant; skip those.
             let kernel = StencilKernel::new(name, pattern, buffers, dtype)?;

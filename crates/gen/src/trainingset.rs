@@ -128,11 +128,7 @@ impl TrainingSetBuilder {
     /// Number of executions contributed by one sampling round
     /// (1 per 2-D instance + 2 per 3-D instance).
     pub fn round_size(&self) -> usize {
-        self.corpus
-            .instances()
-            .iter()
-            .map(|q| if q.dim() == 2 { 1 } else { 2 })
-            .sum()
+        self.corpus.instances().iter().map(|q| if q.dim() == 2 { 1 } else { 2 }).sum()
     }
 
     /// Builds a training set with `rounds` sampling rounds (total size =

@@ -138,18 +138,15 @@ pub fn simulate_tile(cache: &mut CacheSim, exec: &StencilExecution) -> TileMissS
     let out_base = buffers * grid_bytes;
 
     let addr = |buffer: u64, x: i64, y: i64, z: i64| -> u64 {
-        let lin = (z + rz as i64) as u64 * plane
-            + (y + ry as i64) as u64 * row
-            + (x + rx as i64) as u64;
+        let lin =
+            (z + rz as i64) as u64 * plane + (y + ry as i64) as u64 * row + (x + rx as i64) as u64;
         buffer * grid_bytes + lin * bytes
     };
 
     let taps: Vec<(i32, i32, i32, u64)> = k
         .pattern()
         .iter()
-        .flat_map(|(o, count)| {
-            (0..count).map(move |rep| (o.dx, o.dy, o.dz, rep as u64 % buffers))
-        })
+        .flat_map(|(o, count)| (0..count).map(move |rep| (o.dx, o.dy, o.dz, rep as u64 % buffers)))
         .collect();
 
     cache.reset_stats();
@@ -229,11 +226,8 @@ mod tests {
 
     fn stats_for(blocks: (u32, u32, u32)) -> TileMissStats {
         let q = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
-        let exec = StencilExecution::new(
-            q,
-            TuningVector::new(blocks.0, blocks.1, blocks.2, 0, 1),
-        )
-        .unwrap();
+        let exec = StencilExecution::new(q, TuningVector::new(blocks.0, blocks.1, blocks.2, 0, 1))
+            .unwrap();
         let mut cache = CacheSim::xeon_l2();
         simulate_tile(&mut cache, &exec)
     }
@@ -271,8 +265,7 @@ mod tests {
         let spec = crate::spec::MachineSpec::xeon_e5_2680_v3();
         let q = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
         let fits = StencilExecution::new(q.clone(), TuningVector::new(32, 16, 8, 0, 1)).unwrap();
-        let thrashes =
-            StencilExecution::new(q, TuningVector::new(128, 128, 64, 0, 1)).unwrap();
+        let thrashes = StencilExecution::new(q, TuningVector::new(128, 128, 64, 0, 1)).unwrap();
         // Analytic verdicts.
         let c_fits = crate::cost::simulate(&spec, &fits);
         let c_thrash = crate::cost::simulate(&spec, &thrashes);
@@ -288,8 +281,7 @@ mod tests {
     #[test]
     fn multi_buffer_kernels_access_all_buffers() {
         let q = StencilInstance::new(StencilKernel::divergence(), GridSize::cube(32)).unwrap();
-        let exec =
-            StencilExecution::new(q, TuningVector::new(16, 8, 4, 0, 1)).unwrap();
+        let exec = StencilExecution::new(q, TuningVector::new(16, 8, 4, 0, 1)).unwrap();
         let mut cache = CacheSim::xeon_l2();
         let s = simulate_tile(&mut cache, &exec);
         // 6 taps + 1 write per point, 16*8*4 points.

@@ -91,6 +91,7 @@ pub fn simulate(spec: &MachineSpec, exec: &StencilExecution) -> CostBreakdown {
         * (1.0 + 2.0 * rz as f64 / bz as f64);
     let in_bytes = buffers * bytes as f64;
     let out_bytes = 2.0 * bytes as f64; // write-allocate + writeback
+
     // Tile working set: all input halos plus the output tile.
     let ws = bytes as f64
         * (buffers
@@ -148,16 +149,7 @@ pub fn simulate(spec: &MachineSpec, exec: &StencilExecution) -> CostBreakdown {
     debug_assert!(total.is_finite() && total > 0.0);
     let _ = n;
 
-    CostBreakdown {
-        compute_pp,
-        memory_pp,
-        row_pp,
-        tile_time,
-        tiles,
-        chunks,
-        makespan,
-        total,
-    }
+    CostBreakdown { compute_pp, memory_pp, row_pp, tile_time, tiles, chunks, makespan, total }
 }
 
 #[cfg(test)]
@@ -177,7 +169,11 @@ mod tests {
     fn cost_is_positive_and_finite() {
         let c = simulate(
             &spec(),
-            &exec(StencilKernel::laplacian(), GridSize::cube(128), TuningVector::new(32, 32, 32, 2, 4)),
+            &exec(
+                StencilKernel::laplacian(),
+                GridSize::cube(128),
+                TuningVector::new(32, 32, 32, 2, 4),
+            ),
         );
         assert!(c.total.is_finite());
         assert!(c.total > 0.0);
@@ -206,8 +202,12 @@ mod tests {
         // L2 badly; a moderate tile does not.
         let m = spec();
         let k = StencilKernel::laplacian6();
-        let good = simulate(&m, &exec(k.clone(), GridSize::cube(256), TuningVector::new(256, 16, 8, 2, 1)));
-        let bad = simulate(&m, &exec(k, GridSize::cube(256), TuningVector::new(256, 256, 256, 2, 1)));
+        let good = simulate(
+            &m,
+            &exec(k.clone(), GridSize::cube(256), TuningVector::new(256, 16, 8, 2, 1)),
+        );
+        let bad =
+            simulate(&m, &exec(k, GridSize::cube(256), TuningVector::new(256, 256, 256, 2, 1)));
         assert!(bad.total > good.total, "bad {} vs good {}", bad.total, good.total);
     }
 
@@ -216,7 +216,10 @@ mod tests {
         // One tile = one worker does everything; 12x worse than balanced.
         let m = spec();
         let k = StencilKernel::laplacian();
-        let one = simulate(&m, &exec(k.clone(), GridSize::cube(128), TuningVector::new(128, 128, 128, 2, 1)));
+        let one = simulate(
+            &m,
+            &exec(k.clone(), GridSize::cube(128), TuningVector::new(128, 128, 128, 2, 1)),
+        );
         let many = simulate(&m, &exec(k, GridSize::cube(128), TuningVector::new(64, 16, 16, 2, 1)));
         assert!(one.total > 4.0 * many.total);
         assert_eq!(one.tiles, 1);
@@ -227,8 +230,12 @@ mod tests {
         let m = spec();
         let k = StencilKernel::laplacian();
         // 64 tiles over 12 cores: c=1 balances (6 tiles max), c=64 serializes.
-        let balanced = simulate(&m, &exec(k.clone(), GridSize::cube(128), TuningVector::new(32, 32, 32, 2, 1)));
-        let serialized = simulate(&m, &exec(k, GridSize::cube(128), TuningVector::new(32, 32, 32, 2, 64)));
+        let balanced = simulate(
+            &m,
+            &exec(k.clone(), GridSize::cube(128), TuningVector::new(32, 32, 32, 2, 1)),
+        );
+        let serialized =
+            simulate(&m, &exec(k, GridSize::cube(128), TuningVector::new(32, 32, 32, 2, 64)));
         assert!(serialized.total > 5.0 * balanced.total);
     }
 
@@ -266,8 +273,14 @@ mod tests {
         // tricubic is compute heavy; unrolling to u=2..4 should beat u=0.
         let m = spec();
         let k = StencilKernel::tricubic();
-        let u0 = simulate(&m, &exec(k.clone(), GridSize::cube(128), TuningVector::new(64, 16, 16, 0, 2)));
-        let u3 = simulate(&m, &exec(k.clone(), GridSize::cube(128), TuningVector::new(64, 16, 16, 3, 2)));
+        let u0 = simulate(
+            &m,
+            &exec(k.clone(), GridSize::cube(128), TuningVector::new(64, 16, 16, 0, 2)),
+        );
+        let u3 = simulate(
+            &m,
+            &exec(k.clone(), GridSize::cube(128), TuningVector::new(64, 16, 16, 3, 2)),
+        );
         let u8 = simulate(&m, &exec(k, GridSize::cube(128), TuningVector::new(64, 16, 16, 8, 2)));
         assert!(u3.total < u0.total, "u3 {} vs u0 {}", u3.total, u0.total);
         // Excessive unrolling of a 64-point stencil spills registers.
@@ -279,7 +292,11 @@ mod tests {
         let m = spec();
         let c = simulate(
             &m,
-            &exec(StencilKernel::gradient(), GridSize::cube(256), TuningVector::new(64, 16, 16, 2, 2)),
+            &exec(
+                StencilKernel::gradient(),
+                GridSize::cube(256),
+                TuningVector::new(64, 16, 16, 2, 2),
+            ),
         );
         assert!(c.memory_bound());
     }
@@ -305,11 +322,7 @@ mod tests {
             let e = exec(k.clone(), s, t);
             let c = simulate(&m, &e);
             let gf = e.gflops(c.total);
-            assert!(
-                gf > lo && gf < hi,
-                "{}: {gf:.1} GF/s outside [{lo}, {hi}]",
-                k.name()
-            );
+            assert!(gf > lo && gf < hi, "{}: {gf:.1} GF/s outside [{lo}, {hi}]", k.name());
         }
     }
 

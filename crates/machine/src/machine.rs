@@ -79,8 +79,7 @@ impl Machine {
     /// harness would report.
     pub fn execute_median(&self, exec: &StencilExecution, reps: u32) -> Measurement {
         assert!(reps > 0, "need at least one repetition");
-        let mut times: Vec<f64> =
-            (0..reps).map(|r| self.execute_rep(exec, r).seconds).collect();
+        let mut times: Vec<f64> = (0..reps).map(|r| self.execute_rep(exec, r).seconds).collect();
         times.sort_by(f64::total_cmp);
         let seconds = times[times.len() / 2];
         Measurement { seconds, gflops: exec.gflops(seconds) }

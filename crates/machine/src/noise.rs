@@ -178,16 +178,10 @@ mod tests {
         let k1 = StencilKernel::laplacian();
         let k2 = StencilKernel::new("renamed", k1.pattern().clone(), 1, k1.dtype()).unwrap();
         let t = TuningVector::new(16, 16, 16, 2, 2);
-        let e1 = StencilExecution::new(
-            StencilInstance::new(k1, GridSize::cube(64)).unwrap(),
-            t,
-        )
-        .unwrap();
-        let e2 = StencilExecution::new(
-            StencilInstance::new(k2, GridSize::cube(64)).unwrap(),
-            t,
-        )
-        .unwrap();
+        let e1 = StencilExecution::new(StencilInstance::new(k1, GridSize::cube(64)).unwrap(), t)
+            .unwrap();
+        let e2 = StencilExecution::new(StencilInstance::new(k2, GridSize::cube(64)).unwrap(), t)
+            .unwrap();
         assert_eq!(fingerprint(&e1, 0, 0), fingerprint(&e2, 0, 0));
     }
 
@@ -196,11 +190,8 @@ mod tests {
         let k = StencilKernel::laplacian();
         let t = TuningVector::new(16, 16, 16, 2, 2);
         let mk = |n: u32| {
-            StencilExecution::new(
-                StencilInstance::new(k.clone(), GridSize::cube(n)).unwrap(),
-                t,
-            )
-            .unwrap()
+            StencilExecution::new(StencilInstance::new(k.clone(), GridSize::cube(n)).unwrap(), t)
+                .unwrap()
         };
         assert_ne!(fingerprint(&mk(64), 0, 0), fingerprint(&mk(128), 0, 0));
     }

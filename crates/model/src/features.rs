@@ -147,7 +147,8 @@ impl FeatureEncoder {
 
     /// Length of the concatenated (paper) block.
     fn concat_len(&self) -> usize {
-        self.pattern_cells() + 1 /* buffers */ + 1 /* dtype */ + 3 /* size */ + 5 /* tuning */
+        // pattern + buffers + dtype + size (3) + tuning (5)
+        self.pattern_cells() + 1 + 1 + 3 + 5
     }
 
     /// Total feature dimensionality for this configuration.
@@ -326,8 +327,7 @@ impl FeatureEncoder {
             idx += 1;
             v
         };
-        let buffers =
-            ((next() * cfg.max_buffers as f64).round() as u8).clamp(1, cfg.max_buffers);
+        let buffers = ((next() * cfg.max_buffers as f64).round() as u8).clamp(1, cfg.max_buffers);
         let dtype = DType::from_feature(next());
         let sx = denorm_log2(next(), cfg.size_log2_max);
         let sy = denorm_log2(next(), cfg.size_log2_max);
@@ -404,10 +404,7 @@ mod tests {
                 let f = enc.encode(&e);
                 assert_eq!(f.len(), enc.dim());
                 for (i, v) in f.iter().enumerate() {
-                    assert!(
-                        (0.0..=1.0).contains(v),
-                        "feature {i} = {v} out of range for {e}"
-                    );
+                    assert!((0.0..=1.0).contains(v), "feature {i} = {v} out of range for {e}");
                 }
             }
         }
@@ -458,8 +455,7 @@ mod tests {
         let q = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(64)).unwrap();
         let a = enc
             .encode(&StencilExecution::new(q.clone(), TuningVector::new(8, 8, 8, 0, 1)).unwrap());
-        let b = enc
-            .encode(&StencilExecution::new(q, TuningVector::new(64, 16, 4, 4, 8)).unwrap());
+        let b = enc.encode(&StencilExecution::new(q, TuningVector::new(64, 16, 4, 4, 8)).unwrap());
         let tuning_start = enc.dim() - 5;
         assert_eq!(&a[..tuning_start], &b[..tuning_start]);
         assert_ne!(&a[tuning_start..], &b[tuning_start..]);
@@ -471,8 +467,7 @@ mod tests {
         let q = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(64)).unwrap();
         let a = enc
             .encode(&StencilExecution::new(q.clone(), TuningVector::new(8, 8, 8, 0, 1)).unwrap());
-        let b = enc
-            .encode(&StencilExecution::new(q, TuningVector::new(64, 16, 4, 4, 8)).unwrap());
+        let b = enc.encode(&StencilExecution::new(q, TuningVector::new(64, 16, 4, 4, 8)).unwrap());
         let ndiff = a.iter().zip(&b).filter(|(x, y)| x != y).count();
         // Tuning block (5) plus a healthy share of the 143 interaction terms.
         assert!(ndiff > 40, "only {ndiff} features vary");

@@ -159,8 +159,7 @@ impl StencilKernel {
 
     /// 6th-order 19-point laplacian, 1 double buffer.
     pub fn laplacian6() -> Self {
-        Self::new("laplacian6", ShapeFamily::Laplacian.build(3, 3).unwrap(), 1, DType::F64)
-            .unwrap()
+        Self::new("laplacian6", ShapeFamily::Laplacian.build(3, 3).unwrap(), 1, DType::F64).unwrap()
     }
 
     /// All nine Table III kernels in paper order.

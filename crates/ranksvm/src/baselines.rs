@@ -171,12 +171,8 @@ mod tests {
 
     #[test]
     fn centroid_classifier_separates_clusters() {
-        let rows: Vec<Vec<f64>> = vec![
-            vec![0.0, 0.1],
-            vec![0.1, 0.0],
-            vec![1.0, 0.9],
-            vec![0.9, 1.0],
-        ];
+        let rows: Vec<Vec<f64>> =
+            vec![vec![0.0, 0.1], vec![0.1, 0.0], vec![1.0, 0.9], vec![0.9, 1.0]];
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let clf = NearestCentroidClassifier::fit(&refs, &[0, 0, 1, 1], 2);
         assert_eq!(clf.predict(&[0.05, 0.05]), Some(0));

@@ -146,7 +146,8 @@ fn count_inversions(seq: &mut [f64], buf: &mut [f64]) -> u64 {
     }
     let mid = n / 2;
     let (left, right) = seq.split_at_mut(mid);
-    let mut inv = count_inversions(left, &mut buf[..mid]) + count_inversions(right, &mut buf[mid..]);
+    let mut inv =
+        count_inversions(left, &mut buf[..mid]) + count_inversions(right, &mut buf[mid..]);
     // Merge while counting cross inversions.
     let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
     while i < left.len() && j < right.len() {

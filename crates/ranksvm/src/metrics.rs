@@ -10,8 +10,7 @@ pub fn pairwise_accuracy(scores: &[f64], pairs: &[(u32, u32)]) -> f64 {
     if pairs.is_empty() {
         return 1.0;
     }
-    let correct =
-        pairs.iter().filter(|&&(i, j)| scores[i as usize] > scores[j as usize]).count();
+    let correct = pairs.iter().filter(|&&(i, j)| scores[i as usize] > scores[j as usize]).count();
     correct as f64 / pairs.len() as f64
 }
 
@@ -115,6 +114,7 @@ mod tests {
     fn rank_of_best_finds_position() {
         let scores = [0.5, 0.9, 0.1];
         let targets = [2.0, 3.0, 1.0]; // best target at index 2
+
         // Score order: 1, 0, 2 -> index 2 sits at rank 2.
         assert_eq!(rank_of_best(&scores, &targets), 2);
         let scores = [0.5, 0.9, 1.3];

@@ -156,17 +156,26 @@ mod tests {
     }
 
     #[test]
-    fn select_c_prefers_fitting_over_underfitting() {
+    fn select_c_returns_argmax_of_cv_scores() {
+        // Note: one cannot assert that C = 1e-9 *loses* to C = 1 here. With
+        // a Pegasos-style solver a tiny C shrinks the weight norm, not its
+        // direction, and Kendall tau is scale-invariant — so on clean
+        // near-linear data every candidate ranks almost perfectly. What
+        // select_c does guarantee: scores align with the candidates, the
+        // returned C is the argmax, and learnable data scores highly.
         let ds = synthetic(12, 10, 0.02, 5);
-        let (best, scores) = select_c(
-            &ds,
-            TrainConfig::default(),
-            &[1e-9, 1.0],
-            3,
-        );
-        assert_eq!(scores.len(), 2);
-        // A C of 1e-9 barely moves the weights; CV must prefer C = 1.
-        assert_eq!(best, 1.0, "scores {scores:?}");
+        let candidates = [1e-9, 1.0];
+        let (best, scores) = select_c(&ds, TrainConfig::default(), &candidates, 3);
+        assert_eq!(scores.len(), candidates.len());
+        // First maximum under strict `>`, mirroring select_c's tie-breaking.
+        let mut argmax = 0;
+        for i in 1..scores.len() {
+            if scores[i] > scores[argmax] {
+                argmax = i;
+            }
+        }
+        assert_eq!(best, candidates[argmax], "scores {scores:?}");
+        assert!(scores.iter().all(|s| *s > 0.7), "scores {scores:?}");
     }
 
     #[test]

@@ -492,8 +492,8 @@ mod tests {
             let ds = separable(6, 10, 5, seed);
             let base = TrainConfig::default().with_c(0.5).with_epochs(60);
             let (_, sgd) = RankSvmTrainer::new(base).train(&ds);
-            let (_, dcd) = RankSvmTrainer::new(base.with_solver(Solver::DualCoordinateDescent))
-                .train(&ds);
+            let (_, dcd) =
+                RankSvmTrainer::new(base.with_solver(Solver::DualCoordinateDescent)).train(&ds);
             assert!(
                 dcd.objective <= sgd.objective * 1.01,
                 "seed {seed}: dcd {} vs sgd {}",

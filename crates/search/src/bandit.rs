@@ -49,8 +49,7 @@ enum Arm {
     Restart,
 }
 
-const ARMS: [Arm; 4] =
-    [Arm::CrossoverMutate, Arm::Differential, Arm::Gaussian, Arm::Restart];
+const ARMS: [Arm; 4] = [Arm::CrossoverMutate, Arm::Differential, Arm::Gaussian, Arm::Restart];
 
 /// Sliding-window success statistics of one arm.
 #[derive(Debug, Default)]
@@ -92,9 +91,7 @@ impl BanditSearch {
             let score = if s.pulls == 0 {
                 f64::INFINITY // pull every arm once first
             } else {
-                s.credit()
-                    + self.exploration
-                        * ((total.max(1) as f64).ln() / s.pulls as f64).sqrt()
+                s.credit() + self.exploration * ((total.max(1) as f64).ln() / s.pulls as f64).sqrt()
             };
             if score > best_score {
                 best_score = score;
@@ -128,11 +125,8 @@ impl BanditSearch {
                 child
             }
             Arm::Differential => {
-                let (a, b, c) = (
-                    space.to_real(pick(rng)),
-                    space.to_real(pick(rng)),
-                    space.to_real(pick(rng)),
-                );
+                let (a, b, c) =
+                    (space.to_real(pick(rng)), space.to_real(pick(rng)), space.to_real(pick(rng)));
                 let real: Vec<f64> = a
                     .iter()
                     .zip(b.iter().zip(&c))

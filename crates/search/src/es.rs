@@ -80,9 +80,8 @@ impl SearchAlgorithm for EvolutionStrategy {
                 let mut sigma = p.sigma.clone();
                 let mut real = p.real.clone();
                 for d in 0..dim {
-                    sigma[d] = (sigma[d]
-                        * (tau_global * g + tau_local * gaussian(&mut rng)).exp())
-                    .max(self.sigma_min);
+                    sigma[d] = (sigma[d] * (tau_global * g + tau_local * gaussian(&mut rng)).exp())
+                        .max(self.sigma_min);
                     let (lo, hi) = space.real_bounds(d);
                     real[d] = (real[d] + sigma[d] * gaussian(&mut rng)).clamp(lo, hi);
                 }
@@ -119,8 +118,7 @@ mod tests {
     fn plus_selection_never_loses_the_best() {
         use crate::objective::FnObjective;
         let space = crate::runner::test_support::tuning_space();
-        let mut obj =
-            FnObjective(|x: &[i64]| space.to_real(x).iter().map(|v| v * v).sum::<f64>());
+        let mut obj = FnObjective(|x: &[i64]| space.to_real(x).iter().map(|v| v * v).sum::<f64>());
         let res = EvolutionStrategy::default().run(&space, &mut obj, 200, 17);
         let bests = res.trace.best_so_far();
         for w in bests.windows(2) {
@@ -134,12 +132,7 @@ mod tests {
         let space = crate::runner::test_support::tuning_space();
         let target = [6.0, 6.0, 4.0, 4.0, 4.0];
         let mut obj = FnObjective(|x: &[i64]| {
-            space
-                .to_real(x)
-                .iter()
-                .zip(&target)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
+            space.to_real(x).iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
         });
         let res = EvolutionStrategy::default().run(&space, &mut obj, 600, 23);
         assert!(res.best_f < 1.0, "best {}", res.best_f);

@@ -95,12 +95,7 @@ pub(crate) mod test_support {
         // aside); a typical random point sits above ~20. Structured engines
         // get much closer (asserted in their own tests); even random search
         // must land well below the prior mean within 300 evaluations.
-        assert!(
-            res.best_f < 8.0,
-            "{}: best {} too far from optimum",
-            algo.name(),
-            res.best_f
-        );
+        assert!(res.best_f < 8.0, "{}: best {} too far from optimum", algo.name(), res.best_f);
 
         // 6. Improves over the first evaluations.
         let early = res.trace.best_after(8).unwrap();

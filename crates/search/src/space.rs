@@ -21,10 +21,7 @@ impl IntSpace {
         assert_eq!(bounds.len(), log_scaled.len(), "bounds/log flags length mismatch");
         for (d, &(lo, hi)) in bounds.iter().enumerate() {
             assert!(lo <= hi, "dimension {d}: inverted bounds [{lo}, {hi}]");
-            assert!(
-                !log_scaled[d] || lo > 0,
-                "dimension {d}: log scale requires positive bounds"
-            );
+            assert!(!log_scaled[d] || lo > 0, "dimension {d}: log scale requires positive bounds");
         }
         IntSpace { bounds, log_scaled }
     }
@@ -129,13 +126,15 @@ impl IntSpace {
         let mut x: Vec<i64> = v
             .iter()
             .enumerate()
-            .map(|(d, &r)| {
-                if self.log_scaled[d] {
-                    r.exp2().round() as i64
-                } else {
-                    r.round() as i64
-                }
-            })
+            .map(
+                |(d, &r)| {
+                    if self.log_scaled[d] {
+                        r.exp2().round() as i64
+                    } else {
+                        r.round() as i64
+                    }
+                },
+            )
             .collect();
         self.clamp(&mut x);
         x
@@ -220,9 +219,7 @@ mod tests {
     fn mutation_actually_moves() {
         let s = tuning_like_space();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let moved = (0..100)
-            .filter(|_| s.mutate_gene(&mut rng, 0, 32, 1.0) != 32)
-            .count();
+        let moved = (0..100).filter(|_| s.mutate_gene(&mut rng, 0, 32, 1.0) != 32).count();
         assert!(moved > 50, "only {moved} mutations moved");
     }
 

@@ -7,8 +7,8 @@
 //! cargo run --release --example heat3d
 //! ```
 
-use stencil_autotune::exec::{Engine, Grid, WeightedKernel};
 use stencil_autotune::exec::reference::reference_sweep;
+use stencil_autotune::exec::{Engine, Grid, WeightedKernel};
 use stencil_autotune::model::{DType, GridSize, StencilInstance, TuningVector};
 use stencil_autotune::sorl::pipeline::{PipelineConfig, TrainingPipeline};
 use stencil_autotune::sorl::tuner::StandaloneTuner;
@@ -54,11 +54,8 @@ fn main() {
     // Autotune the sweep. The model has never seen this kernel; it ranks
     // the 8640 predefined configurations from its training on the corpus.
     println!("training the autotuner...");
-    let outcome = TrainingPipeline::new(PipelineConfig {
-        training_size: 1920,
-        ..Default::default()
-    })
-    .run();
+    let outcome =
+        TrainingPipeline::new(PipelineConfig { training_size: 1920, ..Default::default() }).run();
     let tuner = StandaloneTuner::new(outcome.ranker);
     let decision = tuner.tune(&instance);
     println!("autotuned {instance}: {}\n", decision.tuning);

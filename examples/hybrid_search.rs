@@ -11,26 +11,22 @@
 
 use stencil_autotune::machine::Machine;
 use stencil_autotune::model::{GridSize, StencilInstance, StencilKernel};
+use stencil_autotune::search::SearchAlgorithm;
 use stencil_autotune::sorl::experiments::best_in_predefined;
 use stencil_autotune::sorl::hybrid::HybridTuner;
 use stencil_autotune::sorl::objective::MachineObjective;
 use stencil_autotune::sorl::pipeline::{PipelineConfig, TrainingPipeline};
-use stencil_autotune::search::SearchAlgorithm;
 
 const BUDGET: usize = 512;
 const RUNS: u64 = 8;
 
 fn main() {
     let machine = Machine::xeon_e5_2680_v3();
-    let instance =
-        StencilInstance::new(StencilKernel::gradient(), GridSize::cube(256)).unwrap();
+    let instance = StencilInstance::new(StencilKernel::gradient(), GridSize::cube(256)).unwrap();
 
     println!("training the ranking model...");
-    let outcome = TrainingPipeline::new(PipelineConfig {
-        training_size: 3840,
-        ..Default::default()
-    })
-    .run();
+    let outcome =
+        TrainingPipeline::new(PipelineConfig { training_size: 3840, ..Default::default() }).run();
     let hybrid = HybridTuner::new(outcome.ranker);
 
     // Quality target: within 10% of the best configuration in the
@@ -66,10 +62,7 @@ fn main() {
     }
 }
 
-fn evals_to_target(
-    trace: &stencil_autotune::search::EvalTrace,
-    target: f64,
-) -> Option<usize> {
+fn evals_to_target(trace: &stencil_autotune::search::EvalTrace, target: f64) -> Option<usize> {
     trace.best_so_far().iter().position(|&b| b <= target).map(|i| i + 1)
 }
 

@@ -25,11 +25,8 @@ fn synthetic_image(x: i64, y: i64) -> f32 {
 
 fn main() {
     println!("training the autotuner...");
-    let outcome = TrainingPipeline::new(PipelineConfig {
-        training_size: 1920,
-        ..Default::default()
-    })
-    .run();
+    let outcome =
+        TrainingPipeline::new(PipelineConfig { training_size: 1920, ..Default::default() }).run();
     let tuner = StandaloneTuner::new(outcome.ranker);
 
     let size = GridSize::d2(W as u32, H as u32);
@@ -38,10 +35,8 @@ fn main() {
 
     // Each stage is tuned for its own shape: the 5x5 blur and the 3x3 edge
     // kernel generally get different blockings.
-    let blur_cfg =
-        tuner.tune(&StencilInstance::new(blur.model().clone(), size).unwrap());
-    let edge_cfg =
-        tuner.tune(&StencilInstance::new(edge.model().clone(), size).unwrap());
+    let blur_cfg = tuner.tune(&StencilInstance::new(blur.model().clone(), size).unwrap());
+    let edge_cfg = tuner.tune(&StencilInstance::new(edge.model().clone(), size).unwrap());
     println!("blur 5x5  -> {}", blur_cfg.tuning);
     println!("edge 3x3  -> {}\n", edge_cfg.tuning);
 
@@ -70,7 +65,13 @@ fn main() {
             }
         }
     }
-    println!("pipeline on {}x{} image: {:.2} ms total ({} threads)", W, H, elapsed * 1e3, engine.threads());
+    println!(
+        "pipeline on {}x{} image: {:.2} ms total ({} threads)",
+        W,
+        H,
+        elapsed * 1e3,
+        engine.threads()
+    );
     println!(
         "edge response: mean |e| = {:.4}, {} strong edge pixels ({:.2}%)",
         sum / (W * H) as f64,

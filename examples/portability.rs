@@ -32,12 +32,10 @@ fn main() {
     let choices: Vec<(&str, TuningVector)> = machines
         .iter()
         .map(|(name, machine)| {
-            let out = TrainingPipeline::new(PipelineConfig {
-                training_size: 3840,
-                ..Default::default()
-            })
-            .with_machine(machine.clone())
-            .run();
+            let out =
+                TrainingPipeline::new(PipelineConfig { training_size: 3840, ..Default::default() })
+                    .with_machine(machine.clone())
+                    .run();
             let tuner = StandaloneTuner::new(out.ranker);
             let t = tuner.tune(&q).tuning;
             println!("  model[{name}] picks {t} for {q}");

@@ -8,7 +8,9 @@
 
 use stencil_autotune::exec::{BenchmarkKernel, Engine, MeasureConfig};
 use stencil_autotune::machine::Machine;
-use stencil_autotune::model::{GridSize, StencilExecution, StencilInstance, StencilKernel, TuningVector};
+use stencil_autotune::model::{
+    GridSize, StencilExecution, StencilInstance, StencilKernel, TuningVector,
+};
 use stencil_autotune::sorl::pipeline::{PipelineConfig, TrainingPipeline};
 use stencil_autotune::sorl::tuner::StandaloneTuner;
 
@@ -17,11 +19,8 @@ fn main() {
     //    simulated Xeon and fit the ranking SVM. Larger training sizes rank
     //    better; 3840 is a good default (see Fig. 7 of the paper).
     println!("training the ordinal-regression model (size 3840)...");
-    let outcome = TrainingPipeline::new(PipelineConfig {
-        training_size: 3840,
-        ..Default::default()
-    })
-    .run();
+    let outcome =
+        TrainingPipeline::new(PipelineConfig { training_size: 3840, ..Default::default() }).run();
     println!(
         "  {} samples, {} preference pairs, pair accuracy {:.3}, trained in {:.2}s\n",
         outcome.samples,
@@ -46,13 +45,22 @@ fn main() {
     //    blocking (one whole-domain tile), no unrolling, one chunk.
     let machine = Machine::xeon_e5_2680_v3();
     let default_tuning = TuningVector::new(1024, 1024, 1024, 0, 1);
-    let tuned = machine
-        .execute_median(&StencilExecution::new(q.clone(), decision.tuning).unwrap(), 5);
-    let naive = machine
-        .execute_median(&StencilExecution::new(q.clone(), default_tuning).unwrap(), 5);
+    let tuned =
+        machine.execute_median(&StencilExecution::new(q.clone(), decision.tuning).unwrap(), 5);
+    let naive =
+        machine.execute_median(&StencilExecution::new(q.clone(), default_tuning).unwrap(), 5);
     println!("\nsimulated Xeon E5-2680 v3:");
-    println!("  untuned {default_tuning}: {:8.2} ms  ({:.2} GFlop/s)", naive.seconds * 1e3, naive.gflops);
-    println!("  tuned   {}: {:8.2} ms  ({:.2} GFlop/s)", decision.tuning, tuned.seconds * 1e3, tuned.gflops);
+    println!(
+        "  untuned {default_tuning}: {:8.2} ms  ({:.2} GFlop/s)",
+        naive.seconds * 1e3,
+        naive.gflops
+    );
+    println!(
+        "  tuned   {}: {:8.2} ms  ({:.2} GFlop/s)",
+        decision.tuning,
+        tuned.seconds * 1e3,
+        tuned.gflops
+    );
     println!("  speedup: {:.2}x", naive.seconds / tuned.seconds);
 
     // 4. The tuning vector drives a *real* engine too: run both

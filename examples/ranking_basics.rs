@@ -53,8 +53,7 @@ fn main() {
     assert!(!pairs.contains(&(3, 0)), "cross-instance pairs must not exist");
 
     // Train the ranking function r (Eq. 3) on those pairs.
-    let (model, report) =
-        RankSvmTrainer::new(TrainConfig::default().with_c(10.0)).train(&ds);
+    let (model, report) = RankSvmTrainer::new(TrainConfig::default().with_c(10.0)).train(&ds);
     println!(
         "\ntrained r(q, t): {} pairs, pairwise accuracy {:.0}%",
         report.pairs,

@@ -17,11 +17,8 @@ fn main() {
 
     // Phase 1 (once per target machine): train and persist.
     println!("training (size 1920)...");
-    let outcome = TrainingPipeline::new(PipelineConfig {
-        training_size: 1920,
-        ..Default::default()
-    })
-    .run();
+    let outcome =
+        TrainingPipeline::new(PipelineConfig { training_size: 1920, ..Default::default() }).run();
     outcome.ranker.save_json(&path).expect("save model");
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     println!("saved model to {} ({} KiB)\n", path.display(), bytes / 1024);
@@ -31,11 +28,7 @@ fn main() {
     let tuner_fresh = StandaloneTuner::new(outcome.ranker);
     let tuner_loaded = StandaloneTuner::new(loaded);
 
-    for kernel in [
-        StencilKernel::laplacian(),
-        StencilKernel::wave(),
-        StencilKernel::blur(),
-    ] {
+    for kernel in [StencilKernel::laplacian(), StencilKernel::wave(), StencilKernel::blur()] {
         let size = if kernel.dim() == 2 { GridSize::square(1024) } else { GridSize::cube(128) };
         let q = StencilInstance::new(kernel, size).unwrap();
         let a = tuner_fresh.tune(&q);

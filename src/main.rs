@@ -137,12 +137,9 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     let seed: u64 = get(flags, "seed", 0x534F_524C)?;
     let out: PathBuf = PathBuf::from(require(flags, "out")?);
     eprintln!("training on the simulated Xeon E5-2680 v3 ({size} samples)...");
-    let outcome = TrainingPipeline::new(PipelineConfig {
-        training_size: size,
-        seed,
-        ..Default::default()
-    })
-    .run();
+    let outcome =
+        TrainingPipeline::new(PipelineConfig { training_size: size, seed, ..Default::default() })
+            .run();
     eprintln!(
         "  {} samples, {} pairs, pair accuracy {:.3}, trained in {:.2}s",
         outcome.samples,
@@ -207,14 +204,10 @@ fn cmd_bench(flags: &Flags) -> Result<(), String> {
     let grid = parse_grid(require(flags, "grid")?)?;
     StencilInstance::new(kernel.model(), grid).map_err(|e| e.to_string())?;
     let tuning = tuning_from_flags(flags, kernel.model().dim())?;
-    let threads: usize = get(
-        flags,
-        "threads",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-    )?;
+    let threads: usize =
+        get(flags, "threads", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))?;
     let mut engine = Engine::new(threads);
-    let secs =
-        kernel.measure(&mut engine, grid, &tuning, MeasureConfig { warmup: 1, reps: 5 });
+    let secs = kernel.measure(&mut engine, grid, &tuning, MeasureConfig { warmup: 1, reps: 5 });
     let instance = StencilInstance::new(kernel.model(), grid).map_err(|e| e.to_string())?;
     println!(
         "{instance} @ {tuning}: {:.3} ms/sweep ({:.2} GFlop/s, {} threads)",
@@ -231,13 +224,8 @@ mod tests {
 
     #[test]
     fn flag_parsing() {
-        let flags = parse_flags(&[
-            "--size".into(),
-            "960".into(),
-            "--out".into(),
-            "m.json".into(),
-        ])
-        .unwrap();
+        let flags =
+            parse_flags(&["--size".into(), "960".into(), "--out".into(), "m.json".into()]).unwrap();
         assert_eq!(get::<usize>(&flags, "size", 0).unwrap(), 960);
         assert_eq!(require(&flags, "out").unwrap(), "m.json");
         assert!(require(&flags, "missing").is_err());

@@ -49,11 +49,8 @@ fn tuned_configs_beat_the_median_random_config() {
     // on every benchmark (a much weaker, but robust, version of Fig. 4).
     use rand::SeedableRng;
     let machine = Machine::xeon_e5_2680_v3();
-    let out = TrainingPipeline::new(PipelineConfig {
-        training_size: 1920,
-        ..Default::default()
-    })
-    .run();
+    let out =
+        TrainingPipeline::new(PipelineConfig { training_size: 1920, ..Default::default() }).run();
     let tuner = StandaloneTuner::new(out.ranker);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
     for b in table3_benchmarks() {

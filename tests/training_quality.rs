@@ -11,10 +11,7 @@ fn taus_for_size(size: usize) -> Vec<f64> {
     let config = PipelineConfig { training_size: size, ..Default::default() };
     let out = TrainingPipeline::new(config).run();
     let ts = TrainingSetBuilder::paper().with_seed(config.seed).build_size(size);
-    kendall_per_group(&ts.dataset, out.ranker.model())
-        .into_iter()
-        .map(|(_, t)| t)
-        .collect()
+    kendall_per_group(&ts.dataset, out.ranker.model()).into_iter().map(|(_, t)| t).collect()
 }
 
 #[test]
@@ -33,10 +30,7 @@ fn larger_training_sets_shrink_tau_variance() {
     let large = quartiles(&taus_for_size(6720));
     let iqr_small = small.q3 - small.q1;
     let iqr_large = large.q3 - large.q1;
-    assert!(
-        iqr_large < iqr_small,
-        "iqr did not shrink: {iqr_small:.3} -> {iqr_large:.3}"
-    );
+    assert!(iqr_large < iqr_small, "iqr did not shrink: {iqr_small:.3} -> {iqr_large:.3}");
     // And the worst instances improve markedly.
     assert!(large.min > small.min);
 }

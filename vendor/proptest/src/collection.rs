@@ -1,0 +1,28 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `Vec`s with a length drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.random_range(self.len.clone());
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A strategy for `Vec`s of `element` values with length in `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(!len.is_empty(), "empty length range for collection::vec");
+    VecStrategy { element, len }
+}

@@ -1,0 +1,308 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`Strategy`] trait (with `prop_map`), range and tuple strategies,
+//! `prop::collection::vec`, `any::<bool>()`, [`ProptestConfig`], and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Cases are drawn from a seeded ChaCha generator, so failures are
+//! reproducible run-to-run; there is **no shrinking** — a failing case
+//! panics with its case number (and the assertion's own message).
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+pub use rand_chacha::ChaCha8Rng as TestRng;
+
+pub mod collection;
+
+/// Run-time configuration of a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+    /// Seed for the case generator.
+    pub rng_seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, rng_seed: 0x5eed }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9),
+);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A strategy over every value of a simple type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_via_random {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random()
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> {
+                Any(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_random!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+/// The canonical strategy for `T` (e.g. `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategies over `bool` (`prop::bool::ANY`).
+pub mod bool {
+    /// A fair coin.
+    pub const ANY: crate::Any<::core::primitive::bool> = crate::Any(::std::marker::PhantomData);
+}
+
+/// Namespace mirror of proptest's `prop::` module tree.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}
+
+/// The items `use proptest::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Runs `cases` samples of a closure; used by the `proptest!` expansion.
+pub fn run_cases<F: FnMut(u32, &mut TestRng)>(config: &ProptestConfig, mut body: F) {
+    use rand::SeedableRng;
+    let mut rng = TestRng::seed_from_u64(config.rng_seed);
+    for case in 0..config.cases {
+        body(case, &mut rng);
+    }
+}
+
+/// Property-test declaration macro (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                $crate::run_cases(&__config, |__case, __rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), __rng);)*
+                    let __run = || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    if let ::std::result::Result::Err(msg) = __run() {
+                        panic!("proptest case {} failed: {}", __case, msg);
+                    }
+                });
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_sample_in_bounds() {
+        let cfg = crate::ProptestConfig::with_cases(200);
+        crate::run_cases(&cfg, |_, rng| {
+            let v = (0u32..10).sample(rng);
+            assert!(v < 10);
+            let (a, b) = ((1i32..=3), (-2.0f64..2.0)).sample(rng);
+            assert!((1..=3).contains(&a));
+            assert!((-2.0..2.0).contains(&b));
+            let xs = prop::collection::vec(0u8..5, 2..6).sample(rng);
+            assert!((2..6).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 5));
+            let doubled = (0u32..4).prop_map(|x| x * 2).sample(rng);
+            assert!(doubled % 2 == 0 && doubled < 8);
+            let _: bool = any::<bool>().sample(rng);
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_wires_strategies(x in 0u32..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            let y = if flip { x } else { x + 1 };
+            prop_assert!(y == x || y == x + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case 0 failed")]
+    fn failing_property_panics_with_case() {
+        let cfg = crate::ProptestConfig::with_cases(1);
+        crate::run_cases(&cfg, |case, _| {
+            let run = || -> Result<(), String> { Err("boom".into()) };
+            if let Err(msg) = run() {
+                panic!("proptest case {case} failed: {msg}");
+            }
+        });
+    }
+}

@@ -1,0 +1,40 @@
+//! Sequence-related helpers: shuffling and random element selection.
+
+use crate::Rng;
+
+/// In-place random reordering of slices.
+pub trait SliceRandom {
+    /// Shuffles the slice uniformly (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            // Call through SampleRange directly: it accepts `R: ?Sized`.
+            let j = crate::distr::SampleRange::sample_single(0..=i, rng);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Random element selection from index-addressable collections.
+pub trait IndexedRandom {
+    /// Element type.
+    type Output;
+
+    /// Returns a uniformly chosen element, or `None` when empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Output = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[crate::distr::SampleRange::sample_single(0..self.len(), rng)])
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Deserialization traits and the built-in `Deserialize` impls.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+use std::hash::{BuildHasher, Hash};
+
+use crate::value::Value;
+
+/// Errors produced while deserializing.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A source of one serialized value.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Yields the complete value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can deserialize itself.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// The string-backed error used by [`ValueDeserializer`] and `from_value`.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Error for DeError {
+    fn custom<T: Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// A deserializer over an in-memory [`Value`] tree.
+#[derive(Debug, Clone)]
+pub struct ValueDeserializer(pub Value);
+
+impl ValueDeserializer {
+    /// Wraps a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer(value)
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.0)
+    }
+}
+
+/// Deserializes any `DeserializeOwned` type from a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, DeError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+fn wrong_kind(expected: &str, got: &Value) -> DeError {
+    DeError(format!("expected {expected}, found {}", got.kind()))
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let out = match &v {
+                    Value::I64(i) => <$t>::try_from(*i).ok(),
+                    Value::U64(u) => <$t>::try_from(*u).ok(),
+                    // Tolerate exact floats (JSON writers may emit 3.0).
+                    Value::F64(f) if f.fract() == 0.0
+                        && *f >= <$t>::MIN as f64
+                        && *f <= <$t>::MAX as f64 => Some(*f as $t),
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    crate::de::Error::custom(wrong_kind(stringify!($t), &v))
+                })
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                match v {
+                    Value::F64(f) => Ok(f as $t),
+                    Value::I64(i) => Ok(i as $t),
+                    Value::U64(u) => Ok(u as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(crate::de::Error::custom(wrong_kind("number", &other))),
+                }
+            }
+        }
+    )*};
+}
+impl_de_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(crate::de::Error::custom(wrong_kind("bool", &other))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(crate::de::Error::custom(wrong_kind("single-char string", &other))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(crate::de::Error::custom(wrong_kind("string", &other))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(()),
+            other => Err(crate::de::Error::custom(wrong_kind("null", &other))),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v).map(Some).map_err(crate::de::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) => {
+                items.into_iter().map(|v| from_value(v).map_err(crate::de::Error::custom)).collect()
+            }
+            other => Err(crate::de::Error::custom(wrong_kind("sequence", &other))),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(d)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| crate::de::Error::custom(format!("expected {N} elements, found {n}")))
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal; $($name:ident),+)),+ $(,)?) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                let v = d.take_value()?;
+                match v {
+                    Value::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            from_value::<$name>(it.next().expect("length checked"))
+                                .map_err(|e| crate::de::Error::custom(e))?,
+                        )+))
+                    }
+                    other => Err(crate::de::Error::custom(format!(
+                        "expected sequence of {}, found {}", $len, other.kind()
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+impl_de_tuple!(
+    (1; A),
+    (2; A, B),
+    (3; A, B, C),
+    (4; A, B, C, D),
+    (5; A, B, C, D, E),
+    (6; A, B, C, D, E, F),
+);
+
+/// Map keys reconstructible from their string form.
+pub trait FromMapKey: Sized {
+    /// Parses a key from the serialized string.
+    fn from_map_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl FromMapKey for String {
+    fn from_map_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_from_map_key_int {
+    ($($t:ty),*) => {$(
+        impl FromMapKey for $t {
+            fn from_map_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| DeError(format!("bad integer map key {key:?}")))
+            }
+        }
+    )*};
+}
+impl_from_map_key_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: FromMapKey + Ord,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        K::from_map_key(&k).map_err(crate::de::Error::custom)?,
+                        from_value(v).map_err(crate::de::Error::custom)?,
+                    ))
+                })
+                .collect(),
+            other => Err(crate::de::Error::custom(wrong_kind("map", &other))),
+        }
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: FromMapKey + Eq + Hash,
+    V: DeserializeOwned,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        K::from_map_key(&k).map_err(crate::de::Error::custom)?,
+                        from_value(v).map_err(crate::de::Error::custom)?,
+                    ))
+                })
+                .collect(),
+            other => Err(crate::de::Error::custom(wrong_kind("map", &other))),
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's 29-method visitor API, this shim routes all
+//! (de)serialization through a self-describing [`Value`] tree: a
+//! [`Serializer`] consumes a `Value`, a [`Deserializer`] produces one.
+//! The public trait shape (`Serialize::serialize<S: Serializer>`,
+//! `Deserialize::deserialize<D: Deserializer<'de>>`, associated
+//! `Ok`/`Error` types, `ser::Error::custom` / `de::Error::custom`) matches
+//! real serde closely enough that idiomatic bounds, manual impls, and
+//! `#[serde(with = "module")]` helper modules compile unchanged.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Items the derive macro expansion needs at stable paths.
+#[doc(hidden)]
+pub mod __private {
+    pub use crate::de::{from_value, DeError, ValueDeserializer};
+    pub use crate::ser::{to_value, SerError, ValueSerializer};
+    pub use crate::value::Value;
+}

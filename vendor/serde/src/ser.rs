@@ -1,0 +1,233 @@
+//! Serialization traits and the built-in `Serialize` impls.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+
+use crate::value::Value;
+
+/// Errors produced while serializing.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A sink for one serialized value.
+pub trait Serializer: Sized {
+    /// Result type on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes a fully built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can serialize itself.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+/// The string-backed error used by [`ValueSerializer`] and `to_value`.
+#[derive(Debug, Clone)]
+pub struct SerError(pub String);
+
+impl Display for SerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl Error for SerError {
+    fn custom<T: Display>(msg: T) -> Self {
+        SerError(msg.to_string())
+    }
+}
+
+/// A serializer that simply yields the built [`Value`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = SerError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, SerError> {
+        Ok(value)
+    }
+}
+
+/// Serializes any `Serialize` type into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, SerError> {
+    value.serialize(ValueSerializer)
+}
+
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::I64(*self as i64))
+            }
+        }
+    )*};
+}
+impl_ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 {
+                    serializer.serialize_value(Value::I64(v as i64))
+                } else {
+                    serializer.serialize_value(Value::U64(v))
+                }
+            }
+        }
+    )*};
+}
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self as f64))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Null)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+fn seq_to_value<'a, T, I>(items: I) -> Result<Value, SerError>
+where
+    T: Serialize + 'a,
+    I: IntoIterator<Item = &'a T>,
+{
+    let vals: Result<Vec<Value>, SerError> = items.into_iter().map(to_value).collect();
+    Ok(Value::Seq(vals?))
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value(self.iter()).map_err(S::Error::custom)?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(to_value(&self.$idx).map_err(|e| S::Error::custom(e))?,)+
+                ];
+                serializer.serialize_value(Value::Seq(items))
+            }
+        }
+    )+};
+}
+impl_ser_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// Converts a serialized key value into a map key string.
+fn key_string(v: Value) -> Result<String, SerError> {
+    match v {
+        Value::Str(s) => Ok(s),
+        Value::I64(i) => Ok(i.to_string()),
+        Value::U64(u) => Ok(u.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(SerError(format!("cannot use {} as a map key", other.kind()))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = to_value(k).and_then(key_string).map_err(S::Error::custom)?;
+            entries.push((key, to_value(v).map_err(S::Error::custom)?));
+        }
+        serializer.serialize_value(Value::Map(entries))
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = to_value(k).and_then(key_string).map_err(S::Error::custom)?;
+            entries.push((key, to_value(v).map_err(S::Error::custom)?));
+        }
+        // Deterministic output regardless of hasher iteration order.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        serializer.serialize_value(Value::Map(entries))
+    }
+}

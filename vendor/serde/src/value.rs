@@ -1,0 +1,87 @@
+//! The self-describing data model all (de)serialization routes through.
+
+use std::fmt;
+
+/// A serialized value: the shim's equivalent of serde's data model.
+///
+/// Map keys are strings (JSON-shaped); maps with non-string keys must go
+/// through a `#[serde(with = ...)]` adapter, exactly as they must for JSON
+/// in real serde.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` / unit / `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (objects, structs, enum variants).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) => "integer",
+            Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Removes and returns the entry for `key` from a map value.
+    pub fn take_entry(&mut self, key: &str) -> Option<Value> {
+        if let Value::Map(entries) = self {
+            let idx = entries.iter().position(|(k, _)| k == key)?;
+            Some(entries.remove(idx).1)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Seq(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(entries) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k:?}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}

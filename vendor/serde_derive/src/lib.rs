@@ -1,0 +1,475 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace uses, parsing the item with `proc_macro` token
+//! trees directly (no `syn`/`quote` available offline) and emitting the
+//! impl as a formatted string:
+//!
+//! * structs with named fields, honouring `#[serde(with = "module")]` and
+//!   `#[serde(default)]` field attributes,
+//! * enums with unit, newtype and tuple variants (externally tagged).
+//!
+//! Unsupported shapes (generics, tuple/unit structs, struct variants,
+//! other `#[serde(...)]` attributes) produce a `compile_error!` naming the
+//! construct, so API drift surfaces loudly instead of silently.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives the shim's `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match which {
+            Trait::Serialize => gen_serialize(&item),
+            Trait::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("derive emitted invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct: `(field name, serde attrs)` per field.
+    Struct(Vec<Field>),
+    /// Enum: `(variant name, tuple arity; 0 = unit)` per variant.
+    Enum(Vec<(String, usize)>),
+}
+
+struct Field {
+    name: String,
+    with: Option<String>,
+    default: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consumes leading attributes, returning the token strings of `#[serde(...)]`
+/// inner argument lists.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Vec<String>) {
+    let mut serde_args = Vec::new();
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else { break };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    serde_args.push(args.stream().to_string());
+                }
+            }
+        }
+        i += 2;
+    }
+    (i, serde_args)
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_serde_attr(args: &[String], field: &str) -> Result<(Option<String>, bool), String> {
+    let mut with = None;
+    let mut default = false;
+    for arg in args {
+        // Token-stream stringification normalizes whitespace; parse loosely.
+        for part in arg.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if part == "default" {
+                default = true;
+            } else if let Some(rest) = part.strip_prefix("with") {
+                let rest = rest.trim_start().strip_prefix('=').map(str::trim);
+                match rest.and_then(|r| r.strip_prefix('"')).and_then(|r| r.strip_suffix('"')) {
+                    Some(path) => with = Some(path.to_string()),
+                    None => return Err(format!("malformed #[serde(with = ...)] on `{field}`")),
+                }
+            } else {
+                return Err(format!(
+                    "unsupported serde attribute `{part}` on `{field}` (shim supports `with`, `default`)"
+                ));
+            }
+        }
+    }
+    Ok((with, default))
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected item name".into()),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("serde shim derive: generic type `{name}` is unsupported"));
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!("serde shim derive: tuple struct `{name}` is unsupported"));
+        }
+        _ => return Err(format!("serde shim derive: `{name}` has no braced body")),
+    };
+
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_struct_body(body)?),
+        "enum" => Kind::Enum(parse_enum_body(body)?),
+        other => return Err(format!("serde shim derive: cannot derive for `{other}`")),
+    };
+    Ok(Item { name, kind })
+}
+
+fn parse_struct_body(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, serde_args) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, ni);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                return Err(format!("serde shim derive: unexpected token `{other}` in struct body"))
+            }
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde shim derive: expected `:` after field `{name}`")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        if tokens.get(i).is_some() {
+            i += 1; // consume the comma
+        }
+        let (with, default) = parse_serde_attr(&serde_args, &name)?;
+        fields.push(Field { name, with, default });
+    }
+    Ok(fields)
+}
+
+fn parse_enum_body(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, serde_args) = skip_attrs(&tokens, i);
+        i = ni;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                return Err(format!("serde shim derive: unexpected token `{other}` in enum body"))
+            }
+            None => break,
+        };
+        if !serde_args.is_empty() {
+            return Err(format!(
+                "serde shim derive: serde attributes on variant `{name}` are unsupported"
+            ));
+        }
+        i += 1;
+        let mut arity = 0usize;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = tuple_arity(g.stream());
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!("serde shim derive: struct variant `{name}` is unsupported"));
+            }
+            _ => {}
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde shim derive: discriminant on variant `{name}` is unsupported"
+                ));
+            }
+            None => {}
+            Some(other) => {
+                return Err(format!(
+                    "serde shim derive: unexpected token `{other}` after variant `{name}`"
+                ))
+            }
+        }
+        variants.push((name, arity));
+    }
+    Ok(variants)
+}
+
+/// Number of top-level comma-separated types in a paren group.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut arity = 1usize;
+    let mut trailing_comma = false;
+    for tt in &tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    arity += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const SER_ERR: &str = "|e| <__S::Error as ::serde::ser::Error>::custom(e)";
+const DE_ERR: &str = "|e| <__D::Error as ::serde::de::Error>::custom(e)";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut out = String::from(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let fname = &f.name;
+                let value = match &f.with {
+                    Some(path) => format!(
+                        "{path}::serialize(&self.{fname}, ::serde::__private::ValueSerializer).map_err({SER_ERR})?"
+                    ),
+                    None => format!(
+                        "::serde::__private::to_value(&self.{fname}).map_err({SER_ERR})?"
+                    ),
+                };
+                out.push_str(&format!(
+                    "__m.push((::std::string::String::from({fname:?}), {value}));\n"
+                ));
+            }
+            out.push_str("__serializer.serialize_value(::serde::Value::Map(__m))\n");
+            out
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, arity) in variants {
+                match arity {
+                    0 => arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_value(::serde::Value::Str(::std::string::String::from({vname:?}))),\n"
+                    )),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__x{k}")).collect();
+                        let inner = if *n == 1 {
+                            format!("::serde::__private::to_value(__x0).map_err({SER_ERR})?")
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::__private::to_value({b}).map_err({SER_ERR})?"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let __inner = {inner};\n\
+                             __serializer.serialize_value(::serde::Value::Map(::std::vec![(::std::string::String::from({vname:?}), __inner)]))\n\
+                             }}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut out = String::from("let mut __v = __deserializer.take_value()?;\n");
+            out.push_str(&format!(
+                "if !matches!(__v, ::serde::Value::Map(_)) {{\n\
+                 return ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"expected map for struct {name}, found {{}}\", __v.kind())));\n\
+                 }}\n"
+            ));
+            for f in fields {
+                let fname = &f.name;
+                let from = match &f.with {
+                    Some(path) => format!(
+                        "{path}::deserialize(::serde::__private::ValueDeserializer::new(__x)).map_err({DE_ERR})?"
+                    ),
+                    None => format!("::serde::__private::from_value(__x).map_err({DE_ERR})?"),
+                };
+                let missing = if f.default {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                         \"missing field `{fname}` in {name}\"))"
+                    )
+                };
+                out.push_str(&format!(
+                    "let __f_{fname} = match __v.take_entry({fname:?}) {{\n\
+                     ::std::option::Option::Some(__x) => {from},\n\
+                     ::std::option::Option::None => {missing},\n\
+                     }};\n"
+                ));
+            }
+            let ctor: Vec<String> =
+                fields.iter().map(|f| format!("{0}: __f_{0}", f.name)).collect();
+            out.push_str(&format!("::std::result::Result::Ok({name} {{ {} }})\n", ctor.join(", ")));
+            out
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (vname, arity) in variants {
+                match arity {
+                    0 => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    1 => data_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::__private::from_value(__inner).map_err({DE_ERR})?)),\n"
+                    )),
+                    n => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|_| {
+                                format!(
+                                    "::serde::__private::from_value(__it.next().expect(\"length checked\")).map_err({DE_ERR})?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => match __inner {{\n\
+                             ::serde::Value::Seq(__items) if __items.len() == {n} => {{\n\
+                             let mut __it = __items.into_iter();\n\
+                             ::std::result::Result::Ok({name}::{vname}({elems}))\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                             ::std::format!(\"variant {name}::{vname} expects {n} elements, found {{}}\", __other.kind()))),\n\
+                             }},\n",
+                            elems = elems.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __deserializer.take_value()? {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(mut __m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = __m.remove(0);\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"expected variant for {name}, found {{}}\", __other.kind()))),\n\
+                 }}\n"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) -> ::std::result::Result<Self, __D::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
+}
