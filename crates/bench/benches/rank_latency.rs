@@ -1,62 +1,168 @@
 //! Ranking (regression-phase) latency — the paper's "< 1 ms" claim
 //! (Table II, Regression column).
 //!
-//! Two granularities: scoring a single already-encoded candidate (the
-//! number comparable to svm_rank's per-example cost) and the full
-//! tune-an-instance path including feature encoding of the whole
-//! predefined set.
+//! Four granularities, before/after comparable:
+//!
+//! * scoring a single already-encoded candidate (the number comparable to
+//!   svm_rank's per-example cost),
+//! * the *legacy* per-candidate path (instance clone + `StencilExecution`
+//!   plus a fresh `TuningSpace` per candidate — the pre-batching baseline,
+//!   reproduced inline so the speedup stays measurable),
+//! * the batched path (`StandaloneTuner` over the cached predefined set),
+//! * the batched + parallel path (`TuningSession` with a persistent
+//!   thread pool).
+//!
+//! Besides the criterion output, the run writes a machine-readable
+//! `BENCH_rank_latency.json` snapshot (see `sorl_bench::perf`) so the
+//! repo accumulates a perf trajectory; CI archives one per run. Set
+//! `SORL_BENCH_QUICK=1` for the CI sample budget.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::Criterion;
 use std::hint::black_box;
 
 use sorl::pipeline::{PipelineConfig, TrainingPipeline};
+use sorl::session::{predefined_candidates, TuningSession};
 use sorl::tuner::StandaloneTuner;
-use stencil_model::{GridSize, StencilInstance, StencilKernel, TuningSpace};
+use sorl::StencilRanker;
+use sorl_bench::perf::{quick_mode, PerfReport};
+use stencil_model::{GridSize, StencilExecution, StencilInstance, StencilKernel, TuningVector};
 
-fn bench_rank_latency(c: &mut Criterion) {
-    let out =
-        TrainingPipeline::new(PipelineConfig { training_size: 960, ..Default::default() }).run();
-    let ranker = out.ranker.clone();
-    let tuner = StandaloneTuner::new(out.ranker);
-    let q3 = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
-    let q2 = StencilInstance::new(StencilKernel::blur(), GridSize::square(1024)).unwrap();
+/// The pre-batching hot path, reproduced verbatim as the baseline.
+fn legacy_tune(
+    ranker: &StencilRanker,
+    instance: &StencilInstance,
+    candidates: &[TuningVector],
+) -> (TuningVector, f64) {
+    let mut features = Vec::with_capacity(ranker.encoder().dim());
+    let mut best = 0usize;
+    let mut best_score = f64::NEG_INFINITY;
+    for (i, &t) in candidates.iter().enumerate() {
+        let exec = StencilExecution::new(instance.clone(), t).expect("admissible");
+        ranker.encoder().encode_into(&exec, &mut features);
+        let s = ranker.model().score(&features);
+        if s > best_score {
+            best = i;
+            best_score = s;
+        }
+    }
+    (candidates[best], best_score)
+}
 
+struct Ctx {
+    ranker: StencilRanker,
+    tuner: StandaloneTuner,
+    q3: StencilInstance,
+    q2: StencilInstance,
+}
+
+impl Ctx {
+    fn new() -> Self {
+        let out =
+            TrainingPipeline::new(PipelineConfig { training_size: 960, ..Default::default() })
+                .run();
+        Ctx {
+            ranker: out.ranker.clone(),
+            tuner: StandaloneTuner::new(out.ranker),
+            q3: StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap(),
+            q2: StencilInstance::new(StencilKernel::blur(), GridSize::square(1024)).unwrap(),
+        }
+    }
+}
+
+fn bench_rank_latency(c: &mut Criterion, ctx: &Ctx) {
     let mut g = c.benchmark_group("rank_latency");
+    let set3 = predefined_candidates(3);
+    let set2 = predefined_candidates(2);
 
     // Single-candidate scoring on a pre-encoded feature row.
-    let exec = stencil_model::StencilExecution::new(
-        q3.clone(),
-        stencil_model::TuningVector::new(64, 16, 8, 2, 2),
-    )
-    .unwrap();
-    let features = ranker.encoder().encode(&exec);
+    let exec = StencilExecution::new(ctx.q3.clone(), TuningVector::new(64, 16, 8, 2, 2)).unwrap();
+    let features = ctx.ranker.encoder().encode(&exec);
     g.bench_function("score_single_candidate", |b| {
-        b.iter(|| black_box(ranker.model().score(black_box(&features))))
+        b.iter(|| black_box(ctx.ranker.model().score(black_box(&features))))
     });
 
     // Encoding + scoring one candidate.
     g.bench_function("encode_and_score_single", |b| {
-        b.iter(|| black_box(ranker.score(black_box(&exec))))
+        b.iter(|| black_box(ctx.ranker.score(black_box(&exec))))
     });
 
-    // Full predefined-set ranking (8640 3-D candidates).
-    let set3 = TuningSpace::d3().predefined_set();
+    // Legacy per-candidate baseline on the 3-D set.
+    g.bench_function("tune_3d_legacy_per_candidate", |b| {
+        b.iter(|| black_box(legacy_tune(&ctx.ranker, &ctx.q3, set3)))
+    });
+
+    // Batched one-shot tuner (8640 3-D candidates).
     g.bench_function("tune_3d_predefined_8640", |b| {
-        b.iter_batched(|| (), |_| black_box(tuner.tune_over(&q3, &set3)), BatchSize::SmallInput)
+        b.iter(|| black_box(ctx.tuner.tune_over(&ctx.q3, set3)))
     });
 
-    // Full predefined-set ranking (1600 2-D candidates).
-    let set2 = TuningSpace::d2().predefined_set();
+    // Batched session, sequential and parallel.
+    let mut seq = TuningSession::new(ctx.ranker.clone());
+    g.bench_function("tune_3d_session_batched", |b| b.iter(|| black_box(seq.tune(&ctx.q3))));
+    let mut par = TuningSession::parallel(
+        ctx.ranker.clone(),
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    );
+    g.bench_function("tune_3d_session_parallel", |b| b.iter(|| black_box(par.tune(&ctx.q3))));
+
+    // The 2-D set (1600 candidates), batched vs. parallel.
     g.bench_function("tune_2d_predefined_1600", |b| {
-        b.iter_batched(|| (), |_| black_box(tuner.tune_over(&q2, &set2)), BatchSize::SmallInput)
+        b.iter(|| black_box(ctx.tuner.tune_over(&ctx.q2, set2)))
     });
+    g.bench_function("tune_2d_session_parallel", |b| b.iter(|| black_box(par.tune(&ctx.q2))));
 
     g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_rank_latency
+/// JSON snapshot pass: fixed sample counts (independent of criterion's
+/// adaptive iteration sizing) so medians are comparable run-over-run.
+fn emit_perf_snapshot(ctx: &Ctx) {
+    let samples = if quick_mode() { 15 } else { 60 };
+    let mut report = PerfReport::new("rank_latency");
+    let set3 = predefined_candidates(3);
+    let set2 = predefined_candidates(2);
+
+    report.record("tune_3d_legacy_per_candidate", samples, || {
+        black_box(legacy_tune(&ctx.ranker, &ctx.q3, set3));
+    });
+    report.record("tune_3d_batched_oneshot", samples, || {
+        black_box(ctx.tuner.tune_over(&ctx.q3, set3));
+    });
+    let mut seq = TuningSession::new(ctx.ranker.clone());
+    report.record("tune_3d_session_batched", samples, || {
+        black_box(seq.tune(&ctx.q3));
+    });
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut par = TuningSession::parallel(ctx.ranker.clone(), threads);
+    report.record("tune_3d_session_parallel", samples, || {
+        black_box(par.tune(&ctx.q3));
+    });
+    report.record("tune_2d_legacy_per_candidate", samples, || {
+        black_box(legacy_tune(&ctx.ranker, &ctx.q2, set2));
+    });
+    report.record("tune_2d_session_batched", samples, || {
+        black_box(seq.tune(&ctx.q2));
+    });
+    report.record("tune_2d_session_parallel", samples, || {
+        black_box(par.tune(&ctx.q2));
+    });
+
+    let legacy = report.median_of("tune_3d_legacy_per_candidate").unwrap();
+    let batched = report.median_of("tune_3d_session_batched").unwrap();
+    let parallel = report.median_of("tune_3d_session_parallel").unwrap();
+    println!(
+        "  speedup over legacy: batched {:.2}x, parallel {:.2}x ({} threads)",
+        legacy / batched,
+        legacy / parallel,
+        threads
+    );
+    report.write();
 }
-criterion_main!(benches);
+
+fn main() {
+    let ctx = Ctx::new();
+    let samples = if quick_mode() { 5 } else { 20 };
+    let mut criterion = Criterion::default().sample_size(samples);
+    bench_rank_latency(&mut criterion, &ctx);
+    emit_perf_snapshot(&ctx);
+}

@@ -7,6 +7,8 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
+pub mod perf;
+
 /// Directory where experiment binaries drop their CSV output; created on
 /// demand. Honors `SORL_RESULTS_DIR`, defaulting to `./results`.
 pub fn results_dir() -> PathBuf {

@@ -1,0 +1,203 @@
+//! Machine-readable perf snapshots: `BENCH_*.json` files accumulating the
+//! repo's performance trajectory.
+//!
+//! Criterion (and our offline shim) prints human-readable timings; this
+//! module additionally records each benchmark's statistics as JSON so CI
+//! can archive one snapshot per run and regressions become diffable. A
+//! bench builds a [`PerfReport`], timing closures with [`measure`], and
+//! writes it next to the workspace root (override the path with the
+//! `SORL_BENCH_JSON` environment variable; set `SORL_BENCH_QUICK=1` to cut
+//! sample counts in CI).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Statistics for one measured benchmark variant (seconds per iteration).
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfEntry {
+    /// Variant id, e.g. `"tune_3d_session_parallel"`.
+    pub id: String,
+    /// Median seconds per iteration.
+    pub median_s: f64,
+    /// Fastest sample.
+    pub min_s: f64,
+    /// Slowest sample.
+    pub max_s: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// One perf snapshot: a named collection of benchmark variants plus the
+/// context needed to compare snapshots across machines and runs.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfReport {
+    /// Snapshot family, e.g. `"rank_latency"`.
+    pub name: String,
+    /// Unix timestamp (seconds) of the run.
+    pub created_unix_s: u64,
+    /// Threads available on the machine that produced the snapshot.
+    pub available_threads: usize,
+    /// Whether the quick (CI) sample budget was used.
+    pub quick: bool,
+    /// The measured variants.
+    pub entries: Vec<PerfEntry>,
+}
+
+impl PerfReport {
+    /// An empty report for a snapshot family.
+    pub fn new(name: &str) -> Self {
+        let created_unix_s = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        PerfReport {
+            name: name.to_string(),
+            created_unix_s,
+            available_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            quick: quick_mode(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Times `f` for `samples` iterations and records the statistics under
+    /// `id`, echoing a one-line summary to stdout.
+    pub fn record<F: FnMut()>(&mut self, id: &str, samples: usize, f: F) {
+        let entry = measure(id, samples, f);
+        println!(
+            "  perf {}: median {:.3} ms (min {:.3}, max {:.3}, {} samples)",
+            entry.id,
+            entry.median_s * 1e3,
+            entry.min_s * 1e3,
+            entry.max_s * 1e3,
+            entry.samples
+        );
+        self.entries.push(entry);
+    }
+
+    /// The median of a recorded entry, for cross-variant assertions.
+    pub fn median_of(&self, id: &str) -> Option<f64> {
+        self.entries.iter().find(|e| e.id == id).map(|e| e.median_s)
+    }
+
+    /// Serializes the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("perf report serializes")
+    }
+
+    /// Writes the report to [`json_path`] and returns the path.
+    pub fn write(&self) -> PathBuf {
+        let path = json_path(&self.name);
+        std::fs::write(&path, self.to_json()).expect("write perf snapshot");
+        println!("  -> {}", path.display());
+        path
+    }
+}
+
+/// Times `f` for `samples` iterations (each sample is one call) and
+/// returns the per-iteration statistics.
+pub fn measure<F: FnMut()>(id: &str, samples: usize, mut f: F) -> PerfEntry {
+    assert!(samples > 0, "need at least one sample");
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    let median = stencil_model::stats::median_sorted(&times);
+    PerfEntry {
+        id: id.to_string(),
+        median_s: median,
+        min_s: times[0],
+        max_s: times[times.len() - 1],
+        samples,
+    }
+}
+
+/// Whether the quick (CI) sample budget is requested via
+/// `SORL_BENCH_QUICK`.
+pub fn quick_mode() -> bool {
+    std::env::var_os("SORL_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Output path for a snapshot family: `SORL_BENCH_JSON` when set, else
+/// `BENCH_<name>.json` in the workspace root. Cargo runs benches with the
+/// *package* directory as cwd, so the root is found by walking up to the
+/// nearest directory containing a `Cargo.lock` (falling back to cwd).
+pub fn json_path(name: &str) -> PathBuf {
+    if let Some(p) = std::env::var_os("SORL_BENCH_JSON") {
+        return PathBuf::from(p);
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.join(format!("BENCH_{name}.json"));
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd.join(format!("BENCH_{name}.json")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_collects_sane_statistics() {
+        let mut n = 0u64;
+        let e = measure("spin", 5, || {
+            for i in 0..10_000u64 {
+                n = n.wrapping_add(std::hint::black_box(i));
+            }
+        });
+        assert_eq!(e.samples, 5);
+        assert!(e.min_s <= e.median_s && e.median_s <= e.max_s);
+        assert!(e.min_s > 0.0);
+    }
+
+    #[test]
+    fn median_averages_even_sample_counts() {
+        // With two samples the median must lie between them.
+        let mut flip = false;
+        let e = measure("alternate", 2, || {
+            let spin = if flip { 40_000 } else { 10_000 };
+            flip = !flip;
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+        });
+        assert!(e.min_s <= e.median_s && e.median_s <= e.max_s);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut r = PerfReport::new("unit_test");
+        r.record("noop", 3, || {});
+        assert_eq!(r.entries.len(), 1);
+        assert!(r.median_of("noop").is_some());
+        assert!(r.median_of("missing").is_none());
+        let json = r.to_json();
+        assert!(json.contains("\"unit_test\""));
+        assert!(json.contains("\"noop\""));
+        assert!(json.contains("\"samples\": 3"));
+        assert!(json.contains("\"median_s\""));
+        assert!(json.contains("\"available_threads\""));
+    }
+
+    #[test]
+    fn json_path_defaults_to_bench_prefix_at_workspace_root() {
+        if std::env::var_os("SORL_BENCH_JSON").is_none() {
+            let p = json_path("rank_latency");
+            assert_eq!(p.file_name().unwrap(), "BENCH_rank_latency.json");
+            // Anchored at the workspace root (the directory holding the
+            // lock file), not at whatever cwd cargo handed the process.
+            assert!(p.parent().unwrap().join("Cargo.lock").is_file());
+        }
+    }
+}

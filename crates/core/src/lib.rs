@@ -37,6 +37,9 @@
 //!   with JSON persistence,
 //! * [`tuner`] — the standalone autotuner over the hierarchical predefined
 //!   configuration sets (1600 / 8640 candidates),
+//! * [`session`] — [`session::TuningSession`], the batched, optionally
+//!   multi-threaded hot path for serving many tuning queries back-to-back
+//!   with cached candidate sets and zero steady-state allocation,
 //! * [`hybrid`] — ranker-seeded iterative search (the paper's future-work
 //!   coupling of the model with search),
 //! * [`benchmarks`] — the 17 Table III evaluation benchmarks,
@@ -51,6 +54,7 @@ pub mod hybrid;
 pub mod objective;
 pub mod pipeline;
 pub mod ranker;
+pub mod session;
 pub mod tuner;
 
 pub use benchmarks::{table3_benchmarks, Benchmark};
@@ -58,4 +62,5 @@ pub use hybrid::HybridTuner;
 pub use objective::MachineObjective;
 pub use pipeline::{PhaseTimings, PipelineConfig, PipelineOutcome, TrainingPipeline};
 pub use ranker::StencilRanker;
+pub use session::{predefined_candidates, TuningSession};
 pub use tuner::{StandaloneTuner, TunerDecision};

@@ -6,7 +6,9 @@ use std::path::Path;
 use serde::{Deserialize, Serialize};
 
 use ranksvm::LinearRanker;
-use stencil_model::{FeatureEncoder, ModelError, StencilExecution, StencilInstance, TuningVector};
+use stencil_model::{
+    FeatureEncoder, ModelError, QueryFeatures, StencilExecution, StencilInstance, TuningVector,
+};
 
 /// A ranking function over stencil executions: encodes `(q, t)` and scores
 /// it with a linear model; higher scores predict faster executions.
@@ -41,22 +43,31 @@ impl StencilRanker {
         self.model.score(&self.encoder.encode(exec))
     }
 
-    /// Scores `candidates` for `instance`; inadmissible candidates (wrong
-    /// dimensionality) yield an error.
+    /// Precomputes the per-instance query block for batch scoring.
+    pub fn query_features(&self, instance: &StencilInstance) -> QueryFeatures {
+        self.encoder.query_features(instance)
+    }
+
+    /// Scores `candidates` for `instance` on the batched path: the query
+    /// block is encoded once, every candidate is validated up front (an
+    /// inadmissible one yields [`ModelError::InadmissibleCandidate`] naming
+    /// its index), and each row is completed into a reused scratch buffer —
+    /// no `StencilInstance` clone and no per-candidate `TuningSpace`
+    /// construction.
     pub fn scores(
         &self,
         instance: &StencilInstance,
         candidates: &[TuningVector],
     ) -> Result<Vec<f64>, ModelError> {
-        let mut features = Vec::with_capacity(self.encoder.dim());
-        candidates
-            .iter()
-            .map(|&t| {
-                let exec = StencilExecution::new(instance.clone(), t)?;
-                self.encoder.encode_into(&exec, &mut features);
-                Ok(self.model.score(&features))
-            })
-            .collect()
+        let qf = self.encoder.query_features(instance);
+        validate_candidates(&qf, candidates)?;
+        let mut out = vec![0.0; candidates.len()];
+        let mut row = Vec::with_capacity(self.encoder.dim());
+        for (o, &t) in out.iter_mut().zip(candidates) {
+            self.encoder.encode_candidate(&qf, t, &mut row);
+            *o = self.model.score(&row);
+        }
+        Ok(out)
     }
 
     /// Ranks `candidates` best-first; ties break towards the lower index so
@@ -66,10 +77,7 @@ impl StencilRanker {
         instance: &StencilInstance,
         candidates: &[TuningVector],
     ) -> Result<Vec<usize>, ModelError> {
-        let scores = self.scores(instance, candidates)?;
-        let mut idx: Vec<usize> = (0..candidates.len()).collect();
-        idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
-        Ok(idx)
+        Ok(ranksvm::argsort_desc(&self.scores(instance, candidates)?))
     }
 
     /// The top-ranked candidate (`None` for an empty candidate list).
@@ -94,6 +102,21 @@ impl StencilRanker {
         serde_json::from_str(&json)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
+}
+
+/// Validates a whole candidate batch against the query's tuning space
+/// before any scoring happens, so a bad batch fails fast with the offending
+/// candidate's index instead of aborting mid-iteration.
+pub fn validate_candidates(
+    qf: &QueryFeatures,
+    candidates: &[TuningVector],
+) -> Result<(), ModelError> {
+    for (index, t) in candidates.iter().enumerate() {
+        if let Err(source) = qf.space().validate(t) {
+            return Err(ModelError::InadmissibleCandidate { index, source: Box::new(source) });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -149,6 +172,28 @@ mod tests {
         // bz > 1 for a 2-D instance.
         let blur = StencilInstance::new(StencilKernel::blur(), GridSize::square(512)).unwrap();
         assert!(r.scores(&blur, &[TuningVector::new(8, 8, 8, 0, 1)]).is_err());
+    }
+
+    #[test]
+    fn inadmissible_candidate_error_reports_its_index() {
+        let r = unroll_loving_ranker();
+        let blur = StencilInstance::new(StencilKernel::blur(), GridSize::square(512)).unwrap();
+        // Candidates 0 and 1 are fine; #2 has bz != 1, #3 has bx out of range.
+        let cands = [
+            TuningVector::new(8, 8, 1, 0, 1),
+            TuningVector::new(16, 4, 1, 2, 4),
+            TuningVector::new(8, 8, 8, 0, 1),
+            TuningVector::new(1, 8, 1, 0, 1),
+        ];
+        let err = r.scores(&blur, &cands).unwrap_err();
+        match &err {
+            ModelError::InadmissibleCandidate { index, source } => {
+                assert_eq!(*index, 2, "first offending candidate wins");
+                assert!(source.to_string().contains("bz"), "{source}");
+            }
+            other => panic!("expected InadmissibleCandidate, got {other:?}"),
+        }
+        assert!(err.to_string().contains("#2"));
     }
 
     #[test]

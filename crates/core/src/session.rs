@@ -1,0 +1,415 @@
+//! Reusable tuning sessions: the batched, parallel ranking hot path.
+//!
+//! [`StandaloneTuner::tune`](crate::tuner::StandaloneTuner::tune) answers a
+//! single query; a [`TuningSession`] is the API for serving *many* queries
+//! back-to-back — the deployment shape the paper's sub-millisecond
+//! "Regression" latency is about. A session owns
+//!
+//! * the cached predefined candidate sets (materialized once per process,
+//!   see [`predefined_candidates`]),
+//! * per-thread scratch buffers for feature rows and the score vector
+//!   (steady-state queries perform **zero** per-candidate heap
+//!   allocations), and
+//! * an optional persistent [`ThreadPool`] (the same pool type the
+//!   execution engine uses) that fans contiguous candidate chunks across
+//!   worker threads.
+//!
+//! Scoring is batched: the per-instance query block is encoded once
+//! ([`stencil_model::QueryFeatures`]), each candidate only completes the
+//! tuning-dependent suffix into a row-major block, and blocks are scored
+//! with [`ranksvm::LinearRanker::score_batch_into`]. Sequential and
+//! parallel sessions produce bit-for-bit identical scores: every row's dot
+//! product is computed independently, so threading never reorders floating
+//! point reductions.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use stencil_exec::ThreadPool;
+use stencil_model::{ModelError, QueryFeatures, StencilInstance, TuningSpace, TuningVector};
+
+use crate::ranker::{validate_candidates, StencilRanker};
+use crate::tuner::TunerDecision;
+
+/// Rows encoded per `score_batch_into` call: big enough to amortize the
+/// call, small enough that a block's feature matrix stays cache-resident.
+const BLOCK_ROWS: usize = 64;
+
+static SET_2D: OnceLock<Vec<TuningVector>> = OnceLock::new();
+static SET_3D: OnceLock<Vec<TuningVector>> = OnceLock::new();
+
+/// The paper's predefined candidate set for a dimensionality (1600 vectors
+/// for 2-D, 8640 for 3-D), materialized once per process and shared by
+/// every tuner and session thereafter.
+///
+/// # Panics
+/// Panics when `dim` is not 2 or 3.
+pub fn predefined_candidates(dim: u8) -> &'static [TuningVector] {
+    let cell = match dim {
+        2 => &SET_2D,
+        3 => &SET_3D,
+        _ => panic!("stencil dimensionality must be 2 or 3, got {dim}"),
+    };
+    cell.get_or_init(|| TuningSpace::for_dim(dim).expect("dim checked above").predefined_set())
+}
+
+/// Per-worker scratch: one row-major feature block, reused across queries.
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    matrix: Vec<f64>,
+}
+
+/// A raw pointer that may cross thread boundaries. Soundness rests on each
+/// parallel chunk touching a disjoint score range and its own scratch slot
+/// (chunk index == scratch index), mirroring the engine's tile writes.
+struct SendPtr<T>(*mut T);
+// Manual impls: the derive would demand `T: Copy`, but the wrapper only
+// copies the pointer.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// A long-lived tuning server around a trained [`StencilRanker`].
+///
+/// Use a session when tuning is on a hot path (many instances, repeated
+/// queries); use [`StandaloneTuner`](crate::tuner::StandaloneTuner) for
+/// one-shot convenience. Methods take `&mut self` because the session
+/// reuses its scratch buffers between queries.
+///
+/// ```no_run
+/// use sorl::pipeline::{PipelineConfig, TrainingPipeline};
+/// use sorl::session::TuningSession;
+/// use stencil_model::{GridSize, StencilInstance, StencilKernel};
+///
+/// let out = TrainingPipeline::new(PipelineConfig::default()).run();
+/// let mut session = TuningSession::parallel(out.ranker, 8);
+/// for size in [64, 96, 128, 192] {
+///     let q = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(size)).unwrap();
+///     let d = session.tune(&q);
+///     println!("{q}: {} in {:.3} ms", d.tuning, d.seconds * 1e3);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct TuningSession {
+    ranker: StencilRanker,
+    pool: Option<ThreadPool>,
+    scratch: Vec<WorkerScratch>,
+    scores: Vec<f64>,
+}
+
+impl TuningSession {
+    /// A sequential session (batched scoring, no worker threads).
+    pub fn new(ranker: StencilRanker) -> Self {
+        Self::build(ranker, None)
+    }
+
+    /// A session fanning candidate chunks over `threads` threads
+    /// (`threads <= 1` degenerates to the sequential session).
+    pub fn parallel(ranker: StencilRanker, threads: usize) -> Self {
+        let pool = (threads > 1).then(|| ThreadPool::new(threads));
+        Self::build(ranker, pool)
+    }
+
+    /// A session reusing an existing pool, e.g. one shared with the
+    /// execution engine between measurement phases.
+    pub fn with_pool(ranker: StencilRanker, pool: ThreadPool) -> Self {
+        Self::build(ranker, Some(pool))
+    }
+
+    fn build(ranker: StencilRanker, pool: Option<ThreadPool>) -> Self {
+        let threads = pool.as_ref().map_or(1, ThreadPool::threads);
+        let dim = ranker.encoder().dim();
+        let scratch = (0..threads)
+            .map(|_| WorkerScratch { matrix: Vec::with_capacity(BLOCK_ROWS * dim) })
+            .collect();
+        TuningSession { ranker, pool, scratch, scores: Vec::new() }
+    }
+
+    /// The underlying ranker.
+    pub fn ranker(&self) -> &StencilRanker {
+        &self.ranker
+    }
+
+    /// Threads used per query (1 for a sequential session).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, ThreadPool::threads)
+    }
+
+    /// Releases the session, handing back its pool for reuse elsewhere.
+    pub fn into_pool(self) -> Option<ThreadPool> {
+        self.pool
+    }
+
+    /// Tunes `instance` over the cached predefined set for its
+    /// dimensionality — the paper's standalone-tuner query, served with
+    /// zero steady-state allocation. The cached set is admissible by
+    /// construction, so this skips the per-query batch validation.
+    pub fn tune(&mut self, instance: &StencilInstance) -> TunerDecision {
+        let candidates = predefined_candidates(instance.dim());
+        let t0 = Instant::now();
+        self.score_candidates(instance, candidates, true)
+            .expect("predefined set is admissible by construction");
+        let best = self.best_index();
+        TunerDecision {
+            tuning: candidates[best],
+            score: self.scores[best],
+            candidates: candidates.len(),
+            seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Tunes `instance` over an explicit candidate list.
+    ///
+    /// Unlike `StandaloneTuner::tune_over` this does not panic on bad
+    /// input: an empty list or an inadmissible candidate is reported as an
+    /// error (naming the offending candidate index).
+    pub fn tune_over(
+        &mut self,
+        instance: &StencilInstance,
+        candidates: &[TuningVector],
+    ) -> Result<TunerDecision, ModelError> {
+        if candidates.is_empty() {
+            return Err(ModelError::OutOfRange {
+                what: "candidate count",
+                value: 0,
+                lo: 1,
+                hi: i64::MAX,
+            });
+        }
+        let t0 = Instant::now();
+        self.score_candidates(instance, candidates, false)?;
+        let best = self.best_index();
+        Ok(TunerDecision {
+            tuning: candidates[best],
+            score: self.scores[best],
+            candidates: candidates.len(),
+            seconds: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Index of the highest score in the freshly filled score buffer (first
+    /// occurrence wins ties, matching `argsort_desc`'s tie-break).
+    fn best_index(&self) -> usize {
+        let mut best = 0usize;
+        for i in 1..self.scores.len() {
+            if self.scores[i] > self.scores[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Scores `candidates` for `instance`, returning a borrow of the
+    /// session's internal score buffer (valid until the next query).
+    pub fn scores(
+        &mut self,
+        instance: &StencilInstance,
+        candidates: &[TuningVector],
+    ) -> Result<&[f64], ModelError> {
+        self.score_candidates(instance, candidates, false)?;
+        Ok(&self.scores)
+    }
+
+    /// Full best-first ranking of `candidates` (allocates the index vector;
+    /// scoring itself still runs on the zero-alloc batch path).
+    pub fn rank(
+        &mut self,
+        instance: &StencilInstance,
+        candidates: &[TuningVector],
+    ) -> Result<Vec<usize>, ModelError> {
+        self.score_candidates(instance, candidates, false)?;
+        Ok(ranksvm::argsort_desc(&self.scores))
+    }
+
+    /// The batched scoring core: validates the batch up front (skipped for
+    /// `prevalidated` callers such as the cached predefined sets, which are
+    /// admissible by construction), then encodes and scores block-wise into
+    /// `self.scores`, fanning contiguous candidate chunks across the pool
+    /// when one is attached.
+    fn score_candidates(
+        &mut self,
+        instance: &StencilInstance,
+        candidates: &[TuningVector],
+        prevalidated: bool,
+    ) -> Result<(), ModelError> {
+        let qf = self.ranker.encoder().query_features(instance);
+        if !prevalidated {
+            validate_candidates(&qf, candidates)?;
+        }
+
+        self.scores.clear();
+        self.scores.resize(candidates.len(), 0.0);
+
+        let n_chunks = match &self.pool {
+            Some(pool) => pool.threads().min(candidates.len()).max(1),
+            None => 1,
+        };
+        // Even contiguous partition: chunk ci covers [lo(ci), lo(ci + 1)).
+        let chunk_lo = |ci: usize| ci * candidates.len() / n_chunks;
+
+        if n_chunks == 1 {
+            let scratch = &mut self.scratch[0];
+            score_range(&self.ranker, &qf, candidates, scratch, &mut self.scores);
+            return Ok(());
+        }
+
+        let ranker = &self.ranker;
+        let scores_ptr = SendPtr(self.scores.as_mut_ptr());
+        let scratch_ptr = SendPtr(self.scratch.as_mut_ptr());
+        let pool = self.pool.as_mut().expect("n_chunks > 1 implies a pool");
+        pool.run(n_chunks, &|ci| {
+            // Mention the whole wrapper bindings so edition-2021 precise
+            // capture grabs the (Sync) `SendPtr`s, not their raw-pointer
+            // fields.
+            let (scores_base, scratch_base) = {
+                let (s, w) = (scores_ptr, scratch_ptr);
+                (s.0, w.0)
+            };
+            let (lo, hi) = (chunk_lo(ci), chunk_lo(ci + 1));
+            // SAFETY: chunk ranges are disjoint and in-bounds, and each
+            // chunk index runs exactly once, so the score sub-slice and the
+            // per-chunk scratch slot (ci < n_chunks <= scratch.len()) are
+            // accessed exclusively for the duration of `run`.
+            let (scores, scratch) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(scores_base.add(lo), hi - lo),
+                    &mut *scratch_base.add(ci),
+                )
+            };
+            score_range(ranker, &qf, &candidates[lo..hi], scratch, scores);
+        });
+        Ok(())
+    }
+}
+
+/// Encodes and scores one contiguous candidate range in blocks of
+/// [`BLOCK_ROWS`], reusing the worker's row-major matrix buffer.
+fn score_range(
+    ranker: &StencilRanker,
+    qf: &QueryFeatures,
+    candidates: &[TuningVector],
+    scratch: &mut WorkerScratch,
+    scores: &mut [f64],
+) {
+    let encoder = ranker.encoder();
+    let dim = encoder.dim();
+    let mut start = 0;
+    while start < candidates.len() {
+        let n = (candidates.len() - start).min(BLOCK_ROWS);
+        scratch.matrix.clear();
+        for &t in &candidates[start..start + n] {
+            encoder.append_candidate(qf, t, &mut scratch.matrix);
+        }
+        ranker.model().score_batch_into(&scratch.matrix, dim, &mut scores[start..start + n]);
+        start += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ranksvm::LinearRanker;
+    use stencil_model::{FeatureEncoder, GridSize, StencilKernel};
+
+    /// Deterministic pseudo-random weights (xorshift), dense over every
+    /// feature so batch/legacy discrepancies cannot hide behind zeros.
+    fn dense_ranker() -> StencilRanker {
+        let encoder = FeatureEncoder::default_interaction();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let w: Vec<f64> = (0..encoder.dim())
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as f64 / u64::MAX as f64) - 0.5
+            })
+            .collect();
+        StencilRanker::new(encoder, LinearRanker::from_weights(w))
+    }
+
+    fn lap128() -> StencilInstance {
+        StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap()
+    }
+
+    fn blur1024() -> StencilInstance {
+        StencilInstance::new(StencilKernel::blur(), GridSize::square(1024)).unwrap()
+    }
+
+    #[test]
+    fn predefined_candidates_are_cached_and_sized() {
+        assert_eq!(predefined_candidates(2).len(), 1600);
+        assert_eq!(predefined_candidates(3).len(), 8640);
+        // Same allocation on repeated calls.
+        assert!(std::ptr::eq(predefined_candidates(3), predefined_candidates(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 2 or 3")]
+    fn predefined_candidates_rejects_bad_dim() {
+        predefined_candidates(4);
+    }
+
+    #[test]
+    fn session_matches_ranker_scores_exactly() {
+        let ranker = dense_ranker();
+        let mut seq = TuningSession::new(ranker.clone());
+        let mut par = TuningSession::parallel(ranker.clone(), 4);
+        for q in [lap128(), blur1024()] {
+            let cands = predefined_candidates(q.dim());
+            let reference = ranker.scores(&q, cands).unwrap();
+            assert_eq!(seq.scores(&q, cands).unwrap(), &reference[..]);
+            assert_eq!(par.scores(&q, cands).unwrap(), &reference[..]);
+        }
+    }
+
+    #[test]
+    fn session_tune_agrees_with_ranker_rank() {
+        let ranker = dense_ranker();
+        let mut session = TuningSession::parallel(ranker.clone(), 3);
+        let q = lap128();
+        let d = session.tune(&q);
+        assert_eq!(d.candidates, 8640);
+        let order = ranker.rank(&q, predefined_candidates(3)).unwrap();
+        assert_eq!(d.tuning, predefined_candidates(3)[order[0]]);
+        assert_eq!(session.rank(&q, predefined_candidates(3)).unwrap(), order);
+    }
+
+    #[test]
+    fn tune_over_reports_errors_instead_of_panicking() {
+        let mut session = TuningSession::new(dense_ranker());
+        let q = blur1024();
+        assert!(session.tune_over(&q, &[]).is_err());
+        let bad = [TuningVector::new(8, 8, 1, 0, 1), TuningVector::new(8, 8, 8, 0, 1)];
+        let err = session.tune_over(&q, &bad).unwrap_err();
+        assert!(err.to_string().contains("#1"), "{err}");
+    }
+
+    #[test]
+    fn one_pool_serves_many_epochs() {
+        // ThreadPool stress from the ranking side: a single pool must
+        // survive many query epochs (mixed dimensionalities and candidate
+        // counts) and keep producing results identical to sequential.
+        let ranker = dense_ranker();
+        let mut seq = TuningSession::new(ranker.clone());
+        let mut par = TuningSession::parallel(ranker, 4);
+        assert_eq!(par.threads(), 4);
+        for epoch in 0..40 {
+            let q = if epoch % 2 == 0 { lap128() } else { blur1024() };
+            let cands = predefined_candidates(q.dim());
+            // Vary the batch size so chunk boundaries move around.
+            let n = cands.len() - (epoch * 37) % 1000;
+            let a = par.tune_over(&q, &cands[..n]).unwrap();
+            let b = seq.tune_over(&q, &cands[..n]).unwrap();
+            assert_eq!(a.tuning, b.tuning, "epoch {epoch}");
+            assert_eq!(a.score, b.score, "epoch {epoch}");
+        }
+        // The pool can be handed back for reuse.
+        assert!(par.into_pool().is_some());
+        assert!(seq.into_pool().is_none());
+    }
+}

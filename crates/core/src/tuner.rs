@@ -9,9 +9,10 @@
 
 use std::time::Instant;
 
-use stencil_model::{StencilInstance, TuningSpace, TuningVector};
+use stencil_model::{StencilInstance, TuningVector};
 
 use crate::ranker::StencilRanker;
+use crate::session::predefined_candidates;
 
 /// The tuner's answer for one instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,10 +45,10 @@ impl StandaloneTuner {
     }
 
     /// Tunes `instance` over the paper's predefined set for its
-    /// dimensionality.
+    /// dimensionality (cached process-wide, so repeated calls never
+    /// re-materialize the 1600/8640 candidate vectors).
     pub fn tune(&self, instance: &StencilInstance) -> TunerDecision {
-        let space = TuningSpace::for_dim(instance.dim()).expect("valid instance dims");
-        self.tune_over(instance, &space.predefined_set())
+        self.tune_over(instance, predefined_candidates(instance.dim()))
     }
 
     /// Tunes `instance` over an explicit candidate list (e.g. user-supplied
@@ -80,9 +81,8 @@ impl StandaloneTuner {
     /// Full ranking of the predefined set, best first (used by the hybrid
     /// tuner and by the ranking-quality experiments).
     pub fn rank_predefined(&self, instance: &StencilInstance) -> Vec<TuningVector> {
-        let space = TuningSpace::for_dim(instance.dim()).expect("valid instance dims");
-        let set = space.predefined_set();
-        let order = self.ranker.rank(instance, &set).expect("predefined set is admissible");
+        let set = predefined_candidates(instance.dim());
+        let order = self.ranker.rank(instance, set).expect("predefined set is admissible");
         order.into_iter().map(|i| set[i]).collect()
     }
 }
@@ -91,7 +91,7 @@ impl StandaloneTuner {
 mod tests {
     use super::*;
     use crate::pipeline::{PipelineConfig, TrainingPipeline};
-    use stencil_model::{GridSize, StencilKernel};
+    use stencil_model::{GridSize, StencilKernel, TuningSpace};
 
     fn trained_tuner() -> StandaloneTuner {
         let out =

@@ -164,7 +164,7 @@ impl Engine {
         let instance = StencilInstance::new(model.clone(), size).expect("valid instance");
         let radius = instance.kernel().pattern().radius_per_axis();
         let buffers = model.buffers() as usize;
-        let mut inputs: Vec<Grid<T>> = (0..buffers)
+        let inputs: Vec<Grid<T>> = (0..buffers)
             .map(|b| {
                 let mut g = Grid::for_size(size, radius);
                 g.fill_with(|x, y, z| T::from_f64(test_field(b, x, y, z)));
@@ -184,10 +184,7 @@ impl Engine {
             times.push(t0.elapsed().as_secs_f64());
         }
         times.sort_by(f64::total_cmp);
-        let median = times[times.len() / 2];
-        drop(input_refs);
-        inputs.clear();
-        median
+        stencil_model::stats::median_sorted(&times)
     }
 }
 
@@ -317,6 +314,32 @@ mod tests {
             let mut out: Grid<f64> = Grid::new(13, 7, 3, 1, 0, 0);
             eng.sweep(&k, &[&input], &mut out, &TuningVector::new(5, 3, 2, u, 2));
             assert_eq!(out.max_abs_diff(&reference), 0.0, "u = {u}");
+        }
+    }
+
+    /// Regression: for even rep counts the median must average the two
+    /// middle values, not report the upper-middle one.
+    #[test]
+    fn even_rep_median_averages_the_middle_pair() {
+        use stencil_model::stats::median_sorted;
+        assert_eq!(median_sorted(&[1.0, 3.0]), 2.0); // reps = 2
+        assert_eq!(median_sorted(&[1.0, 2.0, 4.0, 9.0]), 3.0); // reps = 4
+        assert_eq!(median_sorted(&[1.0, 2.0, 3.0]), 2.0); // odd unchanged
+        assert_eq!(median_sorted(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn measure_supports_even_rep_counts() {
+        let mut eng = Engine::new(2);
+        let k = identity_kernel();
+        for reps in [2u32, 4] {
+            let secs = eng.measure::<f64, _>(
+                &k,
+                GridSize::square(32),
+                &TuningVector::new(8, 8, 1, 0, 1),
+                MeasureConfig { warmup: 0, reps },
+            );
+            assert!(secs > 0.0, "reps = {reps}");
         }
     }
 

@@ -136,6 +136,12 @@ impl ThreadPool {
     }
 }
 
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("threads", &self.threads()).finish_non_exhaustive()
+    }
+}
+
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {

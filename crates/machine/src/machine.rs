@@ -81,7 +81,7 @@ impl Machine {
         assert!(reps > 0, "need at least one repetition");
         let mut times: Vec<f64> = (0..reps).map(|r| self.execute_rep(exec, r).seconds).collect();
         times.sort_by(f64::total_cmp);
-        let seconds = times[times.len() / 2];
+        let seconds = stencil_model::stats::median_sorted(&times);
         Measurement { seconds, gflops: exec.gflops(seconds) }
     }
 
@@ -123,6 +123,20 @@ mod tests {
         let m = Machine::xeon_e5_2680_v3();
         let e = exec();
         assert_ne!(m.execute_rep(&e, 0).seconds, m.execute_rep(&e, 1).seconds);
+    }
+
+    /// Regression: an even rep count must average the two middle draws,
+    /// not report the upper-middle one (which biased measurements high).
+    #[test]
+    fn even_rep_median_averages_the_middle_draws() {
+        let m = Machine::xeon_e5_2680_v3();
+        let e = exec();
+        let (a, b) = (m.execute_rep(&e, 0).seconds, m.execute_rep(&e, 1).seconds);
+        assert_eq!(m.execute_median(&e, 2).seconds, (a + b) / 2.0);
+
+        let mut four: Vec<f64> = (0..4).map(|r| m.execute_rep(&e, r).seconds).collect();
+        four.sort_by(f64::total_cmp);
+        assert_eq!(m.execute_median(&e, 4).seconds, (four[1] + four[2]) / 2.0);
     }
 
     #[test]

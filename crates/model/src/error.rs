@@ -14,6 +14,10 @@ pub enum ModelError {
     OutOfRange { what: &'static str, value: i64, lo: i64, hi: i64 },
     /// A feature vector could not be decoded back into a stencil execution.
     DecodeError(String),
+    /// One candidate of a batch was inadmissible for the queried instance.
+    /// Carries the candidate's index in the batch so callers can point at
+    /// the offending entry.
+    InadmissibleCandidate { index: usize, source: Box<ModelError> },
 }
 
 impl fmt::Display for ModelError {
@@ -27,6 +31,9 @@ impl fmt::Display for ModelError {
                 write!(f, "{what} = {value} outside [{lo}, {hi}]")
             }
             ModelError::DecodeError(msg) => write!(f, "feature decode error: {msg}"),
+            ModelError::InadmissibleCandidate { index, source } => {
+                write!(f, "candidate #{index} is inadmissible: {source}")
+            }
         }
     }
 }
@@ -48,6 +55,12 @@ mod tests {
         assert!(e.to_string().contains("4096"));
         let e = ModelError::DecodeError("bad".into());
         assert!(e.to_string().contains("bad"));
+        let e = ModelError::InadmissibleCandidate {
+            index: 17,
+            source: Box::new(ModelError::OutOfRange { what: "bz", value: 8, lo: 1, hi: 1 }),
+        };
+        assert!(e.to_string().contains("#17"));
+        assert!(e.to_string().contains("bz"));
     }
 
     #[test]

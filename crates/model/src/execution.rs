@@ -21,14 +21,7 @@ impl StencilExecution {
     /// for 2-D stencils).
     pub fn new(instance: StencilInstance, tuning: TuningVector) -> Result<Self, ModelError> {
         let space = TuningSpace::for_dim(instance.dim())?;
-        if !space.contains(&tuning) {
-            return Err(ModelError::OutOfRange {
-                what: "tuning vector",
-                value: tuning.tile_points() as i64,
-                lo: space.block_min as i64,
-                hi: space.block_max as i64,
-            });
-        }
+        space.validate(&tuning)?;
         Ok(StencilExecution { instance, tuning })
     }
 
@@ -100,6 +93,32 @@ mod tests {
         assert!(StencilExecution::new(blur, TuningVector::new(8, 8, 1, 0, 1)).is_ok());
         // ... and a 3-D stencil needs bz >= 2.
         assert!(StencilExecution::new(lap128(), TuningVector::new(8, 8, 1, 0, 1)).is_err());
+    }
+
+    /// Each rejection arm must name the offending field and its actual
+    /// bounds — not a generic "tuning vector" diagnostic.
+    #[test]
+    fn rejection_errors_name_the_offending_field() {
+        let err = |t: TuningVector| {
+            StencilExecution::new(lap128(), t).expect_err("inadmissible").to_string()
+        };
+        let e = err(TuningVector::new(1, 8, 8, 0, 1));
+        assert!(e.contains("bx") && e.contains("[2, 1024]"), "{e}");
+        let e = err(TuningVector::new(8, 4096, 8, 0, 1));
+        assert!(e.contains("by") && e.contains("4096"), "{e}");
+        let e = err(TuningVector::new(8, 8, 1, 0, 1));
+        assert!(e.contains("bz"), "{e}");
+        let e = err(TuningVector::new(8, 8, 8, 99, 1));
+        assert!(e.contains("unroll factor u") && e.contains("[0, 8]"), "{e}");
+        let e = err(TuningVector::new(8, 8, 8, 0, 0));
+        assert!(e.contains("chunk size c") && e.contains("[1, 256]"), "{e}");
+
+        // The 2-D arm: bz != 1 reports bz with its pinned [1, 1] range.
+        let blur = StencilInstance::new(StencilKernel::blur(), GridSize::square(512)).unwrap();
+        let e = StencilExecution::new(blur, TuningVector::new(8, 8, 8, 0, 1))
+            .expect_err("bz must be 1 in 2-D")
+            .to_string();
+        assert!(e.contains("bz") && e.contains("[1, 1]"), "{e}");
     }
 
     #[test]

@@ -171,8 +171,72 @@ impl FeatureEncoder {
     pub fn encode_into(&self, exec: &StencilExecution, out: &mut Vec<f64>) {
         out.clear();
         let q = exec.instance();
-        let k = q.kernel();
         let t = exec.tuning();
+        self.write_instance_prefix(q, out);
+        self.write_tuning_block(t, out);
+        if self.config.encoding == EncodingKind::Interaction {
+            let sigma = self.instance_descriptor(q);
+            let pi = self.tuning_descriptor(
+                q.size(),
+                q.kernel().pattern().radius_per_axis(),
+                q.kernel().buffers(),
+                q.kernel().dtype(),
+                t,
+            );
+            write_interactions(&sigma, &pi, out);
+        }
+        debug_assert_eq!(out.len(), self.dim());
+        debug_assert!(out.iter().all(|v| (0.0..=1.0).contains(v)), "feature out of [0,1]");
+    }
+
+    /// Precomputes everything about `q` that candidate encoding needs:
+    /// the instance feature prefix, the `sigma` descriptor and the scalar
+    /// kernel/size facts feeding the per-tuning `pi` descriptor. Build this
+    /// once per query, then call [`encode_candidate`](Self::encode_candidate)
+    /// per tuning vector — the batch hot path pays neither a
+    /// [`StencilInstance`] clone nor a [`TuningSpace`] construction per
+    /// candidate.
+    pub fn query_features(&self, q: &StencilInstance) -> QueryFeatures {
+        let mut prefix = Vec::with_capacity(self.concat_len() - 5);
+        self.write_instance_prefix(q, &mut prefix);
+        QueryFeatures {
+            prefix,
+            sigma: self.instance_descriptor(q),
+            size: q.size(),
+            radius: q.kernel().pattern().radius_per_axis(),
+            buffers: q.kernel().buffers(),
+            dtype: q.kernel().dtype(),
+            space: TuningSpace::for_dim(q.dim()).expect("instances are 2-D or 3-D"),
+        }
+    }
+
+    /// Completes a precomputed query block with one tuning vector, reusing
+    /// `out` (cleared first). Bit-for-bit identical to
+    /// [`encode_into`](Self::encode_into) on `StencilExecution::new(q, t)`.
+    ///
+    /// Admissibility is *not* checked here — validate the batch up front
+    /// with [`QueryFeatures::space`].
+    pub fn encode_candidate(&self, qf: &QueryFeatures, t: TuningVector, out: &mut Vec<f64>) {
+        out.clear();
+        self.append_candidate(qf, t, out);
+    }
+
+    /// Like [`encode_candidate`](Self::encode_candidate) but appends to
+    /// `out` instead of clearing it — the building block for row-major
+    /// feature matrices handed to `LinearRanker::score_batch`.
+    pub fn append_candidate(&self, qf: &QueryFeatures, t: TuningVector, out: &mut Vec<f64>) {
+        out.extend_from_slice(&qf.prefix);
+        self.write_tuning_block(t, out);
+        if self.config.encoding == EncodingKind::Interaction {
+            let pi = self.tuning_descriptor(qf.size, qf.radius, qf.buffers, qf.dtype, t);
+            write_interactions(&qf.sigma, &pi, out);
+        }
+    }
+
+    /// Writes the instance-dependent concat prefix: pattern occupancy block,
+    /// buffer count, element type and (log2-normalized) grid size.
+    fn write_instance_prefix(&self, q: &StencilInstance, out: &mut Vec<f64>) {
+        let k = q.kernel();
         let cfg = &self.config;
 
         // Pattern block. Patterns wider than the supported offset are
@@ -198,30 +262,19 @@ impl FeatureEncoder {
         out.push(k.dtype().feature());
 
         // Size (log2-normalized; sz = 1 encodes to 0 for 2-D stencils).
-        let s = q.size();
-        for extent in s.as_array() {
+        for extent in q.size().as_array() {
             out.push(norm_log2(extent, cfg.size_log2_max));
         }
+    }
 
-        // Tuning.
+    /// Writes the five normalized tuning components.
+    fn write_tuning_block(&self, t: TuningVector, out: &mut Vec<f64>) {
+        let cfg = &self.config;
         out.push(norm_log2(t.bx, cfg.block_log2_max));
         out.push(norm_log2(t.by, cfg.block_log2_max));
         out.push(norm_log2(t.bz, cfg.block_log2_max));
         out.push(t.u.min(cfg.unroll_max) as f64 / cfg.unroll_max as f64);
         out.push(norm_log2(t.c, cfg.chunk_log2_max));
-
-        if cfg.encoding == EncodingKind::Interaction {
-            let sigma = self.instance_descriptor(q);
-            let pi = self.tuning_descriptor(exec);
-            for &sv in &sigma {
-                for &pv in &pi {
-                    out.push((sv * pv).clamp(0.0, 1.0));
-                }
-            }
-        }
-
-        debug_assert_eq!(out.len(), self.dim());
-        debug_assert!(out.iter().all(|v| (0.0..=1.0).contains(v)), "feature out of [0,1]");
     }
 
     /// Compact per-instance descriptor `sigma` (constant within an instance).
@@ -251,13 +304,25 @@ impl FeatureEncoder {
 
     /// Compact per-execution tuning descriptor `pi`. All components are
     /// static functions of `(k, s, t)`; none requires running the stencil.
-    fn tuning_descriptor(&self, exec: &StencilExecution) -> [f64; PI_LEN] {
+    /// Takes the kernel/size facts as scalars so the batch path can feed it
+    /// from a [`QueryFeatures`] without touching the instance.
+    fn tuning_descriptor(
+        &self,
+        size: GridSize,
+        radius: (u32, u32, u32),
+        buffers: u8,
+        dtype: DType,
+        t: TuningVector,
+    ) -> [f64; PI_LEN] {
         let cfg = &self.config;
-        let q = exec.instance();
-        let k = q.kernel();
-        let t = exec.tuning();
-        let (bx, by, bz) = exec.effective_blocks();
-        let (rx, ry, rz) = k.pattern().radius_per_axis();
+        let (rx, ry, rz) = radius;
+        // Effective blocks / tile count / chunk count mirror the arithmetic
+        // of `StencilExecution` exactly (bit-for-bit), clipping each block
+        // to the grid.
+        let (bx, by, bz) = (t.bx.min(size.x), t.by.min(size.y), t.bz.min(size.z));
+        let tiles_of = |n: u32, b: u32| n.div_ceil(b) as u64;
+        let tile_count = tiles_of(size.x, bx) * tiles_of(size.y, by) * tiles_of(size.z, bz);
+        let chunk_count = tile_count.div_ceil(t.c as u64);
 
         let tile_volume = bx as f64 * by as f64 * bz as f64;
         // Redundant halo loads per tile relative to its interior, total and
@@ -268,17 +333,17 @@ impl FeatureEncoder {
         let halo_z = 1.0 + 2.0 * rz as f64 / bz as f64;
         let halo_ratio = halo_x * halo_y * halo_z;
         // Tile working set vs. a 256 KiB L2 (the paper's testbed), log-scaled.
-        let bytes = k.dtype().bytes() as f64;
+        let bytes = dtype.bytes() as f64;
         let ws = bytes
-            * (k.buffers() as f64
+            * (buffers as f64
                 * (bx as f64 + 2.0 * rx as f64)
                 * (by as f64 + 2.0 * ry as f64)
                 * (bz as f64 + 2.0 * rz as f64)
                 + tile_volume);
         let ws_ratio = ((ws / (256.0 * 1024.0)).log2() + 10.0) / 20.0;
 
-        let tiles = exec.tile_count() as f64;
-        let chunks = exec.chunk_count() as f64;
+        let tiles = tile_count as f64;
+        let chunks = chunk_count as f64;
         let tiles_per_thread = ((tiles / (12.0 * t.c as f64)) + 1.0).log2() / 20.0;
         let chunk_balance = ((chunks / 12.0).log2() + 8.0) / 20.0;
         // Vector/unroll cleanup pressure on short x blocks.
@@ -347,6 +412,56 @@ impl FeatureEncoder {
             .map_err(|e| ModelError::DecodeError(e.to_string()))?;
         let tuning = space.clamp(&TuningVector::new(bx, by, bz, u, c));
         StencilExecution::new(instance, tuning).map_err(|e| ModelError::DecodeError(e.to_string()))
+    }
+}
+
+/// Precomputed per-instance encoding state: the concat feature prefix plus
+/// the scalar facts the per-candidate completion needs. Produced by
+/// [`FeatureEncoder::query_features`]; consumed by
+/// [`FeatureEncoder::encode_candidate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryFeatures {
+    /// Instance-dependent concat prefix (pattern + buffers + dtype + size).
+    prefix: Vec<f64>,
+    /// Instance descriptor `sigma` (only used by the interaction layout).
+    sigma: [f64; SIGMA_LEN],
+    size: GridSize,
+    radius: (u32, u32, u32),
+    buffers: u8,
+    dtype: DType,
+    space: TuningSpace,
+}
+
+impl QueryFeatures {
+    /// The tuning space of the instance's dimensionality — borrow this for
+    /// per-candidate admissibility checks instead of constructing a fresh
+    /// space (or a [`StencilExecution`]) in the loop.
+    pub fn space(&self) -> &TuningSpace {
+        &self.space
+    }
+
+    /// Dimensionality of the underlying instance (2 or 3).
+    pub fn dim(&self) -> u8 {
+        self.space.dim
+    }
+
+    /// Whether `t` is admissible for the underlying instance.
+    pub fn is_admissible(&self, t: &TuningVector) -> bool {
+        self.space.contains(t)
+    }
+
+    /// The grid size of the underlying instance.
+    pub fn size(&self) -> GridSize {
+        self.size
+    }
+}
+
+/// Appends the `sigma x pi` outer product, clamped to `[0, 1]`.
+fn write_interactions(sigma: &[f64; SIGMA_LEN], pi: &[f64; PI_LEN], out: &mut Vec<f64>) {
+    for &sv in sigma {
+        for &pv in pi {
+            out.push((sv * pv).clamp(0.0, 1.0));
+        }
     }
 }
 
@@ -502,6 +617,47 @@ mod tests {
         assert_eq!(buf.len(), enc.dim());
         enc.encode_into(&execs[0], &mut buf);
         assert_eq!(buf, first);
+    }
+
+    #[test]
+    fn encode_candidate_matches_encode_into_bit_for_bit() {
+        for enc in [FeatureEncoder::paper_concat(), FeatureEncoder::default_interaction()] {
+            for e in executions_for_tests() {
+                let qf = enc.query_features(e.instance());
+                let mut fast = Vec::new();
+                enc.encode_candidate(&qf, e.tuning(), &mut fast);
+                assert_eq!(fast, enc.encode(&e), "mismatch for {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_candidate_builds_row_major_matrices() {
+        let enc = FeatureEncoder::default_interaction();
+        let q = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(64)).unwrap();
+        let qf = enc.query_features(&q);
+        let cands = [TuningVector::new(8, 8, 8, 0, 1), TuningVector::new(64, 16, 4, 4, 8)];
+        let mut matrix = Vec::new();
+        for &t in &cands {
+            enc.append_candidate(&qf, t, &mut matrix);
+        }
+        assert_eq!(matrix.len(), 2 * enc.dim());
+        for (i, &t) in cands.iter().enumerate() {
+            let exec = StencilExecution::new(q.clone(), t).unwrap();
+            assert_eq!(&matrix[i * enc.dim()..(i + 1) * enc.dim()], &enc.encode(&exec)[..]);
+        }
+    }
+
+    #[test]
+    fn query_features_admissibility_matches_space() {
+        let enc = FeatureEncoder::default_interaction();
+        let q2 = StencilInstance::new(StencilKernel::blur(), GridSize::square(512)).unwrap();
+        let qf = enc.query_features(&q2);
+        assert_eq!(qf.dim(), 2);
+        assert!(qf.is_admissible(&TuningVector::new(8, 8, 1, 0, 1)));
+        assert!(!qf.is_admissible(&TuningVector::new(8, 8, 8, 0, 1)));
+        assert_eq!(*qf.space(), TuningSpace::d2());
+        assert_eq!(qf.size(), GridSize::square(512));
     }
 
     #[test]

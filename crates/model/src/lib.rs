@@ -28,12 +28,13 @@ pub mod kernel;
 pub mod pattern;
 pub mod shape;
 pub mod size;
+pub mod stats;
 pub mod tuning;
 
 pub use dtype::DType;
 pub use error::ModelError;
 pub use execution::StencilExecution;
-pub use features::{EncodingKind, FeatureConfig, FeatureEncoder};
+pub use features::{EncodingKind, FeatureConfig, FeatureEncoder, QueryFeatures};
 pub use instance::StencilInstance;
 pub use kernel::StencilKernel;
 pub use pattern::{Offset, StencilPattern};

@@ -1,0 +1,43 @@
+//! Small measurement statistics shared by every layer that reports
+//! runtimes (the execution engine, the simulated machine, the perf
+//! snapshot emitter).
+
+/// Median of an already sorted sample: the middle element for odd lengths,
+/// the mean of the two middle elements for even lengths. Taking only the
+/// upper-middle element (a common off-by-one) biases even-length
+/// measurement samples high.
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn median_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    assert!(n > 0, "median of an empty sample");
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_lengths_take_the_middle() {
+        assert_eq!(median_sorted(&[7.0]), 7.0);
+        assert_eq!(median_sorted(&[1.0, 2.0, 9.0]), 2.0);
+    }
+
+    #[test]
+    fn even_lengths_average_the_middle_pair() {
+        assert_eq!(median_sorted(&[1.0, 3.0]), 2.0);
+        assert_eq!(median_sorted(&[1.0, 2.0, 4.0, 9.0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        median_sorted(&[]);
+    }
+}

@@ -118,13 +118,55 @@ impl TuningSpace {
 
     /// Whether `t` lies inside this space.
     pub fn contains(&self, t: &TuningVector) -> bool {
-        let block_ok = |b: u32| (self.block_min..=self.block_max).contains(&b);
-        let bz_ok = if self.dim == 2 { t.bz == 1 } else { block_ok(t.bz) };
-        block_ok(t.bx)
-            && block_ok(t.by)
-            && bz_ok
-            && t.u <= self.unroll_max
-            && (self.chunk_min..=self.chunk_max).contains(&t.c)
+        self.validate(t).is_ok()
+    }
+
+    /// Checks `t` against this space, naming the first offending field and
+    /// its actual admissible bounds in the error.
+    pub fn validate(&self, t: &TuningVector) -> Result<(), ModelError> {
+        let block = |what: &'static str, v: u32| {
+            if (self.block_min..=self.block_max).contains(&v) {
+                Ok(())
+            } else {
+                Err(ModelError::OutOfRange {
+                    what,
+                    value: v as i64,
+                    lo: self.block_min as i64,
+                    hi: self.block_max as i64,
+                })
+            }
+        };
+        block("blocking size bx", t.bx)?;
+        block("blocking size by", t.by)?;
+        if self.dim == 2 {
+            if t.bz != 1 {
+                return Err(ModelError::OutOfRange {
+                    what: "blocking size bz (pinned to 1 for 2-D stencils)",
+                    value: t.bz as i64,
+                    lo: 1,
+                    hi: 1,
+                });
+            }
+        } else {
+            block("blocking size bz", t.bz)?;
+        }
+        if t.u > self.unroll_max {
+            return Err(ModelError::OutOfRange {
+                what: "unroll factor u",
+                value: t.u as i64,
+                lo: 0,
+                hi: self.unroll_max as i64,
+            });
+        }
+        if !(self.chunk_min..=self.chunk_max).contains(&t.c) {
+            return Err(ModelError::OutOfRange {
+                what: "chunk size c",
+                value: t.c as i64,
+                lo: self.chunk_min as i64,
+                hi: self.chunk_max as i64,
+            });
+        }
+        Ok(())
     }
 
     /// Clamps every component of `t` into the space.
@@ -293,6 +335,28 @@ mod tests {
         let clamped = s.clamp(&TuningVector::new(1, 4096, 0, 99, 0));
         assert!(s.contains(&clamped));
         assert_eq!(clamped, TuningVector::new(2, 1024, 2, 8, 1));
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let s3 = TuningSpace::d3();
+        let err = |t: TuningVector| s3.validate(&t).unwrap_err().to_string();
+        assert!(err(TuningVector::new(1, 8, 8, 0, 1)).contains("bx"));
+        assert!(err(TuningVector::new(8, 2048, 8, 0, 1)).contains("by"));
+        assert!(err(TuningVector::new(8, 8, 2048, 0, 1)).contains("bz"));
+        assert!(err(TuningVector::new(8, 8, 8, 9, 1)).contains("unroll factor u"));
+        assert!(err(TuningVector::new(8, 8, 8, 0, 0)).contains("chunk size c"));
+        assert!(err(TuningVector::new(8, 8, 8, 0, 300)).contains("chunk size c"));
+        // Bounds in the message are the actual admissible range.
+        assert!(err(TuningVector::new(1, 8, 8, 0, 1)).contains("[2, 1024]"));
+        assert!(err(TuningVector::new(8, 8, 8, 9, 1)).contains("[0, 8]"));
+
+        let s2 = TuningSpace::d2();
+        let msg = s2.validate(&TuningVector::new(8, 8, 8, 0, 1)).unwrap_err().to_string();
+        assert!(msg.contains("bz"), "2-D bz error must name bz: {msg}");
+        assert!(msg.contains("[1, 1]"), "2-D bz error must show its pinned bounds: {msg}");
+        assert!(s2.validate(&TuningVector::new(8, 8, 1, 0, 1)).is_ok());
+        assert!(s3.validate(&TuningVector::new(8, 8, 8, 0, 1)).is_ok());
     }
 
     #[test]

@@ -49,8 +49,34 @@ impl LinearRanker {
 
     /// Scores many rows given as a flat row-major matrix.
     pub fn score_rows(&self, rows: &[f64]) -> Vec<f64> {
-        assert_eq!(rows.len() % self.w.len(), 0, "row matrix not a multiple of dim");
-        rows.chunks_exact(self.w.len()).map(|r| dot(&self.w, r)).collect()
+        self.score_batch(rows, self.w.len())
+    }
+
+    /// Scores a row-major feature matrix of `dim`-wide rows, returning one
+    /// score per row.
+    ///
+    /// # Panics
+    /// Panics when `dim` differs from the model dimension or `rows` is not a
+    /// whole number of rows.
+    pub fn score_batch(&self, rows: &[f64], dim: usize) -> Vec<f64> {
+        let mut out = vec![0.0; rows.len() / dim.max(1)];
+        self.score_batch_into(rows, dim, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`score_batch`](Self::score_batch):
+    /// writes one score per row into `out`.
+    ///
+    /// # Panics
+    /// Panics when `dim` differs from the model dimension, `rows` is not a
+    /// whole number of rows, or `out` is not exactly one slot per row.
+    pub fn score_batch_into(&self, rows: &[f64], dim: usize, out: &mut [f64]) {
+        assert_eq!(dim, self.w.len(), "feature dimension mismatch");
+        assert_eq!(rows.len() % dim, 0, "row matrix not a multiple of dim");
+        assert_eq!(out.len(), rows.len() / dim, "output length must match row count");
+        for (o, r) in out.iter_mut().zip(rows.chunks_exact(dim)) {
+            *o = dot(&self.w, r);
+        }
     }
 
     /// Returns candidate indices sorted best-first (descending score, ties
@@ -93,8 +119,11 @@ pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
     s
 }
 
-/// Indices sorted by descending value; ties broken by ascending index.
-pub(crate) fn argsort_desc(values: &[f64]) -> Vec<usize> {
+/// Indices sorted by descending value; ties broken by ascending index so
+/// rankings are deterministic. This is *the* ranking comparator of the
+/// workspace — downstream rankers reuse it rather than re-deriving the
+/// tie-break/NaN semantics.
+pub fn argsort_desc(values: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
     idx.sort_by(|&a, &b| values[b].total_cmp(&values[a]).then(a.cmp(&b)));
     idx
@@ -122,6 +151,30 @@ mod tests {
         let rows = [1.0, 2.0, 3.0, 4.0, 0.0, 8.0];
         let s = m.score_rows(&rows);
         assert_eq!(s, vec![1.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn score_batch_matches_per_row_score() {
+        let m = LinearRanker::from_weights(vec![0.5, 0.25, -1.0]);
+        let rows = [1.0, 2.0, 3.0, 4.0, 0.0, 8.0, -1.0, 2.0, 0.5];
+        let batch = m.score_batch(&rows, 3);
+        let singles: Vec<f64> = rows.chunks_exact(3).map(|r| m.score(r)).collect();
+        assert_eq!(batch, singles);
+        let mut out = [0.0; 3];
+        m.score_batch_into(&rows, 3, &mut out);
+        assert_eq!(out.to_vec(), singles);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn score_batch_rejects_wrong_dim() {
+        LinearRanker::zeros(3).score_batch(&[1.0, 2.0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn score_batch_rejects_ragged_matrix() {
+        LinearRanker::zeros(3).score_batch(&[1.0, 2.0, 3.0, 4.0], 3);
     }
 
     #[test]

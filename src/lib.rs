@@ -37,6 +37,12 @@
 //!          q, decision.tuning, decision.candidates, decision.seconds * 1e3);
 //! ```
 //!
+//! When tuning sits on a hot path (many instances, repeated queries), use
+//! [`sorl::session::TuningSession`] instead of `StandaloneTuner`: it
+//! caches the predefined candidate sets, reuses scratch buffers (zero
+//! per-candidate heap allocation in steady state) and optionally fans
+//! candidate chunks across a persistent thread pool.
+//!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the binaries regenerating every table and figure of the paper.
 
