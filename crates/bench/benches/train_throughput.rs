@@ -1,11 +1,17 @@
 //! Training-phase throughput (Table II, Training column): ranking-SVM fits
 //! at two training-set sizes, measured over prebuilt datasets so only the
 //! solver is timed.
+//!
+//! Besides the criterion output, the run writes a machine-readable
+//! `BENCH_train_throughput.json` snapshot (see `sorl_bench::perf`) so the
+//! repo's perf trajectory covers the training phase too. Set
+//! `SORL_BENCH_QUICK=1` for the CI sample budget.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ranksvm::{RankSvmTrainer, TrainConfig};
+use sorl_bench::perf::{quick_mode, PerfReport};
 use stencil_gen::TrainingSetBuilder;
 
 fn bench_train(c: &mut Criterion) {
@@ -26,5 +32,27 @@ fn bench_train(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_train);
-criterion_main!(benches);
+/// JSON snapshot pass with fixed sample counts, comparable run-over-run.
+fn emit_perf_snapshot() {
+    let samples = if quick_mode() { 3 } else { 10 };
+    let mut report = PerfReport::new("train_throughput");
+    let trainer = RankSvmTrainer::new(TrainConfig::paper());
+    for size in [960usize, 3840] {
+        let ts = TrainingSetBuilder::paper().build_size(size);
+        report.record(&format!("rank_svm_{size}"), samples, || {
+            black_box(trainer.train(&ts.dataset));
+        });
+    }
+    let ts = TrainingSetBuilder::paper().build_size(3840);
+    report.record("pair_generation_3840", samples, || {
+        black_box(ts.dataset.pairs(1e-4).len());
+    });
+    report.write();
+}
+
+fn main() {
+    let samples = if quick_mode() { 5 } else { 10 };
+    let mut criterion = Criterion::default().sample_size(samples);
+    bench_train(&mut criterion);
+    emit_perf_snapshot();
+}

@@ -1,0 +1,201 @@
+//! Diff two `BENCH_*.json` perf snapshots and flag median regressions.
+//!
+//! ```text
+//! bench_diff <baseline.json> <fresh.json> [--threshold 0.25] [--fail]
+//! ```
+//!
+//! Compares the median seconds of every variant id present in both
+//! snapshots. A variant whose fresh median exceeds the baseline median by
+//! more than `threshold` (default 25%) is a regression: it is reported as
+//! a GitHub Actions annotation (`::warning::`, or `::error::` with
+//! `--fail`) and, with `--fail`, makes the process exit non-zero. Without
+//! `--fail` the tool only annotates — the right mode when baseline and
+//! fresh snapshots come from different machines (committed dev-box
+//! baseline vs. CI runner), where absolute medians are not comparable but
+//! wild relative swings are still worth a look.
+
+use std::process::ExitCode;
+
+use sorl_bench::perf::PerfReport;
+
+/// One compared variant.
+#[derive(Debug, PartialEq)]
+struct DiffLine {
+    id: String,
+    base_s: f64,
+    fresh_s: f64,
+}
+
+impl DiffLine {
+    /// Relative change of the fresh median over the baseline median
+    /// (+0.30 = 30% slower).
+    fn change(&self) -> f64 {
+        if self.base_s <= 0.0 {
+            return 0.0;
+        }
+        self.fresh_s / self.base_s - 1.0
+    }
+
+    fn is_regression(&self, threshold: f64) -> bool {
+        self.change() > threshold
+    }
+}
+
+/// Pairs up the variants the two snapshots share (order of the baseline),
+/// plus the ids only one side has.
+fn diff(base: &PerfReport, fresh: &PerfReport) -> (Vec<DiffLine>, Vec<String>) {
+    let mut lines = Vec::new();
+    let mut unmatched: Vec<String> = Vec::new();
+    for b in &base.entries {
+        match fresh.entries.iter().find(|f| f.id == b.id) {
+            Some(f) => {
+                lines.push(DiffLine { id: b.id.clone(), base_s: b.median_s, fresh_s: f.median_s })
+            }
+            None => unmatched.push(format!("{} (baseline only)", b.id)),
+        }
+    }
+    for f in &fresh.entries {
+        if !base.entries.iter().any(|b| b.id == f.id) {
+            unmatched.push(format!("{} (fresh only)", f.id));
+        }
+    }
+    (lines, unmatched)
+}
+
+fn load(path: &str) -> PerfReport {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read snapshot {path}: {e}"));
+    serde_json::from_str(&json).unwrap_or_else(|e| panic!("cannot parse snapshot {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut threshold = 0.25f64;
+    let mut fail = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold needs a number, e.g. 0.25");
+            }
+            "--fail" => fail = true,
+            p => paths.push(p),
+        }
+    }
+    let [base_path, fresh_path] = paths[..] else {
+        eprintln!("usage: bench_diff <baseline.json> <fresh.json> [--threshold 0.25] [--fail]");
+        return ExitCode::from(2);
+    };
+
+    let base = load(base_path);
+    let fresh = load(fresh_path);
+    println!(
+        "perf diff `{}`: baseline {} ({} threads) vs fresh ({} threads), threshold {:.0}%",
+        fresh.name,
+        base_path,
+        base.available_threads,
+        fresh.available_threads,
+        threshold * 100.0
+    );
+
+    let (lines, unmatched) = diff(&base, &fresh);
+    let mut regressions = 0usize;
+    for l in &lines {
+        let marker = if l.is_regression(threshold) { " <-- REGRESSION" } else { "" };
+        println!(
+            "  {:<36} {:>10.3} ms -> {:>10.3} ms  ({:+.1}%){}",
+            l.id,
+            l.base_s * 1e3,
+            l.fresh_s * 1e3,
+            l.change() * 100.0,
+            marker
+        );
+        if l.is_regression(threshold) {
+            regressions += 1;
+            let level = if fail { "error" } else { "warning" };
+            println!(
+                "::{level}::perf regression in {} / {}: median {:.3} ms -> {:.3} ms ({:+.1}%)",
+                fresh.name,
+                l.id,
+                l.base_s * 1e3,
+                l.fresh_s * 1e3,
+                l.change() * 100.0
+            );
+        }
+    }
+    for u in &unmatched {
+        println!("  {u}");
+    }
+    println!(
+        "  {} variant(s) compared, {} regression(s) past {:.0}%",
+        lines.len(),
+        regressions,
+        threshold * 100.0
+    );
+    if fail && regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorl_bench::perf::PerfEntry;
+
+    fn entry(id: &str, median_s: f64) -> PerfEntry {
+        PerfEntry { id: id.into(), median_s, min_s: median_s, max_s: median_s, samples: 3 }
+    }
+
+    fn report(entries: Vec<PerfEntry>) -> PerfReport {
+        PerfReport {
+            name: "unit".into(),
+            created_unix_s: 0,
+            available_threads: 1,
+            quick: true,
+            entries,
+        }
+    }
+
+    #[test]
+    fn matching_ids_are_compared_and_strays_reported() {
+        let base = report(vec![entry("a", 0.010), entry("gone", 0.5)]);
+        let fresh = report(vec![entry("a", 0.012), entry("new", 0.1)]);
+        let (lines, unmatched) = diff(&base, &fresh);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].id, "a");
+        assert!((lines[0].change() - 0.2).abs() < 1e-9);
+        assert_eq!(unmatched, vec!["gone (baseline only)", "new (fresh only)"]);
+    }
+
+    #[test]
+    fn threshold_separates_noise_from_regression() {
+        let l = DiffLine { id: "x".into(), base_s: 0.010, fresh_s: 0.012 };
+        assert!(!l.is_regression(0.25), "20% is under a 25% threshold");
+        assert!(l.is_regression(0.15));
+        let faster = DiffLine { id: "y".into(), base_s: 0.010, fresh_s: 0.002 };
+        assert!(!faster.is_regression(0.25), "speedups are never regressions");
+    }
+
+    #[test]
+    fn zero_baseline_never_divides() {
+        let l = DiffLine { id: "z".into(), base_s: 0.0, fresh_s: 1.0 };
+        assert_eq!(l.change(), 0.0);
+        assert!(!l.is_regression(0.25));
+    }
+
+    #[test]
+    fn reports_roundtrip_for_the_diff_tool() {
+        let r = report(vec![entry("a", 0.010)]);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(back.entries[0].id, "a");
+        assert_eq!(back.entries[0].median_s, 0.010);
+    }
+}

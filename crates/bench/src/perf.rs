@@ -12,10 +12,10 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Statistics for one measured benchmark variant (seconds per iteration).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfEntry {
     /// Variant id, e.g. `"tune_3d_session_parallel"`.
     pub id: String,
@@ -31,7 +31,7 @@ pub struct PerfEntry {
 
 /// One perf snapshot: a named collection of benchmark variants plus the
 /// context needed to compare snapshots across machines and runs.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfReport {
     /// Snapshot family, e.g. `"rank_latency"`.
     pub name: String,

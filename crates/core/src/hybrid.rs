@@ -44,9 +44,10 @@ impl HybridTuner {
         seed: u64,
     ) -> SearchResult {
         let space = TuningSpace::for_dim(instance.dim()).expect("valid dims");
-        let ranked = self.tuner.rank_predefined(instance);
-        let seeds: Vec<Vec<i64>> =
-            ranked.iter().take(self.seeds).map(|t| space.to_genome(t)).collect();
+        // Partial select: seeding needs the top handful, not a full sort of
+        // the 1600/8640-candidate set.
+        let top = self.tuner.top_k(instance, self.seeds);
+        let seeds: Vec<Vec<i64>> = top.tunings().map(|t| space.to_genome(&t)).collect();
         let mut objective = MachineObjective::new(machine, instance.clone());
         let search_space = objective.search_space();
         self.ga.run_with_seeds(&search_space, &mut objective, budget, seed, &seeds)

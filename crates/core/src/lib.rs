@@ -63,4 +63,4 @@ pub use objective::MachineObjective;
 pub use pipeline::{PhaseTimings, PipelineConfig, PipelineOutcome, TrainingPipeline};
 pub use ranker::StencilRanker;
 pub use session::{predefined_candidates, TuningSession};
-pub use tuner::{StandaloneTuner, TunerDecision};
+pub use tuner::{RankedPredefined, StandaloneTuner, TopK, TunerDecision};

@@ -80,6 +80,25 @@ impl StencilRanker {
         Ok(ranksvm::argsort_desc(&self.scores(instance, candidates)?))
     }
 
+    /// The `k` best candidates with their scores, best-first — a partial
+    /// select (`O(n + k log k)`), not a full sort, so heavy-traffic callers
+    /// asking for a handful of alternatives never pay for ranking the whole
+    /// set. The result (order and tie-breaks included) is exactly the first
+    /// `k` entries of [`rank`](Self::rank); fewer than `k` candidates yield
+    /// all of them.
+    pub fn top_k(
+        &self,
+        instance: &StencilInstance,
+        candidates: &[TuningVector],
+        k: usize,
+    ) -> Result<Vec<(TuningVector, f64)>, ModelError> {
+        let scores = self.scores(instance, candidates)?;
+        Ok(ranksvm::top_k_desc(&scores, k)
+            .into_iter()
+            .map(|i| (candidates[i], scores[i]))
+            .collect())
+    }
+
     /// The top-ranked candidate (`None` for an empty candidate list).
     pub fn top1(
         &self,
@@ -164,6 +183,28 @@ mod tests {
         let r = unroll_loving_ranker();
         assert_eq!(r.top1(&lap128(), &[]).unwrap(), None);
         assert!(r.rank(&lap128(), &[]).unwrap().is_empty());
+        assert!(r.top_k(&lap128(), &[], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn top_k_matches_rank_prefix() {
+        let r = unroll_loving_ranker();
+        let cands = vec![
+            TuningVector::new(8, 8, 8, 2, 1),
+            TuningVector::new(8, 8, 8, 8, 1),
+            TuningVector::new(8, 8, 8, 0, 1),
+            TuningVector::new(16, 8, 8, 8, 1), // ties with #1 on the unroll feature
+        ];
+        let order = r.rank(&lap128(), &cands).unwrap();
+        let scores = r.scores(&lap128(), &cands).unwrap();
+        for k in 0..=cands.len() + 1 {
+            let top = r.top_k(&lap128(), &cands, k).unwrap();
+            assert_eq!(top.len(), k.min(cands.len()));
+            for (got, &want) in top.iter().zip(&order) {
+                assert_eq!(got.0, cands[want], "k = {k}");
+                assert_eq!(got.1, scores[want], "k = {k}");
+            }
+        }
     }
 
     #[test]

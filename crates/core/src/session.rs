@@ -10,9 +10,8 @@
 //! * per-thread scratch buffers for feature rows and the score vector
 //!   (steady-state queries perform **zero** per-candidate heap
 //!   allocations), and
-//! * an optional persistent [`ThreadPool`] (the same pool type the
-//!   execution engine uses) that fans contiguous candidate chunks across
-//!   worker threads.
+//! * an optional [`SharedPool`] handle (the same pool the execution engine
+//!   uses) that fans contiguous candidate chunks across worker threads.
 //!
 //! Scoring is batched: the per-instance query block is encoded once
 //! ([`stencil_model::QueryFeatures`]), each candidate only completes the
@@ -21,15 +20,22 @@
 //! parallel sessions produce bit-for-bit identical scores: every row's dot
 //! product is computed independently, so threading never reorders floating
 //! point reductions.
+//!
+//! Beyond single queries, a session pipelines whole *batches* of instances
+//! through one scoring pass ([`TuningSession::tune_batch`],
+//! [`TuningSession::top_k_batch`]): every queued instance contributes its
+//! candidate rows to one global row range that is chunked across the pool,
+//! so encode/score work is amortized across queries — the substrate the
+//! `sorl-serve` micro-batching service builds on.
 
 use std::sync::OnceLock;
 use std::time::Instant;
 
-use stencil_exec::ThreadPool;
+use stencil_exec::{SharedPool, ThreadPool};
 use stencil_model::{ModelError, QueryFeatures, StencilInstance, TuningSpace, TuningVector};
 
 use crate::ranker::{validate_candidates, StencilRanker};
-use crate::tuner::TunerDecision;
+use crate::tuner::{TopK, TunerDecision};
 
 /// Rows encoded per `score_batch_into` call: big enough to amortize the
 /// call, small enough that a block's feature matrix stays cache-resident.
@@ -57,6 +63,21 @@ pub fn predefined_candidates(dim: u8) -> &'static [TuningVector] {
 #[derive(Debug, Default)]
 struct WorkerScratch {
     matrix: Vec<f64>,
+}
+
+/// One instance's contribution to a multi-query scoring pass: its
+/// precomputed query block, its candidate slice, and where its scores start
+/// in the session's global score buffer.
+struct Segment<'a> {
+    qf: QueryFeatures,
+    candidates: &'a [TuningVector],
+    offset: usize,
+}
+
+impl Segment<'_> {
+    fn end(&self) -> usize {
+        self.offset + self.candidates.len()
+    }
 }
 
 /// A raw pointer that may cross thread boundaries. Soundness rests on each
@@ -97,7 +118,7 @@ unsafe impl<T> Sync for SendPtr<T> {}
 #[derive(Debug)]
 pub struct TuningSession {
     ranker: StencilRanker,
-    pool: Option<ThreadPool>,
+    pool: Option<SharedPool>,
     scratch: Vec<WorkerScratch>,
     scores: Vec<f64>,
 }
@@ -111,18 +132,24 @@ impl TuningSession {
     /// A session fanning candidate chunks over `threads` threads
     /// (`threads <= 1` degenerates to the sequential session).
     pub fn parallel(ranker: StencilRanker, threads: usize) -> Self {
-        let pool = (threads > 1).then(|| ThreadPool::new(threads));
+        let pool = (threads > 1).then(|| SharedPool::new(threads));
         Self::build(ranker, pool)
     }
 
-    /// A session reusing an existing pool, e.g. one shared with the
-    /// execution engine between measurement phases.
+    /// A session taking ownership of an existing pool.
     pub fn with_pool(ranker: StencilRanker, pool: ThreadPool) -> Self {
+        Self::build(ranker, Some(pool.into()))
+    }
+
+    /// A session on a shared pool handle — e.g. the execution engine's
+    /// pool (`Engine::shared_pool`) between measurement phases, or the one
+    /// pool a serving process fans every subsystem across.
+    pub fn with_shared_pool(ranker: StencilRanker, pool: SharedPool) -> Self {
         Self::build(ranker, Some(pool))
     }
 
-    fn build(ranker: StencilRanker, pool: Option<ThreadPool>) -> Self {
-        let threads = pool.as_ref().map_or(1, ThreadPool::threads);
+    fn build(ranker: StencilRanker, pool: Option<SharedPool>) -> Self {
+        let threads = pool.as_ref().map_or(1, SharedPool::threads);
         let dim = ranker.encoder().dim();
         let scratch = (0..threads)
             .map(|_| WorkerScratch { matrix: Vec::with_capacity(BLOCK_ROWS * dim) })
@@ -137,11 +164,17 @@ impl TuningSession {
 
     /// Threads used per query (1 for a sequential session).
     pub fn threads(&self) -> usize {
-        self.pool.as_ref().map_or(1, ThreadPool::threads)
+        self.pool.as_ref().map_or(1, SharedPool::threads)
     }
 
-    /// Releases the session, handing back its pool for reuse elsewhere.
-    pub fn into_pool(self) -> Option<ThreadPool> {
+    /// A cloneable handle to the session's pool, for sharing with other
+    /// subsystems (`None` for a sequential session).
+    pub fn shared_pool(&self) -> Option<SharedPool> {
+        self.pool.clone()
+    }
+
+    /// Releases the session, handing back its pool handle for reuse.
+    pub fn into_pool(self) -> Option<SharedPool> {
         self.pool
     }
 
@@ -154,7 +187,7 @@ impl TuningSession {
         let t0 = Instant::now();
         self.score_candidates(instance, candidates, true)
             .expect("predefined set is admissible by construction");
-        let best = self.best_index();
+        let best = best_index(&self.scores);
         TunerDecision {
             tuning: candidates[best],
             score: self.scores[best],
@@ -183,7 +216,7 @@ impl TuningSession {
         }
         let t0 = Instant::now();
         self.score_candidates(instance, candidates, false)?;
-        let best = self.best_index();
+        let best = best_index(&self.scores);
         Ok(TunerDecision {
             tuning: candidates[best],
             score: self.scores[best],
@@ -192,16 +225,93 @@ impl TuningSession {
         })
     }
 
-    /// Index of the highest score in the freshly filled score buffer (first
-    /// occurrence wins ties, matching `argsort_desc`'s tie-break).
-    fn best_index(&self) -> usize {
-        let mut best = 0usize;
-        for i in 1..self.scores.len() {
-            if self.scores[i] > self.scores[best] {
-                best = i;
-            }
-        }
-        best
+    /// Tunes a whole batch of instances through **one** pipelined scoring
+    /// pass over the cached predefined sets: every instance's query block
+    /// is encoded once, all candidate rows from all instances form one
+    /// global row range, and that range is chunked across the pool (a chunk
+    /// may span several instances). Decisions are bit-for-bit identical to
+    /// a [`tune`](Self::tune) loop — each row's score is an independent dot
+    /// product, so neither batching nor chunk boundaries change any value.
+    ///
+    /// The reported `seconds` on every decision is the wall time of the
+    /// whole batch pass (the per-query cost is amortized and not separable).
+    pub fn tune_batch(&mut self, instances: &[StencilInstance]) -> Vec<TunerDecision> {
+        let t0 = Instant::now();
+        let refs: Vec<&StencilInstance> = instances.iter().collect();
+        let offsets = self.score_predefined_batch(&refs);
+        let seconds = t0.elapsed().as_secs_f64();
+        instances
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let seg = &self.scores[offsets[i]..offsets[i + 1]];
+                let best = best_index(seg);
+                TunerDecision {
+                    tuning: predefined_candidates(instances[i].dim())[best],
+                    score: seg[best],
+                    candidates: seg.len(),
+                    seconds,
+                }
+            })
+            .collect()
+    }
+
+    /// The `k` best predefined configurations for `instance`, best-first
+    /// with scores, selected via partial select over the session's score
+    /// buffer (no full sort, no allocation beyond the result).
+    pub fn top_k_predefined(&mut self, instance: &StencilInstance, k: usize) -> TopK {
+        let candidates = predefined_candidates(instance.dim());
+        let t0 = Instant::now();
+        self.score_candidates(instance, candidates, true)
+            .expect("predefined set is admissible by construction");
+        let entries = ranksvm::top_k_desc(&self.scores, k)
+            .into_iter()
+            .map(|i| (candidates[i], self.scores[i]))
+            .collect();
+        TopK { entries, candidates: candidates.len(), seconds: t0.elapsed().as_secs_f64() }
+    }
+
+    /// Top-k over an explicit candidate list (validated, like
+    /// [`tune_over`](Self::tune_over)).
+    pub fn top_k(
+        &mut self,
+        instance: &StencilInstance,
+        candidates: &[TuningVector],
+        k: usize,
+    ) -> Result<TopK, ModelError> {
+        let t0 = Instant::now();
+        self.score_candidates(instance, candidates, false)?;
+        let entries = ranksvm::top_k_desc(&self.scores, k)
+            .into_iter()
+            .map(|i| (candidates[i], self.scores[i]))
+            .collect();
+        Ok(TopK { entries, candidates: candidates.len(), seconds: t0.elapsed().as_secs_f64() })
+    }
+
+    /// Top-k answers for a whole batch of `(instance, k)` queries through
+    /// one pipelined scoring pass over the cached predefined sets — the
+    /// workhorse of the `sorl-serve` micro-batching service. Entry `i` of
+    /// the result answers query `i`; each is exactly what
+    /// [`top_k_predefined`](Self::top_k_predefined) would return for that
+    /// query (scores bit-for-bit, `seconds` = whole-batch wall time).
+    pub fn top_k_batch(&mut self, queries: &[(&StencilInstance, usize)]) -> Vec<TopK> {
+        let t0 = Instant::now();
+        let refs: Vec<&StencilInstance> = queries.iter().map(|&(q, _)| q).collect();
+        let offsets = self.score_predefined_batch(&refs);
+        let seconds = t0.elapsed().as_secs_f64();
+        queries
+            .iter()
+            .enumerate()
+            .map(|(i, &(q, k))| {
+                let seg = &self.scores[offsets[i]..offsets[i + 1]];
+                let candidates = predefined_candidates(q.dim());
+                let entries = ranksvm::top_k_desc(seg, k)
+                    .into_iter()
+                    .map(|j| (candidates[j], seg[j]))
+                    .collect();
+                TopK { entries, candidates: seg.len(), seconds }
+            })
+            .collect()
     }
 
     /// Scores `candidates` for `instance`, returning a borrow of the
@@ -226,11 +336,10 @@ impl TuningSession {
         Ok(ranksvm::argsort_desc(&self.scores))
     }
 
-    /// The batched scoring core: validates the batch up front (skipped for
-    /// `prevalidated` callers such as the cached predefined sets, which are
-    /// admissible by construction), then encodes and scores block-wise into
-    /// `self.scores`, fanning contiguous candidate chunks across the pool
-    /// when one is attached.
+    /// The batched scoring core for one instance: validates the batch up
+    /// front (skipped for `prevalidated` callers such as the cached
+    /// predefined sets, which are admissible by construction), then scores
+    /// through the segment pipeline.
     fn score_candidates(
         &mut self,
         instance: &StencilInstance,
@@ -241,27 +350,59 @@ impl TuningSession {
         if !prevalidated {
             validate_candidates(&qf, candidates)?;
         }
+        self.score_segments(&[Segment { qf, candidates, offset: 0 }], candidates.len());
+        Ok(())
+    }
 
+    /// Encodes every instance's query block and scores all rows of the
+    /// whole batch (each instance over the cached predefined set for its
+    /// dimensionality) in one pass. Returns the per-instance score offsets
+    /// (`offsets[i]..offsets[i + 1]` is instance `i`'s segment).
+    fn score_predefined_batch(&mut self, instances: &[&StencilInstance]) -> Vec<usize> {
+        let encoder = self.ranker.encoder();
+        let mut segments = Vec::with_capacity(instances.len());
+        let mut offsets = Vec::with_capacity(instances.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for &q in instances {
+            let candidates = predefined_candidates(q.dim());
+            segments.push(Segment { qf: encoder.query_features(q), candidates, offset: total });
+            total += candidates.len();
+            offsets.push(total);
+        }
+        self.score_segments(&segments, total);
+        offsets
+    }
+
+    /// The scoring engine: resizes the score buffer to `total` rows and
+    /// fills it, fanning contiguous row chunks across the pool when one is
+    /// attached. A chunk may straddle segment boundaries; each in-chunk
+    /// sub-range is encoded with its segment's query block.
+    fn score_segments(&mut self, segments: &[Segment<'_>], total: usize) {
+        debug_assert_eq!(segments.last().map_or(0, Segment::end), total);
         self.scores.clear();
-        self.scores.resize(candidates.len(), 0.0);
+        self.scores.resize(total, 0.0);
+        if total == 0 {
+            return;
+        }
 
         let n_chunks = match &self.pool {
-            Some(pool) => pool.threads().min(candidates.len()).max(1),
+            Some(pool) => pool.threads().min(total).max(1),
             None => 1,
         };
         // Even contiguous partition: chunk ci covers [lo(ci), lo(ci + 1)).
-        let chunk_lo = |ci: usize| ci * candidates.len() / n_chunks;
+        let chunk_lo = |ci: usize| ci * total / n_chunks;
 
         if n_chunks == 1 {
             let scratch = &mut self.scratch[0];
-            score_range(&self.ranker, &qf, candidates, scratch, &mut self.scores);
-            return Ok(());
+            score_chunk(&self.ranker, segments, 0, total, scratch, &mut self.scores);
+            return;
         }
 
         let ranker = &self.ranker;
         let scores_ptr = SendPtr(self.scores.as_mut_ptr());
         let scratch_ptr = SendPtr(self.scratch.as_mut_ptr());
-        let pool = self.pool.as_mut().expect("n_chunks > 1 implies a pool");
+        let pool = self.pool.as_ref().expect("n_chunks > 1 implies a pool");
         pool.run(n_chunks, &|ci| {
             // Mention the whole wrapper bindings so edition-2021 precise
             // capture grabs the (Sync) `SendPtr`s, not their raw-pointer
@@ -281,9 +422,48 @@ impl TuningSession {
                     &mut *scratch_base.add(ci),
                 )
             };
-            score_range(ranker, &qf, &candidates[lo..hi], scratch, scores);
+            score_chunk(ranker, segments, lo, hi, scratch, scores);
         });
-        Ok(())
+    }
+}
+
+/// Index of the highest score in a freshly filled score slice (first
+/// occurrence wins ties, matching `argsort_desc`'s tie-break).
+fn best_index(scores: &[f64]) -> usize {
+    let mut best = 0usize;
+    for i in 1..scores.len() {
+        if scores[i] > scores[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Scores the global row range `[lo, hi)` into `scores` (whose slot 0
+/// corresponds to global row `lo`), walking the segments it intersects.
+fn score_chunk(
+    ranker: &StencilRanker,
+    segments: &[Segment<'_>],
+    lo: usize,
+    hi: usize,
+    scratch: &mut WorkerScratch,
+    scores: &mut [f64],
+) {
+    let mut si = segments.partition_point(|s| s.end() <= lo);
+    let mut row = lo;
+    while row < hi {
+        let seg = &segments[si];
+        let stop = seg.end().min(hi);
+        let (a, b) = (row - seg.offset, stop - seg.offset);
+        score_range(
+            ranker,
+            &seg.qf,
+            &seg.candidates[a..b],
+            scratch,
+            &mut scores[row - lo..stop - lo],
+        );
+        row = stop;
+        si += 1;
     }
 }
 
@@ -387,6 +567,102 @@ mod tests {
         let bad = [TuningVector::new(8, 8, 1, 0, 1), TuningVector::new(8, 8, 8, 0, 1)];
         let err = session.tune_over(&q, &bad).unwrap_err();
         assert!(err.to_string().contains("#1"), "{err}");
+    }
+
+    #[test]
+    fn tune_batch_matches_per_instance_tune_loop() {
+        let ranker = dense_ranker();
+        for threads in [1usize, 4] {
+            let mut batch_session = TuningSession::parallel(ranker.clone(), threads);
+            let mut loop_session = TuningSession::new(ranker.clone());
+            // Mixed dimensionalities, repeated instances, varied sizes: the
+            // batch pipeline must agree with the loop on every decision.
+            let instances = vec![
+                lap128(),
+                blur1024(),
+                StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(96)).unwrap(),
+                lap128(),
+                StencilInstance::new(StencilKernel::blur(), GridSize::square(640)).unwrap(),
+            ];
+            let batch = batch_session.tune_batch(&instances);
+            assert_eq!(batch.len(), instances.len());
+            for (q, d) in instances.iter().zip(&batch) {
+                let reference = loop_session.tune(q);
+                assert_eq!(d.tuning, reference.tuning, "{q} (threads = {threads})");
+                assert_eq!(d.score, reference.score, "{q} (threads = {threads})");
+                assert_eq!(d.candidates, reference.candidates, "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn tune_batch_of_nothing_is_empty() {
+        let mut session = TuningSession::new(dense_ranker());
+        assert!(session.tune_batch(&[]).is_empty());
+        assert!(session.top_k_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn top_k_predefined_is_the_rank_prefix() {
+        let ranker = dense_ranker();
+        let mut session = TuningSession::parallel(ranker.clone(), 3);
+        for q in [lap128(), blur1024()] {
+            let set = predefined_candidates(q.dim());
+            let order = ranker.rank(&q, set).unwrap();
+            let scores = ranker.scores(&q, set).unwrap();
+            for k in [0usize, 1, 5, 64] {
+                let top = session.top_k_predefined(&q, k);
+                assert_eq!(top.len(), k.min(set.len()));
+                assert_eq!(top.candidates, set.len());
+                for (r, &(t, s)) in top.entries.iter().enumerate() {
+                    assert_eq!(t, set[order[r]], "{q} rank {r}");
+                    assert_eq!(s, scores[order[r]], "{q} rank {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_batch_matches_individual_top_k() {
+        let ranker = dense_ranker();
+        let mut batch_session = TuningSession::parallel(ranker.clone(), 4);
+        let mut loop_session = TuningSession::new(ranker);
+        let (a, b) = (lap128(), blur1024());
+        let queries = [(&a, 3usize), (&b, 1), (&a, 10), (&b, 0)];
+        let batch = batch_session.top_k_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (&(q, k), got) in queries.iter().zip(&batch) {
+            let want = loop_session.top_k_predefined(q, k);
+            assert_eq!(got.entries, want.entries, "{q} k = {k}");
+            assert_eq!(got.candidates, want.candidates, "{q} k = {k}");
+        }
+    }
+
+    #[test]
+    fn top_k_over_explicit_candidates_validates() {
+        let mut session = TuningSession::new(dense_ranker());
+        let q = blur1024();
+        let bad = [TuningVector::new(8, 8, 8, 0, 1)];
+        assert!(session.top_k(&q, &bad, 1).is_err());
+        let good = [TuningVector::new(8, 8, 1, 0, 1), TuningVector::new(16, 16, 1, 2, 2)];
+        let top = session.top_k(&q, &good, 5).unwrap();
+        assert_eq!(top.len(), 2, "k is capped at the candidate count");
+        assert!(top.entries[0].1 >= top.entries[1].1);
+    }
+
+    #[test]
+    fn sessions_can_share_one_pool_handle() {
+        let ranker = dense_ranker();
+        let a = TuningSession::parallel(ranker.clone(), 4);
+        let pool = a.shared_pool().expect("parallel session has a pool");
+        let mut b = TuningSession::with_shared_pool(ranker.clone(), pool.clone());
+        assert_eq!(b.threads(), 4);
+        // Both sessions, one pool: scores still match the sequential path.
+        let mut seq = TuningSession::new(ranker);
+        let q = lap128();
+        assert_eq!(b.tune(&q).tuning, seq.tune(&q).tuning);
+        drop(a);
+        assert_eq!(b.tune(&q).score, seq.tune(&q).score);
     }
 
     #[test]

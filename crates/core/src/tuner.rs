@@ -27,6 +27,88 @@ pub struct TunerDecision {
     pub seconds: f64,
 }
 
+/// The `k` best configurations for one instance, best-first, with scores.
+///
+/// Heavy-traffic callers prefer this over [`TunerDecision`]: the runner-up
+/// configurations seed iterative searches (see
+/// [`HybridTuner`](crate::hybrid::HybridTuner)) and give fallbacks when the
+/// top choice is rejected downstream, and the entries come from a partial
+/// select, never a full `rank()` sort.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopK {
+    /// `(configuration, score)` pairs, best first. Exactly the first
+    /// `entries.len()` elements of the full ranking, tie-breaks included.
+    pub entries: Vec<(TuningVector, f64)>,
+    /// Number of candidates that were scored.
+    pub candidates: usize,
+    /// Selection latency in seconds.
+    pub seconds: f64,
+}
+
+impl TopK {
+    /// The best configuration (`None` when no candidates were scored).
+    pub fn best(&self) -> Option<TuningVector> {
+        self.entries.first().map(|&(t, _)| t)
+    }
+
+    /// Number of returned configurations (`<= k` when the candidate set was
+    /// smaller than the request).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no configurations were returned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The returned configurations, best first, without scores.
+    pub fn tunings(&self) -> impl Iterator<Item = TuningVector> + '_ {
+        self.entries.iter().map(|&(t, _)| t)
+    }
+}
+
+/// A full best-first ranking over the process-wide cached predefined set:
+/// ranked *indices* into the cached slice, so no candidate vectors are
+/// cloned — iterate (or index) on demand.
+#[derive(Debug, Clone)]
+pub struct RankedPredefined {
+    set: &'static [TuningVector],
+    order: Vec<usize>,
+}
+
+impl RankedPredefined {
+    /// Number of ranked candidates.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the ranking is empty (never for the predefined sets).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The candidate at rank `r` (0 = best).
+    pub fn get(&self, r: usize) -> TuningVector {
+        self.set[self.order[r]]
+    }
+
+    /// All candidates, best first.
+    pub fn iter(&self) -> impl Iterator<Item = TuningVector> + '_ {
+        self.order.iter().map(|&i| self.set[i])
+    }
+
+    /// The underlying cached candidate slice (unordered).
+    pub fn set(&self) -> &'static [TuningVector] {
+        self.set
+    }
+
+    /// Ranked indices into [`set`](Self::set), best first.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+}
+
 /// Ranks predefined candidate sets with a trained [`StencilRanker`].
 #[derive(Debug, Clone)]
 pub struct StandaloneTuner {
@@ -78,12 +160,25 @@ impl StandaloneTuner {
         }
     }
 
-    /// Full ranking of the predefined set, best first (used by the hybrid
-    /// tuner and by the ranking-quality experiments).
-    pub fn rank_predefined(&self, instance: &StencilInstance) -> Vec<TuningVector> {
+    /// The `k` best predefined configurations with scores, best-first, via
+    /// a partial select over the cached set (no full sort, no cloning of
+    /// the candidate set).
+    pub fn top_k(&self, instance: &StencilInstance, k: usize) -> TopK {
+        let set = predefined_candidates(instance.dim());
+        let t0 = Instant::now();
+        let entries = self.ranker.top_k(instance, set, k).expect("predefined set is admissible");
+        TopK { entries, candidates: set.len(), seconds: t0.elapsed().as_secs_f64() }
+    }
+
+    /// Full ranking of the predefined set, best first (used by the
+    /// ranking-quality experiments). Returns ranked indices over the cached
+    /// process-wide slice — the candidate set itself is never cloned;
+    /// callers that only need the first few entries should prefer
+    /// [`top_k`](Self::top_k).
+    pub fn rank_predefined(&self, instance: &StencilInstance) -> RankedPredefined {
         let set = predefined_candidates(instance.dim());
         let order = self.ranker.rank(instance, set).expect("predefined set is admissible");
-        order.into_iter().map(|i| set[i]).collect()
+        RankedPredefined { set, order }
     }
 }
 
@@ -130,11 +225,34 @@ mod tests {
         let lap = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
         let ranked = tuner.rank_predefined(&lap);
         assert_eq!(ranked.len(), 8640);
-        assert_eq!(ranked[0], tuner.tune(&lap).tuning);
-        let mut sorted = ranked.clone();
+        assert!(!ranked.is_empty());
+        assert_eq!(ranked.get(0), tuner.tune(&lap).tuning);
+        // The ranking borrows the process-wide cached slice: no clone.
+        assert!(std::ptr::eq(ranked.set(), predefined_candidates(3)));
+        let mut sorted: Vec<_> = ranked.iter().collect();
+        assert_eq!(sorted[0], ranked.get(0));
         sorted.sort_by_key(|t| t.as_array());
         sorted.dedup();
         assert_eq!(sorted.len(), 8640, "ranking must be a permutation");
+    }
+
+    #[test]
+    fn top_k_is_the_prefix_of_the_full_ranking() {
+        let tuner = trained_tuner();
+        let lap = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+        let ranked = tuner.rank_predefined(&lap);
+        for k in [0usize, 1, 8, 37] {
+            let top = tuner.top_k(&lap, k);
+            assert_eq!(top.len(), k);
+            assert_eq!(top.candidates, 8640);
+            for (r, t) in top.tunings().enumerate() {
+                assert_eq!(t, ranked.get(r), "rank {r} of k = {k}");
+            }
+        }
+        assert_eq!(tuner.top_k(&lap, 1).best(), Some(tuner.tune(&lap).tuning));
+        assert!(tuner.top_k(&lap, 0).is_empty());
+        // k past the set size returns the whole ranking.
+        assert_eq!(tuner.top_k(&lap, 100_000).len(), 8640);
     }
 
     #[test]

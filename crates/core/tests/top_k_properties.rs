@@ -1,0 +1,138 @@
+//! Property tests for the top-k serving path and the batch pipeline.
+//!
+//! Two invariants carry the serving layer's correctness:
+//!
+//! 1. `top_k(k)` is **exactly** the first `k` entries of the full `rank()`
+//!    ordering — same order, same tie-breaks — on both predefined sets,
+//!    for any `k` and any instance. (The partial select must be
+//!    indistinguishable from sort-then-truncate.)
+//! 2. `tune_batch` / `top_k_batch` are bit-for-bit equal to per-instance
+//!    loops: pipelining queries through one scoring pass must not change a
+//!    single score, pick or tie-break.
+
+use proptest::prelude::*;
+
+use ranksvm::LinearRanker;
+use sorl::session::{predefined_candidates, TuningSession};
+use sorl::tuner::StandaloneTuner;
+use sorl::StencilRanker;
+use stencil_model::{FeatureEncoder, GridSize, StencilInstance, StencilKernel};
+
+/// Deterministic dense synthetic ranker seeded per case, so different
+/// cases exercise different score landscapes without a training run.
+fn dense_ranker(seed: u64) -> StencilRanker {
+    let encoder = FeatureEncoder::default_interaction();
+    let mut state = seed | 1;
+    let w: Vec<f64> = (0..encoder.dim())
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        })
+        .collect();
+    StencilRanker::new(encoder, LinearRanker::from_weights(w))
+}
+
+/// A ranker with a single non-zero weight (on the unroll feature of the
+/// concat block): only 9 distinct scores over 8640 candidates, so ties are
+/// massive and the tie-break rule carries the whole ordering.
+fn tie_heavy_ranker() -> StencilRanker {
+    let encoder = FeatureEncoder::paper_concat();
+    let mut w = vec![0.0; encoder.dim()];
+    let unroll_feature = encoder.dim() - 2; // [.., bx, by, bz, u, c]
+    w[unroll_feature] = 1.0;
+    StencilRanker::new(encoder, LinearRanker::from_weights(w))
+}
+
+/// One instance per dimensionality, with a case-varied size.
+fn instance(dim: u8, step: u32) -> StencilInstance {
+    match dim {
+        2 => {
+            StencilInstance::new(StencilKernel::blur(), GridSize::square(256 + 64 * step)).unwrap()
+        }
+        _ => StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(48 + 16 * step))
+            .unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Invariant 1, dense scores: `top_k(k)` == `rank()[..k]` on both
+    /// predefined sets for arbitrary k (including 0 and past-the-end).
+    #[test]
+    fn top_k_equals_rank_prefix_on_both_predefined_sets(
+        seed in 1u64..u64::MAX,
+        step in 0u32..8,
+        k in 0usize..12_000,
+    ) {
+        let tuner = StandaloneTuner::new(dense_ranker(seed));
+        for dim in [2u8, 3] {
+            let q = instance(dim, step);
+            let set = predefined_candidates(dim);
+            let ranked = tuner.rank_predefined(&q);
+            let scores = tuner.ranker().scores(&q, set).unwrap();
+            let top = tuner.top_k(&q, k);
+            prop_assert_eq!(top.len(), k.min(set.len()));
+            prop_assert_eq!(top.candidates, set.len());
+            for (r, &(t, s)) in top.entries.iter().enumerate() {
+                prop_assert_eq!(t, ranked.get(r), "dim {} rank {}", dim, r);
+                prop_assert_eq!(s, scores[ranked.order()[r]], "dim {} rank {}", dim, r);
+            }
+        }
+    }
+
+    /// Invariant 1 under massive ties: with only 9 distinct score values
+    /// the prefix property holds only if the partial select breaks ties
+    /// exactly like the full sort (ascending candidate index).
+    #[test]
+    fn top_k_breaks_ties_exactly_like_rank(
+        step in 0u32..8,
+        k in 1usize..2_000,
+    ) {
+        let tuner = StandaloneTuner::new(tie_heavy_ranker());
+        for dim in [2u8, 3] {
+            let q = instance(dim, step);
+            let ranked = tuner.rank_predefined(&q);
+            let top = tuner.top_k(&q, k);
+            for (r, t) in top.tunings().enumerate() {
+                prop_assert_eq!(t, ranked.get(r), "dim {} rank {}", dim, r);
+            }
+        }
+    }
+
+    /// Invariant 2: a batch of mixed-dimensionality queries pipelined
+    /// through one scoring pass answers bit-for-bit like per-instance
+    /// loops, in sequential and parallel sessions alike.
+    #[test]
+    fn tune_batch_is_bit_for_bit_equal_to_tune_loops(
+        seed in 1u64..u64::MAX,
+        steps in prop::collection::vec((0u32..6, any::<bool>()), 1..7),
+        threads in 1usize..5,
+        k in 1usize..24,
+    ) {
+        let ranker = dense_ranker(seed);
+        let mut batched = TuningSession::parallel(ranker.clone(), threads);
+        let mut looped = TuningSession::new(ranker);
+        let instances: Vec<StencilInstance> =
+            steps.iter().map(|&(s, is_2d)| instance(if is_2d { 2 } else { 3 }, s)).collect();
+
+        let batch = batched.tune_batch(&instances);
+        prop_assert_eq!(batch.len(), instances.len());
+        for (q, d) in instances.iter().zip(&batch) {
+            let reference = looped.tune(q);
+            prop_assert_eq!(d.tuning, reference.tuning, "{}", q);
+            prop_assert_eq!(d.score, reference.score, "{}", q);
+            prop_assert_eq!(d.candidates, reference.candidates, "{}", q);
+        }
+
+        let queries: Vec<(&StencilInstance, usize)> =
+            instances.iter().map(|q| (q, k)).collect();
+        let tops = batched.top_k_batch(&queries);
+        for (q, top) in instances.iter().zip(&tops) {
+            let reference = looped.top_k_predefined(q, k);
+            prop_assert_eq!(&top.entries, &reference.entries, "{} k = {}", q, k);
+        }
+    }
+}

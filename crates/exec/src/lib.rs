@@ -37,6 +37,6 @@ pub use kernels::{
     BenchmarkKernel, Blur, Divergence, Edge, GameOfLife, Gradient, Laplacian, Laplacian6,
     StencilFn, Tricubic, Wave, WeightedKernel,
 };
-pub use pool::ThreadPool;
+pub use pool::{SharedPool, ThreadPool};
 pub use simulation::Simulation;
 pub use tiles::{Tile, TileGrid};

@@ -67,6 +67,14 @@ impl StencilInstance {
     pub fn id(&self) -> String {
         format!("{}/{}", self.kernel.name(), self.size)
     }
+
+    /// The canonical feature-relevant identity of this instance (everything
+    /// the encoder reads; the kernel name is excluded). Instances with equal
+    /// keys score and rank identically — the serving layer's decision cache
+    /// keys on this.
+    pub fn key(&self) -> crate::key::InstanceKey {
+        crate::key::InstanceKey::of(self)
+    }
 }
 
 impl fmt::Display for StencilInstance {

@@ -1,0 +1,188 @@
+//! Canonical, hashable identity of a stencil instance.
+//!
+//! Serving layers cache tuning decisions per *instance*, but
+//! [`StencilInstance`] deliberately carries a human-readable kernel name
+//! that plays no role in feature encoding: two kernels named differently
+//! but with identical pattern, buffer count and element type encode to the
+//! same features, rank identically, and must share a cache entry. An
+//! [`InstanceKey`] is the projection of an instance onto exactly the fields
+//! the [`FeatureEncoder`](crate::FeatureEncoder) reads — pattern, buffers,
+//! dtype and grid size — with `Eq`/`Hash`, so it can key hash maps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dtype::DType;
+use crate::instance::StencilInstance;
+use crate::pattern::StencilPattern;
+use crate::size::GridSize;
+
+/// The feature-relevant identity of a [`StencilInstance`].
+///
+/// Two instances with equal keys are indistinguishable to the ranking
+/// pipeline: every feature the encoder emits (and hence every score and
+/// every ranking) is a function of the key alone. The kernel *name* is
+/// intentionally excluded.
+///
+/// ```
+/// use stencil_model::{GridSize, InstanceKey, StencilInstance, StencilKernel};
+///
+/// let a = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+/// let b = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+/// assert_eq!(InstanceKey::of(&a), InstanceKey::of(&b));
+///
+/// let c = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(256)).unwrap();
+/// assert_ne!(InstanceKey::of(&a), InstanceKey::of(&c));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InstanceKey {
+    pattern: StencilPattern,
+    buffers: u8,
+    dtype: DType,
+    size: GridSize,
+}
+
+impl InstanceKey {
+    /// Projects `instance` onto its feature-relevant fields.
+    pub fn of(instance: &StencilInstance) -> Self {
+        let k = instance.kernel();
+        InstanceKey {
+            pattern: k.pattern().clone(),
+            buffers: k.buffers(),
+            dtype: k.dtype(),
+            size: instance.size(),
+        }
+    }
+
+    /// The instance's grid size.
+    pub fn size(&self) -> GridSize {
+        self.size
+    }
+
+    /// Dimensionality of the keyed instance (2 or 3).
+    pub fn dim(&self) -> u8 {
+        self.pattern.dim()
+    }
+
+    /// A stable 64-bit fingerprint of the key: FNV-1a over the canonical
+    /// field encoding, pinned here (not `DefaultHasher`, whose algorithm
+    /// is unspecified and may change between Rust releases) so the value
+    /// is reproducible across builds, toolchains and hosts — safe to use
+    /// for logging and cross-process sharding. *Not* a substitute for
+    /// `Eq` in collision-sensitive maps.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |v: i64| {
+            for b in v.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+        };
+        // Pattern cells in canonical (BTreeMap) order, then the scalars.
+        for (o, c) in self.pattern.iter() {
+            eat(o.dx as i64);
+            eat(o.dy as i64);
+            eat(o.dz as i64);
+            eat(c as i64);
+        }
+        eat(self.buffers as i64);
+        eat(self.dtype.bytes() as i64);
+        eat(self.size.x as i64);
+        eat(self.size.y as i64);
+        eat(self.size.z as i64);
+        h
+    }
+}
+
+impl From<&StencilInstance> for InstanceKey {
+    fn from(instance: &StencilInstance) -> Self {
+        InstanceKey::of(instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::StencilKernel;
+    use std::collections::HashMap;
+
+    fn lap(n: u32) -> StencilInstance {
+        StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(n)).unwrap()
+    }
+
+    #[test]
+    fn kernel_name_does_not_affect_the_key() {
+        // Same pattern/buffers/dtype under two names: identical keys.
+        let k = StencilKernel::laplacian();
+        let renamed =
+            StencilKernel::new("totally-different", k.pattern().clone(), k.buffers(), k.dtype())
+                .unwrap();
+        let a = StencilInstance::new(k, GridSize::cube(64)).unwrap();
+        let b = StencilInstance::new(renamed, GridSize::cube(64)).unwrap();
+        assert_ne!(a.id(), b.id());
+        assert_eq!(InstanceKey::of(&a), InstanceKey::of(&b));
+        assert_eq!(InstanceKey::of(&a).fingerprint(), InstanceKey::of(&b).fingerprint());
+    }
+
+    #[test]
+    fn feature_relevant_fields_all_discriminate() {
+        let base = InstanceKey::of(&lap(64));
+        // Size.
+        assert_ne!(base, InstanceKey::of(&lap(65)));
+        // Pattern.
+        let wider = StencilInstance::new(StencilKernel::laplacian6(), GridSize::cube(64)).unwrap();
+        assert_ne!(base, InstanceKey::of(&wider));
+        // Buffers and dtype (gradient: same laplacian-family shape family,
+        // different buffers/dtype than tricubic).
+        let k = StencilKernel::laplacian();
+        let more_buffers =
+            StencilKernel::new("laplacian", k.pattern().clone(), 2, k.dtype()).unwrap();
+        let q = StencilInstance::new(more_buffers, GridSize::cube(64)).unwrap();
+        assert_ne!(base, InstanceKey::of(&q));
+        let as_f32 =
+            StencilKernel::new("laplacian", k.pattern().clone(), k.buffers(), DType::F32).unwrap();
+        let q = StencilInstance::new(as_f32, GridSize::cube(64)).unwrap();
+        assert_ne!(base, InstanceKey::of(&q));
+    }
+
+    #[test]
+    fn keys_work_as_hash_map_keys() {
+        let mut m: HashMap<InstanceKey, u32> = HashMap::new();
+        m.insert(InstanceKey::of(&lap(64)), 1);
+        m.insert(InstanceKey::of(&lap(128)), 2);
+        m.insert(InstanceKey::of(&lap(64)), 3); // overwrite, not a new entry
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[&lap(64).key()], 3);
+    }
+
+    #[test]
+    fn accessors_report_the_projected_fields() {
+        let key = InstanceKey::of(&lap(96));
+        assert_eq!(key.size(), GridSize::cube(96));
+        assert_eq!(key.dim(), 3);
+        let blur =
+            StencilInstance::new(StencilKernel::blur(), GridSize::square(512)).unwrap().key();
+        assert_eq!(blur.dim(), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_pinned_across_builds() {
+        // The fingerprint feeds logging and (future) cross-process
+        // sharding, so its value must never drift between toolchains or
+        // releases. This pins one concrete value; if this test ever fails,
+        // the hash changed and every sharded deployment would re-shuffle.
+        let fp = InstanceKey::of(&lap(128)).fingerprint();
+        assert_eq!(fp, PINNED_LAP128_FINGERPRINT);
+        // And it discriminates (probabilistically) between keys.
+        assert_ne!(fp, InstanceKey::of(&lap(129)).fingerprint());
+    }
+
+    const PINNED_LAP128_FINGERPRINT: u64 = 0x2fea_583f_93a3_3344;
+
+    #[test]
+    fn instance_key_method_matches_of() {
+        let q = lap(80);
+        assert_eq!(q.key(), InstanceKey::of(&q));
+        assert_eq!(q.key(), InstanceKey::from(&q));
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`TuningVector`] / [`TuningSpace`] — the PATUS-style transformation
 //!   parameters `t = (bx, by, bz, u, c)` and their admissible ranges,
 //! * [`StencilExecution`] — the triple `(k, s, t)`,
+//! * [`InstanceKey`] — the canonical hashable projection of an instance onto
+//!   its feature-relevant fields (what serving-layer decision caches key on),
 //! * [`FeatureEncoder`] — the invertible mapping from an execution to a
 //!   real-valued feature vector normalized to `[0, 1]`, which enables the
 //!   structural (ordinal-regression) learning of the paper.
@@ -25,6 +27,7 @@ pub mod execution;
 pub mod features;
 pub mod instance;
 pub mod kernel;
+pub mod key;
 pub mod pattern;
 pub mod shape;
 pub mod size;
@@ -37,6 +40,7 @@ pub use execution::StencilExecution;
 pub use features::{EncodingKind, FeatureConfig, FeatureEncoder, QueryFeatures};
 pub use instance::StencilInstance;
 pub use kernel::StencilKernel;
+pub use key::InstanceKey;
 pub use pattern::{Offset, StencilPattern};
 pub use shape::ShapeFamily;
 pub use size::GridSize;

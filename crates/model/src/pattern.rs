@@ -68,7 +68,7 @@ impl fmt::Display for Offset {
 /// let z0 = &p.dense(1).unwrap()[9..18];
 /// assert_eq!(z0, &[0, 1, 0, 1, 1, 1, 0, 1, 0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct StencilPattern {
     #[serde(with = "cells_as_pairs")]
     cells: BTreeMap<Offset, u16>,

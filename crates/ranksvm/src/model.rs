@@ -129,6 +129,29 @@ pub fn argsort_desc(values: &[f64]) -> Vec<usize> {
     idx
 }
 
+/// The first `k` indices of [`argsort_desc`] without sorting the whole
+/// array: an `O(n + k log k)` partial select instead of `O(n log n)`.
+///
+/// The comparator (descending value, ties towards the lower index) is a
+/// strict total order over indices, so the selected prefix — and its
+/// internal order — is exactly `argsort_desc(values)[..k]`, tie-breaks
+/// included. Top-k serving paths use this so small `k` never pays for a
+/// full ranking of 8640 candidates.
+pub fn top_k_desc(values: &[f64], k: usize) -> Vec<usize> {
+    let k = k.min(values.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    let cmp = |a: &usize, b: &usize| values[*b].total_cmp(&values[*a]).then(a.cmp(b));
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, cmp);
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(cmp);
+    idx
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +230,26 @@ mod tests {
             let expect: f64 = (0..n).map(|i| (i * i * 2) as f64).sum();
             assert_eq!(dot(&a, &b), expect, "n = {n}");
         }
+    }
+
+    #[test]
+    fn top_k_is_a_prefix_of_argsort() {
+        // Adversarial value set: duplicates, negatives, infinities and NaN
+        // (total_cmp places NaN deterministically).
+        let values = [3.0, 1.0, 3.0, f64::NEG_INFINITY, 2.5, f64::NAN, 3.0, -0.0, 0.0, 2.5];
+        let full = argsort_desc(&values);
+        for k in 0..=values.len() + 2 {
+            assert_eq!(top_k_desc(&values, k), full[..k.min(values.len())], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn top_k_handles_degenerate_inputs() {
+        assert!(top_k_desc(&[], 5).is_empty());
+        assert!(top_k_desc(&[1.0, 2.0], 0).is_empty());
+        assert_eq!(top_k_desc(&[7.0], 1), vec![0]);
+        // All-equal values: pure index tie-break.
+        assert_eq!(top_k_desc(&[2.0; 6], 3), vec![0, 1, 2]);
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! The decision cache: canonical instance identity → top-k tuning answer.
+//!
+//! Serving traffic is dominated by repeated and near-duplicate queries
+//! (the same kernels at the same sizes, tuned again and again across a
+//! fleet), so the single highest-leverage optimization of the serving
+//! layer is to not rank at all: answers are memoized per
+//! [`InstanceKey`] — the projection of an instance onto exactly the fields
+//! the feature encoder reads, so two differently *named* but structurally
+//! identical kernels share one entry.
+//!
+//! The cache stores the `k` best `(tuning, score)` pairs computed for a
+//! key; a lookup asking for at most that many entries is a hit. Capacity
+//! is bounded; eviction is least-recently-used (a monotonic tick per
+//! access, linear scan on overflow — capacities are thousands, not
+//! millions, and the scan only runs on insertions past capacity).
+
+use std::collections::HashMap;
+
+use stencil_model::{InstanceKey, TuningVector};
+
+/// One cached answer.
+#[derive(Debug, Clone)]
+struct CachedDecision {
+    /// Best-first `(tuning, score)` pairs; a prefix answers smaller `k`s.
+    entries: Vec<(TuningVector, f64)>,
+    /// Size of the candidate set the entries were selected from.
+    candidates: usize,
+    /// Tick of the most recent lookup or insertion (LRU ordering).
+    last_used: u64,
+}
+
+/// A bounded LRU cache of top-k tuning decisions keyed by [`InstanceKey`].
+///
+/// Owned by the service worker (no interior locking); the service exposes
+/// its counters through [`ServeStats`](crate::ServeStats).
+#[derive(Debug)]
+pub struct DecisionCache {
+    map: HashMap<InstanceKey, CachedDecision>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl DecisionCache {
+    /// A cache holding at most `capacity` decisions (`0` disables caching:
+    /// every lookup misses and insertions are dropped).
+    pub fn new(capacity: usize) -> Self {
+        DecisionCache {
+            map: HashMap::with_capacity(capacity.min(4096)),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up the `k` best entries for `key`. A hit requires the cached
+    /// decision to hold at least `min(k, candidates)` entries — a request
+    /// for more alternatives than were ever computed is a miss and will be
+    /// recomputed (and re-inserted) by the caller.
+    pub fn lookup(
+        &mut self,
+        key: &InstanceKey,
+        k: usize,
+    ) -> Option<(Vec<(TuningVector, f64)>, usize)> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(d) if d.entries.len() >= k.min(d.candidates) => {
+                d.last_used = self.tick;
+                self.hits += 1;
+                Some((d.entries[..k.min(d.entries.len())].to_vec(), d.candidates))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the decision for `key`, evicting the least
+    /// recently used entry when capacity is exceeded.
+    pub fn insert(
+        &mut self,
+        key: InstanceKey,
+        entries: Vec<(TuningVector, f64)>,
+        candidates: usize,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let fresh = CachedDecision { entries, candidates, last_used: self.tick };
+        if self.map.insert(key, fresh).is_none() && self.map.len() > self.capacity {
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, d)| d.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("cache over capacity is non-empty");
+            self.map.remove(&lru);
+            self.evictions += 1;
+        }
+    }
+
+    /// Number of resident decisions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups that were answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to the pipeline.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries displaced by capacity pressure.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Drops every resident decision (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_model::{GridSize, StencilInstance, StencilKernel};
+
+    fn key(n: u32) -> InstanceKey {
+        StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(n)).unwrap().key()
+    }
+
+    fn entries(n: usize) -> Vec<(TuningVector, f64)> {
+        (0..n).map(|i| (TuningVector::new(8, 8, 8, i as u32 % 9, 1), -(i as f64))).collect()
+    }
+
+    #[test]
+    fn lookup_hits_any_k_up_to_the_stored_depth() {
+        let mut c = DecisionCache::new(8);
+        assert!(c.lookup(&key(64), 1).is_none());
+        c.insert(key(64), entries(5), 8640);
+        for k in 0..=5 {
+            let (got, candidates) = c.lookup(&key(64), k).expect("hit");
+            assert_eq!(got.len(), k);
+            assert_eq!(candidates, 8640);
+            assert_eq!(got[..], entries(5)[..k]);
+        }
+        // Deeper than stored: miss (caller recomputes and re-inserts).
+        assert!(c.lookup(&key(64), 6).is_none());
+        c.insert(key(64), entries(10), 8640);
+        assert_eq!(c.lookup(&key(64), 6).unwrap().0.len(), 6);
+        assert_eq!(c.len(), 1, "replacement, not duplication");
+        assert_eq!(c.hits(), 7);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn k_beyond_the_candidate_set_still_hits() {
+        // A 2-candidate space can only ever yield 2 entries; asking for 10
+        // must hit (there is nothing more to compute).
+        let mut c = DecisionCache::new(4);
+        c.insert(key(64), entries(2), 2);
+        let (got, _) = c.lookup(&key(64), 10).expect("hit");
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used_keys() {
+        let mut c = DecisionCache::new(2);
+        c.insert(key(32), entries(1), 8640);
+        c.insert(key(48), entries(1), 8640);
+        // Touch 32 so 48 becomes the LRU victim.
+        assert!(c.lookup(&key(32), 1).is_some());
+        c.insert(key(64), entries(1), 8640);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.lookup(&key(32), 1).is_some());
+        assert!(c.lookup(&key(48), 1).is_none(), "LRU entry evicted");
+        assert!(c.lookup(&key(64), 1).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = DecisionCache::new(0);
+        c.insert(key(64), entries(3), 8640);
+        assert!(c.is_empty());
+        assert!(c.lookup(&key(64), 1).is_none());
+        assert_eq!(c.capacity(), 0);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let mut c = DecisionCache::new(4);
+        c.insert(key(64), entries(1), 8640);
+        assert!(c.lookup(&key(64), 1).is_some());
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits(), 1);
+        assert!(c.lookup(&key(64), 1).is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! # sorl-serve — the multi-tenant stencil tuning service
+//!
+//! The paper's ranker answers one stencil instance at a time; this crate
+//! is the layer that turns it into a *service* for heavy traffic, where
+//! many concurrent callers tune many (often repeated) instances:
+//!
+//! ```text
+//!   clients ──submit──▶ MPSC queue ──drain──▶ micro-batch
+//!                                                │
+//!                                  ┌─ decision cache (InstanceKey → top-k)
+//!                                  │      hits answered immediately
+//!                                  ▼
+//!                        dedup misses by key ──▶ one pipelined pass:
+//!                        encode each unique instance once, score all
+//!                        candidate rows over one shared ThreadPool,
+//!                        partial-select the k best per instance
+//!                                  │
+//!                                  ▼
+//!                        reply tickets + cache insert + counters
+//! ```
+//!
+//! Three mechanisms carry the throughput:
+//!
+//! * **Micro-batching** ([`TuneService`]) — queued requests are drained
+//!   into one batch and pushed through a single
+//!   [`TuningSession::top_k_batch`](sorl::session::TuningSession::top_k_batch)
+//!   pass, so encode/score work is amortized *across queries* (PR 2
+//!   amortized it across the candidates of one query). Requests in the
+//!   same batch that share a canonical [`InstanceKey`](stencil_model::InstanceKey)
+//!   are scored once and answered many times.
+//! * **Top-k answers** ([`sorl::tuner::TopK`]) — callers get the `k` best
+//!   vectors with scores via a partial select, never a full sort of the
+//!   1600/8640-candidate sets.
+//! * **A decision cache** ([`DecisionCache`]) — answers are memoized per
+//!   canonical instance identity with LRU eviction;
+//!   [`ServeStats`] exposes hit/miss/eviction counters.
+//!
+//! The scoring pool is a [`stencil_exec::SharedPool`] handle, so one set
+//! of worker threads can serve the tuning service *and* the execution
+//! engine of the same process ([`TuneService::spawn_with_pool`]).
+
+pub mod cache;
+pub mod service;
+pub mod stats;
+
+pub use cache::DecisionCache;
+pub use service::{ServeConfig, ServeError, TuneClient, TuneRequest, TuneService, TuneTicket};
+pub use stats::ServeStats;

@@ -1,0 +1,372 @@
+//! The tuning service: an MPSC request queue, a micro-batching worker, and
+//! cloneable client handles.
+//!
+//! One worker thread owns the [`TuningSession`] (scratch buffers + shared
+//! thread pool) and the [`DecisionCache`]. Clients submit
+//! [`TuneRequest`]s through a cloneable [`TuneClient`]; the worker drains
+//! the queue into a micro-batch, answers what it can from the cache,
+//! deduplicates the remaining requests by [`InstanceKey`], and pushes the
+//! unique instances through **one** pipelined encode/score pass
+//! ([`TuningSession::top_k_batch`]) over the shared pool. Every answer is a
+//! [`TopK`]: the k best tuning vectors with scores, from a partial select.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sorl::session::TuningSession;
+use sorl::tuner::TopK;
+use sorl::StencilRanker;
+use stencil_exec::SharedPool;
+use stencil_model::{InstanceKey, StencilInstance};
+
+use crate::cache::DecisionCache;
+use crate::stats::{Counters, ServeStats};
+
+/// One tuning query: an instance plus how many ranked alternatives the
+/// caller wants back.
+#[derive(Debug, Clone)]
+pub struct TuneRequest {
+    /// The stencil instance to tune.
+    pub instance: StencilInstance,
+    /// Number of best configurations to return (capped at the candidate
+    /// set size; `0` is answered with an empty `TopK`).
+    pub k: usize,
+}
+
+impl TuneRequest {
+    /// A request for the `k` best configurations of `instance`.
+    pub fn new(instance: StencilInstance, k: usize) -> Self {
+        TuneRequest { instance, k }
+    }
+}
+
+/// Why a request could not be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The service worker has shut down (or shut down before replying).
+    Closed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Closed => write!(f, "tuning service is closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Scoring threads (ignored by
+    /// [`TuneService::spawn_with_pool`]; `<= 1` scores inline on the
+    /// worker thread).
+    pub threads: usize,
+    /// Largest micro-batch drained from the queue in one pass.
+    pub max_batch: usize,
+    /// How long the worker keeps polling for more requests after the first
+    /// one arrived, to let a burst coalesce into one batch. Zero drains
+    /// only what is already queued.
+    pub gather_window: Duration,
+    /// Decision-cache capacity in entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Minimum `k` computed (and cached) per pipeline pass, so follow-up
+    /// requests asking for a few more alternatives than the first one
+    /// still hit the cache.
+    pub cache_k_floor: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            max_batch: 64,
+            gather_window: Duration::from_micros(50),
+            cache_capacity: 1024,
+            cache_k_floor: 8,
+        }
+    }
+}
+
+enum Msg {
+    Tune { req: TuneRequest, reply: mpsc::Sender<TopK> },
+    Shutdown,
+}
+
+/// A running tuning service: one worker thread, an MPSC queue, any number
+/// of clients.
+///
+/// ```no_run
+/// use sorl::pipeline::{PipelineConfig, TrainingPipeline};
+/// use sorl_serve::{ServeConfig, TuneService};
+/// use stencil_model::{GridSize, StencilInstance, StencilKernel};
+///
+/// let out = TrainingPipeline::new(PipelineConfig::default()).run();
+/// let service = TuneService::spawn(out.ranker, ServeConfig::default());
+/// let client = service.client();
+/// let q = StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(128)).unwrap();
+/// let top = client.tune(q, 3).unwrap();
+/// for (t, score) in &top.entries {
+///     println!("{t} (score {score:.3})");
+/// }
+/// println!("{}", service.stats());
+/// ```
+///
+/// Dropping the service shuts the worker down; requests already queued at
+/// that point are still answered, later submissions fail with
+/// [`ServeError::Closed`].
+#[derive(Debug)]
+pub struct TuneService {
+    tx: mpsc::Sender<Msg>,
+    worker: Option<JoinHandle<()>>,
+    counters: Arc<Counters>,
+}
+
+impl TuneService {
+    /// Spawns a service with its own scoring pool of `config.threads`
+    /// threads.
+    pub fn spawn(ranker: StencilRanker, config: ServeConfig) -> Self {
+        let pool = (config.threads > 1).then(|| SharedPool::new(config.threads));
+        Self::spawn_inner(ranker, config, pool)
+    }
+
+    /// Spawns a service scoring over an existing shared pool — e.g. the
+    /// execution engine's (`Engine::shared_pool`), so tuning and
+    /// measurement share one set of worker threads.
+    pub fn spawn_with_pool(ranker: StencilRanker, config: ServeConfig, pool: SharedPool) -> Self {
+        Self::spawn_inner(ranker, config, Some(pool))
+    }
+
+    fn spawn_inner(ranker: StencilRanker, config: ServeConfig, pool: Option<SharedPool>) -> Self {
+        let (tx, rx) = mpsc::channel();
+        let counters = Arc::new(Counters::default());
+        let worker_counters = Arc::clone(&counters);
+        let session = match pool {
+            Some(pool) => TuningSession::with_shared_pool(ranker, pool),
+            None => TuningSession::new(ranker),
+        };
+        let worker = std::thread::Builder::new()
+            .name("sorl-serve-worker".into())
+            .spawn(move || worker_loop(rx, session, config, &worker_counters))
+            .expect("spawn sorl-serve worker");
+        TuneService { tx, worker: Some(worker), counters }
+    }
+
+    /// A new client handle (cheap, cloneable, usable from any thread).
+    pub fn client(&self) -> TuneClient {
+        TuneClient { tx: self.tx.clone() }
+    }
+
+    /// A point-in-time snapshot of the service counters.
+    pub fn stats(&self) -> ServeStats {
+        self.counters.snapshot()
+    }
+
+    /// Shuts the worker down, answering everything already queued first.
+    /// Equivalent to dropping the service, but explicit.
+    pub fn shutdown(self) {}
+}
+
+impl Drop for TuneService {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// A handle for submitting tuning queries to a [`TuneService`].
+#[derive(Debug, Clone)]
+pub struct TuneClient {
+    tx: mpsc::Sender<Msg>,
+}
+
+impl TuneClient {
+    /// Enqueues a query and returns a ticket to wait on. Submitting never
+    /// blocks on the tuning work itself.
+    pub fn submit(&self, instance: StencilInstance, k: usize) -> Result<TuneTicket, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Tune { req: TuneRequest::new(instance, k), reply })
+            .map_err(|_| ServeError::Closed)?;
+        Ok(TuneTicket { rx })
+    }
+
+    /// Submits one query and blocks for its answer.
+    pub fn tune(&self, instance: StencilInstance, k: usize) -> Result<TopK, ServeError> {
+        self.submit(instance, k)?.wait()
+    }
+
+    /// Submits a whole batch up front (giving the worker one coalesced
+    /// micro-batch to chew on), then collects every answer in order.
+    pub fn tune_many(&self, requests: Vec<TuneRequest>) -> Result<Vec<TopK>, ServeError> {
+        let tickets: Result<Vec<TuneTicket>, ServeError> =
+            requests.into_iter().map(|r| self.submit(r.instance, r.k)).collect();
+        tickets?.into_iter().map(TuneTicket::wait).collect()
+    }
+}
+
+/// A pending answer for one submitted query.
+#[derive(Debug)]
+pub struct TuneTicket {
+    rx: mpsc::Receiver<TopK>,
+}
+
+impl TuneTicket {
+    /// Blocks until the service answers (or reports it shut down without
+    /// answering).
+    pub fn wait(self) -> Result<TopK, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Closed)
+    }
+}
+
+/// One queue drain: requests plus their reply channels.
+type Batch = Vec<(TuneRequest, mpsc::Sender<TopK>)>;
+
+fn worker_loop(
+    rx: mpsc::Receiver<Msg>,
+    mut session: TuningSession,
+    config: ServeConfig,
+    counters: &Counters,
+) {
+    let mut cache = DecisionCache::new(config.cache_capacity);
+    let max_batch = config.max_batch.max(1);
+    let mut live = true;
+    while live {
+        let mut batch: Batch = Vec::new();
+        match rx.recv() {
+            Ok(Msg::Tune { req, reply }) => batch.push((req, reply)),
+            Ok(Msg::Shutdown) | Err(_) => break,
+        }
+        // Micro-batch gather: drain what is queued, then sleep (not spin)
+        // inside the gather window so a burst in flight coalesces into
+        // this batch without stealing cycles from the submitting clients.
+        let deadline = Instant::now() + config.gather_window;
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(Msg::Tune { req, reply }) => batch.push((req, reply)),
+                Ok(Msg::Shutdown) => {
+                    live = false;
+                    break;
+                }
+                Err(mpsc::TryRecvError::Empty) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(Msg::Tune { req, reply }) => batch.push((req, reply)),
+                        Ok(Msg::Shutdown) => {
+                            live = false;
+                            break;
+                        }
+                        Err(mpsc::RecvTimeoutError::Timeout) => break,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            live = false;
+                            break;
+                        }
+                    }
+                }
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    live = false;
+                    break;
+                }
+            }
+        }
+        serve_batch(&mut session, &mut cache, &config, counters, batch);
+    }
+}
+
+/// Requests of one micro-batch sharing an [`InstanceKey`]: scored once,
+/// answered many times.
+struct Group {
+    key: InstanceKey,
+    /// Index (into the batch) of the request whose instance is encoded.
+    representative: usize,
+    /// Depth to compute: max requested `k` of the members, at least the
+    /// cache floor.
+    k: usize,
+    /// Batch indices answered by this group.
+    members: Vec<usize>,
+}
+
+fn serve_batch(
+    session: &mut TuningSession,
+    cache: &mut DecisionCache,
+    config: &ServeConfig,
+    counters: &Counters,
+    batch: Batch,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    counters.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    counters.max_batch.fetch_max(batch.len() as u64, Ordering::Relaxed);
+
+    // Pass 1: answer from the cache; group the misses by canonical key so
+    // every unique instance is encoded and scored exactly once.
+    let k_floor = if config.cache_capacity == 0 { 0 } else { config.cache_k_floor };
+    let mut answers: Vec<Option<TopK>> = batch.iter().map(|_| None).collect();
+    let mut groups: Vec<Group> = Vec::new();
+    let mut group_of: HashMap<InstanceKey, usize> = HashMap::new();
+    for (i, (req, _)) in batch.iter().enumerate() {
+        let key = req.instance.key();
+        if let Some((entries, candidates)) = cache.lookup(&key, req.k) {
+            answers[i] = Some(TopK { entries, candidates, seconds: 0.0 });
+            continue;
+        }
+        match group_of.get(&key) {
+            Some(&g) => {
+                groups[g].k = groups[g].k.max(req.k);
+                groups[g].members.push(i);
+            }
+            None => {
+                group_of.insert(key.clone(), groups.len());
+                groups.push(Group {
+                    key,
+                    representative: i,
+                    k: req.k.max(k_floor),
+                    members: vec![i],
+                });
+            }
+        }
+    }
+
+    // Pass 2: one pipelined encode/score pass over the unique instances.
+    if !groups.is_empty() {
+        let queries: Vec<(&StencilInstance, usize)> =
+            groups.iter().map(|g| (&batch[g.representative].0.instance, g.k)).collect();
+        let results = session.top_k_batch(&queries);
+        counters.scored_instances.fetch_add(groups.len() as u64, Ordering::Relaxed);
+        for (g, top) in groups.iter().zip(results) {
+            cache.insert(g.key.clone(), top.entries.clone(), top.candidates);
+            for &i in &g.members {
+                let k = batch[i].0.k;
+                answers[i] = Some(TopK {
+                    entries: top.entries[..k.min(top.entries.len())].to_vec(),
+                    candidates: top.candidates,
+                    seconds: top.seconds,
+                });
+            }
+        }
+    }
+
+    // Publish the cache counters BEFORE replying: a client that reads
+    // `stats()` right after its answer arrives must see this batch.
+    counters.cache_hits.store(cache.hits(), Ordering::Relaxed);
+    counters.cache_misses.store(cache.misses(), Ordering::Relaxed);
+    counters.cache_evictions.store(cache.evictions(), Ordering::Relaxed);
+    counters.cache_entries.store(cache.len() as u64, Ordering::Relaxed);
+
+    // Pass 3: reply (a dropped ticket is fine — the client gave up).
+    for ((_, reply), answer) in batch.iter().zip(answers) {
+        let _ = reply.send(answer.expect("every request answered"));
+    }
+}

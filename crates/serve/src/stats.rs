@@ -1,0 +1,128 @@
+//! Service observability: lock-free counters and their public snapshot.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal counter cells, shared between the worker thread (writer) and
+/// any number of snapshot readers. All updates are relaxed — the numbers
+/// are diagnostics, not synchronization.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub requests: AtomicU64,
+    pub batches: AtomicU64,
+    pub max_batch: AtomicU64,
+    pub scored_instances: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub cache_evictions: AtomicU64,
+    pub cache_entries: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            scored_instances: self.scored_instances.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            cache_entries: self.cache_entries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a [`TuneService`](crate::TuneService)'s
+/// counters (taken with [`TuneService::stats`](crate::TuneService::stats)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests answered (cache hits included).
+    pub requests: u64,
+    /// Micro-batches formed (each is one queue drain).
+    pub batches: u64,
+    /// Largest micro-batch observed.
+    pub max_batch: u64,
+    /// Unique instances that went through the scoring pipeline — with
+    /// within-batch dedup this can be far below `cache_misses`.
+    pub scored_instances: u64,
+    /// Requests answered from the decision cache.
+    pub cache_hits: u64,
+    /// Requests that needed a pipeline pass.
+    pub cache_misses: u64,
+    /// Cache entries displaced by capacity pressure.
+    pub cache_evictions: u64,
+    /// Entries currently resident in the cache.
+    pub cache_entries: u64,
+}
+
+impl ServeStats {
+    /// Cache hit rate in `[0, 1]` (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean requests per micro-batch (0 when no batch was formed).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+impl fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} requests in {} batches (mean {:.1}, max {}), cache {}/{} hit ({:.0}%), \
+             {} scored, {} resident, {} evicted",
+            self.requests,
+            self.batches,
+            self.mean_batch(),
+            self.max_batch,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.hit_rate() * 100.0,
+            self.scored_instances,
+            self.cache_entries,
+            self.cache_evictions,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = ServeStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_reflects_counter_updates() {
+        let c = Counters::default();
+        c.requests.fetch_add(10, Ordering::Relaxed);
+        c.batches.fetch_add(2, Ordering::Relaxed);
+        c.max_batch.fetch_max(7, Ordering::Relaxed);
+        c.cache_hits.fetch_add(6, Ordering::Relaxed);
+        c.cache_misses.fetch_add(4, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.requests, 10);
+        assert_eq!(s.mean_batch(), 5.0);
+        assert_eq!(s.max_batch, 7);
+        assert!((s.hit_rate() - 0.6).abs() < 1e-12);
+        let line = s.to_string();
+        assert!(line.contains("10 requests"), "{line}");
+        assert!(line.contains("60%"), "{line}");
+    }
+}

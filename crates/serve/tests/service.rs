@@ -1,0 +1,188 @@
+//! End-to-end tests of the tuning service: answers must be bit-for-bit
+//! identical to direct `TuningSession` queries, under concurrency, caching
+//! and shutdown.
+
+use std::time::Duration;
+
+use ranksvm::LinearRanker;
+use sorl::session::TuningSession;
+use sorl::StencilRanker;
+use sorl_serve::{ServeConfig, TuneRequest, TuneService};
+use stencil_model::{FeatureEncoder, GridSize, StencilInstance, StencilKernel};
+
+/// Deterministic dense synthetic ranker (no training run needed).
+fn dense_ranker() -> StencilRanker {
+    let encoder = FeatureEncoder::default_interaction();
+    let mut state = 0x2545f4914f6cdd1du64;
+    let w: Vec<f64> = (0..encoder.dim())
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        })
+        .collect();
+    StencilRanker::new(encoder, LinearRanker::from_weights(w))
+}
+
+fn lap(n: u32) -> StencilInstance {
+    StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(n)).unwrap()
+}
+
+fn blur(n: u32) -> StencilInstance {
+    StencilInstance::new(StencilKernel::blur(), GridSize::square(n)).unwrap()
+}
+
+fn config() -> ServeConfig {
+    // Modest threads so CI machines are not oversubscribed.
+    ServeConfig { threads: 2, ..Default::default() }
+}
+
+#[test]
+fn service_answers_match_direct_session_queries() {
+    let ranker = dense_ranker();
+    let mut reference = TuningSession::new(ranker.clone());
+    let service = TuneService::spawn(ranker, config());
+    let client = service.client();
+    for (q, k) in [(lap(128), 1), (blur(1024), 3), (lap(96), 17), (blur(640), 0)] {
+        let got = client.tune(q.clone(), k).unwrap();
+        let want = reference.top_k_predefined(&q, k);
+        assert_eq!(got.entries, want.entries, "{q} k = {k}");
+        assert_eq!(got.candidates, want.candidates, "{q} k = {k}");
+        assert_eq!(got.len(), k.min(want.candidates));
+    }
+    let stats = service.stats();
+    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.cache_misses, 4);
+}
+
+#[test]
+fn repeated_queries_hit_the_decision_cache() {
+    let service = TuneService::spawn(dense_ranker(), config());
+    let client = service.client();
+    let first = client.tune(lap(128), 3).unwrap();
+    for _ in 0..5 {
+        let again = client.tune(lap(128), 3).unwrap();
+        assert_eq!(again.entries, first.entries);
+    }
+    // Smaller k on the same instance: still a hit (prefix of the cached
+    // entries), thanks to the cache k-floor.
+    let one = client.tune(lap(128), 1).unwrap();
+    assert_eq!(one.entries[..], first.entries[..1]);
+    let stats = service.stats();
+    assert_eq!(stats.requests, 7);
+    assert_eq!(stats.cache_hits, 6);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.scored_instances, 1);
+    assert_eq!(stats.cache_entries, 1);
+}
+
+#[test]
+fn structurally_identical_kernels_share_one_cache_entry() {
+    // Same pattern/buffers/dtype/size under a different name must be the
+    // same decision — the cache keys on InstanceKey, not on the kernel id.
+    let service = TuneService::spawn(dense_ranker(), config());
+    let client = service.client();
+    let k = StencilKernel::laplacian();
+    let renamed =
+        StencilKernel::new("renamed", k.pattern().clone(), k.buffers(), k.dtype()).unwrap();
+    let a = client.tune(lap(128), 2).unwrap();
+    let b = client.tune(StencilInstance::new(renamed, GridSize::cube(128)).unwrap(), 2).unwrap();
+    assert_eq!(a.entries, b.entries);
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.scored_instances, 1);
+}
+
+#[test]
+fn within_batch_duplicates_are_scored_once() {
+    // Cache disabled: the dedup must come from micro-batch grouping alone.
+    let cfg =
+        ServeConfig { cache_capacity: 0, gather_window: Duration::from_millis(50), ..config() };
+    let service = TuneService::spawn(dense_ranker(), cfg);
+    let client = service.client();
+    let requests: Vec<TuneRequest> = (0..8)
+        .map(|i| TuneRequest::new(if i % 2 == 0 { lap(128) } else { blur(1024) }, 2))
+        .collect();
+    let answers = client.tune_many(requests).unwrap();
+    assert_eq!(answers.len(), 8);
+    for pair in answers.chunks(2) {
+        assert_eq!(answers[0].entries, pair[0].entries);
+        assert_eq!(answers[1].entries, pair[1].entries);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.requests, 8);
+    assert_eq!(stats.cache_hits, 0, "cache is disabled");
+    // 8 requests over 2 unique instances: with a wide gather window they
+    // coalesce into few batches, each scoring each unique instance once.
+    assert!(stats.scored_instances < 8, "dedup must beat one-pass-per-request: {stats}");
+}
+
+#[test]
+fn concurrent_clients_all_get_correct_answers() {
+    let ranker = dense_ranker();
+    let mut reference = TuningSession::new(ranker.clone());
+    let expected: Vec<_> =
+        [64u32, 96, 128].iter().map(|&n| reference.top_k_predefined(&lap(n), 2).entries).collect();
+
+    let service = TuneService::spawn(ranker, config());
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let client = service.client();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for round in 0..6 {
+                    let idx = (w + round) % 3;
+                    let top = client.tune(lap([64, 96, 128][idx]), 2).unwrap();
+                    assert_eq!(top.entries, expected[idx], "worker {w} round {round}");
+                }
+            })
+        })
+        .collect();
+    for h in workers {
+        h.join().unwrap();
+    }
+    let stats = service.stats();
+    assert_eq!(stats.requests, 24);
+    assert_eq!(stats.scored_instances, 3, "three unique instances, each scored once");
+    assert!(stats.hit_rate() > 0.5, "{stats}");
+}
+
+#[test]
+fn shutdown_rejects_later_submissions() {
+    let service = TuneService::spawn(dense_ranker(), config());
+    let client = service.client();
+    assert!(client.tune(lap(64), 1).is_ok());
+    drop(service);
+    assert!(client.tune(lap(64), 1).is_err());
+    assert!(client.submit(lap(64), 1).is_err());
+}
+
+#[test]
+fn service_shares_an_external_pool() {
+    let pool = stencil_exec::SharedPool::new(2);
+    let service = TuneService::spawn_with_pool(dense_ranker(), config(), pool.clone());
+    let client = service.client();
+    let mut reference = TuningSession::new(dense_ranker());
+    let got = client.tune(blur(1024), 4).unwrap();
+    assert_eq!(got.entries, reference.top_k_predefined(&blur(1024), 4).entries);
+    // The pool handle stays usable by other subsystems while serving.
+    let hits = std::sync::atomic::AtomicU64::new(0);
+    pool.run(5, &|_| {
+        hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    });
+    assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 5);
+}
+
+#[test]
+fn eviction_counters_surface_in_stats() {
+    let cfg = ServeConfig { cache_capacity: 2, ..config() };
+    let service = TuneService::spawn(dense_ranker(), cfg);
+    let client = service.client();
+    for n in [64u32, 80, 96, 112] {
+        client.tune(lap(n), 1).unwrap();
+    }
+    let stats = service.stats();
+    assert_eq!(stats.cache_entries, 2);
+    assert!(stats.cache_evictions >= 2, "{stats}");
+}

@@ -18,6 +18,7 @@
 //! | [`search`]  | `stencil-search`  | GA, steady-state GA, differential evolution, ES |
 //! | [`gen`]     | `stencil-gen`     | training corpus, C emitter, training-set builder |
 //! | [`sorl`]    | `sorl`            | the autotuner: pipeline, ranker, tuners, benchmarks |
+//! | [`serve`]   | `sorl-serve`      | multi-tenant tuning service: micro-batching, top-k, decision cache |
 //!
 //! ## Quickstart
 //!
@@ -43,10 +44,18 @@
 //! per-candidate heap allocation in steady state) and optionally fans
 //! candidate chunks across a persistent thread pool.
 //!
+//! When many *concurrent* callers tune many (often repeated) instances,
+//! run a [`serve::TuneService`]: queued requests are micro-batched through
+//! one pipelined scoring pass, answers are the top-k configurations with
+//! scores, and a decision cache keyed on the canonical
+//! [`model::InstanceKey`] absorbs repeated traffic entirely (see
+//! `examples/serve_demo.rs`).
+//!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the binaries regenerating every table and figure of the paper.
 
 pub use sorl;
+pub use sorl_serve as serve;
 pub use stencil_exec as exec;
 pub use stencil_gen as gen;
 pub use stencil_machine as machine;
