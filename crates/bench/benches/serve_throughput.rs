@@ -53,6 +53,7 @@ fn serve_config(cache_capacity: usize) -> ServeConfig {
         threads: 1,
         max_batch: 64,
         gather_window: Duration::from_micros(200),
+        adaptive_gather: false,
         cache_capacity,
         cache_k_floor: 8,
     }

@@ -1,0 +1,230 @@
+//! Sharding-layer throughput: a routed fleet vs. one service, and the
+//! cost of the durability machinery (snapshot, restore, warm-up
+//! shipping).
+//!
+//! The workload is fleet traffic in miniature: 24 requests over 12
+//! distinct 3-D instances (each appearing twice). Variants:
+//!
+//! * `single_service_24x3d` — the whole workload on one `TuneService`
+//!   (cold cache): the pre-sharding baseline.
+//! * `fleet_3shards_24x3d_cold` — the same workload through a
+//!   `ShardRouter` over 3 in-process shards, cold caches. Routing adds a
+//!   rendezvous hash per query; the win on one host is isolation, not
+//!   speed — this variant exists to show the router's overhead is noise.
+//! * `fleet_3shards_24x3d_hot` — the same workload after warmup: every
+//!   answer comes from a shard's decision cache.
+//! * `route_only_1k` — 1000 pure ownership decisions (hash + argmax over
+//!   3 shards), no serving at all: the router's intrinsic cost.
+//! * `snapshot_roundtrip_256` — a 256-decision cache through
+//!   snapshot → JSON → parse → restore: the persistence path a shard pays
+//!   on checkpoint and warm restart.
+//!
+//! The ranker is synthetic (dense pinned-PRNG weights): this bench
+//! measures the serving and sharding layers, whose cost is independent of
+//! how the weights were obtained, so no training run is needed.
+//!
+//! Besides the criterion output, the run writes a machine-readable
+//! `BENCH_shard_throughput.json` snapshot (see `sorl_bench::perf`). Set
+//! `SORL_BENCH_QUICK=1` for the CI sample budget.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use std::time::Duration;
+
+use ranksvm::LinearRanker;
+use sorl::StencilRanker;
+use sorl_bench::perf::{quick_mode, PerfReport};
+use sorl_serve::{DecisionCache, ServeConfig, TuneService};
+use sorl_shard::{LocalShard, ShardRouter, Topology};
+use stencil_model::{FeatureEncoder, GridSize, StencilInstance, StencilKernel, TuningVector};
+
+/// Deterministic dense synthetic ranker (no training run needed).
+fn dense_ranker() -> StencilRanker {
+    let encoder = FeatureEncoder::default_interaction();
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let w: Vec<f64> = (0..encoder.dim())
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        })
+        .collect();
+    StencilRanker::new(encoder, LinearRanker::from_weights(w))
+}
+
+/// 24 requests over 12 distinct 3-D instances, each instance twice.
+fn workload() -> Vec<StencilInstance> {
+    let sizes = [64u32, 72, 80, 88, 96, 104, 112, 120, 128, 144, 160, 176];
+    (0..24)
+        .map(|i| {
+            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(sizes[i % 12])).unwrap()
+        })
+        .collect()
+}
+
+/// Inline scoring, small gather window (the comparison against the single
+/// service must not be confounded by thread counts).
+fn serve_config(cache_capacity: usize) -> ServeConfig {
+    ServeConfig {
+        threads: 1,
+        max_batch: 64,
+        gather_window: Duration::from_micros(100),
+        adaptive_gather: false,
+        cache_capacity,
+        cache_k_floor: 8,
+    }
+}
+
+fn spawn_fleet(ranker: &StencilRanker, cache_capacity: usize) -> ShardRouter {
+    let mut router = ShardRouter::new();
+    for id in ["alpha", "beta", "gamma"] {
+        router
+            .add_shard(id, LocalShard::spawn(ranker.clone(), serve_config(cache_capacity)))
+            .expect("spawn shard");
+    }
+    router
+}
+
+fn run_single(service: &TuneService, queries: &[StencilInstance]) -> f64 {
+    let client = service.client();
+    let mut acc = 0.0;
+    for q in queries {
+        acc += client.tune(q.clone(), 1).unwrap().entries[0].1;
+    }
+    acc
+}
+
+fn run_fleet(router: &ShardRouter, queries: &[StencilInstance]) -> f64 {
+    let mut acc = 0.0;
+    for q in queries {
+        acc += router.tune(q.clone(), 1).unwrap().entries[0].1;
+    }
+    acc
+}
+
+/// A 256-decision cache for the persistence variant.
+fn populated_cache() -> DecisionCache {
+    let mut cache = DecisionCache::new(512);
+    for i in 0..256u32 {
+        let key =
+            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(32 + i)).unwrap().key();
+        let entries: Vec<(TuningVector, f64)> =
+            (0..8).map(|j| (TuningVector::new(8, 8, 8, j % 9, 1), -(j as f64))).collect();
+        cache.insert(key, entries, 8640);
+    }
+    cache
+}
+
+fn snapshot_roundtrip(cache: &DecisionCache) -> usize {
+    let snap = cache.snapshot(42);
+    let parsed = sorl_serve::CacheSnapshot::from_json(&snap.to_json()).unwrap();
+    let mut restored = DecisionCache::new(512);
+    restored.restore(&parsed, 42).unwrap()
+}
+
+fn bench_shard(c: &mut Criterion, ranker: &StencilRanker, queries: &[StencilInstance]) {
+    let mut g = c.benchmark_group("shard_throughput");
+
+    let single = TuneService::spawn(ranker.clone(), serve_config(0));
+    g.bench_function("single_service_24x3d", |b| {
+        b.iter(|| black_box(run_single(&single, queries)))
+    });
+
+    let cold = spawn_fleet(ranker, 0);
+    g.bench_function("fleet_3shards_24x3d_cold", |b| {
+        b.iter(|| black_box(run_fleet(&cold, queries)))
+    });
+
+    let hot = spawn_fleet(ranker, 1024);
+    run_fleet(&hot, queries); // warmup: fill every shard's cache
+    g.bench_function("fleet_3shards_24x3d_hot", |b| b.iter(|| black_box(run_fleet(&hot, queries))));
+
+    let topo = Topology::new(["alpha", "beta", "gamma"]);
+    g.bench_function("route_only_1k", |b| {
+        b.iter(|| {
+            let mut owned = 0usize;
+            for fp in 0..1000u64 {
+                owned += topo.owner_of_fingerprint(black_box(fp)).unwrap().len();
+            }
+            black_box(owned)
+        })
+    });
+
+    let cache = populated_cache();
+    g.bench_function("snapshot_roundtrip_256", |b| {
+        b.iter(|| black_box(snapshot_roundtrip(&cache)))
+    });
+
+    g.finish();
+}
+
+/// JSON snapshot pass: fixed sample counts (independent of criterion's
+/// adaptive iteration sizing) so medians are comparable run-over-run.
+fn emit_perf_snapshot(ranker: &StencilRanker, queries: &[StencilInstance]) {
+    let samples = if quick_mode() { 10 } else { 30 };
+    let mut report = PerfReport::new("shard_throughput");
+
+    let single = TuneService::spawn(ranker.clone(), serve_config(0));
+    report.record("single_service_24x3d", samples, || {
+        black_box(run_single(&single, queries));
+    });
+
+    let cold = spawn_fleet(ranker, 0);
+    report.record("fleet_3shards_24x3d_cold", samples, || {
+        black_box(run_fleet(&cold, queries));
+    });
+
+    let hot = spawn_fleet(ranker, 1024);
+    run_fleet(&hot, queries);
+    report.record("fleet_3shards_24x3d_hot", samples, || {
+        black_box(run_fleet(&hot, queries));
+    });
+    for (id, stats) in hot.stats() {
+        println!("  {id}: {}", stats.unwrap());
+    }
+
+    let topo = Topology::new(["alpha", "beta", "gamma"]);
+    report.record("route_only_1k", samples, || {
+        let mut owned = 0usize;
+        for fp in 0..1000u64 {
+            owned += topo.owner_of_fingerprint(black_box(fp)).unwrap().len();
+        }
+        black_box(owned);
+    });
+
+    let cache = populated_cache();
+    report.record("snapshot_roundtrip_256", samples, || {
+        black_box(snapshot_roundtrip(&cache));
+    });
+
+    let single_s = report.median_of("single_service_24x3d").unwrap();
+    let cold_s = report.median_of("fleet_3shards_24x3d_cold").unwrap();
+    let hot_s = report.median_of("fleet_3shards_24x3d_hot").unwrap();
+    println!(
+        "  fleet cold vs single service: {:.2}x, fleet hot over cold: {:.1}x",
+        single_s / cold_s,
+        cold_s / hot_s
+    );
+    report.write();
+
+    // The sharding contracts this bench exists to witness (generous
+    // slack: the JSON numbers are the record, this is a tripwire).
+    assert!(
+        cold_s <= single_s * 1.50,
+        "routing overhead must stay in the noise: {cold_s} vs {single_s}"
+    );
+    assert!(
+        hot_s * 5.0 <= cold_s,
+        "a 100% cache-hit fleet must be >= 5x faster than cold: {hot_s} vs {cold_s}"
+    );
+}
+
+fn main() {
+    let ranker = dense_ranker();
+    let queries = workload();
+    let samples = if quick_mode() { 5 } else { 15 };
+    let mut criterion = Criterion::default().sample_size(samples);
+    bench_shard(&mut criterion, &ranker, &queries);
+    emit_perf_snapshot(&ranker, &queries);
+}

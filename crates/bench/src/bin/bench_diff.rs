@@ -13,6 +13,13 @@
 //! fresh snapshots come from different machines (committed dev-box
 //! baseline vs. CI runner), where absolute medians are not comparable but
 //! wild relative swings are still worth a look.
+//!
+//! A *missing baseline file* is the expected first-run state of a freshly
+//! added bench, not an error: the tool prints how to start the trajectory
+//! and exits successfully (`--fail` included — there is nothing to
+//! regress against yet). A missing or unparsable *fresh* snapshot is
+//! still an error: the bench that was supposed to produce it ran in this
+//! very job.
 
 use std::process::ExitCode;
 
@@ -62,6 +69,18 @@ fn diff(base: &PerfReport, fresh: &PerfReport) -> (Vec<DiffLine>, Vec<String>) {
     (lines, unmatched)
 }
 
+/// The friendly first-run message for a bench with no committed baseline
+/// yet. Not a warning: a brand-new bench *cannot* have a trajectory, and
+/// failing (or even annotating) would punish adding coverage.
+fn missing_baseline_note(base_path: &str, fresh_path: &str) -> String {
+    format!(
+        "no baseline snapshot at {base_path} — first run of this bench.\n\
+         Nothing to diff against yet; commit {fresh_path} as the baseline to \
+         start its perf trajectory. (This is expected for a newly added \
+         bench and exits successfully.)"
+    )
+}
+
 fn load(path: &str) -> PerfReport {
     let json = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read snapshot {path}: {e}"));
@@ -90,6 +109,15 @@ fn main() -> ExitCode {
         eprintln!("usage: bench_diff <baseline.json> <fresh.json> [--threshold 0.25] [--fail]");
         return ExitCode::from(2);
     };
+
+    if !std::path::Path::new(base_path).exists() {
+        // Even without a baseline, the fresh snapshot must exist and
+        // parse — the bench that produces it ran in this very job, so a
+        // missing/garbled one is a real failure, not a first-run case.
+        let _ = load(fresh_path);
+        println!("{}", missing_baseline_note(base_path, fresh_path));
+        return ExitCode::SUCCESS;
+    }
 
     let base = load(base_path);
     let fresh = load(fresh_path);
@@ -187,6 +215,15 @@ mod tests {
         let l = DiffLine { id: "z".into(), base_s: 0.0, fresh_s: 1.0 };
         assert_eq!(l.change(), 0.0);
         assert!(!l.is_regression(0.25));
+    }
+
+    #[test]
+    fn missing_baseline_note_explains_the_first_run() {
+        let note = missing_baseline_note("BENCH_new.json", "fresh/BENCH_new.json");
+        assert!(note.contains("BENCH_new.json"), "{note}");
+        assert!(note.contains("first run"), "{note}");
+        assert!(note.contains("commit fresh/BENCH_new.json"), "{note}");
+        assert!(!note.contains("::warning::"), "first runs are not warnings: {note}");
     }
 
     #[test]

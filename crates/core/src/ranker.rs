@@ -108,6 +108,37 @@ impl StencilRanker {
         Ok(self.rank(instance, candidates)?.first().map(|&i| candidates[i]))
     }
 
+    /// A stable 64-bit fingerprint of the whole ranking function: the
+    /// encoder configuration (every field that shapes the feature layout
+    /// or its normalization, in declaration order) folded together with
+    /// the model's [`weight_fingerprint`](LinearRanker::weight_fingerprint)
+    /// via the pinned FNV-1a stream of
+    /// [`stencil_model::fingerprint::Fnv1a`].
+    ///
+    /// Two rankers with equal fingerprints produce identical scores for
+    /// every admissible execution, so persisted decision caches are
+    /// versioned by this value: a snapshot written under one fingerprint
+    /// is rejected on restore under any other (retrained weights, changed
+    /// encoding — either invalidates every cached decision).
+    pub fn fingerprint(&self) -> u64 {
+        use stencil_model::EncodingKind;
+        let c = self.encoder.config();
+        let mut h = stencil_model::fingerprint::Fnv1a::new();
+        h.write_u64(c.max_offset as u64);
+        h.write_u64(match c.encoding {
+            EncodingKind::PaperConcat => 0,
+            EncodingKind::Interaction => 1,
+        });
+        h.write_u64(c.count_cap as u64);
+        h.write_u64(c.max_buffers as u64);
+        h.write_f64(c.size_log2_max);
+        h.write_f64(c.block_log2_max);
+        h.write_f64(c.chunk_log2_max);
+        h.write_u64(c.unroll_max as u64);
+        h.write_u64(self.model.weight_fingerprint());
+        h.finish()
+    }
+
     /// Serializes the ranker to pretty JSON at `path`.
     pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
         let json = serde_json::to_string_pretty(self).expect("ranker serializes");
@@ -241,6 +272,44 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn dimension_mismatch_panics() {
         StencilRanker::new(FeatureEncoder::paper_concat(), LinearRanker::zeros(3));
+    }
+
+    #[test]
+    fn fingerprint_tracks_weights_and_encoder_config() {
+        let r = unroll_loving_ranker();
+        assert_eq!(r.fingerprint(), r.clone().fingerprint(), "deterministic");
+        // Different weights: different ranking function.
+        let other = StencilRanker::new(
+            FeatureEncoder::paper_concat(),
+            LinearRanker::zeros(FeatureEncoder::paper_concat().dim()),
+        );
+        assert_ne!(r.fingerprint(), other.fingerprint());
+        // Same weights under a different encoding: also different (the
+        // paper-concat and interaction layouts have different dims here,
+        // but even the config fields alone must discriminate).
+        let a = StencilRanker::new(
+            FeatureEncoder::paper_concat(),
+            LinearRanker::zeros(FeatureEncoder::paper_concat().dim()),
+        );
+        let b = StencilRanker::new(
+            FeatureEncoder::default_interaction(),
+            LinearRanker::zeros(FeatureEncoder::default_interaction().dim()),
+        );
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_survives_a_json_roundtrip() {
+        // A ranker saved and reloaded is the same ranking function, so the
+        // snapshot it once validated must still validate.
+        let r = unroll_loving_ranker();
+        let dir = std::env::temp_dir().join("sorl-ranker-fp-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ranker.json");
+        r.save_json(&path).unwrap();
+        let back = StencilRanker::load_json(&path).unwrap();
+        assert_eq!(r.fingerprint(), back.fingerprint());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Pinned, stream-style FNV-1a hashing for cross-process fingerprints.
+//!
+//! Several layers of the workspace need a 64-bit digest whose value is
+//! *stable across builds, toolchains and hosts*: [`InstanceKey`] fingerprints
+//! route queries between shards, ranker-weight fingerprints version
+//! persisted decision-cache snapshots, and both end up in logs and on
+//! disk. `std::hash::DefaultHasher` is explicitly unspecified and may
+//! change between Rust releases, so the algorithm is pinned here instead:
+//! FNV-1a over a canonical little-endian byte stream.
+//!
+//! [`Fnv1a`] is deliberately *not* a `std::hash::Hasher` — implementing the
+//! trait would invite accidental use through derived `Hash` impls, whose
+//! byte streams (discriminants, lengths, padding) are themselves
+//! unspecified. Callers feed fields explicitly, in a documented order, and
+//! that order is part of the fingerprint's contract.
+//!
+//! [`InstanceKey`]: crate::InstanceKey
+
+/// A streaming FNV-1a hasher with a pinned 64-bit state.
+///
+/// ```
+/// use stencil_model::fingerprint::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write_i64(42);
+/// h.write_f64(1.5);
+/// let a = h.finish();
+/// // Same stream, same digest — on every build, toolchain and host.
+/// let mut h = Fnv1a::new();
+/// h.write_i64(42);
+/// h.write_f64(1.5);
+/// assert_eq!(h.finish(), a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a { state: OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ b as u64).wrapping_mul(PRIME);
+        }
+    }
+
+    /// Absorbs a signed integer as 8 little-endian bytes.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs an unsigned integer as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a float via its IEEE-754 bit pattern (so `-0.0` and `0.0`
+    /// hash differently, and NaN payloads are preserved — fingerprints
+    /// track *representation*, not numeric equivalence).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current digest (the hasher remains usable).
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_pinned() {
+        // The FNV-1a test vector for the empty input is the offset basis;
+        // a one-byte input is one xor-multiply round. Pinning both locks
+        // the constants.
+        assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn field_order_matters() {
+        let mut ab = Fnv1a::new();
+        ab.write_i64(1);
+        ab.write_i64(2);
+        let mut ba = Fnv1a::new();
+        ba.write_i64(2);
+        ba.write_i64(1);
+        assert_ne!(ab.finish(), ba.finish());
+    }
+
+    #[test]
+    fn floats_hash_their_bit_patterns() {
+        let mut pos = Fnv1a::new();
+        pos.write_f64(0.0);
+        let mut neg = Fnv1a::new();
+        neg.write_f64(-0.0);
+        assert_ne!(pos.finish(), neg.finish(), "signed zeros are distinct representations");
+        let mut nan = Fnv1a::new();
+        nan.write_f64(f64::NAN);
+        let mut nan2 = Fnv1a::new();
+        nan2.write_f64(f64::NAN);
+        assert_eq!(nan.finish(), nan2.finish(), "same NaN payload, same digest");
+    }
+
+    #[test]
+    fn finish_does_not_consume() {
+        let mut h = Fnv1a::new();
+        h.write_u64(7);
+        let first = h.finish();
+        assert_eq!(first, h.finish());
+        h.write_u64(8);
+        assert_ne!(first, h.finish());
+    }
+}

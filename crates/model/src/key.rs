@@ -63,34 +63,28 @@ impl InstanceKey {
         self.pattern.dim()
     }
 
-    /// A stable 64-bit fingerprint of the key: FNV-1a over the canonical
-    /// field encoding, pinned here (not `DefaultHasher`, whose algorithm
-    /// is unspecified and may change between Rust releases) so the value
-    /// is reproducible across builds, toolchains and hosts — safe to use
-    /// for logging and cross-process sharding. *Not* a substitute for
-    /// `Eq` in collision-sensitive maps.
+    /// A stable 64-bit fingerprint of the key: FNV-1a
+    /// ([`fingerprint::Fnv1a`](crate::fingerprint::Fnv1a)) over the
+    /// canonical field encoding, pinned (not `DefaultHasher`, whose
+    /// algorithm is unspecified and may change between Rust releases) so
+    /// the value is reproducible across builds, toolchains and hosts —
+    /// this is the routing key of cross-process sharding and safe for
+    /// logging. *Not* a substitute for `Eq` in collision-sensitive maps.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut eat = |v: i64| {
-            for b in v.to_le_bytes() {
-                h = (h ^ b as u64).wrapping_mul(PRIME);
-            }
-        };
+        let mut h = crate::fingerprint::Fnv1a::new();
         // Pattern cells in canonical (BTreeMap) order, then the scalars.
         for (o, c) in self.pattern.iter() {
-            eat(o.dx as i64);
-            eat(o.dy as i64);
-            eat(o.dz as i64);
-            eat(c as i64);
+            h.write_i64(o.dx as i64);
+            h.write_i64(o.dy as i64);
+            h.write_i64(o.dz as i64);
+            h.write_i64(c as i64);
         }
-        eat(self.buffers as i64);
-        eat(self.dtype.bytes() as i64);
-        eat(self.size.x as i64);
-        eat(self.size.y as i64);
-        eat(self.size.z as i64);
-        h
+        h.write_i64(self.buffers as i64);
+        h.write_i64(self.dtype.bytes() as i64);
+        h.write_i64(self.size.x as i64);
+        h.write_i64(self.size.y as i64);
+        h.write_i64(self.size.z as i64);
+        h.finish()
     }
 }
 

@@ -25,6 +25,7 @@ pub mod dtype;
 pub mod error;
 pub mod execution;
 pub mod features;
+pub mod fingerprint;
 pub mod instance;
 pub mod kernel;
 pub mod key;

@@ -95,6 +95,30 @@ impl LinearRanker {
     pub fn norm(&self) -> f64 {
         dot(&self.w, &self.w).sqrt()
     }
+
+    /// A stable 64-bit fingerprint of the weight vector: FNV-1a over the
+    /// dimensionality followed by each weight's IEEE-754 bit pattern in
+    /// little-endian order. Pinned (not `DefaultHasher`) so the value is
+    /// reproducible across builds, toolchains and hosts — persisted
+    /// decision caches are versioned by it, and a model retrained to
+    /// different weights must invalidate them. Bit patterns, not numeric
+    /// equality: models that differ only in `-0.0` vs `0.0` are different
+    /// models as far as persistence is concerned.
+    pub fn weight_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+        };
+        eat(self.w.len() as u64);
+        for &w in &self.w {
+            eat(w.to_bits());
+        }
+        h
+    }
 }
 
 /// Dense dot product.
@@ -250,6 +274,29 @@ mod tests {
         assert_eq!(top_k_desc(&[7.0], 1), vec![0]);
         // All-equal values: pure index tie-break.
         assert_eq!(top_k_desc(&[2.0; 6], 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn weight_fingerprint_is_pinned_and_discriminating() {
+        // The fingerprint versions persisted decision caches, so its value
+        // must never drift between toolchains or releases. This pins one
+        // concrete value; if it ever fails, every stored snapshot would be
+        // silently considered stale (or worse, a changed stream could
+        // collide fresh and stale models).
+        let m = LinearRanker::from_weights(vec![1.0, -2.0, 0.5]);
+        assert_eq!(m.weight_fingerprint(), 0x1cd2_c1d0_a9f0_0b96);
+        // Any weight change, any dimension change: different fingerprint.
+        assert_ne!(
+            m.weight_fingerprint(),
+            LinearRanker::from_weights(vec![1.0, -2.0, 0.25]).weight_fingerprint()
+        );
+        assert_ne!(m.weight_fingerprint(), LinearRanker::zeros(3).weight_fingerprint());
+        assert_ne!(
+            LinearRanker::zeros(3).weight_fingerprint(),
+            LinearRanker::zeros(4).weight_fingerprint()
+        );
+        // Deterministic across clones (trivially) and across calls.
+        assert_eq!(m.weight_fingerprint(), m.clone().weight_fingerprint());
     }
 
     #[test]

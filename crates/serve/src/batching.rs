@@ -1,0 +1,156 @@
+//! Adaptive micro-batch gathering: pick the gather window from the
+//! observed arrival rate instead of a fixed constant.
+//!
+//! The fixed `gather_window` of [`ServeConfig`](crate::ServeConfig) is a
+//! compromise: too short and bursts fragment into many small batches (lost
+//! amortization), too long and a lone request in a quiet period eats the
+//! whole window as pure latency. [`AdaptiveGather`] resolves the tension
+//! with one number — an exponentially weighted moving average of the
+//! request arrival rate, updated once per drain:
+//!
+//! * **idle** (less than one further request expected within the maximum
+//!   window): gather nothing, answer the lone request immediately;
+//! * **loaded**: wait just long enough for the batch to fill
+//!   (`(max_batch - 1) / rate`), capped at the configured maximum — under
+//!   heavy load the window *shrinks* again, because the batch fills
+//!   quickly anyway and a longer wait would only add tail latency.
+//!
+//! The policy is pure arithmetic over explicit observations, so it is unit
+//! tested deterministically — no clocks, no sleeps.
+
+use std::time::Duration;
+
+/// Smoothing factor of the arrival-rate EWMA: high enough to follow a
+/// load shift within a handful of drains, low enough that one odd gap
+/// does not flip the idle/loaded decision.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// An arrival-rate estimator driving the per-drain gather window.
+#[derive(Debug, Clone)]
+pub(crate) struct AdaptiveGather {
+    /// EWMA of observed arrivals per second (0 until the first
+    /// observation, which the estimator adopts wholesale).
+    rate_per_s: f64,
+    observed: bool,
+}
+
+impl AdaptiveGather {
+    pub(crate) fn new() -> Self {
+        AdaptiveGather { rate_per_s: 0.0, observed: false }
+    }
+
+    /// Feeds one drain's outcome: `requests` arrived over the `elapsed`
+    /// wall time since the previous drain finished.
+    pub(crate) fn observe(&mut self, requests: usize, elapsed: Duration) {
+        // Sub-microsecond drains happen when a burst is already queued;
+        // clamp so the sample stays finite (the rate cap is max_batch per
+        // microsecond — far beyond anything the worker can serve anyway).
+        let secs = elapsed.as_secs_f64().max(1e-6);
+        let sample = requests as f64 / secs;
+        if self.observed {
+            self.rate_per_s += EWMA_ALPHA * (sample - self.rate_per_s);
+        } else {
+            self.rate_per_s = sample;
+            self.observed = true;
+        }
+    }
+
+    /// The estimated arrival rate (requests per second).
+    #[cfg(test)]
+    pub(crate) fn rate_per_s(&self) -> f64 {
+        self.rate_per_s
+    }
+
+    /// The gather window for the next drain, given the configured maximum
+    /// window and batch size.
+    pub(crate) fn window(&self, max_window: Duration, max_batch: usize) -> Duration {
+        let expected = self.rate_per_s * max_window.as_secs_f64();
+        if expected < 1.0 {
+            // Idle: waiting would add latency and gather nothing.
+            return Duration::ZERO;
+        }
+        // Loaded: wait for the batch to fill, no longer.
+        let fill_s = (max_batch.saturating_sub(1)) as f64 / self.rate_per_s;
+        max_window.min(Duration::from_secs_f64(fill_s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAX_WINDOW: Duration = Duration::from_micros(200);
+    const MAX_BATCH: usize = 64;
+
+    #[test]
+    fn unobserved_estimator_goes_immediate() {
+        let g = AdaptiveGather::new();
+        assert_eq!(g.window(MAX_WINDOW, MAX_BATCH), Duration::ZERO);
+        assert_eq!(g.rate_per_s(), 0.0);
+    }
+
+    #[test]
+    fn idle_traffic_means_zero_window() {
+        let mut g = AdaptiveGather::new();
+        // One request per 100 ms: ~10/s, expected arrivals in 200 us ≈
+        // 0.002 — far below one.
+        for _ in 0..5 {
+            g.observe(1, Duration::from_millis(100));
+        }
+        assert_eq!(g.window(MAX_WINDOW, MAX_BATCH), Duration::ZERO);
+    }
+
+    #[test]
+    fn moderate_load_uses_the_full_window() {
+        let mut g = AdaptiveGather::new();
+        // 8 requests per 200 us drain: 40k/s; expected in the window = 8,
+        // fill time for 63 more = ~1.6 ms > max — so the cap binds.
+        g.observe(8, Duration::from_micros(200));
+        assert_eq!(g.window(MAX_WINDOW, MAX_BATCH), MAX_WINDOW);
+    }
+
+    #[test]
+    fn heavy_load_shrinks_the_window_to_the_fill_time() {
+        let mut g = AdaptiveGather::new();
+        // 1000 requests per 100 us: 10M/s. 63 more arrive in 6.3 us —
+        // waiting the full 200 us would only add latency.
+        g.observe(1000, Duration::from_micros(100));
+        let w = g.window(MAX_WINDOW, MAX_BATCH);
+        assert!(w > Duration::ZERO && w < MAX_WINDOW, "{w:?}");
+        let expect_s = (MAX_BATCH - 1) as f64 / g.rate_per_s();
+        assert!((w.as_secs_f64() - expect_s).abs() < 1e-9, "{w:?}");
+    }
+
+    #[test]
+    fn ewma_follows_a_load_shift_within_a_few_drains() {
+        let mut g = AdaptiveGather::new();
+        g.observe(1, Duration::from_millis(100)); // idle baseline
+        assert_eq!(g.window(MAX_WINDOW, MAX_BATCH), Duration::ZERO);
+        // Burst arrives: 32 requests per 100 us, repeatedly.
+        for _ in 0..10 {
+            g.observe(32, Duration::from_micros(100));
+        }
+        assert!(g.window(MAX_WINDOW, MAX_BATCH) > Duration::ZERO, "loaded after the shift");
+        // Back to quiet.
+        for _ in 0..20 {
+            g.observe(1, Duration::from_millis(100));
+        }
+        assert_eq!(g.window(MAX_WINDOW, MAX_BATCH), Duration::ZERO, "idle again");
+    }
+
+    #[test]
+    fn first_observation_is_adopted_wholesale() {
+        let mut g = AdaptiveGather::new();
+        g.observe(10, Duration::from_millis(1));
+        assert!((g.rate_per_s() - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_elapsed_is_clamped_finite() {
+        let mut g = AdaptiveGather::new();
+        g.observe(64, Duration::ZERO);
+        assert!(g.rate_per_s().is_finite());
+        let w = g.window(MAX_WINDOW, MAX_BATCH);
+        assert!(w <= MAX_WINDOW);
+    }
+}

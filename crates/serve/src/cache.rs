@@ -13,10 +13,20 @@
 //! is bounded; eviction is least-recently-used (a monotonic tick per
 //! access, linear scan on overflow — capacities are thousands, not
 //! millions, and the scan only runs on insertions past capacity).
+//!
+//! The cache is also **durable**: [`DecisionCache::snapshot`] serializes
+//! every resident decision (LRU-first, so order is canonical) into a
+//! [`CacheSnapshot`] versioned by the ranker fingerprint, and
+//! [`DecisionCache::restore`] replays one back — rejecting snapshots from
+//! a different ranker or format version. [`DecisionCache::extract`] is the
+//! sharding primitive: it *removes* the slice of decisions matching a
+//! key-fingerprint predicate so ownership can move to another shard.
 
 use std::collections::HashMap;
 
 use stencil_model::{InstanceKey, TuningVector};
+
+use crate::snapshot::{CacheSnapshot, SnapshotEntry, SnapshotError, SNAPSHOT_FORMAT_VERSION};
 
 /// One cached answer.
 #[derive(Debug, Clone)]
@@ -139,6 +149,100 @@ impl DecisionCache {
     pub fn clear(&mut self) {
         self.map.clear();
     }
+
+    /// Serializes every resident decision into a [`CacheSnapshot`] stamped
+    /// with `ranker_fingerprint`. Entries are ordered least recently used
+    /// first, so the snapshot of a given cache state is canonical
+    /// (bit-for-bit reproducible) and a restore replays accesses in the
+    /// order the live cache saw them.
+    pub fn snapshot(&self, ranker_fingerprint: u64) -> CacheSnapshot {
+        self.snapshot_filtered(ranker_fingerprint, |_| true)
+    }
+
+    /// Like [`snapshot`](Self::snapshot), but only for keys whose
+    /// [`InstanceKey::fingerprint`] satisfies `pred` — the slice a shard
+    /// exports when another shard becomes a key range's owner.
+    pub fn snapshot_filtered(
+        &self,
+        ranker_fingerprint: u64,
+        pred: impl Fn(u64) -> bool,
+    ) -> CacheSnapshot {
+        let mut snap = CacheSnapshot::empty(ranker_fingerprint);
+        for (key, d) in &self.map {
+            if pred(key.fingerprint()) {
+                snap.entries.push(SnapshotEntry {
+                    key: key.clone(),
+                    entries: d.entries.clone(),
+                    candidates: d.candidates,
+                    last_used: d.last_used,
+                });
+            }
+        }
+        snap.entries.sort_by_key(|e| e.last_used);
+        snap
+    }
+
+    /// Removes the decisions matching a key-fingerprint predicate and
+    /// returns them as a snapshot (LRU-first, like
+    /// [`snapshot`](Self::snapshot)). Counters are untouched — a topology
+    /// change is not an eviction.
+    pub fn extract(
+        &mut self,
+        ranker_fingerprint: u64,
+        pred: impl Fn(u64) -> bool,
+    ) -> CacheSnapshot {
+        let snap = self.snapshot_filtered(ranker_fingerprint, &pred);
+        self.map.retain(|key, _| !pred(key.fingerprint()));
+        snap
+    }
+
+    /// Replays a snapshot into the cache, merging with whatever is already
+    /// resident (snapshot entries replace same-key residents and count as
+    /// the most recent accesses, in the snapshot's LRU order). Capacity
+    /// still applies — restoring into a smaller cache keeps the most
+    /// recently used tail.
+    ///
+    /// The snapshot must carry the current [`SNAPSHOT_FORMAT_VERSION`] and
+    /// the exact `expected_fingerprint` of the live ranker; anything else
+    /// is rejected *before* any entry is touched, leaving the cache as it
+    /// was. Returns the number of entries applied — at most `capacity`;
+    /// the least-recently-used overflow of an oversized snapshot is
+    /// skipped, not replayed-then-evicted.
+    pub fn restore(
+        &mut self,
+        snapshot: &CacheSnapshot,
+        expected_fingerprint: u64,
+    ) -> Result<usize, SnapshotError> {
+        if snapshot.format_version != SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError::FormatVersion {
+                found: snapshot.format_version,
+                expected: SNAPSHOT_FORMAT_VERSION,
+            });
+        }
+        if snapshot.ranker_fingerprint != expected_fingerprint {
+            return Err(SnapshotError::RankerMismatch {
+                found: snapshot.ranker_fingerprint,
+                expected: expected_fingerprint,
+            });
+        }
+        if self.capacity == 0 {
+            return Ok(0);
+        }
+        // Replay oldest-first so relative recency survives: the snapshot's
+        // most recently used entry ends up the restored cache's most
+        // recently used too (`insert` stamps a fresh tick per entry). Only
+        // the most recently used `capacity` entries could survive the
+        // replay anyway, so the prefix that would immediately self-evict
+        // is skipped — it must count neither as applied nor as evictions
+        // (a warm-up into a smaller cache is not cache pressure).
+        let mut ordered: Vec<&SnapshotEntry> = snapshot.entries.iter().collect();
+        ordered.sort_by_key(|e| e.last_used);
+        let skip = ordered.len().saturating_sub(self.capacity);
+        for e in &ordered[skip..] {
+            self.insert(e.key.clone(), e.entries.clone(), e.candidates);
+        }
+        Ok(ordered.len() - skip)
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +310,129 @@ mod tests {
         assert!(c.is_empty());
         assert!(c.lookup(&key(64), 1).is_none());
         assert_eq!(c.capacity(), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_decisions_and_lru_order() {
+        const FP: u64 = 0xabcd;
+        let mut c = DecisionCache::new(8);
+        c.insert(key(32), entries(2), 8640);
+        c.insert(key(48), entries(3), 8640);
+        c.insert(key(64), entries(1), 8640);
+        // Touch 32 so the LRU order is 48 < 64 < 32.
+        assert!(c.lookup(&key(32), 1).is_some());
+        let snap = c.snapshot(FP);
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.entries[0].key, key(48), "least recently used first");
+        assert_eq!(snap.entries[2].key, key(32));
+
+        let mut restored = DecisionCache::new(8);
+        assert_eq!(restored.restore(&snap, FP), Ok(3));
+        for (k, n) in [(key(32), 2), (key(48), 3), (key(64), 1)] {
+            let (got, candidates) = restored.lookup(&k, n).expect("restored entry hits");
+            assert_eq!(got, entries(n)[..], "entries are bit-for-bit");
+            assert_eq!(candidates, 8640);
+        }
+        // LRU order survived: with capacity 3, inserting one more must
+        // evict 48 (the snapshot's least recently used), not 32.
+        let mut tight = DecisionCache::new(3);
+        tight.restore(&snap, FP).unwrap();
+        tight.insert(key(96), entries(1), 8640);
+        assert!(tight.lookup(&key(48), 1).is_none(), "snapshot LRU entry evicted first");
+        assert!(tight.lookup(&key(32), 1).is_some());
+    }
+
+    #[test]
+    fn snapshot_of_a_cache_state_is_canonical() {
+        // Two caches that went through the same access history serialize
+        // to the same JSON, regardless of hash-map iteration order.
+        let build = || {
+            let mut c = DecisionCache::new(8);
+            for n in [32u32, 48, 64, 80, 96] {
+                c.insert(key(n), entries(2), 8640);
+            }
+            c.lookup(&key(48), 1);
+            c
+        };
+        assert_eq!(build().snapshot(7).to_json(), build().snapshot(7).to_json());
+    }
+
+    #[test]
+    fn restore_rejects_stale_fingerprints_and_versions_untouched() {
+        const FP: u64 = 1;
+        let mut src = DecisionCache::new(8);
+        src.insert(key(64), entries(2), 8640);
+        let mut snap = src.snapshot(FP);
+
+        let mut c = DecisionCache::new(8);
+        c.insert(key(32), entries(1), 8640);
+        assert_eq!(
+            c.restore(&snap, 2),
+            Err(SnapshotError::RankerMismatch { found: 1, expected: 2 })
+        );
+        snap.format_version = SNAPSHOT_FORMAT_VERSION + 1;
+        assert_eq!(
+            c.restore(&snap, FP),
+            Err(SnapshotError::FormatVersion {
+                found: SNAPSHOT_FORMAT_VERSION + 1,
+                expected: SNAPSHOT_FORMAT_VERSION
+            })
+        );
+        // Both rejections left the cache exactly as it was.
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup(&key(32), 1).is_some());
+        assert!(c.lookup(&key(64), 1).is_none());
+    }
+
+    #[test]
+    fn restore_into_a_smaller_cache_keeps_the_mru_tail_without_fake_evictions() {
+        const FP: u64 = 3;
+        let mut src = DecisionCache::new(16);
+        for n in [32u32, 48, 64, 80, 96] {
+            src.insert(key(n), entries(1), 8640);
+        }
+        // Touch 32 so the MRU tail is {80, 96, 32}.
+        src.lookup(&key(32), 1);
+        let snap = src.snapshot(FP);
+
+        let mut small = DecisionCache::new(3);
+        assert_eq!(small.restore(&snap, FP), Ok(3), "only what fits counts as applied");
+        assert_eq!(small.len(), 3);
+        assert_eq!(small.evictions(), 0, "skipping the overflow is not eviction pressure");
+        for n in [80u32, 96, 32] {
+            assert!(small.lookup(&key(n), 1).is_some(), "MRU entry {n} survived");
+        }
+        for n in [48u32, 64] {
+            assert!(small.lookup(&key(n), 1).is_none(), "LRU overflow {n} skipped");
+        }
+    }
+
+    #[test]
+    fn restore_into_zero_capacity_applies_nothing() {
+        let mut src = DecisionCache::new(4);
+        src.insert(key(64), entries(1), 8640);
+        let snap = src.snapshot(0);
+        let mut c = DecisionCache::new(0);
+        assert_eq!(c.restore(&snap, 0), Ok(0));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn extract_moves_a_fingerprint_slice_out() {
+        let mut c = DecisionCache::new(8);
+        for n in [32u32, 48, 64] {
+            c.insert(key(n), entries(1), 8640);
+        }
+        let moving = key(48).fingerprint();
+        let slice = c.extract(9, |fp| fp == moving);
+        assert_eq!(slice.len(), 1);
+        assert_eq!(slice.entries[0].key, key(48));
+        assert_eq!(c.len(), 2, "extracted entries left the cache");
+        assert_eq!(c.evictions(), 0, "a topology change is not an eviction");
+        // The slice restores into another cache (the receiving shard).
+        let mut other = DecisionCache::new(8);
+        other.restore(&slice, 9).unwrap();
+        assert!(other.lookup(&key(48), 1).is_some());
     }
 
     #[test]

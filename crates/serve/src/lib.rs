@@ -33,16 +33,34 @@
 //!   1600/8640-candidate sets.
 //! * **A decision cache** ([`DecisionCache`]) — answers are memoized per
 //!   canonical instance identity with LRU eviction;
-//!   [`ServeStats`] exposes hit/miss/eviction counters.
+//!   [`ServeStats`] exposes hit/miss/eviction counters plus per-batch
+//!   latency percentiles and a batch-size histogram.
+//!
+//! Two further mechanisms make the service fleet-ready:
+//!
+//! * **Durable decisions** ([`CacheSnapshot`]) — the cache snapshots to
+//!   JSON (versioned by the ranker fingerprint, so a retrained model
+//!   rejects stale decisions) and restores warm after a restart; slices
+//!   selected by key fingerprint can be exported/extracted and imported
+//!   across services, which is how the `sorl-shard` router ships warm-up
+//!   state on topology changes.
+//! * **Adaptive micro-batching** ([`ServeConfig::adaptive_gather`]) — the
+//!   gather window follows the observed arrival rate: immediate answers
+//!   when idle, up to the configured window under load.
 //!
 //! The scoring pool is a [`stencil_exec::SharedPool`] handle, so one set
 //! of worker threads can serve the tuning service *and* the execution
 //! engine of the same process ([`TuneService::spawn_with_pool`]).
 
+pub mod batching;
 pub mod cache;
 pub mod service;
+pub mod snapshot;
 pub mod stats;
 
 pub use cache::DecisionCache;
-pub use service::{ServeConfig, ServeError, TuneClient, TuneRequest, TuneService, TuneTicket};
+pub use service::{
+    KeyFilter, ServeConfig, ServeError, TuneClient, TuneRequest, TuneService, TuneTicket,
+};
+pub use snapshot::{CacheSnapshot, SnapshotEntry, SnapshotError, SNAPSHOT_FORMAT_VERSION};
 pub use stats::ServeStats;

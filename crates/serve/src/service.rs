@@ -9,6 +9,13 @@
 //! unique instances through **one** pipelined encode/score pass
 //! ([`TuningSession::top_k_batch`]) over the shared pool. Every answer is a
 //! [`TopK`]: the k best tuning vectors with scores, from a partial select.
+//!
+//! The cache is durable: [`TuneService::cache_snapshot`] exports it as a
+//! [`CacheSnapshot`] (versioned by the ranker fingerprint) and
+//! [`TuneService::import_cache`] replays one into a running service, so a
+//! restarted process starts warm. [`TuneService::export_cache`] /
+//! [`TuneService::extract_cache`] move key-fingerprint slices between
+//! services — the warm-up shipping primitive of the shard router.
 
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -22,7 +29,9 @@ use sorl::StencilRanker;
 use stencil_exec::SharedPool;
 use stencil_model::{InstanceKey, StencilInstance};
 
+use crate::batching::AdaptiveGather;
 use crate::cache::DecisionCache;
+use crate::snapshot::{CacheSnapshot, SnapshotError};
 use crate::stats::{Counters, ServeStats};
 
 /// One tuning query: an instance plus how many ranked alternatives the
@@ -44,21 +53,30 @@ impl TuneRequest {
 }
 
 /// Why a request could not be answered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The service worker has shut down (or shut down before replying).
     Closed,
+    /// A cache snapshot was rejected (stale ranker, wrong format).
+    Snapshot(SnapshotError),
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Closed => write!(f, "tuning service is closed"),
+            ServeError::Snapshot(e) => write!(f, "cache snapshot rejected: {e}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
 
 /// Service tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -71,8 +89,17 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// How long the worker keeps polling for more requests after the first
     /// one arrived, to let a burst coalesce into one batch. Zero drains
-    /// only what is already queued.
+    /// only what is already queued. With
+    /// [`adaptive_gather`](Self::adaptive_gather) this is the *maximum*
+    /// window; the worker picks the actual window per drain from the
+    /// observed arrival rate.
     pub gather_window: Duration,
+    /// Adapt the gather window to the arrival rate: a lone request in a
+    /// quiet period is answered immediately, a sustained burst gets up to
+    /// [`gather_window`](Self::gather_window) to coalesce (and less when
+    /// the batch fills faster). Off by default — the fixed window is the
+    /// established behavior.
+    pub adaptive_gather: bool,
     /// Decision-cache capacity in entries (`0` disables caching).
     pub cache_capacity: usize,
     /// Minimum `k` computed (and cached) per pipeline pass, so follow-up
@@ -87,14 +114,22 @@ impl Default for ServeConfig {
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             max_batch: 64,
             gather_window: Duration::from_micros(50),
+            adaptive_gather: false,
             cache_capacity: 1024,
             cache_k_floor: 8,
         }
     }
 }
 
+/// A key-fingerprint predicate selecting a cache slice (see
+/// [`InstanceKey::fingerprint`]).
+pub type KeyFilter = Box<dyn Fn(u64) -> bool + Send>;
+
 enum Msg {
     Tune { req: TuneRequest, reply: mpsc::Sender<TopK> },
+    Export { filter: Option<KeyFilter>, reply: mpsc::Sender<CacheSnapshot> },
+    Extract { filter: KeyFilter, reply: mpsc::Sender<CacheSnapshot> },
+    Import { snapshot: Box<CacheSnapshot>, reply: mpsc::Sender<Result<usize, ServeError>> },
     Shutdown,
 }
 
@@ -125,6 +160,7 @@ pub struct TuneService {
     tx: mpsc::Sender<Msg>,
     worker: Option<JoinHandle<()>>,
     counters: Arc<Counters>,
+    fingerprint: u64,
 }
 
 impl TuneService {
@@ -146,15 +182,16 @@ impl TuneService {
         let (tx, rx) = mpsc::channel();
         let counters = Arc::new(Counters::default());
         let worker_counters = Arc::clone(&counters);
+        let fingerprint = ranker.fingerprint();
         let session = match pool {
             Some(pool) => TuningSession::with_shared_pool(ranker, pool),
             None => TuningSession::new(ranker),
         };
         let worker = std::thread::Builder::new()
             .name("sorl-serve-worker".into())
-            .spawn(move || worker_loop(rx, session, config, &worker_counters))
+            .spawn(move || worker_loop(rx, session, config, &worker_counters, fingerprint))
             .expect("spawn sorl-serve worker");
-        TuneService { tx, worker: Some(worker), counters }
+        TuneService { tx, worker: Some(worker), counters, fingerprint }
     }
 
     /// A new client handle (cheap, cloneable, usable from any thread).
@@ -165,6 +202,66 @@ impl TuneService {
     /// A point-in-time snapshot of the service counters.
     pub fn stats(&self) -> ServeStats {
         self.counters.snapshot()
+    }
+
+    /// Fingerprint of the ranking function this service answers with
+    /// ([`StencilRanker::fingerprint`]): the version every cache snapshot
+    /// it produces is stamped with, and the only version it accepts back.
+    pub fn ranker_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Exports the whole decision cache as a durable [`CacheSnapshot`]
+    /// (least recently used first, stamped with the ranker fingerprint).
+    /// Save it with [`CacheSnapshot::save_json`] and feed it to
+    /// [`import_cache`](Self::import_cache) after a restart to start warm.
+    pub fn cache_snapshot(&self) -> Result<CacheSnapshot, ServeError> {
+        self.export(None)
+    }
+
+    /// Exports the cache slice whose [`InstanceKey::fingerprint`]s satisfy
+    /// `filter`, leaving the cache untouched — what a shard hands to a new
+    /// owner that is *also* keeping its own copy warm.
+    pub fn export_cache(
+        &self,
+        filter: impl Fn(u64) -> bool + Send + 'static,
+    ) -> Result<CacheSnapshot, ServeError> {
+        self.export(Some(Box::new(filter)))
+    }
+
+    /// Removes and returns the cache slice whose
+    /// [`InstanceKey::fingerprint`]s satisfy `filter` — the ownership
+    /// handoff of a topology change (the keys now route elsewhere, so
+    /// keeping the decisions here would only waste capacity).
+    pub fn extract_cache(
+        &self,
+        filter: impl Fn(u64) -> bool + Send + 'static,
+    ) -> Result<CacheSnapshot, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Extract { filter: Box::new(filter), reply })
+            .map_err(|_| ServeError::Closed)?;
+        rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Replays a snapshot into the live cache (merging with resident
+    /// decisions). The snapshot must have been produced under this
+    /// service's exact [`ranker_fingerprint`](Self::ranker_fingerprint)
+    /// and the current format version; anything else is rejected with
+    /// [`ServeError::Snapshot`] without touching the cache. Returns the
+    /// number of entries applied.
+    pub fn import_cache(&self, snapshot: CacheSnapshot) -> Result<usize, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Import { snapshot: Box::new(snapshot), reply })
+            .map_err(|_| ServeError::Closed)?;
+        rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    fn export(&self, filter: Option<KeyFilter>) -> Result<CacheSnapshot, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx.send(Msg::Export { filter, reply }).map_err(|_| ServeError::Closed)?;
+        rx.recv().map_err(|_| ServeError::Closed)
     }
 
     /// Shuts the worker down, answering everything already queued first.
@@ -234,20 +331,35 @@ fn worker_loop(
     mut session: TuningSession,
     config: ServeConfig,
     counters: &Counters,
+    fingerprint: u64,
 ) {
     let mut cache = DecisionCache::new(config.cache_capacity);
     let max_batch = config.max_batch.max(1);
+    let mut adaptive = config.adaptive_gather.then(AdaptiveGather::new);
+    let mut last_drain = Instant::now();
     let mut live = true;
-    while live {
+    'serve: while live {
         let mut batch: Batch = Vec::new();
-        match rx.recv() {
-            Ok(Msg::Tune { req, reply }) => batch.push((req, reply)),
-            Ok(Msg::Shutdown) | Err(_) => break,
-        }
+        // Block for the first tuning request; cache-control messages are
+        // handled inline (they never join a batch).
+        let started = loop {
+            match rx.recv() {
+                Ok(Msg::Tune { req, reply }) => {
+                    batch.push((req, reply));
+                    break Instant::now();
+                }
+                Ok(Msg::Shutdown) | Err(_) => break 'serve,
+                Ok(control) => handle_control(control, &mut cache, counters, fingerprint),
+            }
+        };
         // Micro-batch gather: drain what is queued, then sleep (not spin)
         // inside the gather window so a burst in flight coalesces into
         // this batch without stealing cycles from the submitting clients.
-        let deadline = Instant::now() + config.gather_window;
+        let window = match &adaptive {
+            Some(a) => a.window(config.gather_window, max_batch),
+            None => config.gather_window,
+        };
+        let deadline = started + window;
         while batch.len() < max_batch {
             match rx.try_recv() {
                 Ok(Msg::Tune { req, reply }) => batch.push((req, reply)),
@@ -255,6 +367,7 @@ fn worker_loop(
                     live = false;
                     break;
                 }
+                Ok(control) => handle_control(control, &mut cache, counters, fingerprint),
                 Err(mpsc::TryRecvError::Empty) => {
                     let now = Instant::now();
                     if now >= deadline {
@@ -266,6 +379,7 @@ fn worker_loop(
                             live = false;
                             break;
                         }
+                        Ok(control) => handle_control(control, &mut cache, counters, fingerprint),
                         Err(mpsc::RecvTimeoutError::Timeout) => break,
                         Err(mpsc::RecvTimeoutError::Disconnected) => {
                             live = false;
@@ -279,7 +393,42 @@ fn worker_loop(
                 }
             }
         }
-        serve_batch(&mut session, &mut cache, &config, counters, batch);
+        if let Some(a) = &mut adaptive {
+            // One rate sample per drain: the batch arrived over the time
+            // since the previous drain ended (idle gaps included — that is
+            // exactly what makes the rate drop when traffic goes quiet).
+            let now = Instant::now();
+            a.observe(batch.len(), now.saturating_duration_since(last_drain));
+            last_drain = now;
+        }
+        serve_batch(&mut session, &mut cache, &config, counters, batch, started);
+    }
+}
+
+/// Handles a cache-control message (export / extract / import) on the
+/// worker thread, where the cache lives.
+fn handle_control(msg: Msg, cache: &mut DecisionCache, counters: &Counters, fingerprint: u64) {
+    match msg {
+        Msg::Export { filter, reply } => {
+            let snap = match filter {
+                Some(f) => cache.snapshot_filtered(fingerprint, f),
+                None => cache.snapshot(fingerprint),
+            };
+            let _ = reply.send(snap);
+        }
+        Msg::Extract { filter, reply } => {
+            let snap = cache.extract(fingerprint, filter);
+            counters.cache_entries.store(cache.len() as u64, Ordering::Relaxed);
+            let _ = reply.send(snap);
+        }
+        Msg::Import { snapshot, reply } => {
+            let result = cache.restore(&snapshot, fingerprint).map_err(ServeError::from);
+            counters.cache_entries.store(cache.len() as u64, Ordering::Relaxed);
+            counters.cache_evictions.store(cache.evictions(), Ordering::Relaxed);
+            let _ = reply.send(result);
+        }
+        // Tune and Shutdown are consumed by the worker loop itself.
+        Msg::Tune { .. } | Msg::Shutdown => unreachable!("not a control message"),
     }
 }
 
@@ -302,6 +451,7 @@ fn serve_batch(
     config: &ServeConfig,
     counters: &Counters,
     batch: Batch,
+    started: Instant,
 ) {
     if batch.is_empty() {
         return;
@@ -358,12 +508,13 @@ fn serve_batch(
         }
     }
 
-    // Publish the cache counters BEFORE replying: a client that reads
-    // `stats()` right after its answer arrives must see this batch.
+    // Publish the counters and histograms BEFORE replying: a client that
+    // reads `stats()` right after its answer arrives must see this batch.
     counters.cache_hits.store(cache.hits(), Ordering::Relaxed);
     counters.cache_misses.store(cache.misses(), Ordering::Relaxed);
     counters.cache_evictions.store(cache.evictions(), Ordering::Relaxed);
     counters.cache_entries.store(cache.len() as u64, Ordering::Relaxed);
+    counters.record_batch(batch.len(), started.elapsed());
 
     // Pass 3: reply (a dropped ticket is fine — the client gave up).
     for ((_, reply), answer) in batch.iter().zip(answers) {

@@ -1,11 +1,43 @@
-//! Service observability: lock-free counters and their public snapshot.
+//! Service observability: lock-free counters, latency/batch-size
+//! histograms, and their public snapshot.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of batch-size histogram buckets: `1`, `2`, `3-4`, `5-8`, `9-16`,
+/// `17-32`, `33-64`, `>64`.
+pub const BATCH_SIZE_BUCKETS: usize = 8;
+
+/// Number of latency histogram buckets. Bucket `i` covers latencies up to
+/// `2^i` microseconds, so the range spans 1 µs to ~36 minutes with 2x
+/// resolution — plenty for percentile diagnostics of a micro-batching
+/// loop.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Histogram bucket for a batch of `n` requests.
+fn batch_size_bucket(n: usize) -> usize {
+    if n <= 1 { 0 } else { (usize::BITS - (n - 1).leading_zeros()) as usize }
+        .min(BATCH_SIZE_BUCKETS - 1)
+}
+
+/// Histogram bucket for a batch latency (bucket upper bound `2^i` µs).
+fn latency_bucket(d: Duration) -> usize {
+    let us = d.as_micros().max(1) as u64;
+    if us <= 1 { 0 } else { (u64::BITS - (us - 1).leading_zeros()) as usize }
+        .min(LATENCY_BUCKETS - 1)
+}
+
+/// The latency a bucket index reports: its upper bound, in seconds.
+fn latency_bucket_upper_s(bucket: usize) -> f64 {
+    (1u64 << bucket) as f64 * 1e-6
+}
 
 /// Internal counter cells, shared between the worker thread (writer) and
 /// any number of snapshot readers. All updates are relaxed — the numbers
-/// are diagnostics, not synchronization.
+/// are diagnostics, not synchronization. The worker publishes every cell
+/// (histograms included) *before* replying to the batch, so a client that
+/// reads `stats()` right after its answer arrives sees its own batch.
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
     pub requests: AtomicU64,
@@ -16,10 +48,27 @@ pub(crate) struct Counters {
     pub cache_misses: AtomicU64,
     pub cache_evictions: AtomicU64,
     pub cache_entries: AtomicU64,
+    pub batch_sizes: [AtomicU64; BATCH_SIZE_BUCKETS],
+    pub batch_latency: [AtomicU64; LATENCY_BUCKETS],
 }
 
 impl Counters {
+    /// Records one served batch's size and first-dequeue-to-answers
+    /// latency.
+    pub(crate) fn record_batch(&self, size: usize, latency: Duration) {
+        self.batch_sizes[batch_size_bucket(size)].fetch_add(1, Ordering::Relaxed);
+        self.batch_latency[latency_bucket(latency)].fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> ServeStats {
+        let mut batch_size_hist = [0u64; BATCH_SIZE_BUCKETS];
+        for (o, c) in batch_size_hist.iter_mut().zip(&self.batch_sizes) {
+            *o = c.load(Ordering::Relaxed);
+        }
+        let mut latency = [0u64; LATENCY_BUCKETS];
+        for (o, c) in latency.iter_mut().zip(&self.batch_latency) {
+            *o = c.load(Ordering::Relaxed);
+        }
         ServeStats {
             requests: self.requests.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
@@ -29,13 +78,38 @@ impl Counters {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             cache_entries: self.cache_entries.load(Ordering::Relaxed),
+            batch_size_hist,
+            batch_latency_p50_s: histogram_percentile(&latency, 0.50),
+            batch_latency_p95_s: histogram_percentile(&latency, 0.95),
+            batch_latency_p99_s: histogram_percentile(&latency, 0.99),
         }
     }
 }
 
+/// The `q`-quantile of a latency histogram: the upper bound of the first
+/// bucket at which the cumulative count reaches `q` of the total (0 when
+/// the histogram is empty). Resolution is the bucket width (2x), which is
+/// the right fidelity for a lock-free histogram — these are diagnostics,
+/// not benchmark numbers.
+fn histogram_percentile(hist: &[u64], q: f64) -> f64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = (q * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= target {
+            return latency_bucket_upper_s(i);
+        }
+    }
+    latency_bucket_upper_s(hist.len() - 1)
+}
+
 /// A point-in-time snapshot of a [`TuneService`](crate::TuneService)'s
 /// counters (taken with [`TuneService::stats`](crate::TuneService::stats)).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ServeStats {
     /// Requests answered (cache hits included).
     pub requests: u64,
@@ -54,6 +128,16 @@ pub struct ServeStats {
     pub cache_evictions: u64,
     /// Entries currently resident in the cache.
     pub cache_entries: u64,
+    /// Batches by size: `1`, `2`, `3-4`, `5-8`, `9-16`, `17-32`, `33-64`,
+    /// `>64` requests.
+    pub batch_size_hist: [u64; BATCH_SIZE_BUCKETS],
+    /// Median per-batch latency (first dequeue to answers ready), seconds.
+    /// Bucketed at 2x resolution; 0 until a batch was served.
+    pub batch_latency_p50_s: f64,
+    /// 95th-percentile per-batch latency, seconds.
+    pub batch_latency_p95_s: f64,
+    /// 99th-percentile per-batch latency, seconds.
+    pub batch_latency_p99_s: f64,
 }
 
 impl ServeStats {
@@ -82,7 +166,8 @@ impl fmt::Display for ServeStats {
         write!(
             f,
             "{} requests in {} batches (mean {:.1}, max {}), cache {}/{} hit ({:.0}%), \
-             {} scored, {} resident, {} evicted",
+             {} scored, {} resident, {} evicted, batch latency p50/p95/p99 \
+             {:.3}/{:.3}/{:.3} ms",
             self.requests,
             self.batches,
             self.mean_batch(),
@@ -93,6 +178,9 @@ impl fmt::Display for ServeStats {
             self.scored_instances,
             self.cache_entries,
             self.cache_evictions,
+            self.batch_latency_p50_s * 1e3,
+            self.batch_latency_p95_s * 1e3,
+            self.batch_latency_p99_s * 1e3,
         )
     }
 }
@@ -106,6 +194,8 @@ mod tests {
         let s = ServeStats::default();
         assert_eq!(s.hit_rate(), 0.0);
         assert_eq!(s.mean_batch(), 0.0);
+        assert_eq!(s.batch_latency_p50_s, 0.0, "no batches, no percentile");
+        assert_eq!(s.batch_latency_p99_s, 0.0);
     }
 
     #[test]
@@ -124,5 +214,61 @@ mod tests {
         let line = s.to_string();
         assert!(line.contains("10 requests"), "{line}");
         assert!(line.contains("60%"), "{line}");
+        assert!(line.contains("p50/p95/p99"), "{line}");
+    }
+
+    #[test]
+    fn batch_size_buckets_split_at_powers_of_two() {
+        assert_eq!(batch_size_bucket(0), 0);
+        assert_eq!(batch_size_bucket(1), 0);
+        assert_eq!(batch_size_bucket(2), 1);
+        assert_eq!(batch_size_bucket(3), 2);
+        assert_eq!(batch_size_bucket(4), 2);
+        assert_eq!(batch_size_bucket(5), 3);
+        assert_eq!(batch_size_bucket(8), 3);
+        assert_eq!(batch_size_bucket(64), 6);
+        assert_eq!(batch_size_bucket(65), 7);
+        assert_eq!(batch_size_bucket(10_000), 7, "everything huge lands in the last bucket");
+    }
+
+    #[test]
+    fn latency_buckets_are_log_scaled_upper_bounds() {
+        assert_eq!(latency_bucket(Duration::ZERO), 0);
+        assert_eq!(latency_bucket(Duration::from_micros(1)), 0);
+        assert_eq!(latency_bucket(Duration::from_micros(2)), 1);
+        assert_eq!(latency_bucket(Duration::from_micros(3)), 2);
+        assert_eq!(latency_bucket(Duration::from_micros(1000)), 10, "1 ms in the 1024 us bucket");
+        assert_eq!(latency_bucket(Duration::from_secs(3600)), LATENCY_BUCKETS - 1);
+        assert_eq!(latency_bucket_upper_s(10), 1024e-6);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_recorded_distribution() {
+        let c = Counters::default();
+        // 98 fast batches (~4 us), 1 at ~1 ms, 1 at ~16 ms.
+        for _ in 0..98 {
+            c.record_batch(4, Duration::from_micros(3));
+        }
+        c.record_batch(4, Duration::from_micros(900));
+        c.record_batch(4, Duration::from_micros(12_000));
+        let s = c.snapshot();
+        assert_eq!(s.batch_latency_p50_s, 4e-6, "median in the 4 us bucket");
+        assert_eq!(s.batch_latency_p95_s, 4e-6);
+        // p99 of 100 samples is the 99th: the ~1 ms one (1024 us bucket).
+        assert_eq!(s.batch_latency_p99_s, 1024e-6);
+        // Batch sizes: all 100 in the 3-4 bucket.
+        assert_eq!(s.batch_size_hist[2], 100);
+        assert_eq!(s.batch_size_hist.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_its_bucket() {
+        let c = Counters::default();
+        c.record_batch(1, Duration::from_micros(100));
+        let s = c.snapshot();
+        let expect = latency_bucket_upper_s(latency_bucket(Duration::from_micros(100)));
+        assert_eq!(s.batch_latency_p50_s, expect);
+        assert_eq!(s.batch_latency_p99_s, expect);
+        assert_eq!(s.batch_size_hist[0], 1);
     }
 }

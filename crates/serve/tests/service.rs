@@ -149,6 +149,53 @@ fn concurrent_clients_all_get_correct_answers() {
 }
 
 #[test]
+fn adaptive_gather_serves_identical_answers() {
+    // The adaptive window is a latency policy, never a correctness knob:
+    // answers must be bit-for-bit the same as the fixed-window service's.
+    let ranker = dense_ranker();
+    let mut reference = TuningSession::new(ranker.clone());
+    let cfg =
+        ServeConfig { adaptive_gather: true, gather_window: Duration::from_millis(2), ..config() };
+    let service = TuneService::spawn(ranker, cfg);
+    let client = service.client();
+    for round in 0..3 {
+        for (q, k) in [(lap(128), 1), (blur(1024), 3), (lap(96), 5)] {
+            let got = client.tune(q.clone(), k).unwrap();
+            let want = reference.top_k_predefined(&q, k);
+            assert_eq!(got.entries, want.entries, "{q} k = {k} round {round}");
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(stats.requests, 9);
+    assert!(stats.cache_hits >= 6, "repeats hit the cache: {stats}");
+}
+
+#[test]
+fn latency_percentiles_and_size_histogram_are_published_with_answers() {
+    let service = TuneService::spawn(dense_ranker(), config());
+    let client = service.client();
+    client.tune(lap(128), 2).unwrap();
+    // The no-read-race contract: right after an answer arrives, stats()
+    // already reflects that batch — histograms included.
+    let stats = service.stats();
+    assert_eq!(stats.batch_size_hist.iter().sum::<u64>(), stats.batches);
+    assert!(stats.batch_latency_p50_s > 0.0, "{stats}");
+    assert!(
+        stats.batch_latency_p50_s <= stats.batch_latency_p95_s
+            && stats.batch_latency_p95_s <= stats.batch_latency_p99_s,
+        "percentiles are monotone: {stats}"
+    );
+    // A burst lands in the histogram too (some batch of size >= 2, or at
+    // worst more single-request batches — either way the total matches).
+    let requests: Vec<TuneRequest> =
+        (0..6).map(|i| TuneRequest::new(lap(64 + 16 * i), 1)).collect();
+    client.tune_many(requests).unwrap();
+    let stats = service.stats();
+    assert_eq!(stats.batch_size_hist.iter().sum::<u64>(), stats.batches);
+    assert_eq!(stats.requests, 7);
+}
+
+#[test]
 fn shutdown_rejects_later_submissions() {
     let service = TuneService::spawn(dense_ranker(), config());
     let client = service.client();

@@ -1,0 +1,53 @@
+//! # sorl-shard — the fingerprint-sharded tuning fleet
+//!
+//! One `sorl-serve` process saturates at one worker's scoring throughput
+//! and loses its decision cache on restart. This crate is the next layer
+//! on the path to fleet-scale serving: a [`ShardRouter`] that spreads
+//! queries over N shards and keeps their caches warm through restarts and
+//! topology changes.
+//!
+//! ```text
+//!                       ShardRouter
+//!        key = InstanceKey::fingerprint() ── rendezvous hash ──┐
+//!                                                              ▼
+//!            ┌──────────────┬──────────────┬──────────────┐
+//!            │   shard A    │   shard B    │   shard C    │   (ShardTransport;
+//!            │ TuneService  │ TuneService  │ TuneService  │    in-process today,
+//!            │ + decision   │ + decision   │ + decision   │    cross-host later)
+//!            │   cache      │   cache      │   cache      │
+//!            └──────────────┴──────────────┴──────────────┘
+//!              │ snapshot/restore (versioned by ranker fingerprint)
+//!              ▼
+//!            disk — a restarted shard starts warm
+//! ```
+//!
+//! Three design decisions carry the crate:
+//!
+//! * **Routing is pure data** ([`Topology`]): ownership is rendezvous
+//!   hashing of the key fingerprint over the shard id set — deterministic
+//!   across processes and hosts (both hashes are pinned), minimally
+//!   disruptive under growth (only the new shard's slice moves; the
+//!   property tests pin the remap fraction below `2/N`).
+//! * **Transports are a trait** ([`ShardTransport`]): the router speaks
+//!   plain-data requests and [`CacheSlice`] filters, never closures, so
+//!   the in-process [`LocalShard`] can be swapped for a cross-host
+//!   transport without touching routing or warm-up logic.
+//! * **Decisions are durable and shippable** (`sorl-serve`'s
+//!   [`CacheSnapshot`](sorl_serve::CacheSnapshot)): topology changes move
+//!   exactly the affected cache slices between shards
+//!   ([`ShardRouter::add_shard`] / [`remove_shard`](ShardRouter::remove_shard)),
+//!   and a killed shard restarts warm from its last snapshot
+//!   ([`LocalShard::spawn_warm`]) — both guarded by the ranker
+//!   fingerprint, so decisions never outlive the model that computed them.
+//!
+//! See `examples/shard_demo.rs` for the full lifecycle: route over three
+//! shards, kill one, restart it warm, and watch repeat queries stay cache
+//! hits.
+
+pub mod router;
+pub mod routing;
+pub mod transport;
+
+pub use router::{ShardError, ShardRouter, WarmupReport};
+pub use routing::{rendezvous_owner, rendezvous_weight, shard_seed, CacheSlice, Topology};
+pub use transport::{LocalShard, ShardTransport};

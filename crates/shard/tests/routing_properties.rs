@@ -1,0 +1,146 @@
+//! Property tests for the routing layer — the two acceptance invariants
+//! of fingerprint sharding:
+//!
+//! 1. **Determinism**: identical (even just structurally identical)
+//!    instances always land on the same shard, no matter how, where or in
+//!    what order the topology was built.
+//! 2. **Minimal disruption**: growing a fleet from N to N+1 shards remaps
+//!    fewer than `2/N` of a sampled key population (the expectation is
+//!    `1/(N+1)`), and every remapped key moves *to the new shard*.
+
+use proptest::prelude::*;
+
+use sorl_shard::{rendezvous_weight, CacheSlice, Topology};
+use stencil_model::{GridSize, InstanceKey, StencilInstance, StencilKernel};
+
+/// A structurally varied instance: kernel family picked by `which`, size
+/// by `step` (2-D kernels get square grids, 3-D kernels cubes).
+fn instance(which: u8, step: u32) -> StencilInstance {
+    match which % 6 {
+        0 => StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(32 + 8 * step)),
+        1 => StencilInstance::new(StencilKernel::laplacian6(), GridSize::cube(32 + 8 * step)),
+        2 => StencilInstance::new(StencilKernel::tricubic(), GridSize::cube(32 + 8 * step)),
+        3 => StencilInstance::new(StencilKernel::gradient(), GridSize::cube(32 + 8 * step)),
+        4 => StencilInstance::new(StencilKernel::blur(), GridSize::square(128 + 32 * step)),
+        _ => StencilInstance::new(StencilKernel::edge(), GridSize::square(128 + 32 * step)),
+    }
+    .expect("valid instance")
+}
+
+/// A population of synthetic key fingerprints that behaves like real hash
+/// values (a strong mix of the index).
+fn key_population(n: usize, salt: u64) -> Vec<u64> {
+    (0..n as u64).map(|i| rendezvous_weight(salt, i)).collect()
+}
+
+/// Shard ids `s0..sN`.
+fn ids(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("s{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariant 1: ownership is a pure function of the instance's
+    /// structure. Two separately constructed but identical instances — and
+    /// two differently *named* but structurally identical kernels — route
+    /// to the same shard, under topologies built in any order.
+    #[test]
+    fn identical_instances_always_land_on_the_same_shard(
+        which in 0u8..6,
+        step in 0u32..12,
+        n in 1usize..8,
+    ) {
+        let q1 = instance(which, step);
+        let q2 = instance(which, step);
+        let forward = Topology::new(ids(n));
+        let mut reversed_ids = ids(n);
+        reversed_ids.reverse();
+        let reversed = Topology::new(reversed_ids);
+
+        let owner = forward.owner_of(&q1.key());
+        prop_assert!(owner.is_some());
+        prop_assert_eq!(owner, forward.owner_of(&q2.key()));
+        prop_assert_eq!(owner, reversed.owner_of(&q1.key()));
+
+        // A renamed but structurally identical kernel is the same query.
+        let k = q1.kernel();
+        let renamed = StencilKernel::new("renamed", k.pattern().clone(), k.buffers(), k.dtype())
+            .unwrap();
+        let q3 = StencilInstance::new(renamed, q1.size()).unwrap();
+        prop_assert_eq!(owner, forward.owner_of(&InstanceKey::of(&q3)));
+    }
+
+    /// Invariant 2: growing N -> N+1 remaps < 2/N of a sampled key
+    /// population, and every move is towards the new shard.
+    #[test]
+    fn growing_the_fleet_remaps_less_than_two_over_n(
+        n in 1usize..10,
+        salt in 1u64..u64::MAX,
+    ) {
+        let keys = key_population(3000, salt);
+        let old = Topology::new(ids(n));
+        let new = old.with("s-new");
+        let mut moved = 0usize;
+        for &fp in &keys {
+            let before = old.owner_of_fingerprint(fp).unwrap();
+            let after = new.owner_of_fingerprint(fp).unwrap();
+            if before != after {
+                prop_assert_eq!(after, "s-new", "a key moved between old shards");
+                moved += 1;
+            }
+        }
+        let bound = 2.0 / n as f64;
+        let fraction = moved as f64 / keys.len() as f64;
+        prop_assert!(
+            fraction < bound,
+            "{} of {} keys remapped ({:.4}), bound 2/N = {:.4}", moved, keys.len(), fraction, bound
+        );
+        // And the new shard did take a meaningful share (the expectation
+        // is 1/(N+1); an empty share would mean the hash is degenerate).
+        prop_assert!(fraction > 0.25 / (n as f64 + 1.0), "new shard took {:.4}", fraction);
+    }
+
+    /// Shrinking is the mirror image: only the departing shard's keys
+    /// move, each to a surviving shard.
+    #[test]
+    fn removing_a_shard_only_remaps_its_own_keys(
+        n in 2usize..10,
+        salt in 1u64..u64::MAX,
+        victim in 0usize..10,
+    ) {
+        let all = ids(n);
+        let victim = all[victim % n].clone();
+        let old = Topology::new(all);
+        let new = old.without(&victim);
+        for &fp in &key_population(1500, salt) {
+            let before = old.owner_of_fingerprint(fp).unwrap();
+            let after = new.owner_of_fingerprint(fp).unwrap();
+            if before == victim {
+                prop_assert!(after != victim);
+            } else {
+                prop_assert_eq!(before, after, "a surviving shard's key moved");
+            }
+        }
+    }
+
+    /// The per-topology cache slices partition the key space: every key
+    /// belongs to exactly one shard's slice — so warm-up shipping never
+    /// duplicates or drops a decision.
+    #[test]
+    fn cache_slices_partition_the_key_population(
+        n in 1usize..8,
+        salt in 1u64..u64::MAX,
+    ) {
+        let topo = Topology::new(ids(n));
+        let slices: Vec<CacheSlice> = topo
+            .shard_ids()
+            .iter()
+            .map(|id| CacheSlice::owned_by(topo.clone(), id.clone()))
+            .collect();
+        for &fp in &key_population(1000, salt) {
+            let owners = slices.iter().filter(|s| s.matches(fp)).count();
+            prop_assert_eq!(owners, 1);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Sharded-fleet demo: route tuning traffic over three shards, kill one,
+//! and bring it back *warm* from a persisted cache snapshot.
+//!
+//! Trains a model once, spawns a `ShardRouter` over three in-process
+//! shards (each a `TuneService` with its own decision cache), and drives
+//! a skewed workload through it. Then the fleet-operations tour:
+//!
+//! 1. every query routes deterministically to its owner (rendezvous
+//!    hashing of the canonical `InstanceKey` fingerprint), so repeats are
+//!    cache hits on *their* shard;
+//! 2. a fourth shard joins — the router ships it exactly the cache slice
+//!    it now owns, so remapped keys stay warm;
+//! 3. one shard is killed without ceremony, and restarted from its last
+//!    snapshot: the first repeat query after the restart is a cache hit,
+//!    not a scoring pass.
+//!
+//! ```sh
+//! cargo run --release --example shard_demo
+//! ```
+
+use stencil_autotune::model::{GridSize, StencilInstance, StencilKernel};
+use stencil_autotune::serve::{CacheSnapshot, ServeConfig};
+use stencil_autotune::shard::{LocalShard, ShardRouter};
+use stencil_autotune::sorl::pipeline::{PipelineConfig, TrainingPipeline};
+
+fn main() {
+    // One-off training phase (small size: this demo is about the fleet).
+    println!("training the ordinal-regression model (size 960)...");
+    let outcome =
+        TrainingPipeline::new(PipelineConfig { training_size: 960, ..Default::default() }).run();
+    let ranker = outcome.ranker;
+    let config = ServeConfig::default();
+
+    // A fleet of three shards behind one router.
+    let mut router = ShardRouter::new();
+    for id in ["alpha", "beta", "gamma"] {
+        router.add_shard(id, LocalShard::spawn(ranker.clone(), config)).unwrap();
+    }
+    println!("fleet up: shards {:?}\n", router.shard_ids());
+
+    // A workload of 18 distinct instances, queried twice each.
+    let queries: Vec<StencilInstance> = (0..18u32)
+        .map(|i| {
+            if i % 3 == 2 {
+                StencilInstance::new(StencilKernel::blur(), GridSize::square(512 + 64 * i))
+            } else {
+                StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(64 + 8 * i))
+            }
+            .unwrap()
+        })
+        .collect();
+    for round in 0..2 {
+        for q in &queries {
+            let top = router.tune(q.clone(), 3).unwrap();
+            if round == 0 && top.entries.is_empty() {
+                unreachable!("every query has candidates");
+            }
+        }
+    }
+    println!("after 2 rounds over {} distinct instances:", queries.len());
+    print_stats(&router);
+
+    // Growth: a fourth shard joins and receives its warm slice.
+    let report = router.add_shard("delta", LocalShard::spawn(ranker.clone(), config)).unwrap();
+    println!(
+        "\nshard `delta` joined: {} decisions shipped to it ({} rejected)",
+        report.shipped, report.rejected
+    );
+    for q in &queries {
+        router.tune(q.clone(), 3).unwrap();
+    }
+    println!("after another round (remapped keys stayed warm):");
+    print_stats(&router);
+
+    // Crash and warm restart: persist beta's cache, kill it, revive it.
+    let path = std::env::temp_dir().join("sorl-shard-demo.beta.cache.json");
+    let snapshot = router.snapshot_shard("beta").unwrap();
+    snapshot.save_json(&path).unwrap();
+    println!(
+        "\npersisted beta's cache: {} decisions (ranker {:#018x}) -> {}",
+        snapshot.len(),
+        snapshot.ranker_fingerprint,
+        path.display()
+    );
+    router.detach_shard("beta").unwrap(); // the process is "gone"
+    println!("beta killed; fleet serves on with {:?}", router.shard_ids());
+
+    let loaded = CacheSnapshot::load_json(&path).unwrap();
+    let (reborn, restored) = LocalShard::spawn_warm(ranker, config, loaded).unwrap();
+    router.add_shard("beta", reborn).unwrap();
+    println!("beta restarted warm: {restored} decisions restored");
+
+    // The proof: repeats of beta-owned queries are cache hits, zero
+    // scoring passes on the reborn shard.
+    let topo = router.topology();
+    let betas: Vec<&StencilInstance> =
+        queries.iter().filter(|q| topo.owner_of(&q.key()) == Some("beta")).collect();
+    for q in &betas {
+        router.tune((*q).clone(), 3).unwrap();
+    }
+    let stats: Vec<_> = router.stats();
+    let beta_stats = stats.iter().find(|(id, _)| id == "beta").unwrap().1.clone().unwrap();
+    println!(
+        "\nreborn beta answered {} repeat queries: {} cache hits, {} scoring passes",
+        betas.len(),
+        beta_stats.cache_hits,
+        beta_stats.scored_instances
+    );
+    assert_eq!(beta_stats.cache_hits, betas.len() as u64);
+    assert_eq!(beta_stats.scored_instances, 0);
+    println!("-> a killed shard came back warm: not one decision was recomputed");
+    std::fs::remove_file(&path).ok();
+}
+
+fn print_stats(router: &ShardRouter) {
+    for (id, stats) in router.stats() {
+        match stats {
+            Ok(s) => println!("  {id}: {s}"),
+            Err(e) => println!("  {id}: unreachable ({e})"),
+        }
+    }
+}

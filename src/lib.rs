@@ -19,6 +19,7 @@
 //! | [`gen`]     | `stencil-gen`     | training corpus, C emitter, training-set builder |
 //! | [`sorl`]    | `sorl`            | the autotuner: pipeline, ranker, tuners, benchmarks |
 //! | [`serve`]   | `sorl-serve`      | multi-tenant tuning service: micro-batching, top-k, decision cache |
+//! | [`shard`]   | `sorl-shard`      | fingerprint-sharded fleet: rendezvous routing, warm cache shipping |
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@
 
 pub use sorl;
 pub use sorl_serve as serve;
+pub use sorl_shard as shard;
 pub use stencil_exec as exec;
 pub use stencil_gen as gen;
 pub use stencil_machine as machine;
