@@ -9,6 +9,7 @@
 
 use std::time::Instant;
 
+use serde::{Deserialize, Serialize};
 use stencil_model::{StencilInstance, TuningVector};
 
 use crate::ranker::StencilRanker;
@@ -33,8 +34,9 @@ pub struct TunerDecision {
 /// configurations seed iterative searches (see
 /// [`HybridTuner`](crate::hybrid::HybridTuner)) and give fallbacks when the
 /// top choice is rejected downstream, and the entries come from a partial
-/// select, never a full `rank()` sort.
-#[derive(Debug, Clone, PartialEq)]
+/// select, never a full `rank()` sort. Serializable, so answers can cross
+/// a shard-transport process boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TopK {
     /// `(configuration, score)` pairs, best first. Exactly the first
     /// `entries.len()` elements of the full ranking, tie-breaks included.

@@ -62,5 +62,8 @@ pub use cache::DecisionCache;
 pub use service::{
     KeyFilter, ServeConfig, ServeError, TuneClient, TuneRequest, TuneService, TuneTicket,
 };
-pub use snapshot::{CacheSnapshot, SnapshotEntry, SnapshotError, SNAPSHOT_FORMAT_VERSION};
+pub use snapshot::{
+    CacheSnapshot, SnapshotChunk, SnapshotEntry, SnapshotError, SnapshotHeader, CHUNK_BYTE_BUDGET,
+    SNAPSHOT_FORMAT_VERSION,
+};
 pub use stats::ServeStats;

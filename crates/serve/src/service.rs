@@ -23,6 +23,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use serde::{Deserialize, Serialize};
 use sorl::session::TuningSession;
 use sorl::tuner::TopK;
 use sorl::StencilRanker;
@@ -35,8 +36,9 @@ use crate::snapshot::{CacheSnapshot, SnapshotError};
 use crate::stats::{Counters, ServeStats};
 
 /// One tuning query: an instance plus how many ranked alternatives the
-/// caller wants back.
-#[derive(Debug, Clone)]
+/// caller wants back. Serializable, so shard transports can forward it
+/// across processes verbatim.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TuneRequest {
     /// The stencil instance to tune.
     pub instance: StencilInstance,
@@ -59,6 +61,11 @@ pub enum ServeError {
     Closed,
     /// A cache snapshot was rejected (stale ranker, wrong format).
     Snapshot(SnapshotError),
+    /// A transport carrying the request failed (connection refused or
+    /// dropped, malformed or wrong-version wire traffic, corrupted
+    /// transfer). Local services never produce this; remote shard
+    /// transports do. The message names what went wrong.
+    Transport(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -66,6 +73,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Closed => write!(f, "tuning service is closed"),
             ServeError::Snapshot(e) => write!(f, "cache snapshot rejected: {e}"),
+            ServeError::Transport(e) => write!(f, "transport failed: {e}"),
         }
     }
 }

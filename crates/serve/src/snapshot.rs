@@ -33,6 +33,13 @@ use stencil_model::{InstanceKey, TuningVector};
 /// to [`SnapshotEntry`] or [`CacheSnapshot`]; restores check it first.
 pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
 
+/// Byte budget at which [`CacheSnapshot::to_chunks`] closes a chunk even
+/// below its entry-count limit. Far under any transport frame cap (the
+/// TCP wire caps frames at 64 MiB), with one-entry chunks as the floor —
+/// a single decision is bounded by the candidate-set size (≤ 8640
+/// entries, well under a megabyte).
+pub const CHUNK_BYTE_BUDGET: usize = 4 * 1024 * 1024;
+
 /// One persisted decision: everything the cache knows about a key.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SnapshotEntry {
@@ -111,9 +118,32 @@ impl CacheSnapshot {
         serde_json::from_str(json).map_err(|e| SnapshotError::Parse(e.to_string()))
     }
 
-    /// Writes the snapshot to `path` as JSON.
+    /// Writes the snapshot to `path` as JSON, **atomically**: the bytes go
+    /// to a sibling temp file first (synced to disk before the rename), and
+    /// only a complete file is renamed into place. A crash mid-write can
+    /// leave a stray `*.tmp.*` sibling, never a torn snapshot at `path` —
+    /// so the next warm start either sees the previous complete snapshot
+    /// or the new one, nothing in between.
     pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        use std::io::Write;
+        // Unique per process AND per call: two concurrent saves to the
+        // same path must not share a temp file, or one could rename the
+        // other's half-written bytes into place.
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut file_name = path.file_name().unwrap_or_default().to_os_string();
+        file_name.push(format!(".tmp.{}.{seq}", std::process::id()));
+        let tmp = path.with_file_name(file_name);
+        let result = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_json().as_bytes())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 
     /// Loads a snapshot written by [`save_json`](Self::save_json).
@@ -121,6 +151,170 @@ impl CacheSnapshot {
         let json = std::fs::read_to_string(path)?;
         Self::from_json(&json)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Splits the snapshot into a [`SnapshotHeader`] plus per-chunk
+    /// checksummed [`SnapshotChunk`]s — the streaming wire format for
+    /// shipping big caches: no single giant JSON string is materialized,
+    /// and a receiver can verify each chunk independently before
+    /// assembling anything.
+    ///
+    /// A chunk closes at `entries_per_chunk` entries *or* at
+    /// [`CHUNK_BYTE_BUDGET`] serialized bytes, whichever comes first (one
+    /// entry minimum) — entry counts alone would let a cache of deep
+    /// top-k decisions produce a chunk bigger than a transport's frame
+    /// cap, wedging cache shipping for that shard permanently.
+    ///
+    /// An empty snapshot yields zero chunks (the header alone carries the
+    /// version and fingerprint). Reassemble with
+    /// [`from_chunks`](Self::from_chunks).
+    pub fn to_chunks(&self, entries_per_chunk: usize) -> (SnapshotHeader, Vec<SnapshotChunk>) {
+        let per = entries_per_chunk.max(1);
+        let mut chunks: Vec<SnapshotChunk> = Vec::new();
+        // Each entry is rendered exactly once; a chunk payload is the
+        // pending renditions joined into a JSON array, so the byte
+        // accounting is exact and nothing serializes twice. Peak memory is
+        // one chunk's worth of rendered entries, never the whole snapshot.
+        let mut pending: Vec<String> = Vec::new();
+        let mut bytes = 0usize;
+        for entry in &self.entries {
+            let rendered = serde_json::to_string(entry).expect("snapshot entry serializes");
+            if !pending.is_empty()
+                && (pending.len() >= per || bytes + rendered.len() > CHUNK_BYTE_BUDGET)
+            {
+                close_chunk(&mut chunks, &mut pending);
+                bytes = 0;
+            }
+            bytes += rendered.len();
+            pending.push(rendered);
+        }
+        close_chunk(&mut chunks, &mut pending);
+        let header = SnapshotHeader {
+            format_version: self.format_version,
+            ranker_fingerprint: self.ranker_fingerprint,
+            entries: self.entries.len(),
+            chunks: chunks.len(),
+        };
+        (header, chunks)
+    }
+
+    /// Reassembles a snapshot from a header and its chunks, verifying the
+    /// transfer *before* constructing anything: the chunk count must match
+    /// the header, the chunks must arrive in index order, every chunk's
+    /// FNV-1a checksum must verify, and the total entry count must match
+    /// the header. A torn or corrupted transfer is rejected
+    /// deterministically ([`SnapshotError::ChunkChecksum`] /
+    /// [`SnapshotError::Truncated`]) — never assembled partially.
+    pub fn from_chunks(
+        header: &SnapshotHeader,
+        chunks: &[SnapshotChunk],
+    ) -> Result<Self, SnapshotError> {
+        if chunks.len() != header.chunks {
+            return Err(SnapshotError::Truncated {
+                what: "chunks",
+                found: chunks.len(),
+                expected: header.chunks,
+            });
+        }
+        // `header.entries` is peer-supplied and unvalidated at this point —
+        // cap the pre-allocation so a garbage count cannot provoke a giant
+        // allocation (the real count is enforced against the header below).
+        let mut entries = Vec::with_capacity(header.entries.min(4096));
+        for (i, chunk) in chunks.iter().enumerate() {
+            if chunk.index != i {
+                return Err(SnapshotError::Truncated {
+                    what: "chunk index",
+                    found: chunk.index,
+                    expected: i,
+                });
+            }
+            if !chunk.verify() {
+                return Err(SnapshotError::ChunkChecksum { index: i });
+            }
+            let text = std::str::from_utf8(&chunk.payload)
+                .map_err(|e| SnapshotError::Parse(format!("chunk {i}: {e}")))?;
+            let part: Vec<SnapshotEntry> = serde_json::from_str(text)
+                .map_err(|e| SnapshotError::Parse(format!("chunk {i}: {e}")))?;
+            entries.extend(part);
+        }
+        if entries.len() != header.entries {
+            return Err(SnapshotError::Truncated {
+                what: "entries",
+                found: entries.len(),
+                expected: header.entries,
+            });
+        }
+        Ok(CacheSnapshot {
+            format_version: header.format_version,
+            ranker_fingerprint: header.ranker_fingerprint,
+            entries,
+        })
+    }
+}
+
+/// Seals the pending entry renditions into one checksummed chunk (a JSON
+/// array assembled from the per-entry strings — byte-identical input to
+/// what `from_chunks` parses, without re-serializing the entries).
+fn close_chunk(chunks: &mut Vec<SnapshotChunk>, pending: &mut Vec<String>) {
+    if pending.is_empty() {
+        return;
+    }
+    let payload = format!("[{}]", pending.join(",")).into_bytes();
+    let checksum = SnapshotChunk::digest(&payload);
+    chunks.push(SnapshotChunk { index: chunks.len(), checksum, payload });
+    pending.clear();
+}
+
+/// The fixed-size prologue of a chunked snapshot transfer: everything a
+/// receiver needs to validate the stream that follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotHeader {
+    /// Entry-layout version of the snapshot being shipped.
+    pub format_version: u32,
+    /// Fingerprint of the ranking function the decisions came from.
+    pub ranker_fingerprint: u64,
+    /// Total entries across all chunks.
+    pub entries: usize,
+    /// Number of chunks that follow.
+    pub chunks: usize,
+}
+
+/// One checksummed slice of a chunked snapshot transfer.
+///
+/// The payload is the JSON serialization of a `Vec<SnapshotEntry>`; the
+/// checksum is FNV-1a ([`stencil_model::fingerprint::Fnv1a`] — pinned, so
+/// sender and receiver agree across builds and hosts) over exactly those
+/// payload bytes. A flipped bit anywhere in transit fails
+/// [`verify`](Self::verify) deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotChunk {
+    /// Position of this chunk in the stream (`0..header.chunks`).
+    pub index: usize,
+    /// FNV-1a digest of `payload`.
+    pub checksum: u64,
+    /// JSON bytes of this chunk's `Vec<SnapshotEntry>`.
+    pub payload: Vec<u8>,
+}
+
+impl SnapshotChunk {
+    /// Serializes `entries` into a chunk, stamping the checksum.
+    pub fn encode(index: usize, entries: &[SnapshotEntry]) -> Self {
+        let payload =
+            serde_json::to_string(entries).expect("snapshot entries serialize").into_bytes();
+        let checksum = Self::digest(&payload);
+        SnapshotChunk { index, checksum, payload }
+    }
+
+    /// Whether the payload still matches the stamped checksum.
+    pub fn verify(&self) -> bool {
+        Self::digest(&self.payload) == self.checksum
+    }
+
+    /// The pinned FNV-1a digest of a chunk payload.
+    pub fn digest(payload: &[u8]) -> u64 {
+        let mut h = stencil_model::fingerprint::Fnv1a::new();
+        h.write_bytes(payload);
+        h.finish()
     }
 }
 
@@ -143,6 +337,25 @@ pub enum SnapshotError {
     },
     /// The snapshot could not be parsed at all.
     Parse(String),
+    /// A chunk of a chunked transfer failed its FNV-1a checksum — the
+    /// bytes were corrupted in transit (or the stream was reassembled
+    /// wrong). The whole transfer is rejected; nothing is applied.
+    ChunkChecksum {
+        /// Index of the failing chunk.
+        index: usize,
+    },
+    /// A chunked transfer was torn: a count does not match its header
+    /// (missing/extra chunks, out-of-order indices, or a wrong total
+    /// entry count).
+    Truncated {
+        /// Which count mismatched (`"chunks"`, `"chunk index"`,
+        /// `"entries"`).
+        what: &'static str,
+        /// The count observed.
+        found: usize,
+        /// The count the header promised.
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -157,6 +370,12 @@ impl std::fmt::Display for SnapshotError {
                  — stale decisions rejected"
             ),
             SnapshotError::Parse(e) => write!(f, "snapshot does not parse: {e}"),
+            SnapshotError::ChunkChecksum { index } => {
+                write!(f, "snapshot chunk {index} failed its checksum — transfer corrupted")
+            }
+            SnapshotError::Truncated { what, found, expected } => {
+                write!(f, "snapshot transfer torn: {what} = {found}, header promised {expected}")
+            }
         }
     }
 }
@@ -226,6 +445,152 @@ mod tests {
         assert_eq!(moved.ranker_fingerprint, 5);
         // Relative order preserved on both sides.
         assert!(moved.entries[0].last_used < moved.entries[1].last_used);
+    }
+
+    #[test]
+    fn save_json_is_atomic_and_leaves_no_temp_behind() {
+        let snap = CacheSnapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            ranker_fingerprint: 11,
+            entries: vec![entry(64, 1), entry(96, 2)],
+        };
+        let dir = std::env::temp_dir().join("sorl-snapshot-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        // Seed the path with a previous (different) snapshot, then save
+        // over it — the replacement must be complete and temp-free.
+        CacheSnapshot::empty(11).save_json(&path).unwrap();
+        snap.save_json(&path).unwrap();
+        assert_eq!(CacheSnapshot::load_json(&path).unwrap(), snap);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_snapshot_file_is_rejected() {
+        let snap = CacheSnapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            ranker_fingerprint: 3,
+            entries: vec![entry(64, 1), entry(96, 2)],
+        };
+        let dir = std::env::temp_dir().join("sorl-snapshot-torn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        snap.save_json(&path).unwrap();
+        // Tear the file the way a crash mid-`std::fs::write` would have:
+        // keep a prefix, drop the tail.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = CacheSnapshot::load_json(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunk_roundtrip_is_exact() {
+        let snap = CacheSnapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            ranker_fingerprint: 0x1234_5678_9abc_def0,
+            entries: vec![entry(64, 1), entry(96, 2), entry(128, 3), entry(160, 4), entry(192, 5)],
+        };
+        for per_chunk in [1, 2, 3, 5, 100] {
+            let (header, chunks) = snap.to_chunks(per_chunk);
+            assert_eq!(header.entries, 5);
+            assert_eq!(header.chunks, chunks.len());
+            assert_eq!(chunks.len(), 5usize.div_ceil(per_chunk));
+            let back = CacheSnapshot::from_chunks(&header, &chunks).unwrap();
+            assert_eq!(back, snap, "per_chunk={per_chunk}");
+        }
+    }
+
+    #[test]
+    fn chunking_splits_on_byte_budget_before_entry_count() {
+        // Deep top-k decisions (the candidate-set-sized worst case) must
+        // not produce chunks beyond the byte budget just because the
+        // entry-count limit was not reached — an oversized chunk would
+        // exceed a transport's frame cap and wedge cache shipping.
+        let deep = |n: u32, last_used: u64| {
+            let mut e = entry(n, last_used);
+            e.entries = (0..8640u32)
+                .map(|i| (TuningVector::new(8, 8, 8, i % 9, 1 + i % 4), -f64::from(i)))
+                .collect();
+            e
+        };
+        let snap = CacheSnapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            ranker_fingerprint: 21,
+            entries: (0..12).map(|i| deep(64 + 8 * i, u64::from(i))).collect(),
+        };
+        let (header, chunks) = snap.to_chunks(256);
+        assert!(chunks.len() > 1, "byte budget must split despite the 256-entry limit");
+        for c in &chunks {
+            assert!(
+                c.payload.len() < 2 * CHUNK_BYTE_BUDGET,
+                "chunk {} is {} bytes — way past the budget",
+                c.index,
+                c.payload.len()
+            );
+        }
+        assert_eq!(CacheSnapshot::from_chunks(&header, &chunks).unwrap(), snap);
+    }
+
+    #[test]
+    fn empty_snapshot_chunks_to_header_only() {
+        let snap = CacheSnapshot::empty(9);
+        let (header, chunks) = snap.to_chunks(64);
+        assert_eq!(header.chunks, 0);
+        assert!(chunks.is_empty());
+        assert_eq!(CacheSnapshot::from_chunks(&header, &chunks).unwrap(), snap);
+    }
+
+    #[test]
+    fn corrupted_chunk_is_rejected_by_checksum() {
+        let snap = CacheSnapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            ranker_fingerprint: 7,
+            entries: vec![entry(64, 1), entry(96, 2), entry(128, 3)],
+        };
+        let (header, mut chunks) = snap.to_chunks(1);
+        // Flip one byte in the middle chunk's payload.
+        let mid = chunks[1].payload.len() / 2;
+        chunks[1].payload[mid] ^= 0x40;
+        assert_eq!(
+            CacheSnapshot::from_chunks(&header, &chunks),
+            Err(SnapshotError::ChunkChecksum { index: 1 })
+        );
+    }
+
+    #[test]
+    fn torn_chunk_streams_are_rejected() {
+        let snap = CacheSnapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            ranker_fingerprint: 7,
+            entries: vec![entry(64, 1), entry(96, 2), entry(128, 3)],
+        };
+        let (header, chunks) = snap.to_chunks(1);
+        // Missing chunk.
+        assert!(matches!(
+            CacheSnapshot::from_chunks(&header, &chunks[..2]),
+            Err(SnapshotError::Truncated { what: "chunks", .. })
+        ));
+        // Out-of-order chunks.
+        let swapped = vec![chunks[1].clone(), chunks[0].clone(), chunks[2].clone()];
+        assert!(matches!(
+            CacheSnapshot::from_chunks(&header, &swapped),
+            Err(SnapshotError::Truncated { what: "chunk index", .. })
+        ));
+        // Header promising more entries than the chunks carry.
+        let mut lying = header;
+        lying.entries = 99;
+        assert!(matches!(
+            CacheSnapshot::from_chunks(&lying, &chunks),
+            Err(SnapshotError::Truncated { what: "entries", .. })
+        ));
     }
 
     #[test]

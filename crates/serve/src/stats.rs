@@ -5,6 +5,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use serde::{Deserialize, Serialize};
+
 /// Number of batch-size histogram buckets: `1`, `2`, `3-4`, `5-8`, `9-16`,
 /// `17-32`, `33-64`, `>64`.
 pub const BATCH_SIZE_BUCKETS: usize = 8;
@@ -23,7 +25,10 @@ fn batch_size_bucket(n: usize) -> usize {
 
 /// Histogram bucket for a batch latency (bucket upper bound `2^i` µs).
 fn latency_bucket(d: Duration) -> usize {
-    let us = d.as_micros().max(1) as u64;
+    // Saturate the u128 microsecond count instead of truncating: a
+    // pathological duration (> ~584k years) must land in the top bucket,
+    // not wrap into a low one.
+    let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX).max(1);
     if us <= 1 { 0 } else { (u64::BITS - (us - 1).leading_zeros()) as usize }
         .min(LATENCY_BUCKETS - 1)
 }
@@ -109,7 +114,8 @@ fn histogram_percentile(hist: &[u64], q: f64) -> f64 {
 
 /// A point-in-time snapshot of a [`TuneService`](crate::TuneService)'s
 /// counters (taken with [`TuneService::stats`](crate::TuneService::stats)).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// Serializable, so shard transports can ship it across processes.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct ServeStats {
     /// Requests answered (cache hits included).
     pub requests: u64,
@@ -240,6 +246,31 @@ mod tests {
         assert_eq!(latency_bucket(Duration::from_micros(1000)), 10, "1 ms in the 1024 us bucket");
         assert_eq!(latency_bucket(Duration::from_secs(3600)), LATENCY_BUCKETS - 1);
         assert_eq!(latency_bucket_upper_s(10), 1024e-6);
+    }
+
+    #[test]
+    fn pathological_durations_saturate_into_the_top_bucket() {
+        // `Duration::MAX.as_micros()` exceeds u64; a truncating `as` cast
+        // would wrap it into a low bucket. It must saturate to the top.
+        assert_eq!(latency_bucket(Duration::MAX), LATENCY_BUCKETS - 1);
+        // A duration engineered so the low 64 bits of its microsecond
+        // count are tiny (u64::MAX + 1 µs worth of time): wrapped, it
+        // would land in bucket 0.
+        let wrap = Duration::from_micros(u64::MAX)
+            .checked_add(Duration::from_micros(1))
+            .expect("fits in Duration");
+        assert_eq!(latency_bucket(wrap), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn stats_snapshot_serializes_roundtrip() {
+        let c = Counters::default();
+        c.requests.fetch_add(3, Ordering::Relaxed);
+        c.record_batch(3, Duration::from_micros(40));
+        let s = c.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ServeStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

@@ -231,3 +231,38 @@ fn export_and_extract_move_slices_between_live_services() {
     assert_eq!(stats.cache_hits, 1);
     assert_eq!(stats.scored_instances, 0);
 }
+
+#[test]
+fn torn_snapshot_file_is_rejected_without_touching_the_live_cache() {
+    let ranker = dense_ranker(7);
+    let queries = [lap(96), lap(128), lap(160)];
+    let service = TuneService::spawn(ranker, config());
+    let client = service.client();
+    for q in &queries {
+        client.tune(q.clone(), 2).unwrap();
+    }
+
+    // Persist, then tear the file the way a crash mid-write would have
+    // (the atomic temp+rename save makes this scenario an operator
+    // accident — e.g. a partial copy — rather than a crash artifact, but
+    // the loader must reject it either way).
+    let dir = std::env::temp_dir().join("sorl-serve-torn-snapshot-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("decisions.json");
+    service.cache_snapshot().unwrap().save_json(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+
+    // The torn file fails at load — before any import could run — so the
+    // live cache is untouched and keeps serving warm.
+    let err = CacheSnapshot::load_json(&path).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+    assert_eq!(service.stats().cache_entries, queries.len() as u64);
+    for q in &queries {
+        client.tune(q.clone(), 2).unwrap();
+    }
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, queries.len() as u64, "live cache still answers warm");
+    assert_eq!(stats.scored_instances, queries.len() as u64, "only the original cold passes");
+    std::fs::remove_file(&path).ok();
+}

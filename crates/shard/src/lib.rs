@@ -12,8 +12,8 @@
 //!                                                              ▼
 //!            ┌──────────────┬──────────────┬──────────────┐
 //!            │   shard A    │   shard B    │   shard C    │   (ShardTransport;
-//!            │ TuneService  │ TuneService  │ TuneService  │    in-process today,
-//!            │ + decision   │ + decision   │ + decision   │    cross-host later)
+//!            │ TuneService  │ TuneService  │ TuneService  │    LocalShard in-process,
+//!            │ + decision   │ + decision   │ + decision   │    TcpShard cross-host)
 //!            │   cache      │   cache      │   cache      │
 //!            └──────────────┴──────────────┴──────────────┘
 //!              │ snapshot/restore (versioned by ranker fingerprint)
@@ -30,8 +30,12 @@
 //!   property tests pin the remap fraction below `2/N`).
 //! * **Transports are a trait** ([`ShardTransport`]): the router speaks
 //!   plain-data requests and [`CacheSlice`] filters, never closures, so
-//!   the in-process [`LocalShard`] can be swapped for a cross-host
-//!   transport without touching routing or warm-up logic.
+//!   the in-process [`LocalShard`] and the cross-host [`TcpShard`] slot in
+//!   interchangeably without touching routing or warm-up logic. `TcpShard`
+//!   speaks a length-prefixed, versioned wire protocol ([`wire`]) to a
+//!   [`ShardServer`] — in this process, another process (the `sorl-shardd`
+//!   daemon binary), or another host — with snapshots streamed as
+//!   checksummed chunks so torn transfers are rejected deterministically.
 //! * **Decisions are durable and shippable** (`sorl-serve`'s
 //!   [`CacheSnapshot`](sorl_serve::CacheSnapshot)): topology changes move
 //!   exactly the affected cache slices between shards
@@ -46,8 +50,13 @@
 
 pub mod router;
 pub mod routing;
+pub mod synthetic;
+pub mod tcp;
 pub mod transport;
+pub mod wire;
 
 pub use router::{ShardError, ShardRouter, WarmupReport};
 pub use routing::{rendezvous_owner, rendezvous_weight, shard_seed, CacheSlice, Topology};
+pub use synthetic::synthetic_ranker;
+pub use tcp::{ShardServer, TcpShard};
 pub use transport::{LocalShard, ShardTransport};

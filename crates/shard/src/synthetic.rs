@@ -1,0 +1,47 @@
+//! Deterministic synthetic rankers for demos, tests and load rigs.
+
+use ranksvm::LinearRanker;
+use sorl::StencilRanker;
+use stencil_model::FeatureEncoder;
+
+/// A deterministic dense ranker from a seed: xorshift weights over the
+/// default interaction encoder — same seed, same weights, same
+/// fingerprint, in every process and on every host. This is what
+/// `sorl-shardd --synthetic-ranker SEED` serves; tests and supervisors
+/// that need to predict a daemon's fingerprint must use *this* function
+/// rather than re-deriving the weights (two drifted copies would break
+/// the cross-process "same seed, same model" contract silently).
+///
+/// Not a trained model — real deployments train once and ship the saved
+/// ranker (`StencilRanker::save_json`) to every shard.
+pub fn synthetic_ranker(seed: u64) -> StencilRanker {
+    let encoder = FeatureEncoder::default_interaction();
+    // Only state 0 is degenerate for xorshift (it would freeze at zero
+    // weights); remap just that one seed so every other u64 gets its own
+    // model — an `| 1` style floor would silently alias each even seed
+    // with its odd successor, halving the seed space.
+    let mut state = seed.max(1);
+    let w: Vec<f64> = (0..encoder.dim())
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        })
+        .collect();
+    StencilRanker::new(encoder, LinearRanker::from_weights(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fingerprint_different_seed_different_weights() {
+        assert_eq!(synthetic_ranker(42).fingerprint(), synthetic_ranker(42).fingerprint());
+        assert_ne!(synthetic_ranker(42).fingerprint(), synthetic_ranker(43).fingerprint());
+        // Only the degenerate zero state is remapped (to 1).
+        assert_eq!(synthetic_ranker(0).fingerprint(), synthetic_ranker(1).fingerprint());
+        assert_ne!(synthetic_ranker(1).fingerprint(), synthetic_ranker(2).fingerprint());
+    }
+}

@@ -1,0 +1,421 @@
+//! The cross-host shard transport: [`TcpShard`] (a router's connection to
+//! a shard in another process or on another host) and [`ShardServer`] (the
+//! accept loop that fronts a [`TuneService`] with the wire protocol).
+//!
+//! Both ends speak the framed protocol of [`crate::wire`]: every request
+//! is one frame, every answer one frame or a chunked snapshot stream, and
+//! anything malformed — wrong magic or version, garbage bytes, a peer
+//! closing mid-request, a corrupted snapshot chunk — surfaces as
+//! [`ServeError::Transport`] on the caller without touching any cache or
+//! topology (the router's error paths are side-effect-free by
+//! construction).
+//!
+//! A `TcpShard` holds **one** connection (the router's link to that
+//! shard), lazily (re)established: after a transport error the connection
+//! is dropped and the next call dials fresh, so a restarted shard server
+//! is picked up without router surgery. There is deliberately no retry
+//! loop inside a call — reconnect-with-backoff policy belongs to the
+//! operator layer (see ROADMAP).
+//!
+//! The server spawns one connection-handler thread per accepted router
+//! link; handlers hold the service only weakly, so dropping the
+//! [`ShardServer`] shuts the underlying service down even while
+//! connections are open (subsequent requests on them are answered with a
+//! `closed` fault).
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Duration;
+
+use sorl::tuner::TopK;
+use sorl_serve::{CacheSnapshot, ServeError, ServeStats, SnapshotHeader, TuneRequest, TuneService};
+use stencil_model::StencilInstance;
+
+use crate::routing::CacheSlice;
+use crate::transport::ShardTransport;
+use crate::wire::{self, FrameKind};
+
+/// Default per-call socket timeout (reads and writes). A tuning pass is
+/// milliseconds; a peer silent this long is treated as gone.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A [`ShardTransport`] over one TCP connection to a [`ShardServer`].
+#[derive(Debug)]
+pub struct TcpShard {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Mutex<Option<TcpStream>>,
+}
+
+impl TcpShard {
+    /// Connects to a shard server, verifying reachability eagerly (the
+    /// connection is then kept for subsequent calls).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_with(addr, DEFAULT_IO_TIMEOUT)
+    }
+
+    /// Like [`connect`](Self::connect) with an explicit socket timeout
+    /// for every read and write.
+    pub fn connect_with(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let shard = TcpShard { addr, timeout, stream: Mutex::new(None) };
+        let stream = shard.dial()?;
+        *shard.stream.lock().expect("tcp shard lock") = Some(stream);
+        Ok(shard)
+    }
+
+    /// The server address this shard dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn dial(&self) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        Ok(stream)
+    }
+
+    /// Runs one request/response exchange on the link. The connection is
+    /// (re)dialed if needed; on a transport-level failure it is dropped,
+    /// so the next call starts clean (e.g. against a restarted server).
+    fn call<T>(
+        &self,
+        f: impl FnOnce(&mut TcpStream) -> Result<T, ServeError>,
+    ) -> Result<T, ServeError> {
+        let mut guard = self.stream.lock().expect("tcp shard lock");
+        if guard.is_none() {
+            *guard =
+                Some(self.dial().map_err(|e| {
+                    ServeError::Transport(format!("connect to {}: {e}", self.addr))
+                })?);
+        }
+        let result = f(guard.as_mut().expect("stream just ensured"));
+        if matches!(result, Err(ServeError::Transport(_))) {
+            // Unknown stream state (half-written frame, desynced peer):
+            // poison the link; the next call dials fresh.
+            *guard = None;
+        }
+        result
+    }
+}
+
+impl ShardTransport for TcpShard {
+    fn tune(&self, instance: StencilInstance, k: usize) -> Result<TopK, ServeError> {
+        self.call(|stream| {
+            let req = TuneRequest::new(instance, k);
+            wire::write_frame(stream, FrameKind::Tune, &wire::to_payload(&req))?;
+            let payload = wire::expect_frame(stream, FrameKind::TuneOk, "tune answer")?;
+            wire::from_payload(&payload)
+        })
+    }
+
+    fn ranker_fingerprint(&self) -> Result<u64, ServeError> {
+        self.call(|stream| {
+            wire::write_frame(stream, FrameKind::Fingerprint, &[])?;
+            let payload = wire::expect_frame(stream, FrameKind::FingerprintOk, "fingerprint")?;
+            wire::from_payload(&payload)
+        })
+    }
+
+    fn stats(&self) -> Result<ServeStats, ServeError> {
+        self.call(|stream| {
+            wire::write_frame(stream, FrameKind::Stats, &[])?;
+            let payload = wire::expect_frame(stream, FrameKind::StatsOk, "stats")?;
+            wire::from_payload(&payload)
+        })
+    }
+
+    fn export_cache(&self, slice: &CacheSlice) -> Result<CacheSnapshot, ServeError> {
+        self.call(|stream| {
+            wire::write_frame(stream, FrameKind::ExportCache, &wire::to_payload(slice))?;
+            wire::read_snapshot_stream(stream)
+        })
+    }
+
+    fn extract_cache(&self, slice: &CacheSlice) -> Result<CacheSnapshot, ServeError> {
+        self.call(|stream| {
+            wire::write_frame(stream, FrameKind::ExtractCache, &wire::to_payload(slice))?;
+            wire::read_snapshot_stream(stream)
+        })
+    }
+
+    fn import_cache(&self, snapshot: CacheSnapshot) -> Result<usize, ServeError> {
+        self.call(|stream| {
+            let (header, chunks) = snapshot.to_chunks(wire::CHUNK_ENTRIES);
+            wire::write_frame(stream, FrameKind::ImportCache, &wire::to_payload(&header))?;
+            wire::write_chunk_frames(stream, &chunks)?;
+            let payload = wire::expect_frame(stream, FrameKind::ImportOk, "import answer")?;
+            wire::from_payload(&payload)
+        })
+    }
+}
+
+/// A TCP server fronting one [`TuneService`] — the in-process half of
+/// `sorl-shardd`.
+///
+/// [`spawn`](Self::spawn) binds, then accepts on a background thread; one
+/// handler thread serves each accepted connection (a router holds one
+/// link per shard, so the thread count tracks the number of routers).
+/// The server owns the service; handlers only hold it weakly, so dropping
+/// the `ShardServer` shuts the service down deterministically even while
+/// router links are open.
+#[derive(Debug)]
+pub struct ShardServer {
+    service: Arc<TuneService>,
+    addr: SocketAddr,
+    closing: Arc<std::sync::atomic::AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ShardServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts
+    /// accepting router links.
+    pub fn spawn(service: TuneService, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let service = Arc::new(service);
+        let weak = Arc::downgrade(&service);
+        let closing = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let closing_flag = Arc::clone(&closing);
+        let accept_thread = std::thread::Builder::new()
+            .name("sorl-shardd-accept".into())
+            .spawn(move || accept_loop(&listener, &weak, &closing_flag))?;
+        Ok(ShardServer { service, addr, closing, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The underlying service (for local snapshots, stats, warm imports).
+    pub fn service(&self) -> &TuneService {
+        &self.service
+    }
+}
+
+impl Drop for ShardServer {
+    fn drop(&mut self) {
+        // Stop the accept loop deterministically so the listener (and its
+        // port) is released now, not at process exit: raise the closing
+        // flag, then poke the listener with a throwaway connection to wake
+        // the blocking `accept`. Joining only makes sense if the poke
+        // landed — otherwise the loop may still be parked in `accept` and
+        // the join would hang (it then dies with the process, the
+        // pre-existing behavior).
+        self.closing.store(true, std::sync::atomic::Ordering::SeqCst);
+        let mut poke_addr = self.addr;
+        if poke_addr.ip().is_unspecified() {
+            poke_addr.set_ip(match poke_addr {
+                SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            });
+        }
+        let poked = TcpStream::connect_timeout(&poke_addr, Duration::from_secs(1)).is_ok();
+        if let Some(thread) = self.accept_thread.take() {
+            if poked {
+                let _ = thread.join();
+            }
+        }
+        // `service` drops next, shutting the worker down; open connection
+        // handlers notice the dead Weak within one idle poll and exit.
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Weak<TuneService>,
+    closing: &std::sync::atomic::AtomicBool,
+) {
+    for stream in listener.incoming() {
+        if closing.load(std::sync::atomic::Ordering::SeqCst) {
+            return; // drops the listener, releasing the port
+        }
+        let Ok(stream) = stream else {
+            // Persistent accept errors (EMFILE when the fd limit is hit,
+            // ECONNABORTED storms) would otherwise spin this loop at 100%
+            // CPU; a short sleep sheds load until the condition clears.
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        let service = Weak::clone(service);
+        let name = "sorl-shardd-conn".to_string();
+        let _ = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || handle_connection(stream, &service));
+    }
+}
+
+/// How long a handler waits for the *rest* of a frame once its first byte
+/// arrived, and for any write. An idle link (no frame in flight) is
+/// healthy and waits forever; a peer that stalls mid-frame is gone.
+const SERVER_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Blocks until the peer sends the first byte of the next frame.
+/// `Ok(None)` means the link is done (peer closed, or our service is
+/// gone); timeouts while *idle* just keep waiting — but each wakeup
+/// re-checks the service so abandoned handlers exit instead of parking
+/// forever.
+fn await_first_byte(stream: &mut TcpStream, service: &Weak<TuneService>) -> Option<u8> {
+    let mut first = [0u8; 1];
+    loop {
+        match stream.read(&mut first) {
+            Ok(0) => return None, // EOF: peer hung up
+            Ok(_) => return Some(first[0]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if service.strong_count() == 0 {
+                    let _ = wire::write_frame(
+                        stream,
+                        FrameKind::Error,
+                        &wire::encode_fault(&ServeError::Closed),
+                    );
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Serves one router link until the peer goes away or violates the
+/// protocol. Well-framed application errors are answered with an error
+/// frame and the link stays up; anything that desyncs the stream gets a
+/// best-effort error frame and the connection is closed. The socket
+/// timeouts only bite *mid-frame* (or on stalled writes): waiting for the
+/// start of the next request is untimed, so idle router links stay up.
+fn handle_connection(mut stream: TcpStream, service: &Weak<TuneService>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(SERVER_IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SERVER_IO_TIMEOUT));
+    loop {
+        let Some(first) = await_first_byte(&mut stream, service) else { return };
+        let (kind, payload) = match wire::read_frame_after(&mut stream, first) {
+            Ok(frame) => frame,
+            Err(wire::WireError::Io(_)) => return, // peer died (or stalled) mid-frame
+            Err(violation) => {
+                let fault = ServeError::Transport(violation.to_string());
+                let _ =
+                    wire::write_frame(&mut stream, FrameKind::Error, &wire::encode_fault(&fault));
+                return;
+            }
+        };
+        let Some(service) = service.upgrade() else {
+            let _ = wire::write_frame(
+                &mut stream,
+                FrameKind::Error,
+                &wire::encode_fault(&ServeError::Closed),
+            );
+            return;
+        };
+        if serve_request(&mut stream, kind, &payload, &service).is_err() {
+            return;
+        }
+    }
+}
+
+/// Outcome of one request: `Ok` keeps the link, `Err` closes it.
+type LinkState = Result<(), ()>;
+
+fn serve_request(
+    stream: &mut TcpStream,
+    kind: FrameKind,
+    payload: &[u8],
+    service: &TuneService,
+) -> LinkState {
+    match kind {
+        FrameKind::Tune => {
+            let answer = wire::from_payload::<TuneRequest>(payload)
+                .and_then(|req| {
+                    // Deserialization bypasses `StencilInstance::new`'s
+                    // invariants (positive extents, kernel/grid dimension
+                    // agreement); re-validate so a malformed wire instance
+                    // is rejected here instead of poisoning the scoring
+                    // pipeline and the cache.
+                    let instance =
+                        StencilInstance::new(req.instance.kernel().clone(), req.instance.size())
+                            .map_err(|e| ServeError::Transport(format!("invalid instance: {e}")))?;
+                    Ok((instance, req.k))
+                })
+                .and_then(|(instance, k)| service.client().tune(instance, k));
+            reply(stream, FrameKind::TuneOk, answer)
+        }
+        FrameKind::Stats => reply(stream, FrameKind::StatsOk, Ok(service.stats())),
+        FrameKind::Fingerprint => {
+            reply(stream, FrameKind::FingerprintOk, Ok(service.ranker_fingerprint()))
+        }
+        FrameKind::ExportCache | FrameKind::ExtractCache => {
+            let snapshot = wire::from_payload::<CacheSlice>(payload).and_then(|slice| {
+                if kind == FrameKind::ExportCache {
+                    service.export_cache(slice.into_matcher())
+                } else {
+                    service.extract_cache(slice.into_matcher())
+                }
+            });
+            match snapshot {
+                Ok(snapshot) => match wire::write_snapshot_stream(stream, &snapshot) {
+                    Ok(()) => Ok(()),
+                    Err(_) => Err(()),
+                },
+                Err(fault) => send_fault(stream, &fault),
+            }
+        }
+        FrameKind::ImportCache => {
+            // Assemble and verify the WHOLE stream before importing: a
+            // corrupted or torn transfer is rejected here and nothing
+            // reaches the cache — a partial import is impossible by
+            // construction.
+            let assembled = wire::from_payload::<SnapshotHeader>(payload)
+                .and_then(|header| wire::read_snapshot_chunks(stream, header));
+            match assembled {
+                Ok(snapshot) => reply(stream, FrameKind::ImportOk, service.import_cache(snapshot)),
+                Err(fault) => {
+                    // The chunk stream may be desynced — answer, then close.
+                    let _ = send_fault(stream, &fault);
+                    Err(())
+                }
+            }
+        }
+        // A response or stream frame arriving as a request desyncs the
+        // conversation: answer with a fault and drop the link.
+        FrameKind::SnapshotHeader
+        | FrameKind::SnapshotChunk
+        | FrameKind::TuneOk
+        | FrameKind::StatsOk
+        | FrameKind::FingerprintOk
+        | FrameKind::ImportOk
+        | FrameKind::Error => {
+            let fault = ServeError::Transport(format!("{kind:?} is not a request frame"));
+            let _ = send_fault(stream, &fault);
+            Err(())
+        }
+    }
+}
+
+fn reply<T: serde::Serialize>(
+    stream: &mut TcpStream,
+    kind: FrameKind,
+    answer: Result<T, ServeError>,
+) -> LinkState {
+    let write = match answer {
+        Ok(value) => wire::write_frame(stream, kind, &wire::to_payload(&value)),
+        Err(fault) => return send_fault(stream, &fault),
+    };
+    write.map_err(|_| ())
+}
+
+fn send_fault(stream: &mut TcpStream, fault: &ServeError) -> LinkState {
+    wire::write_frame(stream, FrameKind::Error, &wire::encode_fault(fault)).map_err(|_| ())
+}

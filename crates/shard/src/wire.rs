@@ -1,0 +1,574 @@
+//! The cross-host shard wire protocol: length-prefixed, versioned frames
+//! with JSON payloads (v1) and chunked, per-chunk-checksummed snapshot
+//! streaming.
+//!
+//! Every frame starts with an 11-byte header:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  — b"SORL"
+//! 4       2     protocol version (little endian; this module speaks 1)
+//! 6       1     frame kind (see [`FrameKind`])
+//! 7       4     payload length (little endian)
+//! 11      len   payload
+//! ```
+//!
+//! Request/response pairs ([`FrameKind::Tune`] → [`FrameKind::TuneOk`],
+//! …) carry one JSON payload each. Snapshots never travel as one giant
+//! JSON string: a snapshot stream is a [`FrameKind::SnapshotHeader`] frame
+//! (JSON [`SnapshotHeader`]) followed by `header.chunks`
+//! [`FrameKind::SnapshotChunk`] frames, each `8-byte FNV-1a checksum ‖
+//! chunk JSON bytes` (see [`sorl_serve::SnapshotChunk`] — the checksum is
+//! the pinned [`stencil_model::fingerprint::Fnv1a`] over exactly the JSON
+//! bytes), so big caches stream chunk by chunk and a torn or corrupted
+//! transfer is rejected deterministically before anything is assembled.
+//!
+//! Failures travel as [`FrameKind::Error`] frames whose payload is a
+//! [`WireFault`] — a flat, versionable encoding of [`ServeError`] that
+//! reconstructs the variant (including snapshot-rejection details) on the
+//! other side.
+//!
+//! Anything malformed — wrong magic, unknown version or kind, oversized
+//! length, short reads — is a [`WireError`]; transports surface it as
+//! [`ServeError::Transport`] and treat the connection as dead.
+
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+use sorl_serve::{ServeError, SnapshotChunk, SnapshotError, SnapshotHeader};
+
+/// Leading bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"SORL";
+
+/// The protocol version this build speaks (in every frame header).
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Size of the fixed frame header.
+pub const HEADER_LEN: usize = 11;
+
+/// Upper bound on a single frame's payload. Chunked snapshot streaming
+/// keeps real frames far below this; the cap exists so garbage bytes in
+/// the length field cannot provoke a giant allocation.
+pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// Entries per snapshot chunk used by the TCP transport and server.
+pub const CHUNK_ENTRIES: usize = 256;
+
+/// Upper bound on the total payload bytes of one snapshot stream. The
+/// per-frame [`MAX_PAYLOAD`] cap alone would still let a peer stream an
+/// unbounded *number* of chunks into the receiver's reassembly buffer;
+/// this bounds the whole transfer (decision caches serialize to a few KiB
+/// per entry — a quarter GiB is far beyond any real fleet handoff).
+pub const MAX_SNAPSHOT_BYTES: usize = 256 * 1024 * 1024;
+
+/// What a frame carries. The discriminant byte is part of the wire
+/// contract — append, never renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Request: tune one instance (JSON [`sorl_serve::TuneRequest`]).
+    Tune = 0x01,
+    /// Request: serving counters (empty payload).
+    Stats = 0x02,
+    /// Request: ranker fingerprint (empty payload).
+    Fingerprint = 0x03,
+    /// Request: copy a cache slice out (JSON [`crate::CacheSlice`]);
+    /// answered with a snapshot stream.
+    ExportCache = 0x04,
+    /// Request: remove and return a cache slice (JSON
+    /// [`crate::CacheSlice`]); answered with a snapshot stream.
+    ExtractCache = 0x05,
+    /// Request: replay a snapshot into the cache. The payload is the JSON
+    /// [`SnapshotHeader`]; `header.chunks` [`FrameKind::SnapshotChunk`]
+    /// frames follow. Answered with [`FrameKind::ImportOk`].
+    ImportCache = 0x06,
+    /// Snapshot stream prologue (JSON [`SnapshotHeader`]).
+    SnapshotHeader = 0x10,
+    /// One snapshot chunk: `checksum (8 bytes LE) ‖ chunk JSON bytes`.
+    SnapshotChunk = 0x11,
+    /// Response to [`FrameKind::Tune`] (JSON [`sorl::tuner::TopK`]).
+    TuneOk = 0x20,
+    /// Response to [`FrameKind::Stats`] (JSON [`sorl_serve::ServeStats`]).
+    StatsOk = 0x21,
+    /// Response to [`FrameKind::Fingerprint`] (JSON `u64`).
+    FingerprintOk = 0x22,
+    /// Response to [`FrameKind::ImportCache`] (JSON `usize`: entries
+    /// applied).
+    ImportOk = 0x23,
+    /// Any request's failure response (JSON [`WireFault`]).
+    Error = 0x2f,
+}
+
+impl FrameKind {
+    fn from_byte(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            0x01 => FrameKind::Tune,
+            0x02 => FrameKind::Stats,
+            0x03 => FrameKind::Fingerprint,
+            0x04 => FrameKind::ExportCache,
+            0x05 => FrameKind::ExtractCache,
+            0x06 => FrameKind::ImportCache,
+            0x10 => FrameKind::SnapshotHeader,
+            0x11 => FrameKind::SnapshotChunk,
+            0x20 => FrameKind::TuneOk,
+            0x21 => FrameKind::StatsOk,
+            0x22 => FrameKind::FingerprintOk,
+            0x23 => FrameKind::ImportOk,
+            0x2f => FrameKind::Error,
+            _ => None?,
+        })
+    }
+}
+
+/// Why reading or writing a frame failed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed (includes EOF mid-frame — a peer that
+    /// closed the connection with a request in flight).
+    Io(std::io::Error),
+    /// The frame did not start with [`MAGIC`] — the peer is not speaking
+    /// this protocol (or the stream lost sync).
+    BadMagic([u8; 4]),
+    /// The peer speaks a different protocol version.
+    Version {
+        /// Version in the received header.
+        found: u16,
+    },
+    /// The frame kind byte is not one this build knows.
+    UnknownKind(u8),
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// A frame of an unexpected kind arrived (protocol state violation —
+    /// e.g. a chunk without a header, or a tune reply to a stats request).
+    Unexpected {
+        /// The kind that arrived.
+        found: FrameKind,
+        /// What the state machine was waiting for.
+        wanted: &'static str,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?} (not a SORL peer)"),
+            WireError::Version { found } => {
+                write!(
+                    f,
+                    "peer speaks protocol version {found}, this build speaks {PROTOCOL_VERSION}"
+                )
+            }
+            WireError::UnknownKind(b) => write!(f, "unknown frame kind {b:#04x}"),
+            WireError::Oversized(len) => {
+                write!(f, "frame payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte cap")
+            }
+            WireError::Unexpected { found, wanted } => {
+                write!(f, "unexpected {found:?} frame (wanted {wanted})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Transport(e.to_string())
+    }
+}
+
+/// Writes one frame (header + payload).
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversized(u32::MAX))?;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4..6].copy_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    header[6] = kind as u8;
+    header[7..11].copy_from_slice(&len.to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, validating magic, version, kind and length.
+pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>), WireError> {
+    let mut first = [0u8; 1];
+    r.read_exact(&mut first)?;
+    read_frame_after(r, first[0])
+}
+
+/// Like [`read_frame`], resuming after the caller already read the
+/// frame's first byte — the shape a server needs to wait for the *start*
+/// of a request without a timeout (idle links are healthy) while still
+/// timing out a peer that stalls *mid-frame*.
+pub fn read_frame_after(r: &mut impl Read, first: u8) -> Result<(FrameKind, Vec<u8>), WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first;
+    r.read_exact(&mut header[1..])?;
+    let magic: [u8; 4] = header[..4].try_into().expect("4 bytes");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::Version { found: version });
+    }
+    let kind = FrameKind::from_byte(header[6]).ok_or(WireError::UnknownKind(header[6]))?;
+    let len = u32::from_le_bytes(header[7..11].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok((kind, payload))
+}
+
+/// Reads a frame and insists on one specific kind; an [`FrameKind::Error`]
+/// frame is decoded into the remote's [`ServeError`] instead.
+pub fn expect_frame(
+    r: &mut impl Read,
+    wanted: FrameKind,
+    wanted_name: &'static str,
+) -> Result<Vec<u8>, ServeError> {
+    let (kind, payload) = read_frame(r)?;
+    if kind == wanted {
+        return Ok(payload);
+    }
+    if kind == FrameKind::Error {
+        return Err(decode_fault(&payload));
+    }
+    Err(WireError::Unexpected { found: kind, wanted: wanted_name }.into())
+}
+
+/// Parses a frame's JSON payload.
+pub fn from_payload<T: serde::de::DeserializeOwned>(payload: &[u8]) -> Result<T, ServeError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| ServeError::Transport(format!("payload is not UTF-8: {e}")))?;
+    serde_json::from_str(text)
+        .map_err(|e| ServeError::Transport(format!("payload does not parse: {e}")))
+}
+
+/// Serializes a value into a frame payload.
+pub fn to_payload<T: Serialize>(value: &T) -> Vec<u8> {
+    serde_json::to_string(value).expect("wire value serializes").into_bytes()
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot streaming
+// ---------------------------------------------------------------------------
+
+/// Streams a snapshot as a header frame plus checksummed chunk frames.
+pub fn write_snapshot_stream(
+    w: &mut impl Write,
+    snapshot: &sorl_serve::CacheSnapshot,
+) -> Result<(), WireError> {
+    let (header, chunks) = snapshot.to_chunks(CHUNK_ENTRIES);
+    write_frame(w, FrameKind::SnapshotHeader, &to_payload(&header))?;
+    write_chunk_frames(w, &chunks)
+}
+
+/// Writes snapshot chunks as [`FrameKind::SnapshotChunk`] frames, each
+/// `checksum (8 bytes LE) ‖ chunk JSON bytes`. *The* one encoder of the
+/// chunk frame layout — the import side of a transport sends its chunks
+/// through here too, so the layout cannot fork between directions.
+pub fn write_chunk_frames(w: &mut impl Write, chunks: &[SnapshotChunk]) -> Result<(), WireError> {
+    for chunk in chunks {
+        let mut payload = Vec::with_capacity(8 + chunk.payload.len());
+        payload.extend_from_slice(&chunk.checksum.to_le_bytes());
+        payload.extend_from_slice(&chunk.payload);
+        write_frame(w, FrameKind::SnapshotChunk, &payload)?;
+    }
+    Ok(())
+}
+
+/// Reads the chunk frames following a snapshot header and reassembles the
+/// snapshot, verifying every chunk checksum and the header's counts. A
+/// corrupted or torn stream yields `Err` without assembling anything.
+pub fn read_snapshot_chunks(
+    r: &mut impl Read,
+    header: SnapshotHeader,
+) -> Result<sorl_serve::CacheSnapshot, ServeError> {
+    // The header is peer-supplied and unverified: bound the chunk count
+    // and the total accumulated memory so a rogue peer cannot balloon the
+    // reassembly buffer one valid-sized frame at a time. Each buffered
+    // chunk costs its payload bytes PLUS the `SnapshotChunk` struct —
+    // charging only payload would let ~34M near-empty chunks through
+    // with gigabytes of struct overhead, so every chunk is charged at
+    // least `CHUNK_CHARGE`.
+    const CHUNK_CHARGE: usize = 64;
+    if header.chunks > MAX_SNAPSHOT_BYTES / CHUNK_CHARGE {
+        return Err(ServeError::Transport(format!(
+            "snapshot header claims {} chunks — over the stream bound",
+            header.chunks
+        )));
+    }
+    let mut total = 0usize;
+    let mut chunks = Vec::with_capacity(header.chunks.min(1024));
+    for index in 0..header.chunks {
+        let payload = expect_frame(r, FrameKind::SnapshotChunk, "snapshot chunk")?;
+        if payload.len() < 8 {
+            return Err(ServeError::Transport(format!(
+                "snapshot chunk {index} too short for its checksum"
+            )));
+        }
+        total = total.saturating_add(payload.len().max(CHUNK_CHARGE));
+        if total > MAX_SNAPSHOT_BYTES {
+            return Err(ServeError::Transport(format!(
+                "snapshot stream exceeded {MAX_SNAPSHOT_BYTES} bytes at chunk {index}"
+            )));
+        }
+        let checksum = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        chunks.push(SnapshotChunk { index, checksum, payload: payload[8..].to_vec() });
+    }
+    sorl_serve::CacheSnapshot::from_chunks(&header, &chunks).map_err(|e| match e {
+        // Wire-level damage (flipped bits, torn stream) is a transport
+        // failure; semantic snapshot problems keep their own variant.
+        SnapshotError::ChunkChecksum { .. } | SnapshotError::Truncated { .. } => {
+            ServeError::Transport(format!("snapshot stream rejected: {e}"))
+        }
+        other => ServeError::Snapshot(other),
+    })
+}
+
+/// Reads a full snapshot stream (header frame + chunks).
+pub fn read_snapshot_stream(r: &mut impl Read) -> Result<sorl_serve::CacheSnapshot, ServeError> {
+    let payload = expect_frame(r, FrameKind::SnapshotHeader, "snapshot header")?;
+    let header: SnapshotHeader = from_payload(&payload)?;
+    read_snapshot_chunks(r, header)
+}
+
+// ---------------------------------------------------------------------------
+// Fault encoding
+// ---------------------------------------------------------------------------
+
+/// Flat wire encoding of a [`ServeError`]: a code string plus the numeric
+/// context the richer variants carry, so the receiving side reconstructs
+/// the exact variant (tests match on it; routers branch on it).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireFault {
+    /// Which error: `closed`, `snapshot_format`, `snapshot_ranker`,
+    /// `snapshot_parse`, `snapshot_checksum`, `snapshot_truncated`,
+    /// `transport`.
+    pub code: String,
+    /// Variant-specific numeric context (`found` value, chunk index).
+    #[serde(default)]
+    pub found: u64,
+    /// Variant-specific numeric context (`expected` value).
+    #[serde(default)]
+    pub expected: u64,
+    /// Human-readable detail (parse errors, transport messages, the
+    /// `what` of a truncation).
+    #[serde(default)]
+    pub message: String,
+}
+
+/// Encodes a [`ServeError`] into an [`FrameKind::Error`] payload.
+pub fn encode_fault(e: &ServeError) -> Vec<u8> {
+    let fault = match e {
+        ServeError::Closed => {
+            WireFault { code: "closed".into(), found: 0, expected: 0, message: String::new() }
+        }
+        ServeError::Snapshot(s) => match s {
+            SnapshotError::FormatVersion { found, expected } => WireFault {
+                code: "snapshot_format".into(),
+                found: u64::from(*found),
+                expected: u64::from(*expected),
+                message: String::new(),
+            },
+            SnapshotError::RankerMismatch { found, expected } => WireFault {
+                code: "snapshot_ranker".into(),
+                found: *found,
+                expected: *expected,
+                message: String::new(),
+            },
+            SnapshotError::Parse(m) => WireFault {
+                code: "snapshot_parse".into(),
+                found: 0,
+                expected: 0,
+                message: m.clone(),
+            },
+            SnapshotError::ChunkChecksum { index } => WireFault {
+                code: "snapshot_checksum".into(),
+                found: *index as u64,
+                expected: 0,
+                message: String::new(),
+            },
+            SnapshotError::Truncated { what, found, expected } => WireFault {
+                code: "snapshot_truncated".into(),
+                found: *found as u64,
+                expected: *expected as u64,
+                message: (*what).to_string(),
+            },
+        },
+        ServeError::Transport(m) => {
+            WireFault { code: "transport".into(), found: 0, expected: 0, message: m.clone() }
+        }
+    };
+    to_payload(&fault)
+}
+
+/// Decodes an [`FrameKind::Error`] payload back into a [`ServeError`].
+pub fn decode_fault(payload: &[u8]) -> ServeError {
+    let fault: WireFault = match from_payload(payload) {
+        Ok(f) => f,
+        Err(_) => return ServeError::Transport("peer sent an undecodable error frame".into()),
+    };
+    match fault.code.as_str() {
+        "closed" => ServeError::Closed,
+        "snapshot_format" => ServeError::Snapshot(SnapshotError::FormatVersion {
+            found: fault.found as u32,
+            expected: fault.expected as u32,
+        }),
+        "snapshot_ranker" => ServeError::Snapshot(SnapshotError::RankerMismatch {
+            found: fault.found,
+            expected: fault.expected,
+        }),
+        "snapshot_parse" => ServeError::Snapshot(SnapshotError::Parse(fault.message)),
+        "snapshot_checksum" => ServeError::Transport(format!(
+            "remote rejected snapshot chunk {}: checksum mismatch",
+            fault.found
+        )),
+        "snapshot_truncated" => ServeError::Transport(format!(
+            "remote rejected torn snapshot stream: {} = {}, expected {}",
+            fault.message, fault.found, fault.expected
+        )),
+        "transport" => ServeError::Transport(fault.message),
+        other => ServeError::Transport(format!("peer sent unknown fault code {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorl_serve::CacheSnapshot;
+
+    #[test]
+    fn frame_roundtrip_is_exact() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Tune, b"{\"k\":3}").unwrap();
+        write_frame(&mut buf, FrameKind::Stats, b"").unwrap();
+        let mut r = buf.as_slice();
+        let (kind, payload) = read_frame(&mut r).unwrap();
+        assert_eq!(kind, FrameKind::Tune);
+        assert_eq!(payload, b"{\"k\":3}");
+        let (kind, payload) = read_frame(&mut r).unwrap();
+        assert_eq!(kind, FrameKind::Stats);
+        assert!(payload.is_empty());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Stats, b"").unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_frame(&mut buf.as_slice()), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Stats, b"").unwrap();
+        buf[4..6].copy_from_slice(&99u16.to_le_bytes());
+        assert!(matches!(read_frame(&mut buf.as_slice()), Err(WireError::Version { found: 99 })));
+    }
+
+    #[test]
+    fn unknown_kind_and_oversized_length_are_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Stats, b"").unwrap();
+        buf[6] = 0x7e;
+        assert!(matches!(read_frame(&mut buf.as_slice()), Err(WireError::UnknownKind(0x7e))));
+        buf[6] = FrameKind::Stats as u8;
+        buf[7..11].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(read_frame(&mut buf.as_slice()), Err(WireError::Oversized(_))));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Tune, b"0123456789").unwrap();
+        // Cut mid-payload (peer closed with a request in flight).
+        buf.truncate(HEADER_LEN + 4);
+        assert!(matches!(read_frame(&mut buf.as_slice()), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn empty_snapshot_streams_roundtrip() {
+        let snap = CacheSnapshot::empty(42);
+        let mut buf = Vec::new();
+        write_snapshot_stream(&mut buf, &snap).unwrap();
+        let back = read_snapshot_stream(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn corrupted_chunk_byte_fails_the_stream() {
+        // A one-entry snapshot needs real entries; build one through the
+        // public cache API to avoid duplicating entry construction here.
+        let mut cache = sorl_serve::DecisionCache::new(4);
+        let instance = stencil_model::StencilInstance::new(
+            stencil_model::StencilKernel::laplacian(),
+            stencil_model::GridSize::cube(64),
+        )
+        .unwrap();
+        cache.insert(
+            instance.key(),
+            vec![(stencil_model::TuningVector::new(8, 8, 8, 2, 1), 0.5)],
+            8640,
+        );
+        let snap = cache.snapshot(7);
+        let mut buf = Vec::new();
+        write_snapshot_stream(&mut buf, &snap).unwrap();
+        // Flip a byte inside the chunk payload (past its header+checksum).
+        let n = buf.len();
+        buf[n - 3] ^= 0x20;
+        let err = read_snapshot_stream(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ServeError::Transport(_)), "{err}");
+    }
+
+    #[test]
+    fn absurd_chunk_counts_are_rejected_before_buffering() {
+        // A header claiming a giant chunk count must be rejected up front
+        // — not honored one frame at a time until memory runs out.
+        let header = SnapshotHeader {
+            format_version: 1,
+            ranker_fingerprint: 0,
+            entries: usize::MAX,
+            chunks: usize::MAX,
+        };
+        let err = read_snapshot_chunks(&mut [].as_slice(), header).unwrap_err();
+        assert!(matches!(err, ServeError::Transport(ref m) if m.contains("bound")), "{err}");
+    }
+
+    #[test]
+    fn faults_roundtrip_their_variant() {
+        let faults = [
+            ServeError::Closed,
+            ServeError::Snapshot(SnapshotError::FormatVersion { found: 9, expected: 1 }),
+            ServeError::Snapshot(SnapshotError::RankerMismatch { found: 1, expected: 2 }),
+            ServeError::Snapshot(SnapshotError::Parse("bad".into())),
+            ServeError::Transport("connection reset".into()),
+        ];
+        for fault in faults {
+            assert_eq!(decode_fault(&encode_fault(&fault)), fault);
+        }
+        // Chunk damage decodes as Transport (a torn transfer, not a stale
+        // snapshot) — the variant is not preserved, the rejection is.
+        let e = decode_fault(&encode_fault(&ServeError::Snapshot(SnapshotError::ChunkChecksum {
+            index: 3,
+        })));
+        assert!(matches!(e, ServeError::Transport(m) if m.contains("chunk 3")));
+    }
+}

@@ -1,0 +1,221 @@
+//! Cross-host fleet demo: a process supervisor driving `sorl-shardd`
+//! shard *processes* over the TCP transport — the full lifecycle the
+//! in-process `shard_demo` walks, but across real process boundaries:
+//!
+//! 1. train a model once, persist it, and spawn three `sorl-shardd`
+//!    daemons on loopback that all serve it (the fleet rejects joins with
+//!    a mismatched ranker fingerprint);
+//! 2. route a workload over the fleet with a `ShardRouter` whose shards
+//!    are `TcpShard` links — repeats are cache hits on their owner;
+//! 3. grow to four processes: the router ships the newcomer exactly the
+//!    warm cache slice it now owns, as checksummed snapshot chunks;
+//! 4. kill one process without ceremony, persist its last snapshot, and
+//!    restart it warm from the file: repeat queries are cache hits with
+//!    **zero scoring passes** on the reborn shard.
+//!
+//! ```sh
+//! cargo build --release -p sorl-shard --bin sorl-shardd
+//! cargo run --release --example fleet_demo
+//! ```
+
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use stencil_autotune::model::{GridSize, StencilInstance, StencilKernel};
+use stencil_autotune::serve::CacheSnapshot;
+use stencil_autotune::shard::{ShardRouter, TcpShard};
+use stencil_autotune::sorl::pipeline::{PipelineConfig, TrainingPipeline};
+
+/// A supervised `sorl-shardd` child process (killed on drop, so a panic
+/// anywhere never leaves strays behind).
+struct ShardProcess {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ShardProcess {
+    fn spawn(shardd: &PathBuf, ranker_path: &PathBuf, snapshot: Option<&PathBuf>) -> ShardProcess {
+        let mut cmd = Command::new(shardd);
+        cmd.args(["--addr", "127.0.0.1:0", "--ranker"]).arg(ranker_path);
+        if let Some(path) = snapshot {
+            cmd.arg("--snapshot").arg(path);
+        }
+        let mut child = cmd.stdout(Stdio::piped()).spawn().expect("spawn sorl-shardd");
+        // The daemon's supervisor contract: one `LISTENING <addr>` line.
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout).read_line(&mut line).expect("read handshake");
+        let addr = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("unexpected shardd handshake {line:?}"))
+            .parse()
+            .expect("handshake address parses");
+        ShardProcess { child, addr }
+    }
+
+    fn link(&self) -> TcpShard {
+        TcpShard::connect(self.addr).expect("connect to shardd")
+    }
+
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ShardProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The `sorl-shardd` binary is a sibling of this example's target dir
+/// (`target/<profile>/examples/fleet_demo` → `target/<profile>/`).
+fn shardd_path() -> PathBuf {
+    let exe = std::env::current_exe().expect("current exe");
+    let profile_dir = exe
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("examples live under the profile dir");
+    let path = profile_dir.join(format!("sorl-shardd{}", std::env::consts::EXE_SUFFIX));
+    assert!(
+        path.exists(),
+        "sorl-shardd not found at {} — build it first:\n  cargo build --release -p sorl-shard --bin sorl-shardd",
+        path.display()
+    );
+    path
+}
+
+fn main() {
+    let shardd = shardd_path();
+    let dir = std::env::temp_dir().join("sorl-fleet-demo");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Train once, persist, ship the same model file to every shard — the
+    // fleet's ranker-fingerprint check turns "same model everywhere" from
+    // a hope into an invariant.
+    println!("training the ordinal-regression model (size 960)...");
+    let outcome =
+        TrainingPipeline::new(PipelineConfig { training_size: 960, ..Default::default() }).run();
+    let ranker_path = dir.join("model.json");
+    outcome.ranker.save_json(&ranker_path).expect("persist model");
+    println!("model persisted (fingerprint {:#018x})\n", outcome.ranker.fingerprint());
+
+    // A fleet of three shard PROCESSES behind one router.
+    let mut processes = std::collections::HashMap::new();
+    let mut router = ShardRouter::new();
+    for id in ["alpha", "beta", "gamma"] {
+        let process = ShardProcess::spawn(&shardd, &ranker_path, None);
+        println!("spawned shard `{id}` (pid {}, {})", process.child.id(), process.addr);
+        router.add_shard(id, process.link()).unwrap();
+        processes.insert(id.to_string(), process);
+    }
+    println!("fleet up: shards {:?}\n", router.shard_ids());
+
+    // A workload of 18 distinct instances, queried twice each.
+    let queries: Vec<StencilInstance> = (0..18u32)
+        .map(|i| {
+            if i % 3 == 2 {
+                StencilInstance::new(StencilKernel::blur(), GridSize::square(512 + 64 * i))
+            } else {
+                StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(64 + 8 * i))
+            }
+            .unwrap()
+        })
+        .collect();
+    for _ in 0..2 {
+        for q in &queries {
+            router.tune(q.clone(), 3).unwrap();
+        }
+    }
+    println!("after 2 rounds over {} distinct instances:", queries.len());
+    print_stats(&router);
+
+    // Growth: a fourth process joins; its warm slice crosses the wire as
+    // checksummed snapshot chunks.
+    let process = ShardProcess::spawn(&shardd, &ranker_path, None);
+    let report = router.add_shard("delta", process.link()).unwrap();
+    processes.insert("delta".to_string(), process);
+    println!(
+        "\nshard process `delta` joined: {} decisions shipped to it over TCP ({} rejected)",
+        report.shipped, report.rejected
+    );
+    for q in &queries {
+        router.tune(q.clone(), 3).unwrap();
+    }
+    println!("after another round (remapped keys stayed warm):");
+    print_stats(&router);
+
+    // Crash and warm restart, across a real process boundary: persist
+    // beta's cache, SIGKILL the process, spawn a fresh one from the file.
+    let snapshot_path = dir.join("beta.cache.json");
+    let snapshot = router.snapshot_shard("beta").unwrap();
+    snapshot.save_json(&snapshot_path).unwrap();
+    println!(
+        "\npersisted beta's cache: {} decisions -> {}",
+        snapshot.len(),
+        snapshot_path.display()
+    );
+    processes.remove("beta").expect("beta is supervised").kill();
+    router.detach_shard("beta").unwrap();
+    println!("beta's process killed; fleet serves on with {:?}", router.shard_ids());
+
+    // The survivors keep answering beta's keys (cold) during the outage.
+    for q in queries.iter().take(6) {
+        router.tune(q.clone(), 3).unwrap();
+    }
+
+    let reborn = ShardProcess::spawn(&shardd, &ranker_path, Some(&snapshot_path));
+    println!("beta restarted warm (pid {}, {})", reborn.child.id(), reborn.addr);
+    router.add_shard("beta", reborn.link()).unwrap();
+    processes.insert("beta".to_string(), reborn);
+
+    // The proof: repeats of beta-owned queries are cache hits, zero
+    // scoring passes in the reborn process.
+    let topo = router.topology();
+    let betas: Vec<&StencilInstance> =
+        queries.iter().filter(|q| topo.owner_of(&q.key()) == Some("beta")).collect();
+    for q in &betas {
+        router.tune((*q).clone(), 3).unwrap();
+    }
+    let stats: Vec<_> = router.stats();
+    let beta_stats = stats.iter().find(|(id, _)| id == "beta").unwrap().1.clone().unwrap();
+    println!(
+        "\nreborn beta answered {} repeat queries: {} cache hits, {} scoring passes",
+        betas.len(),
+        beta_stats.cache_hits,
+        beta_stats.scored_instances
+    );
+    assert_eq!(beta_stats.cache_hits, betas.len() as u64);
+    assert_eq!(beta_stats.scored_instances, 0, "zero scoring passes on the reborn shard");
+    println!("-> a killed shard PROCESS came back warm: not one decision was recomputed");
+
+    // A torn snapshot cannot poison a restart: truncate the file and show
+    // the daemon boots cold (rejecting it) rather than half-restored.
+    let bytes = std::fs::read(&snapshot_path).unwrap();
+    std::fs::write(&snapshot_path, &bytes[..bytes.len() / 2]).unwrap();
+    let cold = ShardProcess::spawn(&shardd, &ranker_path, Some(&snapshot_path));
+    let cold_link = cold.link();
+    let cold_stats = stencil_autotune::shard::ShardTransport::stats(&cold_link).unwrap();
+    assert_eq!(cold_stats.cache_entries, 0, "torn snapshot rejected, shard boots cold");
+    println!("\na deliberately torn snapshot file was rejected on boot (shard started cold)");
+    cold.kill();
+
+    // Cleanly verify the snapshot loader agrees from the supervisor side.
+    assert!(CacheSnapshot::load_json(&snapshot_path).is_err(), "torn file rejected everywhere");
+    std::fs::remove_file(&snapshot_path).ok();
+    std::fs::remove_file(&ranker_path).ok();
+}
+
+fn print_stats(router: &ShardRouter) {
+    for (id, stats) in router.stats() {
+        match stats {
+            Ok(s) => println!("  {id}: {s}"),
+            Err(e) => println!("  {id}: unreachable ({e})"),
+        }
+    }
+}
