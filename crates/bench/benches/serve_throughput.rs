@@ -56,6 +56,7 @@ fn serve_config(cache_capacity: usize) -> ServeConfig {
         adaptive_gather: false,
         cache_capacity,
         cache_k_floor: 8,
+        ..Default::default()
     }
 }
 

@@ -18,6 +18,13 @@
 //! * `snapshot_roundtrip_256` — a 256-decision cache through
 //!   snapshot → JSON → parse → restore: the persistence path a shard pays
 //!   on checkpoint and warm restart.
+//! * `tcp_lockstep_24x3d_hot` / `tcp_pipelined_24x3d_hot` — the warmed
+//!   workload over ONE loopback TCP connection, 4 concurrent callers:
+//!   forced wire-v1 (each caller lock-steps the link, serialized on its
+//!   mutex) vs. wire-v2 multiplexing (requests pipeline with ids, the
+//!   server batches and answers out of order). Cache-hot on purpose: the
+//!   comparison measures the wire, not scoring, and the perf snapshot
+//!   trips if pipelining is not at least 2x the lock-step rate.
 //!
 //! The ranker is synthetic (dense pinned-PRNG weights): this bench
 //! measures the serving and sharding layers, whose cost is independent of
@@ -35,7 +42,7 @@ use ranksvm::LinearRanker;
 use sorl::StencilRanker;
 use sorl_bench::perf::{quick_mode, PerfReport};
 use sorl_serve::{DecisionCache, ServeConfig, TuneService};
-use sorl_shard::{LocalShard, ShardRouter, Topology};
+use sorl_shard::{LocalShard, ShardRouter, ShardServer, ShardTransport, TcpShard, Topology};
 use stencil_model::{FeatureEncoder, GridSize, StencilInstance, StencilKernel, TuningVector};
 
 /// Deterministic dense synthetic ranker (no training run needed).
@@ -73,6 +80,7 @@ fn serve_config(cache_capacity: usize) -> ServeConfig {
         adaptive_gather: false,
         cache_capacity,
         cache_k_floor: 8,
+        ..Default::default()
     }
 }
 
@@ -116,6 +124,41 @@ fn populated_cache() -> DecisionCache {
     cache
 }
 
+/// A warmed loopback shard server for the wire variants: every answer is
+/// a cache hit, so lockstep-vs-pipelined measures the wire itself.
+fn spawn_warm_tcp_server(ranker: &StencilRanker, queries: &[StencilInstance]) -> ShardServer {
+    let service = TuneService::spawn(ranker.clone(), serve_config(1024));
+    let server = ShardServer::spawn(service, "127.0.0.1:0").expect("bind loopback");
+    let warm = TcpShard::connect(server.local_addr()).expect("connect loopback");
+    for q in queries {
+        warm.tune(q.clone(), 1).unwrap();
+    }
+    server
+}
+
+/// The workload through ONE TCP connection with `threads` concurrent
+/// callers pulling from a shared work queue. On a v1 link the callers
+/// serialize on the connection; on a v2 link they pipeline.
+fn run_tcp(shard: &TcpShard, queries: &[StencilInstance], threads: usize) -> f64 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let total = std::sync::Mutex::new(0.0f64);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut acc = 0.0;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(q) = queries.get(i) else { break };
+                    acc += shard.tune(q.clone(), 1).unwrap().entries[0].1;
+                }
+                *total.lock().unwrap() += acc;
+            });
+        }
+    });
+    total.into_inner().unwrap()
+}
+
 fn snapshot_roundtrip(cache: &DecisionCache) -> usize {
     let snap = cache.snapshot(42);
     let parsed = sorl_serve::CacheSnapshot::from_json(&snap.to_json()).unwrap();
@@ -154,6 +197,16 @@ fn bench_shard(c: &mut Criterion, ranker: &StencilRanker, queries: &[StencilInst
     let cache = populated_cache();
     g.bench_function("snapshot_roundtrip_256", |b| {
         b.iter(|| black_box(snapshot_roundtrip(&cache)))
+    });
+
+    let server = spawn_warm_tcp_server(ranker, queries);
+    let lockstep = TcpShard::connect_v1(server.local_addr()).expect("connect v1");
+    g.bench_function("tcp_lockstep_24x3d_hot", |b| {
+        b.iter(|| black_box(run_tcp(&lockstep, queries, 4)))
+    });
+    let pipelined = TcpShard::connect(server.local_addr()).expect("connect v2");
+    g.bench_function("tcp_pipelined_24x3d_hot", |b| {
+        b.iter(|| black_box(run_tcp(&pipelined, queries, 4)))
     });
 
     g.finish();
@@ -198,15 +251,36 @@ fn emit_perf_snapshot(ranker: &StencilRanker, queries: &[StencilInstance]) {
         black_box(snapshot_roundtrip(&cache));
     });
 
+    let server = spawn_warm_tcp_server(ranker, queries);
+    let lockstep = TcpShard::connect_v1(server.local_addr()).expect("connect v1");
+    report.record("tcp_lockstep_24x3d_hot", samples, || {
+        black_box(run_tcp(&lockstep, queries, 4));
+    });
+    let pipelined = TcpShard::connect(server.local_addr()).expect("connect v2");
+    report.record("tcp_pipelined_24x3d_hot", samples, || {
+        black_box(run_tcp(&pipelined, queries, 4));
+    });
+
     let single_s = report.median_of("single_service_24x3d").unwrap();
     let cold_s = report.median_of("fleet_3shards_24x3d_cold").unwrap();
     let hot_s = report.median_of("fleet_3shards_24x3d_hot").unwrap();
+    let lock_s = report.median_of("tcp_lockstep_24x3d_hot").unwrap();
+    let pipe_s = report.median_of("tcp_pipelined_24x3d_hot").unwrap();
     println!(
-        "  fleet cold vs single service: {:.2}x, fleet hot over cold: {:.1}x",
+        "  fleet cold vs single service: {:.2}x, fleet hot over cold: {:.1}x, \
+         tcp pipelined over lockstep: {:.1}x",
         single_s / cold_s,
-        cold_s / hot_s
+        cold_s / hot_s,
+        lock_s / pipe_s
     );
     report.write();
+
+    // The multiplexing contract: with 4 concurrent callers on one warmed
+    // link, wire-v2 pipelining must at least double the lock-step rate.
+    assert!(
+        pipe_s * 2.0 <= lock_s,
+        "pipelined wire must be >= 2x lock-step on a hot link: {pipe_s} vs {lock_s}"
+    );
 
     // The sharding contracts this bench exists to witness (generous
     // slack: the JSON numbers are the record, this is a tripwire).

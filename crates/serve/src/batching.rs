@@ -4,7 +4,7 @@
 //! The fixed `gather_window` of [`ServeConfig`](crate::ServeConfig) is a
 //! compromise: too short and bursts fragment into many small batches (lost
 //! amortization), too long and a lone request in a quiet period eats the
-//! whole window as pure latency. [`AdaptiveGather`] resolves the tension
+//! whole window as pure latency. `AdaptiveGather` resolves the tension
 //! with one number — an exponentially weighted moving average of the
 //! request arrival rate, updated once per drain:
 //!

@@ -48,6 +48,21 @@
 //!   gather window follows the observed arrival rate: immediate answers
 //!   when idle, up to the configured window under load.
 //!
+//! And two keep it standing under overload:
+//!
+//! * **Non-blocking tickets** ([`TuneTicket`]) — a submission returns a
+//!   completion slot the caller can block on ([`TuneTicket::wait`]), poll
+//!   ([`TuneTicket::poll`]), or hang a callback/waker on
+//!   ([`TuneTicket::on_ready`]), so event-loop embedders never park a
+//!   thread per pending answer.
+//! * **Admission control** ([`ServeConfig::max_queue`] /
+//!   [`ServeConfig::shed_p99`]) — the submission queue is bounded and a
+//!   rolling p99 batch-latency threshold sheds load early; both
+//!   fast-reject with [`ServeError::Overloaded`]`(`[`ShedReason`]`)` in
+//!   nanoseconds instead of letting requests pile up into timeouts.
+//!   [`ServeStats`] reports shed counts, live queue depth, and the
+//!   rolling p99 the shedder acts on.
+//!
 //! The scoring pool is a [`stencil_exec::SharedPool`] handle, so one set
 //! of worker threads can serve the tuning service *and* the execution
 //! engine of the same process ([`TuneService::spawn_with_pool`]).
@@ -57,13 +72,15 @@ pub mod cache;
 pub mod service;
 pub mod snapshot;
 pub mod stats;
+pub mod ticket;
 
 pub use cache::DecisionCache;
 pub use service::{
-    KeyFilter, ServeConfig, ServeError, TuneClient, TuneRequest, TuneService, TuneTicket,
+    KeyFilter, ServeConfig, ServeError, ShedReason, TuneClient, TuneRequest, TuneService,
 };
 pub use snapshot::{
     CacheSnapshot, SnapshotChunk, SnapshotEntry, SnapshotError, SnapshotHeader, CHUNK_BYTE_BUDGET,
     SNAPSHOT_FORMAT_VERSION,
 };
 pub use stats::ServeStats;
+pub use ticket::TuneTicket;

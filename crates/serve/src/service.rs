@@ -1,5 +1,5 @@
-//! The tuning service: an MPSC request queue, a micro-batching worker, and
-//! cloneable client handles.
+//! The tuning service: an MPSC request queue, a micro-batching worker,
+//! cloneable client handles, and admission control.
 //!
 //! One worker thread owns the [`TuningSession`] (scratch buffers + shared
 //! thread pool) and the [`DecisionCache`]. Clients submit
@@ -9,6 +9,18 @@
 //! unique instances through **one** pipelined encode/score pass
 //! ([`TuningSession::top_k_batch`]) over the shared pool. Every answer is a
 //! [`TopK`]: the k best tuning vectors with scores, from a partial select.
+//!
+//! Submission is non-blocking: [`TuneClient::submit`] returns a
+//! [`TuneTicket`] (a poll-/callback-capable completion slot — see
+//! [`crate::ticket`]) without ever parking on the tuning work, and the
+//! blocking [`TuneClient::tune`] is a thin `submit + wait` wrapper.
+//!
+//! Submission is also *bounded*: the queue has a configurable depth cap
+//! ([`ServeConfig::max_queue`]) and a latency shed threshold
+//! ([`ServeConfig::shed_p99`]). When either trips, [`TuneClient::submit`]
+//! fast-rejects with [`ServeError::Overloaded`] — a few atomic reads, no
+//! queueing, no worker involvement — so overload degrades to cheap,
+//! immediate rejections instead of timeout pile-ups deep in the queue.
 //!
 //! The cache is durable: [`TuneService::cache_snapshot`] exports it as a
 //! [`CacheSnapshot`] (versioned by the ranker fingerprint) and
@@ -33,7 +45,8 @@ use stencil_model::{InstanceKey, StencilInstance};
 use crate::batching::AdaptiveGather;
 use crate::cache::DecisionCache;
 use crate::snapshot::{CacheSnapshot, SnapshotError};
-use crate::stats::{Counters, ServeStats};
+use crate::stats::{Counters, RecentLatencies, ServeStats};
+use crate::ticket::{self, TicketCompleter, TuneTicket};
 
 /// One tuning query: an instance plus how many ranked alternatives the
 /// caller wants back. Serializable, so shard transports can forward it
@@ -54,11 +67,41 @@ impl TuneRequest {
     }
 }
 
+/// Which admission-control limit fast-rejected a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded submission queue is at its configured depth cap
+    /// ([`ServeConfig::max_queue`]).
+    QueueFull,
+    /// The rolling p99 batch latency crossed [`ServeConfig::shed_p99`]
+    /// while the queue was backed up — the service is falling behind, so
+    /// new work is rejected before it can pile onto the queue.
+    BatchLatency,
+    /// A transport link refused the request at its per-connection
+    /// in-flight cap. Local services never produce this; multiplexing
+    /// shard transports do.
+    LinkInFlight,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "submission queue at its depth cap"),
+            ShedReason::BatchLatency => write!(f, "p99 batch latency over the shed threshold"),
+            ShedReason::LinkInFlight => write!(f, "connection at its in-flight cap"),
+        }
+    }
+}
+
 /// Why a request could not be answered.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The service worker has shut down (or shut down before replying).
     Closed,
+    /// Admission control fast-rejected the submission: the service (or the
+    /// link to it) is overloaded. The request was **not** queued — retry
+    /// against another shard, back off, or surface the pressure upstream.
+    Overloaded(ShedReason),
     /// A cache snapshot was rejected (stale ranker, wrong format).
     Snapshot(SnapshotError),
     /// A transport carrying the request failed (connection refused or
@@ -72,6 +115,7 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Closed => write!(f, "tuning service is closed"),
+            ServeError::Overloaded(reason) => write!(f, "service overloaded: {reason}"),
             ServeError::Snapshot(e) => write!(f, "cache snapshot rejected: {e}"),
             ServeError::Transport(e) => write!(f, "transport failed: {e}"),
         }
@@ -114,6 +158,20 @@ pub struct ServeConfig {
     /// requests asking for a few more alternatives than the first one
     /// still hit the cache.
     pub cache_k_floor: usize,
+    /// Bounded submission queue: a submission finding this many requests
+    /// already waiting is fast-rejected with
+    /// [`ServeError::Overloaded`]`(`[`ShedReason::QueueFull`]`)` instead
+    /// of queued. `0` means unbounded (the pre-admission-control
+    /// behavior).
+    pub max_queue: usize,
+    /// Latency shed threshold: when the p99 over the most recent batches
+    /// exceeds this *and* more than one full micro-batch is already
+    /// queued, submissions are fast-rejected with
+    /// [`ShedReason::BatchLatency`]. The queue-depth guard gives the
+    /// shedder hysteresis — a briefly slow batch with an empty queue
+    /// never sheds, and once the backlog drains admission resumes.
+    /// `Duration::ZERO` disables latency shedding.
+    pub shed_p99: Duration,
 }
 
 impl Default for ServeConfig {
@@ -125,7 +183,51 @@ impl Default for ServeConfig {
             adaptive_gather: false,
             cache_capacity: 1024,
             cache_k_floor: 8,
+            max_queue: 4096,
+            shed_p99: Duration::ZERO,
         }
+    }
+}
+
+/// The admission check run on every submitting thread: a handful of
+/// relaxed atomic reads against the thresholds, so a shed costs nanoseconds
+/// and touches neither the queue nor the worker.
+#[derive(Debug)]
+struct Admission {
+    /// [`ServeConfig::max_queue`] (0 = unbounded).
+    max_queue: u64,
+    /// [`ServeConfig::shed_p99`] in µs (0 = disabled).
+    shed_p99_us: u64,
+    /// Latency sheds require more than one full micro-batch queued.
+    latency_floor: u64,
+}
+
+impl Admission {
+    fn new(config: &ServeConfig) -> Self {
+        Admission {
+            max_queue: config.max_queue as u64,
+            shed_p99_us: u64::try_from(config.shed_p99.as_micros()).unwrap_or(u64::MAX),
+            latency_floor: config.max_batch.max(1) as u64,
+        }
+    }
+
+    /// Admits (incrementing the queue-depth gauge) or sheds one
+    /// submission.
+    fn try_admit(&self, counters: &Counters) -> Result<(), ServeError> {
+        let depth = counters.queue_depth.load(Ordering::Relaxed);
+        if self.max_queue > 0 && depth >= self.max_queue {
+            counters.shed_queue.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded(ShedReason::QueueFull));
+        }
+        if self.shed_p99_us > 0
+            && depth > self.latency_floor
+            && counters.recent_p99_us.load(Ordering::Relaxed) > self.shed_p99_us
+        {
+            counters.shed_latency.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded(ShedReason::BatchLatency));
+        }
+        counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -134,7 +236,7 @@ impl Default for ServeConfig {
 pub type KeyFilter = Box<dyn Fn(u64) -> bool + Send>;
 
 enum Msg {
-    Tune { req: TuneRequest, reply: mpsc::Sender<TopK> },
+    Tune { req: TuneRequest, reply: TicketCompleter },
     Export { filter: Option<KeyFilter>, reply: mpsc::Sender<CacheSnapshot> },
     Extract { filter: KeyFilter, reply: mpsc::Sender<CacheSnapshot> },
     Import { snapshot: Box<CacheSnapshot>, reply: mpsc::Sender<Result<usize, ServeError>> },
@@ -168,6 +270,7 @@ pub struct TuneService {
     tx: mpsc::Sender<Msg>,
     worker: Option<JoinHandle<()>>,
     counters: Arc<Counters>,
+    admission: Arc<Admission>,
     fingerprint: u64,
 }
 
@@ -189,6 +292,7 @@ impl TuneService {
     fn spawn_inner(ranker: StencilRanker, config: ServeConfig, pool: Option<SharedPool>) -> Self {
         let (tx, rx) = mpsc::channel();
         let counters = Arc::new(Counters::default());
+        let admission = Arc::new(Admission::new(&config));
         let worker_counters = Arc::clone(&counters);
         let fingerprint = ranker.fingerprint();
         let session = match pool {
@@ -199,12 +303,16 @@ impl TuneService {
             .name("sorl-serve-worker".into())
             .spawn(move || worker_loop(rx, session, config, &worker_counters, fingerprint))
             .expect("spawn sorl-serve worker");
-        TuneService { tx, worker: Some(worker), counters, fingerprint }
+        TuneService { tx, worker: Some(worker), counters, admission, fingerprint }
     }
 
     /// A new client handle (cheap, cloneable, usable from any thread).
     pub fn client(&self) -> TuneClient {
-        TuneClient { tx: self.tx.clone() }
+        TuneClient {
+            tx: self.tx.clone(),
+            counters: Arc::clone(&self.counters),
+            admission: Arc::clone(&self.admission),
+        }
     }
 
     /// A point-in-time snapshot of the service counters.
@@ -290,17 +398,27 @@ impl Drop for TuneService {
 #[derive(Debug, Clone)]
 pub struct TuneClient {
     tx: mpsc::Sender<Msg>,
+    counters: Arc<Counters>,
+    admission: Arc<Admission>,
 }
 
 impl TuneClient {
-    /// Enqueues a query and returns a ticket to wait on. Submitting never
-    /// blocks on the tuning work itself.
+    /// Enqueues a query and returns a ticket to wait on (or poll, or hang a
+    /// callback on — see [`TuneTicket`]). Submitting never blocks on the
+    /// tuning work itself, and never queues past the admission limits: an
+    /// overloaded service answers here, immediately, with
+    /// [`ServeError::Overloaded`].
     pub fn submit(&self, instance: StencilInstance, k: usize) -> Result<TuneTicket, ServeError> {
-        let (reply, rx) = mpsc::channel();
-        self.tx
-            .send(Msg::Tune { req: TuneRequest::new(instance, k), reply })
-            .map_err(|_| ServeError::Closed)?;
-        Ok(TuneTicket { rx })
+        self.admission.try_admit(&self.counters)?;
+        let (ticket, reply) = ticket::pair();
+        if self.tx.send(Msg::Tune { req: TuneRequest::new(instance, k), reply }).is_err() {
+            // Nothing was queued; hand the admission slot back. (The
+            // completer we just dropped fails `ticket` with `Closed` too,
+            // but the caller never sees that ticket.)
+            self.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            return Err(ServeError::Closed);
+        }
+        Ok(ticket)
     }
 
     /// Submits one query and blocks for its answer.
@@ -317,22 +435,8 @@ impl TuneClient {
     }
 }
 
-/// A pending answer for one submitted query.
-#[derive(Debug)]
-pub struct TuneTicket {
-    rx: mpsc::Receiver<TopK>,
-}
-
-impl TuneTicket {
-    /// Blocks until the service answers (or reports it shut down without
-    /// answering).
-    pub fn wait(self) -> Result<TopK, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::Closed)
-    }
-}
-
-/// One queue drain: requests plus their reply channels.
-type Batch = Vec<(TuneRequest, mpsc::Sender<TopK>)>;
+/// One queue drain: requests plus their completion slots.
+type Batch = Vec<(TuneRequest, TicketCompleter)>;
 
 fn worker_loop(
     rx: mpsc::Receiver<Msg>,
@@ -344,8 +448,14 @@ fn worker_loop(
     let mut cache = DecisionCache::new(config.cache_capacity);
     let max_batch = config.max_batch.max(1);
     let mut adaptive = config.adaptive_gather.then(AdaptiveGather::new);
+    let mut recent = RecentLatencies::new();
     let mut last_drain = Instant::now();
     let mut live = true;
+    // Every dequeued Tune releases one admission slot: the depth gauge
+    // counts requests admitted but not yet drained into a batch.
+    let dequeued = |counters: &Counters| {
+        counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    };
     'serve: while live {
         let mut batch: Batch = Vec::new();
         // Block for the first tuning request; cache-control messages are
@@ -353,6 +463,7 @@ fn worker_loop(
         let started = loop {
             match rx.recv() {
                 Ok(Msg::Tune { req, reply }) => {
+                    dequeued(counters);
                     batch.push((req, reply));
                     break Instant::now();
                 }
@@ -370,7 +481,10 @@ fn worker_loop(
         let deadline = started + window;
         while batch.len() < max_batch {
             match rx.try_recv() {
-                Ok(Msg::Tune { req, reply }) => batch.push((req, reply)),
+                Ok(Msg::Tune { req, reply }) => {
+                    dequeued(counters);
+                    batch.push((req, reply));
+                }
                 Ok(Msg::Shutdown) => {
                     live = false;
                     break;
@@ -382,7 +496,10 @@ fn worker_loop(
                         break;
                     }
                     match rx.recv_timeout(deadline - now) {
-                        Ok(Msg::Tune { req, reply }) => batch.push((req, reply)),
+                        Ok(Msg::Tune { req, reply }) => {
+                            dequeued(counters);
+                            batch.push((req, reply));
+                        }
                         Ok(Msg::Shutdown) => {
                             live = false;
                             break;
@@ -409,7 +526,7 @@ fn worker_loop(
             a.observe(batch.len(), now.saturating_duration_since(last_drain));
             last_drain = now;
         }
-        serve_batch(&mut session, &mut cache, &config, counters, batch, started);
+        serve_batch(&mut session, &mut cache, &config, counters, &mut recent, batch, started);
     }
 }
 
@@ -458,6 +575,7 @@ fn serve_batch(
     cache: &mut DecisionCache,
     config: &ServeConfig,
     counters: &Counters,
+    recent: &mut RecentLatencies,
     batch: Batch,
     started: Instant,
 ) {
@@ -522,10 +640,16 @@ fn serve_batch(
     counters.cache_misses.store(cache.misses(), Ordering::Relaxed);
     counters.cache_evictions.store(cache.evictions(), Ordering::Relaxed);
     counters.cache_entries.store(cache.len() as u64, Ordering::Relaxed);
-    counters.record_batch(batch.len(), started.elapsed());
+    let latency = started.elapsed();
+    counters.record_batch(batch.len(), latency);
+    // The rolling p99 the latency shedder reads: unlike the all-time
+    // histogram it *recovers* once slow batches age out of the window, so
+    // a past overload episode does not shed forever.
+    counters.recent_p99_us.store(recent.record_p99_us(latency), Ordering::Relaxed);
 
-    // Pass 3: reply (a dropped ticket is fine — the client gave up).
-    for ((_, reply), answer) in batch.iter().zip(answers) {
-        let _ = reply.send(answer.expect("every request answered"));
+    // Pass 3: complete the tickets (a dropped ticket is fine — the client
+    // gave up; completing it is a no-op nobody observes).
+    for ((_, reply), answer) in batch.into_iter().zip(answers) {
+        reply.complete(Ok(answer.expect("every request answered")));
     }
 }

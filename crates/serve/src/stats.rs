@@ -38,9 +38,44 @@ fn latency_bucket_upper_s(bucket: usize) -> f64 {
     (1u64 << bucket) as f64 * 1e-6
 }
 
-/// Internal counter cells, shared between the worker thread (writer) and
-/// any number of snapshot readers. All updates are relaxed — the numbers
-/// are diagnostics, not synchronization. The worker publishes every cell
+/// Number of batches the rolling shed-control latency window spans.
+pub(crate) const RECENT_WINDOW: usize = 64;
+
+/// A ring over the last [`RECENT_WINDOW`] batch latencies (µs), owned by
+/// the worker thread. Its p99 is what admission control sheds on: unlike
+/// the all-time histogram it *recovers* — once an overload episode ends,
+/// fresh fast batches push the slow ones out of the window and shedding
+/// stops.
+#[derive(Debug)]
+pub(crate) struct RecentLatencies {
+    buf: [u64; RECENT_WINDOW],
+    len: usize,
+    next: usize,
+}
+
+impl RecentLatencies {
+    pub(crate) fn new() -> Self {
+        RecentLatencies { buf: [0; RECENT_WINDOW], len: 0, next: 0 }
+    }
+
+    /// Records one batch latency and returns the window's current p99.
+    pub(crate) fn record_p99_us(&mut self, latency: Duration) -> u64 {
+        self.buf[self.next] = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.next = (self.next + 1) % RECENT_WINDOW;
+        self.len = (self.len + 1).min(RECENT_WINDOW);
+        let mut sorted = [0u64; RECENT_WINDOW];
+        sorted[..self.len].copy_from_slice(&self.buf[..self.len]);
+        sorted[..self.len].sort_unstable();
+        // Index of the ceil(0.99 * len)-th order statistic (1-based).
+        let rank = (0.99 * self.len as f64).ceil().max(1.0) as usize;
+        sorted[rank.min(self.len) - 1]
+    }
+}
+
+/// Internal counter cells, shared between the worker thread (writer), the
+/// admission check on every submitting thread, and any number of snapshot
+/// readers. All updates are relaxed — the numbers are diagnostics and
+/// shed heuristics, not synchronization. The worker publishes every cell
 /// (histograms included) *before* replying to the batch, so a client that
 /// reads `stats()` right after its answer arrives sees its own batch.
 #[derive(Debug, Default)]
@@ -53,6 +88,17 @@ pub(crate) struct Counters {
     pub cache_misses: AtomicU64,
     pub cache_evictions: AtomicU64,
     pub cache_entries: AtomicU64,
+    /// Live gauge: tuning requests admitted but not yet drained by the
+    /// worker (incremented by submitters, decremented on dequeue).
+    pub queue_depth: AtomicU64,
+    /// Submissions fast-rejected because the queue hit its depth cap.
+    pub shed_queue: AtomicU64,
+    /// Submissions fast-rejected because the rolling p99 batch latency
+    /// crossed the configured shed threshold.
+    pub shed_latency: AtomicU64,
+    /// p99 over the last [`RECENT_WINDOW`] batch latencies, µs — published
+    /// by the worker, read by every admission check.
+    pub recent_p99_us: AtomicU64,
     pub batch_sizes: [AtomicU64; BATCH_SIZE_BUCKETS],
     pub batch_latency: [AtomicU64; LATENCY_BUCKETS],
 }
@@ -83,6 +129,10 @@ impl Counters {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             cache_entries: self.cache_entries.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            shed_queue: self.shed_queue.load(Ordering::Relaxed),
+            shed_latency: self.shed_latency.load(Ordering::Relaxed),
+            recent_batch_latency_p99_s: self.recent_p99_us.load(Ordering::Relaxed) as f64 * 1e-6,
             batch_size_hist,
             batch_latency_p50_s: histogram_percentile(&latency, 0.50),
             batch_latency_p95_s: histogram_percentile(&latency, 0.95),
@@ -134,6 +184,26 @@ pub struct ServeStats {
     pub cache_evictions: u64,
     /// Entries currently resident in the cache.
     pub cache_entries: u64,
+    /// Requests admitted but not yet drained by the worker — a live gauge
+    /// of queue pressure (the other half of the admission-control signal).
+    #[serde(default)]
+    pub queue_depth: u64,
+    /// Submissions fast-rejected with
+    /// [`ServeError::Overloaded`](crate::ServeError::Overloaded) because
+    /// the submission queue was at its configured depth cap.
+    #[serde(default)]
+    pub shed_queue: u64,
+    /// Submissions fast-rejected because the rolling p99 batch latency
+    /// crossed the configured shed threshold while the queue was backed
+    /// up.
+    #[serde(default)]
+    pub shed_latency: u64,
+    /// p99 batch latency over the most recent batches (a short rolling
+    /// window), seconds — the latency signal admission control sheds on.
+    /// Unlike the all-time percentiles below, this recovers when an
+    /// overload episode ends.
+    #[serde(default)]
+    pub recent_batch_latency_p99_s: f64,
     /// Batches by size: `1`, `2`, `3-4`, `5-8`, `9-16`, `17-32`, `33-64`,
     /// `>64` requests.
     pub batch_size_hist: [u64; BATCH_SIZE_BUCKETS],
@@ -165,6 +235,13 @@ impl ServeStats {
             self.requests as f64 / self.batches as f64
         }
     }
+
+    /// Total submissions shed by admission control (queue-cap plus
+    /// latency rejections). Sheds are *not* counted in
+    /// [`requests`](Self::requests) — they never reached the worker.
+    pub fn sheds(&self) -> u64 {
+        self.shed_queue + self.shed_latency
+    }
 }
 
 impl fmt::Display for ServeStats {
@@ -172,8 +249,8 @@ impl fmt::Display for ServeStats {
         write!(
             f,
             "{} requests in {} batches (mean {:.1}, max {}), cache {}/{} hit ({:.0}%), \
-             {} scored, {} resident, {} evicted, batch latency p50/p95/p99 \
-             {:.3}/{:.3}/{:.3} ms",
+             {} scored, {} resident, {} evicted, {} shed ({} queue / {} latency), \
+             batch latency p50/p95/p99 {:.3}/{:.3}/{:.3} ms",
             self.requests,
             self.batches,
             self.mean_batch(),
@@ -184,6 +261,9 @@ impl fmt::Display for ServeStats {
             self.scored_instances,
             self.cache_entries,
             self.cache_evictions,
+            self.sheds(),
+            self.shed_queue,
+            self.shed_latency,
             self.batch_latency_p50_s * 1e3,
             self.batch_latency_p95_s * 1e3,
             self.batch_latency_p99_s * 1e3,
@@ -260,6 +340,38 @@ mod tests {
             .checked_add(Duration::from_micros(1))
             .expect("fits in Duration");
         assert_eq!(latency_bucket(wrap), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn recent_window_p99_tracks_and_recovers() {
+        let mut recent = RecentLatencies::new();
+        // One slow batch in an empty window IS the p99.
+        assert_eq!(recent.record_p99_us(Duration::from_millis(50)), 50_000);
+        // A long run of fast batches pushes it out of the window — the
+        // recovery property the all-time histogram cannot offer.
+        let mut last = u64::MAX;
+        for _ in 0..RECENT_WINDOW {
+            last = recent.record_p99_us(Duration::from_micros(40));
+        }
+        assert_eq!(last, 40, "the slow batch aged out of the window");
+        // One new slow batch among 63 fast ones is the p99 again (rank
+        // ceil(0.99 * 64) = 64, the maximum).
+        assert_eq!(recent.record_p99_us(Duration::from_millis(7)), 7_000);
+    }
+
+    #[test]
+    fn shed_counters_surface_in_snapshot_and_display() {
+        let c = Counters::default();
+        c.queue_depth.fetch_add(3, Ordering::Relaxed);
+        c.shed_queue.fetch_add(5, Ordering::Relaxed);
+        c.shed_latency.fetch_add(2, Ordering::Relaxed);
+        c.recent_p99_us.store(1500, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.queue_depth, 3);
+        assert_eq!(s.sheds(), 7);
+        assert!((s.recent_batch_latency_p99_s - 1.5e-3).abs() < 1e-12);
+        let line = s.to_string();
+        assert!(line.contains("7 shed (5 queue / 2 latency)"), "{line}");
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! (`ShardRouter::snapshot_shard` + `CacheSnapshot::save_json`), not by
 //! the daemon.
 //!
+//! `--max-queue N` bounds the service's submission queue, `--shed-p99-ms MS`
+//! arms its rolling-p99 latency shedder (both shed with fast `overloaded`
+//! faults instead of queueing into timeouts), and `--max-in-flight N` caps
+//! concurrent tunes per router connection.
+//!
 //! `--synthetic-ranker SEED` serves a deterministic synthetic model
 //! instead of a trained one — every process given the same seed serves the
 //! same fingerprint, which is what demos, tests and load rigs need; real
@@ -31,7 +36,7 @@ use std::process::ExitCode;
 
 use sorl::StencilRanker;
 use sorl_serve::{CacheSnapshot, ServeConfig, TuneService};
-use sorl_shard::{synthetic_ranker, ShardServer};
+use sorl_shard::{synthetic_ranker, ShardServer, ShardServerConfig};
 
 struct Options {
     addr: String,
@@ -40,11 +45,15 @@ struct Options {
     snapshot: Option<PathBuf>,
     threads: Option<usize>,
     cache_capacity: Option<usize>,
+    max_queue: Option<usize>,
+    shed_p99_ms: Option<u64>,
+    max_in_flight: Option<usize>,
 }
 
 const USAGE: &str =
     "usage: sorl-shardd [--addr HOST:PORT] (--ranker MODEL.json | --synthetic-ranker SEED) \
-     [--snapshot CACHE.json] [--threads N] [--cache-capacity N]";
+     [--snapshot CACHE.json] [--threads N] [--cache-capacity N] [--max-queue N] \
+     [--shed-p99-ms MS] [--max-in-flight N]";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -54,6 +63,9 @@ fn parse_args() -> Result<Options, String> {
         snapshot: None,
         threads: None,
         cache_capacity: None,
+        max_queue: None,
+        shed_p99_ms: None,
+        max_in_flight: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -77,6 +89,20 @@ fn parse_args() -> Result<Options, String> {
                 let n = value("count")?;
                 opts.cache_capacity =
                     Some(n.parse().map_err(|e| format!("bad capacity {n:?}: {e}"))?);
+            }
+            "--max-queue" => {
+                let n = value("count")?;
+                opts.max_queue = Some(n.parse().map_err(|e| format!("bad queue cap {n:?}: {e}"))?);
+            }
+            "--shed-p99-ms" => {
+                let ms = value("milliseconds")?;
+                opts.shed_p99_ms =
+                    Some(ms.parse().map_err(|e| format!("bad p99 threshold {ms:?}: {e}"))?);
+            }
+            "--max-in-flight" => {
+                let n = value("count")?;
+                opts.max_in_flight =
+                    Some(n.parse().map_err(|e| format!("bad in-flight cap {n:?}: {e}"))?);
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
@@ -104,6 +130,14 @@ fn run() -> Result<(), String> {
     if let Some(capacity) = opts.cache_capacity {
         config.cache_capacity = capacity;
     }
+    // Admission control: bound the submission queue and/or arm the rolling
+    // p99 latency shedder (0 keeps either disabled).
+    if let Some(max_queue) = opts.max_queue {
+        config.max_queue = max_queue;
+    }
+    if let Some(ms) = opts.shed_p99_ms {
+        config.shed_p99 = std::time::Duration::from_millis(ms);
+    }
 
     let service = TuneService::spawn(ranker, config);
     eprintln!("sorl-shardd: serving ranker {:#018x}", service.ranker_fingerprint());
@@ -128,7 +162,11 @@ fn run() -> Result<(), String> {
         }
     }
 
-    let server = ShardServer::spawn(service, opts.addr.as_str())
+    let mut server_config = ShardServerConfig::default();
+    if let Some(cap) = opts.max_in_flight {
+        server_config.max_in_flight = cap;
+    }
+    let server = ShardServer::spawn_with(service, opts.addr.as_str(), server_config)
         .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
     // The supervisor contract: exactly one LISTENING line on stdout.
     println!("LISTENING {}", server.local_addr());

@@ -58,5 +58,5 @@ pub mod wire;
 pub use router::{ShardError, ShardRouter, WarmupReport};
 pub use routing::{rendezvous_owner, rendezvous_weight, shard_seed, CacheSlice, Topology};
 pub use synthetic::synthetic_ranker;
-pub use tcp::{ShardServer, TcpShard};
+pub use tcp::{ReconnectPolicy, ShardServer, ShardServerConfig, TcpShard};
 pub use transport::{LocalShard, ShardTransport};

@@ -2,70 +2,199 @@
 //! a shard in another process or on another host) and [`ShardServer`] (the
 //! accept loop that fronts a [`TuneService`] with the wire protocol).
 //!
-//! Both ends speak the framed protocol of [`crate::wire`]: every request
-//! is one frame, every answer one frame or a chunked snapshot stream, and
-//! anything malformed — wrong magic or version, garbage bytes, a peer
-//! closing mid-request, a corrupted snapshot chunk — surfaces as
-//! [`ServeError::Transport`] on the caller without touching any cache or
-//! topology (the router's error paths are side-effect-free by
-//! construction).
+//! Both ends speak the framed protocol of [`crate::wire`], and both ends
+//! **multiplex**: a v2 link carries many in-flight requests at once, each
+//! stamped with a request id. The client keeps a pending-request table and
+//! one reader thread per link that routes response frames (and whole
+//! snapshot streams) back to their waiting callers; the server pairs one
+//! reader with one writer thread per connection and completes tuning
+//! requests through the service's non-blocking tickets, so a single
+//! connection pipelines instead of lock-stepping call/response.
+//!
+//! Version negotiation is lazy and per-link: the first call sends a v2
+//! fingerprint probe; a v2 peer answers it and the link goes multiplexed,
+//! while a v1-only peer rejects the probe with its ordinary
+//! version-mismatch fault and the link redials in lock-step v1 mode
+//! ([`TcpShard::connect_v1`] forces that mode outright). The server side
+//! needs no negotiation at all — it answers every frame in the version it
+//! arrived in.
+//!
+//! Overload surfaces as backpressure, not timeouts: the client caps its
+//! own in-flight requests per link (submitters wait), and the server caps
+//! in-flight tunes per connection, fast-rejecting past the cap with an
+//! [`ShedReason::LinkInFlight`] fault — on top of whatever admission
+//! control the fronted service itself applies.
+//!
+//! Anything malformed — wrong magic or version, garbage bytes, a peer
+//! closing mid-request, a response for a request id that was never issued,
+//! a corrupted snapshot chunk — surfaces as [`ServeError::Transport`] on
+//! the caller without touching any cache or topology (the router's error
+//! paths are side-effect-free by construction).
 //!
 //! A `TcpShard` holds **one** connection (the router's link to that
-//! shard), lazily (re)established: after a transport error the connection
-//! is dropped and the next call dials fresh, so a restarted shard server
-//! is picked up without router surgery. There is deliberately no retry
-//! loop inside a call — reconnect-with-backoff policy belongs to the
-//! operator layer (see ROADMAP).
+//! shard). Dial failures are retried with exponential backoff per its
+//! [`ReconnectPolicy`]; after a transport error the connection is dropped
+//! and the next call redials (again under the policy), so a restarted
+//! shard server is picked up without router surgery. There is still no
+//! retry of a *request* — a call that failed in flight fails its caller.
 //!
-//! The server spawns one connection-handler thread per accepted router
-//! link; handlers hold the service only weakly, so dropping the
-//! [`ShardServer`] shuts the underlying service down even while
-//! connections are open (subsequent requests on them are answered with a
-//! `closed` fault).
+//! The server spawns one connection-handler (reader) thread plus one
+//! writer thread per accepted router link; handlers hold the service only
+//! weakly, so dropping the [`ShardServer`] shuts the underlying service
+//! down even while connections are open (subsequent requests on them are
+//! answered with a `closed` fault).
 
+use std::collections::HashMap;
 use std::io::{self, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::{Arc, Mutex, Weak};
-use std::time::Duration;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
 
 use sorl::tuner::TopK;
-use sorl_serve::{CacheSnapshot, ServeError, ServeStats, SnapshotHeader, TuneRequest, TuneService};
+use sorl_serve::{
+    CacheSnapshot, ServeError, ServeStats, ShedReason, SnapshotHeader, TuneRequest, TuneService,
+};
 use stencil_model::StencilInstance;
 
 use crate::routing::CacheSlice;
 use crate::transport::ShardTransport;
-use crate::wire::{self, FrameKind};
+use crate::wire::{self, FrameKind, WireError, PROTOCOL_V1, PROTOCOL_V2};
 
-/// Default per-call socket timeout (reads and writes). A tuning pass is
+/// Default per-call socket timeout (reads and writes), and the cap on how
+/// long a multiplexed caller waits for its response. A tuning pass is
 /// milliseconds; a peer silent this long is treated as gone.
 pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default cap on a [`TcpShard`]'s own in-flight requests per link.
+pub const DEFAULT_CLIENT_IN_FLIGHT: usize = 64;
+
+/// How a [`TcpShard`] retries *dialing* (never requests): exponential
+/// backoff, bounded attempts.
+///
+/// `delay_before(n)` is the pause before retry `n` (0-based):
+/// `base * factor^n`, capped at `max_delay`; `None` once `attempts`
+/// retries are spent. The default — 25ms doubling to a 1s ceiling over 4
+/// retries — rides out a shard restart without masking a dead host for
+/// long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Multiplier applied per retry.
+    pub factor: u32,
+    /// Ceiling on any single delay.
+    pub max_delay: Duration,
+    /// How many retries follow the initial attempt.
+    pub attempts: u32,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            base: Duration::from_millis(25),
+            factor: 2,
+            max_delay: Duration::from_secs(1),
+            attempts: 4,
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// No retries at all: one dial attempt, its error surfaced as-is.
+    pub const NO_RETRY: ReconnectPolicy =
+        ReconnectPolicy { base: Duration::ZERO, factor: 1, max_delay: Duration::ZERO, attempts: 0 };
+
+    /// The pause before 0-based retry `retry`, or `None` when the budget
+    /// is exhausted.
+    pub fn delay_before(&self, retry: u32) -> Option<Duration> {
+        if retry >= self.attempts {
+            return None;
+        }
+        let scale = self.factor.max(1).saturating_pow(retry);
+        Some(self.base.saturating_mul(scale).min(self.max_delay))
+    }
+
+    /// The full deterministic backoff schedule, in order.
+    pub fn schedule(&self) -> impl Iterator<Item = Duration> + '_ {
+        (0..self.attempts).map_while(|retry| self.delay_before(retry))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
 
 /// A [`ShardTransport`] over one TCP connection to a [`ShardServer`].
 #[derive(Debug)]
 pub struct TcpShard {
     addr: SocketAddr,
     timeout: Duration,
-    stream: Mutex<Option<TcpStream>>,
+    reconnect: ReconnectPolicy,
+    max_in_flight: usize,
+    force_v1: bool,
+    conn: Mutex<Slot>,
+}
+
+/// The link slot: freshly dialed but not yet negotiated, negotiated, or
+/// empty (never connected, or poisoned by a transport failure).
+#[derive(Debug)]
+enum Slot {
+    Empty,
+    /// Dialed at `connect` time; the first call negotiates on it.
+    Raw(TcpStream),
+    Ready(Arc<Link>),
 }
 
 impl TcpShard {
     /// Connects to a shard server, verifying reachability eagerly (the
-    /// connection is then kept for subsequent calls).
+    /// connection is then kept for subsequent calls; protocol negotiation
+    /// happens on the first call).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         Self::connect_with(addr, DEFAULT_IO_TIMEOUT)
     }
 
     /// Like [`connect`](Self::connect) with an explicit socket timeout
-    /// for every read and write.
+    /// for every read and write (and for how long a multiplexed call
+    /// waits for its answer).
     pub fn connect_with(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
         let addr = addr
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
-        let shard = TcpShard { addr, timeout, stream: Mutex::new(None) };
+        let shard = TcpShard {
+            addr,
+            timeout,
+            reconnect: ReconnectPolicy::default(),
+            max_in_flight: DEFAULT_CLIENT_IN_FLIGHT,
+            force_v1: false,
+            conn: Mutex::new(Slot::Empty),
+        };
         let stream = shard.dial()?;
-        *shard.stream.lock().expect("tcp shard lock") = Some(stream);
+        *shard.conn.lock().expect("tcp shard lock") = Slot::Raw(stream);
         Ok(shard)
+    }
+
+    /// Like [`connect`](Self::connect), but forcing the lock-step v1
+    /// protocol even against a v2 server — the interop escape hatch (and
+    /// the baseline half of the pipelined-vs-lockstep benches).
+    pub fn connect_v1(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let mut shard = Self::connect_with(addr, DEFAULT_IO_TIMEOUT)?;
+        shard.force_v1 = true;
+        Ok(shard)
+    }
+
+    /// Replaces the dial retry policy (builder style).
+    pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = policy;
+        self
+    }
+
+    /// Replaces the per-link in-flight cap (builder style; min 1).
+    /// Submitting callers past the cap *wait* — backpressure, not a shed.
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight.max(1);
+        self
     }
 
     /// The server address this shard dials.
@@ -81,25 +210,112 @@ impl TcpShard {
         Ok(stream)
     }
 
-    /// Runs one request/response exchange on the link. The connection is
-    /// (re)dialed if needed; on a transport-level failure it is dropped,
-    /// so the next call starts clean (e.g. against a restarted server).
-    fn call<T>(
-        &self,
-        f: impl FnOnce(&mut TcpStream) -> Result<T, ServeError>,
-    ) -> Result<T, ServeError> {
-        let mut guard = self.stream.lock().expect("tcp shard lock");
-        if guard.is_none() {
-            *guard =
-                Some(self.dial().map_err(|e| {
-                    ServeError::Transport(format!("connect to {}: {e}", self.addr))
-                })?);
+    /// Dials under the reconnect policy: dial failures sleep out the
+    /// backoff schedule before the error finally surfaces.
+    fn dial_retrying(&self) -> Result<TcpStream, ServeError> {
+        let mut retry = 0u32;
+        loop {
+            match self.dial() {
+                Ok(stream) => return Ok(stream),
+                Err(e) => match self.reconnect.delay_before(retry) {
+                    Some(delay) => {
+                        std::thread::sleep(delay);
+                        retry += 1;
+                    }
+                    None => {
+                        return Err(ServeError::Transport(format!(
+                            "connect to {} failed after {} attempt(s): {e}",
+                            self.addr,
+                            retry + 1
+                        )));
+                    }
+                },
+            }
         }
-        let result = f(guard.as_mut().expect("stream just ensured"));
+    }
+
+    /// Returns the live link, (re)establishing it if the slot is empty,
+    /// raw, or poisoned.
+    fn link(&self) -> Result<Arc<Link>, ServeError> {
+        let mut slot = self.conn.lock().expect("tcp shard lock");
+        if let Slot::Ready(link) = &*slot {
+            if !link.is_dead() {
+                return Ok(Arc::clone(link));
+            }
+        }
+        let stream = match std::mem::replace(&mut *slot, Slot::Empty) {
+            Slot::Raw(stream) => stream,
+            Slot::Empty | Slot::Ready(_) => self.dial_retrying()?,
+        };
+        let link = self.negotiate(stream)?;
+        *slot = Slot::Ready(Arc::clone(&link));
+        Ok(link)
+    }
+
+    /// Version negotiation on a fresh stream: probe with a v2 fingerprint
+    /// request. A v2 peer answers it (the link goes multiplexed); a
+    /// v1-only peer faults the unknown version and hangs up (the link
+    /// redials in lock-step mode).
+    fn negotiate(&self, mut stream: TcpStream) -> Result<Arc<Link>, ServeError> {
+        if self.force_v1 {
+            return Ok(Arc::new(Link::V1(Mutex::new(stream))));
+        }
+        wire::write_frame_v2(&mut stream, FrameKind::Fingerprint, 0, &[])
+            .map_err(ServeError::from)?;
+        let frame = wire::read_frame(&mut stream).map_err(ServeError::from)?;
+        match frame.kind {
+            FrameKind::FingerprintOk if frame.version == PROTOCOL_V2 && frame.request_id == 0 => {
+                let reader = stream.try_clone().map_err(|e| {
+                    ServeError::Transport(format!("clone link to {}: {e}", self.addr))
+                })?;
+                let link = Arc::new(Link::V2(MuxLink {
+                    writer: Mutex::new(stream),
+                    state: Mutex::new(MuxState {
+                        next_id: 1,
+                        in_flight: 0,
+                        pending: HashMap::new(),
+                        dead: None,
+                    }),
+                    ready: Condvar::new(),
+                    timeout: self.timeout,
+                    max_in_flight: self.max_in_flight,
+                }));
+                let weak = Arc::downgrade(&link);
+                std::thread::Builder::new()
+                    .name("sorl-shard-link".into())
+                    .spawn(move || mux_reader(reader, &weak))
+                    .map_err(|e| ServeError::Transport(format!("spawn link reader: {e}")))?;
+                Ok(link)
+            }
+            FrameKind::Error => {
+                let fault = wire::decode_fault(&frame.payload);
+                if matches!(&fault, ServeError::Transport(m) if m.contains("protocol version")) {
+                    // A v1-only peer: it faulted our v2 probe and closed
+                    // the connection, so redial fresh and speak lock-step.
+                    let stream = self.dial_retrying()?;
+                    return Ok(Arc::new(Link::V1(Mutex::new(stream))));
+                }
+                Err(fault)
+            }
+            other => Err(ServeError::Transport(format!(
+                "unexpected {other:?} frame answering the version probe"
+            ))),
+        }
+    }
+
+    /// Runs one request on the link. On a transport-level failure the
+    /// connection is dropped, so the next call redials (e.g. against a
+    /// restarted server).
+    fn call<T>(&self, f: impl FnOnce(&Link) -> Result<T, ServeError>) -> Result<T, ServeError> {
+        let link = self.link()?;
+        let result = f(&link);
         if matches!(result, Err(ServeError::Transport(_))) {
-            // Unknown stream state (half-written frame, desynced peer):
-            // poison the link; the next call dials fresh.
-            *guard = None;
+            let mut slot = self.conn.lock().expect("tcp shard lock");
+            if let Slot::Ready(current) = &*slot {
+                if Arc::ptr_eq(current, &link) {
+                    *slot = Slot::Empty;
+                }
+            }
         }
         result
     }
@@ -107,64 +323,501 @@ impl TcpShard {
 
 impl ShardTransport for TcpShard {
     fn tune(&self, instance: StencilInstance, k: usize) -> Result<TopK, ServeError> {
-        self.call(|stream| {
-            let req = TuneRequest::new(instance, k);
-            wire::write_frame(stream, FrameKind::Tune, &wire::to_payload(&req))?;
-            let payload = wire::expect_frame(stream, FrameKind::TuneOk, "tune answer")?;
-            wire::from_payload(&payload)
+        let payload = wire::to_payload(&TuneRequest::new(instance, k));
+        self.call(|link| {
+            let answer =
+                link.request(FrameKind::Tune, &payload, FrameKind::TuneOk, "tune answer")?;
+            wire::from_payload(&answer)
         })
     }
 
     fn ranker_fingerprint(&self) -> Result<u64, ServeError> {
-        self.call(|stream| {
-            wire::write_frame(stream, FrameKind::Fingerprint, &[])?;
-            let payload = wire::expect_frame(stream, FrameKind::FingerprintOk, "fingerprint")?;
-            wire::from_payload(&payload)
+        self.call(|link| {
+            let answer =
+                link.request(FrameKind::Fingerprint, &[], FrameKind::FingerprintOk, "fingerprint")?;
+            wire::from_payload(&answer)
         })
     }
 
     fn stats(&self) -> Result<ServeStats, ServeError> {
-        self.call(|stream| {
-            wire::write_frame(stream, FrameKind::Stats, &[])?;
-            let payload = wire::expect_frame(stream, FrameKind::StatsOk, "stats")?;
-            wire::from_payload(&payload)
+        self.call(|link| {
+            let answer = link.request(FrameKind::Stats, &[], FrameKind::StatsOk, "stats")?;
+            wire::from_payload(&answer)
         })
     }
 
     fn export_cache(&self, slice: &CacheSlice) -> Result<CacheSnapshot, ServeError> {
-        self.call(|stream| {
-            wire::write_frame(stream, FrameKind::ExportCache, &wire::to_payload(slice))?;
-            wire::read_snapshot_stream(stream)
-        })
+        let payload = wire::to_payload(slice);
+        self.call(|link| link.request_snapshot(FrameKind::ExportCache, &payload))
     }
 
     fn extract_cache(&self, slice: &CacheSlice) -> Result<CacheSnapshot, ServeError> {
-        self.call(|stream| {
-            wire::write_frame(stream, FrameKind::ExtractCache, &wire::to_payload(slice))?;
-            wire::read_snapshot_stream(stream)
-        })
+        let payload = wire::to_payload(slice);
+        self.call(|link| link.request_snapshot(FrameKind::ExtractCache, &payload))
     }
 
     fn import_cache(&self, snapshot: CacheSnapshot) -> Result<usize, ServeError> {
-        self.call(|stream| {
-            let (header, chunks) = snapshot.to_chunks(wire::CHUNK_ENTRIES);
-            wire::write_frame(stream, FrameKind::ImportCache, &wire::to_payload(&header))?;
-            wire::write_chunk_frames(stream, &chunks)?;
-            let payload = wire::expect_frame(stream, FrameKind::ImportOk, "import answer")?;
-            wire::from_payload(&payload)
+        let (header, chunks) = snapshot.to_chunks(wire::CHUNK_ENTRIES);
+        self.call(|link| {
+            let answer = link.import(&header, &chunks)?;
+            wire::from_payload(&answer)
         })
+    }
+}
+
+/// One negotiated connection: multiplexed v2, or lock-step v1.
+#[derive(Debug)]
+enum Link {
+    V2(MuxLink),
+    V1(Mutex<TcpStream>),
+}
+
+/// What a pending v2 request is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    /// One response frame of this kind.
+    Reply(FrameKind),
+    /// A snapshot stream (header + chunks).
+    Snapshot,
+}
+
+/// What a completed v2 request resolved to.
+#[derive(Debug)]
+enum Outcome {
+    Payload(Vec<u8>),
+    Snapshot(Box<CacheSnapshot>),
+}
+
+#[derive(Debug)]
+struct PendingRequest {
+    expect: Expect,
+    /// Snapshot stream in mid-reassembly (header seen, chunks pending).
+    assembling: Option<wire::SnapshotAssembler>,
+    done: Option<Result<Outcome, ServeError>>,
+}
+
+#[derive(Debug)]
+struct MuxState {
+    next_id: u64,
+    in_flight: usize,
+    pending: HashMap<u64, PendingRequest>,
+    /// Set once the link is unusable; every pending and future request on
+    /// it fails with this message.
+    dead: Option<String>,
+}
+
+/// A multiplexed link: callers register in a pending table keyed by
+/// request id and write under one writer lock; a reader thread routes
+/// response frames back and wakes them.
+#[derive(Debug)]
+struct MuxLink {
+    writer: Mutex<TcpStream>,
+    state: Mutex<MuxState>,
+    ready: Condvar,
+    timeout: Duration,
+    max_in_flight: usize,
+}
+
+impl Link {
+    fn is_dead(&self) -> bool {
+        match self {
+            Link::V2(mux) => mux.state.lock().expect("link state").dead.is_some(),
+            Link::V1(_) => false,
+        }
+    }
+
+    /// One request answered by one response frame.
+    fn request(
+        &self,
+        kind: FrameKind,
+        payload: &[u8],
+        expect: FrameKind,
+        wanted: &'static str,
+    ) -> Result<Vec<u8>, ServeError> {
+        match self {
+            Link::V2(mux) => {
+                let outcome = mux.call(Expect::Reply(expect), |stream, id| {
+                    wire::write_frame_v2(stream, kind, id, payload)
+                })?;
+                outcome.into_payload()
+            }
+            Link::V1(stream) => {
+                let mut stream = stream.lock().expect("link stream");
+                wire::write_frame(&mut *stream, kind, payload)?;
+                wire::expect_frame(&mut *stream, expect, wanted)
+            }
+        }
+    }
+
+    /// One request answered by a snapshot stream.
+    fn request_snapshot(
+        &self,
+        kind: FrameKind,
+        payload: &[u8],
+    ) -> Result<CacheSnapshot, ServeError> {
+        match self {
+            Link::V2(mux) => {
+                let outcome = mux.call(Expect::Snapshot, |stream, id| {
+                    wire::write_frame_v2(stream, kind, id, payload)
+                })?;
+                outcome.into_snapshot()
+            }
+            Link::V1(stream) => {
+                let mut stream = stream.lock().expect("link stream");
+                wire::write_frame(&mut *stream, kind, payload)?;
+                wire::read_snapshot_stream(&mut *stream)
+            }
+        }
+    }
+
+    /// An import: a header-plus-chunks request answered by one frame.
+    fn import(
+        &self,
+        header: &SnapshotHeader,
+        chunks: &[sorl_serve::SnapshotChunk],
+    ) -> Result<Vec<u8>, ServeError> {
+        let header_payload = wire::to_payload(header);
+        match self {
+            Link::V2(mux) => {
+                // Header and chunks go out contiguously under the writer
+                // lock, so the server can read the stream inline.
+                let outcome = mux.call(Expect::Reply(FrameKind::ImportOk), |stream, id| {
+                    wire::write_frame_v2(stream, FrameKind::ImportCache, id, &header_payload)?;
+                    wire::write_chunk_frames_in(stream, PROTOCOL_V2, id, chunks)
+                })?;
+                outcome.into_payload()
+            }
+            Link::V1(stream) => {
+                let mut stream = stream.lock().expect("link stream");
+                wire::write_frame(&mut *stream, FrameKind::ImportCache, &header_payload)?;
+                wire::write_chunk_frames(&mut *stream, chunks)?;
+                wire::expect_frame(&mut *stream, FrameKind::ImportOk, "import answer")
+            }
+        }
+    }
+}
+
+impl Outcome {
+    fn into_payload(self) -> Result<Vec<u8>, ServeError> {
+        match self {
+            Outcome::Payload(payload) => Ok(payload),
+            Outcome::Snapshot(_) => {
+                Err(ServeError::Transport("snapshot stream answered a plain request".into()))
+            }
+        }
+    }
+
+    fn into_snapshot(self) -> Result<CacheSnapshot, ServeError> {
+        match self {
+            Outcome::Snapshot(snapshot) => Ok(*snapshot),
+            Outcome::Payload(_) => {
+                Err(ServeError::Transport("plain frame answered a snapshot request".into()))
+            }
+        }
+    }
+}
+
+impl MuxLink {
+    /// Admits one request: waits (backpressure) while the link is at its
+    /// in-flight cap, then registers a fresh id in the pending table.
+    fn begin(&self, expect: Expect) -> Result<u64, ServeError> {
+        let deadline = Instant::now() + self.timeout;
+        let mut state = self.state.lock().expect("link state");
+        loop {
+            if let Some(reason) = &state.dead {
+                return Err(ServeError::Transport(reason.clone()));
+            }
+            if state.in_flight < self.max_in_flight {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServeError::Transport(format!(
+                    "link backpressure: {} requests in flight for longer than {:?}",
+                    state.in_flight, self.timeout
+                )));
+            }
+            let (guard, _) = self.ready.wait_timeout(state, deadline - now).expect("link state");
+            state = guard;
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.in_flight += 1;
+        state.pending.insert(id, PendingRequest { expect, assembling: None, done: None });
+        Ok(id)
+    }
+
+    /// One full multiplexed exchange: register, write, await.
+    fn call(
+        &self,
+        expect: Expect,
+        write: impl FnOnce(&mut TcpStream, u64) -> Result<(), WireError>,
+    ) -> Result<Outcome, ServeError> {
+        let id = self.begin(expect)?;
+        {
+            let mut stream = self.writer.lock().expect("link writer");
+            if let Err(e) = write(&mut stream, id) {
+                // A half-written frame desyncs the whole link, not just
+                // this request.
+                drop(stream);
+                self.fail_all(&format!("send failed: {e}"));
+            }
+        }
+        self.await_done(id)
+    }
+
+    /// Blocks until the reader resolves request `id` (or the wait times
+    /// out, which poisons the link — its socket state is unknowable).
+    fn await_done(&self, id: u64) -> Result<Outcome, ServeError> {
+        let deadline = Instant::now() + self.timeout;
+        let mut state = self.state.lock().expect("link state");
+        loop {
+            let entry = state.pending.get_mut(&id);
+            if let Some(done) = entry.and_then(|p| p.done.take()) {
+                state.pending.remove(&id);
+                state.in_flight -= 1;
+                // Wake both backpressure waiters and other awaiting
+                // callers.
+                self.ready.notify_all();
+                return done;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                state.pending.remove(&id);
+                state.in_flight -= 1;
+                let reason = format!("no response within {:?}", self.timeout);
+                Self::poison(&mut state, &reason);
+                self.ready.notify_all();
+                return Err(ServeError::Transport(reason));
+            }
+            let (guard, _) = self.ready.wait_timeout(state, deadline - now).expect("link state");
+            state = guard;
+        }
+    }
+
+    /// Marks the link dead and fails every pending request. Idempotent —
+    /// the first reason wins.
+    fn fail_all(&self, reason: &str) {
+        let mut state = self.state.lock().expect("link state");
+        Self::poison(&mut state, reason);
+        self.ready.notify_all();
+    }
+
+    fn poison(state: &mut MuxState, reason: &str) {
+        if state.dead.is_none() {
+            state.dead = Some(reason.to_string());
+        }
+        for pending in state.pending.values_mut() {
+            if pending.done.is_none() {
+                pending.done = Some(Err(ServeError::Transport(reason.to_string())));
+            }
+        }
+    }
+}
+
+impl Drop for MuxLink {
+    fn drop(&mut self) {
+        // Wake the reader thread out of its blocking read so it exits now
+        // instead of at its next idle-poll tick.
+        if let Ok(stream) = self.writer.lock() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// How often the link reader wakes from an idle read to check whether its
+/// `MuxLink` is still alive.
+const READER_IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// The per-link reader: routes every incoming frame to its pending
+/// request. Exits when the peer hangs up, the protocol is violated (after
+/// failing all pending requests), or the owning link is dropped.
+fn mux_reader(mut stream: TcpStream, link: &Weak<Link>) {
+    // Idle reads poll briefly so a dropped link is noticed; once a frame
+    // starts, reads run under the link's full IO timeout.
+    let _ = stream.set_read_timeout(Some(READER_IDLE_POLL));
+    loop {
+        let mut first = [0u8; 1];
+        let first = match stream.read(&mut first) {
+            Ok(0) => {
+                fail_link(link, "connection closed by peer");
+                return;
+            }
+            Ok(_) => first[0],
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if link.strong_count() == 0 {
+                    return;
+                }
+                continue;
+            }
+            Err(e) => {
+                fail_link(link, &format!("socket error: {e}"));
+                return;
+            }
+        };
+        let Some(mux) = upgrade_mux(link) else { return };
+        let _ = stream.set_read_timeout(Some(mux.timeout));
+        let result = wire::read_frame_after(&mut stream, first);
+        let _ = stream.set_read_timeout(Some(READER_IDLE_POLL));
+        match result {
+            Ok(frame) => {
+                if route_frame(&mux, frame).is_err() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            Err(e) => {
+                mux.fail_all(&e.to_string());
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+    }
+}
+
+fn upgrade_mux(link: &Weak<Link>) -> Option<Arc<MuxHandle>> {
+    let strong = link.upgrade()?;
+    match &*strong {
+        Link::V2(_) => Some(Arc::new(MuxHandle(strong))),
+        Link::V1(_) => None,
+    }
+}
+
+/// A reader-side handle projecting `Arc<Link>` to its `MuxLink`.
+struct MuxHandle(Arc<Link>);
+
+impl std::ops::Deref for MuxHandle {
+    type Target = MuxLink;
+    fn deref(&self) -> &MuxLink {
+        match &*self.0 {
+            Link::V2(mux) => mux,
+            Link::V1(_) => unreachable!("mux reader only serves v2 links"),
+        }
+    }
+}
+
+/// Routes one incoming frame. `Err` means the link is poisoned and the
+/// reader must exit.
+fn route_frame(mux: &MuxLink, frame: wire::Frame) -> Result<(), ()> {
+    let mut state = mux.state.lock().expect("link state");
+    let Some(pending) = state.pending.get_mut(&frame.request_id) else {
+        // A response for a request never issued (or long abandoned): the
+        // stream can no longer be trusted. An Error frame is the one
+        // exception worth decoding — a server announcing shutdown faults
+        // id 0 — but it still kills the link.
+        let reason = if frame.kind == FrameKind::Error {
+            format!("server fault: {}", wire::decode_fault(&frame.payload))
+        } else {
+            format!("server sent {:?} for unknown request id {}", frame.kind, frame.request_id)
+        };
+        MuxLink::poison(&mut state, &reason);
+        mux.ready.notify_all();
+        return Err(());
+    };
+    let resolution: Result<Option<Result<Outcome, ServeError>>, String> = match frame.kind {
+        FrameKind::Error => Ok(Some(Err(wire::decode_fault(&frame.payload)))),
+        kind if pending.expect == Expect::Reply(kind) => {
+            Ok(Some(Ok(Outcome::Payload(frame.payload))))
+        }
+        FrameKind::SnapshotHeader if pending.expect == Expect::Snapshot => {
+            if pending.assembling.is_some() {
+                Err("second snapshot header inside one stream".to_string())
+            } else {
+                match wire::from_payload::<SnapshotHeader>(&frame.payload)
+                    .and_then(wire::SnapshotAssembler::new)
+                {
+                    Ok(assembler) => {
+                        if assembler.is_complete() {
+                            Ok(Some(assembler.finish().map(|s| Outcome::Snapshot(Box::new(s)))))
+                        } else {
+                            pending.assembling = Some(assembler);
+                            Ok(None)
+                        }
+                    }
+                    Err(e) => Ok(Some(Err(e))),
+                }
+            }
+        }
+        FrameKind::SnapshotChunk if pending.expect == Expect::Snapshot => {
+            match pending.assembling.as_mut() {
+                None => Err("snapshot chunk before its header".to_string()),
+                Some(assembler) => match assembler.push_chunk(&frame.payload) {
+                    // A bounds/length violation could desync framing for
+                    // the rest of the stream — poison, don't just fail
+                    // the one request.
+                    Err(e) => Err(e.to_string()),
+                    Ok(()) => {
+                        if assembler.is_complete() {
+                            let assembler = pending.assembling.take().expect("just matched");
+                            Ok(Some(assembler.finish().map(|s| Outcome::Snapshot(Box::new(s)))))
+                        } else {
+                            Ok(None)
+                        }
+                    }
+                },
+            }
+        }
+        other => Err(format!("unexpected {other:?} frame for request {}", frame.request_id)),
+    };
+    match resolution {
+        Ok(None) => Ok(()), // mid-stream, keep reading
+        Ok(Some(done)) => {
+            pending.done = Some(done);
+            mux.ready.notify_all();
+            Ok(())
+        }
+        Err(reason) => {
+            MuxLink::poison(&mut state, &reason);
+            mux.ready.notify_all();
+            Err(())
+        }
+    }
+}
+
+fn fail_link(link: &Weak<Link>, reason: &str) {
+    if let Some(mux) = upgrade_mux(link) {
+        mux.fail_all(reason);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// [`ShardServer`] knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardServerConfig {
+    /// Cap on in-flight tuning requests per connection. A request past the
+    /// cap is fast-rejected with an
+    /// [`ServeError::Overloaded`]`(`[`ShedReason::LinkInFlight`]`)` fault
+    /// — per-link backpressure in front of the service's own admission
+    /// control.
+    pub max_in_flight: usize,
+}
+
+impl Default for ShardServerConfig {
+    fn default() -> Self {
+        ShardServerConfig { max_in_flight: 256 }
     }
 }
 
 /// A TCP server fronting one [`TuneService`] — the in-process half of
 /// `sorl-shardd`.
 ///
-/// [`spawn`](Self::spawn) binds, then accepts on a background thread; one
-/// handler thread serves each accepted connection (a router holds one
-/// link per shard, so the thread count tracks the number of routers).
-/// The server owns the service; handlers only hold it weakly, so dropping
-/// the `ShardServer` shuts the service down deterministically even while
-/// router links are open.
+/// [`spawn`](Self::spawn) binds, then accepts on a background thread; each
+/// accepted connection gets a reader thread (parses requests, submits
+/// non-blocking tickets) and a writer thread (serializes replies as they
+/// complete — in whatever order the service finishes them, which is what
+/// lets one connection pipeline). The server owns the service; handlers
+/// only hold it weakly, so dropping the `ShardServer` shuts the service
+/// down deterministically even while router links are open.
 #[derive(Debug)]
 pub struct ShardServer {
     service: Arc<TuneService>,
@@ -175,8 +828,17 @@ pub struct ShardServer {
 
 impl ShardServer {
     /// Binds `addr` (use port 0 for an OS-assigned port) and starts
-    /// accepting router links.
+    /// accepting router links, with default [`ShardServerConfig`].
     pub fn spawn(service: TuneService, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::spawn_with(service, addr, ShardServerConfig::default())
+    }
+
+    /// Like [`spawn`](Self::spawn) with explicit knobs.
+    pub fn spawn_with(
+        service: TuneService,
+        addr: impl ToSocketAddrs,
+        config: ShardServerConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let service = Arc::new(service);
@@ -185,7 +847,7 @@ impl ShardServer {
         let closing_flag = Arc::clone(&closing);
         let accept_thread = std::thread::Builder::new()
             .name("sorl-shardd-accept".into())
-            .spawn(move || accept_loop(&listener, &weak, &closing_flag))?;
+            .spawn(move || accept_loop(&listener, &weak, &closing_flag, config))?;
         Ok(ShardServer { service, addr, closing, accept_thread: Some(accept_thread) })
     }
 
@@ -232,6 +894,7 @@ fn accept_loop(
     listener: &TcpListener,
     service: &Weak<TuneService>,
     closing: &std::sync::atomic::AtomicBool,
+    config: ShardServerConfig,
 ) {
     for stream in listener.incoming() {
         if closing.load(std::sync::atomic::Ordering::SeqCst) {
@@ -248,7 +911,7 @@ fn accept_loop(
         let name = "sorl-shardd-conn".to_string();
         let _ = std::thread::Builder::new()
             .name(name)
-            .spawn(move || handle_connection(stream, &service));
+            .spawn(move || handle_connection(stream, &service, config));
     }
 }
 
@@ -257,12 +920,59 @@ fn accept_loop(
 /// healthy and waits forever; a peer that stalls mid-frame is gone.
 const SERVER_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// One queued reply for the connection's writer thread.
+enum WriteJob {
+    /// A single response frame, in the version its request arrived in.
+    Frame { version: u16, request_id: u64, kind: FrameKind, payload: Vec<u8> },
+    /// A snapshot stream response.
+    Snapshot { version: u16, request_id: u64, snapshot: Box<CacheSnapshot> },
+    /// Flush nothing more; shut the socket down (protocol violation or
+    /// service shutdown — queued before this job is the farewell fault).
+    Close,
+}
+
+fn fault_job(version: u16, request_id: u64, fault: &ServeError) -> WriteJob {
+    WriteJob::Frame {
+        version,
+        request_id,
+        kind: FrameKind::Error,
+        payload: wire::encode_fault(fault),
+    }
+}
+
+/// The per-connection writer: serializes reply jobs in completion order.
+/// Exits when every sender (the reader plus any pending ticket callbacks)
+/// is gone, on [`WriteJob::Close`], or when a write fails (the peer
+/// stopped reading) — dropping the receiver then makes subsequent sends
+/// fail, which tells the reader the link is done.
+fn write_loop(mut stream: TcpStream, jobs: &mpsc::Receiver<WriteJob>) {
+    while let Ok(job) = jobs.recv() {
+        let wrote = match job {
+            WriteJob::Frame { version, request_id, kind, payload } => {
+                wire::write_frame_in(&mut stream, version, kind, request_id, &payload)
+            }
+            WriteJob::Snapshot { version, request_id, snapshot } => {
+                wire::write_snapshot_stream_in(&mut stream, version, request_id, &snapshot)
+            }
+            WriteJob::Close => break,
+        };
+        if wrote.is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
 /// Blocks until the peer sends the first byte of the next frame.
-/// `Ok(None)` means the link is done (peer closed, or our service is
+/// `None` means the link is done (peer closed, or our service is
 /// gone); timeouts while *idle* just keep waiting — but each wakeup
 /// re-checks the service so abandoned handlers exit instead of parking
 /// forever.
-fn await_first_byte(stream: &mut TcpStream, service: &Weak<TuneService>) -> Option<u8> {
+fn await_first_byte(
+    stream: &mut TcpStream,
+    service: &Weak<TuneService>,
+    jobs: &mpsc::Sender<WriteJob>,
+) -> Option<u8> {
     let mut first = [0u8; 1];
     loop {
         match stream.read(&mut first) {
@@ -277,11 +987,8 @@ fn await_first_byte(stream: &mut TcpStream, service: &Weak<TuneService>) -> Opti
                 ) =>
             {
                 if service.strong_count() == 0 {
-                    let _ = wire::write_frame(
-                        stream,
-                        FrameKind::Error,
-                        &wire::encode_fault(&ServeError::Closed),
-                    );
+                    let _ = jobs.send(fault_job(PROTOCOL_V1, 0, &ServeError::Closed));
+                    let _ = jobs.send(WriteJob::Close);
                     return None;
                 }
             }
@@ -296,34 +1003,48 @@ fn await_first_byte(stream: &mut TcpStream, service: &Weak<TuneService>) -> Opti
 /// best-effort error frame and the connection is closed. The socket
 /// timeouts only bite *mid-frame* (or on stalled writes): waiting for the
 /// start of the next request is untimed, so idle router links stay up.
-fn handle_connection(mut stream: TcpStream, service: &Weak<TuneService>) {
+fn handle_connection(
+    mut stream: TcpStream,
+    service: &Weak<TuneService>,
+    config: ShardServerConfig,
+) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(SERVER_IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(SERVER_IO_TIMEOUT));
-    loop {
-        let Some(first) = await_first_byte(&mut stream, service) else { return };
-        let (kind, payload) = match wire::read_frame_after(&mut stream, first) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let (jobs, jobs_rx) = mpsc::channel::<WriteJob>();
+    let Ok(writer) = std::thread::Builder::new()
+        .name("sorl-shardd-write".into())
+        .spawn(move || write_loop(write_half, &jobs_rx))
+    else {
+        return;
+    };
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    while let Some(first) = await_first_byte(&mut stream, service, &jobs) {
+        let frame = match wire::read_frame_after(&mut stream, first) {
             Ok(frame) => frame,
-            Err(wire::WireError::Io(_)) => return, // peer died (or stalled) mid-frame
+            Err(WireError::Io(_)) => break, // peer died (or stalled) mid-frame
             Err(violation) => {
                 let fault = ServeError::Transport(violation.to_string());
-                let _ =
-                    wire::write_frame(&mut stream, FrameKind::Error, &wire::encode_fault(&fault));
-                return;
+                let _ = jobs.send(fault_job(PROTOCOL_V1, 0, &fault));
+                let _ = jobs.send(WriteJob::Close);
+                break;
             }
         };
         let Some(service) = service.upgrade() else {
-            let _ = wire::write_frame(
-                &mut stream,
-                FrameKind::Error,
-                &wire::encode_fault(&ServeError::Closed),
-            );
-            return;
+            let _ = jobs.send(fault_job(frame.version, frame.request_id, &ServeError::Closed));
+            let _ = jobs.send(WriteJob::Close);
+            break;
         };
-        if serve_request(&mut stream, kind, &payload, &service).is_err() {
-            return;
+        if serve_request(&mut stream, frame, &service, &jobs, &in_flight, config).is_err() {
+            let _ = jobs.send(WriteJob::Close);
+            break;
         }
     }
+    // The reader is done; the writer drains queued replies (plus any tune
+    // answers still completing) and exits once the last sender is gone.
+    drop(jobs);
+    let _ = writer.join();
 }
 
 /// Outcome of one request: `Ok` keeps the link, `Err` closes it.
@@ -331,33 +1052,77 @@ type LinkState = Result<(), ()>;
 
 fn serve_request(
     stream: &mut TcpStream,
-    kind: FrameKind,
-    payload: &[u8],
+    frame: wire::Frame,
     service: &TuneService,
+    jobs: &mpsc::Sender<WriteJob>,
+    in_flight: &Arc<AtomicUsize>,
+    config: ShardServerConfig,
 ) -> LinkState {
+    let wire::Frame { version, kind, request_id, payload } = frame;
+    let reply =
+        |kind: FrameKind, payload: Vec<u8>| WriteJob::Frame { version, request_id, kind, payload };
     match kind {
         FrameKind::Tune => {
-            let answer = wire::from_payload::<TuneRequest>(payload)
-                .and_then(|req| {
-                    // Deserialization bypasses `StencilInstance::new`'s
-                    // invariants (positive extents, kernel/grid dimension
-                    // agreement); re-validate so a malformed wire instance
-                    // is rejected here instead of poisoning the scoring
-                    // pipeline and the cache.
-                    let instance =
-                        StencilInstance::new(req.instance.kernel().clone(), req.instance.size())
-                            .map_err(|e| ServeError::Transport(format!("invalid instance: {e}")))?;
-                    Ok((instance, req.k))
-                })
-                .and_then(|(instance, k)| service.client().tune(instance, k));
-            reply(stream, FrameKind::TuneOk, answer)
+            let parsed = wire::from_payload::<TuneRequest>(&payload).and_then(|req| {
+                // Deserialization bypasses `StencilInstance::new`'s
+                // invariants (positive extents, kernel/grid dimension
+                // agreement); re-validate so a malformed wire instance
+                // is rejected here instead of poisoning the scoring
+                // pipeline and the cache.
+                let instance =
+                    StencilInstance::new(req.instance.kernel().clone(), req.instance.size())
+                        .map_err(|e| ServeError::Transport(format!("invalid instance: {e}")))?;
+                Ok((instance, req.k))
+            });
+            let (instance, k) = match parsed {
+                Ok(parts) => parts,
+                Err(fault) => return keep(jobs.send(fault_job(version, request_id, &fault))),
+            };
+            // The per-connection backpressure cap: a link pushing more
+            // concurrent tunes than configured gets cheap rejections, not
+            // a growing reply backlog.
+            if in_flight.load(Ordering::Acquire) >= config.max_in_flight {
+                let fault = ServeError::Overloaded(ShedReason::LinkInFlight);
+                return keep(jobs.send(fault_job(version, request_id, &fault)));
+            }
+            in_flight.fetch_add(1, Ordering::AcqRel);
+            match service.client().submit(instance, k) {
+                Ok(ticket) => {
+                    let jobs = jobs.clone();
+                    let in_flight = Arc::clone(in_flight);
+                    // The reply is queued by the service worker the moment
+                    // the answer lands — out of arrival order if the
+                    // service finishes another request first.
+                    ticket.on_ready(move |outcome| {
+                        in_flight.fetch_sub(1, Ordering::AcqRel);
+                        let job = match outcome {
+                            Ok(top) => WriteJob::Frame {
+                                version,
+                                request_id,
+                                kind: FrameKind::TuneOk,
+                                payload: wire::to_payload(&top),
+                            },
+                            Err(fault) => fault_job(version, request_id, &fault),
+                        };
+                        let _ = jobs.send(job);
+                    });
+                    Ok(())
+                }
+                Err(fault) => {
+                    in_flight.fetch_sub(1, Ordering::AcqRel);
+                    keep(jobs.send(fault_job(version, request_id, &fault)))
+                }
+            }
         }
-        FrameKind::Stats => reply(stream, FrameKind::StatsOk, Ok(service.stats())),
-        FrameKind::Fingerprint => {
-            reply(stream, FrameKind::FingerprintOk, Ok(service.ranker_fingerprint()))
+        FrameKind::Stats => {
+            keep(jobs.send(reply(FrameKind::StatsOk, wire::to_payload(&service.stats()))))
         }
+        FrameKind::Fingerprint => keep(jobs.send(reply(
+            FrameKind::FingerprintOk,
+            wire::to_payload(&service.ranker_fingerprint()),
+        ))),
         FrameKind::ExportCache | FrameKind::ExtractCache => {
-            let snapshot = wire::from_payload::<CacheSlice>(payload).and_then(|slice| {
+            let snapshot = wire::from_payload::<CacheSlice>(&payload).and_then(|slice| {
                 if kind == FrameKind::ExportCache {
                     service.export_cache(slice.into_matcher())
                 } else {
@@ -365,25 +1130,35 @@ fn serve_request(
                 }
             });
             match snapshot {
-                Ok(snapshot) => match wire::write_snapshot_stream(stream, &snapshot) {
-                    Ok(()) => Ok(()),
-                    Err(_) => Err(()),
-                },
-                Err(fault) => send_fault(stream, &fault),
+                Ok(snapshot) => keep(jobs.send(WriteJob::Snapshot {
+                    version,
+                    request_id,
+                    snapshot: Box::new(snapshot),
+                })),
+                Err(fault) => keep(jobs.send(fault_job(version, request_id, &fault))),
             }
         }
         FrameKind::ImportCache => {
+            // The chunk frames follow contiguously on the read half (the
+            // client writes the whole stream under its writer lock).
             // Assemble and verify the WHOLE stream before importing: a
             // corrupted or torn transfer is rejected here and nothing
             // reaches the cache — a partial import is impossible by
             // construction.
-            let assembled = wire::from_payload::<SnapshotHeader>(payload)
-                .and_then(|header| wire::read_snapshot_chunks(stream, header));
+            let expect_id = (version >= PROTOCOL_V2).then_some(request_id);
+            let assembled = wire::from_payload::<SnapshotHeader>(&payload)
+                .and_then(|header| wire::read_snapshot_chunks_for(stream, header, expect_id));
             match assembled {
-                Ok(snapshot) => reply(stream, FrameKind::ImportOk, service.import_cache(snapshot)),
+                Ok(snapshot) => {
+                    let answer = match service.import_cache(snapshot) {
+                        Ok(applied) => reply(FrameKind::ImportOk, wire::to_payload(&applied)),
+                        Err(fault) => fault_job(version, request_id, &fault),
+                    };
+                    keep(jobs.send(answer))
+                }
                 Err(fault) => {
                     // The chunk stream may be desynced — answer, then close.
-                    let _ = send_fault(stream, &fault);
+                    let _ = jobs.send(fault_job(version, request_id, &fault));
                     Err(())
                 }
             }
@@ -398,24 +1173,63 @@ fn serve_request(
         | FrameKind::ImportOk
         | FrameKind::Error => {
             let fault = ServeError::Transport(format!("{kind:?} is not a request frame"));
-            let _ = send_fault(stream, &fault);
+            let _ = jobs.send(fault_job(version, request_id, &fault));
             Err(())
         }
     }
 }
 
-fn reply<T: serde::Serialize>(
-    stream: &mut TcpStream,
-    kind: FrameKind,
-    answer: Result<T, ServeError>,
-) -> LinkState {
-    let write = match answer {
-        Ok(value) => wire::write_frame(stream, kind, &wire::to_payload(&value)),
-        Err(fault) => return send_fault(stream, &fault),
-    };
-    write.map_err(|_| ())
+/// Send-result adapter: a failed send means the writer is gone (peer
+/// stopped reading) — close the link; otherwise keep it.
+fn keep(send: Result<(), mpsc::SendError<WriteJob>>) -> LinkState {
+    send.map_err(|_| ())
 }
 
-fn send_fault(stream: &mut TcpStream, fault: &ServeError) -> LinkState {
-    wire::write_frame(stream, FrameKind::Error, &wire::encode_fault(fault)).map_err(|_| ())
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded() {
+        let policy = ReconnectPolicy {
+            base: Duration::from_millis(25),
+            factor: 2,
+            max_delay: Duration::from_secs(1),
+            attempts: 7,
+        };
+        let schedule: Vec<Duration> = policy.schedule().collect();
+        assert_eq!(
+            schedule,
+            [25u64, 50, 100, 200, 400, 800, 1000] // capped at max_delay
+                .into_iter()
+                .map(Duration::from_millis)
+                .collect::<Vec<_>>()
+        );
+        // Exhausted budget: no more delays.
+        assert_eq!(policy.delay_before(7), None);
+        assert_eq!(policy.delay_before(u32::MAX), None);
+    }
+
+    #[test]
+    fn no_retry_policy_never_delays() {
+        assert_eq!(ReconnectPolicy::NO_RETRY.delay_before(0), None);
+        assert_eq!(ReconnectPolicy::NO_RETRY.schedule().count(), 0);
+    }
+
+    #[test]
+    fn degenerate_factors_do_not_overflow() {
+        let policy = ReconnectPolicy {
+            base: Duration::from_millis(10),
+            factor: u32::MAX,
+            max_delay: Duration::from_secs(2),
+            attempts: 5,
+        };
+        // factor^retry saturates instead of panicking, and the cap holds.
+        for (i, delay) in policy.schedule().enumerate() {
+            assert!(delay <= Duration::from_secs(2), "retry {i} over the cap: {delay:?}");
+        }
+        let zero = ReconnectPolicy { factor: 0, ..policy };
+        // factor 0 is treated as 1 (constant backoff), not a zero delay.
+        assert_eq!(zero.delay_before(3), Some(Duration::from_millis(10)));
+    }
 }

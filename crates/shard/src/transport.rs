@@ -17,7 +17,13 @@ use stencil_model::StencilInstance;
 use crate::routing::CacheSlice;
 
 /// A router's connection to one shard of the tuning fleet.
-pub trait ShardTransport: Send {
+///
+/// `Send + Sync` is part of the contract: a router is shared across the
+/// client threads of a saturating workload, so every transport must take
+/// concurrent calls (the multiplexing [`TcpShard`](crate::TcpShard)
+/// pipelines them over one connection; [`LocalShard`] hands each caller a
+/// queue submission).
+pub trait ShardTransport: Send + Sync {
     /// Answers one tuning query (the `k` best configurations).
     fn tune(&self, instance: StencilInstance, k: usize) -> Result<TopK, ServeError>;
 

@@ -410,9 +410,9 @@ fn server_rejects_wrong_version_and_garbage_without_panicking() {
     frame.push(0x02); // Stats
     frame.extend_from_slice(&0u32.to_le_bytes());
     raw.write_all(&frame).unwrap();
-    let (kind, payload) = wire::read_frame(&mut raw).unwrap();
-    assert_eq!(kind, FrameKind::Error);
-    let fault = wire::decode_fault(&payload);
+    let reply = wire::read_frame(&mut raw).unwrap();
+    assert_eq!(reply.kind, FrameKind::Error);
+    let fault = wire::decode_fault(&reply.payload);
     assert!(matches!(fault, ServeError::Transport(ref m) if m.contains("version 9")), "{fault}");
 
     // Pure garbage: the connection is dropped (error frame best-effort);
@@ -452,9 +452,9 @@ fn corrupted_snapshot_chunk_rejects_the_import_without_partial_apply() {
     // checksum no longer matches the payload, which is exactly the damage
     // the receiver must catch.
     wire::write_chunk_frames(&mut raw, &chunks).unwrap();
-    let (kind, payload) = wire::read_frame(&mut raw).unwrap();
-    assert_eq!(kind, FrameKind::Error, "corrupted chunk must be rejected");
-    let fault = wire::decode_fault(&payload);
+    let reply = wire::read_frame(&mut raw).unwrap();
+    assert_eq!(reply.kind, FrameKind::Error, "corrupted chunk must be rejected");
+    let fault = wire::decode_fault(&reply.payload);
     assert!(matches!(fault, ServeError::Transport(_)), "{fault}");
 
     // Nothing was applied: the cache still holds exactly the one original
