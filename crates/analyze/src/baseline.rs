@@ -1,0 +1,142 @@
+//! The committed baseline: pre-existing findings that burn down
+//! incrementally while CI fails on anything *new*.
+//!
+//! Format — one finding per line, whitespace-separated, `#` comments:
+//!
+//! ```text
+//! SL002 crates/serve/src/cache.rs 0123456789abcdef  # excerpt for humans
+//! ```
+//!
+//! The third field is [`Finding::fingerprint`] in hex: rule + path +
+//! offending line *content* (not its number), so unrelated edits and line
+//! drift never invalidate the baseline, while touching a baselined line
+//! re-surfaces it for a proper fix.
+
+use std::collections::HashSet;
+use std::path::Path;
+
+use crate::diag::Finding;
+
+/// A loaded baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: HashSet<(String, String, u64)>,
+}
+
+impl Baseline {
+    /// An empty baseline (everything is new).
+    pub fn empty() -> Self {
+        Baseline::default()
+    }
+
+    /// Parses baseline text. Unparsable lines are reported as errors, not
+    /// skipped — a silently ignored baseline line would un-suppress a
+    /// finding without anyone asking for it.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = HashSet::new();
+        for (n, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let (Some(rule), Some(path), Some(fp)) = (fields.next(), fields.next(), fields.next())
+            else {
+                return Err(format!("baseline line {}: expected `RULE PATH FP`", n + 1));
+            };
+            let fp = u64::from_str_radix(fp, 16)
+                .map_err(|_| format!("baseline line {}: bad fingerprint {fp:?}", n + 1))?;
+            entries.insert((rule.to_string(), path.to_string(), fp));
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Loads a baseline file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::empty()),
+            Err(e) => Err(format!("read {}: {e}", path.display())),
+        }
+    }
+
+    /// Whether `finding` is already in the baseline.
+    pub fn covers(&self, finding: &Finding) -> bool {
+        self.entries.contains(&(
+            finding.rule.id().to_string(),
+            finding.path.clone(),
+            finding.fingerprint(),
+        ))
+    }
+
+    /// Number of baselined findings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders findings as baseline text (sorted, with excerpts as
+    /// comments) — the `--write-baseline` output.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# sorl-lint baseline: pre-existing findings, burned down incrementally.\n\
+             # CI fails on any finding NOT in this file. Regenerate (after fixing or\n\
+             # justifying, never to silence new code) with:\n\
+             #   cargo run -p sorl-analyze --bin sorl-lint -- --write-baseline\n",
+        );
+        let mut sorted: Vec<&Finding> = findings.iter().collect();
+        sorted.sort_by(|a, b| {
+            (a.rule, &a.path, a.line, a.ordinal).cmp(&(b.rule, &b.path, b.line, b.ordinal))
+        });
+        for f in sorted {
+            let excerpt: String = f.excerpt.chars().take(60).collect();
+            out.push_str(&format!(
+                "{} {} {:016x}  # {}\n",
+                f.rule.id(),
+                f.path,
+                f.fingerprint(),
+                excerpt
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Rule;
+
+    fn finding(path: &str, excerpt: &str) -> Finding {
+        Finding {
+            rule: Rule::PanicPath,
+            path: path.into(),
+            line: 3,
+            message: "m".into(),
+            hint: "h".into(),
+            excerpt: excerpt.into(),
+            ordinal: 0,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip_covers_the_findings() {
+        let findings = vec![finding("a/b.rs", "x.unwrap();"), finding("c/d.rs", "y[0] += 1;")];
+        let text = Baseline::render(&findings);
+        let base = Baseline::parse(&text).unwrap();
+        assert_eq!(base.len(), 2);
+        assert!(findings.iter().all(|f| base.covers(f)));
+        assert!(!base.covers(&finding("a/b.rs", "z.unwrap();")), "content change is new");
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(Baseline::parse("SL002 only-two-fields").is_err());
+        assert!(Baseline::parse("SL002 p notahex").is_err());
+        assert!(Baseline::parse("# comment\n\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! `sorl-lint` — run the workspace analyzer from the command line.
+//!
+//! ```text
+//! sorl-lint [--root DIR] [--baseline FILE] [--fail-on-new] [--all]
+//!           [--write-baseline] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean (or informational run), 1 usage/io error,
+//! 2 new findings under `--fail-on-new` (or broken annotations under
+//! `--write-baseline`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sorl_analyze::baseline::Baseline;
+use sorl_analyze::diag::{Finding, Rule};
+use sorl_analyze::workspace;
+
+const USAGE: &str = "\
+sorl-lint: concurrency & wire-safety analyzer for this workspace
+
+USAGE:
+    sorl-lint [OPTIONS]
+
+OPTIONS:
+    --root DIR        workspace root to scan        [default: .]
+    --baseline FILE   baseline file                 [default: <root>/sorl-lint.baseline]
+    --fail-on-new     exit 2 if any finding is not in the baseline (CI mode)
+    --all             also print baselined findings
+    --write-baseline  rewrite the baseline from the current findings
+    --list-rules      print the rule table and exit
+    -h, --help        print this help";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("sorl-lint: error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut fail_on_new = false;
+    let mut show_all = false;
+    let mut write_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(args.next().ok_or("--root needs a value")?),
+            "--baseline" => {
+                baseline_path = Some(PathBuf::from(args.next().ok_or("--baseline needs a value")?));
+            }
+            "--fail-on-new" => fail_on_new = true,
+            "--all" => show_all = true,
+            "--write-baseline" => write_baseline = true,
+            "--list-rules" => {
+                for rule in Rule::ALL {
+                    println!("{}  {:<8}  {}", rule.id(), rule.allow_name(), rule.describe());
+                }
+                println!(
+                    "{}  {:<8}  {}",
+                    Rule::Meta.id(),
+                    Rule::Meta.allow_name(),
+                    Rule::Meta.describe()
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("sorl-lint.baseline"));
+
+    let report = workspace::analyze_root(&root)?;
+
+    if write_baseline {
+        let keep: Vec<Finding> =
+            report.findings.iter().filter(|f| f.rule != Rule::Meta).cloned().collect();
+        std::fs::write(&baseline_path, Baseline::render(&keep))
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+        println!("sorl-lint: wrote {} findings to {}", keep.len(), baseline_path.display());
+        // Broken annotations are never baselinable — surface them even here.
+        let metas: Vec<&Finding> =
+            report.findings.iter().filter(|f| f.rule == Rule::Meta).collect();
+        for f in &metas {
+            println!("\n{f}");
+        }
+        return Ok(if metas.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) });
+    }
+
+    let baseline = Baseline::load(&baseline_path)?;
+    let mut fresh: Vec<&Finding> = Vec::new();
+    let mut known = 0usize;
+    for f in &report.findings {
+        if f.rule != Rule::Meta && baseline.covers(f) {
+            known += 1;
+            if show_all {
+                println!("{f}\n    = note: baselined\n");
+            }
+        } else {
+            fresh.push(f);
+        }
+    }
+    for f in &fresh {
+        println!("{f}\n");
+    }
+    println!(
+        "sorl-lint: {} files scanned, {} findings ({known} baselined, {} new)",
+        report.files,
+        report.findings.len(),
+        fresh.len()
+    );
+    if fail_on_new && !fresh.is_empty() {
+        eprintln!(
+            "sorl-lint: FAILED — {} new finding(s); fix them, justify with \
+             // sorl-lint: allow(rule, \"reason\"), or (for pre-existing debt only) \
+             regenerate the baseline with --write-baseline",
+            fresh.len()
+        );
+        return Ok(ExitCode::from(2));
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,220 @@
+//! Findings: rule ids, diagnostics, and the stable fingerprints the
+//! baseline keys on.
+
+use std::fmt;
+
+/// The rules `sorl-lint` enforces. The short name (second column) is what
+/// allow-annotations use: `// sorl-lint: allow(panic, "...")`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// SL001 `lock`: cross-function lock-order inversion (deadlock
+    /// candidate).
+    LockOrder,
+    /// SL002 `panic`: unwrap/expect/panic!/slice-indexing on a panic-free
+    /// path without a justified allow.
+    PanicPath,
+    /// SL003 `cast`: numeric `as` cast on a wire/serialization/stats path
+    /// (the `latency_bucket` truncation bug class).
+    TruncatingCast,
+    /// SL004 `atomic`: `Ordering::Relaxed` on a cross-thread atomic
+    /// outside the allowlist.
+    AtomicOrdering,
+    /// SL005 `condvar`: `Condvar::wait` not guarded by a re-checked
+    /// predicate loop (lost-wakeup hazard).
+    CondvarWait,
+    /// SL000 `meta`: a broken annotation (empty reason, unknown rule,
+    /// unparsable syntax). Never baselined: always fails the run.
+    Meta,
+}
+
+impl Rule {
+    /// The stable diagnostic id (`SL001` …).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::LockOrder => "SL001",
+            Rule::PanicPath => "SL002",
+            Rule::TruncatingCast => "SL003",
+            Rule::AtomicOrdering => "SL004",
+            Rule::CondvarWait => "SL005",
+            Rule::Meta => "SL000",
+        }
+    }
+
+    /// The short name used in allow-annotations.
+    pub fn allow_name(self) -> &'static str {
+        match self {
+            Rule::LockOrder => "lock",
+            Rule::PanicPath => "panic",
+            Rule::TruncatingCast => "cast",
+            Rule::AtomicOrdering => "atomic",
+            Rule::CondvarWait => "condvar",
+            Rule::Meta => "meta",
+        }
+    }
+
+    /// Resolves an allow-annotation name.
+    pub fn from_allow_name(name: &str) -> Option<Rule> {
+        Some(match name {
+            "lock" => Rule::LockOrder,
+            "panic" => Rule::PanicPath,
+            "cast" => Rule::TruncatingCast,
+            "atomic" => Rule::AtomicOrdering,
+            "condvar" => Rule::CondvarWait,
+            _ => return None,
+        })
+    }
+
+    /// Every enforced rule, in id order (the `--list-rules` output).
+    pub const ALL: [Rule; 5] = [
+        Rule::LockOrder,
+        Rule::PanicPath,
+        Rule::TruncatingCast,
+        Rule::AtomicOrdering,
+        Rule::CondvarWait,
+    ];
+
+    /// One-line description for `--list-rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::LockOrder => "lock-order inversion across functions (deadlock candidate)",
+            Rule::PanicPath => {
+                "unwrap/expect/panic!/slice-indexing on wire/serve/ticket paths without a \
+                 justified allow"
+            }
+            Rule::TruncatingCast => {
+                "numeric `as` cast on wire/serialization/stats paths (prefer try_into/saturating)"
+            }
+            Rule::AtomicOrdering => "Ordering::Relaxed on cross-thread atomics outside allowlist",
+            Rule::CondvarWait => "Condvar::wait without an enclosing re-checked predicate loop",
+            Rule::Meta => "broken sorl-lint annotation (empty reason / unknown rule)",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong, concretely.
+    pub message: String,
+    /// How to fix it (or how to justify it).
+    pub hint: String,
+    /// Trimmed text of the offending line (fingerprint input + excerpt).
+    pub excerpt: String,
+    /// Ordinal among findings with the same (rule, path, excerpt) — keeps
+    /// fingerprints of repeated identical lines distinct and stable.
+    pub ordinal: u32,
+}
+
+impl Finding {
+    /// The line-drift-stable identity the baseline stores: a hash of the
+    /// rule, path and *content* of the offending line (plus an ordinal
+    /// for repeats), but not its line number — inserting code above a
+    /// known finding must not make it "new".
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(self.rule.id().as_bytes());
+        h.write(b"|");
+        h.write(self.path.as_bytes());
+        h.write(b"|");
+        h.write(self.excerpt.as_bytes());
+        h.write(b"|");
+        h.write(&self.ordinal.to_le_bytes());
+        h.finish()
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule.id(), self.message)?;
+        if !self.excerpt.is_empty() {
+            writeln!(f, "    | {}", self.excerpt)?;
+        }
+        write!(f, "    = hint: {}", self.hint)
+    }
+}
+
+/// The 64-bit FNV-1a the fingerprints use (same constants as the pinned
+/// wire fingerprint hash, re-derived here so this crate stays
+/// dependency-free).
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Folds `bytes` into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(line: u32, excerpt: &str, ordinal: u32) -> Finding {
+        Finding {
+            rule: Rule::PanicPath,
+            path: "crates/x/src/lib.rs".into(),
+            line,
+            message: "m".into(),
+            hint: "h".into(),
+            excerpt: excerpt.into(),
+            ordinal,
+        }
+    }
+
+    #[test]
+    fn fingerprints_ignore_line_numbers_but_not_content() {
+        let a = finding(10, "x.unwrap();", 0);
+        let b = finding(99, "x.unwrap();", 0);
+        let c = finding(10, "y.unwrap();", 0);
+        let d = finding(10, "x.unwrap();", 1);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "line drift keeps identity");
+        assert_ne!(a.fingerprint(), c.fingerprint(), "content changes identity");
+        assert_ne!(a.fingerprint(), d.fingerprint(), "repeats are distinct");
+    }
+
+    #[test]
+    fn rule_names_roundtrip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_allow_name(rule.allow_name()), Some(rule));
+            assert!(rule.id().starts_with("SL"));
+            assert!(!rule.describe().is_empty());
+        }
+        assert_eq!(Rule::from_allow_name("nonsense"), None);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a("a") is a published test vector.
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

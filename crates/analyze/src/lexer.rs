@@ -1,0 +1,420 @@
+//! A hand-rolled Rust lexer, just deep enough for static analysis.
+//!
+//! The rules in this crate match *token* patterns (`.lock()`,
+//! `Ordering :: Relaxed`, `as u32`, …), so the one job of this module is
+//! to never be fooled by surface syntax: line comments, (nested) block
+//! comments, string literals, raw strings with any number of `#` fences,
+//! byte and raw-byte strings, char literals, and the `'a`-lifetime versus
+//! `'a'`-char ambiguity are all resolved here. Everything else — numbers,
+//! identifiers, punctuation — is tokenized plainly with its 1-based line
+//! number, which is all the diagnostics need.
+//!
+//! Comments are kept as tokens (the allow-annotation parser reads them);
+//! rules run over [`code_tokens`]-filtered slices that drop them.
+
+/// What a token is. Only the distinctions the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `as`, `while`, `state`, `u32`, …).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (tick included in the text).
+    Lifetime,
+    /// Integer or float literal, any base or suffix.
+    Number,
+    /// String, raw-string, byte-string or char literal (quotes included).
+    Literal,
+    /// One punctuation character (`.`, `:`, `{`, `[`, `!`, …).
+    Punct,
+    /// `// …` or `/* … */` comment, doc comments included.
+    Comment,
+}
+
+/// One lexed token: kind, exact source text, and the 1-based line its
+/// first character sits on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification (identifier, literal, punctuation, …).
+    pub kind: TokenKind,
+    /// The token's source text, verbatim.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this is an identifier token with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this is a punctuation token with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// Lexes a whole source file. Unterminated literals or comments do not
+/// abort the scan — the lexer consumes to end of input and keeps going,
+/// which is the right behavior for an analyzer that must never panic on
+/// the code it audits.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer { src: source.as_bytes(), pos: 0, line: 1, tokens: Vec::new() }.run()
+}
+
+/// Drops comment tokens — the view the rules match against.
+pub fn code_tokens(tokens: &[Token]) -> Vec<&Token> {
+    tokens.iter().filter(|t| t.kind != TokenKind::Comment).collect()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let c = self.src[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.take_line_comment(start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.take_block_comment(start, line);
+                }
+                b'"' => self.take_string(start, line),
+                b'r' | b'b' if self.starts_raw_or_byte_literal() => {
+                    self.take_raw_or_byte_literal(start, line);
+                }
+                b'\'' => self.take_tick(start, line),
+                _ if c == b'_' || c.is_ascii_alphabetic() => {
+                    while self.pos < self.src.len() && is_ident_byte(self.src[self.pos]) {
+                        self.pos += 1;
+                    }
+                    self.push(TokenKind::Ident, start, line);
+                }
+                _ if c.is_ascii_digit() => {
+                    // Numbers never matter to the rules beyond existing;
+                    // consume digits, underscores, base prefixes, a float
+                    // dot (only when followed by a digit — `0.hash()` must
+                    // leave the dot as punctuation) and exponent signs.
+                    self.take_number();
+                    self.push(TokenKind::Number, start, line);
+                }
+                _ => {
+                    self.pos += 1;
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn bump_line_on(&mut self, byte: u8) {
+        if byte == b'\n' {
+            self.line += 1;
+        }
+    }
+
+    /// Consumes a `\x` escape inside a string/char literal. The escaped
+    /// byte may itself be a newline (the line-continuation escape), which
+    /// still has to count toward line numbers.
+    fn skip_escape(&mut self) {
+        self.pos += 1; // the backslash
+        if self.pos < self.src.len() {
+            self.bump_line_on(self.src[self.pos]);
+            self.pos += 1;
+        }
+    }
+
+    fn take_line_comment(&mut self, start: usize, line: u32) {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Comment, start, line);
+    }
+
+    fn take_block_comment(&mut self, start: usize, line: u32) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump_line_on(self.src[self.pos]);
+                self.pos += 1;
+            }
+        }
+        self.push(TokenKind::Comment, start, line);
+    }
+
+    fn take_string(&mut self, start: usize, line: u32) {
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.skip_escape(),
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                other => {
+                    self.bump_line_on(other);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.push(TokenKind::Literal, start, line);
+    }
+
+    /// Whether the cursor sits on `r"`, `r#`, `b"`, `b'`, `br"`, `br#`,
+    /// `rb…` — the raw/byte literal prefixes. A plain identifier starting
+    /// with `r`/`b` (`range`, `buf`) falls through to ident lexing.
+    fn starts_raw_or_byte_literal(&self) -> bool {
+        let mut i = 0usize;
+        if self.peek(i) == Some(b'b') {
+            i += 1;
+        }
+        if self.peek(i) == Some(b'r') {
+            i += 1;
+            while self.peek(i) == Some(b'#') {
+                i += 1;
+            }
+            return self.peek(i) == Some(b'"');
+        }
+        // `b"…"` byte string or `b'…'` byte char (no raw marker).
+        i == 1 && matches!(self.peek(i), Some(b'"') | Some(b'\''))
+    }
+
+    fn take_raw_or_byte_literal(&mut self, start: usize, line: u32) {
+        if self.src[self.pos] == b'b' {
+            self.pos += 1;
+        }
+        if self.pos < self.src.len() && self.src[self.pos] == b'\'' {
+            // `b'x'` byte char: same shape as a char literal.
+            self.take_char_body();
+            self.push(TokenKind::Literal, start, line);
+            return;
+        }
+        let raw = self.pos < self.src.len() && self.src[self.pos] == b'r';
+        if raw {
+            self.pos += 1;
+        }
+        let mut fence = 0usize;
+        while self.pos < self.src.len() && self.src[self.pos] == b'#' {
+            fence += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        if raw {
+            // Raw string: no escapes; ends at `"` followed by `fence` #s.
+            while self.pos < self.src.len() {
+                if self.src[self.pos] == b'"' && self.closes_fence(fence) {
+                    self.pos += 1 + fence;
+                    break;
+                }
+                self.bump_line_on(self.src[self.pos]);
+                self.pos += 1;
+            }
+        } else {
+            // Byte string: ordinary escape rules.
+            while self.pos < self.src.len() {
+                match self.src[self.pos] {
+                    b'\\' => self.skip_escape(),
+                    b'"' => {
+                        self.pos += 1;
+                        break;
+                    }
+                    other => {
+                        self.bump_line_on(other);
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        self.push(TokenKind::Literal, start, line);
+    }
+
+    fn closes_fence(&self, fence: usize) -> bool {
+        (1..=fence).all(|i| self.peek(i) == Some(b'#'))
+    }
+
+    /// A tick is a lifetime (`'a`, `'static`) or a char literal (`'x'`,
+    /// `'\n'`, `'a'`). Disambiguation: after `'ident`, a closing tick
+    /// makes it a char, anything else a lifetime.
+    fn take_tick(&mut self, start: usize, line: u32) {
+        let mut i = 1usize;
+        if matches!(self.peek(i), Some(c) if c == b'_' || c.is_ascii_alphabetic()) {
+            while matches!(self.peek(i), Some(c) if is_ident_byte(c)) {
+                i += 1;
+            }
+            if self.peek(i) != Some(b'\'') {
+                self.pos += i;
+                self.push(TokenKind::Lifetime, start, line);
+                return;
+            }
+        }
+        self.take_char_body();
+        self.push(TokenKind::Literal, start, line);
+    }
+
+    /// Consumes a char-literal body starting at the opening tick.
+    fn take_char_body(&mut self) {
+        self.pos += 1; // opening tick
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.skip_escape(),
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                other => {
+                    self.bump_line_on(other);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn take_number(&mut self) {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if is_ident_byte(c) {
+                self.pos += 1;
+                // Exponent sign: `1e-6`, `2E+3`.
+                if (c == b'e' || c == b'E')
+                    && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                    && matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+                {
+                    self.pos += 1;
+                }
+            } else if c == b'.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let toks = kinds("let x = 42 + y_2;");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+        assert_eq!(toks[2], (TokenKind::Punct, "=".into()));
+        assert_eq!(toks[3], (TokenKind::Number, "42".into()));
+        assert_eq!(toks[5], (TokenKind::Ident, "y_2".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // A string containing what looks like code must stay one literal.
+        let toks = kinds(r#"call("a.lock() // not a comment")"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Comment).count(), 0);
+        assert_eq!(toks[2], (TokenKind::Literal, r#""a.lock() // not a comment""#.into()));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r##"let s = r#"contains "quotes" and .unwrap()"#; done"##;
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Literal && t.contains("quotes")));
+        assert!(toks.iter().any(|(_, t)| t == "done"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"w(b"SORL"); x(b'\n'); y(br#f); "#.replace("#f", "#\"raw\"#").as_str());
+        assert_eq!(toks[2], (TokenKind::Literal, r#"b"SORL""#.into()));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Literal && t == r"b'\n'"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Literal && t == "'x'"));
+        let toks = kinds("let c = '\\''; &'static str");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'static"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        let idents: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Ident).map(|(_, t)| t.clone()).collect();
+        assert_eq!(idents, ["a", "b"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "line1();\nlet s = \"multi\nline\nstring\";\nafter();";
+        let toks = lex(src);
+        let after = toks.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 5);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_still_counts_a_line() {
+        // The line-continuation escape: `\` at end of line inside a
+        // string. The newline is consumed as the escaped byte but it is
+        // still a physical source line.
+        let src = "let s = \"broken \\\n    over lines\";\nafter();";
+        let toks = lex(src);
+        let after = toks.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn unterminated_input_never_hangs() {
+        for src in ["\"open", "/* open", "r#\"open", "'", "b\"open"] {
+            let _ = lex(src); // must terminate without panicking
+        }
+    }
+
+    #[test]
+    fn float_dots_and_method_calls_on_numbers() {
+        let toks = kinds("1.5e-6 + 2.max(3) + 0.99");
+        assert_eq!(toks[0], (TokenKind::Number, "1.5e-6".into()));
+        // `2.max` keeps the dot as punctuation so the call is visible.
+        assert_eq!(toks[2], (TokenKind::Number, "2".into()));
+        assert_eq!(toks[3], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[4], (TokenKind::Ident, "max".into()));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Number && t == "0.99"));
+    }
+}

@@ -1,0 +1,37 @@
+//! `sorl-analyze`: the workspace's own concurrency & wire-safety
+//! analyzer, shipped as the `sorl-lint` binary.
+//!
+//! The tuning fleet's worst historical bugs were not compile errors:
+//! a truncating `as u32` in the latency histogram, lock juggling across
+//! the serve/shard/exec boundary, condvar waits that could lose a
+//! wakeup. `sorl-lint` encodes those bug classes as five token-level
+//! rules and gates CI on them:
+//!
+//! | id    | name      | what it catches                                    |
+//! |-------|-----------|----------------------------------------------------|
+//! | SL001 | `lock`    | cross-function lock-order inversions               |
+//! | SL002 | `panic`   | unwrap/expect/panic!/indexing on serving paths     |
+//! | SL003 | `cast`    | truncating `as` casts on wire/stats paths          |
+//! | SL004 | `atomic`  | `Ordering::Relaxed` outside the counters allowlist |
+//! | SL005 | `condvar` | condvar waits outside a predicate re-check loop    |
+//!
+//! Pipeline: [`lexer`] turns a file into tokens (comment/string aware),
+//! [`parse`] segments functions and test regions and reads
+//! `// sorl-lint: allow(rule, "reason")` annotations, [`scope`] decides
+//! which rules watch which paths, [`rules`] produce [`diag::Finding`]s,
+//! and [`workspace`] orchestrates the whole pass. A committed
+//! [`baseline`] (`sorl-lint.baseline` at the repo root) lets
+//! pre-existing findings burn down over time while `--fail-on-new`
+//! fails CI on anything not in it. SL000 (meta: broken annotations) is
+//! never baselinable.
+//!
+//! The crate is dependency-free by design: it must build in the offline
+//! container before anything else does.
+
+pub mod baseline;
+pub mod diag;
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+pub mod scope;
+pub mod workspace;

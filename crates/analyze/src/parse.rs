@@ -1,0 +1,353 @@
+//! From tokens to an analyzable file: function extents, test regions, and
+//! `// sorl-lint: allow(...)` annotations.
+//!
+//! This is deliberately *not* a Rust parser. The rules need three things:
+//! which tokens belong to which function (for per-function scans), which
+//! code is test-only (`#[cfg(test)]` modules, `#[test]` functions — never
+//! linted), and which lines carry allow-annotations. All three fall out of
+//! one brace-matching walk over the token stream.
+
+use crate::lexer::{self, Token, TokenKind};
+
+/// One function's extent in a file's code-token stream.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// The function's name (`fn NAME`).
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Index range (into [`AnalyzedFile::code`]) of the body tokens,
+    /// braces excluded.
+    pub body: std::ops::Range<usize>,
+    /// Whether this function is test code: `#[test]`/`#[bench]`
+    /// attribute, or inside a `#[cfg(test)]` module.
+    pub is_test: bool,
+}
+
+/// A parsed allow-annotation: `// sorl-lint: allow(rule, "reason")`.
+/// It suppresses findings of `rule` on its own line and on the next
+/// non-blank code line (so it can sit above the offending statement).
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Line the annotation sits on.
+    pub line: u32,
+    /// The rule name inside `allow(...)` (e.g. `panic`, `cast`).
+    pub rule: String,
+    /// The quoted justification. Empty reasons are themselves findings.
+    pub reason: String,
+    /// Whether the annotation was malformed (no parsable rule/reason).
+    pub malformed: bool,
+}
+
+/// One source file, lexed and segmented, ready for the rules.
+#[derive(Debug)]
+pub struct AnalyzedFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Code tokens (comments stripped).
+    pub code: Vec<Token>,
+    /// Function extents over [`code`](Self::code).
+    pub functions: Vec<Function>,
+    /// Allow-annotations found in comments.
+    pub allows: Vec<Allow>,
+    /// Raw source lines (for diagnostics excerpts and allow targeting).
+    pub lines: Vec<String>,
+}
+
+impl AnalyzedFile {
+    /// Lexes and segments one file.
+    pub fn parse(path: &str, source: &str) -> AnalyzedFile {
+        let tokens = lexer::lex(source);
+        let allows = collect_allows(&tokens);
+        let code: Vec<Token> =
+            tokens.into_iter().filter(|t| t.kind != TokenKind::Comment).collect();
+        let functions = segment_functions(&code);
+        let lines = source.lines().map(str::to_string).collect();
+        AnalyzedFile { path: path.to_string(), code, functions, allows, lines }
+    }
+
+    /// The first non-blank line after `line` (1-based), if any — the
+    /// second line an [`Allow`] on `line` covers.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        let mut n = line as usize; // `lines[n]` is the line numbered n+1
+        while n < self.lines.len() {
+            if !self.lines[n].trim().is_empty() {
+                return Some(n as u32 + 1);
+            }
+            n += 1;
+        }
+        None
+    }
+}
+
+/// Parses every `sorl-lint:` directive out of the comment tokens. Only a
+/// plain line comment whose body *starts with* `sorl-lint` is a
+/// directive — doc comments (`///`, `//!`) and prose that merely mention
+/// the convention are not.
+fn collect_allows(tokens: &[Token]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::Comment {
+            continue;
+        }
+        let Some(body) = t.text.strip_prefix("//") else { continue };
+        if body.starts_with('/') || body.starts_with('!') {
+            continue;
+        }
+        let body = body.trim_start();
+        let Some(rest) = body.strip_prefix("sorl-lint") else { continue };
+        let rest = rest.trim_start_matches([':', ' ']);
+        if !rest.starts_with("allow") {
+            allows.push(Allow {
+                line: t.line,
+                rule: String::new(),
+                reason: String::new(),
+                malformed: true,
+            });
+            continue;
+        }
+        let inner = rest["allow".len()..].trim_start();
+        let Some(inner) = inner.strip_prefix('(').and_then(|s| s.rfind(')').map(|i| &s[..i]))
+        else {
+            allows.push(Allow {
+                line: t.line,
+                rule: String::new(),
+                reason: String::new(),
+                malformed: true,
+            });
+            continue;
+        };
+        let (rule, reason) = match inner.split_once(',') {
+            Some((rule, rest)) => {
+                let rest = rest.trim();
+                let reason = rest
+                    .strip_prefix('"')
+                    .and_then(|s| s.rfind('"').map(|i| s[..i].to_string()))
+                    .unwrap_or_default();
+                (rule.trim().to_string(), reason)
+            }
+            None => (inner.trim().to_string(), String::new()),
+        };
+        allows.push(Allow { line: t.line, rule, reason, malformed: false });
+    }
+    allows
+}
+
+/// Walks the code tokens once, tracking brace depth, `#[cfg(test)]`
+/// module extents and `#[test]` attributes, and records every `fn` body.
+fn segment_functions(code: &[Token]) -> Vec<Function> {
+    let mut functions = Vec::new();
+    let mut depth = 0usize;
+    // Brace depths at which a `#[cfg(test)]` mod opened; any function
+    // while one is open is test code.
+    let mut test_mod_depths: Vec<usize> = Vec::new();
+    // Set when `#[test]`-like attributes were just seen; consumed by the
+    // next `fn`.
+    let mut pending_test_attr = false;
+    // Set when `#[cfg(test)]` was just seen; consumed by the next `mod`
+    // or `fn`.
+    let mut pending_cfg_test = false;
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = &code[i];
+        if t.is_punct("#") && i + 1 < code.len() && code[i + 1].is_punct("[") {
+            // Scan the attribute's tokens without descending into it.
+            let (end, text) = attribute_extent(code, i + 1);
+            if text.contains("cfg ( test") || text.contains("cfg ( all ( test") {
+                pending_cfg_test = true;
+            }
+            if text.starts_with("test") || text.starts_with("bench") || text.contains(":: test") {
+                pending_test_attr = true;
+            }
+            i = end;
+            continue;
+        }
+        match t.text.as_str() {
+            "{" if t.kind == TokenKind::Punct => depth += 1,
+            "}" if t.kind == TokenKind::Punct => {
+                depth = depth.saturating_sub(1);
+                // A marker at depth d covers the mod body at depth d+1;
+                // once depth returns to d the mod has closed.
+                test_mod_depths.retain(|&d| d < depth);
+            }
+            "mod" if t.kind == TokenKind::Ident && pending_cfg_test => {
+                // Only an inline `mod name { … }` opens a test region
+                // here; `mod name;` points at another file.
+                let inline = matches!(code.get(i + 2), Some(t) if t.is_punct("{"));
+                if inline {
+                    test_mod_depths.push(depth);
+                }
+                pending_cfg_test = false;
+            }
+            "fn" if t.kind == TokenKind::Ident => {
+                let name = code
+                    .get(i + 1)
+                    .filter(|t| t.kind == TokenKind::Ident)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                let is_test = pending_test_attr || pending_cfg_test || !test_mod_depths.is_empty();
+                pending_test_attr = false;
+                pending_cfg_test = false;
+                // Find the body's `{`: the first brace at paren/bracket
+                // depth 0 after the signature. A `;` first means a trait
+                // method declaration or extern fn — no body.
+                let mut j = i + 1;
+                let mut nesting = 0i32;
+                let mut body_open = None;
+                while j < code.len() {
+                    let tj = &code[j];
+                    if tj.kind == TokenKind::Punct {
+                        match tj.text.as_str() {
+                            "(" | "[" => nesting += 1,
+                            ")" | "]" => nesting -= 1,
+                            "<" => {} // generics: ambiguous with less-than; ignored
+                            "{" if nesting == 0 => {
+                                body_open = Some(j);
+                                break;
+                            }
+                            ";" if nesting == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                let Some(open) = body_open else {
+                    i += 1;
+                    continue;
+                };
+                // Match the closing brace.
+                let mut brace = 1i32;
+                let mut k = open + 1;
+                while k < code.len() && brace > 0 {
+                    if code[k].kind == TokenKind::Punct {
+                        match code[k].text.as_str() {
+                            "{" => brace += 1,
+                            "}" => brace -= 1,
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+                let body_end = if brace == 0 { k - 1 } else { k };
+                functions.push(Function { name, line: t.line, body: open + 1..body_end, is_test });
+                // Continue scanning INSIDE the body too (nested fns,
+                // depth bookkeeping): do not skip ahead.
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    functions
+}
+
+/// The token index just past an attribute opening at `code[open] == '['`,
+/// plus its flattened text (space-joined) for cfg matching.
+fn attribute_extent(code: &[Token], open: usize) -> (usize, String) {
+    let mut depth = 0i32;
+    let mut i = open;
+    let mut text = String::new();
+    while i < code.len() {
+        match code[i].text.as_str() {
+            "[" if code[i].kind == TokenKind::Punct => depth += 1,
+            "]" if code[i].kind == TokenKind::Punct => {
+                depth -= 1;
+                if depth == 0 {
+                    return (i + 1, text);
+                }
+            }
+            _ => {
+                if !text.is_empty() {
+                    text.push(' ');
+                }
+                text.push_str(&code[i].text);
+            }
+        }
+        i += 1;
+    }
+    (i, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functions_are_segmented_with_bodies() {
+        let src = "fn alpha(x: u32) -> u32 { x + 1 }\nstruct S;\nimpl S { fn beta(&self) { if true { } } }";
+        let f = AnalyzedFile::parse("t.rs", src);
+        let names: Vec<_> = f.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta"]);
+        assert!(!f.functions[0].is_test);
+        // alpha's body is `x + 1`.
+        let body: Vec<_> =
+            f.code[f.functions[0].body.clone()].iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(body, ["x", "+", "1"]);
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_attrs_mark_test_code() {
+        let src = r#"
+fn lib_code() { }
+#[test]
+fn standalone_test() { }
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn inner() { helper(); }
+    fn helper() { }
+}
+fn more_lib() { }
+"#;
+        let f = AnalyzedFile::parse("t.rs", src);
+        let by_name = |n: &str| f.functions.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("lib_code").is_test);
+        assert!(by_name("standalone_test").is_test);
+        assert!(by_name("inner").is_test);
+        assert!(by_name("helper").is_test, "plain helpers inside cfg(test) mods are test code");
+        assert!(!by_name("more_lib").is_test, "the test mod closes before it");
+    }
+
+    #[test]
+    fn allows_parse_rule_and_reason() {
+        let src = r#"
+// sorl-lint: allow(panic, "slice length fixed by the header layout")
+let x = header[..4];
+let y = z.unwrap(); // sorl-lint: allow(panic, "checked two lines up")
+// sorl-lint: allow(cast)
+// sorl-lint: something-else
+"#;
+        let f = AnalyzedFile::parse("t.rs", src);
+        assert_eq!(f.allows.len(), 4);
+        assert_eq!(f.allows[0].rule, "panic");
+        assert_eq!(f.allows[0].reason, "slice length fixed by the header layout");
+        assert_eq!(f.allows[1].line, 4);
+        assert_eq!(f.allows[2].rule, "cast");
+        assert_eq!(f.allows[2].reason, "");
+        assert!(f.allows[3].malformed);
+    }
+
+    #[test]
+    fn next_code_line_skips_blanks() {
+        let f = AnalyzedFile::parse("t.rs", "a();\n\n\nb();\n");
+        assert_eq!(f.next_code_line(1), Some(4));
+        assert_eq!(f.next_code_line(4), None);
+    }
+
+    #[test]
+    fn fn_with_slice_param_finds_its_body() {
+        // The `[` in `&[u8]` must not derail body-brace detection.
+        let src = "fn takes(xs: &[u8], m: [u8; 4]) -> Vec<u8> { xs.to_vec() }";
+        let f = AnalyzedFile::parse("t.rs", src);
+        assert_eq!(f.functions.len(), 1);
+        assert!(!f.functions[0].body.is_empty());
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let src = "trait T { fn decl(&self); fn with_default(&self) { } }";
+        let f = AnalyzedFile::parse("t.rs", src);
+        let names: Vec<_> = f.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["with_default"], "bodyless declarations are skipped");
+    }
+}

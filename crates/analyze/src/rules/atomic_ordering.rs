@@ -1,0 +1,73 @@
+//! SL004: `Ordering::Relaxed` on cross-thread atomics.
+//!
+//! Relaxed is correct for pure diagnostics counters and wrong for
+//! anything another thread's control flow depends on (shutdown flags,
+//! admission gauges, handoff sequence numbers) — and the two look
+//! identical at the call site. The rule flags every `Ordering::Relaxed`
+//! in concurrency-scoped files except the allowlisted
+//! documented-counters files (see `scope::RELAXED_ALLOWLIST`); each
+//! remaining use is either upgraded to Acquire/Release or justified:
+//! `// sorl-lint: allow(atomic, "diagnostic counter, never synchronizes")`.
+
+use crate::diag::{Finding, Rule};
+use crate::parse::AnalyzedFile;
+use crate::rules::finding;
+use crate::scope::Scope;
+
+/// Scans every non-test function for `Ordering :: Relaxed` token runs.
+pub fn check(file: &AnalyzedFile, scope: &Scope) -> Vec<Finding> {
+    if !scope.concurrency_path || scope.relaxed_allowlisted {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for func in file.functions.iter().filter(|f| !f.is_test) {
+        let body = &file.code[func.body.clone()];
+        for (i, t) in body.iter().enumerate() {
+            if t.is_ident("Ordering")
+                && matches!(body.get(i + 1), Some(n) if n.is_punct(":"))
+                && matches!(body.get(i + 2), Some(n) if n.is_punct(":"))
+                && matches!(body.get(i + 3), Some(n) if n.is_ident("Relaxed"))
+            {
+                out.push(finding(
+                    Rule::AtomicOrdering,
+                    file,
+                    body[i + 3].line,
+                    format!("Ordering::Relaxed on a cross-thread atomic (in `{}`)", func.name),
+                    "use Acquire/Release (or SeqCst) if any thread's control flow depends on this \
+                     value; if it is a pure diagnostic counter, justify: \
+                     // sorl-lint: allow(atomic, \"reason\") or allowlist the file in scope.rs",
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::all_on;
+    use crate::scope::Scope;
+
+    #[test]
+    fn relaxed_is_flagged_acquire_is_not() {
+        let src = r#"
+fn f(a: &AtomicU64) {
+    a.fetch_add(1, Ordering::Relaxed);
+    a.load(Ordering::Acquire);
+    a.store(0, atomic::Ordering::Relaxed);
+}
+"#;
+        let file = AnalyzedFile::parse("crates/serve/src/x.rs", src);
+        let got = check(&file, &all_on());
+        assert_eq!(got.iter().map(|f| f.line).collect::<Vec<_>>(), [3, 5]);
+    }
+
+    #[test]
+    fn allowlisted_files_are_exempt() {
+        let src = "fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::Relaxed); }";
+        let file = AnalyzedFile::parse("crates/serve/src/stats.rs", src);
+        let scope = Scope { relaxed_allowlisted: true, ..all_on() };
+        assert!(check(&file, &scope).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! SL005: `Condvar::wait` outside a re-checked predicate loop.
+//!
+//! Condvars have spurious wakeups, and a notify that lands before the
+//! wait is lost; both are only safe under `while !predicate { wait }`.
+//! The rule flags `.wait(guard)` / `.wait_timeout(guard, d)` calls (the
+//! argument distinguishes condvar waits from argument-less
+//! `Child::wait()`-style calls) whose enclosing braces include no
+//! `loop`/`while`/`for`. The predicate-taking `wait_while` /
+//! `wait_timeout_while` forms re-check internally and are always clean.
+
+use crate::diag::{Finding, Rule};
+use crate::lexer::TokenKind;
+use crate::parse::AnalyzedFile;
+use crate::rules::finding;
+use crate::scope::Scope;
+
+/// Scans every non-test function for loop-less condvar waits.
+pub fn check(file: &AnalyzedFile, scope: &Scope) -> Vec<Finding> {
+    if !scope.concurrency_path {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for func in file.functions.iter().filter(|f| !f.is_test) {
+        let body = &file.code[func.body.clone()];
+        // One brace-stack walk: each `{` remembers whether a loop keyword
+        // introduced it, so "am I inside a loop" is a stack scan.
+        let mut loop_braces: Vec<bool> = Vec::new();
+        let mut pending_loop = false;
+        for (i, t) in body.iter().enumerate() {
+            if t.kind == TokenKind::Ident && matches!(t.text.as_str(), "loop" | "while" | "for") {
+                pending_loop = true;
+            } else if t.is_punct("{") {
+                loop_braces.push(pending_loop);
+                pending_loop = false;
+            } else if t.is_punct("}") {
+                loop_braces.pop();
+            } else if t.is_punct(";") {
+                pending_loop = false;
+            } else if t.kind == TokenKind::Ident
+                && matches!(t.text.as_str(), "wait" | "wait_timeout")
+                && i > 0
+                && body[i - 1].is_punct(".")
+                && matches!(body.get(i + 1), Some(n) if n.is_punct("("))
+                && matches!(body.get(i + 2), Some(n) if !n.is_punct(")"))
+                && !loop_braces.iter().any(|&in_loop| in_loop)
+            {
+                out.push(finding(
+                    Rule::CondvarWait,
+                    file,
+                    t.line,
+                    format!(
+                        "`.{}(..)` outside a predicate loop loses wakeups (in `{}`)",
+                        t.text, func.name
+                    ),
+                    "wrap in `while !predicate { guard = cv.wait(guard)...; }` or use \
+                     wait_while/wait_timeout_while; justify a true one-shot: \
+                     // sorl-lint: allow(condvar, \"reason\")",
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::all_on;
+
+    fn check_src(src: &str) -> Vec<Finding> {
+        check(&AnalyzedFile::parse("crates/exec/src/x.rs", src), &all_on())
+    }
+
+    #[test]
+    fn bare_wait_is_flagged() {
+        let src = "fn f() { let g = m.lock().unwrap(); let g = cv.wait(g).unwrap(); }";
+        let got = check_src(src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, Rule::CondvarWait);
+    }
+
+    #[test]
+    fn wait_inside_while_loop_is_clean() {
+        let src = r#"
+fn f() {
+    let mut g = m.lock().unwrap();
+    while !*g {
+        g = cv.wait(g).unwrap();
+    }
+    loop { g = cv.wait_timeout(g, d).unwrap().0; }
+}
+"#;
+        assert!(check_src(src).is_empty());
+    }
+
+    #[test]
+    fn a_loop_earlier_in_the_function_does_not_cover_a_later_wait() {
+        let src = "fn f() { for x in xs { use_it(x); } let g = cv.wait(g).unwrap(); }";
+        assert_eq!(check_src(src).len(), 1);
+    }
+
+    #[test]
+    fn argument_less_wait_is_not_a_condvar() {
+        // `Child::wait()` / join-handle style calls take no guard.
+        let src = "fn f(mut c: Child) { c.wait().unwrap(); }";
+        assert!(check_src(src).is_empty());
+    }
+
+    #[test]
+    fn wait_while_recheck_forms_are_clean() {
+        let src = "fn f() { let g = cv.wait_while(m.lock().unwrap(), |s| !s.done).unwrap(); }";
+        assert!(check_src(src).is_empty());
+    }
+}

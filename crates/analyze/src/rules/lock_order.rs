@@ -1,0 +1,360 @@
+//! SL001: cross-function lock-order inversion.
+//!
+//! Two functions that take the same pair of locks in opposite orders can
+//! deadlock the moment they run on different threads — and nothing in a
+//! single function's diff shows it. This rule runs in two passes:
+//!
+//! 1. **Per file** ([`edges`]): walk each non-test function tracking
+//!    which lock guards are live (named guards until scope end, explicit
+//!    `drop(name)`, or a shadowing re-`let`; temporaries until the end of
+//!    their statement) and record an edge `A -> B` every time lock `B` is
+//!    acquired while `A` is held.
+//! 2. **Across files** ([`findings`]): report every edge that has a
+//!    reverse edge anywhere in the workspace (a 2-cycle), and every
+//!    re-acquisition of an already-held lock (self-deadlock with
+//!    `std::sync::Mutex`).
+//!
+//! Lock identity is heuristic: `(crate, last path component)` — so
+//! `self.state.lock()` in one function and `link.state.lock()` in
+//! another unify (they are usually the same field reached two ways),
+//! while `state` in serve and `state` in shard never do. False
+//! unifications are possible; that is what the allow-annotation and the
+//! baseline are for.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Finding, Rule};
+use crate::lexer::{Token, TokenKind};
+use crate::parse::AnalyzedFile;
+use crate::rules::{crate_of, excerpt};
+use crate::scope::Scope;
+
+/// One observation: `acquired` was locked while `held` was live.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Identity of the lock already held (`crate/component`).
+    pub held: String,
+    /// Identity of the lock being acquired.
+    pub acquired: String,
+    /// Workspace-relative path of the acquisition site.
+    pub path: String,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+    /// Enclosing function name.
+    pub function: String,
+    /// Trimmed source of the acquisition line.
+    pub excerpt: String,
+}
+
+/// A live guard during the per-function walk.
+struct Held {
+    /// Binding name (`let g = …`); `None` for a temporary.
+    name: Option<String>,
+    /// Lock identity.
+    lock: String,
+    /// Brace depth at acquisition; the guard dies when depth drops below.
+    depth: i64,
+}
+
+/// Extracts held-while-acquiring edges from one file.
+pub fn edges(file: &AnalyzedFile, scope: &Scope) -> Vec<LockEdge> {
+    if !scope.concurrency_path {
+        return Vec::new();
+    }
+    let krate = crate_of(&file.path);
+    let mut out = Vec::new();
+    for func in file.functions.iter().filter(|f| !f.is_test) {
+        let body = &file.code[func.body.clone()];
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 0i64;
+        let mut group = 0i64; // () / [] nesting; `;` ends a statement only at 0
+        for i in 0..body.len() {
+            let t = &body[i];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        held.retain(|h| h.depth <= depth);
+                    }
+                    "(" | "[" => group += 1,
+                    ")" | "]" => group -= 1,
+                    ";" if group == 0 => held.retain(|h| h.name.is_some()),
+                    _ => {}
+                }
+                continue;
+            }
+            // `drop(name)` releases a named guard early.
+            if t.is_ident("drop")
+                && matches!(body.get(i + 1), Some(n) if n.is_punct("("))
+                && matches!(body.get(i + 3), Some(n) if n.is_punct(")"))
+            {
+                if let Some(name) = body.get(i + 2).filter(|n| n.kind == TokenKind::Ident) {
+                    held.retain(|h| h.name.as_deref() != Some(name.text.as_str()));
+                }
+            }
+            if t.is_ident("lock")
+                && i > 0
+                && body[i - 1].is_punct(".")
+                && matches!(body.get(i + 1), Some(n) if n.is_punct("("))
+            {
+                let (identity, chain_start) =
+                    receiver(body, i).unwrap_or_else(|| ("?".to_string(), i - 1));
+                let lock = format!("{krate}/{identity}");
+                for h in &held {
+                    out.push(LockEdge {
+                        held: h.lock.clone(),
+                        acquired: lock.clone(),
+                        path: file.path.clone(),
+                        line: t.line,
+                        function: func.name.clone(),
+                        excerpt: excerpt(file, t.line),
+                    });
+                }
+                let name = binding_name(body, chain_start);
+                if let Some(n) = &name {
+                    // A shadowing re-`let` is treated as releasing the old
+                    // guard (under-approximates held locks: fewer false
+                    // positives).
+                    held.retain(|h| h.name.as_deref() != Some(n.as_str()));
+                }
+                held.push(Held { name, lock, depth });
+            }
+        }
+    }
+    out
+}
+
+/// Cross-file pass: inversions (2-cycles) and self-re-acquisitions.
+pub fn findings(edges: &[LockEdge]) -> Vec<Finding> {
+    let mut by_pair: BTreeMap<(String, String), Vec<&LockEdge>> = BTreeMap::new();
+    for e in edges {
+        by_pair.entry((e.held.clone(), e.acquired.clone())).or_default().push(e);
+    }
+    let mut out = Vec::new();
+    for ((a, b), sites) in &by_pair {
+        // Unresolvable receivers never unify meaningfully.
+        if a.ends_with("/?") || b.ends_with("/?") {
+            continue;
+        }
+        if a == b {
+            for s in sites {
+                out.push(Finding {
+                    rule: Rule::LockOrder,
+                    path: s.path.clone(),
+                    line: s.line,
+                    message: format!(
+                        "lock `{a}` re-acquired while already held in `{}` — self-deadlock with \
+                         std::sync::Mutex",
+                        s.function
+                    ),
+                    hint: "drop the first guard before re-locking, or pass the guard down instead \
+                           of re-acquiring; justify: // sorl-lint: allow(lock, \"reason\")"
+                        .to_string(),
+                    excerpt: s.excerpt.clone(),
+                    ordinal: 0,
+                });
+            }
+            continue;
+        }
+        if let Some(rev) = by_pair.get(&(b.clone(), a.clone())) {
+            let r = rev[0];
+            for s in sites {
+                out.push(Finding {
+                    rule: Rule::LockOrder,
+                    path: s.path.clone(),
+                    line: s.line,
+                    message: format!(
+                        "lock-order inversion: `{}` takes `{b}` while holding `{a}`, but `{}` \
+                         ({}:{}) takes `{a}` while holding `{b}` — deadlock candidate",
+                        s.function, r.function, r.path, r.line
+                    ),
+                    hint: format!(
+                        "pick one global order for `{a}` and `{b}` and use it at both sites, or \
+                         narrow one guard (drop it before locking the other); justify: \
+                         // sorl-lint: allow(lock, \"reason\")"
+                    ),
+                    excerpt: s.excerpt.clone(),
+                    ordinal: 0,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The receiver of `.lock()` at `lock_idx` (the `lock` ident): the last
+/// path-component identifier (the lock's identity) and the index where
+/// the receiver chain starts (for `let` binding detection).
+fn receiver(body: &[Token], lock_idx: usize) -> Option<(String, usize)> {
+    let mut j = lock_idx.checked_sub(2)?;
+    // Skip a trailing call/index group: `self.links[k].lock()`.
+    if body[j].is_punct("]") || body[j].is_punct(")") {
+        j = matching_open(body, j)?.checked_sub(1)?;
+    }
+    if body[j].kind != TokenKind::Ident {
+        return None;
+    }
+    let identity = body[j].text.clone();
+    let mut start = j;
+    while start >= 2 && body[start - 1].is_punct(".") && body[start - 2].kind == TokenKind::Ident {
+        start -= 2;
+    }
+    while start >= 3
+        && body[start - 1].is_punct(":")
+        && body[start - 2].is_punct(":")
+        && body[start - 3].kind == TokenKind::Ident
+    {
+        start -= 3;
+    }
+    Some((identity, start))
+}
+
+/// The index of the `(`/`[` matching the closer at `close`.
+fn matching_open(body: &[Token], close: usize) -> Option<usize> {
+    let (open_c, close_c) = if body[close].is_punct("]") { ("[", "]") } else { ("(", ")") };
+    let mut depth = 0i64;
+    let mut k = close;
+    loop {
+        if body[k].is_punct(close_c) {
+            depth += 1;
+        } else if body[k].is_punct(open_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+        k = k.checked_sub(1)?;
+    }
+}
+
+/// If the receiver chain starting at `chain_start` sits in a
+/// `let NAME = …` / `let mut NAME = …`, the guard's binding name.
+fn binding_name(body: &[Token], chain_start: usize) -> Option<String> {
+    let eq = chain_start.checked_sub(1)?;
+    if !body[eq].is_punct("=") {
+        return None;
+    }
+    let name_idx = eq.checked_sub(1)?;
+    let name = &body[name_idx];
+    if name.kind != TokenKind::Ident || name.text == "_" {
+        return None; // `let _ = …` drops immediately: a temporary
+    }
+    let kw = name_idx.checked_sub(1)?;
+    let is_let = body[kw].is_ident("let")
+        || (body[kw].is_ident("mut") && kw > 0 && body[kw - 1].is_ident("let"));
+    if is_let {
+        Some(name.text.clone())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::all_on;
+
+    fn run(src: &str) -> Vec<Finding> {
+        findings(&edges(&AnalyzedFile::parse("crates/serve/src/x.rs", src), &all_on()))
+    }
+
+    #[test]
+    fn inversion_across_functions_is_reported_at_both_sites() {
+        let src = r#"
+fn one(&self) {
+    let a = self.alpha.lock().unwrap();
+    let b = self.beta.lock().unwrap();
+    use_them(a, b);
+}
+fn two(&self) {
+    let b = self.beta.lock().unwrap();
+    let a = self.alpha.lock().unwrap();
+    use_them(a, b);
+}
+"#;
+        let got = run(src);
+        assert_eq!(got.len(), 2, "one finding per direction: {got:#?}");
+        assert!(got.iter().all(|f| f.rule == Rule::LockOrder));
+        assert!(got[0].message.contains("serve/alpha") && got[0].message.contains("serve/beta"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = r#"
+fn one(&self) { let a = self.alpha.lock().unwrap(); let b = self.beta.lock().unwrap(); }
+fn two(&self) { let a = self.alpha.lock().unwrap(); let b = self.beta.lock().unwrap(); }
+"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn dropping_the_first_guard_breaks_the_edge() {
+        let src = r#"
+fn one(&self) {
+    let a = self.alpha.lock().unwrap();
+    drop(a);
+    let b = self.beta.lock().unwrap();
+}
+fn two(&self) { let b = self.beta.lock().unwrap(); let a = self.alpha.lock().unwrap(); }
+"#;
+        assert!(run(src).is_empty(), "no alpha->beta edge once `a` is dropped");
+    }
+
+    #[test]
+    fn a_scoped_guard_dies_at_its_closing_brace() {
+        let src = r#"
+fn one(&self) {
+    { let a = self.alpha.lock().unwrap(); touch(a); }
+    let b = self.beta.lock().unwrap();
+}
+fn two(&self) { let b = self.beta.lock().unwrap(); let a = self.alpha.lock().unwrap(); }
+"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn relocking_a_held_lock_is_a_self_deadlock() {
+        let src = r#"
+fn f(&self) {
+    let a = self.state.lock().unwrap();
+    let b = self.state.lock().unwrap();
+    use_them(a, b);
+}
+"#;
+        let got = run(src);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("re-acquired"));
+    }
+
+    #[test]
+    fn temporary_guards_hold_until_end_of_statement() {
+        let src = r#"
+fn one(&self) { use_both(self.alpha.lock().unwrap().v, self.beta.lock().unwrap().v); }
+fn two(&self) { use_both(self.beta.lock().unwrap().v, self.alpha.lock().unwrap().v); }
+"#;
+        assert_eq!(run(src).len(), 2);
+    }
+
+    #[test]
+    fn temporary_guard_is_released_by_the_semicolon() {
+        let src = r#"
+fn one(&self) { touch(self.alpha.lock().unwrap().v); let b = self.beta.lock().unwrap(); }
+fn two(&self) { let b = self.beta.lock().unwrap(); touch(self.alpha.lock().unwrap().v); }
+"#;
+        // one: the alpha temp dies at `;` before beta -> no edge.
+        // two: beta is held across the alpha temp -> beta->alpha only.
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn indexed_receivers_unify_by_component() {
+        let src = r#"
+fn one(&self) { let a = self.links[0].lock().unwrap(); let b = self.table.lock().unwrap(); }
+fn two(&self) { let b = self.table.lock().unwrap(); let a = self.links[1].lock().unwrap(); }
+"#;
+        let got = run(src);
+        assert_eq!(got.len(), 2);
+        assert!(got[0].message.contains("serve/links"));
+    }
+}

@@ -1,0 +1,67 @@
+//! The five enforced rules. Each local rule is a pure function from one
+//! [`AnalyzedFile`] + [`Scope`] to findings; lock-order is split into a
+//! per-file edge extraction and a cross-file graph pass (inversions are
+//! only visible once every function's acquisitions are on the table).
+//!
+//! Findings come back with `ordinal == 0`; the workspace orchestrator
+//! assigns real ordinals over the whole file set so fingerprints of
+//! repeated identical lines stay distinct and deterministic.
+
+pub mod atomic_ordering;
+pub mod condvar_wait;
+pub mod lock_order;
+pub mod panic_path;
+pub mod trunc_cast;
+
+use crate::diag::{Finding, Rule};
+use crate::parse::AnalyzedFile;
+
+/// Trimmed source text of a 1-based line — diagnostic excerpt and the
+/// content half of the baseline fingerprint.
+pub(crate) fn excerpt(file: &AnalyzedFile, line: u32) -> String {
+    file.lines.get(line as usize - 1).map(|l| l.trim().to_string()).unwrap_or_default()
+}
+
+/// Builds a finding with the excerpt filled in and ordinal left at 0.
+pub(crate) fn finding(
+    rule: Rule,
+    file: &AnalyzedFile,
+    line: u32,
+    message: String,
+    hint: &str,
+) -> Finding {
+    Finding {
+        rule,
+        path: file.path.clone(),
+        line,
+        message,
+        hint: hint.to_string(),
+        excerpt: excerpt(file, line),
+        ordinal: 0,
+    }
+}
+
+/// The crate a workspace-relative path belongs to; lock identities are
+/// namespaced by this so `state` in serve and `state` in shard never
+/// unify.
+pub(crate) fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("stencil-autotune")
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::scope::Scope;
+
+    /// A scope with every rule switched on — rule unit tests exercise
+    /// detection, not path policy (that's `scope::tests`).
+    pub fn all_on() -> Scope {
+        Scope {
+            panic_path: true,
+            cast_path: true,
+            concurrency_path: true,
+            relaxed_allowlisted: false,
+        }
+    }
+}

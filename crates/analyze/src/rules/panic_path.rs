@@ -1,0 +1,163 @@
+//! SL002: panics on wire/serve/ticket paths.
+//!
+//! A panic inside the serving stack does not crash a test — it poisons a
+//! mutex under a completion slot, wedges a `MuxLink` reader, or kills a
+//! worker mid-request. Library code on those paths must either return an
+//! error or carry a written justification:
+//! `// sorl-lint: allow(panic, "why this cannot fire")`.
+
+use crate::diag::{Finding, Rule};
+use crate::lexer::TokenKind;
+use crate::parse::AnalyzedFile;
+use crate::rules::finding;
+use crate::scope::Scope;
+
+/// Method calls that panic on the unhappy variant.
+const PANICKY_CALLS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Macros that are a panic by definition.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Identifiers that precede a `[` without being an indexed expression
+/// (`return [1, 2]`, `for x in [..]`).
+const NON_INDEX_KEYWORDS: &[&str] =
+    &["return", "in", "break", "if", "else", "match", "loop", "while", "mut", "ref", "move"];
+
+/// Scans every non-test function for panic sources.
+pub fn check(file: &AnalyzedFile, scope: &Scope) -> Vec<Finding> {
+    if !scope.panic_path {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for func in file.functions.iter().filter(|f| !f.is_test) {
+        let body = &file.code[func.body.clone()];
+        for (i, t) in body.iter().enumerate() {
+            if t.kind == TokenKind::Ident
+                && PANICKY_CALLS.contains(&t.text.as_str())
+                && i > 0
+                && body[i - 1].is_punct(".")
+                && matches!(body.get(i + 1), Some(n) if n.is_punct("("))
+            {
+                out.push(finding(
+                    Rule::PanicPath,
+                    file,
+                    t.line,
+                    format!(
+                        "`.{}()` can panic while serving a request (in `{}`)",
+                        t.text, func.name
+                    ),
+                    "return a ServeError/WireError, recover (e.g. \
+                     unwrap_or_else(PoisonError::into_inner) for lock poisoning), or justify: \
+                     // sorl-lint: allow(panic, \"reason\")",
+                ));
+            }
+            if t.kind == TokenKind::Ident
+                && PANIC_MACROS.contains(&t.text.as_str())
+                && matches!(body.get(i + 1), Some(n) if n.is_punct("!"))
+                && (i == 0 || !body[i - 1].is_punct("."))
+            {
+                out.push(finding(
+                    Rule::PanicPath,
+                    file,
+                    t.line,
+                    format!(
+                        "`{}!` is reachable while serving a request (in `{}`)",
+                        t.text, func.name
+                    ),
+                    "turn the invariant into a returned error, or justify: \
+                     // sorl-lint: allow(panic, \"reason\")",
+                ));
+            }
+            if t.is_punct("[") && i > 0 {
+                let prev = &body[i - 1];
+                let indexed = (prev.kind == TokenKind::Ident
+                    && !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()))
+                    || prev.is_punct(")")
+                    || prev.is_punct("]");
+                if indexed {
+                    out.push(finding(
+                        Rule::PanicPath,
+                        file,
+                        t.line,
+                        format!(
+                            "unchecked index can panic while serving a request (in `{}`)",
+                            func.name
+                        ),
+                        "use .get()/.get_mut() or length-checked slicing, or justify: \
+                         // sorl-lint: allow(panic, \"reason\")",
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::all_on;
+
+    fn check_src(src: &str) -> Vec<Finding> {
+        check(&AnalyzedFile::parse("crates/serve/src/x.rs", src), &all_on())
+    }
+
+    #[test]
+    fn unwrap_expect_and_macros_are_flagged() {
+        let src = r#"
+fn serve(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a > b { panic!("inverted"); }
+    unreachable!()
+}
+"#;
+        let got = check_src(src);
+        let lines: Vec<u32> = got.iter().map(|f| f.line).collect();
+        assert_eq!(lines, [3, 4, 5, 6]);
+        assert!(got.iter().all(|f| f.rule == Rule::PanicPath));
+    }
+
+    #[test]
+    fn unwrap_or_else_and_test_code_are_not_flagged() {
+        let src = r#"
+fn serve(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0).max(x.unwrap_or_default()) }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); }
+}
+"#;
+        assert!(check_src(src).is_empty());
+    }
+
+    #[test]
+    fn indexing_is_flagged_but_array_literals_are_not() {
+        let src = r#"
+fn f(xs: &[u8], m: [u8; 4]) -> u8 {
+    let arr = [1u8, 2, 3];
+    let a = xs[0];
+    let b = &xs[..2];
+    m[3] + a + b[0]
+}
+"#;
+        let got = check_src(src);
+        // xs[0], xs[..2], m[3], b[0] — the literal `[1u8, 2, 3]` and the
+        // `[u8; 4]` type are not findings.
+        assert_eq!(got.len(), 4);
+        assert_eq!(got.iter().filter(|f| f.line == 3).count(), 0);
+    }
+
+    #[test]
+    fn vec_macro_and_attributes_are_not_indexing() {
+        let src = "fn f() -> Vec<u8> { let v = vec![0u8; 8]; v }";
+        assert!(check_src(src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_are_skipped() {
+        let file = AnalyzedFile::parse("crates/search/src/x.rs", "fn f() { None::<u8>.unwrap(); }");
+        let scope = crate::scope::classify("crates/search/src/x.rs");
+        assert!(check(&file, &scope).is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! SL003: truncating `as` casts on wire/serialization/stats paths.
+//!
+//! This is the `latency_bucket` bug class: a `u64 as u32` that silently
+//! wraps once a counter grows past 4Gi, corrupting what goes on the wire
+//! or into the histograms. Token-level analysis cannot see the source
+//! type, so the rule flags *every* integer-target `as` cast in scoped
+//! files and provides two escape hatches: the one provably-lossless idiom
+//! (`.len() as u64/u128` — usize is at most 64 bits on every tier-1
+//! target) is suppressed automatically, everything else is either
+//! rewritten (`try_from` + error, or `.unwrap_or(MAX)` saturation) or
+//! justified with `// sorl-lint: allow(cast, "why lossless")`.
+
+use crate::diag::{Finding, Rule};
+use crate::lexer::{Token, TokenKind};
+use crate::parse::AnalyzedFile;
+use crate::rules::finding;
+use crate::scope::Scope;
+
+/// Integer cast targets the rule watches. Float targets are excluded:
+/// precision loss there is a different (and on these paths, acceptable)
+/// phenomenon.
+const INT_TARGETS: &[&str] =
+    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+/// Scans every non-test function for integer `as` casts.
+pub fn check(file: &AnalyzedFile, scope: &Scope) -> Vec<Finding> {
+    if !scope.cast_path {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for func in file.functions.iter().filter(|f| !f.is_test) {
+        let body = &file.code[func.body.clone()];
+        for (i, t) in body.iter().enumerate() {
+            if !t.is_ident("as") {
+                continue;
+            }
+            let Some(target) = body.get(i + 1).filter(|n| n.kind == TokenKind::Ident) else {
+                continue;
+            };
+            if !INT_TARGETS.contains(&target.text.as_str()) || lossless_len_idiom(body, i) {
+                continue;
+            }
+            out.push(finding(
+                Rule::TruncatingCast,
+                file,
+                t.line,
+                format!("`as {}` can silently truncate or wrap on a wire/stats path", target.text),
+                "use TryFrom — `Ty::try_from(x)` with a WireError, or `.unwrap_or(Ty::MAX)` to \
+                 saturate; justify a proven-lossless cast: // sorl-lint: allow(cast, \"reason\")",
+            ));
+        }
+    }
+    out
+}
+
+/// `.len() as u64` / `.len() as u128`: `len()` is usize, and usize is at
+/// most 64 bits on every target this workspace builds for.
+fn lossless_len_idiom(body: &[Token], as_idx: usize) -> bool {
+    matches!(body[as_idx + 1].text.as_str(), "u64" | "u128")
+        && as_idx >= 4
+        && body[as_idx - 1].is_punct(")")
+        && body[as_idx - 2].is_punct("(")
+        && body[as_idx - 3].is_ident("len")
+        && body[as_idx - 4].is_punct(".")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::all_on;
+
+    fn check_src(src: &str) -> Vec<Finding> {
+        check(&AnalyzedFile::parse("crates/shard/src/wire.rs", src), &all_on())
+    }
+
+    #[test]
+    fn integer_casts_are_flagged_with_their_target() {
+        let src = "fn f(x: u64) -> u32 { let s = x as usize; x as u32 }";
+        let got = check_src(src);
+        assert_eq!(got.len(), 2);
+        assert!(got[0].message.contains("as usize"));
+        assert!(got[1].message.contains("as u32"));
+    }
+
+    #[test]
+    fn len_as_u64_is_the_known_lossless_idiom() {
+        let src = "fn f(v: &[u8]) -> u64 { v.len() as u64 + (v.len() as u128 as u64) }";
+        // The trailing `as u64` after `as u128` is NOT the idiom (previous
+        // token is `u128`, not `.len()`), so exactly one finding.
+        assert_eq!(check_src(src).len(), 1);
+    }
+
+    #[test]
+    fn len_as_u32_is_still_a_finding() {
+        // usize -> u32 genuinely truncates on 64-bit targets.
+        let src = "fn f(v: &[u8]) -> u32 { v.len() as u32 }";
+        assert_eq!(check_src(src).len(), 1);
+    }
+
+    #[test]
+    fn float_casts_and_non_cast_as_are_ignored() {
+        let src = "fn f(x: u64) -> f64 { use std::io::Write as W; x as f64 }";
+        assert!(check_src(src).is_empty());
+    }
+
+    #[test]
+    fn test_functions_are_skipped() {
+        let src = "#[test]\nfn t() { let _ = 5u64 as u8; }";
+        assert!(check_src(src).is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! The orchestrator: discover workspace sources, run every rule, apply
+//! allow-annotations, and assign stable ordinals.
+//!
+//! Discovery walks `src/` and `crates/*/src/` only — vendored shims,
+//! `target/`, integration-test dirs and benches are never scanned (and
+//! per-rule path scopes narrow further; see [`crate::scope`]).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Finding, Rule};
+use crate::parse::AnalyzedFile;
+use crate::rules::{atomic_ordering, condvar_wait, lock_order, panic_path, trunc_cast};
+use crate::scope;
+
+/// The result of one full analysis pass.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings after allow-suppression, sorted by (path, line, rule),
+    /// with ordinals assigned. Meta (SL000) findings are included and are
+    /// never baselinable.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+/// Analyzes a repository rooted at `root` on disk.
+pub fn analyze_root(root: &Path) -> Result<Report, String> {
+    let mut sources = Vec::new();
+    for (rel, abs) in discover(root)? {
+        let text = fs::read_to_string(&abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
+        sources.push((rel, text));
+    }
+    Ok(analyze_sources(sources))
+}
+
+/// Analyzes in-memory `(workspace-relative path, source)` pairs — the
+/// entry point fixture tests use.
+pub fn analyze_sources(sources: Vec<(String, String)>) -> Report {
+    let files = sources.len();
+    let mut findings = Vec::new();
+    let mut edges = Vec::new();
+    let mut allow_entries = Vec::new();
+    for (path, text) in &sources {
+        let file = AnalyzedFile::parse(path, text);
+        let sc = scope::classify(path);
+        findings.extend(panic_path::check(&file, &sc));
+        findings.extend(trunc_cast::check(&file, &sc));
+        findings.extend(atomic_ordering::check(&file, &sc));
+        findings.extend(condvar_wait::check(&file, &sc));
+        edges.extend(lock_order::edges(&file, &sc));
+        allow_entries.extend(collect_allow_entries(&file));
+    }
+    findings.extend(lock_order::findings(&edges));
+
+    // Ordinals are assigned over the PRE-suppression set in deterministic
+    // order, so adding an allow for one occurrence of a repeated line
+    // does not renumber (and thus re-fingerprint) its siblings.
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    let mut counts: std::collections::HashMap<(Rule, String, String), u32> =
+        std::collections::HashMap::new();
+    for f in &mut findings {
+        let n = counts.entry((f.rule, f.path.clone(), f.excerpt.clone())).or_insert(0);
+        f.ordinal = *n;
+        *n += 1;
+    }
+
+    // Allow-suppression: an annotation covers its own line and the next
+    // non-blank line. Usage is recorded against the pre-suppression set
+    // so stale annotations (covering nothing) surface as SL000.
+    for a in &mut allow_entries {
+        a.used = findings.iter().any(|f| {
+            a.rule == Some(f.rule) && a.path == f.path && a.covered_lines.contains(&f.line)
+        });
+    }
+    findings.retain(|f| {
+        !allow_entries.iter().any(|a| {
+            a.rule == Some(f.rule) && a.path == f.path && a.covered_lines.contains(&f.line)
+        })
+    });
+    findings.extend(allow_entries.iter().filter_map(meta_finding));
+
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Report { findings, files }
+}
+
+/// One allow-annotation, resolved against the file it sits in.
+struct AllowEntry {
+    path: String,
+    line: u32,
+    rule: Option<Rule>,
+    rule_name: String,
+    reason: String,
+    malformed: bool,
+    covered_lines: Vec<u32>,
+    used: bool,
+    excerpt: String,
+}
+
+fn collect_allow_entries(file: &AnalyzedFile) -> Vec<AllowEntry> {
+    file.allows
+        .iter()
+        .map(|a| {
+            let mut covered_lines = vec![a.line];
+            covered_lines.extend(file.next_code_line(a.line));
+            AllowEntry {
+                path: file.path.clone(),
+                line: a.line,
+                rule: if a.malformed { None } else { Rule::from_allow_name(&a.rule) },
+                rule_name: a.rule.clone(),
+                reason: a.reason.clone(),
+                malformed: a.malformed,
+                covered_lines,
+                used: false,
+                excerpt: file
+                    .lines
+                    .get(a.line as usize - 1)
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
+            }
+        })
+        .collect()
+}
+
+/// The SL000 finding an annotation earns, if any. At most one per
+/// annotation, worst problem first.
+fn meta_finding(a: &AllowEntry) -> Option<Finding> {
+    let message = if a.malformed {
+        "unparsable sorl-lint annotation (expected `sorl-lint: allow(rule, \"reason\")`)"
+            .to_string()
+    } else if a.rule.is_none() {
+        format!("unknown rule `{}` in sorl-lint allow annotation", a.rule_name)
+    } else if a.reason.trim().is_empty() {
+        format!("allow({}) without a justification — every allow needs a reason", a.rule_name)
+    } else if !a.used {
+        format!("allow({}) suppresses nothing here — stale annotation", a.rule_name)
+    } else {
+        return None;
+    };
+    Some(Finding {
+        rule: Rule::Meta,
+        path: a.path.clone(),
+        line: a.line,
+        message,
+        hint: "write `// sorl-lint: allow(rule, \"non-empty reason\")` on or directly above the \
+               offending line; delete annotations that no longer fire"
+            .to_string(),
+        excerpt: a.excerpt.clone(),
+        ordinal: 0,
+    })
+}
+
+/// Source files to scan: `src/**/*.rs` and `crates/*/src/**/*.rs`,
+/// sorted, with `/`-separated workspace-relative paths.
+fn discover(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut roots = vec![("src".to_string(), root.join("src"))];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut names: Vec<String> = fs::read_dir(&crates_dir)
+            .map_err(|e| format!("read {}: {e}", crates_dir.display()))?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_dir())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .collect();
+        names.sort();
+        for name in names {
+            roots.push((format!("crates/{name}/src"), crates_dir.join(&name).join("src")));
+        }
+    }
+    let mut out = Vec::new();
+    for (rel, abs) in roots {
+        if abs.is_dir() {
+            walk(&mut out, &rel, &abs)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(out: &mut Vec<(String, PathBuf)>, rel: &str, dir: &Path) -> Result<(), String> {
+    let mut entries: Vec<_> = fs::read_dir(dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok())
+        .collect();
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let Ok(name) = entry.file_name().into_string() else { continue };
+        if path.is_dir() {
+            walk(out, &format!("{rel}/{name}"), &path)?;
+        } else if name.ends_with(".rs") {
+            out.push((format!("{rel}/{name}"), path));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serve(src: &str) -> Vec<(String, String)> {
+        vec![("crates/serve/src/x.rs".to_string(), src.to_string())]
+    }
+
+    #[test]
+    fn allow_on_the_line_above_suppresses() {
+        let src = r#"
+fn f(x: Option<u32>) -> u32 {
+    // sorl-lint: allow(panic, "demo justification")
+    x.unwrap()
+}
+"#;
+        let report = analyze_sources(serve(src));
+        assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    }
+
+    #[test]
+    fn allow_on_the_same_line_suppresses() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // sorl-lint: allow(panic, \"demo\")";
+        assert!(analyze_sources(serve(src)).findings.is_empty());
+    }
+
+    #[test]
+    fn empty_reason_is_a_meta_finding() {
+        let src = r#"
+fn f(x: Option<u32>) -> u32 {
+    // sorl-lint: allow(panic)
+    x.unwrap()
+}
+"#;
+        let report = analyze_sources(serve(src));
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, Rule::Meta);
+        assert!(report.findings[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn unknown_rule_and_stale_allow_are_meta_findings() {
+        let src = r#"
+// sorl-lint: allow(bogus, "no such rule")
+fn f() -> u32 { 1 }
+// sorl-lint: allow(panic, "nothing here panics")
+fn g() -> u32 { 2 }
+"#;
+        let report = analyze_sources(serve(src));
+        assert_eq!(report.findings.len(), 2);
+        assert!(report.findings.iter().all(|f| f.rule == Rule::Meta));
+        assert!(report.findings[0].message.contains("unknown rule"));
+        assert!(report.findings[1].message.contains("stale"));
+    }
+
+    #[test]
+    fn allow_for_the_wrong_rule_does_not_suppress() {
+        let src = r#"
+fn f(x: Option<u32>) -> u32 {
+    // sorl-lint: allow(cast, "wrong rule for an unwrap")
+    x.unwrap()
+}
+"#;
+        let report = analyze_sources(serve(src));
+        // The unwrap still fires, and the cast allow is stale.
+        assert_eq!(report.findings.len(), 2, "{:#?}", report.findings);
+        assert!(report.findings.iter().any(|f| f.rule == Rule::PanicPath));
+        assert!(report.findings.iter().any(|f| f.rule == Rule::Meta));
+    }
+
+    #[test]
+    fn repeated_identical_lines_get_distinct_ordinals() {
+        let src = r#"
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let a = x.unwrap();
+    a
+}
+"#;
+        let report = analyze_sources(serve(src));
+        assert_eq!(report.findings.len(), 2);
+        assert_eq!(report.findings[0].ordinal, 0);
+        assert_eq!(report.findings[1].ordinal, 1);
+        assert_ne!(report.findings[0].fingerprint(), report.findings[1].fingerprint());
+    }
+
+    #[test]
+    fn out_of_scope_crates_produce_no_findings() {
+        let report = analyze_sources(vec![(
+            "crates/search/src/ga.rs".to_string(),
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() as u32 }".to_string(),
+        )]);
+        assert!(report.findings.is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Fixture tests: each file under `tests/fixtures/` is analyzed under a
+//! virtual workspace path that puts it in the right rule scope, and the
+//! exact `(rule id, line)` diagnostics are asserted — not just counts, so
+//! a rule that drifts by one line or fires twice fails loudly.
+
+use sorl_analyze::workspace::{analyze_sources, Report};
+
+/// Analyzes fixture sources under their virtual workspace paths.
+fn analyze(fixtures: &[(&str, &str)]) -> Report {
+    analyze_sources(
+        fixtures.iter().map(|(path, src)| (path.to_string(), src.to_string())).collect(),
+    )
+}
+
+/// The findings as sorted `(rule id, virtual path, line)` triples.
+fn ids(report: &Report) -> Vec<(String, String, u32)> {
+    report.findings.iter().map(|f| (f.rule.id().to_string(), f.path.clone(), f.line)).collect()
+}
+
+#[test]
+fn lock_inversion_is_reported_at_both_sites_with_cross_file_citation() {
+    let report = analyze(&[
+        ("crates/serve/src/lock_a.rs", include_str!("fixtures/lock_inversion_a.rs")),
+        ("crates/serve/src/lock_b.rs", include_str!("fixtures/lock_inversion_b.rs")),
+    ]);
+    assert_eq!(
+        ids(&report),
+        vec![
+            ("SL001".into(), "crates/serve/src/lock_a.rs".into(), 6),
+            ("SL001".into(), "crates/serve/src/lock_b.rs".into(), 7),
+            ("SL001".into(), "crates/serve/src/lock_b.rs".into(), 13),
+        ],
+        "{:#?}",
+        report.findings
+    );
+    // The inversion halves cite each other across files.
+    let at = |path: &str, line: u32| {
+        report.findings.iter().find(|f| f.path == path && f.line == line).unwrap()
+    };
+    assert!(at("crates/serve/src/lock_a.rs", 6).message.contains("crates/serve/src/lock_b.rs:7"));
+    assert!(at("crates/serve/src/lock_b.rs", 7).message.contains("crates/serve/src/lock_a.rs:6"));
+    assert!(at("crates/serve/src/lock_b.rs", 13).message.contains("re-acquired"));
+}
+
+#[test]
+fn panic_paths_flag_unwrap_indexing_and_macros_but_honor_allows_and_tests() {
+    let report =
+        analyze(&[("crates/serve/src/panic_fixture.rs", include_str!("fixtures/panic_path.rs"))]);
+    assert_eq!(
+        ids(&report),
+        vec![
+            ("SL002".into(), "crates/serve/src/panic_fixture.rs".into(), 6), // q.unwrap()
+            ("SL002".into(), "crates/serve/src/panic_fixture.rs".into(), 7), // xs[0]
+            ("SL002".into(), "crates/serve/src/panic_fixture.rs".into(), 9), // panic!
+        ],
+        "{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn truncating_casts_flag_but_the_len_idiom_stays_clean() {
+    let report = analyze(&[("crates/shard/src/wire.rs", include_str!("fixtures/trunc_cast.rs"))]);
+    assert_eq!(
+        ids(&report),
+        vec![
+            ("SL003".into(), "crates/shard/src/wire.rs".into(), 6), // len as u32
+            ("SL003".into(), "crates/shard/src/wire.rs".into(), 7), // id as u16
+        ],
+        "{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn relaxed_ordering_flags_outside_the_allowlist() {
+    let report = analyze(&[(
+        "crates/exec/src/atomic_fixture.rs",
+        include_str!("fixtures/atomic_ordering.rs"),
+    )]);
+    assert_eq!(
+        ids(&report),
+        vec![("SL004".into(), "crates/exec/src/atomic_fixture.rs".into(), 8)],
+        "{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn condvar_wait_outside_a_loop_flags_and_child_wait_does_not() {
+    let report = analyze(&[(
+        "crates/serve/src/condvar_fixture.rs",
+        include_str!("fixtures/condvar_wait.rs"),
+    )]);
+    assert_eq!(
+        ids(&report),
+        vec![("SL005".into(), "crates/serve/src/condvar_fixture.rs".into(), 8)],
+        "{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn broken_annotations_are_meta_findings() {
+    let report = analyze(&[(
+        "crates/serve/src/meta_fixture.rs",
+        include_str!("fixtures/meta_annotations.rs"),
+    )]);
+    assert_eq!(
+        ids(&report),
+        vec![
+            ("SL000".into(), "crates/serve/src/meta_fixture.rs".into(), 5),
+            ("SL000".into(), "crates/serve/src/meta_fixture.rs".into(), 10),
+        ],
+        "{:#?}",
+        report.findings
+    );
+    assert!(report.findings[0].message.contains("unknown rule"));
+    assert!(report.findings[1].message.contains("stale"));
+}

@@ -1,0 +1,10 @@
+//! SL004 fixture: a relaxed atomic outside the allowlist, next to an
+//! ordering that synchronizes properly.
+//! Analyzed as `crates/exec/src/atomic_fixture.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+    c.fetch_add(1, Ordering::SeqCst);
+}

@@ -1,0 +1,20 @@
+//! SL005 fixture: a condvar wait with no predicate re-check loop, the
+//! correct while-loop shape, and an argument-less `Child::wait()` that
+//! must not be mistaken for a condvar.
+//! Analyzed as `crates/serve/src/condvar_fixture.rs`.
+
+pub fn lost_wakeup(slot: &Slot) {
+    let guard = recover(slot.state_lock());
+    let _woken = slot.ready.wait(guard);
+}
+
+pub fn rechecked(slot: &Slot) {
+    let mut guard = recover(slot.state_lock());
+    while !guard.done {
+        guard = recover(slot.ready.wait(guard));
+    }
+}
+
+pub fn reap(child: &mut Child) {
+    let _status = child.wait();
+}

@@ -1,0 +1,8 @@
+//! SL001 fixture, first half: registry -> journal.
+//! Analyzed as `crates/serve/src/lock_a.rs`.
+
+pub fn forward(s: &Shared) {
+    let reg = s.registry.lock();
+    let jrn = s.journal.lock();
+    touch(reg, jrn);
+}

@@ -1,0 +1,15 @@
+//! SL001 fixture, second half: journal -> registry (the inversion), plus
+//! a self-deadlocking re-acquisition.
+//! Analyzed as `crates/serve/src/lock_b.rs`.
+
+pub fn backward(s: &Shared) {
+    let jrn = s.journal.lock();
+    let reg = s.registry.lock();
+    touch(jrn, reg);
+}
+
+pub fn relock(s: &Shared) {
+    let first = s.registry.lock();
+    let again = s.registry.lock();
+    touch(first, again);
+}

@@ -1,0 +1,13 @@
+//! SL000 fixture: annotations that are themselves broken — an unknown
+//! rule name and a stale allow that suppresses nothing.
+//! Analyzed as `crates/serve/src/meta_fixture.rs`.
+
+// sorl-lint: allow(bogus, "no rule has this name")
+pub fn f() -> u32 {
+    1
+}
+
+// sorl-lint: allow(panic, "nothing on the next line panics")
+pub fn g() -> u32 {
+    2
+}

@@ -1,0 +1,23 @@
+//! SL002 fixture: panicky calls, macros and indexing on a serving path,
+//! one justified allow, and a test module where everything is exempt.
+//! Analyzed as `crates/serve/src/panic_fixture.rs`.
+
+pub fn serve_one(q: Option<u32>, xs: &[u32]) -> u32 {
+    let a = q.unwrap();
+    let b = xs[0];
+    if a == 0 {
+        panic!("boom");
+    }
+    // sorl-lint: allow(panic, "fixture: justified expect")
+    let c = q.expect("justified");
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        let xs = [1u32];
+        assert_eq!(Some(xs[0]).unwrap(), 1);
+    }
+}

@@ -1,0 +1,10 @@
+//! SL003 fixture: truncating casts on a wire path, plus the lossless
+//! `.len() as u64` idiom that must stay clean.
+//! Analyzed as `crates/shard/src/wire.rs` (a cast-scoped path).
+
+pub fn encode(len: usize, id: u64, buf: &[u8]) -> (u32, u16, u64) {
+    let a = len as u32;
+    let b = id as u16;
+    let c = buf.len() as u64;
+    (a, b, c)
+}

@@ -113,6 +113,7 @@ impl ThreadPool {
         {
             let mut slot = self.shared.slot.lock();
             debug_assert!(slot.job.is_none(), "a job is already running");
+            // sorl-lint: allow(atomic, "the cursor is a work-stealing hint; the job slot's mutex is the synchronization edge")
             self.shared.cursor.store(0, Ordering::Relaxed);
             slot.job = Some(job);
             slot.n_chunks = n_chunks;
@@ -229,6 +230,7 @@ impl Drop for ThreadPool {
 /// Claims chunk indices until the range is exhausted.
 fn drain(shared: &Shared, f: &(dyn Fn(usize) + Sync), n_chunks: usize) {
     loop {
+        // sorl-lint: allow(atomic, "index claiming only needs RMW atomicity; chunk data is owned by the claimer, not published via the cursor")
         let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
         if i >= n_chunks {
             return;

@@ -128,6 +128,7 @@ impl DecisionCache {
             // O(log n) eviction: the index's first entry is the LRU victim
             // (ticks are unique, so "smallest tick" is exactly what the old
             // full `min_by_key` scan computed).
+            // sorl-lint: allow(panic, "len > capacity >= 0 on this branch, so the order index is non-empty")
             let (_, lru) = self.order.pop_first().expect("cache over capacity is non-empty");
             self.map.remove(&lru);
             self.evictions += 1;

@@ -19,6 +19,7 @@ pub const LATENCY_BUCKETS: usize = 32;
 
 /// Histogram bucket for a batch of `n` requests.
 fn batch_size_bucket(n: usize) -> usize {
+    // sorl-lint: allow(cast, "a bit count is at most 64; always fits usize")
     if n <= 1 { 0 } else { (usize::BITS - (n - 1).leading_zeros()) as usize }
         .min(BATCH_SIZE_BUCKETS - 1)
 }
@@ -29,6 +30,7 @@ fn latency_bucket(d: Duration) -> usize {
     // pathological duration (> ~584k years) must land in the top bucket,
     // not wrap into a low one.
     let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX).max(1);
+    // sorl-lint: allow(cast, "a bit count is at most 64; always fits usize")
     if us <= 1 { 0 } else { (u64::BITS - (us - 1).leading_zeros()) as usize }
         .min(LATENCY_BUCKETS - 1)
 }
@@ -66,8 +68,9 @@ impl RecentLatencies {
         let mut sorted = [0u64; RECENT_WINDOW];
         sorted[..self.len].copy_from_slice(&self.buf[..self.len]);
         sorted[..self.len].sort_unstable();
-        // Index of the ceil(0.99 * len)-th order statistic (1-based).
-        let rank = (0.99 * self.len as f64).ceil().max(1.0) as usize;
+        // Index of the ceil(0.99 * len)-th order statistic (1-based),
+        // in exact integer arithmetic (len <= 64, no overflow).
+        let rank = (99 * self.len).div_ceil(100).max(1);
         sorted[rank.min(self.len) - 1]
     }
 }
@@ -151,6 +154,7 @@ fn histogram_percentile(hist: &[u64], q: f64) -> f64 {
     if total == 0 {
         return 0.0;
     }
+    // sorl-lint: allow(cast, "float-to-int `as` saturates; value is clamped to [1, total]")
     let target = (q * total as f64).ceil().max(1.0) as u64;
     let mut seen = 0u64;
     for (i, &count) in hist.iter().enumerate() {
@@ -274,6 +278,32 @@ impl fmt::Display for ServeStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn recent_p99_rank_is_exact_at_window_boundaries() {
+        // One sample: rank must clamp to 1, not 0 (ceil(0.99*1) = 1).
+        let mut w = RecentLatencies::new();
+        assert_eq!(w.record_p99_us(Duration::from_micros(42)), 42);
+
+        // A full window: ceil(0.99 * 64) = 64, so the p99 is the maximum
+        // order statistic — the integer rank math must not round down to
+        // the 63rd and hide the worst batch.
+        let mut w = RecentLatencies::new();
+        let mut last = 0;
+        for i in 1..=RECENT_WINDOW as u64 {
+            last = w.record_p99_us(Duration::from_micros(i));
+        }
+        assert_eq!(last, RECENT_WINDOW as u64);
+    }
+
+    #[test]
+    fn recent_p99_saturates_on_absurd_latencies() {
+        // Duration::MAX in micros overflows u64; the window must pin it
+        // to u64::MAX instead of truncating to a small number (which
+        // would silently disable the latency shedder).
+        let mut w = RecentLatencies::new();
+        assert_eq!(w.record_p99_us(Duration::MAX), u64::MAX);
+    }
 
     #[test]
     fn rates_handle_zero_denominators() {

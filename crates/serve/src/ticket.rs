@@ -14,7 +14,7 @@
 //! [`ServeError::Closed`] — a ticket can therefore never be lost, only
 //! answered or failed.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use sorl::tuner::TopK;
 
@@ -33,6 +33,17 @@ struct SlotState {
 struct Slot {
     state: Mutex<SlotState>,
     ready: Condvar,
+}
+
+impl Slot {
+    /// Locks the slot state, recovering from poisoning: the state is two
+    /// `Option`s, each structurally valid whether or not the thread that
+    /// panicked got to fill it, so a waiter must see the slot (and the
+    /// completer's `Drop` must still deliver `Closed`) rather than
+    /// propagate an unrelated thread's panic.
+    fn state(&self) -> MutexGuard<'_, SlotState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A fresh ticket/completer pair sharing one completion slot.
@@ -67,25 +78,25 @@ impl std::fmt::Debug for TuneTicket {
 impl TuneTicket {
     /// Whether the answer (or failure) has landed. Never blocks.
     pub fn is_ready(&self) -> bool {
-        self.slot.state.lock().expect("ticket lock").outcome.is_some()
+        self.slot.state().outcome.is_some()
     }
 
     /// The outcome, if it has landed — `None` while still pending. Never
     /// blocks; the outcome stays in the ticket (polling again, or
     /// [`wait`](Self::wait)ing after a successful poll, sees it again).
     pub fn poll(&self) -> Option<Result<TopK, ServeError>> {
-        self.slot.state.lock().expect("ticket lock").outcome.clone()
+        self.slot.state().outcome.clone()
     }
 
     /// Blocks until the service answers (or reports it shut down without
     /// answering).
     pub fn wait(self) -> Result<TopK, ServeError> {
-        let mut state = self.slot.state.lock().expect("ticket lock");
+        let mut state = self.slot.state();
         loop {
             if let Some(outcome) = state.outcome.take() {
                 return outcome;
             }
-            state = self.slot.ready.wait(state).expect("ticket lock");
+            state = self.slot.ready.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -96,7 +107,7 @@ impl TuneTicket {
     /// reply path.
     pub fn on_ready(self, hook: impl FnOnce(Result<TopK, ServeError>) + Send + 'static) {
         let ready = {
-            let mut state = self.slot.state.lock().expect("ticket lock");
+            let mut state = self.slot.state();
             match state.outcome.take() {
                 Some(outcome) => Some(outcome),
                 None => {
@@ -127,13 +138,17 @@ impl TicketCompleter {
     /// Fills the slot with `outcome`, waking the waiter / running the
     /// registered callback.
     pub(crate) fn complete(mut self, outcome: Result<TopK, ServeError>) {
-        let slot = self.slot.take().expect("completer used once");
-        Self::fill(&slot, outcome);
+        // `complete` consumes self, so the slot is still present (only
+        // this method and Drop ever take it); if let keeps that
+        // invariant panic-free.
+        if let Some(slot) = self.slot.take() {
+            Self::fill(&slot, outcome);
+        }
     }
 
     fn fill(slot: &Slot, outcome: Result<TopK, ServeError>) {
         let callback = {
-            let mut state = slot.state.lock().expect("ticket lock");
+            let mut state = slot.state();
             match state.callback.take() {
                 Some(callback) => Some(callback),
                 None => {

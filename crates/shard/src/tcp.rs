@@ -48,7 +48,7 @@ use std::collections::HashMap;
 use std::io::{self, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, Weak};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::time::{Duration, Instant};
 
 use sorl::tuner::TopK;
@@ -60,6 +60,16 @@ use stencil_model::StencilInstance;
 use crate::routing::CacheSlice;
 use crate::transport::ShardTransport;
 use crate::wire::{self, FrameKind, WireError, PROTOCOL_V1, PROTOCOL_V2};
+
+/// Locks `m`, recovering from poisoning instead of panicking: every
+/// state these mutexes protect (connection [`Slot`], [`MuxState`],
+/// writer/stream handles) is structurally valid at every step, and a
+/// link whose protocol state actually desynced marks itself dead via
+/// `MuxState::dead` — so a panic on some other thread must surface as a
+/// transport error and a redial, not cascade through every client.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Default per-call socket timeout (reads and writes), and the cap on how
 /// long a multiplexed caller waits for its response. A tuning pass is
@@ -171,7 +181,7 @@ impl TcpShard {
             conn: Mutex::new(Slot::Empty),
         };
         let stream = shard.dial()?;
-        *shard.conn.lock().expect("tcp shard lock") = Slot::Raw(stream);
+        *lock_recover(&shard.conn) = Slot::Raw(stream);
         Ok(shard)
     }
 
@@ -237,7 +247,7 @@ impl TcpShard {
     /// Returns the live link, (re)establishing it if the slot is empty,
     /// raw, or poisoned.
     fn link(&self) -> Result<Arc<Link>, ServeError> {
-        let mut slot = self.conn.lock().expect("tcp shard lock");
+        let mut slot = lock_recover(&self.conn);
         if let Slot::Ready(link) = &*slot {
             if !link.is_dead() {
                 return Ok(Arc::clone(link));
@@ -310,7 +320,7 @@ impl TcpShard {
         let link = self.link()?;
         let result = f(&link);
         if matches!(result, Err(ServeError::Transport(_))) {
-            let mut slot = self.conn.lock().expect("tcp shard lock");
+            let mut slot = lock_recover(&self.conn);
             if let Slot::Ready(current) = &*slot {
                 if Arc::ptr_eq(current, &link) {
                     *slot = Slot::Empty;
@@ -421,7 +431,7 @@ struct MuxLink {
 impl Link {
     fn is_dead(&self) -> bool {
         match self {
-            Link::V2(mux) => mux.state.lock().expect("link state").dead.is_some(),
+            Link::V2(mux) => lock_recover(&mux.state).dead.is_some(),
             Link::V1(_) => false,
         }
     }
@@ -442,7 +452,7 @@ impl Link {
                 outcome.into_payload()
             }
             Link::V1(stream) => {
-                let mut stream = stream.lock().expect("link stream");
+                let mut stream = lock_recover(stream);
                 wire::write_frame(&mut *stream, kind, payload)?;
                 wire::expect_frame(&mut *stream, expect, wanted)
             }
@@ -463,7 +473,7 @@ impl Link {
                 outcome.into_snapshot()
             }
             Link::V1(stream) => {
-                let mut stream = stream.lock().expect("link stream");
+                let mut stream = lock_recover(stream);
                 wire::write_frame(&mut *stream, kind, payload)?;
                 wire::read_snapshot_stream(&mut *stream)
             }
@@ -488,7 +498,7 @@ impl Link {
                 outcome.into_payload()
             }
             Link::V1(stream) => {
-                let mut stream = stream.lock().expect("link stream");
+                let mut stream = lock_recover(stream);
                 wire::write_frame(&mut *stream, FrameKind::ImportCache, &header_payload)?;
                 wire::write_chunk_frames(&mut *stream, chunks)?;
                 wire::expect_frame(&mut *stream, FrameKind::ImportOk, "import answer")
@@ -522,7 +532,7 @@ impl MuxLink {
     /// in-flight cap, then registers a fresh id in the pending table.
     fn begin(&self, expect: Expect) -> Result<u64, ServeError> {
         let deadline = Instant::now() + self.timeout;
-        let mut state = self.state.lock().expect("link state");
+        let mut state = lock_recover(&self.state);
         loop {
             if let Some(reason) = &state.dead {
                 return Err(ServeError::Transport(reason.clone()));
@@ -537,7 +547,10 @@ impl MuxLink {
                     state.in_flight, self.timeout
                 )));
             }
-            let (guard, _) = self.ready.wait_timeout(state, deadline - now).expect("link state");
+            let (guard, _) = self
+                .ready
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
             state = guard;
         }
         let id = state.next_id;
@@ -555,7 +568,7 @@ impl MuxLink {
     ) -> Result<Outcome, ServeError> {
         let id = self.begin(expect)?;
         {
-            let mut stream = self.writer.lock().expect("link writer");
+            let mut stream = lock_recover(&self.writer);
             if let Err(e) = write(&mut stream, id) {
                 // A half-written frame desyncs the whole link, not just
                 // this request.
@@ -570,7 +583,7 @@ impl MuxLink {
     /// out, which poisons the link — its socket state is unknowable).
     fn await_done(&self, id: u64) -> Result<Outcome, ServeError> {
         let deadline = Instant::now() + self.timeout;
-        let mut state = self.state.lock().expect("link state");
+        let mut state = lock_recover(&self.state);
         loop {
             let entry = state.pending.get_mut(&id);
             if let Some(done) = entry.and_then(|p| p.done.take()) {
@@ -590,7 +603,10 @@ impl MuxLink {
                 self.ready.notify_all();
                 return Err(ServeError::Transport(reason));
             }
-            let (guard, _) = self.ready.wait_timeout(state, deadline - now).expect("link state");
+            let (guard, _) = self
+                .ready
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
             state = guard;
         }
     }
@@ -598,7 +614,7 @@ impl MuxLink {
     /// Marks the link dead and fails every pending request. Idempotent —
     /// the first reason wins.
     fn fail_all(&self, reason: &str) {
-        let mut state = self.state.lock().expect("link state");
+        let mut state = lock_recover(&self.state);
         Self::poison(&mut state, reason);
         self.ready.notify_all();
     }
@@ -698,6 +714,7 @@ impl std::ops::Deref for MuxHandle {
     fn deref(&self) -> &MuxLink {
         match &*self.0 {
             Link::V2(mux) => mux,
+            // sorl-lint: allow(panic, "MuxHandle is only ever constructed over a Link::V2")
             Link::V1(_) => unreachable!("mux reader only serves v2 links"),
         }
     }
@@ -706,7 +723,7 @@ impl std::ops::Deref for MuxHandle {
 /// Routes one incoming frame. `Err` means the link is poisoned and the
 /// reader must exit.
 fn route_frame(mux: &MuxLink, frame: wire::Frame) -> Result<(), ()> {
-    let mut state = mux.state.lock().expect("link state");
+    let mut state = lock_recover(&mux.state);
     let Some(pending) = state.pending.get_mut(&frame.request_id) else {
         // A response for a request never issued (or long abandoned): the
         // stream can no longer be trusted. An Error frame is the one
@@ -755,6 +772,7 @@ fn route_frame(mux: &MuxLink, frame: wire::Frame) -> Result<(), ()> {
                     Err(e) => Err(e.to_string()),
                     Ok(()) => {
                         if assembler.is_complete() {
+                            // sorl-lint: allow(panic, "the Some arm two lines up guarantees the assembler is present")
                             let assembler = pending.assembling.take().expect("just matched");
                             Ok(Some(assembler.finish().map(|s| Outcome::Snapshot(Box::new(s)))))
                         } else {

@@ -260,6 +260,7 @@ pub fn write_frame_in(
     let mut header = [0u8; HEADER_LEN_V2];
     header[..4].copy_from_slice(&MAGIC);
     header[4..6].copy_from_slice(&version.to_le_bytes());
+    // sorl-lint: allow(cast, "FrameKind is a unit enum with discriminants < 256")
     header[6] = kind as u8;
     header[7..11].copy_from_slice(&len.to_le_bytes());
     if version >= PROTOCOL_V2 {
@@ -289,15 +290,18 @@ pub fn read_frame_after(r: &mut impl Read, first: u8) -> Result<Frame, WireError
     let mut header = [0u8; HEADER_LEN];
     header[0] = first;
     r.read_exact(&mut header[1..])?;
+    // sorl-lint: allow(panic, "4-byte slice of a fixed header; length is a literal constant")
     let magic: [u8; 4] = header[..4].try_into().expect("4 bytes");
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
+    // sorl-lint: allow(panic, "2-byte slice of a fixed header; length is a literal constant")
     let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
     if version != PROTOCOL_V1 && version != PROTOCOL_V2 {
         return Err(WireError::Version { found: version });
     }
     let kind = FrameKind::from_byte(header[6]).ok_or(WireError::UnknownKind(header[6]))?;
+    // sorl-lint: allow(panic, "4-byte slice of a fixed header; length is a literal constant")
     let len = u32::from_le_bytes(header[7..11].try_into().expect("4 bytes"));
     if len > MAX_PAYLOAD {
         return Err(WireError::Oversized(len));
@@ -309,7 +313,8 @@ pub fn read_frame_after(r: &mut impl Read, first: u8) -> Result<Frame, WireError
     } else {
         0
     };
-    let mut payload = vec![0u8; len as usize];
+    let len = usize::try_from(len).map_err(|_| WireError::Oversized(u32::MAX))?;
+    let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Frame { version, kind, request_id, payload })
 }
@@ -343,6 +348,7 @@ pub fn from_payload<T: serde::de::DeserializeOwned>(payload: &[u8]) -> Result<T,
 
 /// Serializes a value into a frame payload.
 pub fn to_payload<T: Serialize>(value: &T) -> Vec<u8> {
+    // sorl-lint: allow(panic, "serializing our own derive(Serialize) types cannot fail")
     serde_json::to_string(value).expect("wire value serializes").into_bytes()
 }
 
@@ -496,6 +502,7 @@ impl SnapshotAssembler {
                 "snapshot stream exceeded {MAX_SNAPSHOT_BYTES} bytes at chunk {index}"
             )));
         }
+        // sorl-lint: allow(panic, "8-byte slice; the length guard at the top of this function")
         let checksum = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
         self.chunks.push(SnapshotChunk { index, checksum, payload: payload[8..].to_vec() });
         Ok(())
@@ -591,14 +598,14 @@ pub fn encode_fault(e: &ServeError) -> Vec<u8> {
             },
             SnapshotError::ChunkChecksum { index } => WireFault {
                 code: "snapshot_checksum".into(),
-                found: *index as u64,
+                found: u64::try_from(*index).unwrap_or(u64::MAX),
                 expected: 0,
                 message: String::new(),
             },
             SnapshotError::Truncated { what, found, expected } => WireFault {
                 code: "snapshot_truncated".into(),
-                found: *found as u64,
-                expected: *expected as u64,
+                found: u64::try_from(*found).unwrap_or(u64::MAX),
+                expected: u64::try_from(*expected).unwrap_or(u64::MAX),
                 message: (*what).to_string(),
             },
         },
@@ -621,8 +628,8 @@ pub fn decode_fault(payload: &[u8]) -> ServeError {
         "overloaded_latency" => ServeError::Overloaded(ShedReason::BatchLatency),
         "overloaded_link" => ServeError::Overloaded(ShedReason::LinkInFlight),
         "snapshot_format" => ServeError::Snapshot(SnapshotError::FormatVersion {
-            found: fault.found as u32,
-            expected: fault.expected as u32,
+            found: u32::try_from(fault.found).unwrap_or(u32::MAX),
+            expected: u32::try_from(fault.expected).unwrap_or(u32::MAX),
         }),
         "snapshot_ranker" => ServeError::Snapshot(SnapshotError::RankerMismatch {
             found: fault.found,
@@ -646,6 +653,43 @@ pub fn decode_fault(payload: &[u8]) -> ServeError {
 mod tests {
     use super::*;
     use sorl_serve::CacheSnapshot;
+
+    #[test]
+    fn fault_counts_saturate_instead_of_truncating() {
+        // Encode: usize counts ride the wire as u64 — a torn-stream
+        // fault near usize::MAX must come out pinned at the type's max,
+        // never wrapped to a small number.
+        let torn = ServeError::Snapshot(SnapshotError::Truncated {
+            what: "entries",
+            found: usize::MAX,
+            expected: 3,
+        });
+        let decoded = decode_fault(&encode_fault(&torn));
+        match decoded {
+            ServeError::Transport(m) => {
+                assert!(m.contains(&u64::MAX.to_string()), "saturated count survives: {m}");
+                assert!(m.contains("expected 3"), "small count is exact: {m}");
+            }
+            other => panic!("expected Transport, got {other:?}"),
+        }
+
+        // Decode: a peer claiming a format version beyond u32 must pin
+        // to u32::MAX (a guaranteed mismatch), not truncate to a value
+        // that could alias a *valid* local version.
+        let fault = WireFault {
+            code: "snapshot_format".into(),
+            found: u64::from(u32::MAX) + 2, // would truncate to 1
+            expected: 1,
+            message: String::new(),
+        };
+        match decode_fault(&to_payload(&fault)) {
+            ServeError::Snapshot(SnapshotError::FormatVersion { found, expected }) => {
+                assert_eq!(found, u32::MAX);
+                assert_eq!(expected, 1);
+            }
+            other => panic!("expected FormatVersion, got {other:?}"),
+        }
+    }
 
     #[test]
     fn frame_roundtrip_is_exact() {
