@@ -19,9 +19,10 @@ const PANICKY_CALLS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"]
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// Identifiers that precede a `[` without being an indexed expression
-/// (`return [1, 2]`, `for x in [..]`).
+/// (`return [1, 2]`, `for x in [..]`, the irrefutable pattern
+/// `let [byte] = one_byte_array`).
 const NON_INDEX_KEYWORDS: &[&str] =
-    &["return", "in", "break", "if", "else", "match", "loop", "while", "mut", "ref", "move"];
+    &["return", "in", "break", "if", "else", "match", "loop", "while", "mut", "ref", "move", "let"];
 
 /// Scans every non-test function for panic sources.
 pub fn check(file: &AnalyzedFile, scope: &Scope) -> Vec<Finding> {
@@ -146,6 +147,17 @@ fn f(xs: &[u8], m: [u8; 4]) -> u8 {
         // `[u8; 4]` type are not findings.
         assert_eq!(got.len(), 4);
         assert_eq!(got.iter().filter(|f| f.line == 3).count(), 0);
+    }
+
+    #[test]
+    fn irrefutable_slice_patterns_are_not_indexing() {
+        let src = r#"
+fn f(first: [u8; 1]) -> u8 {
+    let [byte] = first;
+    byte
+}
+"#;
+        assert!(check_src(src).is_empty());
     }
 
     #[test]

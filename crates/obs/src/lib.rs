@@ -1,0 +1,36 @@
+//! `sorl-obs` — fleet observability for the stencil-autotune serving
+//! stack: trace identities, a lock-free flight recorder, a typed metrics
+//! registry, and a Prometheus-text scrape endpoint.
+//!
+//! Dependency-free by design (pure std, like `sorl-analyze`): this crate
+//! is linked into every daemon and must never become the reason the
+//! build grows a supply chain.
+//!
+//! The three pieces:
+//!
+//! * [`trace`] — [`TraceId`]/[`SpanId`]: 64-bit identities that follow
+//!   one request from the submitting client across the wire (the v3
+//!   frame header carries the raw trace id) to the shard worker.
+//! * [`recorder`] — [`FlightRecorder`]: a fixed-capacity,
+//!   overwrite-oldest ring of span begin/end + instant events with
+//!   monotonic timestamps, wait-free to write and snapshottable while
+//!   hot. Keep one per process (client side and server side); joining
+//!   two snapshots on `TraceId` reconstructs a request's full story.
+//! * [`metrics`] + [`http`] — [`Registry`]
+//!   (counter/gauge/histogram with the serving stack's log2-µs buckets),
+//!   [`PromWriter`] for rendering external snapshots, and
+//!   [`MetricsServer`], a blocking HTTP/1.0 responder for
+//!   `curl http://host:port/metrics`.
+
+pub mod http;
+pub mod metrics;
+pub mod recorder;
+pub mod trace;
+
+pub use http::MetricsServer;
+pub use metrics::{
+    latency_bucket, latency_bucket_upper_s, Counter, Gauge, Histogram, MetricsSource, PromWriter,
+    Registry, LATENCY_BUCKETS,
+};
+pub use recorder::{Event, EventKind, FlightRecorder, SpanGuard};
+pub use trace::{SpanId, TraceId};

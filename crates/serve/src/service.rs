@@ -39,6 +39,7 @@ use serde::{Deserialize, Serialize};
 use sorl::session::TuningSession;
 use sorl::tuner::TopK;
 use sorl::StencilRanker;
+use sorl_obs::{EventKind, FlightRecorder, SpanId, TraceId};
 use stencil_exec::SharedPool;
 use stencil_model::{InstanceKey, StencilInstance};
 
@@ -235,8 +236,13 @@ impl Admission {
 /// [`InstanceKey::fingerprint`]).
 pub type KeyFilter = Box<dyn Fn(u64) -> bool + Send>;
 
+/// Events the service's flight recorder can hold. Sized for "the last
+/// few seconds of a busy service": at 3 events per request, 4096 slots
+/// cover the most recent ~1300 requests.
+const FLIGHT_RECORDER_EVENTS: usize = 4096;
+
 enum Msg {
-    Tune { req: TuneRequest, reply: TicketCompleter },
+    Tune { req: TuneRequest, reply: TicketCompleter, trace: TraceId, span: SpanId },
     Export { filter: Option<KeyFilter>, reply: mpsc::Sender<CacheSnapshot> },
     Extract { filter: KeyFilter, reply: mpsc::Sender<CacheSnapshot> },
     Import { snapshot: Box<CacheSnapshot>, reply: mpsc::Sender<Result<usize, ServeError>> },
@@ -271,6 +277,7 @@ pub struct TuneService {
     worker: Option<JoinHandle<()>>,
     counters: Arc<Counters>,
     admission: Arc<Admission>,
+    recorder: Arc<FlightRecorder>,
     fingerprint: u64,
 }
 
@@ -293,7 +300,9 @@ impl TuneService {
         let (tx, rx) = mpsc::channel();
         let counters = Arc::new(Counters::default());
         let admission = Arc::new(Admission::new(&config));
+        let recorder = Arc::new(FlightRecorder::new(FLIGHT_RECORDER_EVENTS));
         let worker_counters = Arc::clone(&counters);
+        let worker_recorder = Arc::clone(&recorder);
         let fingerprint = ranker.fingerprint();
         let session = match pool {
             Some(pool) => TuningSession::with_shared_pool(ranker, pool),
@@ -301,10 +310,12 @@ impl TuneService {
         };
         let worker = std::thread::Builder::new()
             .name("sorl-serve-worker".into())
-            .spawn(move || worker_loop(rx, session, config, &worker_counters, fingerprint))
+            .spawn(move || {
+                worker_loop(rx, session, config, &worker_counters, &worker_recorder, fingerprint)
+            })
             // sorl-lint: allow(panic, "spawn fails only on thread-resource exhaustion at service construction; there is no service to degrade gracefully yet")
             .expect("spawn sorl-serve worker");
-        TuneService { tx, worker: Some(worker), counters, admission, fingerprint }
+        TuneService { tx, worker: Some(worker), counters, admission, recorder, fingerprint }
     }
 
     /// A new client handle (cheap, cloneable, usable from any thread).
@@ -313,12 +324,20 @@ impl TuneService {
             tx: self.tx.clone(),
             counters: Arc::clone(&self.counters),
             admission: Arc::clone(&self.admission),
+            recorder: Arc::clone(&self.recorder),
         }
     }
 
     /// A point-in-time snapshot of the service counters.
     pub fn stats(&self) -> ServeStats {
         self.counters.snapshot()
+    }
+
+    /// The service's flight recorder: the most recent queue-wait /
+    /// scoring spans and cache events, joinable on [`TraceId`] with a
+    /// remote client's recorder ([`FlightRecorder::snapshot`]).
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
     }
 
     /// Fingerprint of the ranking function this service answers with
@@ -401,6 +420,7 @@ pub struct TuneClient {
     tx: mpsc::Sender<Msg>,
     counters: Arc<Counters>,
     admission: Arc<Admission>,
+    recorder: Arc<FlightRecorder>,
 }
 
 impl TuneClient {
@@ -410,13 +430,33 @@ impl TuneClient {
     /// overloaded service answers here, immediately, with
     /// [`ServeError::Overloaded`].
     pub fn submit(&self, instance: StencilInstance, k: usize) -> Result<TuneTicket, ServeError> {
+        self.submit_traced(instance, k, TraceId::fresh())
+    }
+
+    /// [`submit`](Self::submit) under a caller-provided trace — the entry
+    /// point for transports that carried a trace id across the wire. The
+    /// request's queue wait and batch events are recorded under `trace`,
+    /// so the submitter's recorder and this service's recorder join on
+    /// one id.
+    pub fn submit_traced(
+        &self,
+        instance: StencilInstance,
+        k: usize,
+        trace: TraceId,
+    ) -> Result<TuneTicket, ServeError> {
         self.admission.try_admit(&self.counters)?;
         let (ticket, reply) = ticket::pair();
-        if self.tx.send(Msg::Tune { req: TuneRequest::new(instance, k), reply }).is_err() {
-            // Nothing was queued; hand the admission slot back. (The
-            // completer we just dropped fails `ticket` with `Closed` too,
-            // but the caller never sees that ticket.)
+        // The queue-wait span opens at admission and is closed by the
+        // worker at dequeue; its duration IS the queue delay.
+        let span = SpanId::fresh();
+        self.recorder.record(EventKind::SpanBegin, trace, span, "queue_wait");
+        let msg = Msg::Tune { req: TuneRequest::new(instance, k), reply, trace, span };
+        if self.tx.send(msg).is_err() {
+            // Nothing was queued; hand the admission slot back and close
+            // the span. (The completer we just dropped fails `ticket`
+            // with `Closed` too, but the caller never sees that ticket.)
             self.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            self.recorder.record(EventKind::SpanEnd, trace, span, "queue_wait");
             return Err(ServeError::Closed);
         }
         Ok(ticket)
@@ -436,14 +476,15 @@ impl TuneClient {
     }
 }
 
-/// One queue drain: requests plus their completion slots.
-type Batch = Vec<(TuneRequest, TicketCompleter)>;
+/// One queue drain: requests, their completion slots, and their traces.
+type Batch = Vec<(TuneRequest, TicketCompleter, TraceId)>;
 
 fn worker_loop(
     rx: mpsc::Receiver<Msg>,
     mut session: TuningSession,
     config: ServeConfig,
     counters: &Counters,
+    recorder: &FlightRecorder,
     fingerprint: u64,
 ) {
     let mut cache = DecisionCache::new(config.cache_capacity);
@@ -452,10 +493,12 @@ fn worker_loop(
     let mut recent = RecentLatencies::new();
     let mut last_drain = Instant::now();
     let mut live = true;
-    // Every dequeued Tune releases one admission slot: the depth gauge
-    // counts requests admitted but not yet drained into a batch.
-    let dequeued = |counters: &Counters| {
+    // Every dequeued Tune releases one admission slot (the depth gauge
+    // counts requests admitted but not yet drained into a batch) and
+    // closes the queue-wait span the submitter opened.
+    let dequeued = |trace: TraceId, span: SpanId| {
         counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        recorder.record(EventKind::SpanEnd, trace, span, "queue_wait");
     };
     'serve: while live {
         let mut batch: Batch = Vec::new();
@@ -463,9 +506,9 @@ fn worker_loop(
         // handled inline (they never join a batch).
         let started = loop {
             match rx.recv() {
-                Ok(Msg::Tune { req, reply }) => {
-                    dequeued(counters);
-                    batch.push((req, reply));
+                Ok(Msg::Tune { req, reply, trace, span }) => {
+                    dequeued(trace, span);
+                    batch.push((req, reply, trace));
                     break Instant::now();
                 }
                 Ok(Msg::Shutdown) | Err(_) => break 'serve,
@@ -482,9 +525,9 @@ fn worker_loop(
         let deadline = started + window;
         while batch.len() < max_batch {
             match rx.try_recv() {
-                Ok(Msg::Tune { req, reply }) => {
-                    dequeued(counters);
-                    batch.push((req, reply));
+                Ok(Msg::Tune { req, reply, trace, span }) => {
+                    dequeued(trace, span);
+                    batch.push((req, reply, trace));
                 }
                 Ok(Msg::Shutdown) => {
                     live = false;
@@ -497,9 +540,9 @@ fn worker_loop(
                         break;
                     }
                     match rx.recv_timeout(deadline - now) {
-                        Ok(Msg::Tune { req, reply }) => {
-                            dequeued(counters);
-                            batch.push((req, reply));
+                        Ok(Msg::Tune { req, reply, trace, span }) => {
+                            dequeued(trace, span);
+                            batch.push((req, reply, trace));
                         }
                         Ok(Msg::Shutdown) => {
                             live = false;
@@ -527,7 +570,16 @@ fn worker_loop(
             a.observe(batch.len(), now.saturating_duration_since(last_drain));
             last_drain = now;
         }
-        serve_batch(&mut session, &mut cache, &config, counters, &mut recent, batch, started);
+        serve_batch(
+            &mut session,
+            &mut cache,
+            &config,
+            counters,
+            recorder,
+            &mut recent,
+            batch,
+            started,
+        );
     }
 }
 
@@ -572,11 +624,13 @@ struct Group {
     members: Vec<usize>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_batch(
     session: &mut TuningSession,
     cache: &mut DecisionCache,
     config: &ServeConfig,
     counters: &Counters,
+    recorder: &FlightRecorder,
     recent: &mut RecentLatencies,
     batch: Batch,
     started: Instant,
@@ -588,18 +642,27 @@ fn serve_batch(
     counters.batches.fetch_add(1, Ordering::Relaxed);
     counters.max_batch.fetch_max(batch.len() as u64, Ordering::Relaxed);
 
+    // One scoring span per batch, recorded under the first request's
+    // trace (a joined timeline shows which batch carried the request);
+    // per-request cache hits/misses are instants inside it, each under
+    // its own request's trace.
+    let batch_trace = batch.first().map(|(_, _, t)| *t).unwrap_or_else(TraceId::fresh);
+    let batch_span = recorder.span(batch_trace, "score_batch");
+
     // Pass 1: answer from the cache; group the misses by canonical key so
     // every unique instance is encoded and scored exactly once.
     let k_floor = if config.cache_capacity == 0 { 0 } else { config.cache_k_floor };
     let mut answers: Vec<Option<TopK>> = batch.iter().map(|_| None).collect();
     let mut groups: Vec<Group> = Vec::new();
     let mut group_of: HashMap<InstanceKey, usize> = HashMap::new();
-    for (i, (req, _)) in batch.iter().enumerate() {
+    for (i, (req, _, trace)) in batch.iter().enumerate() {
         let key = req.instance.key();
         if let Some((entries, candidates)) = cache.lookup(&key, req.k) {
+            recorder.event(*trace, batch_span.span_id(), "cache_hit");
             answers[i] = Some(TopK { entries, candidates, seconds: 0.0 });
             continue;
         }
+        recorder.event(*trace, batch_span.span_id(), "cache_miss");
         match group_of.get(&key) {
             Some(&g) => {
                 groups[g].k = groups[g].k.max(req.k);
@@ -649,9 +712,13 @@ fn serve_batch(
     // a past overload episode does not shed forever.
     counters.recent_p99_us.store(recent.record_p99_us(latency), Ordering::Relaxed);
 
+    // Close the scoring span before the replies go out, mirroring the
+    // publish-before-reply contract for the counters above.
+    drop(batch_span);
+
     // Pass 3: complete the tickets (a dropped ticket is fine — the client
     // gave up; completing it is a no-op nobody observes).
-    for ((_, reply), answer) in batch.into_iter().zip(answers) {
+    for ((_, reply, _), answer) in batch.into_iter().zip(answers) {
         // sorl-lint: allow(panic, "pass 1 or pass 2 filled every slot: each miss joined a group and every group was scored")
         reply.complete(Ok(answer.expect("every request answered")));
     }

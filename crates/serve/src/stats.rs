@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
+use sorl_obs::PromWriter;
 
 /// Number of batch-size histogram buckets: `1`, `2`, `3-4`, `5-8`, `9-16`,
 /// `17-32`, `33-64`, `>64`.
@@ -62,16 +63,21 @@ impl RecentLatencies {
 
     /// Records one batch latency and returns the window's current p99.
     pub(crate) fn record_p99_us(&mut self, latency: Duration) -> u64 {
-        self.buf[self.next] = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        if let Some(slot) = self.buf.get_mut(self.next) {
+            *slot = us;
+        }
         self.next = (self.next + 1) % RECENT_WINDOW;
         self.len = (self.len + 1).min(RECENT_WINDOW);
-        let mut sorted = [0u64; RECENT_WINDOW];
-        sorted[..self.len].copy_from_slice(&self.buf[..self.len]);
-        sorted[..self.len].sort_unstable();
+        // Sort a copy of the populated prefix (the ring fills front to
+        // back, so `buf[..len]` is exactly the recorded samples).
+        let mut sorted = self.buf;
+        let window = sorted.get_mut(..self.len).unwrap_or_default();
+        window.sort_unstable();
         // Index of the ceil(0.99 * len)-th order statistic (1-based),
         // in exact integer arithmetic (len <= 64, no overflow).
-        let rank = (99 * self.len).div_ceil(100).max(1);
-        sorted[rank.min(self.len) - 1]
+        let rank = (99 * window.len()).div_ceil(100).max(1);
+        window.get(rank - 1).copied().unwrap_or(us)
     }
 }
 
@@ -110,8 +116,14 @@ impl Counters {
     /// Records one served batch's size and first-dequeue-to-answers
     /// latency.
     pub(crate) fn record_batch(&self, size: usize, latency: Duration) {
-        self.batch_sizes[batch_size_bucket(size)].fetch_add(1, Ordering::Relaxed);
-        self.batch_latency[latency_bucket(latency)].fetch_add(1, Ordering::Relaxed);
+        // Both bucket functions clamp to the last bucket; `get` keeps the
+        // serving path panic-free even if the bucket math ever regresses.
+        if let Some(cell) = self.batch_sizes.get(batch_size_bucket(size)) {
+            cell.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(cell) = self.batch_latency.get(latency_bucket(latency)) {
+            cell.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     pub(crate) fn snapshot(&self) -> ServeStats {
@@ -140,6 +152,7 @@ impl Counters {
             batch_latency_p50_s: histogram_percentile(&latency, 0.50),
             batch_latency_p95_s: histogram_percentile(&latency, 0.95),
             batch_latency_p99_s: histogram_percentile(&latency, 0.99),
+            batch_latency_hist: latency,
         }
     }
 }
@@ -212,12 +225,31 @@ pub struct ServeStats {
     /// `>64` requests.
     pub batch_size_hist: [u64; BATCH_SIZE_BUCKETS],
     /// Median per-batch latency (first dequeue to answers ready), seconds.
-    /// Bucketed at 2x resolution; 0 until a batch was served.
+    ///
+    /// # Resolution contract
+    ///
+    /// Every `batch_latency_*_s` percentile reports the **upper bound** of
+    /// the log2-µs histogram bucket the quantile lands in (bucket `i`
+    /// covers `(2^(i-1), 2^i]` µs). The reported value is therefore never
+    /// below the true percentile, but can overstate it by up to 2x — a
+    /// single 100 µs sample reports as exactly `128e-6` s, its bucket's
+    /// upper bound. 0 until a batch was served.
     pub batch_latency_p50_s: f64,
-    /// 95th-percentile per-batch latency, seconds.
+    /// 95th-percentile per-batch latency, seconds. Bucket upper bound —
+    /// see the resolution contract on
+    /// [`batch_latency_p50_s`](Self::batch_latency_p50_s).
     pub batch_latency_p95_s: f64,
-    /// 99th-percentile per-batch latency, seconds.
+    /// 99th-percentile per-batch latency, seconds. Bucket upper bound —
+    /// see the resolution contract on
+    /// [`batch_latency_p50_s`](Self::batch_latency_p50_s).
     pub batch_latency_p99_s: f64,
+    /// Raw per-batch latency histogram the percentiles above are computed
+    /// from: bucket `i` counts batches with latency in `(2^(i-1), 2^i]`
+    /// µs. Shipping the buckets (not just the quantiles) lets fleet
+    /// aggregation recompute true merged percentiles and lets a metrics
+    /// endpoint expose a real Prometheus histogram.
+    #[serde(default)]
+    pub batch_latency_hist: [u64; LATENCY_BUCKETS],
 }
 
 impl ServeStats {
@@ -245,6 +277,121 @@ impl ServeStats {
     /// [`requests`](Self::requests) — they never reached the worker.
     pub fn sheds(&self) -> u64 {
         self.shed_queue + self.shed_latency
+    }
+
+    /// Merges per-shard snapshots into one fleet-wide view.
+    ///
+    /// Counters and histograms sum; `max_batch` takes the fleet maximum;
+    /// `queue_depth` sums (total queued work across the fleet); the
+    /// rolling `recent_batch_latency_p99_s` takes the worst shard (a
+    /// max-merge is the only sound combination for an admission signal).
+    /// The all-time percentiles are **recomputed from the summed latency
+    /// histogram**, so the merged p99 is a true fleet percentile, not an
+    /// average of per-shard quantiles.
+    pub fn merge<'a>(stats: impl IntoIterator<Item = &'a ServeStats>) -> ServeStats {
+        let mut out = ServeStats::default();
+        for s in stats {
+            out.requests += s.requests;
+            out.batches += s.batches;
+            out.max_batch = out.max_batch.max(s.max_batch);
+            out.scored_instances += s.scored_instances;
+            out.cache_hits += s.cache_hits;
+            out.cache_misses += s.cache_misses;
+            out.cache_evictions += s.cache_evictions;
+            out.cache_entries += s.cache_entries;
+            out.queue_depth += s.queue_depth;
+            out.shed_queue += s.shed_queue;
+            out.shed_latency += s.shed_latency;
+            out.recent_batch_latency_p99_s =
+                out.recent_batch_latency_p99_s.max(s.recent_batch_latency_p99_s);
+            for (o, c) in out.batch_size_hist.iter_mut().zip(&s.batch_size_hist) {
+                *o += c;
+            }
+            for (o, c) in out.batch_latency_hist.iter_mut().zip(&s.batch_latency_hist) {
+                *o += c;
+            }
+        }
+        out.batch_latency_p50_s = histogram_percentile(&out.batch_latency_hist, 0.50);
+        out.batch_latency_p95_s = histogram_percentile(&out.batch_latency_hist, 0.95);
+        out.batch_latency_p99_s = histogram_percentile(&out.batch_latency_hist, 0.99);
+        out
+    }
+
+    /// Renders this snapshot as Prometheus families in the
+    /// `sorl_serve_*` namespace (exposition format 0.0.4).
+    pub fn collect_prometheus(&self, w: &mut PromWriter) {
+        w.counter(
+            "sorl_serve_requests_total",
+            "Tuning requests answered (cache hits included).",
+            self.requests,
+        );
+        w.counter("sorl_serve_batches_total", "Micro-batches formed.", self.batches);
+        w.gauge("sorl_serve_max_batch", "Largest micro-batch observed.", self.max_batch as f64);
+        w.counter(
+            "sorl_serve_scored_instances_total",
+            "Unique instances that went through the scoring pipeline.",
+            self.scored_instances,
+        );
+        w.counter(
+            "sorl_serve_cache_hits_total",
+            "Requests answered from the decision cache.",
+            self.cache_hits,
+        );
+        w.counter(
+            "sorl_serve_cache_misses_total",
+            "Requests that needed a pipeline pass.",
+            self.cache_misses,
+        );
+        w.counter(
+            "sorl_serve_cache_evictions_total",
+            "Cache entries displaced by capacity pressure.",
+            self.cache_evictions,
+        );
+        w.gauge(
+            "sorl_serve_cache_entries",
+            "Entries resident in the decision cache.",
+            self.cache_entries as f64,
+        );
+        w.gauge(
+            "sorl_serve_queue_depth",
+            "Requests admitted but not yet drained by the worker.",
+            self.queue_depth as f64,
+        );
+        w.counter_per(
+            "sorl_serve_shed_total",
+            "Submissions fast-rejected by admission control, by reason.",
+            &[
+                (&[("reason", "queue")], self.shed_queue),
+                (&[("reason", "latency")], self.shed_latency),
+            ],
+        );
+        w.gauge(
+            "sorl_serve_recent_batch_latency_p99_seconds",
+            "Rolling-window p99 batch latency, the admission-control shed signal.",
+            self.recent_batch_latency_p99_s,
+        );
+        w.histogram(
+            "sorl_serve_batch_latency_seconds",
+            "Per-batch latency, first dequeue to answers ready.",
+            &self.batch_latency_hist,
+            None,
+        );
+        // Batch sizes form a cumulative histogram over request counts:
+        // bucket uppers 1, 2, 4, ..., 64, with the `>64` bucket as the
+        // +Inf line. Sum of sizes is exactly `requests`, count is
+        // `batches`.
+        w.family("sorl_serve_batch_size", "Requests per micro-batch.", "histogram");
+        let mut cumulative = 0u64;
+        for (i, &count) in self.batch_size_hist.iter().enumerate() {
+            cumulative += count;
+            if i + 1 < BATCH_SIZE_BUCKETS {
+                let upper = (1u64 << i).to_string();
+                w.sample("sorl_serve_batch_size_bucket", &[("le", &upper)], cumulative as f64);
+            }
+        }
+        w.sample("sorl_serve_batch_size_bucket", &[("le", "+Inf")], cumulative as f64);
+        w.sample("sorl_serve_batch_size_sum", &[], self.requests as f64);
+        w.sample("sorl_serve_batch_size_count", &[], self.batches as f64);
     }
 }
 
@@ -439,9 +586,72 @@ mod tests {
         let c = Counters::default();
         c.record_batch(1, Duration::from_micros(100));
         let s = c.snapshot();
-        let expect = latency_bucket_upper_s(latency_bucket(Duration::from_micros(100)));
-        assert_eq!(s.batch_latency_p50_s, expect);
-        assert_eq!(s.batch_latency_p99_s, expect);
+        // Pinned literal, per the documented resolution contract: a
+        // percentile reports its bucket's *upper bound*, so one 100 µs
+        // sample reads as exactly 128 µs (the `(64, 128]` µs bucket) —
+        // an overstatement of up to 2x, never an understatement.
+        assert_eq!(s.batch_latency_p50_s, 128e-6);
+        assert_eq!(s.batch_latency_p99_s, 128e-6);
         assert_eq!(s.batch_size_hist[0], 1);
+        assert_eq!(s.batch_latency_hist.iter().sum::<u64>(), 1, "raw histogram ships too");
+    }
+
+    #[test]
+    fn merge_recomputes_percentiles_from_the_summed_histogram() {
+        // Shard A: 98 fast batches. Shard B: two slow ones. The fleet p99
+        // (99th of 100 samples) is a slow batch; averaging per-shard p99s
+        // would miss it. merge() must find it in the summed histogram.
+        let a = Counters::default();
+        for _ in 0..98 {
+            a.record_batch(2, Duration::from_micros(3));
+        }
+        a.requests.fetch_add(196, Ordering::Relaxed);
+        a.batches.fetch_add(98, Ordering::Relaxed);
+        a.max_batch.fetch_max(2, Ordering::Relaxed);
+        let b = Counters::default();
+        b.record_batch(64, Duration::from_micros(12_000));
+        b.record_batch(64, Duration::from_micros(12_000));
+        b.requests.fetch_add(128, Ordering::Relaxed);
+        b.batches.fetch_add(2, Ordering::Relaxed);
+        b.max_batch.fetch_max(64, Ordering::Relaxed);
+        b.shed_queue.fetch_add(5, Ordering::Relaxed);
+
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let merged = ServeStats::merge([&sa, &sb]);
+        assert_eq!(merged.requests, 324);
+        assert_eq!(merged.batches, 100);
+        assert_eq!(merged.max_batch, 64);
+        assert_eq!(merged.sheds(), 5);
+        assert_eq!(merged.batch_latency_p50_s, 4e-6, "fast shard dominates the median");
+        assert_eq!(merged.batch_latency_p99_s, 16_384e-6, "slow shard owns the fleet p99");
+        assert_eq!(
+            merged.batch_latency_hist.iter().sum::<u64>(),
+            sa.batch_latency_hist.iter().sum::<u64>() + sb.batch_latency_hist.iter().sum::<u64>(),
+        );
+    }
+
+    #[test]
+    fn prometheus_page_covers_counters_sheds_and_histogram() {
+        let c = Counters::default();
+        c.requests.fetch_add(10, Ordering::Relaxed);
+        c.batches.fetch_add(2, Ordering::Relaxed);
+        c.shed_queue.fetch_add(3, Ordering::Relaxed);
+        c.queue_depth.fetch_add(4, Ordering::Relaxed);
+        c.record_batch(5, Duration::from_micros(100));
+        let mut w = PromWriter::new();
+        c.snapshot().collect_prometheus(&mut w);
+        let page = w.into_string();
+        assert!(page.contains("# TYPE sorl_serve_requests_total counter"), "{page}");
+        assert!(page.contains("sorl_serve_requests_total 10"), "{page}");
+        assert!(page.contains("sorl_serve_shed_total{reason=\"queue\"} 3"), "{page}");
+        assert!(page.contains("sorl_serve_shed_total{reason=\"latency\"} 0"), "{page}");
+        assert!(page.contains("sorl_serve_queue_depth 4"), "{page}");
+        assert!(
+            page.contains("sorl_serve_batch_latency_seconds_bucket{le=\"0.000128\"} 1"),
+            "{page}"
+        );
+        assert!(page.contains("sorl_serve_batch_latency_seconds_bucket{le=\"+Inf\"} 1"), "{page}");
+        assert!(page.contains("sorl_serve_batch_size_bucket{le=\"8\"} 1"), "{page}");
+        assert!(page.contains("sorl_serve_batch_size_sum 10"), "{page}");
     }
 }

@@ -24,6 +24,12 @@
 //! faults instead of queueing into timeouts), and `--max-in-flight N` caps
 //! concurrent tunes per router connection.
 //!
+//! `--metrics-addr HOST:PORT` additionally serves a Prometheus text
+//! exposition page (`curl http://HOST:PORT/metrics`) with the shard's
+//! serving counters, latency histograms, link aggregates and
+//! flight-recorder depth; a second `LISTENING-METRICS <addr>` line on
+//! stdout reports the resolved bind.
+//!
 //! `--synthetic-ranker SEED` serves a deterministic synthetic model
 //! instead of a trained one — every process given the same seed serves the
 //! same fingerprint, which is what demos, tests and load rigs need; real
@@ -40,6 +46,7 @@ use sorl_shard::{synthetic_ranker, ShardServer, ShardServerConfig};
 
 struct Options {
     addr: String,
+    metrics_addr: Option<String>,
     ranker: Option<PathBuf>,
     synthetic_seed: Option<u64>,
     snapshot: Option<PathBuf>,
@@ -53,11 +60,12 @@ struct Options {
 const USAGE: &str =
     "usage: sorl-shardd [--addr HOST:PORT] (--ranker MODEL.json | --synthetic-ranker SEED) \
      [--snapshot CACHE.json] [--threads N] [--cache-capacity N] [--max-queue N] \
-     [--shed-p99-ms MS] [--max-in-flight N]";
+     [--shed-p99-ms MS] [--max-in-flight N] [--metrics-addr HOST:PORT]";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         addr: "127.0.0.1:0".to_string(),
+        metrics_addr: None,
         ranker: None,
         synthetic_seed: None,
         snapshot: None,
@@ -74,6 +82,7 @@ fn parse_args() -> Result<Options, String> {
         };
         match flag.as_str() {
             "--addr" => opts.addr = value("HOST:PORT")?,
+            "--metrics-addr" => opts.metrics_addr = Some(value("HOST:PORT")?),
             "--ranker" => opts.ranker = Some(PathBuf::from(value("path")?)),
             "--synthetic-ranker" => {
                 let seed = value("seed")?;
@@ -168,9 +177,22 @@ fn run() -> Result<(), String> {
     }
     let server = ShardServer::spawn_with(service, opts.addr.as_str(), server_config)
         .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
-    // The supervisor contract: exactly one LISTENING line on stdout.
+    // The supervisor contract: exactly one LISTENING line on stdout
+    // (first), then — only with --metrics-addr — one LISTENING-METRICS
+    // line for the scrape endpoint.
     println!("LISTENING {}", server.local_addr());
     std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let _metrics = match &opts.metrics_addr {
+        Some(bind) => {
+            let metrics = server
+                .serve_metrics(bind.as_str())
+                .map_err(|e| format!("cannot bind metrics endpoint {bind}: {e}"))?;
+            println!("LISTENING-METRICS {}", metrics.local_addr());
+            std::io::stdout().flush().map_err(|e| e.to_string())?;
+            Some(metrics)
+        }
+        None => None,
+    };
 
     // Serve until killed (the accept loop runs on its own thread).
     loop {

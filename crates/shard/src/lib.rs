@@ -55,8 +55,8 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
-pub use router::{ShardError, ShardRouter, WarmupReport};
+pub use router::{FleetStats, ShardError, ShardRouter, WarmupReport};
 pub use routing::{rendezvous_owner, rendezvous_weight, shard_seed, CacheSlice, Topology};
 pub use synthetic::synthetic_ranker;
-pub use tcp::{ReconnectPolicy, ShardServer, ShardServerConfig, TcpShard};
+pub use tcp::{LinkStats, ReconnectPolicy, ShardServer, ShardServerConfig, TcpShard};
 pub use transport::{LocalShard, ShardTransport};

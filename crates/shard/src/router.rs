@@ -63,6 +63,89 @@ impl std::error::Error for ShardError {
     }
 }
 
+/// A fleet-wide stats sweep ([`ShardRouter::fleet_stats`]): every shard's
+/// counters plus their merge. Unreachable shards keep their error in
+/// `per_shard` and simply contribute nothing to `merged` — a stats sweep
+/// never fails the fleet.
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// All reachable shards' counters summed ([`ServeStats::merge`]:
+    /// counters and histograms add, `max_batch` takes the max, latency
+    /// percentiles are recomputed from the summed histogram).
+    pub merged: ServeStats,
+    /// Per-shard counters, id-sorted; errors are per-shard, not fatal.
+    pub per_shard: Vec<(String, Result<ServeStats, ServeError>)>,
+}
+
+impl FleetStats {
+    /// How many shards answered the sweep.
+    pub fn reachable(&self) -> usize {
+        self.per_shard.iter().filter(|(_, r)| r.is_ok()).count()
+    }
+
+    /// The spread between the best and worst per-shard cache hit rate
+    /// (0.0 for a uniform — or empty — fleet). A large skew means the
+    /// keyspace is hot-spotting: some shards answer from cache while
+    /// others recompute.
+    pub fn hit_rate_skew(&self) -> f64 {
+        let rates: Vec<f64> = self
+            .per_shard
+            .iter()
+            .filter_map(|(_, r)| r.as_ref().ok())
+            .filter(|s| s.cache_hits + s.cache_misses > 0)
+            .map(|s| s.cache_hits as f64 / (s.cache_hits + s.cache_misses) as f64)
+            .collect();
+        let max = rates.iter().copied().fold(f64::NAN, f64::max);
+        let min = rates.iter().copied().fold(f64::NAN, f64::min);
+        if max.is_nan() || min.is_nan() {
+            0.0
+        } else {
+            max - min
+        }
+    }
+
+    /// A one-line-per-shard text table (plus a totals row) — what
+    /// `sorl-top` and the demo binaries print.
+    pub fn summary_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>8} {:>7} {:>6} {:>6} {:>10}",
+            "shard", "requests", "hit-rate", "queue", "shed", "cache", "p99"
+        );
+        let row = |out: &mut String, id: &str, s: &ServeStats| {
+            let lookups = s.cache_hits + s.cache_misses;
+            let hit_rate = if lookups == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * s.cache_hits as f64 / lookups as f64)
+            };
+            let _ = writeln!(
+                out,
+                "{:<16} {:>9} {:>8} {:>7} {:>6} {:>6} {:>9.1}ms",
+                id,
+                s.requests,
+                hit_rate,
+                s.queue_depth,
+                s.shed_queue + s.shed_latency,
+                s.cache_entries,
+                s.batch_latency_p99_s * 1e3,
+            );
+        };
+        for (id, stats) in &self.per_shard {
+            match stats {
+                Ok(s) => row(&mut out, id, s),
+                Err(e) => {
+                    let _ = writeln!(out, "{id:<16} unreachable: {e}");
+                }
+            }
+        }
+        row(&mut out, "TOTAL", &self.merged);
+        out
+    }
+}
+
 /// What a topology change shipped between caches.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WarmupReport {
@@ -143,14 +226,15 @@ impl ShardRouter {
 
     /// The shard that owns `key` (`None` with no shards attached).
     pub fn owner_of(&self, key: &InstanceKey) -> Option<&str> {
-        self.owner_index(key.fingerprint()).map(|i| self.shards[i].id.as_str())
+        let i = self.owner_index(key.fingerprint())?;
+        self.shards.get(i).map(|s| s.id.as_str())
     }
 
     /// Routes one tuning query to its owning shard.
     pub fn tune(&self, instance: StencilInstance, k: usize) -> Result<TopK, ShardError> {
         let fp = instance.key().fingerprint();
         let i = self.owner_index(fp).ok_or(ShardError::NoShards)?;
-        let shard = &self.shards[i];
+        let shard = self.shards.get(i).ok_or(ShardError::NoShards)?;
         shard
             .transport
             .tune(instance, k)
@@ -160,6 +244,16 @@ impl ShardRouter {
     /// Per-shard serving counters (id-sorted, one entry per shard).
     pub fn stats(&self) -> Vec<(String, Result<ServeStats, ServeError>)> {
         self.shards.iter().map(|s| (s.id.clone(), s.transport.stats())).collect()
+    }
+
+    /// Sweeps [`stats`](Self::stats) across the fleet and merges every
+    /// reachable shard's counters into one fleet-wide [`FleetStats`] view
+    /// (hit-rate skew, queue depths, shed totals, true fleet latency
+    /// percentiles recomputed from the summed histogram).
+    pub fn fleet_stats(&self) -> FleetStats {
+        let per_shard = self.stats();
+        let merged = ServeStats::merge(per_shard.iter().filter_map(|(_, r)| r.as_ref().ok()));
+        FleetStats { merged, per_shard }
     }
 
     /// Exports one shard's full decision cache (without removing it) — the
@@ -298,7 +392,10 @@ impl ShardRouter {
             .position(|s| s.id == id)
             .ok_or_else(|| ShardError::UnknownShard(id.to_string()))?;
         let everything = CacheSlice::everything(id);
-        let snap = self.shards[pos]
+        let snap = self
+            .shards
+            .get(pos)
+            .ok_or_else(|| ShardError::UnknownShard(id.to_string()))?
             .transport
             .extract_cache(&everything)
             .map_err(|source| ShardError::Transport { shard: id.to_string(), source })?;

@@ -11,13 +11,22 @@
 //! requests through the service's non-blocking tickets, so a single
 //! connection pipelines instead of lock-stepping call/response.
 //!
-//! Version negotiation is lazy and per-link: the first call sends a v2
-//! fingerprint probe; a v2 peer answers it and the link goes multiplexed,
-//! while a v1-only peer rejects the probe with its ordinary
-//! version-mismatch fault and the link redials in lock-step v1 mode
-//! ([`TcpShard::connect_v1`] forces that mode outright). The server side
-//! needs no negotiation at all — it answers every frame in the version it
-//! arrived in.
+//! Version negotiation is lazy and per-link: the first call sends a v3
+//! fingerprint probe; a v3 peer answers it and the link goes multiplexed
+//! with trace propagation, a v2-only peer rejects the probe with its
+//! ordinary version-mismatch fault and the link redials to probe v2
+//! (multiplexed, untraced), and a v1-only peer rejects that too, leaving
+//! the link in lock-step v1 mode ([`TcpShard::connect_v1`] forces that
+//! mode outright). The server side needs no negotiation at all — it
+//! answers every frame in the version it arrived in.
+//!
+//! Observability: every [`TcpShard`] keeps [`LinkStats`] (dials,
+//! reconnects, downgrades, poisoned links) and a client-side
+//! [`FlightRecorder`] whose `tune` spans carry the [`TraceId`] that v3
+//! frames ship to the server; [`ShardServer::metrics_source`] exposes
+//! the fronted service's counters plus the per-server link aggregates as
+//! one Prometheus page ([`ShardServer::serve_metrics`] serves it over
+//! HTTP).
 //!
 //! Overload surfaces as backpressure, not timeouts: the client caps its
 //! own in-flight requests per link (submitters wait), and the server caps
@@ -47,11 +56,12 @@
 use std::collections::HashMap;
 use std::io::{self, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::time::{Duration, Instant};
 
 use sorl::tuner::TopK;
+use sorl_obs::{FlightRecorder, MetricsServer, MetricsSource, PromWriter, TraceId};
 use sorl_serve::{
     CacheSnapshot, ServeError, ServeStats, ShedReason, SnapshotHeader, TuneRequest, TuneService,
 };
@@ -59,7 +69,7 @@ use stencil_model::StencilInstance;
 
 use crate::routing::CacheSlice;
 use crate::transport::ShardTransport;
-use crate::wire::{self, FrameKind, WireError, PROTOCOL_V1, PROTOCOL_V2};
+use crate::wire::{self, FrameKind, WireError, PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3};
 
 /// Locks `m`, recovering from poisoning instead of panicking: every
 /// state these mutexes protect (connection [`Slot`], [`MuxState`],
@@ -135,6 +145,45 @@ impl ReconnectPolicy {
 // Client
 // ---------------------------------------------------------------------------
 
+/// Events the client-side flight recorder holds (one `tune` span is two
+/// events; 1024 covers the most recent ~500 remote tunes).
+const CLIENT_FLIGHT_RECORDER_EVENTS: usize = 1024;
+
+/// A point-in-time view of one [`TcpShard`]'s link health
+/// ([`TcpShard::link_stats`]): how often it dialed, fell back to an older
+/// protocol, or abandoned a poisoned connection, plus the live in-flight
+/// count on the current multiplexed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Successful TCP connects (the initial dial included).
+    pub dials: u64,
+    /// Links re-established after the initial one (a restart ridden out,
+    /// or a poisoned link replaced).
+    pub reconnects: u64,
+    /// Negotiations where the v3 probe was version-rejected and the link
+    /// fell back to v2 (an old multiplexed peer).
+    pub v2_downgrades: u64,
+    /// Negotiations that fell all the way back to lock-step v1.
+    pub v1_downgrades: u64,
+    /// Connections abandoned after a transport failure (the next call
+    /// redials).
+    pub poisoned: u64,
+    /// Requests currently in flight on the live multiplexed link (0 when
+    /// lock-step or disconnected).
+    pub in_flight: usize,
+}
+
+/// Internal [`LinkStats`] cells. Relaxed everywhere: diagnostics, never
+/// synchronization.
+#[derive(Debug, Default)]
+struct LinkCounters {
+    dials: AtomicU64,
+    reconnects: AtomicU64,
+    v2_downgrades: AtomicU64,
+    v1_downgrades: AtomicU64,
+    poisoned: AtomicU64,
+}
+
 /// A [`ShardTransport`] over one TCP connection to a [`ShardServer`].
 #[derive(Debug)]
 pub struct TcpShard {
@@ -144,6 +193,8 @@ pub struct TcpShard {
     max_in_flight: usize,
     force_v1: bool,
     conn: Mutex<Slot>,
+    counters: LinkCounters,
+    recorder: Arc<FlightRecorder>,
 }
 
 /// The link slot: freshly dialed but not yet negotiated, negotiated, or
@@ -168,21 +219,34 @@ impl TcpShard {
     /// for every read and write (and for how long a multiplexed call
     /// waits for its answer).
     pub fn connect_with(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
+        let shard = Self::connect_lazy_with(addr, timeout)?;
+        let stream = shard.dial()?;
+        *lock_recover(&shard.conn) = Slot::Raw(stream);
+        Ok(shard)
+    }
+
+    /// Like [`connect`](Self::connect), but without the eager dial: the
+    /// first call dials (under the reconnect policy). For tools that
+    /// must come up while some shards are still down (`sorl-top`).
+    pub fn connect_lazy(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_lazy_with(addr, DEFAULT_IO_TIMEOUT)
+    }
+
+    fn connect_lazy_with(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
         let addr = addr
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
-        let shard = TcpShard {
+        Ok(TcpShard {
             addr,
             timeout,
             reconnect: ReconnectPolicy::default(),
             max_in_flight: DEFAULT_CLIENT_IN_FLIGHT,
             force_v1: false,
             conn: Mutex::new(Slot::Empty),
-        };
-        let stream = shard.dial()?;
-        *lock_recover(&shard.conn) = Slot::Raw(stream);
-        Ok(shard)
+            counters: LinkCounters::default(),
+            recorder: Arc::new(FlightRecorder::new(CLIENT_FLIGHT_RECORDER_EVENTS)),
+        })
     }
 
     /// Like [`connect`](Self::connect), but forcing the lock-step v1
@@ -212,11 +276,41 @@ impl TcpShard {
         self.addr
     }
 
+    /// This link's dial / downgrade / poison counters and live in-flight
+    /// count — the per-link half of a fleet metrics page.
+    pub fn link_stats(&self) -> LinkStats {
+        // sorl-lint: allow(atomic, "diagnostic counter reads; no ordering required")
+        let relaxed = Ordering::Relaxed;
+        let in_flight = match &*lock_recover(&self.conn) {
+            Slot::Ready(link) => match link.as_ref() {
+                Link::Mux(mux) => lock_recover(&mux.state).in_flight,
+                Link::V1(_) => 0,
+            },
+            Slot::Empty | Slot::Raw(_) => 0,
+        };
+        LinkStats {
+            dials: self.counters.dials.load(relaxed),
+            reconnects: self.counters.reconnects.load(relaxed),
+            v2_downgrades: self.counters.v2_downgrades.load(relaxed),
+            v1_downgrades: self.counters.v1_downgrades.load(relaxed),
+            poisoned: self.counters.poisoned.load(relaxed),
+            in_flight,
+        }
+    }
+
+    /// The client-side flight recorder: one `tune` span per remote call,
+    /// under the same [`TraceId`] the server's recorder sees.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
     fn dial(&self) -> io::Result<TcpStream> {
         let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
+        // sorl-lint: allow(atomic, "diagnostic counter; no ordering required")
+        self.counters.dials.fetch_add(1, Ordering::Relaxed);
         Ok(stream)
     }
 
@@ -252,33 +346,66 @@ impl TcpShard {
             if !link.is_dead() {
                 return Ok(Arc::clone(link));
             }
+            // sorl-lint: allow(atomic, "diagnostic counter; no ordering required")
+            self.counters.poisoned.fetch_add(1, Ordering::Relaxed);
         }
         let stream = match std::mem::replace(&mut *slot, Slot::Empty) {
             Slot::Raw(stream) => stream,
-            Slot::Empty | Slot::Ready(_) => self.dial_retrying()?,
+            Slot::Empty | Slot::Ready(_) => {
+                let stream = self.dial_retrying()?;
+                // sorl-lint: allow(atomic, "diagnostic counter; no ordering required")
+                self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                stream
+            }
         };
         let link = self.negotiate(stream)?;
         *slot = Slot::Ready(Arc::clone(&link));
         Ok(link)
     }
 
-    /// Version negotiation on a fresh stream: probe with a v2 fingerprint
-    /// request. A v2 peer answers it (the link goes multiplexed); a
-    /// v1-only peer faults the unknown version and hangs up (the link
-    /// redials in lock-step mode).
-    fn negotiate(&self, mut stream: TcpStream) -> Result<Arc<Link>, ServeError> {
+    /// Version negotiation on a fresh stream: a descending probe ladder.
+    /// The fingerprint probe goes out as v3; a v3 peer answers it and the
+    /// link multiplexes with trace propagation. An older peer faults the
+    /// unknown version (with its "protocol version" message) and hangs
+    /// up, so the ladder redials and probes v2, and finally falls back to
+    /// lock-step v1. Each rung costs one dial — only paid against
+    /// old-binary peers, and only at (re)negotiation.
+    fn negotiate(&self, stream: TcpStream) -> Result<Arc<Link>, ServeError> {
         if self.force_v1 {
             return Ok(Arc::new(Link::V1(Mutex::new(stream))));
         }
-        wire::write_frame_v2(&mut stream, FrameKind::Fingerprint, 0, &[])
+        match self.probe(stream, PROTOCOL_V3)? {
+            Probed::Link(link) => return Ok(link),
+            Probed::VersionRejected => {}
+        }
+        // sorl-lint: allow(atomic, "diagnostic counter; no ordering required")
+        self.counters.v2_downgrades.fetch_add(1, Ordering::Relaxed);
+        let stream = self.dial_retrying()?;
+        match self.probe(stream, PROTOCOL_V2)? {
+            Probed::Link(link) => return Ok(link),
+            Probed::VersionRejected => {}
+        }
+        // sorl-lint: allow(atomic, "diagnostic counter; no ordering required")
+        self.counters.v1_downgrades.fetch_add(1, Ordering::Relaxed);
+        let stream = self.dial_retrying()?;
+        Ok(Arc::new(Link::V1(Mutex::new(stream))))
+    }
+
+    /// One rung of the negotiation ladder: probes `stream` with a
+    /// `version` fingerprint request and either builds the multiplexed
+    /// link or reports that the peer rejected the version (the stream is
+    /// dead either way — version faults close the connection).
+    fn probe(&self, mut stream: TcpStream, version: u16) -> Result<Probed, ServeError> {
+        wire::write_frame_full(&mut stream, version, FrameKind::Fingerprint, 0, 0, &[])
             .map_err(ServeError::from)?;
         let frame = wire::read_frame(&mut stream).map_err(ServeError::from)?;
         match frame.kind {
-            FrameKind::FingerprintOk if frame.version == PROTOCOL_V2 && frame.request_id == 0 => {
+            FrameKind::FingerprintOk if frame.version == version && frame.request_id == 0 => {
                 let reader = stream.try_clone().map_err(|e| {
                     ServeError::Transport(format!("clone link to {}: {e}", self.addr))
                 })?;
-                let link = Arc::new(Link::V2(MuxLink {
+                let link = Arc::new(Link::Mux(MuxLink {
+                    version,
                     writer: Mutex::new(stream),
                     state: Mutex::new(MuxState {
                         next_id: 1,
@@ -295,15 +422,12 @@ impl TcpShard {
                     .name("sorl-shard-link".into())
                     .spawn(move || mux_reader(reader, &weak))
                     .map_err(|e| ServeError::Transport(format!("spawn link reader: {e}")))?;
-                Ok(link)
+                Ok(Probed::Link(link))
             }
             FrameKind::Error => {
                 let fault = wire::decode_fault(&frame.payload);
                 if matches!(&fault, ServeError::Transport(m) if m.contains("protocol version")) {
-                    // A v1-only peer: it faulted our v2 probe and closed
-                    // the connection, so redial fresh and speak lock-step.
-                    let stream = self.dial_retrying()?;
-                    return Ok(Arc::new(Link::V1(Mutex::new(stream))));
+                    return Ok(Probed::VersionRejected);
                 }
                 Err(fault)
             }
@@ -324,6 +448,8 @@ impl TcpShard {
             if let Slot::Ready(current) = &*slot {
                 if Arc::ptr_eq(current, &link) {
                     *slot = Slot::Empty;
+                    // sorl-lint: allow(atomic, "diagnostic counter; no ordering required")
+                    self.counters.poisoned.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -331,27 +457,56 @@ impl TcpShard {
     }
 }
 
+/// What one rung of the probe ladder resolved to.
+enum Probed {
+    /// The peer answered the probe: the link is up, multiplexed at the
+    /// probed version.
+    Link(Arc<Link>),
+    /// The peer faulted the probed version and closed the connection;
+    /// try the next rung down.
+    VersionRejected,
+}
+
 impl ShardTransport for TcpShard {
     fn tune(&self, instance: StencilInstance, k: usize) -> Result<TopK, ServeError> {
+        // The whole remote call is one client-side span; a v3 link ships
+        // the trace id in the frame header, so the server's recorder
+        // stamps its queue-wait and scoring spans with the same trace.
+        let span = self.recorder.span(TraceId::fresh(), "tune");
+        let trace_id = span.trace().as_u64();
         let payload = wire::to_payload(&TuneRequest::new(instance, k));
-        self.call(|link| {
-            let answer =
-                link.request(FrameKind::Tune, &payload, FrameKind::TuneOk, "tune answer")?;
+        let result = self.call(|link| {
+            let answer = link.request(
+                FrameKind::Tune,
+                &payload,
+                FrameKind::TuneOk,
+                "tune answer",
+                trace_id,
+            )?;
             wire::from_payload(&answer)
-        })
+        });
+        if result.is_err() {
+            span.event("error");
+        }
+        result
     }
 
     fn ranker_fingerprint(&self) -> Result<u64, ServeError> {
         self.call(|link| {
-            let answer =
-                link.request(FrameKind::Fingerprint, &[], FrameKind::FingerprintOk, "fingerprint")?;
+            let answer = link.request(
+                FrameKind::Fingerprint,
+                &[],
+                FrameKind::FingerprintOk,
+                "fingerprint",
+                0,
+            )?;
             wire::from_payload(&answer)
         })
     }
 
     fn stats(&self) -> Result<ServeStats, ServeError> {
         self.call(|link| {
-            let answer = link.request(FrameKind::Stats, &[], FrameKind::StatsOk, "stats")?;
+            let answer = link.request(FrameKind::Stats, &[], FrameKind::StatsOk, "stats", 0)?;
             wire::from_payload(&answer)
         })
     }
@@ -375,10 +530,10 @@ impl ShardTransport for TcpShard {
     }
 }
 
-/// One negotiated connection: multiplexed v2, or lock-step v1.
+/// One negotiated connection: multiplexed (v2 or v3), or lock-step v1.
 #[derive(Debug)]
 enum Link {
-    V2(MuxLink),
+    Mux(MuxLink),
     V1(Mutex<TcpStream>),
 }
 
@@ -421,6 +576,9 @@ struct MuxState {
 /// response frames back and wakes them.
 #[derive(Debug)]
 struct MuxLink {
+    /// The negotiated protocol version every frame goes out in
+    /// ([`PROTOCOL_V2`] or [`PROTOCOL_V3`]; only v3 carries trace ids).
+    version: u16,
     writer: Mutex<TcpStream>,
     state: Mutex<MuxState>,
     ready: Condvar,
@@ -431,23 +589,26 @@ struct MuxLink {
 impl Link {
     fn is_dead(&self) -> bool {
         match self {
-            Link::V2(mux) => lock_recover(&mux.state).dead.is_some(),
+            Link::Mux(mux) => lock_recover(&mux.state).dead.is_some(),
             Link::V1(_) => false,
         }
     }
 
-    /// One request answered by one response frame.
+    /// One request answered by one response frame. `trace_id` rides in
+    /// the frame header on a v3 link and is silently dropped on older
+    /// ones (pass 0 for untraced requests).
     fn request(
         &self,
         kind: FrameKind,
         payload: &[u8],
         expect: FrameKind,
         wanted: &'static str,
+        trace_id: u64,
     ) -> Result<Vec<u8>, ServeError> {
         match self {
-            Link::V2(mux) => {
+            Link::Mux(mux) => {
                 let outcome = mux.call(Expect::Reply(expect), |stream, id| {
-                    wire::write_frame_v2(stream, kind, id, payload)
+                    wire::write_frame_full(stream, mux.version, kind, id, trace_id, payload)
                 })?;
                 outcome.into_payload()
             }
@@ -466,9 +627,9 @@ impl Link {
         payload: &[u8],
     ) -> Result<CacheSnapshot, ServeError> {
         match self {
-            Link::V2(mux) => {
+            Link::Mux(mux) => {
                 let outcome = mux.call(Expect::Snapshot, |stream, id| {
-                    wire::write_frame_v2(stream, kind, id, payload)
+                    wire::write_frame_full(stream, mux.version, kind, id, 0, payload)
                 })?;
                 outcome.into_snapshot()
             }
@@ -488,12 +649,19 @@ impl Link {
     ) -> Result<Vec<u8>, ServeError> {
         let header_payload = wire::to_payload(header);
         match self {
-            Link::V2(mux) => {
+            Link::Mux(mux) => {
                 // Header and chunks go out contiguously under the writer
                 // lock, so the server can read the stream inline.
                 let outcome = mux.call(Expect::Reply(FrameKind::ImportOk), |stream, id| {
-                    wire::write_frame_v2(stream, FrameKind::ImportCache, id, &header_payload)?;
-                    wire::write_chunk_frames_in(stream, PROTOCOL_V2, id, chunks)
+                    wire::write_frame_full(
+                        stream,
+                        mux.version,
+                        FrameKind::ImportCache,
+                        id,
+                        0,
+                        &header_payload,
+                    )?;
+                    wire::write_chunk_frames_in(stream, mux.version, id, chunks)
                 })?;
                 outcome.into_payload()
             }
@@ -659,7 +827,10 @@ fn mux_reader(mut stream: TcpStream, link: &Weak<Link>) {
                 fail_link(link, "connection closed by peer");
                 return;
             }
-            Ok(_) => first[0],
+            Ok(_) => {
+                let [byte] = first;
+                byte
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -701,7 +872,7 @@ fn mux_reader(mut stream: TcpStream, link: &Weak<Link>) {
 fn upgrade_mux(link: &Weak<Link>) -> Option<Arc<MuxHandle>> {
     let strong = link.upgrade()?;
     match &*strong {
-        Link::V2(_) => Some(Arc::new(MuxHandle(strong))),
+        Link::Mux(_) => Some(Arc::new(MuxHandle(strong))),
         Link::V1(_) => None,
     }
 }
@@ -713,9 +884,9 @@ impl std::ops::Deref for MuxHandle {
     type Target = MuxLink;
     fn deref(&self) -> &MuxLink {
         match &*self.0 {
-            Link::V2(mux) => mux,
-            // sorl-lint: allow(panic, "MuxHandle is only ever constructed over a Link::V2")
-            Link::V1(_) => unreachable!("mux reader only serves v2 links"),
+            Link::Mux(mux) => mux,
+            // sorl-lint: allow(panic, "MuxHandle is only ever constructed over a Link::Mux")
+            Link::V1(_) => unreachable!("mux reader only serves multiplexed links"),
         }
     }
 }
@@ -826,6 +997,19 @@ impl Default for ShardServerConfig {
     }
 }
 
+/// Per-server connection aggregates, shared by every handler thread and
+/// readable by the metrics endpoint. Relaxed everywhere: diagnostics,
+/// never synchronization.
+#[derive(Debug, Default)]
+struct ServerCounters {
+    /// Router links ever accepted.
+    accepted: AtomicU64,
+    /// Router links currently open (gauge).
+    open: AtomicU64,
+    /// Tuning requests in flight across every connection (gauge).
+    in_flight: AtomicU64,
+}
+
 /// A TCP server fronting one [`TuneService`] — the in-process half of
 /// `sorl-shardd`.
 ///
@@ -841,6 +1025,7 @@ pub struct ShardServer {
     service: Arc<TuneService>,
     addr: SocketAddr,
     closing: Arc<std::sync::atomic::AtomicBool>,
+    counters: Arc<ServerCounters>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -863,10 +1048,13 @@ impl ShardServer {
         let weak = Arc::downgrade(&service);
         let closing = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let closing_flag = Arc::clone(&closing);
-        let accept_thread = std::thread::Builder::new()
-            .name("sorl-shardd-accept".into())
-            .spawn(move || accept_loop(&listener, &weak, &closing_flag, config))?;
-        Ok(ShardServer { service, addr, closing, accept_thread: Some(accept_thread) })
+        let counters = Arc::new(ServerCounters::default());
+        let accept_counters = Arc::clone(&counters);
+        let accept_thread =
+            std::thread::Builder::new().name("sorl-shardd-accept".into()).spawn(move || {
+                accept_loop(&listener, &weak, &closing_flag, &accept_counters, config)
+            })?;
+        Ok(ShardServer { service, addr, closing, counters, accept_thread: Some(accept_thread) })
     }
 
     /// The bound address (with the OS-assigned port resolved).
@@ -877,6 +1065,67 @@ impl ShardServer {
     /// The underlying service (for local snapshots, stats, warm imports).
     pub fn service(&self) -> &TuneService {
         &self.service
+    }
+
+    /// A [`MetricsSource`] rendering this server's whole story per
+    /// scrape: the fronted service's counters and latency histograms
+    /// (`sorl_serve_*`), connection-level aggregates (`sorl_link_*`),
+    /// and the service flight recorder's depth. The source holds the
+    /// service only weakly, so it never keeps a dropped server alive.
+    pub fn metrics_source(&self) -> Arc<dyn MetricsSource> {
+        Arc::new(ShardServerMetrics {
+            service: Arc::downgrade(&self.service),
+            counters: Arc::clone(&self.counters),
+        })
+    }
+
+    /// Spawns a [`MetricsServer`] on `bind` (e.g. `"127.0.0.1:9091"`)
+    /// serving [`metrics_source`](Self::metrics_source) until dropped:
+    /// `curl http://bind/metrics`.
+    pub fn serve_metrics(&self, bind: impl ToSocketAddrs) -> io::Result<MetricsServer> {
+        MetricsServer::spawn(bind, self.metrics_source())
+    }
+}
+
+/// The [`MetricsSource`] behind [`ShardServer::metrics_source`].
+struct ShardServerMetrics {
+    service: Weak<TuneService>,
+    counters: Arc<ServerCounters>,
+}
+
+impl MetricsSource for ShardServerMetrics {
+    fn collect(&self, w: &mut PromWriter) {
+        if let Some(service) = self.service.upgrade() {
+            service.stats().collect_prometheus(w);
+            let recorder = service.flight_recorder();
+            w.gauge(
+                "sorl_flight_recorder_depth",
+                "Events resident in the service flight recorder.",
+                recorder.depth() as f64,
+            );
+            w.counter(
+                "sorl_flight_recorder_dropped_total",
+                "Flight-recorder events lost to claim races.",
+                recorder.dropped(),
+            );
+        }
+        // sorl-lint: allow(atomic, "diagnostic counter reads; no ordering required")
+        let relaxed = Ordering::Relaxed;
+        w.counter(
+            "sorl_link_connections_accepted_total",
+            "Router links ever accepted.",
+            self.counters.accepted.load(relaxed),
+        );
+        w.gauge(
+            "sorl_link_connections_open",
+            "Router links currently open.",
+            self.counters.open.load(relaxed) as f64,
+        );
+        w.gauge(
+            "sorl_link_in_flight",
+            "Tuning requests in flight across all connections.",
+            self.counters.in_flight.load(relaxed) as f64,
+        );
     }
 }
 
@@ -912,6 +1161,7 @@ fn accept_loop(
     listener: &TcpListener,
     service: &Weak<TuneService>,
     closing: &std::sync::atomic::AtomicBool,
+    counters: &Arc<ServerCounters>,
     config: ShardServerConfig,
 ) {
     for stream in listener.incoming() {
@@ -926,10 +1176,17 @@ fn accept_loop(
             continue;
         };
         let service = Weak::clone(service);
+        counters.accepted.fetch_add(1, Ordering::AcqRel);
+        counters.open.fetch_add(1, Ordering::AcqRel);
+        let conn_counters = Arc::clone(counters);
         let name = "sorl-shardd-conn".to_string();
-        let _ = std::thread::Builder::new()
-            .name(name)
-            .spawn(move || handle_connection(stream, &service, config));
+        let spawned = std::thread::Builder::new().name(name).spawn(move || {
+            handle_connection(stream, &service, &conn_counters, config);
+            conn_counters.open.fetch_sub(1, Ordering::AcqRel);
+        });
+        if spawned.is_err() {
+            counters.open.fetch_sub(1, Ordering::AcqRel);
+        }
     }
 }
 
@@ -940,8 +1197,9 @@ const SERVER_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// One queued reply for the connection's writer thread.
 enum WriteJob {
-    /// A single response frame, in the version its request arrived in.
-    Frame { version: u16, request_id: u64, kind: FrameKind, payload: Vec<u8> },
+    /// A single response frame, in the version its request arrived in,
+    /// echoing the request's trace id (dropped on the wire below v3).
+    Frame { version: u16, request_id: u64, trace_id: u64, kind: FrameKind, payload: Vec<u8> },
     /// A snapshot stream response.
     Snapshot { version: u16, request_id: u64, snapshot: Box<CacheSnapshot> },
     /// Flush nothing more; shut the socket down (protocol violation or
@@ -949,10 +1207,11 @@ enum WriteJob {
     Close,
 }
 
-fn fault_job(version: u16, request_id: u64, fault: &ServeError) -> WriteJob {
+fn fault_job(version: u16, request_id: u64, trace_id: u64, fault: &ServeError) -> WriteJob {
     WriteJob::Frame {
         version,
         request_id,
+        trace_id,
         kind: FrameKind::Error,
         payload: wire::encode_fault(fault),
     }
@@ -966,8 +1225,8 @@ fn fault_job(version: u16, request_id: u64, fault: &ServeError) -> WriteJob {
 fn write_loop(mut stream: TcpStream, jobs: &mpsc::Receiver<WriteJob>) {
     while let Ok(job) = jobs.recv() {
         let wrote = match job {
-            WriteJob::Frame { version, request_id, kind, payload } => {
-                wire::write_frame_in(&mut stream, version, kind, request_id, &payload)
+            WriteJob::Frame { version, request_id, trace_id, kind, payload } => {
+                wire::write_frame_full(&mut stream, version, kind, request_id, trace_id, &payload)
             }
             WriteJob::Snapshot { version, request_id, snapshot } => {
                 wire::write_snapshot_stream_in(&mut stream, version, request_id, &snapshot)
@@ -995,7 +1254,10 @@ fn await_first_byte(
     loop {
         match stream.read(&mut first) {
             Ok(0) => return None, // EOF: peer hung up
-            Ok(_) => return Some(first[0]),
+            Ok(_) => {
+                let [byte] = first;
+                return Some(byte);
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -1005,7 +1267,7 @@ fn await_first_byte(
                 ) =>
             {
                 if service.strong_count() == 0 {
-                    let _ = jobs.send(fault_job(PROTOCOL_V1, 0, &ServeError::Closed));
+                    let _ = jobs.send(fault_job(PROTOCOL_V1, 0, 0, &ServeError::Closed));
                     let _ = jobs.send(WriteJob::Close);
                     return None;
                 }
@@ -1024,6 +1286,7 @@ fn await_first_byte(
 fn handle_connection(
     mut stream: TcpStream,
     service: &Weak<TuneService>,
+    counters: &Arc<ServerCounters>,
     config: ShardServerConfig,
 ) {
     let _ = stream.set_nodelay(true);
@@ -1044,17 +1307,23 @@ fn handle_connection(
             Err(WireError::Io(_)) => break, // peer died (or stalled) mid-frame
             Err(violation) => {
                 let fault = ServeError::Transport(violation.to_string());
-                let _ = jobs.send(fault_job(PROTOCOL_V1, 0, &fault));
+                let _ = jobs.send(fault_job(PROTOCOL_V1, 0, 0, &fault));
                 let _ = jobs.send(WriteJob::Close);
                 break;
             }
         };
         let Some(service) = service.upgrade() else {
-            let _ = jobs.send(fault_job(frame.version, frame.request_id, &ServeError::Closed));
+            let _ = jobs.send(fault_job(
+                frame.version,
+                frame.request_id,
+                frame.trace_id,
+                &ServeError::Closed,
+            ));
             let _ = jobs.send(WriteJob::Close);
             break;
         };
-        if serve_request(&mut stream, frame, &service, &jobs, &in_flight, config).is_err() {
+        if serve_request(&mut stream, frame, &service, &jobs, &in_flight, counters, config).is_err()
+        {
             let _ = jobs.send(WriteJob::Close);
             break;
         }
@@ -1074,11 +1343,17 @@ fn serve_request(
     service: &TuneService,
     jobs: &mpsc::Sender<WriteJob>,
     in_flight: &Arc<AtomicUsize>,
+    counters: &Arc<ServerCounters>,
     config: ShardServerConfig,
 ) -> LinkState {
-    let wire::Frame { version, kind, request_id, payload } = frame;
-    let reply =
-        |kind: FrameKind, payload: Vec<u8>| WriteJob::Frame { version, request_id, kind, payload };
+    let wire::Frame { version, kind, request_id, trace_id, payload } = frame;
+    let reply = |kind: FrameKind, payload: Vec<u8>| WriteJob::Frame {
+        version,
+        request_id,
+        trace_id,
+        kind,
+        payload,
+    };
     match kind {
         FrameKind::Tune => {
             let parsed = wire::from_payload::<TuneRequest>(&payload).and_then(|req| {
@@ -1094,33 +1369,42 @@ fn serve_request(
             });
             let (instance, k) = match parsed {
                 Ok(parts) => parts,
-                Err(fault) => return keep(jobs.send(fault_job(version, request_id, &fault))),
+                Err(fault) => {
+                    return keep(jobs.send(fault_job(version, request_id, trace_id, &fault)))
+                }
             };
             // The per-connection backpressure cap: a link pushing more
             // concurrent tunes than configured gets cheap rejections, not
             // a growing reply backlog.
             if in_flight.load(Ordering::Acquire) >= config.max_in_flight {
                 let fault = ServeError::Overloaded(ShedReason::LinkInFlight);
-                return keep(jobs.send(fault_job(version, request_id, &fault)));
+                return keep(jobs.send(fault_job(version, request_id, trace_id, &fault)));
             }
             in_flight.fetch_add(1, Ordering::AcqRel);
-            match service.client().submit(instance, k) {
+            counters.in_flight.fetch_add(1, Ordering::AcqRel);
+            // A v3 peer's trace continues on this side; older peers (or
+            // v3 peers that didn't trace) get a fresh trace so the
+            // server-side spans still land somewhere coherent.
+            match service.client().submit_traced(instance, k, TraceId::from_wire(trace_id)) {
                 Ok(ticket) => {
                     let jobs = jobs.clone();
                     let in_flight = Arc::clone(in_flight);
+                    let counters = Arc::clone(counters);
                     // The reply is queued by the service worker the moment
                     // the answer lands — out of arrival order if the
                     // service finishes another request first.
                     ticket.on_ready(move |outcome| {
                         in_flight.fetch_sub(1, Ordering::AcqRel);
+                        counters.in_flight.fetch_sub(1, Ordering::AcqRel);
                         let job = match outcome {
                             Ok(top) => WriteJob::Frame {
                                 version,
                                 request_id,
+                                trace_id,
                                 kind: FrameKind::TuneOk,
                                 payload: wire::to_payload(&top),
                             },
-                            Err(fault) => fault_job(version, request_id, &fault),
+                            Err(fault) => fault_job(version, request_id, trace_id, &fault),
                         };
                         let _ = jobs.send(job);
                     });
@@ -1128,7 +1412,8 @@ fn serve_request(
                 }
                 Err(fault) => {
                     in_flight.fetch_sub(1, Ordering::AcqRel);
-                    keep(jobs.send(fault_job(version, request_id, &fault)))
+                    counters.in_flight.fetch_sub(1, Ordering::AcqRel);
+                    keep(jobs.send(fault_job(version, request_id, trace_id, &fault)))
                 }
             }
         }
@@ -1153,7 +1438,7 @@ fn serve_request(
                     request_id,
                     snapshot: Box::new(snapshot),
                 })),
-                Err(fault) => keep(jobs.send(fault_job(version, request_id, &fault))),
+                Err(fault) => keep(jobs.send(fault_job(version, request_id, trace_id, &fault))),
             }
         }
         FrameKind::ImportCache => {
@@ -1170,13 +1455,13 @@ fn serve_request(
                 Ok(snapshot) => {
                     let answer = match service.import_cache(snapshot) {
                         Ok(applied) => reply(FrameKind::ImportOk, wire::to_payload(&applied)),
-                        Err(fault) => fault_job(version, request_id, &fault),
+                        Err(fault) => fault_job(version, request_id, trace_id, &fault),
                     };
                     keep(jobs.send(answer))
                 }
                 Err(fault) => {
                     // The chunk stream may be desynced — answer, then close.
-                    let _ = jobs.send(fault_job(version, request_id, &fault));
+                    let _ = jobs.send(fault_job(version, request_id, trace_id, &fault));
                     Err(())
                 }
             }
@@ -1191,7 +1476,7 @@ fn serve_request(
         | FrameKind::ImportOk
         | FrameKind::Error => {
             let fault = ServeError::Transport(format!("{kind:?} is not a request frame"));
-            let _ = jobs.send(fault_job(version, request_id, &fault));
+            let _ = jobs.send(fault_job(version, request_id, trace_id, &fault));
             Err(())
         }
     }

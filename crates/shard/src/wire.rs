@@ -1,30 +1,37 @@
 //! The cross-host shard wire protocol: length-prefixed, versioned frames
 //! with JSON payloads and chunked, per-chunk-checksummed snapshot
-//! streaming. This build speaks protocol **v2** (multiplexed frames with
-//! request ids) and still reads and answers **v1** (lock-step) peers.
+//! streaming. This build speaks protocol **v3** (multiplexed frames with
+//! request ids and a trace id) and still reads and answers **v2**
+//! (multiplexed, no trace) and **v1** (lock-step) peers.
 //!
-//! Every frame starts with the v1 11-byte header; v2 extends it with a
-//! request id so many requests can be in flight per connection and
-//! responses can arrive out of order:
+//! Every frame starts with the v1 11-byte header; each later version
+//! appends one strict-prefix-compatible field — v2 a request id so many
+//! requests can be in flight per connection, v3 a trace id so one
+//! request's spans on both ends of the link share a trace:
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic  — b"SORL"
-//! 4       2     protocol version (little endian; 1 or 2)
+//! 4       2     protocol version (little endian; 1, 2 or 3)
 //! 6       1     frame kind (see [`FrameKind`])
 //! 7       4     payload length (little endian)
-//! 11      8     request id (little endian) — v2 frames only
-//! 11|19   len   payload
+//! 11      8     request id (little endian) — v2+ frames only
+//! 19      8     trace id (little endian) — v3 frames only (0 = absent)
+//! 11|19|27 len  payload
 //! ```
 //!
-//! A v2 response carries the request id of the request it answers; every
+//! A v2+ response carries the request id of the request it answers; every
 //! frame of a snapshot stream carries the id of the request that opened
 //! the stream. v1 frames have no id ([`read_frame`] reports them as id
-//! `0`) and imply lock-step call/response. Version negotiation is
-//! per-frame: a receiver answers in the version the request arrived in,
-//! and an old v1-only peer rejects a v2 frame with its ordinary
-//! version-mismatch fault — which is exactly the downgrade signal a v2
-//! dialer needs (see `TcpShard`).
+//! `0`) and imply lock-step call/response. A v3 request carries the
+//! submitting client's trace id (0 when untraced); the server stamps its
+//! own spans with it and echoes it on the response. v1/v2 frames decode
+//! as trace `0`, which the observability layer degrades to a fresh local
+//! trace. Version negotiation is per-frame: a receiver answers in the
+//! version the request arrived in, and an old peer rejects a
+//! newer-versioned frame with its ordinary version-mismatch fault — which
+//! is exactly the downgrade signal a dialer needs (see `TcpShard`, which
+//! ladders v3 → v2 → v1).
 //!
 //! Request/response pairs ([`FrameKind::Tune`] → [`FrameKind::TuneOk`],
 //! …) carry one JSON payload each. Snapshots never travel as one giant
@@ -60,16 +67,23 @@ pub const PROTOCOL_V1: u16 = 1;
 /// The multiplexed protocol: every frame carries a request id.
 pub const PROTOCOL_V2: u16 = 2;
 
-/// The newest protocol version this build speaks (it also reads and
-/// answers [`PROTOCOL_V1`]).
-pub const PROTOCOL_VERSION: u16 = PROTOCOL_V2;
+/// The traced protocol: every frame additionally carries a trace id
+/// (0 when the sender is not tracing).
+pub const PROTOCOL_V3: u16 = 3;
 
-/// Size of the fixed v1 frame header (also the shared prefix of a v2
-/// header).
+/// The newest protocol version this build speaks (it also reads and
+/// answers [`PROTOCOL_V1`] and [`PROTOCOL_V2`]).
+pub const PROTOCOL_VERSION: u16 = PROTOCOL_V3;
+
+/// Size of the fixed v1 frame header (also the shared prefix of every
+/// later header).
 pub const HEADER_LEN: usize = 11;
 
 /// Size of a v2 frame header ([`HEADER_LEN`] plus the 8-byte request id).
 pub const HEADER_LEN_V2: usize = HEADER_LEN + 8;
+
+/// Size of a v3 frame header ([`HEADER_LEN_V2`] plus the 8-byte trace id).
+pub const HEADER_LEN_V3: usize = HEADER_LEN_V2 + 8;
 
 /// Upper bound on a single frame's payload. Chunked snapshot streaming
 /// keeps real frames far below this; the cap exists so garbage bytes in
@@ -210,25 +224,29 @@ impl From<WireError> for ServeError {
     }
 }
 
-/// One decoded frame: version, kind, request id (0 for v1 frames) and
-/// payload.
+/// One decoded frame: version, kind, request id (0 for v1 frames), trace
+/// id (0 for pre-v3 frames) and payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
-    /// The version the frame arrived in ([`PROTOCOL_V1`] or
-    /// [`PROTOCOL_V2`]) — a receiver answers in this version.
+    /// The version the frame arrived in ([`PROTOCOL_V1`]..
+    /// [`PROTOCOL_V3`]) — a receiver answers in this version.
     pub version: u16,
     /// What the payload carries.
     pub kind: FrameKind,
     /// The request this frame belongs to. v1 frames have none on the wire
     /// and decode as `0`.
     pub request_id: u64,
+    /// The trace the request belongs to. Pre-v3 frames (and untraced v3
+    /// senders) decode as `0`, meaning "absent" — the observability layer
+    /// degrades that to a fresh local trace.
+    pub trace_id: u64,
     /// The frame body.
     pub payload: Vec<u8>,
 }
 
 /// Writes one v1 (lock-step) frame.
 pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
-    write_frame_in(w, PROTOCOL_V1, kind, 0, payload)
+    write_frame_full(w, PROTOCOL_V1, kind, 0, 0, payload)
 }
 
 /// Writes one v2 (multiplexed) frame carrying `request_id`.
@@ -238,13 +256,24 @@ pub fn write_frame_v2(
     request_id: u64,
     payload: &[u8],
 ) -> Result<(), WireError> {
-    write_frame_in(w, PROTOCOL_V2, kind, request_id, payload)
+    write_frame_full(w, PROTOCOL_V2, kind, request_id, 0, payload)
 }
 
-/// Writes one frame in the given protocol version — the shape a server
-/// needs to answer each request in the version it arrived in. A v1 frame
+/// Writes one v3 (multiplexed, traced) frame carrying `request_id` and
+/// `trace_id` (0 when untraced).
+pub fn write_frame_v3(
+    w: &mut impl Write,
+    kind: FrameKind,
+    request_id: u64,
+    trace_id: u64,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    write_frame_full(w, PROTOCOL_V3, kind, request_id, trace_id, payload)
+}
+
+/// Writes one untraced frame in the given protocol version. A v1 frame
 /// silently drops `request_id` (v1 has nowhere to carry it; v1 callers
-/// pass 0).
+/// pass 0); a v3 frame goes out with trace id 0.
 pub fn write_frame_in(
     w: &mut impl Write,
     version: u16,
@@ -252,12 +281,27 @@ pub fn write_frame_in(
     request_id: u64,
     payload: &[u8],
 ) -> Result<(), WireError> {
-    debug_assert!(version == PROTOCOL_V1 || version == PROTOCOL_V2);
+    write_frame_full(w, version, kind, request_id, 0, payload)
+}
+
+/// Writes one frame in the given protocol version with every header
+/// field — the shape a server needs to answer each request in the
+/// version it arrived in, echoing its trace. Fields a version has no
+/// room for are silently dropped.
+pub fn write_frame_full(
+    w: &mut impl Write,
+    version: u16,
+    kind: FrameKind,
+    request_id: u64,
+    trace_id: u64,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    debug_assert!((PROTOCOL_V1..=PROTOCOL_V3).contains(&version));
     let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversized(u32::MAX))?;
     if len > MAX_PAYLOAD {
         return Err(WireError::Oversized(len));
     }
-    let mut header = [0u8; HEADER_LEN_V2];
+    let mut header = [0u8; HEADER_LEN_V3];
     header[..4].copy_from_slice(&MAGIC);
     header[4..6].copy_from_slice(&version.to_le_bytes());
     // sorl-lint: allow(cast, "FrameKind is a unit enum with discriminants < 256")
@@ -265,7 +309,14 @@ pub fn write_frame_in(
     header[7..11].copy_from_slice(&len.to_le_bytes());
     if version >= PROTOCOL_V2 {
         header[11..19].copy_from_slice(&request_id.to_le_bytes());
+    }
+    if version >= PROTOCOL_V3 {
+        // sorl-lint: allow(panic, "8-byte slice of a fixed header; bounds are literal constants")
+        header[19..27].copy_from_slice(&trace_id.to_le_bytes());
         w.write_all(&header)?;
+    } else if version >= PROTOCOL_V2 {
+        // sorl-lint: allow(panic, "prefix slice of a fixed header; length is a literal constant")
+        w.write_all(&header[..HEADER_LEN_V2])?;
     } else {
         w.write_all(&header[..HEADER_LEN])?;
     }
@@ -297,7 +348,7 @@ pub fn read_frame_after(r: &mut impl Read, first: u8) -> Result<Frame, WireError
     }
     // sorl-lint: allow(panic, "2-byte slice of a fixed header; length is a literal constant")
     let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
-    if version != PROTOCOL_V1 && version != PROTOCOL_V2 {
+    if !(PROTOCOL_V1..=PROTOCOL_V3).contains(&version) {
         return Err(WireError::Version { found: version });
     }
     let kind = FrameKind::from_byte(header[6]).ok_or(WireError::UnknownKind(header[6]))?;
@@ -313,10 +364,17 @@ pub fn read_frame_after(r: &mut impl Read, first: u8) -> Result<Frame, WireError
     } else {
         0
     };
+    let trace_id = if version >= PROTOCOL_V3 {
+        let mut id = [0u8; 8];
+        r.read_exact(&mut id)?;
+        u64::from_le_bytes(id)
+    } else {
+        0
+    };
     let len = usize::try_from(len).map_err(|_| WireError::Oversized(u32::MAX))?;
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    Ok(Frame { version, kind, request_id, payload })
+    Ok(Frame { version, kind, request_id, trace_id, payload })
 }
 
 /// Reads a frame and insists on one specific kind; an [`FrameKind::Error`]
@@ -725,17 +783,46 @@ mod tests {
     }
 
     #[test]
+    fn v3_frames_roundtrip_request_and_trace_ids() {
+        let mut buf = Vec::new();
+        write_frame_v3(&mut buf, FrameKind::Tune, 7, 0xfeed_face_cafe_f00d, b"{\"k\":3}").unwrap();
+        write_frame_v3(&mut buf, FrameKind::TuneOk, 7, 0, b"").unwrap();
+        let mut r = buf.as_slice();
+        let frame = read_frame(&mut r).unwrap();
+        assert_eq!(frame.version, PROTOCOL_V3);
+        assert_eq!(frame.request_id, 7);
+        assert_eq!(frame.trace_id, 0xfeed_face_cafe_f00d);
+        assert_eq!(frame.payload, b"{\"k\":3}");
+        let frame = read_frame(&mut r).unwrap();
+        assert_eq!(frame.trace_id, 0, "untraced v3 frames carry trace 0");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn pre_v3_frames_decode_as_trace_zero() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Stats, b"").unwrap();
+        write_frame_v2(&mut buf, FrameKind::Stats, 9, b"").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().trace_id, 0);
+        assert_eq!(read_frame(&mut r).unwrap().trace_id, 0);
+    }
+
+    #[test]
     fn mixed_version_frames_interleave_on_one_stream() {
         // Negotiation is per frame: a server must read a v1 frame arriving
         // after v2 traffic (and vice versa) without resyncing.
         let mut buf = Vec::new();
         write_frame_v2(&mut buf, FrameKind::Tune, 7, b"a").unwrap();
         write_frame(&mut buf, FrameKind::Stats, b"b").unwrap();
+        write_frame_v3(&mut buf, FrameKind::Tune, 9, 0x1234, b"c").unwrap();
         write_frame_v2(&mut buf, FrameKind::Fingerprint, 8, b"").unwrap();
         let mut r = buf.as_slice();
         assert_eq!(read_frame(&mut r).unwrap().request_id, 7);
         let v1 = read_frame(&mut r).unwrap();
         assert_eq!((v1.version, v1.request_id), (PROTOCOL_V1, 0));
+        let v3 = read_frame(&mut r).unwrap();
+        assert_eq!((v3.version, v3.request_id, v3.trace_id), (PROTOCOL_V3, 9, 0x1234));
         assert_eq!(read_frame(&mut r).unwrap().request_id, 8);
         assert!(r.is_empty());
     }

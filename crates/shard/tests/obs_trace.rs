@@ -1,0 +1,279 @@
+//! Observability integration tests: trace propagation over wire v3, v2↔v3
+//! interop in both directions, link stats, and fleet-wide stats merging
+//! over a loopback TCP fleet.
+//!
+//! Everything binds `127.0.0.1:0` only. The "old peer" halves are raw
+//! `TcpListener`/`TcpStream` loops speaking hand-rolled v2 frames, so the
+//! compatibility tests pin actual wire behavior against a peer that has
+//! never heard of trace ids.
+
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use sorl::tuner::TopK;
+use sorl_obs::{EventKind, TraceId};
+use sorl_serve::{ServeConfig, ServeError, TuneRequest, TuneService};
+use sorl_shard::wire::{self, FrameKind, PROTOCOL_V2, PROTOCOL_V3};
+use sorl_shard::{ShardRouter, ShardServer, ShardTransport, TcpShard};
+use stencil_model::{GridSize, StencilInstance, StencilKernel};
+
+fn config() -> ServeConfig {
+    ServeConfig { threads: 1, gather_window: Duration::from_micros(10), ..Default::default() }
+}
+
+fn spawn_server(seed: u64) -> ShardServer {
+    let service = TuneService::spawn(sorl_shard::synthetic_ranker(seed), config());
+    ShardServer::spawn(service, "127.0.0.1:0").unwrap()
+}
+
+fn lap(n: u32) -> StencilInstance {
+    StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(n)).unwrap()
+}
+
+/// The tentpole acceptance test: one tune over a v3 link leaves client-
+/// and server-side spans that share a single `TraceId` — the client's
+/// `tune` span and the server's `queue_wait`/`score_batch` spans joined
+/// by the trace id the frame carried.
+#[test]
+fn v3_tune_round_trip_shares_one_trace_across_both_recorders() {
+    let server = spawn_server(0x0b5e_7ace);
+    let shard = TcpShard::connect(server.local_addr()).unwrap();
+    shard.tune(lap(64), 2).unwrap();
+
+    let client_events = shard.flight_recorder().snapshot();
+    let tune_begin = client_events
+        .iter()
+        .find(|e| e.name == "tune" && e.kind == EventKind::SpanBegin)
+        .expect("client recorded a tune span");
+    let trace = tune_begin.trace;
+    assert_ne!(trace.as_u64(), 0, "a live trace id is never the absent marker");
+    assert!(
+        client_events
+            .iter()
+            .any(|e| e.name == "tune" && e.kind == EventKind::SpanEnd && e.trace == trace),
+        "the client tune span closed"
+    );
+
+    let server_events = server.service().flight_recorder().snapshot();
+    for name in ["queue_wait", "score_batch"] {
+        for kind in [EventKind::SpanBegin, EventKind::SpanEnd] {
+            assert!(
+                server_events.iter().any(|e| e.name == name && e.kind == kind && e.trace == trace),
+                "server recorded {kind:?} of {name:?} under the client's trace\n{server_events:#?}"
+            );
+        }
+    }
+    // The cache verdict event rides the same trace, under the batch span.
+    assert!(
+        server_events.iter().any(|e| e.name == "cache_miss" && e.trace == trace),
+        "first-touch tune is a recorded cache miss"
+    );
+}
+
+/// Repeat tunes of one instance hit the decision cache; the hit is an
+/// instant event on the *request's* trace, so per-request cache verdicts
+/// are attributable even inside a shared batch span.
+#[test]
+fn cache_hits_are_recorded_under_the_requests_trace() {
+    let server = spawn_server(0xcac4_e417);
+    let shard = TcpShard::connect(server.local_addr()).unwrap();
+    shard.tune(lap(48), 1).unwrap();
+    shard.tune(lap(48), 1).unwrap();
+
+    let client_traces: Vec<TraceId> = shard
+        .flight_recorder()
+        .snapshot()
+        .iter()
+        .filter(|e| e.name == "tune" && e.kind == EventKind::SpanBegin)
+        .map(|e| e.trace)
+        .collect();
+    assert_eq!(client_traces.len(), 2);
+    assert_ne!(client_traces[0], client_traces[1], "each tune gets its own trace");
+
+    let server_events = server.service().flight_recorder().snapshot();
+    assert!(
+        server_events.iter().any(|e| e.name == "cache_hit" && e.trace == client_traces[1]),
+        "the repeat tune's hit is recorded under its own trace"
+    );
+}
+
+/// Interop, new client → old v2 server: the fake peer rejects the v3
+/// probe with the stock version fault and answers the v2 probe. The
+/// client downgrades (counted), completes tunes over the v2 link, its
+/// client-side spans still close, and the link is never poisoned — the
+/// trace simply does not cross the wire.
+#[test]
+fn v3_client_downgrades_cleanly_against_a_v2_only_server() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        // Connection 1: reject the v3 probe like a shipped v2 build.
+        let (mut stream, _) = listener.accept().unwrap();
+        let fault = ServeError::Transport(
+            "peer speaks protocol version 3, this build speaks 2".to_string(),
+        );
+        wire::write_frame_v2(&mut stream, FrameKind::Error, 0, &wire::encode_fault(&fault))
+            .unwrap();
+        drop(stream);
+        // Connection 2: answer the v2 probe, then serve two v2 tunes.
+        let (mut stream, _) = listener.accept().unwrap();
+        let probe = wire::read_frame(&mut stream).unwrap();
+        assert_eq!(probe.kind, FrameKind::Fingerprint);
+        assert_eq!(probe.version, PROTOCOL_V2, "second probe walks down to v2");
+        wire::write_frame_v2(&mut stream, FrameKind::FingerprintOk, 0, &wire::to_payload(&0u64))
+            .unwrap();
+        for marker in [7usize, 8] {
+            let frame = wire::read_frame(&mut stream).unwrap();
+            assert_eq!(frame.kind, FrameKind::Tune);
+            assert_eq!(frame.version, PROTOCOL_V2, "downgraded link speaks v2");
+            assert_eq!(frame.trace_id, 0, "a v2 frame has no trace to carry");
+            let answer = TopK { entries: Vec::new(), candidates: marker, seconds: 0.0 };
+            wire::write_frame_v2(
+                &mut stream,
+                FrameKind::TuneOk,
+                frame.request_id,
+                &wire::to_payload(&answer),
+            )
+            .unwrap();
+        }
+    });
+
+    let shard = TcpShard::connect(addr).unwrap();
+    assert_eq!(shard.tune(lap(40), 1).unwrap().candidates, 7);
+    assert_eq!(shard.tune(lap(44), 1).unwrap().candidates, 8);
+    server.join().unwrap();
+
+    let stats = shard.link_stats();
+    assert_eq!(stats.v2_downgrades, 1, "exactly one rung taken: {stats:?}");
+    assert_eq!(stats.v1_downgrades, 0, "{stats:?}");
+    assert_eq!(stats.poisoned, 0, "a version downgrade is not a poisoning: {stats:?}");
+    assert_eq!(stats.dials, 2, "initial dial plus the downgrade redial: {stats:?}");
+
+    // Client-side spans close even though the trace never crossed.
+    let events = shard.flight_recorder().snapshot();
+    let begins = events.iter().filter(|e| e.kind == EventKind::SpanBegin).count();
+    let ends = events.iter().filter(|e| e.kind == EventKind::SpanEnd).count();
+    assert_eq!((begins, ends), (2, 2), "both tune spans closed\n{events:#?}");
+}
+
+/// Interop, old v2 client → new server: raw v2 frames are answered in v2,
+/// the tune completes, and the server's spans still open and close — under
+/// a *fresh* trace (the absent wire trace degrades to a local one, never
+/// to trace id 0).
+#[test]
+fn v2_client_against_the_v3_server_gets_answers_and_fresh_server_traces() {
+    let server = spawn_server(0x0dd5_0c4e);
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    let req = TuneRequest { instance: lap(56), k: 1 };
+    wire::write_frame_v2(&mut raw, FrameKind::Tune, 9, &wire::to_payload(&req)).unwrap();
+    let reply = wire::read_frame(&mut raw).unwrap();
+    assert_eq!(reply.kind, FrameKind::TuneOk);
+    assert_eq!(reply.version, PROTOCOL_V2, "v2 requests are answered in v2");
+    assert_eq!(reply.request_id, 9);
+    assert_eq!(reply.trace_id, 0, "a v2 reply has no trace field to carry");
+    let top: TopK = wire::from_payload(&reply.payload).unwrap();
+    assert_eq!(top.entries.len(), 1);
+
+    // The link is healthy, not poisoned: a second request still answers.
+    wire::write_frame_v2(&mut raw, FrameKind::Stats, 10, &[]).unwrap();
+    assert_eq!(wire::read_frame(&mut raw).unwrap().kind, FrameKind::StatsOk);
+
+    let events = server.service().flight_recorder().snapshot();
+    let begin = events
+        .iter()
+        .find(|e| e.name == "queue_wait" && e.kind == EventKind::SpanBegin)
+        .expect("the untraced tune still opened a server span");
+    assert_ne!(begin.trace.as_u64(), 0, "absent wire trace degrades to a fresh one");
+    assert!(
+        events.iter().any(|e| e.name == "queue_wait"
+            && e.kind == EventKind::SpanEnd
+            && e.trace == begin.trace),
+        "the span closed under the same fresh trace\n{events:#?}"
+    );
+}
+
+/// A v3 frame round-trips its trace id through the real server: the reply
+/// frame echoes the request's trace on the wire.
+#[test]
+fn v3_replies_echo_the_request_trace_on_the_wire() {
+    let server = spawn_server(0xec40_7ace);
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    let req = TuneRequest { instance: lap(72), k: 1 };
+    wire::write_frame_v3(&mut raw, FrameKind::Tune, 5, 0xabad_cafe, &wire::to_payload(&req))
+        .unwrap();
+    let reply = wire::read_frame(&mut raw).unwrap();
+    assert_eq!(reply.kind, FrameKind::TuneOk);
+    assert_eq!(reply.version, PROTOCOL_V3);
+    assert_eq!(reply.request_id, 5);
+    assert_eq!(reply.trace_id, 0xabad_cafe, "the reply echoes the request's trace");
+}
+
+/// Fleet aggregation over loopback TCP: `fleet_stats()` merged totals
+/// equal the sum of the per-shard stats, and the per-shard view carries
+/// every shard.
+#[test]
+fn fleet_stats_merged_totals_equal_the_per_shard_sum() {
+    let servers: Vec<ShardServer> = (0..3).map(|_| spawn_server(0xf1ee_7000)).collect();
+    let mut router = ShardRouter::new();
+    for (i, server) in servers.iter().enumerate() {
+        let shard = TcpShard::connect(server.local_addr()).unwrap();
+        router.add_shard(format!("shard-{i}"), shard).unwrap();
+    }
+
+    // A spread of instances so several shards see traffic; repeats so
+    // cache hits show up in the merge too.
+    for round in 0..2 {
+        for n in 30..42 {
+            router.tune(lap(n), 1).unwrap();
+        }
+        let _ = round;
+    }
+
+    let fleet = router.fleet_stats();
+    assert_eq!(fleet.per_shard.len(), 3);
+    assert_eq!(fleet.reachable(), 3);
+
+    let per: Vec<_> =
+        fleet.per_shard.iter().map(|(_, r)| r.as_ref().expect("loopback shard answers")).collect();
+    let sum = |f: fn(&sorl_serve::ServeStats) -> u64| per.iter().map(|s| f(s)).sum::<u64>();
+    assert_eq!(fleet.merged.requests, sum(|s| s.requests));
+    assert_eq!(fleet.merged.requests, 24, "every tune accounted for exactly once");
+    assert_eq!(fleet.merged.batches, sum(|s| s.batches));
+    assert_eq!(fleet.merged.cache_hits, sum(|s| s.cache_hits));
+    assert_eq!(fleet.merged.cache_hits, 12, "the second round repeats the first");
+    assert_eq!(fleet.merged.cache_misses, sum(|s| s.cache_misses));
+    assert_eq!(fleet.merged.cache_entries, sum(|s| s.cache_entries));
+    assert_eq!(fleet.merged.shed_queue + fleet.merged.shed_latency, 0);
+    assert_eq!(
+        fleet.merged.max_batch,
+        per.iter().map(|s| s.max_batch).max().unwrap(),
+        "max_batch merges as a maximum, not a sum"
+    );
+    let hist_sum: u64 = fleet.merged.batch_latency_hist.iter().sum();
+    assert_eq!(hist_sum, fleet.merged.batches, "one latency observation per batch");
+
+    // The rendering surfaces hold together on live data.
+    let table = fleet.summary_table();
+    assert!(table.contains("shard-0") && table.contains("TOTAL"), "{table}");
+    assert!(fleet.hit_rate_skew() >= 0.0 && fleet.hit_rate_skew() <= 1.0);
+}
+
+/// Link stats on a healthy eager link: one dial, no redials, no
+/// downgrades against a current server, and in-flight returns to zero.
+#[test]
+fn link_stats_count_a_healthy_links_lifecycle() {
+    let server = spawn_server(0x11fe_c1c1);
+    let shard = TcpShard::connect(server.local_addr()).unwrap();
+    assert_eq!(shard.link_stats().dials, 1, "the eager connect dialed once");
+    shard.tune(lap(36), 1).unwrap();
+    let stats = shard.link_stats();
+    assert_eq!(stats.dials, 1, "negotiation reuses the eager stream");
+    assert_eq!(stats.reconnects, 0);
+    assert_eq!(stats.v2_downgrades + stats.v1_downgrades, 0, "{stats:?}");
+    assert_eq!(stats.poisoned, 0);
+    assert_eq!(stats.in_flight, 0, "the answered tune left the window");
+}

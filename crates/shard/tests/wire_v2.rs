@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 use sorl::tuner::TopK;
 use sorl::StencilRanker;
 use sorl_serve::{ServeConfig, ServeError, TuneRequest, TuneService};
-use sorl_shard::wire::{self, FrameKind, PROTOCOL_V1, PROTOCOL_V2};
+use sorl_shard::wire::{self, FrameKind, PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3};
 use sorl_shard::{ReconnectPolicy, ShardServer, ShardTransport, TcpShard};
 use stencil_model::{GridSize, StencilInstance, StencilKernel};
 
@@ -36,14 +36,21 @@ fn marked_answer(marker: usize) -> TopK {
     TopK { entries: Vec::new(), candidates: marker, seconds: 0.0 }
 }
 
-/// Answers the client's v2 negotiation probe (a `Fingerprint` request with
-/// id 0) like a real v2 server would.
+/// Answers the client's negotiation probe (a `Fingerprint` request with
+/// id 0, sent in v3 first) like a real v3 server would.
 fn answer_probe(stream: &mut TcpStream) {
     let probe = wire::read_frame(stream).expect("negotiation probe");
     assert_eq!(probe.kind, FrameKind::Fingerprint);
-    assert_eq!(probe.version, PROTOCOL_V2);
+    assert_eq!(probe.version, PROTOCOL_V3);
     assert_eq!(probe.request_id, 0);
-    wire::write_frame_v2(stream, FrameKind::FingerprintOk, 0, &wire::to_payload(&0u64)).unwrap();
+    wire::write_frame_v3(
+        stream,
+        FrameKind::FingerprintOk,
+        0,
+        probe.trace_id,
+        &wire::to_payload(&0u64),
+    )
+    .unwrap();
 }
 
 /// Tiny deterministic xorshift64* — the vendored proptest shim has no
@@ -84,14 +91,14 @@ fn interleaved_completions_resolve_to_their_own_tickets() {
             for _ in 0..M {
                 let frame = wire::read_frame(&mut stream).unwrap();
                 assert_eq!(frame.kind, FrameKind::Tune);
-                assert_eq!(frame.version, PROTOCOL_V2);
+                assert_eq!(frame.version, PROTOCOL_V3);
                 let req: TuneRequest = wire::from_payload(&frame.payload).unwrap();
-                pending.push((frame.request_id, req.k));
+                pending.push((frame.request_id, frame.trace_id, req.k));
             }
             XorShift(seed).shuffle(&mut pending);
-            for (id, k) in pending {
+            for (id, trace, k) in pending {
                 let payload = wire::to_payload(&marked_answer(k));
-                wire::write_frame_v2(&mut stream, FrameKind::TuneOk, id, &payload).unwrap();
+                wire::write_frame_v3(&mut stream, FrameKind::TuneOk, id, trace, &payload).unwrap();
             }
         });
 
@@ -127,8 +134,14 @@ fn response_for_an_unknown_request_id_poisons_the_link() {
         let frame = wire::read_frame(&mut stream).unwrap();
         let payload = wire::to_payload(&marked_answer(1));
         // Reply to a request nobody made.
-        wire::write_frame_v2(&mut stream, FrameKind::TuneOk, frame.request_id + 999, &payload)
-            .unwrap();
+        wire::write_frame_v3(
+            &mut stream,
+            FrameKind::TuneOk,
+            frame.request_id + 999,
+            frame.trace_id,
+            &payload,
+        )
+        .unwrap();
     });
     let shard = TcpShard::connect(addr).unwrap();
     let err = shard.tune(lap(64), 1).unwrap_err();
@@ -150,7 +163,14 @@ fn wrong_kind_for_a_known_request_id_poisons_the_link() {
         answer_probe(&mut stream);
         let frame = wire::read_frame(&mut stream).unwrap();
         // StatsOk is a fine frame kind — for somebody else's request.
-        wire::write_frame_v2(&mut stream, FrameKind::StatsOk, frame.request_id, &[]).unwrap();
+        wire::write_frame_v3(
+            &mut stream,
+            FrameKind::StatsOk,
+            frame.request_id,
+            frame.trace_id,
+            &[],
+        )
+        .unwrap();
     });
     let shard = TcpShard::connect(addr).unwrap();
     let err = shard.tune(lap(64), 1).unwrap_err();
@@ -191,23 +211,27 @@ fn v1_client_interoperates_with_the_v2_server() {
     assert_eq!(reply.request_id, 42, "the request id is echoed");
 }
 
-/// Interop, new client → old server: a v1-only peer faults the v2
-/// negotiation probe with its version error; the client downgrades,
-/// redials, and speaks lock-step v1 on the fresh connection.
+/// Interop, new client → old server: a v1-only peer faults the v3 and v2
+/// negotiation probes with its version error; the client walks the ladder
+/// down, redialing per rung, and speaks lock-step v1 on the last
+/// connection.
 #[test]
 fn v2_client_downgrades_against_a_v1_only_server() {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let server = std::thread::spawn(move || {
-        // Connection 1: reject the v2 probe exactly like the shipped v1
-        // server rejected unknown versions — a v1 error frame, then hang up.
-        let (mut stream, _) = listener.accept().unwrap();
-        let fault = ServeError::Transport(
-            "peer speaks protocol version 2, this build speaks 1".to_string(),
-        );
-        wire::write_frame(&mut stream, FrameKind::Error, &wire::encode_fault(&fault)).unwrap();
-        drop(stream);
-        // Connection 2: the downgraded client, speaking plain v1 lock-step.
+        // Connections 1 and 2: reject the v3 then the v2 probe exactly
+        // like the shipped v1 server rejected unknown versions — a v1
+        // error frame, then hang up.
+        for probed in [3u16, 2] {
+            let (mut stream, _) = listener.accept().unwrap();
+            let fault = ServeError::Transport(format!(
+                "peer speaks protocol version {probed}, this build speaks 1"
+            ));
+            wire::write_frame(&mut stream, FrameKind::Error, &wire::encode_fault(&fault)).unwrap();
+            drop(stream);
+        }
+        // Connection 3: the downgraded client, speaking plain v1 lock-step.
         let (mut stream, _) = listener.accept().unwrap();
         for marker in [11usize, 22] {
             let frame = wire::read_frame(&mut stream).unwrap();

@@ -209,13 +209,20 @@ fn main() {
     assert!(CacheSnapshot::load_json(&snapshot_path).is_err(), "torn file rejected everywhere");
     std::fs::remove_file(&snapshot_path).ok();
     std::fs::remove_file(&ranker_path).ok();
+
+    // The exit scoreboard: one fleet_stats() sweep renders every shard
+    // plus merged totals (what `sorl-top` shows live).
+    let fleet = router.fleet_stats();
+    println!("\nfinal fleet scoreboard:");
+    print!("{}", fleet.summary_table());
+    println!(
+        "({}/{} shards reachable, hit-rate skew {:.1}%)",
+        fleet.reachable(),
+        router.len(),
+        fleet.hit_rate_skew() * 100.0
+    );
 }
 
 fn print_stats(router: &ShardRouter) {
-    for (id, stats) in router.stats() {
-        match stats {
-            Ok(s) => println!("  {id}: {s}"),
-            Err(e) => println!("  {id}: unreachable ({e})"),
-        }
-    }
+    print!("{}", router.fleet_stats().summary_table());
 }

@@ -20,6 +20,10 @@
 //! 3. **The ledger balances** — client-observed sheds equal the services'
 //!    shed counters plus the link-level rejections, and every queue is
 //!    empty when the storm stops.
+//! 4. **The metrics endpoint tells the same story** — each shard serves a
+//!    Prometheus page that parses mid-storm (shed and queue-depth
+//!    families present while the fleet is saturated), and the post-storm
+//!    scrape agrees with the wire-level ledger counter for counter.
 //!
 //! ```sh
 //! cargo run --release --example overload_demo          # ~3s soak
@@ -61,6 +65,47 @@ struct Tally {
     shed_turnaround_us: Vec<u64>,
 }
 
+/// One blocking scrape of a metrics endpoint (the exact bytes `curl`
+/// would see), returning the exposition body.
+fn scrape(addr: std::net::SocketAddr) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("metrics endpoint reachable");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("metrics endpoint answers");
+    let (head, body) = response.split_once("\r\n\r\n").expect("an HTTP response has a body");
+    assert!(head.starts_with("HTTP/1.0 200"), "metrics scrape failed: {head}");
+    body.to_string()
+}
+
+/// Sums every sample of one metric family in an exposition body (labeled
+/// samples like `sorl_serve_shed_total{reason="queue"} 3` included),
+/// asserting each value parses.
+fn family_sum(body: &str, family: &str) -> u64 {
+    let mut sum = 0u64;
+    let mut seen = false;
+    for line in body.lines() {
+        if !line.starts_with(family) || line.starts_with('#') {
+            continue;
+        }
+        let rest = &line[family.len()..];
+        // Exact family match: `sorl_serve_shed_total` must not also
+        // swallow a hypothetical `sorl_serve_shed_total_foo`.
+        if !(rest.starts_with(' ') || rest.starts_with('{')) {
+            continue;
+        }
+        let value = line.rsplit(' ').next().unwrap_or_default();
+        let value: f64 = value.parse().unwrap_or_else(|e| {
+            panic!("unparseable sample for {family}: {line:?} ({e})");
+        });
+        sum += value as u64;
+        seen = true;
+    }
+    assert!(seen, "metric family {family} missing from the scrape");
+    sum
+}
+
 fn main() {
     let soak_secs: u64 =
         std::env::var("SORL_SOAK_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
@@ -85,6 +130,7 @@ fn main() {
     };
     let server_config = ShardServerConfig { max_in_flight: 1024 };
     let mut servers = Vec::new();
+    let mut metrics = Vec::new();
     let mut router = ShardRouter::new();
     for id in ["alpha", "beta"] {
         let service = TuneService::spawn(ranker.clone(), config);
@@ -92,6 +138,7 @@ fn main() {
             ShardServer::spawn_with(service, "127.0.0.1:0", server_config).expect("bind loopback");
         let shard = TcpShard::connect(server.local_addr()).expect("connect loopback");
         router.add_shard(id, shard).expect("join fleet");
+        metrics.push(server.serve_metrics("127.0.0.1:0").expect("bind metrics endpoint"));
         servers.push(server);
     }
     let router = Arc::new(router);
@@ -151,7 +198,19 @@ fn main() {
                 *tallies[t].lock().unwrap() = tally;
             });
         }
-        std::thread::sleep(Duration::from_secs(soak_secs));
+        // Mid-storm scrape: the admission-control counters must be
+        // present and parseable WHILE the fleet is saturated — an
+        // endpoint that only answers an idle fleet is no endpoint.
+        let half = Duration::from_millis(soak_secs * 1000 / 2);
+        std::thread::sleep(half);
+        for endpoint in &metrics {
+            let body = scrape(endpoint.local_addr());
+            family_sum(&body, "sorl_serve_shed_total");
+            family_sum(&body, "sorl_serve_queue_depth");
+            family_sum(&body, "sorl_serve_requests_total");
+        }
+        println!("  mid-soak metrics scrape: shed/queue-depth families present and parseable");
+        std::thread::sleep(half);
         stop.store(true, Ordering::Relaxed);
     });
     let elapsed = started.elapsed().as_secs_f64();
@@ -203,15 +262,14 @@ fn main() {
     // counted, exactly. `requests` counts admitted-and-served requests, so
     // it equals the answered calls; service-side sheds are the queue/
     // latency counters; anything left over was rejected at the link cap.
-    let mut served = 0u64;
-    let mut service_sheds = 0u64;
-    for (id, stats) in router.stats() {
-        let stats = stats.expect("stats reachable after the storm");
-        println!("  {id}: {stats}");
+    let fleet = router.fleet_stats();
+    print!("{}", fleet.summary_table());
+    for (id, stats) in &fleet.per_shard {
+        let stats = stats.as_ref().expect("stats reachable after the storm");
         assert_eq!(stats.queue_depth, 0, "{id}: queue drains once the storm stops");
-        served += stats.requests;
-        service_sheds += stats.sheds();
     }
+    let served = fleet.merged.requests;
+    let service_sheds = fleet.merged.sheds();
     assert_eq!(served, answered, "every answered call is counted exactly once");
     assert!(
         service_sheds <= shed,
@@ -223,6 +281,27 @@ fn main() {
          {service_sheds} service + {link_sheds} link"
     );
 
+    // The post-storm scrape must agree with the wire-level ledger counter
+    // for counter: the Prometheus page and `stats()` are two views of the
+    // same atomics.
+    let mut scraped_requests = 0u64;
+    let mut scraped_sheds = 0u64;
+    let mut scraped_queue = 0u64;
+    for endpoint in &metrics {
+        let body = scrape(endpoint.local_addr());
+        scraped_requests += family_sum(&body, "sorl_serve_requests_total");
+        scraped_sheds += family_sum(&body, "sorl_serve_shed_total");
+        scraped_queue += family_sum(&body, "sorl_serve_queue_depth");
+    }
+    assert_eq!(scraped_requests, served, "scraped requests agree with the ledger");
+    assert_eq!(scraped_sheds, service_sheds, "scraped sheds agree with the ledger");
+    assert_eq!(scraped_queue, 0, "scraped queue depth agrees with the drained fleet");
+    println!(
+        "  metrics endpoint agrees: {scraped_requests} requests, {scraped_sheds} sheds, \
+         queue depth 0"
+    );
+
+    drop(metrics);
     drop(router);
     drop(servers);
     println!("overload soak passed");

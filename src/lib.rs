@@ -20,6 +20,7 @@
 //! | [`sorl`]    | `sorl`            | the autotuner: pipeline, ranker, tuners, benchmarks |
 //! | [`serve`]   | `sorl-serve`      | multi-tenant tuning service: micro-batching, top-k, decision cache |
 //! | [`shard`]   | `sorl-shard`      | fingerprint-sharded fleet: rendezvous routing, warm cache shipping |
+//! | [`obs`]     | `sorl-obs`        | observability: traces, flight recorder, Prometheus metrics |
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@
 //! the binaries regenerating every table and figure of the paper.
 
 pub use sorl;
+pub use sorl_obs as obs;
 pub use sorl_serve as serve;
 pub use sorl_shard as shard;
 pub use stencil_exec as exec;
