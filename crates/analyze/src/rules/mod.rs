@@ -1,5 +1,6 @@
 //! The five enforced rules. Each local rule is a pure function from one
-//! [`AnalyzedFile`] + [`Scope`] to findings; lock-order is split into a
+//! [`AnalyzedFile`] + [`crate::scope::Scope`] to findings; lock-order is
+//! split into a
 //! per-file edge extraction and a cross-file graph pass (inversions are
 //! only visible once every function's acquisitions are on the table).
 //!

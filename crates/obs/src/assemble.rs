@@ -1,0 +1,443 @@
+//! Fleet trace assembly: merge [`RecorderDump`]s from N processes into
+//! one per-trace span waterfall.
+//!
+//! Each flight recorder timestamps events against its own wall anchor,
+//! and wall clocks across a fleet disagree by anywhere from microseconds
+//! (NTP-disciplined hosts) to seconds (containers that drifted). The
+//! assembler therefore treats the *first dump that contains events for
+//! the trace* as the clock authority — callers should pass the
+//! client-side dump first, since the client's request span necessarily
+//! encloses every remote span. Every other dump is checked against that
+//! anchor window: if its events already fall inside, its clock is
+//! trusted as-is; if not, the dump is midpoint-aligned into the window
+//! and every span it contributed is flagged `skewed` so nobody reads
+//! sub-window offsets as truth.
+//!
+//! Ring overwrite means evidence can be partial. Spans reconstructed
+//! without their `SpanBegin` are kept and flagged `orphan` (start
+//! estimated from their earliest surviving event); spans missing their
+//! `SpanEnd` are flagged `unfinished`. Span identity is
+//! `(source, span id)`, so two shards that happened to mint the same
+//! span id never merge into one bogus span.
+
+use std::collections::HashMap;
+
+use crate::recorder::{EventKind, RecorderDump};
+use crate::trace::TraceId;
+
+/// One reconstructed span within an assembled trace.
+#[derive(Clone, Debug)]
+pub struct AssembledSpan {
+    /// Which dump (process) recorded this span.
+    pub source: String,
+    /// Raw span id (unique per source, not fleet-wide).
+    pub span: u64,
+    /// Span name (from its begin event, else its end event, else `"?"`).
+    pub name: String,
+    /// Start, ns since the unix epoch, after clock alignment. Estimated
+    /// from the earliest surviving event when the begin was overwritten.
+    pub start_unix_ns: u64,
+    /// End, after alignment; `None` when the end event is missing.
+    pub end_unix_ns: Option<u64>,
+    /// Instant annotations inside the span: aligned time + name.
+    pub instants: Vec<(u64, String)>,
+    /// Nesting depth under enclosing spans (0 = root).
+    pub depth: usize,
+    /// The begin event was lost (ring overwrite); start is estimated.
+    pub orphan: bool,
+    /// The end event was lost or the span was still open at dump time.
+    pub unfinished: bool,
+    /// This span's source clock disagreed with the anchor and was shifted.
+    pub skewed: bool,
+}
+
+impl AssembledSpan {
+    /// End used for layout: the real end, or the latest evidence we have.
+    fn effective_end(&self) -> u64 {
+        self.end_unix_ns.unwrap_or_else(|| {
+            self.instants.iter().map(|(t, _)| *t).max().unwrap_or(self.start_unix_ns)
+        })
+    }
+}
+
+/// A fully assembled per-trace view, renderable as a text waterfall.
+#[derive(Clone, Debug)]
+pub struct Waterfall {
+    /// The trace every span belongs to.
+    pub trace: TraceId,
+    /// Spans sorted by aligned start time (ties: longer first).
+    pub spans: Vec<AssembledSpan>,
+    /// Which dump served as the clock authority (none for empty traces).
+    pub anchor_source: Option<String>,
+}
+
+impl Waterfall {
+    /// Distinct sources that contributed at least one span.
+    pub fn sources(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for s in &self.spans {
+            if !out.contains(&s.source.as_str()) {
+                out.push(s.source.as_str());
+            }
+        }
+        out
+    }
+
+    /// Total trace extent in nanoseconds (0 for empty traces).
+    pub fn window_ns(&self) -> u64 {
+        let lo = self.spans.iter().map(|s| s.start_unix_ns).min();
+        let hi = self.spans.iter().map(AssembledSpan::effective_end).max();
+        match (lo, hi) {
+            (Some(lo), Some(hi)) => hi.saturating_sub(lo),
+            _ => 0,
+        }
+    }
+
+    /// Renders the waterfall as fixed-width text, one line per span.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace {} · {} span{} · {} source{} · window {}",
+            self.trace,
+            self.spans.len(),
+            if self.spans.len() == 1 { "" } else { "s" },
+            self.sources().len(),
+            if self.sources().len() == 1 { "" } else { "s" },
+            fmt_ns(self.window_ns()),
+        );
+        if self.spans.is_empty() {
+            let _ = writeln!(out, "  (no events for this trace survived in any recorder)");
+            return out;
+        }
+        const GUTTER: usize = 40;
+        let lo = self.spans.iter().map(|s| s.start_unix_ns).min().unwrap_or(0);
+        let window = self.window_ns().max(1);
+        let name_w = self
+            .spans
+            .iter()
+            .map(|s| 2 * s.depth + s.name.len() + s.source.len() + 3)
+            .max()
+            .unwrap_or(0);
+        for s in &self.spans {
+            let label = format!("{}{} [{}]", "  ".repeat(s.depth), s.name, s.source);
+            let from = ((s.start_unix_ns - lo) as u128 * GUTTER as u128 / window as u128) as usize;
+            let to = ((s.effective_end() - lo) as u128 * GUTTER as u128 / window as u128) as usize;
+            let (from, to) = (from.min(GUTTER - 1), to.min(GUTTER));
+            let mut bar = String::new();
+            bar.push_str(&" ".repeat(from));
+            bar.push_str(&"█".repeat((to - from).max(1)));
+            bar.push_str(&" ".repeat(GUTTER.saturating_sub(from + (to - from).max(1))));
+            let mut flags = Vec::new();
+            if s.orphan {
+                flags.push("orphan");
+            }
+            if s.unfinished {
+                flags.push("unfinished");
+            }
+            if s.skewed {
+                flags.push("skewed");
+            }
+            let dur = s.effective_end().saturating_sub(s.start_unix_ns);
+            let _ = writeln!(
+                out,
+                "  {label:<name_w$} |{bar}| {:>10}{}{}",
+                fmt_ns(dur),
+                if flags.is_empty() { "" } else { "  " },
+                flags.join(","),
+            );
+            for (t, name) in &s.instants {
+                let _ = writeln!(
+                    out,
+                    "  {:<name_w$}   · {} @ +{}",
+                    "",
+                    name,
+                    fmt_ns(t.saturating_sub(s.start_unix_ns)),
+                );
+            }
+        }
+        out
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Mutable per-span accumulator while folding one dump's events.
+#[derive(Default)]
+struct Building {
+    name: Option<String>,
+    begin: Option<u64>,
+    end: Option<u64>,
+    instants: Vec<(u64, String)>,
+    first_seen: u64,
+}
+
+/// Merges `dumps` into one waterfall for `trace`.
+///
+/// Pass the dump whose clock should anchor the timeline **first** —
+/// conventionally the client-side recorder, whose request span encloses
+/// all remote work. Dumps with no events for the trace are skipped; the
+/// anchor falls back to the first dump that has any.
+pub fn assemble(trace: TraceId, dumps: &[RecorderDump]) -> Waterfall {
+    // Fold each dump's trace events into (source, span) accumulators,
+    // remembering each dump's own extent for the alignment pass.
+    let mut anchor_source = None;
+    let mut anchor_window: Option<(u64, u64)> = None;
+    let mut per_dump: Vec<(usize, u64, u64, HashMap<u64, Building>)> = Vec::new();
+    for (di, dump) in dumps.iter().enumerate() {
+        let mut spans: HashMap<u64, Building> = HashMap::new();
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for e in dump.events.iter().filter(|e| e.trace == trace.as_u64()) {
+            lo = lo.min(e.t_unix_ns);
+            hi = hi.max(e.t_unix_ns);
+            let b = spans
+                .entry(e.span)
+                .or_insert_with(|| Building { first_seen: e.t_unix_ns, ..Building::default() });
+            b.first_seen = b.first_seen.min(e.t_unix_ns);
+            match e.kind() {
+                Some(EventKind::SpanBegin) => {
+                    b.begin = Some(e.t_unix_ns);
+                    b.name = Some(e.name.clone());
+                }
+                Some(EventKind::SpanEnd) => {
+                    b.end = Some(e.t_unix_ns);
+                    b.name.get_or_insert_with(|| e.name.clone());
+                }
+                Some(EventKind::Instant) => b.instants.push((e.t_unix_ns, e.name.clone())),
+                None => {}
+            }
+        }
+        if spans.is_empty() {
+            continue;
+        }
+        if anchor_source.is_none() {
+            anchor_source = Some(dump.source.clone());
+            anchor_window = Some((lo, hi));
+        }
+        per_dump.push((di, lo, hi, spans));
+    }
+
+    let mut spans = Vec::new();
+    let (a_lo, a_hi) = anchor_window.unwrap_or((0, 0));
+    for (di, lo, hi, built) in per_dump {
+        // A dump whose events already land inside the anchor window has
+        // a clock we can trust; otherwise midpoint-align its extent into
+        // the window and flag everything it contributed.
+        let inside = lo >= a_lo && hi <= a_hi;
+        let shift: i128 = if inside {
+            0
+        } else {
+            let anchor_mid = (a_lo as i128 + a_hi as i128) / 2;
+            let dump_mid = (lo as i128 + hi as i128) / 2;
+            anchor_mid - dump_mid
+        };
+        let align = |t: u64| -> u64 { u64::try_from((t as i128 + shift).max(0)).unwrap_or(0) };
+        for (span, b) in built {
+            let orphan = b.begin.is_none();
+            let unfinished = b.end.is_none();
+            let mut instants: Vec<(u64, String)> =
+                b.instants.into_iter().map(|(t, n)| (align(t), n)).collect();
+            instants.sort_by_key(|i| i.0);
+            spans.push(AssembledSpan {
+                source: dumps[di].source.clone(),
+                span,
+                name: b.name.unwrap_or_else(|| "?".to_string()),
+                start_unix_ns: align(b.begin.unwrap_or(b.first_seen)),
+                end_unix_ns: b.end.map(align),
+                instants,
+                depth: 0,
+                orphan,
+                unfinished,
+                skewed: !inside,
+            });
+        }
+    }
+
+    // Sort outermost-first, then nest by time containment: a span's
+    // depth is how many earlier (longer, enclosing) spans contain it.
+    // O(n²), fine for ring-bounded inputs.
+    spans.sort_by(|a, b| {
+        a.start_unix_ns
+            .cmp(&b.start_unix_ns)
+            .then_with(|| b.effective_end().cmp(&a.effective_end()))
+    });
+    for i in 0..spans.len() {
+        let depth = spans[..i]
+            .iter()
+            .filter(|p| {
+                p.start_unix_ns <= spans[i].start_unix_ns
+                    && p.effective_end() >= spans[i].effective_end()
+            })
+            .count();
+        spans[i].depth = depth;
+    }
+
+    Waterfall { trace, spans, anchor_source }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::WireEvent;
+
+    fn ev(trace: u64, span: u64, kind: EventKind, name: &str, t: u64, ticket: u64) -> WireEvent {
+        WireEvent { ticket, t_unix_ns: t, trace, span, kind: kind.as_u64(), name: name.to_string() }
+    }
+
+    fn dump(source: &str, events: Vec<WireEvent>) -> RecorderDump {
+        RecorderDump {
+            source: source.to_string(),
+            anchor_unix_ns: 1_000,
+            recorded: events.len() as u64,
+            dropped: 0,
+            events,
+        }
+    }
+
+    #[test]
+    fn nests_client_service_and_shard_spans_under_one_trace() {
+        let t = 7;
+        let client = dump(
+            "client",
+            vec![
+                ev(t, 1, EventKind::SpanBegin, "tune", 1_000, 0),
+                ev(t, 1, EventKind::SpanEnd, "tune", 9_000, 3),
+            ],
+        );
+        let shard = dump(
+            "127.0.0.1:7000",
+            vec![
+                ev(t, 2, EventKind::SpanBegin, "rpc_tune", 2_000, 0),
+                ev(t, 3, EventKind::SpanBegin, "score_batch", 3_000, 1),
+                ev(t, 3, EventKind::Instant, "cache_miss", 4_000, 2),
+                ev(t, 3, EventKind::SpanEnd, "score_batch", 5_000, 3),
+                ev(t, 2, EventKind::SpanEnd, "rpc_tune", 8_000, 4),
+            ],
+        );
+        let wf = assemble(TraceId::from_wire(t), &[client, shard]);
+        assert_eq!(wf.spans.len(), 3);
+        assert_eq!(wf.anchor_source.as_deref(), Some("client"));
+        assert_eq!(wf.sources(), ["client", "127.0.0.1:7000"]);
+        let names: Vec<_> = wf.spans.iter().map(|s| (s.name.as_str(), s.depth)).collect();
+        assert_eq!(names, [("tune", 0), ("rpc_tune", 1), ("score_batch", 2)]);
+        assert!(wf.spans.iter().all(|s| !s.orphan && !s.unfinished && !s.skewed));
+        assert_eq!(wf.window_ns(), 8_000);
+        let text = wf.render();
+        assert!(text.contains("tune [client]"), "{text}");
+        assert!(text.contains("cache_miss"), "{text}");
+    }
+
+    #[test]
+    fn orphaned_span_from_ring_overwrite_is_kept_and_flagged() {
+        // The ring overwrote the begin: only the instant and end survive.
+        let t = 9;
+        let d = dump(
+            "shard",
+            vec![
+                ev(t, 5, EventKind::Instant, "cache_hit", 2_500, 10),
+                ev(t, 5, EventKind::SpanEnd, "score_batch", 3_000, 11),
+            ],
+        );
+        let wf = assemble(TraceId::from_wire(t), &[d]);
+        assert_eq!(wf.spans.len(), 1);
+        let s = &wf.spans[0];
+        assert!(s.orphan);
+        assert!(!s.unfinished);
+        assert_eq!(s.name, "score_batch");
+        assert_eq!(s.start_unix_ns, 2_500, "start estimated from earliest evidence");
+        assert!(wf.render().contains("orphan"), "{}", wf.render());
+    }
+
+    #[test]
+    fn unfinished_span_missing_its_end_is_flagged() {
+        let t = 11;
+        let d = dump("shard", vec![ev(t, 6, EventKind::SpanBegin, "rpc_tune", 1_000, 0)]);
+        let wf = assemble(TraceId::from_wire(t), &[d]);
+        assert_eq!(wf.spans.len(), 1);
+        assert!(wf.spans[0].unfinished);
+        assert_eq!(wf.spans[0].end_unix_ns, None);
+    }
+
+    #[test]
+    fn duplicate_span_ids_from_different_shards_stay_distinct() {
+        let t = 13;
+        let a = dump(
+            "shard-a",
+            vec![
+                ev(t, 42, EventKind::SpanBegin, "score_batch", 1_000, 0),
+                ev(t, 42, EventKind::SpanEnd, "score_batch", 2_000, 1),
+            ],
+        );
+        let b = dump(
+            "shard-b",
+            vec![
+                ev(t, 42, EventKind::SpanBegin, "score_batch", 1_200, 0),
+                ev(t, 42, EventKind::SpanEnd, "score_batch", 1_800, 1),
+            ],
+        );
+        let wf = assemble(TraceId::from_wire(t), &[a, b]);
+        assert_eq!(wf.spans.len(), 2, "same span id from two sources must not merge");
+        assert_eq!(wf.spans[0].span, 42);
+        assert_eq!(wf.spans[1].span, 42);
+        assert_ne!(wf.spans[0].source, wf.spans[1].source);
+    }
+
+    #[test]
+    fn zero_event_traces_render_an_empty_waterfall() {
+        let d = dump("shard", vec![ev(99, 1, EventKind::SpanBegin, "tune", 1_000, 0)]);
+        let wf = assemble(TraceId::from_wire(1), &[d]);
+        assert!(wf.spans.is_empty());
+        assert_eq!(wf.anchor_source, None);
+        assert_eq!(wf.window_ns(), 0);
+        assert!(wf.render().contains("no events"), "{}", wf.render());
+        // Entirely empty input, too.
+        let wf = assemble(TraceId::from_wire(1), &[]);
+        assert!(wf.spans.is_empty());
+    }
+
+    #[test]
+    fn skewed_shard_clock_is_aligned_into_the_anchor_window() {
+        let t = 17;
+        let client = dump(
+            "client",
+            vec![
+                ev(t, 1, EventKind::SpanBegin, "tune", 1_000_000, 0),
+                ev(t, 1, EventKind::SpanEnd, "tune", 1_010_000, 1),
+            ],
+        );
+        // Shard clock is ~5 s ahead: raw timestamps land far outside the
+        // client window.
+        let shard = dump(
+            "shard",
+            vec![
+                ev(t, 2, EventKind::SpanBegin, "rpc_tune", 5_001_000_000, 0),
+                ev(t, 2, EventKind::SpanEnd, "rpc_tune", 5_001_004_000, 1),
+            ],
+        );
+        let wf = assemble(TraceId::from_wire(t), &[client, shard]);
+        let rpc = wf.spans.iter().find(|s| s.name == "rpc_tune").expect("rpc span");
+        assert!(rpc.skewed);
+        assert!(
+            rpc.start_unix_ns >= 1_000_000 && rpc.effective_end() <= 1_010_000,
+            "aligned into the anchor window, got [{}, {}]",
+            rpc.start_unix_ns,
+            rpc.effective_end(),
+        );
+        let tune = wf.spans.iter().find(|s| s.name == "tune").expect("client span");
+        assert!(!tune.skewed);
+        assert_eq!(tune.depth, 0);
+        assert_eq!(rpc.depth, 1);
+    }
+}

@@ -335,8 +335,37 @@ fn escape_help(s: &str) -> String {
     s.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
-fn escape_label(s: &str) -> String {
+/// Escapes a label value per the Prometheus text format: backslash,
+/// double-quote and newline become `\\`, `\"` and `\n`. [`PromWriter`]
+/// applies this to every label automatically; it is public so external
+/// renderers (and [`unescape_label`]) can round-trip values.
+pub fn escape_label(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Inverse of [`escape_label`]. Unknown escape sequences are kept
+/// verbatim (backslash included) rather than dropped, so a value that
+/// was never escaped survives a spurious unescape.
+pub fn unescape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -413,6 +442,38 @@ mod tests {
         assert!(page.contains("sorl_lat_seconds_count 3"), "{page}");
         // Approximate sum: 2*1us + 1*8us = 10 us.
         assert!(page.contains("sorl_lat_seconds_sum 0.00001"), "{page}");
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let nasty = [
+            "plain",
+            "back\\slash",
+            "quo\"te",
+            "new\nline",
+            "\\\"\n",
+            "trailing\\",
+            "mix \\n literal and \n real",
+            "",
+        ];
+        for v in nasty {
+            let escaped = escape_label(v);
+            assert!(!escaped.contains('\n'), "escaped value leaks a raw newline: {escaped:?}");
+            assert_eq!(unescape_label(&escaped), v, "round trip failed for {v:?}");
+        }
+        // A malformed label value must stay on one sample line.
+        let mut w = PromWriter::new();
+        w.gauge_per("sorl_x", "X.", &[(&[("shard", "evil\"} 1\nsorl_forged 2")], 1.0)]);
+        let page = w.into_string();
+        assert!(!page.contains("sorl_forged 2\n"), "label injection forged a sample:\n{page}");
+        assert_eq!(page.lines().count(), 3, "{page}");
+    }
+
+    #[test]
+    fn unknown_escapes_survive_unescape() {
+        assert_eq!(unescape_label("a\\tb"), "a\\tb");
+        assert_eq!(unescape_label("end\\"), "end\\");
+        assert_eq!(unescape_label("\\n\\\"\\\\"), "\n\"\\");
     }
 
     #[test]

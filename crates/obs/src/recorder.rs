@@ -23,7 +23,9 @@
 //! halves came from the same store pair, and the referent is `'static`.
 
 use std::sync::atomic::{fence, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize};
 
 use crate::trace::{SpanId, TraceId};
 
@@ -39,7 +41,8 @@ pub enum EventKind {
 }
 
 impl EventKind {
-    fn as_u64(self) -> u64 {
+    /// Stable wire discriminant (0 begin, 1 end, 2 instant).
+    pub fn as_u64(self) -> u64 {
         match self {
             EventKind::SpanBegin => 0,
             EventKind::SpanEnd => 1,
@@ -47,7 +50,8 @@ impl EventKind {
         }
     }
 
-    fn from_u64(raw: u64) -> Option<Self> {
+    /// Inverse of [`as_u64`](Self::as_u64); `None` for unknown values.
+    pub fn from_u64(raw: u64) -> Option<Self> {
         match raw {
             0 => Some(EventKind::SpanBegin),
             1 => Some(EventKind::SpanEnd),
@@ -72,6 +76,66 @@ pub struct Event {
     pub kind: EventKind,
     /// Static name of the span or annotation.
     pub name: &'static str,
+}
+
+/// A serializable [`Event`] with its timestamp re-anchored to wall-clock
+/// time, suitable for crossing the wire. `trace`/`span`/`kind` are raw
+/// `u64` values (the vendored serde derive handles plain structs only);
+/// use [`TraceId::from_wire`], [`SpanId::from_u64`] and
+/// [`EventKind::from_u64`] to rehydrate.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireEvent {
+    /// Global claim order within the source recorder.
+    pub ticket: u64,
+    /// Nanoseconds since the unix epoch, per the *source* process's
+    /// wall clock (anchor + monotonic offset; skew across processes is
+    /// the assembler's problem).
+    pub t_unix_ns: u64,
+    /// Raw trace id (never 0 for a recorded event).
+    pub trace: u64,
+    /// Raw span id.
+    pub span: u64,
+    /// [`EventKind`] discriminant.
+    pub kind: u64,
+    /// Span or annotation name (owned: `&'static` does not cross a wire).
+    pub name: String,
+}
+
+impl WireEvent {
+    /// Converts a ring [`Event`] using the recorder's wall anchor.
+    fn from_event(e: &Event, anchor_unix_ns: u64) -> Self {
+        WireEvent {
+            ticket: e.ticket,
+            t_unix_ns: anchor_unix_ns.saturating_add(e.t_ns),
+            trace: e.trace.as_u64(),
+            span: e.span.as_u64(),
+            kind: e.kind.as_u64(),
+            name: e.name.to_string(),
+        }
+    }
+
+    /// The event kind, if the discriminant is known.
+    pub fn kind(&self) -> Option<EventKind> {
+        EventKind::from_u64(self.kind)
+    }
+}
+
+/// A serializable point-in-time export of one recorder: what
+/// `TraceDumpOk` carries and what [`crate::assemble()`] consumes.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RecorderDump {
+    /// Which process/recorder produced this (e.g. a listen address or
+    /// `"client"`). Span identity during assembly is `(source, span)`,
+    /// so two shards reusing a span id never merge.
+    pub source: String,
+    /// The recorder's wall anchor, ns since the unix epoch.
+    pub anchor_unix_ns: u64,
+    /// Total events ever claimed by the source recorder.
+    pub recorded: u64,
+    /// Events lost to claim races at the source.
+    pub dropped: u64,
+    /// Stable ring contents, oldest first, wall-clock re-anchored.
+    pub events: Vec<WireEvent>,
 }
 
 struct Slot {
@@ -105,6 +169,10 @@ pub struct FlightRecorder {
     head: AtomicU64,
     dropped: AtomicU64,
     epoch: Instant,
+    /// Wall-clock reading taken at the same moment as `epoch`, so ring
+    /// timestamps (monotonic ns since `epoch`) can be re-anchored to
+    /// absolute time when a snapshot leaves the process.
+    wall_anchor: SystemTime,
 }
 
 impl FlightRecorder {
@@ -117,6 +185,7 @@ impl FlightRecorder {
             head: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             epoch: Instant::now(),
+            wall_anchor: SystemTime::now(),
         }
     }
 
@@ -229,6 +298,35 @@ impl FlightRecorder {
         out.sort_unstable_by_key(|e| e.ticket);
         out
     }
+
+    /// Wall-clock reading taken when the recorder was created, as ns
+    /// since the unix epoch (0 if the clock predates 1970).
+    pub fn wall_anchor_unix_ns(&self) -> u64 {
+        self.wall_anchor
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0)
+    }
+
+    /// Exports a serializable snapshot, optionally filtered to one
+    /// trace. `source` names this process for the assembler (listen
+    /// address, `"client"`, ...).
+    pub fn dump(&self, source: &str, filter: Option<TraceId>) -> RecorderDump {
+        let anchor = self.wall_anchor_unix_ns();
+        let events = self
+            .snapshot()
+            .iter()
+            .filter(|e| filter.is_none_or(|t| e.trace == t))
+            .map(|e| WireEvent::from_event(e, anchor))
+            .collect();
+        RecorderDump {
+            source: source.to_string(),
+            anchor_unix_ns: anchor,
+            recorded: self.recorded(),
+            dropped: self.dropped(),
+            events,
+        }
+    }
 }
 
 impl std::fmt::Debug for FlightRecorder {
@@ -315,6 +413,33 @@ mod tests {
         assert_eq!(events.iter().map(|e| e.ticket).collect::<Vec<_>>(), [6, 7, 8, 9]);
         assert_eq!(rec.recorded(), 10);
         assert_eq!(rec.depth(), 4);
+    }
+
+    #[test]
+    fn dump_is_filterable_and_roundtrips_through_json() {
+        let rec = FlightRecorder::new(16);
+        let keep = TraceId::fresh();
+        let noise = TraceId::fresh();
+        drop(rec.span(noise, "noise"));
+        {
+            let span = rec.span(keep, "tune");
+            span.event("cache_miss");
+        }
+        let all = rec.dump("shard-a", None);
+        assert_eq!(all.source, "shard-a");
+        assert_eq!(all.events.len(), 5);
+        assert_eq!(all.recorded, 5);
+        let filtered = rec.dump("shard-a", Some(keep));
+        assert_eq!(filtered.events.len(), 3);
+        assert!(filtered.events.iter().all(|e| e.trace == keep.as_u64()));
+        assert!(filtered.events.iter().all(|e| e.t_unix_ns >= rec.wall_anchor_unix_ns()));
+        assert_eq!(filtered.events[0].kind(), Some(EventKind::SpanBegin));
+        assert_eq!(filtered.events[2].kind(), Some(EventKind::SpanEnd));
+
+        let json = serde_json::to_string(&filtered).expect("dump serializes");
+        let back: RecorderDump = serde_json::from_str(&json).expect("dump deserializes");
+        assert_eq!(back.events, filtered.events);
+        assert_eq!(back.anchor_unix_ns, filtered.anchor_unix_ns);
     }
 
     #[test]

@@ -1,0 +1,390 @@
+//! Multi-window SLO burn-rate tracking.
+//!
+//! An SLO here is "at least `target` of requests finish OK and under
+//! `latency_threshold`". The tracker keeps per-second good/bad buckets
+//! over a rolling window and reports the **burn rate** — the observed
+//! bad fraction divided by the budgeted bad fraction `1 - target` — for
+//! two windows at once (the classic multi-window multi-burn-rate alert
+//! from the SRE workbook): a *fast* window that reacts to sudden storms
+//! and a *slow* window that filters out blips. The alert fires only
+//! when **both** windows exceed their thresholds, which is what makes
+//! the scheme simultaneously fast and low-noise.
+//!
+//! Burn rates are exported as `sorl_slo_*` gauges, and every
+//! firing/resolving transition drops an instant event into the
+//! process's flight recorder so a later `TraceDump` shows *when* the
+//! budget started burning next to the requests that burned it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::metrics::PromWriter;
+use crate::recorder::FlightRecorder;
+use crate::trace::{SpanId, TraceId};
+
+/// What the service promises: availability + latency, with the two
+/// alerting windows and their burn-rate thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct SloConfig {
+    /// Fraction of requests that must be good (e.g. `0.999`).
+    pub target: f64,
+    /// A request slower than this is "bad" even if it succeeded.
+    pub latency_threshold: Duration,
+    /// Fast alerting window (storm detection).
+    pub fast_window: Duration,
+    /// Slow alerting window (blip suppression); also bounds memory —
+    /// one bucket per second of this window.
+    pub slow_window: Duration,
+    /// Fast-window burn rate at/above which the alert may fire.
+    pub fast_burn_alert: f64,
+    /// Slow-window burn rate at/above which the alert may fire.
+    pub slow_burn_alert: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            target: 0.999,
+            latency_threshold: Duration::from_millis(100),
+            fast_window: Duration::from_secs(60),
+            slow_window: Duration::from_secs(600),
+            // SRE-workbook-ish: the fast window must burn an order of
+            // magnitude over budget, the slow window several-fold.
+            fast_burn_alert: 14.0,
+            slow_burn_alert: 6.0,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct Bucket {
+    /// Which absolute second this bucket currently holds (u64::MAX =
+    /// never written, distinguishable from second 0).
+    stamp: u64,
+    good: u64,
+    bad: u64,
+}
+
+struct Inner {
+    buckets: Vec<Bucket>,
+    firing: bool,
+    last_eval_sec: u64,
+}
+
+/// Point-in-time burn-rate reading (what the gauges render).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurnReading {
+    /// Burn rate over the fast window.
+    pub fast: f64,
+    /// Burn rate over the slow window.
+    pub slow: f64,
+    /// Fraction of the slow window's error budget still unspent, in
+    /// `[0, 1]`.
+    pub budget_remaining: f64,
+    /// Whether the multi-window alert is currently firing.
+    pub firing: bool,
+}
+
+/// Rolling multi-window SLO burn-rate tracker. Thread-safe; `record` is
+/// one short mutex hold (the windows are per-second counters, not
+/// per-request samples).
+pub struct SloTracker {
+    config: SloConfig,
+    epoch: Instant,
+    inner: Mutex<Inner>,
+    good_total: AtomicU64,
+    bad_total: AtomicU64,
+    recorder: Option<Arc<FlightRecorder>>,
+}
+
+impl SloTracker {
+    /// Creates a tracker; alert transitions go nowhere.
+    pub fn new(config: SloConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// Creates a tracker that records alert transitions as instant
+    /// events (`slo_burn_firing` / `slo_burn_resolved`) into `recorder`.
+    pub fn with_recorder(config: SloConfig, recorder: Arc<FlightRecorder>) -> Self {
+        Self::build(config, Some(recorder))
+    }
+
+    fn build(config: SloConfig, recorder: Option<Arc<FlightRecorder>>) -> Self {
+        let secs = config.slow_window.as_secs().max(config.fast_window.as_secs()).max(1);
+        SloTracker {
+            config,
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner {
+                buckets: vec![Bucket { stamp: u64::MAX, good: 0, bad: 0 }; secs as usize],
+                firing: false,
+                last_eval_sec: 0,
+            }),
+            good_total: AtomicU64::new(0),
+            bad_total: AtomicU64::new(0),
+            recorder,
+        }
+    }
+
+    /// The configured objective.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Records one finished request. A request is *bad* if it failed
+    /// (`ok == false`) or took longer than the latency threshold.
+    pub fn record(&self, latency: Duration, ok: bool) {
+        self.record_at(self.epoch.elapsed().as_secs(), latency, ok);
+    }
+
+    /// Records a request that never ran (shed, queue-closed): always bad.
+    pub fn record_rejected(&self) {
+        self.record_at(self.epoch.elapsed().as_secs(), Duration::ZERO, false);
+    }
+
+    /// Clock-explicit core, also the deterministic test hook: `sec` is
+    /// seconds since the tracker's epoch and must not go backwards.
+    #[doc(hidden)]
+    pub fn record_at(&self, sec: u64, latency: Duration, ok: bool) {
+        let bad = !ok || latency > self.config.latency_threshold;
+        if bad {
+            self.bad_total.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.good_total.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let len = inner.buckets.len() as u64;
+        let b = &mut inner.buckets[(sec % len) as usize];
+        if b.stamp != sec {
+            *b = Bucket { stamp: sec, good: 0, bad: 0 };
+        }
+        if bad {
+            b.bad += 1;
+        } else {
+            b.good += 1;
+        }
+        // Re-evaluate the alert at most once per second: windows only
+        // change shape on second boundaries.
+        if inner.last_eval_sec != sec {
+            inner.last_eval_sec = sec;
+            self.evaluate(&mut inner, sec);
+        }
+    }
+
+    /// Current burn rates; also re-evaluates the alert so a quiet
+    /// service still resolves on scrape.
+    pub fn reading(&self) -> BurnReading {
+        let sec = self.epoch.elapsed().as_secs();
+        self.reading_at(sec)
+    }
+
+    #[doc(hidden)]
+    pub fn reading_at(&self, sec: u64) -> BurnReading {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        self.evaluate(&mut inner, sec)
+    }
+
+    /// Lifetime good/bad counts.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.good_total.load(Ordering::Relaxed), self.bad_total.load(Ordering::Relaxed))
+    }
+
+    fn window_fraction(&self, inner: &Inner, sec: u64, window: Duration) -> f64 {
+        let secs = window.as_secs().max(1);
+        let (mut good, mut bad) = (0u64, 0u64);
+        for b in &inner.buckets {
+            if b.stamp <= sec && b.stamp + secs > sec {
+                good += b.good;
+                bad += b.bad;
+            }
+        }
+        if good + bad == 0 {
+            0.0
+        } else {
+            bad as f64 / (good + bad) as f64
+        }
+    }
+
+    fn evaluate(&self, inner: &mut Inner, sec: u64) -> BurnReading {
+        let budget = (1.0 - self.config.target).max(1e-9);
+        let slow_frac = self.window_fraction(inner, sec, self.config.slow_window);
+        let fast = self.window_fraction(inner, sec, self.config.fast_window) / budget;
+        let slow = slow_frac / budget;
+        let should_fire =
+            fast >= self.config.fast_burn_alert && slow >= self.config.slow_burn_alert;
+        if should_fire != inner.firing {
+            inner.firing = should_fire;
+            if let Some(rec) = &self.recorder {
+                let name = if should_fire { "slo_burn_firing" } else { "slo_burn_resolved" };
+                rec.event(TraceId::fresh(), SpanId::fresh(), name);
+            }
+        }
+        BurnReading {
+            fast,
+            slow,
+            budget_remaining: (1.0 - slow).clamp(0.0, 1.0),
+            firing: inner.firing,
+        }
+    }
+
+    /// Renders the `sorl_slo_*` families onto a metrics page.
+    pub fn collect_prometheus(&self, w: &mut PromWriter) {
+        let r = self.reading();
+        let (good, bad) = self.totals();
+        w.gauge(
+            "sorl_slo_target",
+            "Configured good-request SLO target fraction.",
+            self.config.target,
+        );
+        w.gauge(
+            "sorl_slo_latency_threshold_seconds",
+            "Latency above which a successful request still counts against the SLO.",
+            self.config.latency_threshold.as_secs_f64(),
+        );
+        w.gauge(
+            "sorl_slo_fast_burn_rate",
+            "Error-budget burn rate over the fast alerting window (1 = exactly on budget).",
+            r.fast,
+        );
+        w.gauge(
+            "sorl_slo_slow_burn_rate",
+            "Error-budget burn rate over the slow alerting window.",
+            r.slow,
+        );
+        w.gauge(
+            "sorl_slo_error_budget_remaining",
+            "Fraction of the slow-window error budget still unspent.",
+            r.budget_remaining,
+        );
+        w.gauge(
+            "sorl_slo_burn_alert_firing",
+            "1 while both burn-rate windows exceed their alert thresholds.",
+            if r.firing { 1.0 } else { 0.0 },
+        );
+        w.counter("sorl_slo_good_total", "Requests that met the SLO.", good);
+        w.counter(
+            "sorl_slo_bad_total",
+            "Requests that missed the SLO (error, over-threshold, or shed).",
+            bad,
+        );
+    }
+}
+
+impl std::fmt::Debug for SloTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloTracker")
+            .field("config", &self.config)
+            .field("totals", &self.totals())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            target: 0.99,
+            latency_threshold: Duration::from_millis(10),
+            fast_window: Duration::from_secs(5),
+            slow_window: Duration::from_secs(60),
+            fast_burn_alert: 10.0,
+            slow_burn_alert: 2.0,
+        }
+    }
+
+    #[test]
+    fn healthy_traffic_burns_nothing() {
+        let t = SloTracker::new(cfg());
+        for sec in 0..10 {
+            for _ in 0..50 {
+                t.record_at(sec, Duration::from_millis(1), true);
+            }
+        }
+        let r = t.reading_at(9);
+        assert_eq!(r.fast, 0.0);
+        assert_eq!(r.slow, 0.0);
+        assert_eq!(r.budget_remaining, 1.0);
+        assert!(!r.firing);
+        assert_eq!(t.totals(), (500, 0));
+    }
+
+    #[test]
+    fn slow_but_successful_requests_count_against_the_budget() {
+        let t = SloTracker::new(cfg());
+        t.record_at(0, Duration::from_millis(50), true); // over threshold
+        t.record_at(0, Duration::from_millis(1), false); // error
+        t.record_at(0, Duration::from_millis(1), true);
+        let r = t.reading_at(0);
+        // 2/3 bad over a 1% budget.
+        assert!((r.slow - (2.0 / 3.0) / 0.01).abs() < 1e-9, "slow burn {}", r.slow);
+        assert_eq!(t.totals(), (1, 2));
+    }
+
+    #[test]
+    fn alert_fires_only_when_both_windows_burn_and_then_resolves() {
+        let rec = Arc::new(FlightRecorder::new(16));
+        let t = SloTracker::with_recorder(cfg(), Arc::clone(&rec));
+        // A storm: all-bad traffic for 6 seconds.
+        for sec in 0..6 {
+            for _ in 0..20 {
+                t.record_at(sec, Duration::from_millis(1), false);
+            }
+        }
+        let r = t.reading_at(5);
+        assert!(r.firing, "both windows 100% bad: {r:?}");
+        assert!(r.fast >= 10.0 && r.slow >= 2.0);
+        assert_eq!(r.budget_remaining, 0.0);
+
+        // Quiet good traffic: the fast window clears within seconds and
+        // the alert must drop even though the slow window still burns.
+        for sec in 20..30 {
+            for _ in 0..100 {
+                t.record_at(sec, Duration::from_millis(1), true);
+            }
+        }
+        let r = t.reading_at(29);
+        assert_eq!(r.fast, 0.0, "storm left the fast window");
+        assert!(r.slow > 0.0, "storm still inside the slow window");
+        assert!(!r.firing);
+
+        let names: Vec<&str> = rec.snapshot().iter().map(|e| e.name).collect();
+        assert!(names.contains(&"slo_burn_firing"), "{names:?}");
+        assert!(names.contains(&"slo_burn_resolved"), "{names:?}");
+    }
+
+    #[test]
+    fn stale_buckets_expire_out_of_the_windows() {
+        let t = SloTracker::new(cfg());
+        t.record_at(0, Duration::from_millis(1), false);
+        // 2 minutes later the 60 s slow window no longer sees it.
+        let r = t.reading_at(120);
+        assert_eq!(r.slow, 0.0);
+        assert_eq!(r.budget_remaining, 1.0);
+    }
+
+    #[test]
+    fn prometheus_families_render() {
+        let t = SloTracker::new(cfg());
+        t.record(Duration::from_millis(1), true);
+        t.record_rejected();
+        let mut w = PromWriter::new();
+        t.collect_prometheus(&mut w);
+        let page = w.into_string();
+        for family in [
+            "sorl_slo_target",
+            "sorl_slo_latency_threshold_seconds",
+            "sorl_slo_fast_burn_rate",
+            "sorl_slo_slow_burn_rate",
+            "sorl_slo_error_budget_remaining",
+            "sorl_slo_burn_alert_firing",
+            "sorl_slo_good_total",
+            "sorl_slo_bad_total",
+        ] {
+            assert!(page.contains(&format!("# TYPE {family}")), "missing {family}:\n{page}");
+        }
+        assert!(page.contains("sorl_slo_good_total 1"), "{page}");
+        assert!(page.contains("sorl_slo_bad_total 1"), "{page}");
+    }
+}

@@ -66,15 +66,28 @@
 //! The scoring pool is a [`stencil_exec::SharedPool`] handle, so one set
 //! of worker threads can serve the tuning service *and* the execution
 //! engine of the same process ([`TuneService::spawn_with_pool`]).
+//!
+//! Per-request observability rides on top of the counters:
+//!
+//! * **Slow-request exemplars** ([`ExemplarStore`]) — the full span
+//!   chain of the slowest recent requests (over
+//!   [`ServeConfig::exemplar_threshold`] or the rolling p99), exported
+//!   as `sorl_exemplar_*` metrics and shipped in wire trace dumps.
+//! * **SLO burn rates** ([`ServeConfig::slo`] /
+//!   [`sorl_obs::SloTracker`]) — multi-window error-budget burn over a
+//!   latency+error SLO, exported as `sorl_slo_*` gauges; sheds count as
+//!   budget spent.
 
 pub mod batching;
 pub mod cache;
+pub mod exemplar;
 pub mod service;
 pub mod snapshot;
 pub mod stats;
 pub mod ticket;
 
 pub use cache::DecisionCache;
+pub use exemplar::{Exemplar, ExemplarStore};
 pub use service::{
     KeyFilter, ServeConfig, ServeError, ShedReason, TuneClient, TuneRequest, TuneService,
 };

@@ -39,12 +39,13 @@ use serde::{Deserialize, Serialize};
 use sorl::session::TuningSession;
 use sorl::tuner::TopK;
 use sorl::StencilRanker;
-use sorl_obs::{EventKind, FlightRecorder, SpanId, TraceId};
+use sorl_obs::{EventKind, FlightRecorder, SloConfig, SloTracker, SpanId, TraceId};
 use stencil_exec::SharedPool;
 use stencil_model::{InstanceKey, StencilInstance};
 
 use crate::batching::AdaptiveGather;
 use crate::cache::DecisionCache;
+use crate::exemplar::ExemplarStore;
 use crate::snapshot::{CacheSnapshot, SnapshotError};
 use crate::stats::{Counters, RecentLatencies, ServeStats};
 use crate::ticket::{self, TicketCompleter, TuneTicket};
@@ -173,6 +174,17 @@ pub struct ServeConfig {
     /// never sheds, and once the backlog drains admission resumes.
     /// `Duration::ZERO` disables latency shedding.
     pub shed_p99: Duration,
+    /// Slow-request exemplar slots: the service keeps the full span
+    /// chain of its `exemplar_capacity` slowest recent requests
+    /// (`0` disables capture). See [`crate::ExemplarStore`].
+    pub exemplar_capacity: usize,
+    /// Absolute latency at/above which a request is exemplar-worthy.
+    /// `Duration::ZERO` switches to the rolling-p99 trigger: any request
+    /// slower than the p99 of recent request latencies is captured.
+    pub exemplar_threshold: Duration,
+    /// The latency+error SLO tracked by the service's burn-rate monitor
+    /// (exported as `sorl_slo_*` gauges; see [`sorl_obs::SloTracker`]).
+    pub slo: SloConfig,
 }
 
 impl Default for ServeConfig {
@@ -186,6 +198,9 @@ impl Default for ServeConfig {
             cache_k_floor: 8,
             max_queue: 4096,
             shed_p99: Duration::ZERO,
+            exemplar_capacity: 8,
+            exemplar_threshold: Duration::ZERO,
+            slo: SloConfig::default(),
         }
     }
 }
@@ -242,10 +257,25 @@ pub type KeyFilter = Box<dyn Fn(u64) -> bool + Send>;
 const FLIGHT_RECORDER_EVENTS: usize = 4096;
 
 enum Msg {
-    Tune { req: TuneRequest, reply: TicketCompleter, trace: TraceId, span: SpanId },
-    Export { filter: Option<KeyFilter>, reply: mpsc::Sender<CacheSnapshot> },
-    Extract { filter: KeyFilter, reply: mpsc::Sender<CacheSnapshot> },
-    Import { snapshot: Box<CacheSnapshot>, reply: mpsc::Sender<Result<usize, ServeError>> },
+    Tune {
+        req: TuneRequest,
+        reply: TicketCompleter,
+        trace: TraceId,
+        span: SpanId,
+        submitted: Instant,
+    },
+    Export {
+        filter: Option<KeyFilter>,
+        reply: mpsc::Sender<CacheSnapshot>,
+    },
+    Extract {
+        filter: KeyFilter,
+        reply: mpsc::Sender<CacheSnapshot>,
+    },
+    Import {
+        snapshot: Box<CacheSnapshot>,
+        reply: mpsc::Sender<Result<usize, ServeError>>,
+    },
     Shutdown,
 }
 
@@ -278,6 +308,8 @@ pub struct TuneService {
     counters: Arc<Counters>,
     admission: Arc<Admission>,
     recorder: Arc<FlightRecorder>,
+    exemplars: Arc<ExemplarStore>,
+    slo: Arc<SloTracker>,
     fingerprint: u64,
 }
 
@@ -301,8 +333,16 @@ impl TuneService {
         let counters = Arc::new(Counters::default());
         let admission = Arc::new(Admission::new(&config));
         let recorder = Arc::new(FlightRecorder::new(FLIGHT_RECORDER_EVENTS));
+        let exemplars =
+            Arc::new(ExemplarStore::new(config.exemplar_capacity, config.exemplar_threshold));
+        // SLO threshold crossings land in the same recorder as the
+        // request spans, so a trace dump shows when the budget started
+        // burning next to the requests that burned it.
+        let slo = Arc::new(SloTracker::with_recorder(config.slo, Arc::clone(&recorder)));
         let worker_counters = Arc::clone(&counters);
         let worker_recorder = Arc::clone(&recorder);
+        let worker_exemplars = Arc::clone(&exemplars);
+        let worker_slo = Arc::clone(&slo);
         let fingerprint = ranker.fingerprint();
         let session = match pool {
             Some(pool) => TuningSession::with_shared_pool(ranker, pool),
@@ -311,11 +351,29 @@ impl TuneService {
         let worker = std::thread::Builder::new()
             .name("sorl-serve-worker".into())
             .spawn(move || {
-                worker_loop(rx, session, config, &worker_counters, &worker_recorder, fingerprint)
+                worker_loop(
+                    rx,
+                    session,
+                    config,
+                    &worker_counters,
+                    &worker_recorder,
+                    &worker_exemplars,
+                    &worker_slo,
+                    fingerprint,
+                )
             })
             // sorl-lint: allow(panic, "spawn fails only on thread-resource exhaustion at service construction; there is no service to degrade gracefully yet")
             .expect("spawn sorl-serve worker");
-        TuneService { tx, worker: Some(worker), counters, admission, recorder, fingerprint }
+        TuneService {
+            tx,
+            worker: Some(worker),
+            counters,
+            admission,
+            recorder,
+            exemplars,
+            slo,
+            fingerprint,
+        }
     }
 
     /// A new client handle (cheap, cloneable, usable from any thread).
@@ -325,6 +383,7 @@ impl TuneService {
             counters: Arc::clone(&self.counters),
             admission: Arc::clone(&self.admission),
             recorder: Arc::clone(&self.recorder),
+            slo: Arc::clone(&self.slo),
         }
     }
 
@@ -338,6 +397,17 @@ impl TuneService {
     /// remote client's recorder ([`FlightRecorder::snapshot`]).
     pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
         &self.recorder
+    }
+
+    /// The service's slow-request exemplar store: full span chains of
+    /// the slowest recent requests (see [`crate::ExemplarStore`]).
+    pub fn exemplars(&self) -> &Arc<ExemplarStore> {
+        &self.exemplars
+    }
+
+    /// The service's SLO burn-rate tracker (see [`sorl_obs::SloTracker`]).
+    pub fn slo(&self) -> &Arc<SloTracker> {
+        &self.slo
     }
 
     /// Fingerprint of the ranking function this service answers with
@@ -421,6 +491,7 @@ pub struct TuneClient {
     counters: Arc<Counters>,
     admission: Arc<Admission>,
     recorder: Arc<FlightRecorder>,
+    slo: Arc<SloTracker>,
 }
 
 impl TuneClient {
@@ -444,19 +515,31 @@ impl TuneClient {
         k: usize,
         trace: TraceId,
     ) -> Result<TuneTicket, ServeError> {
-        self.admission.try_admit(&self.counters)?;
+        if let Err(e) = self.admission.try_admit(&self.counters) {
+            // A shed request never ran, but the caller still experienced
+            // it: it spends error budget.
+            self.slo.record_rejected();
+            return Err(e);
+        }
         let (ticket, reply) = ticket::pair();
         // The queue-wait span opens at admission and is closed by the
         // worker at dequeue; its duration IS the queue delay.
         let span = SpanId::fresh();
         self.recorder.record(EventKind::SpanBegin, trace, span, "queue_wait");
-        let msg = Msg::Tune { req: TuneRequest::new(instance, k), reply, trace, span };
+        let msg = Msg::Tune {
+            req: TuneRequest::new(instance, k),
+            reply,
+            trace,
+            span,
+            submitted: Instant::now(),
+        };
         if self.tx.send(msg).is_err() {
             // Nothing was queued; hand the admission slot back and close
             // the span. (The completer we just dropped fails `ticket`
             // with `Closed` too, but the caller never sees that ticket.)
             self.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
             self.recorder.record(EventKind::SpanEnd, trace, span, "queue_wait");
+            self.slo.record_rejected();
             return Err(ServeError::Closed);
         }
         Ok(ticket)
@@ -476,15 +559,19 @@ impl TuneClient {
     }
 }
 
-/// One queue drain: requests, their completion slots, and their traces.
-type Batch = Vec<(TuneRequest, TicketCompleter, TraceId)>;
+/// One queue drain: requests, their completion slots, their traces, and
+/// their submission times (for end-to-end latency accounting).
+type Batch = Vec<(TuneRequest, TicketCompleter, TraceId, Instant)>;
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     rx: mpsc::Receiver<Msg>,
     mut session: TuningSession,
     config: ServeConfig,
     counters: &Counters,
     recorder: &FlightRecorder,
+    exemplars: &ExemplarStore,
+    slo: &SloTracker,
     fingerprint: u64,
 ) {
     let mut cache = DecisionCache::new(config.cache_capacity);
@@ -506,9 +593,9 @@ fn worker_loop(
         // handled inline (they never join a batch).
         let started = loop {
             match rx.recv() {
-                Ok(Msg::Tune { req, reply, trace, span }) => {
+                Ok(Msg::Tune { req, reply, trace, span, submitted }) => {
                     dequeued(trace, span);
-                    batch.push((req, reply, trace));
+                    batch.push((req, reply, trace, submitted));
                     break Instant::now();
                 }
                 Ok(Msg::Shutdown) | Err(_) => break 'serve,
@@ -525,9 +612,9 @@ fn worker_loop(
         let deadline = started + window;
         while batch.len() < max_batch {
             match rx.try_recv() {
-                Ok(Msg::Tune { req, reply, trace, span }) => {
+                Ok(Msg::Tune { req, reply, trace, span, submitted }) => {
                     dequeued(trace, span);
-                    batch.push((req, reply, trace));
+                    batch.push((req, reply, trace, submitted));
                 }
                 Ok(Msg::Shutdown) => {
                     live = false;
@@ -540,9 +627,9 @@ fn worker_loop(
                         break;
                     }
                     match rx.recv_timeout(deadline - now) {
-                        Ok(Msg::Tune { req, reply, trace, span }) => {
+                        Ok(Msg::Tune { req, reply, trace, span, submitted }) => {
                             dequeued(trace, span);
-                            batch.push((req, reply, trace));
+                            batch.push((req, reply, trace, submitted));
                         }
                         Ok(Msg::Shutdown) => {
                             live = false;
@@ -576,6 +663,8 @@ fn worker_loop(
             &config,
             counters,
             recorder,
+            exemplars,
+            slo,
             &mut recent,
             batch,
             started,
@@ -631,6 +720,8 @@ fn serve_batch(
     config: &ServeConfig,
     counters: &Counters,
     recorder: &FlightRecorder,
+    exemplars: &ExemplarStore,
+    slo: &SloTracker,
     recent: &mut RecentLatencies,
     batch: Batch,
     started: Instant,
@@ -646,7 +737,7 @@ fn serve_batch(
     // trace (a joined timeline shows which batch carried the request);
     // per-request cache hits/misses are instants inside it, each under
     // its own request's trace.
-    let batch_trace = batch.first().map(|(_, _, t)| *t).unwrap_or_else(TraceId::fresh);
+    let batch_trace = batch.first().map(|(_, _, t, _)| *t).unwrap_or_else(TraceId::fresh);
     let batch_span = recorder.span(batch_trace, "score_batch");
 
     // Pass 1: answer from the cache; group the misses by canonical key so
@@ -655,18 +746,20 @@ fn serve_batch(
     let mut answers: Vec<Option<TopK>> = batch.iter().map(|_| None).collect();
     let mut groups: Vec<Group> = Vec::new();
     let mut group_of: HashMap<InstanceKey, usize> = HashMap::new();
-    for (i, (req, _, trace)) in batch.iter().enumerate() {
+    for (i, (req, _, trace, _)) in batch.iter().enumerate() {
         let key = req.instance.key();
         if let Some((entries, candidates)) = cache.lookup(&key, req.k) {
             recorder.event(*trace, batch_span.span_id(), "cache_hit");
-            answers[i] = Some(TopK { entries, candidates, seconds: 0.0 });
+            if let Some(slot) = answers.get_mut(i) {
+                *slot = Some(TopK { entries, candidates, seconds: 0.0 });
+            }
             continue;
         }
         recorder.event(*trace, batch_span.span_id(), "cache_miss");
-        match group_of.get(&key) {
-            Some(&g) => {
-                groups[g].k = groups[g].k.max(req.k);
-                groups[g].members.push(i);
+        match group_of.get(&key).and_then(|&g| groups.get_mut(g)) {
+            Some(group) => {
+                group.k = group.k.max(req.k);
+                group.members.push(i);
             }
             None => {
                 group_of.insert(key.clone(), groups.len());
@@ -682,16 +775,23 @@ fn serve_batch(
 
     // Pass 2: one pipelined encode/score pass over the unique instances.
     if !groups.is_empty() {
-        let queries: Vec<(&StencilInstance, usize)> =
-            groups.iter().map(|g| (&batch[g.representative].0.instance, g.k)).collect();
+        // `filter_map` never actually filters: every representative is a
+        // batch index recorded by pass 1, so queries stays parallel to
+        // groups (checked below before the zip relies on it).
+        let queries: Vec<(&StencilInstance, usize)> = groups
+            .iter()
+            .filter_map(|g| batch.get(g.representative).map(|(req, ..)| (&req.instance, g.k)))
+            .collect();
+        debug_assert_eq!(queries.len(), groups.len());
         let results = session.top_k_batch(&queries);
         counters.scored_instances.fetch_add(groups.len() as u64, Ordering::Relaxed);
         for (g, top) in groups.iter().zip(results) {
             cache.insert(g.key.clone(), top.entries.clone(), top.candidates);
             for &i in &g.members {
-                let k = batch[i].0.k;
-                answers[i] = Some(TopK {
-                    entries: top.entries[..k.min(top.entries.len())].to_vec(),
+                let Some((req, ..)) = batch.get(i) else { continue };
+                let Some(slot) = answers.get_mut(i) else { continue };
+                *slot = Some(TopK {
+                    entries: top.entries.iter().take(req.k).cloned().collect(),
                     candidates: top.candidates,
                     seconds: top.seconds,
                 });
@@ -717,9 +817,18 @@ fn serve_batch(
     drop(batch_span);
 
     // Pass 3: complete the tickets (a dropped ticket is fine — the client
-    // gave up; completing it is a no-op nobody observes).
-    for ((_, reply, _), answer) in batch.into_iter().zip(answers) {
+    // gave up; completing it is a no-op nobody observes), then account
+    // each request's end-to-end latency. Accounting runs AFTER the
+    // completion because `on_ready` callbacks fire on this thread — a
+    // transport's reply span has already closed by the time the
+    // exemplar snapshot is taken, so the captured chain is complete.
+    for ((_, reply, trace, submitted), answer) in batch.into_iter().zip(answers) {
         // sorl-lint: allow(panic, "pass 1 or pass 2 filled every slot: each miss joined a group and every group was scored")
         reply.complete(Ok(answer.expect("every request answered")));
+        let latency = submitted.elapsed();
+        slo.record(latency, true);
+        if exemplars.observe(latency) {
+            exemplars.capture(trace, latency, recorder.dump("service", Some(trace)).events);
+        }
     }
 }

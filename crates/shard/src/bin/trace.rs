@@ -1,0 +1,143 @@
+//! `sorl-trace` — assemble and render one fleet trace from the command
+//! line.
+//!
+//! Sweeps the flight recorder of every listed shard over the wire
+//! (`TraceDump` → `TraceDumpOk`), merges the dumps into one cross-process
+//! waterfall, and prints it:
+//!
+//! ```sh
+//! # a specific trace (the hex id a client logged or a TuneOk echoed):
+//! sorl-trace --shard 10.0.0.1:7400 --shard 10.0.0.2:7400 --trace 0x9f3a...
+//!
+//! # or let the fleet pick: the slowest resident exemplar fleet-wide
+//! sorl-trace --shard 10.0.0.1:7400 --shard 10.0.0.2:7400 --slowest
+//! ```
+//!
+//! With `--slowest` the sweep is unfiltered: every shard also returns its
+//! resident slow-request exemplars, the slowest one fleet-wide names the
+//! trace, and its captured span chain joins the assembly as an extra dump
+//! — so the waterfall survives even when the live rings have since
+//! overwritten the request's spans. Shards that cannot be reached are
+//! reported on stderr and skipped; the waterfall is assembled from the
+//! survivors.
+
+use std::process::ExitCode;
+
+use sorl_obs::{RecorderDump, TraceId};
+use sorl_shard::{FleetTrace, ShardTransport, TcpShard};
+
+struct Options {
+    shards: Vec<String>,
+    trace: Option<u64>,
+    slowest: bool,
+}
+
+const USAGE: &str =
+    "usage: sorl-trace --shard HOST:PORT [--shard HOST:PORT ...] (--trace HEX | --slowest)";
+
+fn parse_trace_id(raw: &str) -> Result<u64, String> {
+    let hex = raw.strip_prefix("0x").unwrap_or(raw);
+    u64::from_str_radix(hex, 16).map_err(|e| format!("bad trace id {raw:?}: {e}\n{USAGE}"))
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { shards: Vec::new(), trace: None, slowest: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next().ok_or_else(|| format!("{flag} needs a {what} argument\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--shard" => opts.shards.push(value("HOST:PORT")?),
+            "--trace" => opts.trace = Some(parse_trace_id(&value("HEX")?)?),
+            "--slowest" => opts.slowest = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            // Bare addresses are shards: `sorl-trace A:1 B:2 --slowest`.
+            other if !other.starts_with('-') => opts.shards.push(other.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if opts.shards.is_empty() {
+        return Err(format!("at least one --shard is required\n{USAGE}"));
+    }
+    if opts.trace.is_some() == opts.slowest {
+        return Err(format!("exactly one of --trace / --slowest is required\n{USAGE}"));
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    // A read-only sweep, not a fleet join: connect each shard directly
+    // (no fingerprint handshake, no warm-up shipping) and gather dumps
+    // into the same `FleetTrace` a router sweep produces.
+    let mut shards: Vec<(String, TcpShard)> = Vec::new();
+    for addr in &opts.shards {
+        let shard = TcpShard::connect(addr.as_str())
+            .map_err(|e| format!("cannot connect to shard {addr}: {e}"))?;
+        shards.push((addr.clone(), shard));
+    }
+
+    // --trace sweeps filtered (each shard ships only the one trace's
+    // events); --slowest needs the unfiltered sweep to see exemplars.
+    let filter = opts.trace.map(TraceId::from_wire).filter(|_| !opts.slowest);
+    let sweep = FleetTrace {
+        trace: filter,
+        per_shard: shards.iter().map(|(addr, t)| (addr.clone(), t.trace_dump(filter))).collect(),
+    };
+    for (id, result) in &sweep.per_shard {
+        if let Err(e) = result {
+            eprintln!("sorl-trace: shard {id} unreachable: {e}");
+        }
+    }
+    if sweep.reachable() == 0 {
+        return Err("no shard answered the trace sweep".to_string());
+    }
+
+    // Exemplar events double as a dump: the request's span chain survives
+    // there even after the live ring has overwritten it.
+    let mut extra: Vec<RecorderDump> = Vec::new();
+    let trace = match opts.trace {
+        Some(raw) => TraceId::from_wire(raw),
+        None => {
+            let (shard, slowest) = sweep
+                .exemplars()
+                .into_iter()
+                .next()
+                .ok_or("no shard holds a slow-request exemplar yet")?;
+            eprintln!(
+                "sorl-trace: slowest exemplar on shard {shard}: trace {:#018x}, {:.1} ms",
+                slowest.trace,
+                slowest.latency_us as f64 / 1e3,
+            );
+            extra.push(RecorderDump {
+                source: format!("{shard}/exemplar"),
+                anchor_unix_ns: slowest.captured_unix_ns,
+                recorded: slowest.events.len() as u64,
+                dropped: 0,
+                events: slowest.events.clone(),
+            });
+            TraceId::from_wire(slowest.trace)
+        }
+    };
+
+    let waterfall = sweep.assemble(trace, &extra);
+    if waterfall.spans.is_empty() {
+        return Err(format!(
+            "no shard has events for trace {:#018x} (rings overwrite; try --slowest)",
+            trace.as_u64()
+        ));
+    }
+    print!("{}", waterfall.render());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sorl-trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

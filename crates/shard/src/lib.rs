@@ -44,6 +44,13 @@
 //!   ([`LocalShard::spawn_warm`]) — both guarded by the ranker
 //!   fingerprint, so decisions never outlive the model that computed them.
 //!
+//! Observability spans the fleet: [`ShardRouter::fleet_stats`] merges
+//! counters, and [`ShardRouter::fleet_trace`] sweeps every shard's flight
+//! recorder and slow-request exemplars over the wire
+//! ([`wire::TraceQuery`] → [`wire::TraceDumpReply`]), assembling one
+//! cross-process waterfall per trace ([`FleetTrace::assemble`]). The
+//! `sorl-trace` binary renders it from the command line.
+//!
 //! See `examples/shard_demo.rs` for the full lifecycle: route over three
 //! shards, kill one, restart it warm, and watch repeat queries stay cache
 //! hits.
@@ -55,8 +62,9 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
-pub use router::{FleetStats, ShardError, ShardRouter, WarmupReport};
+pub use router::{FleetStats, FleetTrace, ShardError, ShardRouter, WarmupReport};
 pub use routing::{rendezvous_owner, rendezvous_weight, shard_seed, CacheSlice, Topology};
 pub use synthetic::synthetic_ranker;
 pub use tcp::{LinkStats, ReconnectPolicy, ShardServer, ShardServerConfig, TcpShard};
 pub use transport::{LocalShard, ShardTransport};
+pub use wire::{TraceDumpReply, TraceQuery};

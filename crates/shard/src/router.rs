@@ -2,11 +2,13 @@
 //! shipping on topology changes.
 
 use sorl::tuner::TopK;
-use sorl_serve::{ServeError, ServeStats};
+use sorl_obs::{assemble, RecorderDump, TraceId, Waterfall};
+use sorl_serve::{Exemplar, ServeError, ServeStats};
 use stencil_model::{InstanceKey, StencilInstance};
 
 use crate::routing::{CacheSlice, Topology};
 use crate::transport::ShardTransport;
+use crate::wire::TraceDumpReply;
 
 /// Why a fleet operation failed.
 #[derive(Debug)]
@@ -146,6 +148,53 @@ impl FleetStats {
     }
 }
 
+/// A fleet-wide flight-recorder sweep ([`ShardRouter::fleet_trace`]):
+/// every shard's recorder dump — optionally filtered to one trace — plus
+/// its resident slow-request exemplars. Like a stats sweep, unreachable
+/// shards keep their error in `per_shard` and the sweep never fails the
+/// fleet: a waterfall assembled from the survivors is still evidence.
+#[derive(Debug)]
+pub struct FleetTrace {
+    /// The trace the sweep filtered to (`None` = whole rings).
+    pub trace: Option<TraceId>,
+    /// Per-shard dumps, id-sorted; errors are per-shard, not fatal.
+    pub per_shard: Vec<(String, Result<TraceDumpReply, ServeError>)>,
+}
+
+impl FleetTrace {
+    /// How many shards answered the sweep.
+    pub fn reachable(&self) -> usize {
+        self.per_shard.iter().filter(|(_, r)| r.is_ok()).count()
+    }
+
+    /// Every reachable shard's recorder dump, in sweep order.
+    pub fn dumps(&self) -> Vec<&RecorderDump> {
+        self.per_shard.iter().filter_map(|(_, r)| r.as_ref().ok()).map(|r| &r.dump).collect()
+    }
+
+    /// Every reachable shard's resident exemplars, slowest first, tagged
+    /// with the shard id they live on.
+    pub fn exemplars(&self) -> Vec<(&str, &Exemplar)> {
+        let mut out: Vec<(&str, &Exemplar)> = self
+            .per_shard
+            .iter()
+            .filter_map(|(id, r)| r.as_ref().ok().map(|reply| (id, reply)))
+            .flat_map(|(id, reply)| reply.exemplars.iter().map(move |e| (id.as_str(), e)))
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.1.latency_us));
+        out
+    }
+
+    /// Assembles the sweep into one waterfall for `trace`. `client_dumps`
+    /// go first, so a client-side request span (when present) anchors the
+    /// fleet clock — see [`sorl_obs::assemble()`] for the alignment rules.
+    pub fn assemble(&self, trace: TraceId, client_dumps: &[RecorderDump]) -> Waterfall {
+        let mut dumps: Vec<RecorderDump> = client_dumps.to_vec();
+        dumps.extend(self.dumps().into_iter().cloned());
+        assemble(trace, &dumps)
+    }
+}
+
 /// What a topology change shipped between caches.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WarmupReport {
@@ -254,6 +303,16 @@ impl ShardRouter {
         let per_shard = self.stats();
         let merged = ServeStats::merge(per_shard.iter().filter_map(|(_, r)| r.as_ref().ok()));
         FleetStats { merged, per_shard }
+    }
+
+    /// Sweeps every shard's flight recorder (and exemplar store),
+    /// optionally filtered to one trace — the gather half of fleet trace
+    /// assembly ([`FleetTrace::assemble`]). Unreachable shards record
+    /// their error and the sweep proceeds.
+    pub fn fleet_trace(&self, trace: Option<TraceId>) -> FleetTrace {
+        let per_shard =
+            self.shards.iter().map(|s| (s.id.clone(), s.transport.trace_dump(trace))).collect();
+        FleetTrace { trace, per_shard }
     }
 
     /// Exports one shard's full decision cache (without removing it) — the

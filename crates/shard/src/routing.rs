@@ -130,7 +130,8 @@ impl Topology {
     /// ties towards the smaller id.
     pub fn owner_of_fingerprint(&self, key_fingerprint: u64) -> Option<&str> {
         rendezvous_owner(self.shards.iter().map(|s| (s.as_str(), shard_seed(s))), key_fingerprint)
-            .map(|i| self.shards[i].as_str())
+            .and_then(|i| self.shards.get(i))
+            .map(String::as_str)
     }
 
     /// The owning shard of an instance key.
@@ -165,7 +166,8 @@ impl RoutingTable {
             self.ids.iter().map(String::as_str).zip(self.seeds.iter().copied()),
             key_fingerprint,
         )
-        .map(|i| self.ids[i].as_str())
+        .and_then(|i| self.ids.get(i))
+        .map(String::as_str)
     }
 }
 

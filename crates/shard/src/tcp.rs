@@ -61,7 +61,9 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::time::{Duration, Instant};
 
 use sorl::tuner::TopK;
-use sorl_obs::{FlightRecorder, MetricsServer, MetricsSource, PromWriter, TraceId};
+use sorl_obs::{
+    EventKind, FlightRecorder, MetricsServer, MetricsSource, PromWriter, SpanId, TraceId,
+};
 use sorl_serve::{
     CacheSnapshot, ServeError, ServeStats, ShedReason, SnapshotHeader, TuneRequest, TuneService,
 };
@@ -525,6 +527,21 @@ impl ShardTransport for TcpShard {
         let (header, chunks) = snapshot.to_chunks(wire::CHUNK_ENTRIES);
         self.call(|link| {
             let answer = link.import(&header, &chunks)?;
+            wire::from_payload(&answer)
+        })
+    }
+
+    fn trace_dump(&self, trace: Option<TraceId>) -> Result<wire::TraceDumpReply, ServeError> {
+        let query = wire::TraceQuery { trace: trace.map(TraceId::as_u64).unwrap_or(0) };
+        let payload = wire::to_payload(&query);
+        self.call(|link| {
+            let answer = link.request(
+                FrameKind::TraceDump,
+                &payload,
+                FrameKind::TraceDumpOk,
+                "trace dump",
+                0,
+            )?;
             wire::from_payload(&answer)
         })
     }
@@ -1108,6 +1125,8 @@ impl MetricsSource for ShardServerMetrics {
                 "Flight-recorder events lost to claim races.",
                 recorder.dropped(),
             );
+            service.exemplars().collect_prometheus(w);
+            service.slo().collect_prometheus(w);
         }
         // sorl-lint: allow(atomic, "diagnostic counter reads; no ordering required")
         let relaxed = Ordering::Relaxed;
@@ -1385,15 +1404,25 @@ fn serve_request(
             // A v3 peer's trace continues on this side; older peers (or
             // v3 peers that didn't trace) get a fresh trace so the
             // server-side spans still land somewhere coherent.
-            match service.client().submit_traced(instance, k, TraceId::from_wire(trace_id)) {
+            // The server-side half of the remote call: one span covering
+            // dispatch to reply, in the *service* recorder under the
+            // peer's trace id — this is what makes an assembled fleet
+            // waterfall show the request inside the shard process.
+            let trace = TraceId::from_wire(trace_id);
+            let rpc_span = SpanId::fresh();
+            let recorder = service.flight_recorder();
+            recorder.record(EventKind::SpanBegin, trace, rpc_span, "rpc_tune");
+            match service.client().submit_traced(instance, k, trace) {
                 Ok(ticket) => {
                     let jobs = jobs.clone();
                     let in_flight = Arc::clone(in_flight);
                     let counters = Arc::clone(counters);
+                    let recorder = Arc::clone(recorder);
                     // The reply is queued by the service worker the moment
                     // the answer lands — out of arrival order if the
                     // service finishes another request first.
                     ticket.on_ready(move |outcome| {
+                        recorder.record(EventKind::SpanEnd, trace, rpc_span, "rpc_tune");
                         in_flight.fetch_sub(1, Ordering::AcqRel);
                         counters.in_flight.fetch_sub(1, Ordering::AcqRel);
                         let job = match outcome {
@@ -1411,6 +1440,7 @@ fn serve_request(
                     Ok(())
                 }
                 Err(fault) => {
+                    recorder.record(EventKind::SpanEnd, trace, rpc_span, "rpc_tune");
                     in_flight.fetch_sub(1, Ordering::AcqRel);
                     counters.in_flight.fetch_sub(1, Ordering::AcqRel);
                     keep(jobs.send(fault_job(version, request_id, trace_id, &fault)))
@@ -1419,6 +1449,28 @@ fn serve_request(
         }
         FrameKind::Stats => {
             keep(jobs.send(reply(FrameKind::StatsOk, wire::to_payload(&service.stats()))))
+        }
+        FrameKind::TraceDump => {
+            let answer = match wire::from_payload::<wire::TraceQuery>(&payload) {
+                Ok(query) => {
+                    // The dump's `source` names this shard process in the
+                    // assembled waterfall; the connection's local address
+                    // is the listen address every peer knows it by.
+                    let source = stream
+                        .local_addr()
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|_| "shardd".to_string());
+                    let filter = (query.trace != 0).then(|| TraceId::from_wire(query.trace));
+                    let dump = service.flight_recorder().dump(&source, filter);
+                    let exemplars = service.exemplars().exemplars();
+                    reply(
+                        FrameKind::TraceDumpOk,
+                        wire::to_payload(&wire::TraceDumpReply { dump, exemplars }),
+                    )
+                }
+                Err(fault) => fault_job(version, request_id, trace_id, &fault),
+            };
+            keep(jobs.send(answer))
         }
         FrameKind::Fingerprint => keep(jobs.send(reply(
             FrameKind::FingerprintOk,
@@ -1474,6 +1526,7 @@ fn serve_request(
         | FrameKind::StatsOk
         | FrameKind::FingerprintOk
         | FrameKind::ImportOk
+        | FrameKind::TraceDumpOk
         | FrameKind::Error => {
             let fault = ServeError::Transport(format!("{kind:?} is not a request frame"));
             let _ = jobs.send(fault_job(version, request_id, trace_id, &fault));

@@ -11,10 +11,12 @@
 
 use sorl::tuner::TopK;
 use sorl::StencilRanker;
+use sorl_obs::TraceId;
 use sorl_serve::{CacheSnapshot, ServeConfig, ServeError, ServeStats, TuneClient, TuneService};
 use stencil_model::StencilInstance;
 
 use crate::routing::CacheSlice;
+use crate::wire::TraceDumpReply;
 
 /// A router's connection to one shard of the tuning fleet.
 ///
@@ -47,6 +49,11 @@ pub trait ShardTransport: Send + Sync {
     /// [`ServeError::Snapshot`]) when the snapshot's ranker fingerprint or
     /// format version does not match. Returns the entries applied.
     fn import_cache(&self, snapshot: CacheSnapshot) -> Result<usize, ServeError>;
+
+    /// Exports the shard's flight recorder (optionally filtered to one
+    /// trace) and its resident slow-request exemplars — the per-shard
+    /// half of fleet trace assembly.
+    fn trace_dump(&self, trace: Option<TraceId>) -> Result<TraceDumpReply, ServeError>;
 }
 
 /// An in-process shard: a [`TuneService`] owned by this transport.
@@ -109,5 +116,12 @@ impl ShardTransport for LocalShard {
 
     fn import_cache(&self, snapshot: CacheSnapshot) -> Result<usize, ServeError> {
         self.service.import_cache(snapshot)
+    }
+
+    fn trace_dump(&self, trace: Option<TraceId>) -> Result<TraceDumpReply, ServeError> {
+        Ok(TraceDumpReply {
+            dump: self.service.flight_recorder().dump("local", trace),
+            exemplars: self.service.exemplars().exemplars(),
+        })
     }
 }

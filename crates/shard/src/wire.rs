@@ -34,7 +34,13 @@
 //! ladders v3 → v2 → v1).
 //!
 //! Request/response pairs ([`FrameKind::Tune`] → [`FrameKind::TuneOk`],
-//! …) carry one JSON payload each. Snapshots never travel as one giant
+//! …) carry one JSON payload each. The v3 family adds the tracing pair
+//! [`FrameKind::TraceDump`] → [`FrameKind::TraceDumpOk`]: the request
+//! payload is a JSON [`TraceQuery`] (a raw trace id, `0` = everything)
+//! and the response a JSON [`TraceDumpReply`] — the server's flight
+//! recorder export plus its resident slow-request exemplars — which is
+//! what `ShardRouter::fleet_trace` and the `sorl-trace` CLI assemble
+//! into cross-process waterfalls. Snapshots never travel as one giant
 //! JSON string: a snapshot stream is a [`FrameKind::SnapshotHeader`] frame
 //! (JSON [`SnapshotHeader`]) followed by `header.chunks`
 //! [`FrameKind::SnapshotChunk`] frames, each `8-byte FNV-1a checksum ‖
@@ -55,7 +61,8 @@
 use std::io::{Read, Write};
 
 use serde::{Deserialize, Serialize};
-use sorl_serve::{ServeError, ShedReason, SnapshotChunk, SnapshotError, SnapshotHeader};
+use sorl_obs::RecorderDump;
+use sorl_serve::{Exemplar, ServeError, ShedReason, SnapshotChunk, SnapshotError, SnapshotHeader};
 
 /// Leading bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"SORL";
@@ -121,6 +128,10 @@ pub enum FrameKind {
     /// [`SnapshotHeader`]; `header.chunks` [`FrameKind::SnapshotChunk`]
     /// frames follow. Answered with [`FrameKind::ImportOk`].
     ImportCache = 0x06,
+    /// Request: export the flight recorder, optionally filtered to one
+    /// trace (JSON [`TraceQuery`]). Answered with
+    /// [`FrameKind::TraceDumpOk`].
+    TraceDump = 0x07,
     /// Snapshot stream prologue (JSON [`SnapshotHeader`]).
     SnapshotHeader = 0x10,
     /// One snapshot chunk: `checksum (8 bytes LE) ‖ chunk JSON bytes`.
@@ -134,6 +145,8 @@ pub enum FrameKind {
     /// Response to [`FrameKind::ImportCache`] (JSON `usize`: entries
     /// applied).
     ImportOk = 0x23,
+    /// Response to [`FrameKind::TraceDump`] (JSON [`TraceDumpReply`]).
+    TraceDumpOk = 0x24,
     /// Any request's failure response (JSON [`WireFault`]).
     Error = 0x2f,
 }
@@ -147,12 +160,14 @@ impl FrameKind {
             0x04 => FrameKind::ExportCache,
             0x05 => FrameKind::ExtractCache,
             0x06 => FrameKind::ImportCache,
+            0x07 => FrameKind::TraceDump,
             0x10 => FrameKind::SnapshotHeader,
             0x11 => FrameKind::SnapshotChunk,
             0x20 => FrameKind::TuneOk,
             0x21 => FrameKind::StatsOk,
             0x22 => FrameKind::FingerprintOk,
             0x23 => FrameKind::ImportOk,
+            0x24 => FrameKind::TraceDumpOk,
             0x2f => FrameKind::Error,
             _ => None?,
         })
@@ -593,6 +608,31 @@ pub fn read_snapshot_stream(r: &mut impl Read) -> Result<sorl_serve::CacheSnapsh
 }
 
 // ---------------------------------------------------------------------------
+// Trace dumps
+// ---------------------------------------------------------------------------
+
+/// Payload of a [`FrameKind::TraceDump`] request: which trace to export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceQuery {
+    /// Raw trace id to filter the recorder export to; `0` means "the
+    /// whole ring" (plus, either way, the resident exemplars).
+    #[serde(default)]
+    pub trace: u64,
+}
+
+/// Payload of a [`FrameKind::TraceDumpOk`] response: one process's
+/// tracing evidence.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceDumpReply {
+    /// The shard's flight-recorder export (filtered when the query asked
+    /// for one trace), `source` set to the shard's listen address.
+    pub dump: RecorderDump,
+    /// The shard's resident slow-request exemplars, slowest first. Their
+    /// event chains survive even after the ring overwrote the trace.
+    pub exemplars: Vec<Exemplar>,
+}
+
+// ---------------------------------------------------------------------------
 // Fault encoding
 // ---------------------------------------------------------------------------
 
@@ -824,6 +864,49 @@ mod tests {
         let v3 = read_frame(&mut r).unwrap();
         assert_eq!((v3.version, v3.request_id, v3.trace_id), (PROTOCOL_V3, 9, 0x1234));
         assert_eq!(read_frame(&mut r).unwrap().request_id, 8);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn trace_dump_frames_roundtrip() {
+        use sorl_obs::WireEvent;
+        let query = TraceQuery { trace: 0xabcd };
+        let reply = TraceDumpReply {
+            dump: RecorderDump {
+                source: "127.0.0.1:7000".into(),
+                anchor_unix_ns: 1_700_000_000_000_000_000,
+                recorded: 12,
+                dropped: 0,
+                events: vec![WireEvent {
+                    ticket: 3,
+                    t_unix_ns: 1_700_000_000_000_001_000,
+                    trace: 0xabcd,
+                    span: 9,
+                    kind: 0,
+                    name: "rpc_tune".into(),
+                }],
+            },
+            exemplars: vec![sorl_serve::Exemplar {
+                trace: 0xabcd,
+                latency_us: 42_000,
+                captured_unix_ns: 1_700_000_000_000_002_000,
+                events: Vec::new(),
+            }],
+        };
+        let mut buf = Vec::new();
+        write_frame_v3(&mut buf, FrameKind::TraceDump, 5, 0, &to_payload(&query)).unwrap();
+        write_frame_v3(&mut buf, FrameKind::TraceDumpOk, 5, 0, &to_payload(&reply)).unwrap();
+        let mut r = buf.as_slice();
+        let frame = read_frame(&mut r).unwrap();
+        assert_eq!(frame.kind, FrameKind::TraceDump);
+        assert_eq!(from_payload::<TraceQuery>(&frame.payload).unwrap(), query);
+        let frame = read_frame(&mut r).unwrap();
+        assert_eq!(frame.kind, FrameKind::TraceDumpOk);
+        let back: TraceDumpReply = from_payload(&frame.payload).unwrap();
+        assert_eq!(back.dump.source, "127.0.0.1:7000");
+        assert_eq!(back.dump.events, reply.dump.events);
+        assert_eq!(back.exemplars.len(), 1);
+        assert_eq!(back.exemplars[0].latency_us, 42_000);
         assert!(r.is_empty());
     }
 

@@ -262,6 +262,135 @@ fn fleet_stats_merged_totals_equal_the_per_shard_sum() {
     assert!(fleet.hit_rate_skew() >= 0.0 && fleet.hit_rate_skew() <= 1.0);
 }
 
+/// The fleet-trace acceptance test: one traced tune through a two-shard
+/// TCP fleet assembles into a single waterfall holding client-side,
+/// transport, and service spans — at least four spans, from both sides of
+/// the wire, all under the one `TraceId` the frame carried.
+#[test]
+fn fleet_trace_assembles_one_waterfall_across_client_and_shard_processes() {
+    let servers: Vec<ShardServer> = (0..2).map(|_| spawn_server(0xa55e_3b1e)).collect();
+    let mut router = ShardRouter::new();
+    for (i, server) in servers.iter().enumerate() {
+        let shard = TcpShard::connect(server.local_addr()).unwrap();
+        router.add_shard(format!("shard-{i}"), shard).unwrap();
+    }
+
+    // The traced tune rides a client link this test holds directly, so
+    // the client-side recorder (the waterfall's clock anchor) is in hand;
+    // the router then sweeps the same fleet for the server-side halves.
+    let client = TcpShard::connect(servers[0].local_addr()).unwrap();
+    client.tune(lap(64), 2).unwrap();
+    let trace = client
+        .flight_recorder()
+        .snapshot()
+        .into_iter()
+        .find(|e| e.name == "tune" && e.kind == EventKind::SpanBegin)
+        .expect("the client recorded its tune span")
+        .trace;
+    let clients = vec![client.flight_recorder().dump("client", Some(trace))];
+
+    let sweep = router.fleet_trace(Some(trace));
+    assert_eq!(sweep.reachable(), 2, "both shards answer the filtered sweep");
+    let waterfall = sweep.assemble(trace, &clients);
+
+    assert_eq!(waterfall.trace, trace);
+    assert!(
+        waterfall.spans.len() >= 4,
+        "client + rpc + service spans assemble under one trace\n{}",
+        waterfall.render()
+    );
+    let names: Vec<&str> = waterfall.spans.iter().map(|s| s.name.as_str()).collect();
+    for expected in ["tune", "rpc_tune", "queue_wait", "score_batch"] {
+        assert!(names.contains(&expected), "missing {expected:?} in {names:?}");
+    }
+    let sources = waterfall.sources();
+    assert!(sources.contains(&"client"), "client process present: {sources:?}");
+    assert!(sources.iter().any(|s| *s != "client"), "server process present: {sources:?}");
+    assert_eq!(waterfall.anchor_source.as_deref(), Some("client"), "the client anchors the clock");
+
+    // The client's tune span is the root; the server-side rpc span nests
+    // inside it (both recorders are wall-anchored in this process, so the
+    // alignment is real, not the skew fallback).
+    let tune = waterfall.spans.iter().find(|s| s.name == "tune").unwrap();
+    let rpc = waterfall.spans.iter().find(|s| s.name == "rpc_tune").unwrap();
+    assert_eq!(tune.depth, 0, "the client span is the waterfall root");
+    assert!(rpc.depth >= 1, "the server rpc span nests under the client span");
+    assert!(rpc.start_unix_ns >= tune.start_unix_ns);
+
+    let rendered = waterfall.render();
+    assert!(rendered.contains("rpc_tune") && rendered.contains("tune"), "{rendered}");
+}
+
+/// The `sorl-trace` binary end to end against a live two-shard fleet:
+/// `--trace` renders the server-side spans of a specific request,
+/// `--slowest` finds the fleet's slowest exemplar and renders its span
+/// chain, and the error paths (no args, unknown trace) exit non-zero
+/// with the usage / try-`--slowest` hints.
+#[test]
+fn sorl_trace_cli_renders_waterfalls_for_a_live_fleet() {
+    let traced_config = ServeConfig {
+        // Sub-millisecond absolute trigger: every request is an exemplar.
+        exemplar_threshold: Duration::from_micros(1),
+        ..config()
+    };
+    let servers: Vec<ShardServer> = (0..2)
+        .map(|_| {
+            let service =
+                TuneService::spawn(sorl_shard::synthetic_ranker(0x7ace_c11e), traced_config);
+            ShardServer::spawn(service, "127.0.0.1:0").unwrap()
+        })
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+
+    let client = TcpShard::connect(servers[0].local_addr()).unwrap();
+    client.tune(lap(52), 1).unwrap();
+    let trace = client
+        .flight_recorder()
+        .snapshot()
+        .into_iter()
+        .find(|e| e.name == "tune" && e.kind == EventKind::SpanBegin)
+        .expect("the client recorded its tune span")
+        .trace;
+    // Exemplar capture runs on the worker thread *after* the reply is
+    // sent, so the client can race ahead of it — wait for the capture.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while servers[0].service().exemplars().captured_total() == 0 {
+        assert!(std::time::Instant::now() < deadline, "exemplar capture never landed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let bin = env!("CARGO_BIN_EXE_sorl-trace");
+    let run = |extra: &[&str]| {
+        std::process::Command::new(bin)
+            .args(["--shard", &addrs[0], "--shard", &addrs[1]])
+            .args(extra)
+            .output()
+            .expect("sorl-trace spawns")
+    };
+
+    let by_id = run(&["--trace", &format!("{:x}", trace.as_u64())]);
+    let stdout = String::from_utf8_lossy(&by_id.stdout);
+    assert!(by_id.status.success(), "--trace failed: {}", String::from_utf8_lossy(&by_id.stderr));
+    for name in ["rpc_tune", "queue_wait", "score_batch"] {
+        assert!(stdout.contains(name), "missing {name:?} in rendered waterfall:\n{stdout}");
+    }
+
+    let by_slowest = run(&["--slowest"]);
+    let stdout = String::from_utf8_lossy(&by_slowest.stdout);
+    let stderr = String::from_utf8_lossy(&by_slowest.stderr);
+    assert!(by_slowest.status.success(), "--slowest failed: {stderr}");
+    assert!(stderr.contains("slowest exemplar"), "{stderr}");
+    assert!(stdout.contains("rpc_tune"), "exemplar span chain rendered:\n{stdout}");
+
+    let no_args = std::process::Command::new(bin).output().expect("sorl-trace spawns");
+    assert!(!no_args.status.success(), "bare invocation must fail");
+    assert!(String::from_utf8_lossy(&no_args.stderr).contains("usage:"));
+
+    let unknown = run(&["--trace", "deadbeef"]);
+    assert!(!unknown.status.success(), "an absent trace renders nothing");
+    assert!(String::from_utf8_lossy(&unknown.stderr).contains("--slowest"));
+}
+
 /// Link stats on a healthy eager link: one dial, no redials, no
 /// downgrades against a current server, and in-flight returns to zero.
 #[test]

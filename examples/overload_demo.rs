@@ -21,9 +21,14 @@
 //!    shed counters plus the link-level rejections, and every queue is
 //!    empty when the storm stops.
 //! 4. **The metrics endpoint tells the same story** — each shard serves a
-//!    Prometheus page that parses mid-storm (shed and queue-depth
-//!    families present while the fleet is saturated), and the post-storm
-//!    scrape agrees with the wire-level ledger counter for counter.
+//!    Prometheus page that parses mid-storm (shed, queue-depth, SLO
+//!    burn-rate and exemplar families present while the fleet is
+//!    saturated), and the post-storm scrape agrees with the wire-level
+//!    ledger counter for counter.
+//! 5. **The flight recorder is reachable under fire** — a `TraceDump`
+//!    request answered mid-storm parses and carries at least one
+//!    slow-request exemplar over the configured threshold, so the
+//!    evidence trail exists exactly when it is needed.
 //!
 //! ```sh
 //! cargo run --release --example overload_demo          # ~3s soak
@@ -38,7 +43,8 @@ use stencil_autotune::model::{GridSize, StencilInstance, StencilKernel};
 use stencil_autotune::serve::TuneService;
 use stencil_autotune::serve::{ServeConfig, ServeError, ShedReason};
 use stencil_autotune::shard::{
-    synthetic_ranker, ShardError, ShardRouter, ShardServer, ShardServerConfig, TcpShard,
+    synthetic_ranker, ShardError, ShardRouter, ShardServer, ShardServerConfig, ShardTransport,
+    TcpShard,
 };
 
 /// Unpaced client threads. The floor matters: with two 4-deep queues, 16
@@ -126,6 +132,10 @@ fn main() {
         adaptive_gather: false,
         cache_capacity: 0,
         max_queue: 4,
+        // Under saturation nearly every served request clears 1ms, so the
+        // exemplar store demonstrably fills; the bound keeps it cheap.
+        exemplar_capacity: 8,
+        exemplar_threshold: Duration::from_millis(1),
         ..Default::default()
     };
     let server_config = ShardServerConfig { max_in_flight: 1024 };
@@ -208,8 +218,37 @@ fn main() {
             family_sum(&body, "sorl_serve_shed_total");
             family_sum(&body, "sorl_serve_queue_depth");
             family_sum(&body, "sorl_serve_requests_total");
+            // The burn-rate and exemplar families must render while the
+            // budget is actually burning, not just on an idle fleet.
+            family_sum(&body, "sorl_slo_fast_burn_rate");
+            family_sum(&body, "sorl_slo_error_budget_remaining");
+            family_sum(&body, "sorl_exemplar_captured_total");
+            family_sum(&body, "sorl_exemplar_resident");
         }
-        println!("  mid-soak metrics scrape: shed/queue-depth families present and parseable");
+        println!("  mid-soak metrics scrape: shed/queue/SLO/exemplar families present");
+        // Mid-storm trace dump: the flight recorder and exemplar store
+        // answer over the wire while the fleet is saturated, and the
+        // evidence is real — at least one exemplar over the threshold,
+        // carrying the span chain of a request that actually blew it.
+        let probe = TcpShard::connect(servers[0].local_addr()).expect("probe link dials");
+        let reply = probe.trace_dump(None).expect("trace dump answers mid-storm");
+        assert!(!reply.dump.events.is_empty(), "a storming shard's flight recorder is never empty");
+        assert!(
+            !reply.exemplars.is_empty(),
+            "a saturated shard holds at least one slow-request exemplar"
+        );
+        let slowest = &reply.exemplars[0];
+        assert!(
+            slowest.latency_us >= 1_000,
+            "exemplars are genuinely over the 1ms threshold: {} µs",
+            slowest.latency_us
+        );
+        println!(
+            "  mid-soak trace dump: {} recorder events, {} exemplars, slowest {:.1} ms",
+            reply.dump.events.len(),
+            reply.exemplars.len(),
+            slowest.latency_us as f64 / 1e3
+        );
         std::thread::sleep(half);
         stop.store(true, Ordering::Relaxed);
     });
@@ -287,18 +326,28 @@ fn main() {
     let mut scraped_requests = 0u64;
     let mut scraped_sheds = 0u64;
     let mut scraped_queue = 0u64;
+    let mut scraped_exemplars = 0u64;
+    let mut scraped_slo_bad = 0u64;
     for endpoint in &metrics {
         let body = scrape(endpoint.local_addr());
         scraped_requests += family_sum(&body, "sorl_serve_requests_total");
         scraped_sheds += family_sum(&body, "sorl_serve_shed_total");
         scraped_queue += family_sum(&body, "sorl_serve_queue_depth");
+        scraped_exemplars += family_sum(&body, "sorl_exemplar_captured_total");
+        scraped_slo_bad += family_sum(&body, "sorl_slo_bad_total");
+        family_sum(&body, "sorl_slo_slow_burn_rate");
     }
     assert_eq!(scraped_requests, served, "scraped requests agree with the ledger");
     assert_eq!(scraped_sheds, service_sheds, "scraped sheds agree with the ledger");
     assert_eq!(scraped_queue, 0, "scraped queue depth agrees with the drained fleet");
+    assert!(scraped_exemplars >= 1, "the storm left at least one captured exemplar");
+    assert!(
+        scraped_slo_bad >= service_sheds,
+        "every service shed burned SLO budget: {scraped_slo_bad} bad vs {service_sheds} sheds"
+    );
     println!(
         "  metrics endpoint agrees: {scraped_requests} requests, {scraped_sheds} sheds, \
-         queue depth 0"
+         queue depth 0, {scraped_exemplars} exemplars, {scraped_slo_bad} SLO-bad"
     );
 
     drop(metrics);
