@@ -22,6 +22,9 @@ pub enum Rule {
     /// SL005 `condvar`: `Condvar::wait` not guarded by a re-checked
     /// predicate loop (lost-wakeup hazard).
     CondvarWait,
+    /// SL006 `unsafe`: `unsafe` or a raw-pointer type outside the
+    /// annotated kernel allowlist.
+    UnsafeFence,
     /// SL000 `meta`: a broken annotation (empty reason, unknown rule,
     /// unparsable syntax). Never baselined: always fails the run.
     Meta,
@@ -36,6 +39,7 @@ impl Rule {
             Rule::TruncatingCast => "SL003",
             Rule::AtomicOrdering => "SL004",
             Rule::CondvarWait => "SL005",
+            Rule::UnsafeFence => "SL006",
             Rule::Meta => "SL000",
         }
     }
@@ -48,6 +52,7 @@ impl Rule {
             Rule::TruncatingCast => "cast",
             Rule::AtomicOrdering => "atomic",
             Rule::CondvarWait => "condvar",
+            Rule::UnsafeFence => "unsafe",
             Rule::Meta => "meta",
         }
     }
@@ -60,17 +65,19 @@ impl Rule {
             "cast" => Rule::TruncatingCast,
             "atomic" => Rule::AtomicOrdering,
             "condvar" => Rule::CondvarWait,
+            "unsafe" => Rule::UnsafeFence,
             _ => return None,
         })
     }
 
     /// Every enforced rule, in id order (the `--list-rules` output).
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::LockOrder,
         Rule::PanicPath,
         Rule::TruncatingCast,
         Rule::AtomicOrdering,
         Rule::CondvarWait,
+        Rule::UnsafeFence,
     ];
 
     /// One-line description for `--list-rules`.
@@ -86,6 +93,9 @@ impl Rule {
             }
             Rule::AtomicOrdering => "Ordering::Relaxed on cross-thread atomics outside allowlist",
             Rule::CondvarWait => "Condvar::wait without an enclosing re-checked predicate loop",
+            Rule::UnsafeFence => {
+                "`unsafe` or raw-pointer types outside the annotated kernel allowlist"
+            }
             Rule::Meta => "broken sorl-lint annotation (empty reason / unknown rule)",
         }
     }

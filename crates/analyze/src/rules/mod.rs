@@ -1,4 +1,4 @@
-//! The five enforced rules. Each local rule is a pure function from one
+//! The six enforced rules. Each local rule is a pure function from one
 //! [`AnalyzedFile`] + [`crate::scope::Scope`] to findings; lock-order is
 //! split into a
 //! per-file edge extraction and a cross-file graph pass (inversions are
@@ -13,6 +13,7 @@ pub mod condvar_wait;
 pub mod lock_order;
 pub mod panic_path;
 pub mod trunc_cast;
+pub mod unsafe_fence;
 
 use crate::diag::{Finding, Rule};
 use crate::parse::AnalyzedFile;
@@ -63,6 +64,7 @@ pub(crate) mod testutil {
             cast_path: true,
             concurrency_path: true,
             relaxed_allowlisted: false,
+            unsafe_fence: true,
         }
     }
 }

@@ -20,6 +20,9 @@ pub struct Scope {
     /// SL004 exemption: files whose relaxed atomics are documented
     /// wholesale (diagnostics counters, not synchronization).
     pub relaxed_allowlisted: bool,
+    /// SL006: everywhere except the annotated kernel files — `unsafe`
+    /// and raw pointers must not leak out of the fenced-off hot loops.
+    pub unsafe_fence: bool,
 }
 
 /// Files whose `Ordering::Relaxed` uses are allowlisted as a whole. Keep
@@ -31,6 +34,24 @@ pub struct Scope {
 ///   which is explicitly an approximate shed heuristic).
 const RELAXED_ALLOWLIST: &[&str] = &["crates/serve/src/stats.rs", "crates/serve/src/service.rs"];
 
+/// Files allowed to contain `unsafe` / raw pointers — the performance
+/// kernels whose module docs spell out their safety contracts. Everything
+/// else is fenced (SL006): a stray `unsafe` outside this list is either
+/// moved into a kernel file, rewritten safely, or line-justified.
+/// * `exec/src/{engine,grid,pool}.rs` — the parallel stencil engine's
+///   disjoint-tile writes and job channel.
+/// * `ranksvm/src/kernel.rs` — the AVX2 scoring kernel (intrinsics).
+/// * `core/src/session.rs` — the scoring worker's disjoint-slice scatter.
+/// * `obs/src/recorder.rs` — the flight recorder's name-pointer cell.
+const KERNEL_UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/core/src/session.rs",
+    "crates/exec/src/engine.rs",
+    "crates/exec/src/grid.rs",
+    "crates/exec/src/pool.rs",
+    "crates/obs/src/recorder.rs",
+    "crates/ranksvm/src/kernel.rs",
+];
+
 /// Classifies one workspace-relative path.
 pub fn classify(path: &str) -> Scope {
     let lib = !path.contains("/bin/") && !path.contains("/tests/") && !path.contains("/benches/");
@@ -39,6 +60,7 @@ pub fn classify(path: &str) -> Scope {
     let wire_or_stats = matches!(
         path,
         "crates/shard/src/wire.rs"
+            | "crates/shard/src/wire/bin.rs"
             | "crates/shard/src/tcp.rs"
             | "crates/serve/src/stats.rs"
             | "crates/serve/src/snapshot.rs"
@@ -51,6 +73,7 @@ pub fn classify(path: &str) -> Scope {
         cast_path: wire_or_stats,
         concurrency_path: concurrent && lib,
         relaxed_allowlisted: RELAXED_ALLOWLIST.contains(&path),
+        unsafe_fence: lib && !KERNEL_UNSAFE_ALLOWLIST.contains(&path),
     }
 }
 
@@ -69,8 +92,18 @@ mod tests {
     #[test]
     fn cast_scope_is_the_wire_stats_file_set() {
         assert!(classify("crates/shard/src/wire.rs").cast_path);
+        assert!(classify("crates/shard/src/wire/bin.rs").cast_path, "the binary codec too");
         assert!(classify("crates/serve/src/stats.rs").cast_path);
         assert!(!classify("crates/exec/src/kernels.rs").cast_path);
+    }
+
+    #[test]
+    fn unsafe_is_fenced_everywhere_but_the_kernel_files() {
+        assert!(classify("crates/shard/src/tcp.rs").unsafe_fence);
+        assert!(classify("crates/search/src/ga.rs").unsafe_fence, "fence is workspace-wide");
+        assert!(!classify("crates/ranksvm/src/kernel.rs").unsafe_fence, "the SIMD kernel");
+        assert!(!classify("crates/exec/src/engine.rs").unsafe_fence, "the stencil engine");
+        assert!(!classify("crates/shard/src/bin/shardd.rs").unsafe_fence, "lib code only");
     }
 
     #[test]

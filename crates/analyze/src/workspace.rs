@@ -10,7 +10,9 @@ use std::path::{Path, PathBuf};
 
 use crate::diag::{Finding, Rule};
 use crate::parse::AnalyzedFile;
-use crate::rules::{atomic_ordering, condvar_wait, lock_order, panic_path, trunc_cast};
+use crate::rules::{
+    atomic_ordering, condvar_wait, lock_order, panic_path, trunc_cast, unsafe_fence,
+};
 use crate::scope;
 
 /// The result of one full analysis pass.
@@ -48,6 +50,7 @@ pub fn analyze_sources(sources: Vec<(String, String)>) -> Report {
         findings.extend(trunc_cast::check(&file, &sc));
         findings.extend(atomic_ordering::check(&file, &sc));
         findings.extend(condvar_wait::check(&file, &sc));
+        findings.extend(unsafe_fence::check(&file, &sc));
         edges.extend(lock_order::edges(&file, &sc));
         allow_entries.extend(collect_allow_entries(&file));
     }

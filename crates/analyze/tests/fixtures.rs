@@ -101,6 +101,23 @@ fn condvar_wait_outside_a_loop_flags_and_child_wait_does_not() {
 }
 
 #[test]
+fn unsafe_fence_flags_leaks_but_honors_allows_tests_and_arithmetic() {
+    let report = analyze(&[(
+        "crates/serve/src/unsafe_fixture.rs",
+        include_str!("fixtures/unsafe_fence.rs"),
+    )]);
+    assert_eq!(
+        ids(&report),
+        vec![
+            ("SL006".into(), "crates/serve/src/unsafe_fixture.rs".into(), 2), // *mut field
+            ("SL006".into(), "crates/serve/src/unsafe_fixture.rs".into(), 4), // unsafe impl
+        ],
+        "{:#?}",
+        report.findings
+    );
+}
+
+#[test]
 fn broken_annotations_are_meta_findings() {
     let report = analyze(&[(
         "crates/serve/src/meta_fixture.rs",

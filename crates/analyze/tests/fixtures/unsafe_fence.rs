@@ -1,0 +1,21 @@
+// SL006 fixture: unsafety leaking out of the kernel fence.
+struct Leaky(*mut u8);
+
+unsafe impl Send for Leaky {}
+
+fn peek(p: &Leaky) -> u8 {
+    // sorl-lint: allow(unsafe, "fixture: a justified escape hatch")
+    unsafe { *p.0 }
+}
+
+fn area(a: usize, b: usize) -> usize {
+    a * b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn zeroed_in_tests_is_fine() {
+        let _ = unsafe { std::mem::zeroed::<u8>() };
+    }
+}

@@ -1,10 +1,13 @@
 //! Ranking (regression-phase) latency — the paper's "< 1 ms" claim
 //! (Table II, Regression column).
 //!
-//! Four granularities, before/after comparable:
+//! Granularities, before/after comparable:
 //!
 //! * scoring a single already-encoded candidate (the number comparable to
 //!   svm_rank's per-example cost),
+//! * the raw scoring kernel over the packed 8640-row candidate matrix —
+//!   dispatched (AVX2 where available) vs. the portable loop; the perf
+//!   snapshot trips if active SIMD is not >= 1.2x the portable loop,
 //! * the *legacy* per-candidate path (instance clone + `StencilExecution`
 //!   plus a fresh `TuningSpace` per candidate — the pre-batching baseline,
 //!   reproduced inline so the speedup stays measurable),
@@ -20,12 +23,15 @@
 use criterion::Criterion;
 use std::hint::black_box;
 
+use ranksvm::kernel;
 use sorl::pipeline::{PipelineConfig, TrainingPipeline};
 use sorl::session::{predefined_candidates, TuningSession};
 use sorl::tuner::StandaloneTuner;
 use sorl::StencilRanker;
 use sorl_bench::perf::{quick_mode, PerfReport};
-use stencil_model::{GridSize, StencilExecution, StencilInstance, StencilKernel, TuningVector};
+use stencil_model::{
+    CandidateMatrix, GridSize, StencilExecution, StencilInstance, StencilKernel, TuningVector,
+};
 
 /// The pre-batching hot path, reproduced verbatim as the baseline.
 fn legacy_tune(
@@ -53,6 +59,19 @@ struct Ctx {
     tuner: StandaloneTuner,
     q3: StencilInstance,
     q2: StencilInstance,
+}
+
+/// The packed 3-D candidate matrix for one query — the exact operand the
+/// steady-state serving path hands the scoring kernel.
+fn packed_matrix(ctx: &Ctx) -> (CandidateMatrix, Vec<f64>) {
+    let encoder = ctx.ranker.encoder();
+    let set3 = predefined_candidates(3);
+    let qf = encoder.query_features(&ctx.q3);
+    let mut matrix = CandidateMatrix::with_row_capacity(encoder.dim(), set3.len());
+    for &t in set3 {
+        matrix.push_row_with(|out| encoder.append_candidate(&qf, t, out));
+    }
+    (matrix, ctx.ranker.model().weights().to_vec())
 }
 
 impl Ctx {
@@ -84,6 +103,23 @@ fn bench_rank_latency(c: &mut Criterion, ctx: &Ctx) {
     // Encoding + scoring one candidate.
     g.bench_function("encode_and_score_single", |b| {
         b.iter(|| black_box(ctx.ranker.score(black_box(&exec))))
+    });
+
+    // The raw scoring kernel over the packed 8640-row matrix: dispatched
+    // (AVX2 where the host has it) vs. the portable reference loop.
+    let (matrix, w) = packed_matrix(ctx);
+    let mut scores = vec![0.0f64; matrix.rows()];
+    g.bench_function("score_matrix_8640_kernel", |b| {
+        b.iter(|| {
+            kernel::score_rows_into(&w, matrix.rows_data(), matrix.stride(), &mut scores);
+            black_box(scores[0])
+        })
+    });
+    g.bench_function("score_matrix_8640_portable", |b| {
+        b.iter(|| {
+            kernel::score_rows_portable(&w, matrix.rows_data(), matrix.stride(), &mut scores);
+            black_box(scores[0])
+        })
     });
 
     // Legacy per-candidate baseline on the 3-D set.
@@ -147,6 +183,19 @@ fn emit_perf_snapshot(ctx: &Ctx) {
         black_box(par.tune(&ctx.q2));
     });
 
+    // Kernel-level samples are microseconds each; take plenty.
+    let ksamples = if quick_mode() { 100 } else { 400 };
+    let (matrix, w) = packed_matrix(ctx);
+    let mut scores = vec![0.0f64; matrix.rows()];
+    report.record("score_matrix_8640_kernel", ksamples, || {
+        kernel::score_rows_into(&w, matrix.rows_data(), matrix.stride(), &mut scores);
+        black_box(scores[0]);
+    });
+    report.record("score_matrix_8640_portable", ksamples, || {
+        kernel::score_rows_portable(&w, matrix.rows_data(), matrix.stride(), &mut scores);
+        black_box(scores[0]);
+    });
+
     let legacy = report.median_of("tune_3d_legacy_per_candidate").unwrap();
     let batched = report.median_of("tune_3d_session_batched").unwrap();
     let parallel = report.median_of("tune_3d_session_parallel").unwrap();
@@ -156,7 +205,26 @@ fn emit_perf_snapshot(ctx: &Ctx) {
         legacy / parallel,
         threads
     );
+    let kernel_s = report.median_of("score_matrix_8640_kernel").unwrap();
+    let portable_s = report.median_of("score_matrix_8640_portable").unwrap();
+    println!(
+        "  scoring kernel: {} at {:.2}x the portable loop ({} rows)",
+        kernel::active_kernel(),
+        portable_s / kernel_s,
+        matrix.rows()
+    );
     report.write();
+
+    // The SIMD contract: on wide batches the dispatched AVX2 kernel must
+    // beat the portable loop by >= 1.2x. Guarded on dispatch — a host
+    // without AVX2 runs the portable loop on both sides.
+    if kernel::simd_active() {
+        assert!(
+            kernel_s * 1.2 <= portable_s,
+            "SIMD kernel must be >= 1.2x the portable loop on wide batches: \
+             {kernel_s} vs {portable_s}"
+        );
+    }
 }
 
 fn main() {

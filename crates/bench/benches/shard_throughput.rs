@@ -18,6 +18,11 @@
 //! * `snapshot_roundtrip_256` — a 256-decision cache through
 //!   snapshot → JSON → parse → restore: the persistence path a shard pays
 //!   on checkpoint and warm restart.
+//! * `snapshot_ship_binary_256` — the same cache through the wire-v4
+//!   binary chunk codec (encode → chunk → reassemble → restore): the
+//!   warm-up shipping path between v4 peers. The perf snapshot also
+//!   trips if the binary chunk stream is not <= 0.5x the JSON stream's
+//!   bytes.
 //! * `tcp_lockstep_24x3d_hot` / `tcp_pipelined_24x3d_hot` — the warmed
 //!   workload over ONE loopback TCP connection, 4 concurrent callers:
 //!   forced wire-v1 (each caller lock-steps the link, serialized on its
@@ -42,6 +47,7 @@ use ranksvm::LinearRanker;
 use sorl::StencilRanker;
 use sorl_bench::perf::{quick_mode, PerfReport};
 use sorl_serve::{DecisionCache, ServeConfig, TuneService};
+use sorl_shard::wire::{self, bin};
 use sorl_shard::{LocalShard, ShardRouter, ShardServer, ShardTransport, TcpShard, Topology};
 use stencil_model::{FeatureEncoder, GridSize, StencilInstance, StencilKernel, TuningVector};
 
@@ -166,6 +172,15 @@ fn snapshot_roundtrip(cache: &DecisionCache) -> usize {
     restored.restore(&parsed, 42).unwrap()
 }
 
+/// The wire-v4 shipping path: binary chunk encode → reassemble → restore.
+fn snapshot_ship_binary(cache: &DecisionCache) -> usize {
+    let snap = cache.snapshot(42);
+    let (header, chunks) = bin::snapshot_to_chunks(&snap, wire::CHUNK_ENTRIES);
+    let parsed = bin::snapshot_from_chunks(&header, &chunks).unwrap();
+    let mut restored = DecisionCache::new(512);
+    restored.restore(&parsed, 42).unwrap()
+}
+
 fn bench_shard(c: &mut Criterion, ranker: &StencilRanker, queries: &[StencilInstance]) {
     let mut g = c.benchmark_group("shard_throughput");
 
@@ -197,6 +212,9 @@ fn bench_shard(c: &mut Criterion, ranker: &StencilRanker, queries: &[StencilInst
     let cache = populated_cache();
     g.bench_function("snapshot_roundtrip_256", |b| {
         b.iter(|| black_box(snapshot_roundtrip(&cache)))
+    });
+    g.bench_function("snapshot_ship_binary_256", |b| {
+        b.iter(|| black_box(snapshot_ship_binary(&cache)))
     });
 
     let server = spawn_warm_tcp_server(ranker, queries);
@@ -250,6 +268,9 @@ fn emit_perf_snapshot(ranker: &StencilRanker, queries: &[StencilInstance]) {
     report.record("snapshot_roundtrip_256", samples, || {
         black_box(snapshot_roundtrip(&cache));
     });
+    report.record("snapshot_ship_binary_256", samples, || {
+        black_box(snapshot_ship_binary(&cache));
+    });
 
     let server = spawn_warm_tcp_server(ranker, queries);
     let lockstep = TcpShard::connect_v1(server.local_addr()).expect("connect v1");
@@ -291,6 +312,24 @@ fn emit_perf_snapshot(ranker: &StencilRanker, queries: &[StencilInstance]) {
     assert!(
         hot_s * 5.0 <= cold_s,
         "a 100% cache-hit fleet must be >= 5x faster than cold: {hot_s} vs {cold_s}"
+    );
+
+    // The binary-payload contract: on a realistic 256-decision snapshot,
+    // the wire-v4 binary chunk stream must be at most half the JSON
+    // stream's bytes (identical chunk boundaries, so the comparison is
+    // codec-only).
+    let snap = cache.snapshot(42);
+    let (_, json_chunks) = snap.to_chunks(wire::CHUNK_ENTRIES);
+    let (_, bin_chunks) = bin::snapshot_to_chunks(&snap, wire::CHUNK_ENTRIES);
+    let json_bytes: usize = json_chunks.iter().map(|c| c.payload.len()).sum();
+    let bin_bytes: usize = bin_chunks.iter().map(|c| c.payload.len()).sum();
+    println!(
+        "  snapshot chunk bytes: binary {bin_bytes} vs JSON {json_bytes} ({:.2}x smaller)",
+        json_bytes as f64 / bin_bytes as f64
+    );
+    assert!(
+        bin_bytes * 2 <= json_bytes,
+        "binary snapshot chunks must be <= 0.5x the JSON bytes: {bin_bytes} vs {json_bytes}"
     );
 }
 

@@ -7,7 +7,8 @@ use serde::{Deserialize, Serialize};
 
 use ranksvm::LinearRanker;
 use stencil_model::{
-    FeatureEncoder, ModelError, QueryFeatures, StencilExecution, StencilInstance, TuningVector,
+    CandidateMatrix, FeatureEncoder, ModelError, QueryFeatures, StencilExecution, StencilInstance,
+    TuningVector,
 };
 
 /// A ranking function over stencil executions: encodes `(q, t)` and scores
@@ -51,21 +52,34 @@ impl StencilRanker {
     /// Scores `candidates` for `instance` on the batched path: the query
     /// block is encoded once, every candidate is validated up front (an
     /// inadmissible one yields [`ModelError::InadmissibleCandidate`] naming
-    /// its index), and each row is completed into a reused scratch buffer —
-    /// no `StencilInstance` clone and no per-candidate `TuningSpace`
-    /// construction.
+    /// its index), and rows are completed block-wise into a reused
+    /// [`CandidateMatrix`] scored by the batch kernel — no `StencilInstance`
+    /// clone, no per-candidate `TuningSpace` construction, no per-row
+    /// allocation. Scores are bit-for-bit identical to per-row
+    /// [`score`](Self::score) calls.
     pub fn scores(
         &self,
         instance: &StencilInstance,
         candidates: &[TuningVector],
     ) -> Result<Vec<f64>, ModelError> {
+        const BLOCK: usize = 64;
         let qf = self.encoder.query_features(instance);
         validate_candidates(&qf, candidates)?;
         let mut out = vec![0.0; candidates.len()];
-        let mut row = Vec::with_capacity(self.encoder.dim());
-        for (o, &t) in out.iter_mut().zip(candidates) {
-            self.encoder.encode_candidate(&qf, t, &mut row);
-            *o = self.model.score(&row);
+        let mut block = CandidateMatrix::with_row_capacity(self.encoder.dim(), BLOCK);
+        let mut start = 0;
+        while start < candidates.len() {
+            let n = (candidates.len() - start).min(BLOCK);
+            block.clear();
+            for &t in &candidates[start..start + n] {
+                block.push_row_with(|row| self.encoder.append_candidate(&qf, t, row));
+            }
+            self.model.score_rows_into(
+                block.rows_data(),
+                block.stride(),
+                &mut out[start..start + n],
+            );
+            start += n;
         }
         Ok(out)
     }

@@ -15,10 +15,13 @@
 //!
 //! Scoring is batched: the per-instance query block is encoded once
 //! ([`stencil_model::QueryFeatures`]), each candidate only completes the
-//! tuning-dependent suffix into a row-major block, and blocks are scored
-//! with [`ranksvm::LinearRanker::score_batch_into`]. Sequential and
-//! parallel sessions produce bit-for-bit identical scores: every row's dot
-//! product is computed independently, so threading never reorders floating
+//! tuning-dependent suffix into a lane-padded
+//! [`stencil_model::CandidateMatrix`] block, and blocks are scored with
+//! [`ranksvm::LinearRanker::score_rows_into`] — which dispatches to the
+//! explicit AVX2 kernel when the host supports it. Sequential and parallel
+//! sessions produce bit-for-bit identical scores: every row's dot product
+//! is computed independently (and the SIMD kernel reproduces the scalar
+//! reduction exactly), so neither threading nor dispatch reorders floating
 //! point reductions.
 //!
 //! Beyond single queries, a session pipelines whole *batches* of instances
@@ -32,12 +35,14 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 use stencil_exec::{SharedPool, ThreadPool};
-use stencil_model::{ModelError, QueryFeatures, StencilInstance, TuningSpace, TuningVector};
+use stencil_model::{
+    CandidateMatrix, ModelError, QueryFeatures, StencilInstance, TuningSpace, TuningVector,
+};
 
 use crate::ranker::{validate_candidates, StencilRanker};
 use crate::tuner::{TopK, TunerDecision};
 
-/// Rows encoded per `score_batch_into` call: big enough to amortize the
+/// Rows encoded per `score_rows_into` call: big enough to amortize the
 /// call, small enough that a block's feature matrix stays cache-resident.
 const BLOCK_ROWS: usize = 64;
 
@@ -59,10 +64,11 @@ pub fn predefined_candidates(dim: u8) -> &'static [TuningVector] {
     cell.get_or_init(|| TuningSpace::for_dim(dim).expect("dim checked above").predefined_set())
 }
 
-/// Per-worker scratch: one row-major feature block, reused across queries.
-#[derive(Debug, Default)]
+/// Per-worker scratch: one lane-padded feature block, reused across
+/// queries so steady-state scoring allocates nothing.
+#[derive(Debug)]
 struct WorkerScratch {
-    matrix: Vec<f64>,
+    matrix: CandidateMatrix,
 }
 
 /// One instance's contribution to a multi-query scoring pass: its
@@ -152,7 +158,7 @@ impl TuningSession {
         let threads = pool.as_ref().map_or(1, SharedPool::threads);
         let dim = ranker.encoder().dim();
         let scratch = (0..threads)
-            .map(|_| WorkerScratch { matrix: Vec::with_capacity(BLOCK_ROWS * dim) })
+            .map(|_| WorkerScratch { matrix: CandidateMatrix::with_row_capacity(dim, BLOCK_ROWS) })
             .collect();
         TuningSession { ranker, pool, scratch, scores: Vec::new() }
     }
@@ -468,7 +474,10 @@ fn score_chunk(
 }
 
 /// Encodes and scores one contiguous candidate range in blocks of
-/// [`BLOCK_ROWS`], reusing the worker's row-major matrix buffer.
+/// [`BLOCK_ROWS`], reusing the worker's packed candidate matrix. The
+/// encoder writes each row straight into the matrix buffer; the kernel
+/// reads the padded rows at the matrix stride (pad cells are never part of
+/// a dot product, so scores match the unpadded layout bit-for-bit).
 fn score_range(
     ranker: &StencilRanker,
     qf: &QueryFeatures,
@@ -477,15 +486,18 @@ fn score_range(
     scores: &mut [f64],
 ) {
     let encoder = ranker.encoder();
-    let dim = encoder.dim();
     let mut start = 0;
     while start < candidates.len() {
         let n = (candidates.len() - start).min(BLOCK_ROWS);
         scratch.matrix.clear();
         for &t in &candidates[start..start + n] {
-            encoder.append_candidate(qf, t, &mut scratch.matrix);
+            scratch.matrix.push_row_with(|out| encoder.append_candidate(qf, t, out));
         }
-        ranker.model().score_batch_into(&scratch.matrix, dim, &mut scores[start..start + n]);
+        ranker.model().score_rows_into(
+            scratch.matrix.rows_data(),
+            scratch.matrix.stride(),
+            &mut scores[start..start + n],
+        );
         start += n;
     }
 }

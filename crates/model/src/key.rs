@@ -53,9 +53,32 @@ impl InstanceKey {
         }
     }
 
+    /// Reassembles a key from its projected fields. This is the inverse of
+    /// field access for wire decoders that transport keys in non-serde
+    /// encodings; it performs no validation beyond what the field types
+    /// already guarantee.
+    pub fn from_parts(pattern: StencilPattern, buffers: u8, dtype: DType, size: GridSize) -> Self {
+        InstanceKey { pattern, buffers, dtype, size }
+    }
+
     /// The instance's grid size.
     pub fn size(&self) -> GridSize {
         self.size
+    }
+
+    /// The stencil access pattern of the keyed kernel.
+    pub fn pattern(&self) -> &StencilPattern {
+        &self.pattern
+    }
+
+    /// Number of distinct input buffers the keyed kernel reads.
+    pub fn buffers(&self) -> u8 {
+        self.buffers
+    }
+
+    /// Element type of the keyed kernel.
+    pub fn dtype(&self) -> DType {
+        self.dtype
     }
 
     /// Dimensionality of the keyed instance (2 or 3).

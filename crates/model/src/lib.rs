@@ -29,6 +29,7 @@ pub mod fingerprint;
 pub mod instance;
 pub mod kernel;
 pub mod key;
+pub mod matrix;
 pub mod pattern;
 pub mod shape;
 pub mod size;
@@ -42,6 +43,7 @@ pub use features::{EncodingKind, FeatureConfig, FeatureEncoder, QueryFeatures};
 pub use instance::StencilInstance;
 pub use kernel::StencilKernel;
 pub use key::InstanceKey;
+pub use matrix::CandidateMatrix;
 pub use pattern::{Offset, StencilPattern};
 pub use shape::ShapeFamily;
 pub use size::GridSize;

@@ -103,6 +103,7 @@ fn seed() -> u64 {
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_nanos() as u64)
         .unwrap_or(0x00de_ad00_beef_0000);
+    // sorl-lint: allow(unsafe, "address-of as ASLR entropy; the pointer is never dereferenced")
     let stack_entropy = &nanos as *const u64 as u64;
     nanos ^ stack_entropy.rotate_left(32) | 1
 }

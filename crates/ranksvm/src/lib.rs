@@ -22,6 +22,7 @@
 pub mod baselines;
 pub mod dataset;
 pub mod kendall;
+pub mod kernel;
 pub mod linalg;
 pub mod metrics;
 pub mod model;

@@ -65,18 +65,30 @@ impl LinearRanker {
     }
 
     /// Allocation-free variant of [`score_batch`](Self::score_batch):
-    /// writes one score per row into `out`.
+    /// writes one score per row into `out`. Dispatches to the SIMD batch
+    /// kernel when available (see [`crate::kernel`]); scores are bit-for-bit
+    /// identical either way.
     ///
     /// # Panics
     /// Panics when `dim` differs from the model dimension, `rows` is not a
     /// whole number of rows, or `out` is not exactly one slot per row.
     pub fn score_batch_into(&self, rows: &[f64], dim: usize, out: &mut [f64]) {
         assert_eq!(dim, self.w.len(), "feature dimension mismatch");
-        assert_eq!(rows.len() % dim, 0, "row matrix not a multiple of dim");
-        assert_eq!(out.len(), rows.len() / dim, "output length must match row count");
-        for (o, r) in out.iter_mut().zip(rows.chunks_exact(dim)) {
-            *o = dot(&self.w, r);
-        }
+        assert_eq!(rows.len() % dim.max(1), 0, "row matrix not a multiple of dim");
+        assert_eq!(out.len(), rows.len() / dim.max(1), "output length must match row count");
+        self.score_rows_into(rows, dim, out);
+    }
+
+    /// Scores rows laid out `stride` values apart — the lane-padded layout
+    /// of `stencil_model::CandidateMatrix` — writing one score per row.
+    /// Only the first `dim` values of each row are read; pad cells are
+    /// never touched, so padded and unpadded layouts score identically.
+    ///
+    /// # Panics
+    /// Panics when `stride` is narrower than the model dimension or `rows`
+    /// is not exactly `out.len()` rows of `stride` values.
+    pub fn score_rows_into(&self, rows: &[f64], stride: usize, out: &mut [f64]) {
+        crate::kernel::score_rows_into(&self.w, rows, stride, out);
     }
 
     /// Returns candidate indices sorted best-first (descending score, ties

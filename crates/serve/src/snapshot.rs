@@ -19,10 +19,13 @@
 //!   first and the restored cache evicts in the same order the live one
 //!   would have.
 //!
-//! The serialized form is JSON (everything in the workspace persists as
-//! JSON — rankers, perf snapshots); the format is small enough that a
-//! future binary format can slot in behind the same [`CacheSnapshot`]
-//! struct without touching callers.
+//! The serialized form on disk is JSON (everything in the workspace
+//! persists as JSON — rankers, perf snapshots). Over the wire the chunked
+//! form is codec-generic: [`CacheSnapshot::to_chunks_with`] /
+//! [`CacheSnapshot::from_chunks_with`] parameterize the per-entry
+//! encoding while keeping chunk boundaries, checksumming and torn-transfer
+//! validation identical — the shard transport's binary payload codec
+//! (`sorl_shard::wire::bin`) plugs in there for wire v4 links.
 
 use std::path::Path;
 
@@ -171,27 +174,48 @@ impl CacheSnapshot {
     /// version and fingerprint). Reassemble with
     /// [`from_chunks`](Self::from_chunks).
     pub fn to_chunks(&self, entries_per_chunk: usize) -> (SnapshotHeader, Vec<SnapshotChunk>) {
+        self.to_chunks_with(
+            entries_per_chunk,
+            |entry| {
+                // sorl-lint: allow(panic, "serializing our own derive(Serialize) types cannot fail")
+                serde_json::to_string(entry).expect("snapshot entry serializes").into_bytes()
+            },
+            seal_json_chunk,
+        )
+    }
+
+    /// Codec-generic core of [`to_chunks`](Self::to_chunks): `render`
+    /// serializes one entry, `seal` turns a chunk's rendered entries into
+    /// one payload (the JSON path wraps them into a JSON array; a binary
+    /// codec would count-prefix and concatenate). Chunk boundaries (the
+    /// entry-count limit and [`CHUNK_BYTE_BUDGET`]) and checksumming are
+    /// identical for every codec — the checksum is always the pinned
+    /// FNV-1a over the sealed payload bytes, whatever the encoding.
+    ///
+    /// Each entry is rendered exactly once and peak memory is one chunk's
+    /// worth of rendered entries, never the whole snapshot.
+    pub fn to_chunks_with(
+        &self,
+        entries_per_chunk: usize,
+        render: impl Fn(&SnapshotEntry) -> Vec<u8>,
+        seal: impl Fn(&[Vec<u8>]) -> Vec<u8>,
+    ) -> (SnapshotHeader, Vec<SnapshotChunk>) {
         let per = entries_per_chunk.max(1);
         let mut chunks: Vec<SnapshotChunk> = Vec::new();
-        // Each entry is rendered exactly once; a chunk payload is the
-        // pending renditions joined into a JSON array, so the byte
-        // accounting is exact and nothing serializes twice. Peak memory is
-        // one chunk's worth of rendered entries, never the whole snapshot.
-        let mut pending: Vec<String> = Vec::new();
+        let mut pending: Vec<Vec<u8>> = Vec::new();
         let mut bytes = 0usize;
         for entry in &self.entries {
-            // sorl-lint: allow(panic, "serializing our own derive(Serialize) types cannot fail")
-            let rendered = serde_json::to_string(entry).expect("snapshot entry serializes");
+            let rendered = render(entry);
             if !pending.is_empty()
                 && (pending.len() >= per || bytes + rendered.len() > CHUNK_BYTE_BUDGET)
             {
-                close_chunk(&mut chunks, &mut pending);
+                close_chunk(&mut chunks, &mut pending, &seal);
                 bytes = 0;
             }
             bytes += rendered.len();
             pending.push(rendered);
         }
-        close_chunk(&mut chunks, &mut pending);
+        close_chunk(&mut chunks, &mut pending, &seal);
         let header = SnapshotHeader {
             format_version: self.format_version,
             ranker_fingerprint: self.ranker_fingerprint,
@@ -211,6 +235,24 @@ impl CacheSnapshot {
     pub fn from_chunks(
         header: &SnapshotHeader,
         chunks: &[SnapshotChunk],
+    ) -> Result<Self, SnapshotError> {
+        Self::from_chunks_with(header, chunks, |i, payload| {
+            let text = std::str::from_utf8(payload)
+                .map_err(|e| SnapshotError::Parse(format!("chunk {i}: {e}")))?;
+            serde_json::from_str(text).map_err(|e| SnapshotError::Parse(format!("chunk {i}: {e}")))
+        })
+    }
+
+    /// Codec-generic core of [`from_chunks`](Self::from_chunks):
+    /// `parse_chunk(index, payload)` decodes one verified chunk payload
+    /// back into its entries. Count/order/checksum validation happens here,
+    /// identically for every codec, *before* `parse_chunk` ever sees a
+    /// byte — a decoder only runs on payloads whose FNV-1a digest checked
+    /// out.
+    pub fn from_chunks_with(
+        header: &SnapshotHeader,
+        chunks: &[SnapshotChunk],
+        parse_chunk: impl Fn(usize, &[u8]) -> Result<Vec<SnapshotEntry>, SnapshotError>,
     ) -> Result<Self, SnapshotError> {
         if chunks.len() != header.chunks {
             return Err(SnapshotError::Truncated {
@@ -234,11 +276,7 @@ impl CacheSnapshot {
             if !chunk.verify() {
                 return Err(SnapshotError::ChunkChecksum { index: i });
             }
-            let text = std::str::from_utf8(&chunk.payload)
-                .map_err(|e| SnapshotError::Parse(format!("chunk {i}: {e}")))?;
-            let part: Vec<SnapshotEntry> = serde_json::from_str(text)
-                .map_err(|e| SnapshotError::Parse(format!("chunk {i}: {e}")))?;
-            entries.extend(part);
+            entries.extend(parse_chunk(i, &chunk.payload)?);
         }
         if entries.len() != header.entries {
             return Err(SnapshotError::Truncated {
@@ -255,17 +293,36 @@ impl CacheSnapshot {
     }
 }
 
-/// Seals the pending entry renditions into one checksummed chunk (a JSON
-/// array assembled from the per-entry strings — byte-identical input to
-/// what `from_chunks` parses, without re-serializing the entries).
-fn close_chunk(chunks: &mut Vec<SnapshotChunk>, pending: &mut Vec<String>) {
+/// Seals the pending entry renditions into one checksummed chunk.
+fn close_chunk(
+    chunks: &mut Vec<SnapshotChunk>,
+    pending: &mut Vec<Vec<u8>>,
+    seal: &impl Fn(&[Vec<u8>]) -> Vec<u8>,
+) {
     if pending.is_empty() {
         return;
     }
-    let payload = format!("[{}]", pending.join(",")).into_bytes();
+    let payload = seal(pending);
     let checksum = SnapshotChunk::digest(&payload);
     chunks.push(SnapshotChunk { index: chunks.len(), checksum, payload });
     pending.clear();
+}
+
+/// The JSON chunk seal: joins the per-entry renditions into one JSON array
+/// — byte-identical input to what `from_chunks` parses, without
+/// re-serializing the entries.
+fn seal_json_chunk(pending: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = pending.iter().map(|p| p.len()).sum();
+    let mut payload = Vec::with_capacity(total + pending.len() + 1);
+    payload.push(b'[');
+    for (i, rendered) in pending.iter().enumerate() {
+        if i > 0 {
+            payload.push(b',');
+        }
+        payload.extend_from_slice(rendered);
+    }
+    payload.push(b']');
+    payload
 }
 
 /// The fixed-size prologue of a chunked snapshot transfer: everything a

@@ -11,14 +11,18 @@
 //! requests through the service's non-blocking tickets, so a single
 //! connection pipelines instead of lock-stepping call/response.
 //!
-//! Version negotiation is lazy and per-link: the first call sends a v3
-//! fingerprint probe; a v3 peer answers it and the link goes multiplexed
-//! with trace propagation, a v2-only peer rejects the probe with its
-//! ordinary version-mismatch fault and the link redials to probe v2
-//! (multiplexed, untraced), and a v1-only peer rejects that too, leaving
-//! the link in lock-step v1 mode ([`TcpShard::connect_v1`] forces that
-//! mode outright). The server side needs no negotiation at all — it
-//! answers every frame in the version it arrived in.
+//! Version negotiation is lazy and per-link: the first call sends a v4
+//! fingerprint probe; a v4 peer answers it and the link goes multiplexed
+//! with trace propagation *and binary payloads* on the hot kinds (tune
+//! answers, stats, snapshot chunks — see [`crate::wire::bin`]). Each
+//! older peer rejects the probe with its ordinary version-mismatch fault,
+//! so the ladder redials downward — v3 (multiplexed, traced, JSON), v2
+//! (multiplexed, untraced), finally lock-step v1
+//! ([`TcpShard::connect_v1`] forces that mode outright). The server side
+//! needs no negotiation at all — it answers every frame in the version it
+//! arrived in, picking the payload codec per response kind and stamping
+//! it in the frame header, so the client decodes by codec byte, never by
+//! guesswork.
 //!
 //! Observability: every [`TcpShard`] keeps [`LinkStats`] (dials,
 //! reconnects, downgrades, poisoned links) and a client-side
@@ -71,7 +75,10 @@ use stencil_model::StencilInstance;
 
 use crate::routing::CacheSlice;
 use crate::transport::ShardTransport;
-use crate::wire::{self, FrameKind, WireError, PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3};
+use crate::wire::{
+    self, bin, FrameKind, PayloadCodec, WireError, PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3,
+    PROTOCOL_V4,
+};
 
 /// Locks `m`, recovering from poisoning instead of panicking: every
 /// state these mutexes protect (connection [`Slot`], [`MuxState`],
@@ -162,6 +169,9 @@ pub struct LinkStats {
     /// Links re-established after the initial one (a restart ridden out,
     /// or a poisoned link replaced).
     pub reconnects: u64,
+    /// Negotiations where the v4 probe was version-rejected and the link
+    /// fell back to v3 (a traced-but-JSON-only peer).
+    pub v3_downgrades: u64,
     /// Negotiations where the v3 probe was version-rejected and the link
     /// fell back to v2 (an old multiplexed peer).
     pub v2_downgrades: u64,
@@ -181,6 +191,7 @@ pub struct LinkStats {
 struct LinkCounters {
     dials: AtomicU64,
     reconnects: AtomicU64,
+    v3_downgrades: AtomicU64,
     v2_downgrades: AtomicU64,
     v1_downgrades: AtomicU64,
     poisoned: AtomicU64,
@@ -293,6 +304,7 @@ impl TcpShard {
         LinkStats {
             dials: self.counters.dials.load(relaxed),
             reconnects: self.counters.reconnects.load(relaxed),
+            v3_downgrades: self.counters.v3_downgrades.load(relaxed),
             v2_downgrades: self.counters.v2_downgrades.load(relaxed),
             v1_downgrades: self.counters.v1_downgrades.load(relaxed),
             poisoned: self.counters.poisoned.load(relaxed),
@@ -366,16 +378,24 @@ impl TcpShard {
     }
 
     /// Version negotiation on a fresh stream: a descending probe ladder.
-    /// The fingerprint probe goes out as v3; a v3 peer answers it and the
-    /// link multiplexes with trace propagation. An older peer faults the
-    /// unknown version (with its "protocol version" message) and hangs
-    /// up, so the ladder redials and probes v2, and finally falls back to
-    /// lock-step v1. Each rung costs one dial — only paid against
-    /// old-binary peers, and only at (re)negotiation.
+    /// The fingerprint probe goes out as v4; a v4 peer answers it and the
+    /// link multiplexes with trace propagation and binary hot-path
+    /// payloads. An older peer faults the unknown version (with its
+    /// "protocol version" message) and hangs up, so the ladder redials
+    /// and probes v3, then v2, and finally falls back to lock-step v1.
+    /// Each rung costs one dial — only paid against old-binary peers, and
+    /// only at (re)negotiation.
     fn negotiate(&self, stream: TcpStream) -> Result<Arc<Link>, ServeError> {
         if self.force_v1 {
             return Ok(Arc::new(Link::V1(Mutex::new(stream))));
         }
+        match self.probe(stream, PROTOCOL_V4)? {
+            Probed::Link(link) => return Ok(link),
+            Probed::VersionRejected => {}
+        }
+        // sorl-lint: allow(atomic, "diagnostic counter; no ordering required")
+        self.counters.v3_downgrades.fetch_add(1, Ordering::Relaxed);
+        let stream = self.dial_retrying()?;
         match self.probe(stream, PROTOCOL_V3)? {
             Probed::Link(link) => return Ok(link),
             Probed::VersionRejected => {}
@@ -478,14 +498,17 @@ impl ShardTransport for TcpShard {
         let trace_id = span.trace().as_u64();
         let payload = wire::to_payload(&TuneRequest::new(instance, k));
         let result = self.call(|link| {
-            let answer = link.request(
+            let (codec, answer) = link.request(
                 FrameKind::Tune,
                 &payload,
                 FrameKind::TuneOk,
                 "tune answer",
                 trace_id,
             )?;
-            wire::from_payload(&answer)
+            match codec {
+                PayloadCodec::Json => wire::from_payload(&answer),
+                PayloadCodec::Binary => bin::decode_top_k(&answer),
+            }
         });
         if result.is_err() {
             span.event("error");
@@ -495,21 +518,25 @@ impl ShardTransport for TcpShard {
 
     fn ranker_fingerprint(&self) -> Result<u64, ServeError> {
         self.call(|link| {
-            let answer = link.request(
+            let (codec, answer) = link.request(
                 FrameKind::Fingerprint,
                 &[],
                 FrameKind::FingerprintOk,
                 "fingerprint",
                 0,
             )?;
-            wire::from_payload(&answer)
+            json_only(codec, &answer, "the fingerprint request")
         })
     }
 
     fn stats(&self) -> Result<ServeStats, ServeError> {
         self.call(|link| {
-            let answer = link.request(FrameKind::Stats, &[], FrameKind::StatsOk, "stats", 0)?;
-            wire::from_payload(&answer)
+            let (codec, answer) =
+                link.request(FrameKind::Stats, &[], FrameKind::StatsOk, "stats", 0)?;
+            match codec {
+                PayloadCodec::Json => wire::from_payload(&answer),
+                PayloadCodec::Binary => bin::decode_stats(&answer),
+            }
         })
     }
 
@@ -524,9 +551,8 @@ impl ShardTransport for TcpShard {
     }
 
     fn import_cache(&self, snapshot: CacheSnapshot) -> Result<usize, ServeError> {
-        let (header, chunks) = snapshot.to_chunks(wire::CHUNK_ENTRIES);
         self.call(|link| {
-            let answer = link.import(&header, &chunks)?;
+            let answer = link.import(&snapshot)?;
             wire::from_payload(&answer)
         })
     }
@@ -535,15 +561,30 @@ impl ShardTransport for TcpShard {
         let query = wire::TraceQuery { trace: trace.map(TraceId::as_u64).unwrap_or(0) };
         let payload = wire::to_payload(&query);
         self.call(|link| {
-            let answer = link.request(
+            let (codec, answer) = link.request(
                 FrameKind::TraceDump,
                 &payload,
                 FrameKind::TraceDumpOk,
                 "trace dump",
                 0,
             )?;
-            wire::from_payload(&answer)
+            json_only(codec, &answer, "the trace-dump request")
         })
+    }
+}
+
+/// Decodes an answer the server only ever sends as JSON; a binary codec
+/// on one of these kinds means the peer is confused enough to distrust.
+fn json_only<T: serde::de::DeserializeOwned>(
+    codec: PayloadCodec,
+    payload: &[u8],
+    what: &str,
+) -> Result<T, ServeError> {
+    match codec {
+        PayloadCodec::Json => wire::from_payload(payload),
+        PayloadCodec::Binary => {
+            Err(ServeError::Transport(format!("unexpected binary payload answering {what}")))
+        }
     }
 }
 
@@ -563,10 +604,13 @@ enum Expect {
     Snapshot,
 }
 
-/// What a completed v2 request resolved to.
+/// What a completed v2 request resolved to. A plain payload carries the
+/// codec its frame was stamped with, so the caller decodes what was
+/// actually sent (a v4 server may answer JSON when a value overflows the
+/// binary codec's compact ranges).
 #[derive(Debug)]
 enum Outcome {
-    Payload(Vec<u8>),
+    Payload(PayloadCodec, Vec<u8>),
     Snapshot(Box<CacheSnapshot>),
 }
 
@@ -611,9 +655,10 @@ impl Link {
         }
     }
 
-    /// One request answered by one response frame. `trace_id` rides in
-    /// the frame header on a v3 link and is silently dropped on older
-    /// ones (pass 0 for untraced requests).
+    /// One request answered by one response frame (returned with the
+    /// codec its payload arrived in — always JSON below v4). `trace_id`
+    /// rides in the frame header on a v3+ link and is silently dropped on
+    /// older ones (pass 0 for untraced requests).
     fn request(
         &self,
         kind: FrameKind,
@@ -621,7 +666,7 @@ impl Link {
         expect: FrameKind,
         wanted: &'static str,
         trace_id: u64,
-    ) -> Result<Vec<u8>, ServeError> {
+    ) -> Result<(PayloadCodec, Vec<u8>), ServeError> {
         match self {
             Link::Mux(mux) => {
                 let outcome = mux.call(Expect::Reply(expect), |stream, id| {
@@ -632,7 +677,8 @@ impl Link {
             Link::V1(stream) => {
                 let mut stream = lock_recover(stream);
                 wire::write_frame(&mut *stream, kind, payload)?;
-                wire::expect_frame(&mut *stream, expect, wanted)
+                let answer = wire::expect_frame(&mut *stream, expect, wanted)?;
+                Ok((PayloadCodec::Json, answer))
             }
         }
     }
@@ -659,14 +705,23 @@ impl Link {
     }
 
     /// An import: a header-plus-chunks request answered by one frame.
-    fn import(
-        &self,
-        header: &SnapshotHeader,
-        chunks: &[sorl_serve::SnapshotChunk],
-    ) -> Result<Vec<u8>, ServeError> {
-        let header_payload = wire::to_payload(header);
+    /// Chunking happens here, after negotiation, because the codec is a
+    /// link property: a v4 link ships binary chunks (falling back to JSON
+    /// when the snapshot overflows the binary codec's compact ranges),
+    /// older links always ship JSON.
+    fn import(&self, snapshot: &CacheSnapshot) -> Result<Vec<u8>, ServeError> {
         match self {
             Link::Mux(mux) => {
+                let codec = if mux.version >= PROTOCOL_V4 && bin::snapshot_fits(snapshot) {
+                    PayloadCodec::Binary
+                } else {
+                    PayloadCodec::Json
+                };
+                let (header, chunks) = match codec {
+                    PayloadCodec::Json => snapshot.to_chunks(wire::CHUNK_ENTRIES),
+                    PayloadCodec::Binary => bin::snapshot_to_chunks(snapshot, wire::CHUNK_ENTRIES),
+                };
+                let header_payload = wire::to_payload(&header);
                 // Header and chunks go out contiguously under the writer
                 // lock, so the server can read the stream inline.
                 let outcome = mux.call(Expect::Reply(FrameKind::ImportOk), |stream, id| {
@@ -678,14 +733,20 @@ impl Link {
                         0,
                         &header_payload,
                     )?;
-                    wire::write_chunk_frames_in(stream, mux.version, id, chunks)
+                    wire::write_chunk_frames_coded(stream, mux.version, id, codec, &chunks)
                 })?;
-                outcome.into_payload()
+                let (_, answer) = outcome.into_payload()?;
+                Ok(answer)
             }
             Link::V1(stream) => {
+                let (header, chunks) = snapshot.to_chunks(wire::CHUNK_ENTRIES);
                 let mut stream = lock_recover(stream);
-                wire::write_frame(&mut *stream, FrameKind::ImportCache, &header_payload)?;
-                wire::write_chunk_frames(&mut *stream, chunks)?;
+                wire::write_frame(
+                    &mut *stream,
+                    FrameKind::ImportCache,
+                    &wire::to_payload(&header),
+                )?;
+                wire::write_chunk_frames(&mut *stream, &chunks)?;
                 wire::expect_frame(&mut *stream, FrameKind::ImportOk, "import answer")
             }
         }
@@ -693,9 +754,9 @@ impl Link {
 }
 
 impl Outcome {
-    fn into_payload(self) -> Result<Vec<u8>, ServeError> {
+    fn into_payload(self) -> Result<(PayloadCodec, Vec<u8>), ServeError> {
         match self {
-            Outcome::Payload(payload) => Ok(payload),
+            Outcome::Payload(codec, payload) => Ok((codec, payload)),
             Outcome::Snapshot(_) => {
                 Err(ServeError::Transport("snapshot stream answered a plain request".into()))
             }
@@ -705,7 +766,7 @@ impl Outcome {
     fn into_snapshot(self) -> Result<CacheSnapshot, ServeError> {
         match self {
             Outcome::Snapshot(snapshot) => Ok(*snapshot),
-            Outcome::Payload(_) => {
+            Outcome::Payload(..) => {
                 Err(ServeError::Transport("plain frame answered a snapshot request".into()))
             }
         }
@@ -929,7 +990,7 @@ fn route_frame(mux: &MuxLink, frame: wire::Frame) -> Result<(), ()> {
     let resolution: Result<Option<Result<Outcome, ServeError>>, String> = match frame.kind {
         FrameKind::Error => Ok(Some(Err(wire::decode_fault(&frame.payload)))),
         kind if pending.expect == Expect::Reply(kind) => {
-            Ok(Some(Ok(Outcome::Payload(frame.payload))))
+            Ok(Some(Ok(Outcome::Payload(frame.codec, frame.payload))))
         }
         FrameKind::SnapshotHeader if pending.expect == Expect::Snapshot => {
             if pending.assembling.is_some() {
@@ -953,7 +1014,7 @@ fn route_frame(mux: &MuxLink, frame: wire::Frame) -> Result<(), ()> {
         FrameKind::SnapshotChunk if pending.expect == Expect::Snapshot => {
             match pending.assembling.as_mut() {
                 None => Err("snapshot chunk before its header".to_string()),
-                Some(assembler) => match assembler.push_chunk(&frame.payload) {
+                Some(assembler) => match assembler.push_chunk_coded(frame.codec, &frame.payload) {
                     // A bounds/length violation could desync framing for
                     // the rest of the stream — poison, don't just fail
                     // the one request.
@@ -1217,10 +1278,21 @@ const SERVER_IO_TIMEOUT: Duration = Duration::from_secs(30);
 /// One queued reply for the connection's writer thread.
 enum WriteJob {
     /// A single response frame, in the version its request arrived in,
-    /// echoing the request's trace id (dropped on the wire below v3).
-    Frame { version: u16, request_id: u64, trace_id: u64, kind: FrameKind, payload: Vec<u8> },
-    /// A snapshot stream response.
-    Snapshot { version: u16, request_id: u64, snapshot: Box<CacheSnapshot> },
+    /// echoing the request's trace id (dropped on the wire below v3) and
+    /// stamped with the codec its payload was encoded in (always JSON
+    /// below v4; error frames are JSON in every version).
+    Frame {
+        version: u16,
+        request_id: u64,
+        trace_id: u64,
+        kind: FrameKind,
+        codec: PayloadCodec,
+        payload: Vec<u8>,
+    },
+    /// A snapshot stream response; `codec` is the *requested* chunk
+    /// encoding (the stream writer degrades to JSON when the version or
+    /// the snapshot's value ranges rule binary out).
+    Snapshot { version: u16, request_id: u64, codec: PayloadCodec, snapshot: Box<CacheSnapshot> },
     /// Flush nothing more; shut the socket down (protocol violation or
     /// service shutdown — queued before this job is the farewell fault).
     Close,
@@ -1232,6 +1304,7 @@ fn fault_job(version: u16, request_id: u64, trace_id: u64, fault: &ServeError) -
         request_id,
         trace_id,
         kind: FrameKind::Error,
+        codec: PayloadCodec::Json,
         payload: wire::encode_fault(fault),
     }
 }
@@ -1244,11 +1317,25 @@ fn fault_job(version: u16, request_id: u64, trace_id: u64, fault: &ServeError) -
 fn write_loop(mut stream: TcpStream, jobs: &mpsc::Receiver<WriteJob>) {
     while let Ok(job) = jobs.recv() {
         let wrote = match job {
-            WriteJob::Frame { version, request_id, trace_id, kind, payload } => {
-                wire::write_frame_full(&mut stream, version, kind, request_id, trace_id, &payload)
+            WriteJob::Frame { version, request_id, trace_id, kind, codec, payload } => {
+                wire::write_frame_coded(
+                    &mut stream,
+                    version,
+                    kind,
+                    request_id,
+                    trace_id,
+                    codec,
+                    &payload,
+                )
             }
-            WriteJob::Snapshot { version, request_id, snapshot } => {
-                wire::write_snapshot_stream_in(&mut stream, version, request_id, &snapshot)
+            WriteJob::Snapshot { version, request_id, codec, snapshot } => {
+                wire::write_snapshot_stream_coded(
+                    &mut stream,
+                    version,
+                    request_id,
+                    codec,
+                    &snapshot,
+                )
             }
             WriteJob::Close => break,
         };
@@ -1365,12 +1452,13 @@ fn serve_request(
     counters: &Arc<ServerCounters>,
     config: ShardServerConfig,
 ) -> LinkState {
-    let wire::Frame { version, kind, request_id, trace_id, payload } = frame;
+    let wire::Frame { version, kind, request_id, trace_id, codec: _, payload } = frame;
     let reply = |kind: FrameKind, payload: Vec<u8>| WriteJob::Frame {
         version,
         request_id,
         trace_id,
         kind,
+        codec: PayloadCodec::Json,
         payload,
     };
     match kind {
@@ -1426,13 +1514,26 @@ fn serve_request(
                         in_flight.fetch_sub(1, Ordering::AcqRel);
                         counters.in_flight.fetch_sub(1, Ordering::AcqRel);
                         let job = match outcome {
-                            Ok(top) => WriteJob::Frame {
-                                version,
-                                request_id,
-                                trace_id,
-                                kind: FrameKind::TuneOk,
-                                payload: wire::to_payload(&top),
-                            },
+                            Ok(top) => {
+                                // v4 links get the compact binary answer
+                                // unless a value overflows its ranges; the
+                                // frame's codec byte tells the client
+                                // which decode to run either way.
+                                let (codec, payload) =
+                                    if version >= PROTOCOL_V4 && bin::top_k_fits(&top) {
+                                        (PayloadCodec::Binary, bin::encode_top_k(&top))
+                                    } else {
+                                        (PayloadCodec::Json, wire::to_payload(&top))
+                                    };
+                                WriteJob::Frame {
+                                    version,
+                                    request_id,
+                                    trace_id,
+                                    kind: FrameKind::TuneOk,
+                                    codec,
+                                    payload,
+                                }
+                            }
                             Err(fault) => fault_job(version, request_id, trace_id, &fault),
                         };
                         let _ = jobs.send(job);
@@ -1448,7 +1549,20 @@ fn serve_request(
             }
         }
         FrameKind::Stats => {
-            keep(jobs.send(reply(FrameKind::StatsOk, wire::to_payload(&service.stats()))))
+            let stats = service.stats();
+            let job = if version >= PROTOCOL_V4 {
+                WriteJob::Frame {
+                    version,
+                    request_id,
+                    trace_id,
+                    kind: FrameKind::StatsOk,
+                    codec: PayloadCodec::Binary,
+                    payload: bin::encode_stats(&stats),
+                }
+            } else {
+                reply(FrameKind::StatsOk, wire::to_payload(&stats))
+            };
+            keep(jobs.send(job))
         }
         FrameKind::TraceDump => {
             let answer = match wire::from_payload::<wire::TraceQuery>(&payload) {
@@ -1488,6 +1602,14 @@ fn serve_request(
                 Ok(snapshot) => keep(jobs.send(WriteJob::Snapshot {
                     version,
                     request_id,
+                    // Request binary chunking on v4 links; the stream
+                    // writer degrades to JSON when the snapshot's values
+                    // overflow the binary codec's compact ranges.
+                    codec: if version >= PROTOCOL_V4 {
+                        PayloadCodec::Binary
+                    } else {
+                        PayloadCodec::Json
+                    },
                     snapshot: Box::new(snapshot),
                 })),
                 Err(fault) => keep(jobs.send(fault_job(version, request_id, trace_id, &fault))),

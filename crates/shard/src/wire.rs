@@ -1,37 +1,48 @@
 //! The cross-host shard wire protocol: length-prefixed, versioned frames
-//! with JSON payloads and chunked, per-chunk-checksummed snapshot
-//! streaming. This build speaks protocol **v3** (multiplexed frames with
-//! request ids and a trace id) and still reads and answers **v2**
-//! (multiplexed, no trace) and **v1** (lock-step) peers.
+//! with JSON or binary payloads and chunked, per-chunk-checksummed
+//! snapshot streaming. This build speaks protocol **v4** (multiplexed,
+//! traced frames with a per-frame payload codec) and still reads and
+//! answers **v3** (multiplexed, traced), **v2** (multiplexed, no trace)
+//! and **v1** (lock-step) peers.
 //!
 //! Every frame starts with the v1 11-byte header; each later version
 //! appends one strict-prefix-compatible field — v2 a request id so many
 //! requests can be in flight per connection, v3 a trace id so one
-//! request's spans on both ends of the link share a trace:
+//! request's spans on both ends of the link share a trace, v4 a payload
+//! codec byte so the hottest payloads can travel binary:
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic  — b"SORL"
-//! 4       2     protocol version (little endian; 1, 2 or 3)
+//! 4       2     protocol version (little endian; 1, 2, 3 or 4)
 //! 6       1     frame kind (see [`FrameKind`])
 //! 7       4     payload length (little endian)
 //! 11      8     request id (little endian) — v2+ frames only
-//! 19      8     trace id (little endian) — v3 frames only (0 = absent)
-//! 11|19|27 len  payload
+//! 19      8     trace id (little endian) — v3+ frames only (0 = absent)
+//! 27      1     payload codec (see [`PayloadCodec`]) — v4 frames only
+//! 11|19|27|28 len  payload
 //! ```
 //!
 //! A v2+ response carries the request id of the request it answers; every
 //! frame of a snapshot stream carries the id of the request that opened
 //! the stream. v1 frames have no id ([`read_frame`] reports them as id
-//! `0`) and imply lock-step call/response. A v3 request carries the
+//! `0`) and imply lock-step call/response. A v3+ request carries the
 //! submitting client's trace id (0 when untraced); the server stamps its
 //! own spans with it and echoes it on the response. v1/v2 frames decode
 //! as trace `0`, which the observability layer degrades to a fresh local
-//! trace. Version negotiation is per-frame: a receiver answers in the
-//! version the request arrived in, and an old peer rejects a
-//! newer-versioned frame with its ordinary version-mismatch fault — which
-//! is exactly the downgrade signal a dialer needs (see `TcpShard`, which
-//! ladders v3 → v2 → v1).
+//! trace. A v4 frame additionally names its payload's encoding:
+//! [`PayloadCodec::Json`] (byte `0`, the only pre-v4 encoding — pre-v4
+//! frames decode as it) or [`PayloadCodec::Binary`] (byte `1`, the
+//! little-endian codec in [`bin`]). Requests stay JSON in every version;
+//! a v4 server answers the hot response kinds ([`FrameKind::TuneOk`],
+//! [`FrameKind::StatsOk`], [`FrameKind::SnapshotChunk`]) binary and
+//! everything else JSON, and a receiver always dispatches on the frame's
+//! codec byte, never on its kind. Version negotiation is per-frame: a
+//! receiver answers in the version (and, for hot kinds, the best codec)
+//! the request arrived in, and an old peer rejects a newer-versioned
+//! frame with its ordinary version-mismatch fault — which is exactly the
+//! downgrade signal a dialer needs (see `TcpShard`, which ladders
+//! v4 → v3 → v2 → v1).
 //!
 //! Request/response pairs ([`FrameKind::Tune`] → [`FrameKind::TuneOk`],
 //! …) carry one JSON payload each. The v3 family adds the tracing pair
@@ -42,12 +53,16 @@
 //! what `ShardRouter::fleet_trace` and the `sorl-trace` CLI assemble
 //! into cross-process waterfalls. Snapshots never travel as one giant
 //! JSON string: a snapshot stream is a [`FrameKind::SnapshotHeader`] frame
-//! (JSON [`SnapshotHeader`]) followed by `header.chunks`
-//! [`FrameKind::SnapshotChunk`] frames, each `8-byte FNV-1a checksum ‖
-//! chunk JSON bytes` (see [`sorl_serve::SnapshotChunk`] — the checksum is
-//! the pinned [`stencil_model::fingerprint::Fnv1a`] over exactly the JSON
-//! bytes), so big caches stream chunk by chunk and a torn or corrupted
-//! transfer is rejected deterministically before anything is assembled.
+//! (JSON [`SnapshotHeader`], in every codec — the prologue stays humanly
+//! inspectable) followed by `header.chunks` [`FrameKind::SnapshotChunk`]
+//! frames, each `8-byte FNV-1a checksum ‖ chunk bytes` (see
+//! [`sorl_serve::SnapshotChunk`] — the checksum is the pinned
+//! [`stencil_model::fingerprint::Fnv1a`] over exactly the chunk bytes,
+//! whatever their codec), so big caches stream chunk by chunk and a torn
+//! or corrupted transfer is rejected deterministically before anything is
+//! assembled. On a v4 link the chunk bytes are [`bin`]-encoded entries
+//! instead of a JSON array; the frame's codec byte says which, and
+//! [`SnapshotAssembler`] refuses streams that switch codec midway.
 //!
 //! Failures travel as [`FrameKind::Error`] frames whose payload is a
 //! [`WireFault`] — a flat, versionable encoding of [`ServeError`] that
@@ -64,6 +79,8 @@ use serde::{Deserialize, Serialize};
 use sorl_obs::RecorderDump;
 use sorl_serve::{Exemplar, ServeError, ShedReason, SnapshotChunk, SnapshotError, SnapshotHeader};
 
+pub mod bin;
+
 /// Leading bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"SORL";
 
@@ -78,9 +95,14 @@ pub const PROTOCOL_V2: u16 = 2;
 /// (0 when the sender is not tracing).
 pub const PROTOCOL_V3: u16 = 3;
 
+/// The codec-aware protocol: every frame additionally names its payload
+/// encoding (see [`PayloadCodec`]), so the hottest payloads can travel
+/// binary while everything else stays JSON.
+pub const PROTOCOL_V4: u16 = 4;
+
 /// The newest protocol version this build speaks (it also reads and
-/// answers [`PROTOCOL_V1`] and [`PROTOCOL_V2`]).
-pub const PROTOCOL_VERSION: u16 = PROTOCOL_V3;
+/// answers [`PROTOCOL_V1`] through [`PROTOCOL_V3`]).
+pub const PROTOCOL_VERSION: u16 = PROTOCOL_V4;
 
 /// Size of the fixed v1 frame header (also the shared prefix of every
 /// later header).
@@ -91,6 +113,9 @@ pub const HEADER_LEN_V2: usize = HEADER_LEN + 8;
 
 /// Size of a v3 frame header ([`HEADER_LEN_V2`] plus the 8-byte trace id).
 pub const HEADER_LEN_V3: usize = HEADER_LEN_V2 + 8;
+
+/// Size of a v4 frame header ([`HEADER_LEN_V3`] plus the codec byte).
+pub const HEADER_LEN_V4: usize = HEADER_LEN_V3 + 1;
 
 /// Upper bound on a single frame's payload. Chunked snapshot streaming
 /// keeps real frames far below this; the cap exists so garbage bytes in
@@ -151,6 +176,32 @@ pub enum FrameKind {
     Error = 0x2f,
 }
 
+/// How a v4 frame's payload is encoded. The discriminant byte is part of
+/// the wire contract — append, never renumber. Pre-v4 frames have no
+/// codec byte and always decode as [`PayloadCodec::Json`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum PayloadCodec {
+    /// UTF-8 JSON — the only encoding of v1–v3 and the v4 default; every
+    /// request and every non-hot response travels as it.
+    #[default]
+    Json = 0,
+    /// The little-endian binary codec in [`bin`] — v4 responses of the
+    /// hot kinds ([`FrameKind::TuneOk`], [`FrameKind::StatsOk`],
+    /// [`FrameKind::SnapshotChunk`]).
+    Binary = 1,
+}
+
+impl PayloadCodec {
+    fn from_byte(b: u8) -> Option<PayloadCodec> {
+        match b {
+            0 => Some(PayloadCodec::Json),
+            1 => Some(PayloadCodec::Binary),
+            _ => None,
+        }
+    }
+}
+
 impl FrameKind {
     fn from_byte(b: u8) -> Option<FrameKind> {
         Some(match b {
@@ -190,6 +241,8 @@ pub enum WireError {
     },
     /// The frame kind byte is not one this build knows.
     UnknownKind(u8),
+    /// The v4 payload codec byte is not one this build knows.
+    UnknownCodec(u8),
     /// The declared payload length exceeds [`MAX_PAYLOAD`].
     Oversized(u32),
     /// A frame of an unexpected kind arrived (protocol state violation —
@@ -215,6 +268,7 @@ impl std::fmt::Display for WireError {
                 )
             }
             WireError::UnknownKind(b) => write!(f, "unknown frame kind {b:#04x}"),
+            WireError::UnknownCodec(b) => write!(f, "unknown payload codec {b:#04x}"),
             WireError::Oversized(len) => {
                 write!(f, "frame payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte cap")
             }
@@ -240,21 +294,26 @@ impl From<WireError> for ServeError {
 }
 
 /// One decoded frame: version, kind, request id (0 for v1 frames), trace
-/// id (0 for pre-v3 frames) and payload.
+/// id (0 for pre-v3 frames), payload codec (JSON for pre-v4 frames) and
+/// payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// The version the frame arrived in ([`PROTOCOL_V1`]..
-    /// [`PROTOCOL_V3`]) — a receiver answers in this version.
+    /// [`PROTOCOL_V4`]) — a receiver answers in this version.
     pub version: u16,
     /// What the payload carries.
     pub kind: FrameKind,
     /// The request this frame belongs to. v1 frames have none on the wire
     /// and decode as `0`.
     pub request_id: u64,
-    /// The trace the request belongs to. Pre-v3 frames (and untraced v3
+    /// The trace the request belongs to. Pre-v3 frames (and untraced v3+
     /// senders) decode as `0`, meaning "absent" — the observability layer
     /// degrades that to a fresh local trace.
     pub trace_id: u64,
+    /// How the payload is encoded. Pre-v4 frames have no codec byte and
+    /// decode as [`PayloadCodec::Json`]; receivers dispatch on this, not
+    /// on the frame kind.
+    pub codec: PayloadCodec,
     /// The frame body.
     pub payload: Vec<u8>,
 }
@@ -300,9 +359,10 @@ pub fn write_frame_in(
 }
 
 /// Writes one frame in the given protocol version with every header
-/// field — the shape a server needs to answer each request in the
-/// version it arrived in, echoing its trace. Fields a version has no
-/// room for are silently dropped.
+/// field except the codec (JSON, the only pre-v4 encoding) — the shape a
+/// server needs to answer each request in the version it arrived in,
+/// echoing its trace. Fields a version has no room for are silently
+/// dropped.
 pub fn write_frame_full(
     w: &mut impl Write,
     version: u16,
@@ -311,33 +371,66 @@ pub fn write_frame_full(
     trace_id: u64,
     payload: &[u8],
 ) -> Result<(), WireError> {
-    debug_assert!((PROTOCOL_V1..=PROTOCOL_V3).contains(&version));
+    write_frame_coded(w, version, kind, request_id, trace_id, PayloadCodec::Json, payload)
+}
+
+/// Writes one frame with every header field including the v4 payload
+/// codec — the most general writer; every other `write_frame*` delegates
+/// here. Fields a version has no room for are silently dropped, which for
+/// the codec means a pre-v4 frame can only carry JSON: callers pick the
+/// codec *after* version negotiation, so a non-JSON codec with a pre-v4
+/// version is a caller bug (debug-asserted) and goes out as the JSON the
+/// old peer will assume anyway.
+pub fn write_frame_coded(
+    w: &mut impl Write,
+    version: u16,
+    kind: FrameKind,
+    request_id: u64,
+    trace_id: u64,
+    codec: PayloadCodec,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    debug_assert!((PROTOCOL_V1..=PROTOCOL_VERSION).contains(&version));
+    debug_assert!(
+        version >= PROTOCOL_V4 || codec == PayloadCodec::Json,
+        "pre-v4 frames have no codec byte; negotiate the version before picking a codec"
+    );
     let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversized(u32::MAX))?;
     if len > MAX_PAYLOAD {
         return Err(WireError::Oversized(len));
     }
-    let mut header = [0u8; HEADER_LEN_V3];
-    header[..4].copy_from_slice(&MAGIC);
-    header[4..6].copy_from_slice(&version.to_le_bytes());
+    // The header is assembled front-to-back on the stack; `put` slices
+    // with split_at_mut, so the whole path is free of panicking indexing.
+    let mut header = [0u8; HEADER_LEN_V4];
+    let mut rest = header.as_mut_slice();
+    rest = put(rest, &MAGIC);
+    rest = put(rest, &version.to_le_bytes());
     // sorl-lint: allow(cast, "FrameKind is a unit enum with discriminants < 256")
-    header[6] = kind as u8;
-    header[7..11].copy_from_slice(&len.to_le_bytes());
+    rest = put(rest, &[kind as u8]);
+    rest = put(rest, &len.to_le_bytes());
     if version >= PROTOCOL_V2 {
-        header[11..19].copy_from_slice(&request_id.to_le_bytes());
+        rest = put(rest, &request_id.to_le_bytes());
     }
     if version >= PROTOCOL_V3 {
-        // sorl-lint: allow(panic, "8-byte slice of a fixed header; bounds are literal constants")
-        header[19..27].copy_from_slice(&trace_id.to_le_bytes());
-        w.write_all(&header)?;
-    } else if version >= PROTOCOL_V2 {
-        // sorl-lint: allow(panic, "prefix slice of a fixed header; length is a literal constant")
-        w.write_all(&header[..HEADER_LEN_V2])?;
-    } else {
-        w.write_all(&header[..HEADER_LEN])?;
+        rest = put(rest, &trace_id.to_le_bytes());
     }
+    if version >= PROTOCOL_V4 {
+        // sorl-lint: allow(cast, "PayloadCodec is a unit enum with discriminants < 256")
+        rest = put(rest, &[codec as u8]);
+    }
+    let used = HEADER_LEN_V4 - rest.len();
+    let (written, _) = header.split_at(used);
+    w.write_all(written)?;
     w.write_all(payload)?;
     w.flush()?;
     Ok(())
+}
+
+/// Copies `bytes` to the front of `buf`, returning the unwritten tail.
+fn put<'a>(buf: &'a mut [u8], bytes: &[u8]) -> &'a mut [u8] {
+    let (head, tail) = buf.split_at_mut(bytes.len());
+    head.copy_from_slice(bytes);
+    tail
 }
 
 /// Reads one frame (either version), validating magic, version, kind and
@@ -345,7 +438,8 @@ pub fn write_frame_full(
 pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
     let mut first = [0u8; 1];
     r.read_exact(&mut first)?;
-    read_frame_after(r, first[0])
+    let [first] = first;
+    read_frame_after(r, first)
 }
 
 /// Like [`read_frame`], resuming after the caller already read the
@@ -353,43 +447,45 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
 /// of a request without a timeout (idle links are healthy) while still
 /// timing out a peer that stalls *mid-frame*.
 pub fn read_frame_after(r: &mut impl Read, first: u8) -> Result<Frame, WireError> {
-    let mut header = [0u8; HEADER_LEN];
-    header[0] = first;
-    r.read_exact(&mut header[1..])?;
-    // sorl-lint: allow(panic, "4-byte slice of a fixed header; length is a literal constant")
-    let magic: [u8; 4] = header[..4].try_into().expect("4 bytes");
+    // Destructuring the fixed prefix into named bytes keeps the whole
+    // parse free of panicking indexing — the pattern *is* the bounds
+    // proof.
+    let mut rest = [0u8; HEADER_LEN - 1];
+    r.read_exact(&mut rest)?;
+    let [m1, m2, m3, v0, v1, kind_b, l0, l1, l2, l3] = rest;
+    let magic = [first, m1, m2, m3];
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    // sorl-lint: allow(panic, "2-byte slice of a fixed header; length is a literal constant")
-    let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
-    if !(PROTOCOL_V1..=PROTOCOL_V3).contains(&version) {
+    let version = u16::from_le_bytes([v0, v1]);
+    if !(PROTOCOL_V1..=PROTOCOL_VERSION).contains(&version) {
         return Err(WireError::Version { found: version });
     }
-    let kind = FrameKind::from_byte(header[6]).ok_or(WireError::UnknownKind(header[6]))?;
-    // sorl-lint: allow(panic, "4-byte slice of a fixed header; length is a literal constant")
-    let len = u32::from_le_bytes(header[7..11].try_into().expect("4 bytes"));
+    let kind = FrameKind::from_byte(kind_b).ok_or(WireError::UnknownKind(kind_b))?;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]);
     if len > MAX_PAYLOAD {
         return Err(WireError::Oversized(len));
     }
-    let request_id = if version >= PROTOCOL_V2 {
-        let mut id = [0u8; 8];
-        r.read_exact(&mut id)?;
-        u64::from_le_bytes(id)
+    let request_id = if version >= PROTOCOL_V2 { read_u64(r)? } else { 0 };
+    let trace_id = if version >= PROTOCOL_V3 { read_u64(r)? } else { 0 };
+    let codec = if version >= PROTOCOL_V4 {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        let [b] = b;
+        PayloadCodec::from_byte(b).ok_or(WireError::UnknownCodec(b))?
     } else {
-        0
-    };
-    let trace_id = if version >= PROTOCOL_V3 {
-        let mut id = [0u8; 8];
-        r.read_exact(&mut id)?;
-        u64::from_le_bytes(id)
-    } else {
-        0
+        PayloadCodec::Json
     };
     let len = usize::try_from(len).map_err(|_| WireError::Oversized(u32::MAX))?;
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    Ok(Frame { version, kind, request_id, trace_id, payload })
+    Ok(Frame { version, kind, request_id, trace_id, codec, payload })
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, WireError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
 }
 
 /// Reads a frame and insists on one specific kind; an [`FrameKind::Error`]
@@ -446,9 +542,44 @@ pub fn write_snapshot_stream_in(
     request_id: u64,
     snapshot: &sorl_serve::CacheSnapshot,
 ) -> Result<(), WireError> {
-    let (header, chunks) = snapshot.to_chunks(CHUNK_ENTRIES);
-    write_frame_in(w, version, FrameKind::SnapshotHeader, request_id, &to_payload(&header))?;
-    write_chunk_frames_in(w, version, request_id, &chunks)
+    write_snapshot_stream_coded(w, version, request_id, PayloadCodec::Json, snapshot)
+}
+
+/// Streams a snapshot in the given version and payload codec. The chunk
+/// payloads are encoded per `codec` ([`bin::snapshot_to_chunks`] for
+/// binary); the header frame stays JSON in every codec so the stream
+/// prologue is always inspectable. The codec silently degrades to JSON
+/// when the version predates v4 or the snapshot holds values outside the
+/// binary codec's compact ranges — the frames' codec bytes tell the
+/// receiver what was actually sent, so degradation is invisible to
+/// correctness.
+pub fn write_snapshot_stream_coded(
+    w: &mut impl Write,
+    version: u16,
+    request_id: u64,
+    codec: PayloadCodec,
+    snapshot: &sorl_serve::CacheSnapshot,
+) -> Result<(), WireError> {
+    let codec = match codec {
+        PayloadCodec::Binary if version >= PROTOCOL_V4 && bin::snapshot_fits(snapshot) => {
+            PayloadCodec::Binary
+        }
+        _ => PayloadCodec::Json,
+    };
+    let (header, chunks) = match codec {
+        PayloadCodec::Json => snapshot.to_chunks(CHUNK_ENTRIES),
+        PayloadCodec::Binary => bin::snapshot_to_chunks(snapshot, CHUNK_ENTRIES),
+    };
+    write_frame_coded(
+        w,
+        version,
+        FrameKind::SnapshotHeader,
+        request_id,
+        0,
+        PayloadCodec::Json,
+        &to_payload(&header),
+    )?;
+    write_chunk_frames_coded(w, version, request_id, codec, &chunks)
 }
 
 /// Writes snapshot chunks as v1 [`FrameKind::SnapshotChunk`] frames.
@@ -457,21 +588,33 @@ pub fn write_chunk_frames(w: &mut impl Write, chunks: &[SnapshotChunk]) -> Resul
 }
 
 /// Writes snapshot chunks as [`FrameKind::SnapshotChunk`] frames in the
-/// given version, each `checksum (8 bytes LE) ‖ chunk JSON bytes`. *The*
-/// one encoder of the chunk frame layout — the import side of a transport
-/// sends its chunks through here too, so the layout cannot fork between
-/// directions.
+/// given version, each `checksum (8 bytes LE) ‖ chunk bytes`.
 pub fn write_chunk_frames_in(
     w: &mut impl Write,
     version: u16,
     request_id: u64,
     chunks: &[SnapshotChunk],
 ) -> Result<(), WireError> {
+    write_chunk_frames_coded(w, version, request_id, PayloadCodec::Json, chunks)
+}
+
+/// Writes snapshot chunks as [`FrameKind::SnapshotChunk`] frames in the
+/// given version, stamping each with `codec` (the chunks must already be
+/// encoded in it). *The* one encoder of the chunk frame layout — the
+/// import side of a transport sends its chunks through here too, so the
+/// layout cannot fork between directions.
+pub fn write_chunk_frames_coded(
+    w: &mut impl Write,
+    version: u16,
+    request_id: u64,
+    codec: PayloadCodec,
+    chunks: &[SnapshotChunk],
+) -> Result<(), WireError> {
     for chunk in chunks {
         let mut payload = Vec::with_capacity(8 + chunk.payload.len());
         payload.extend_from_slice(&chunk.checksum.to_le_bytes());
         payload.extend_from_slice(&chunk.payload);
-        write_frame_in(w, version, FrameKind::SnapshotChunk, request_id, &payload)?;
+        write_frame_coded(w, version, FrameKind::SnapshotChunk, request_id, 0, codec, &payload)?;
     }
     Ok(())
 }
@@ -514,7 +657,7 @@ pub fn read_snapshot_chunks_for(
                 )));
             }
         }
-        assembler.push_chunk(&frame.payload)?;
+        assembler.push_chunk_coded(frame.codec, &frame.payload)?;
     }
     assembler.finish()
 }
@@ -528,6 +671,7 @@ pub struct SnapshotAssembler {
     header: SnapshotHeader,
     chunks: Vec<SnapshotChunk>,
     total: usize,
+    codec: Option<PayloadCodec>,
 }
 
 /// Memory charged per buffered chunk on top of its payload bytes — see
@@ -551,12 +695,30 @@ impl SnapshotAssembler {
             )));
         }
         let capacity = header.chunks.min(1024);
-        Ok(SnapshotAssembler { header, chunks: Vec::with_capacity(capacity), total: 0 })
+        Ok(SnapshotAssembler {
+            header,
+            chunks: Vec::with_capacity(capacity),
+            total: 0,
+            codec: None,
+        })
+    }
+
+    /// Buffers one JSON-codec [`FrameKind::SnapshotChunk`] payload
+    /// (`checksum (8 bytes LE) ‖ chunk bytes`).
+    pub fn push_chunk(&mut self, payload: &[u8]) -> Result<(), ServeError> {
+        self.push_chunk_coded(PayloadCodec::Json, payload)
     }
 
     /// Buffers one [`FrameKind::SnapshotChunk`] payload
-    /// (`checksum (8 bytes LE) ‖ chunk JSON bytes`).
-    pub fn push_chunk(&mut self, payload: &[u8]) -> Result<(), ServeError> {
+    /// (`checksum (8 bytes LE) ‖ chunk bytes`) arriving under `codec`.
+    /// The first chunk pins the stream's codec; a stream that switches
+    /// codec midway is rejected — the chunks of one snapshot decode as
+    /// one encoding or not at all.
+    pub fn push_chunk_coded(
+        &mut self,
+        codec: PayloadCodec,
+        payload: &[u8],
+    ) -> Result<(), ServeError> {
         let index = self.chunks.len();
         if index >= self.header.chunks {
             return Err(ServeError::Transport(format!(
@@ -564,20 +726,29 @@ impl SnapshotAssembler {
                 self.header.chunks
             )));
         }
-        if payload.len() < 8 {
+        match self.codec {
+            None => self.codec = Some(codec),
+            Some(pinned) if pinned == codec => {}
+            Some(pinned) => {
+                return Err(ServeError::Transport(format!(
+                    "snapshot chunk {index} arrived as {codec:?} in a {pinned:?} stream"
+                )));
+            }
+        }
+        let Some(checksum_bytes) = payload.first_chunk::<8>() else {
             return Err(ServeError::Transport(format!(
                 "snapshot chunk {index} too short for its checksum"
             )));
-        }
+        };
         self.total = self.total.saturating_add(payload.len().max(CHUNK_CHARGE));
         if self.total > MAX_SNAPSHOT_BYTES {
             return Err(ServeError::Transport(format!(
                 "snapshot stream exceeded {MAX_SNAPSHOT_BYTES} bytes at chunk {index}"
             )));
         }
-        // sorl-lint: allow(panic, "8-byte slice; the length guard at the top of this function")
-        let checksum = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
-        self.chunks.push(SnapshotChunk { index, checksum, payload: payload[8..].to_vec() });
+        let checksum = u64::from_le_bytes(*checksum_bytes);
+        let body = payload.get(8..).unwrap_or_default();
+        self.chunks.push(SnapshotChunk { index, checksum, payload: body.to_vec() });
         Ok(())
     }
 
@@ -586,10 +757,17 @@ impl SnapshotAssembler {
         self.chunks.len() == self.header.chunks
     }
 
-    /// Verifies and assembles the buffered stream. A corrupted or torn
-    /// stream yields `Err` without assembling anything.
+    /// Verifies and assembles the buffered stream, decoding the chunks in
+    /// whichever codec they arrived under. A corrupted or torn stream
+    /// yields `Err` without assembling anything.
     pub fn finish(self) -> Result<sorl_serve::CacheSnapshot, ServeError> {
-        sorl_serve::CacheSnapshot::from_chunks(&self.header, &self.chunks).map_err(|e| match e {
+        let assembled = match self.codec.unwrap_or_default() {
+            PayloadCodec::Json => {
+                sorl_serve::CacheSnapshot::from_chunks(&self.header, &self.chunks)
+            }
+            PayloadCodec::Binary => bin::snapshot_from_chunks(&self.header, &self.chunks),
+        };
+        assembled.map_err(|e| match e {
             // Wire-level damage (flipped bits, torn stream) is a transport
             // failure; semantic snapshot problems keep their own variant.
             SnapshotError::ChunkChecksum { .. } | SnapshotError::Truncated { .. } => {

@@ -1,0 +1,609 @@
+//! The v4 binary payload codec: compact little-endian encodings for the
+//! wire's hottest payloads — [`TopK`] ([`FrameKind::TuneOk`]),
+//! [`ServeStats`] ([`FrameKind::StatsOk`]) and snapshot-chunk entry blocks
+//! ([`FrameKind::SnapshotChunk`]).
+//!
+//! Design rules, in order:
+//!
+//! * **Exactness.** `f64` values travel as their IEEE bit pattern and
+//!   `u64` counters as 8 little-endian bytes — a binary→decode roundtrip
+//!   is bit-for-bit, with none of JSON's float-formatting concerns. The
+//!   property tests pit every codec against its JSON twin on identical
+//!   values.
+//! * **Fault, never panic.** Decoders consume a [`Reader`] whose every
+//!   step is bounds-checked; truncated or garbage payloads produce a
+//!   decode error (surfaced as [`ServeError::Transport`] /
+//!   [`SnapshotError::Parse`]), and trailing bytes are rejected too. No
+//!   input can index out of bounds or provoke a giant allocation.
+//! * **Compactness over generality.** Tuning components ride as `u16`
+//!   (the paper's space caps blocks at 1024, unroll at 8, chunk at 256)
+//!   and stencil offsets as `i16`. Values outside those ranges cannot be
+//!   encoded — `*_fits` reports that up front and the transport silently
+//!   falls back to JSON for that payload (the frame's codec byte keeps
+//!   the receiver in the loop), so compaction can never corrupt.
+//!
+//! Snapshot chunks use [`CacheSnapshot::to_chunks_with`] /
+//! [`CacheSnapshot::from_chunks_with`], so chunk boundaries, the byte
+//! budget and FNV-1a checksumming are byte-for-byte the same machinery as
+//! the JSON stream — only the entry rendition differs: a binary chunk is
+//! `u32 entry count ‖ concatenated entry encodings`.
+//!
+//! [`FrameKind::TuneOk`]: super::FrameKind::TuneOk
+//! [`FrameKind::StatsOk`]: super::FrameKind::StatsOk
+//! [`FrameKind::SnapshotChunk`]: super::FrameKind::SnapshotChunk
+
+use sorl::TopK;
+use sorl_serve::stats::{BATCH_SIZE_BUCKETS, LATENCY_BUCKETS};
+use sorl_serve::{
+    CacheSnapshot, ServeError, ServeStats, SnapshotChunk, SnapshotEntry, SnapshotError,
+    SnapshotHeader,
+};
+use stencil_model::{DType, GridSize, InstanceKey, Offset, StencilPattern, TuningVector};
+
+// ---------------------------------------------------------------------------
+// TopK
+// ---------------------------------------------------------------------------
+
+/// Whether `top` holds only values the binary codec can carry (every
+/// tuning component fits `u16`).
+pub fn top_k_fits(top: &TopK) -> bool {
+    top.entries.iter().all(|(t, _)| tuning_fits(t))
+}
+
+/// Encodes a [`TopK`]:
+/// `u32 n ‖ n × (tuning ‖ f64 score) ‖ u64 candidates ‖ f64 seconds`.
+/// Call [`top_k_fits`] first; out-of-range components saturate (and
+/// debug-assert) rather than panic.
+pub fn encode_top_k(top: &TopK) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + top.entries.len() * 18);
+    put_u32_len(&mut out, top.entries.len());
+    for (t, score) in &top.entries {
+        put_tuning(&mut out, t);
+        out.extend_from_slice(&score.to_le_bytes());
+    }
+    out.extend_from_slice(&u64::try_from(top.candidates).unwrap_or(u64::MAX).to_le_bytes());
+    out.extend_from_slice(&top.seconds.to_le_bytes());
+    out
+}
+
+/// Decodes an [`encode_top_k`] payload. Truncated or trailing bytes fault.
+pub fn decode_top_k(payload: &[u8]) -> Result<TopK, ServeError> {
+    let mut r = Reader::new(payload);
+    let top = read_top_k(&mut r).map_err(|m| transport("TuneOk", &m))?;
+    r.finish().map_err(|m| transport("TuneOk", &m))?;
+    Ok(top)
+}
+
+fn read_top_k(r: &mut Reader<'_>) -> Result<TopK, String> {
+    let n = r.len()?;
+    let mut entries = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let t = read_tuning(r)?;
+        let score = r.f64()?;
+        entries.push((t, score));
+    }
+    let candidates =
+        usize::try_from(r.u64()?).map_err(|_| "candidate count overflow".to_owned())?;
+    let seconds = r.f64()?;
+    Ok(TopK { entries, candidates, seconds })
+}
+
+// ---------------------------------------------------------------------------
+// ServeStats
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`ServeStats`]: the eleven `u64` counters in declaration
+/// order, the recent-p99 gauge, the length-prefixed batch-size histogram,
+/// the three all-time latency percentiles, then the length-prefixed
+/// latency histogram. All fields are fixed-width, so this encoder is
+/// total — no `*_fits` needed.
+pub fn encode_stats(stats: &ServeStats) -> Vec<u8> {
+    let mut out = Vec::with_capacity(136 + 8 * (BATCH_SIZE_BUCKETS + LATENCY_BUCKETS));
+    for counter in [
+        stats.requests,
+        stats.batches,
+        stats.max_batch,
+        stats.scored_instances,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        stats.cache_entries,
+        stats.queue_depth,
+        stats.shed_queue,
+        stats.shed_latency,
+    ] {
+        out.extend_from_slice(&counter.to_le_bytes());
+    }
+    out.extend_from_slice(&stats.recent_batch_latency_p99_s.to_le_bytes());
+    put_u32_len(&mut out, stats.batch_size_hist.len());
+    for v in stats.batch_size_hist {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for p in [stats.batch_latency_p50_s, stats.batch_latency_p95_s, stats.batch_latency_p99_s] {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    put_u32_len(&mut out, stats.batch_latency_hist.len());
+    for v in stats.batch_latency_hist {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes an [`encode_stats`] payload. Histogram length prefixes must
+/// match this build's bucket counts — a peer with different buckets gets
+/// a clean fault, never a misparse.
+pub fn decode_stats(payload: &[u8]) -> Result<ServeStats, ServeError> {
+    let mut r = Reader::new(payload);
+    let stats = read_stats(&mut r).map_err(|m| transport("StatsOk", &m))?;
+    r.finish().map_err(|m| transport("StatsOk", &m))?;
+    Ok(stats)
+}
+
+fn read_stats(r: &mut Reader<'_>) -> Result<ServeStats, String> {
+    let requests = r.u64()?;
+    let batches = r.u64()?;
+    let max_batch = r.u64()?;
+    let scored_instances = r.u64()?;
+    let cache_hits = r.u64()?;
+    let cache_misses = r.u64()?;
+    let cache_evictions = r.u64()?;
+    let cache_entries = r.u64()?;
+    let queue_depth = r.u64()?;
+    let shed_queue = r.u64()?;
+    let shed_latency = r.u64()?;
+    let recent_batch_latency_p99_s = r.f64()?;
+    let mut batch_size_hist = [0u64; BATCH_SIZE_BUCKETS];
+    read_hist(r, &mut batch_size_hist, "batch size histogram")?;
+    let batch_latency_p50_s = r.f64()?;
+    let batch_latency_p95_s = r.f64()?;
+    let batch_latency_p99_s = r.f64()?;
+    let mut batch_latency_hist = [0u64; LATENCY_BUCKETS];
+    read_hist(r, &mut batch_latency_hist, "latency histogram")?;
+    Ok(ServeStats {
+        requests,
+        batches,
+        max_batch,
+        scored_instances,
+        cache_hits,
+        cache_misses,
+        cache_evictions,
+        cache_entries,
+        queue_depth,
+        shed_queue,
+        shed_latency,
+        recent_batch_latency_p99_s,
+        batch_size_hist,
+        batch_latency_p50_s,
+        batch_latency_p95_s,
+        batch_latency_p99_s,
+        batch_latency_hist,
+    })
+}
+
+fn read_hist(r: &mut Reader<'_>, out: &mut [u64], what: &str) -> Result<(), String> {
+    let n = r.len()?;
+    if n != out.len() {
+        return Err(format!("{what} has {n} buckets, this build expects {}", out.len()));
+    }
+    for slot in out.iter_mut() {
+        *slot = r.u64()?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot entries and chunks
+// ---------------------------------------------------------------------------
+
+/// Whether every entry of `snapshot` fits the binary codec's compact
+/// ranges (stencil offsets in `i16`, tuning components in `u16`).
+pub fn snapshot_fits(snapshot: &CacheSnapshot) -> bool {
+    snapshot.entries.iter().all(entry_fits)
+}
+
+fn entry_fits(entry: &SnapshotEntry) -> bool {
+    entry.key.pattern().iter().all(|(o, _)| offset_fits(o))
+        && entry.entries.iter().all(|(t, _)| tuning_fits(t))
+}
+
+/// Chunks `snapshot` with binary entry payloads — same chunk boundaries,
+/// byte budget and FNV-1a checksums as [`CacheSnapshot::to_chunks`], only
+/// the rendition differs. Callers check [`snapshot_fits`] first
+/// (debug-asserted here); out-of-range values saturate rather than panic.
+pub fn snapshot_to_chunks(
+    snapshot: &CacheSnapshot,
+    entries_per_chunk: usize,
+) -> (SnapshotHeader, Vec<SnapshotChunk>) {
+    debug_assert!(snapshot_fits(snapshot), "caller must fall back to JSON when values overflow");
+    snapshot.to_chunks_with(entries_per_chunk, encode_entry, seal_chunk)
+}
+
+/// Reassembles a snapshot from binary-codec chunks, with the same
+/// count/order/checksum validation as [`CacheSnapshot::from_chunks`].
+pub fn snapshot_from_chunks(
+    header: &SnapshotHeader,
+    chunks: &[SnapshotChunk],
+) -> Result<CacheSnapshot, SnapshotError> {
+    CacheSnapshot::from_chunks_with(header, chunks, |i, payload| {
+        decode_chunk(payload).map_err(|m| SnapshotError::Parse(format!("binary chunk {i}: {m}")))
+    })
+}
+
+/// One chunk payload: `u32 entry count ‖ concatenated entry encodings`.
+fn seal_chunk(pending: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = pending.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(4 + total);
+    put_u32_len(&mut out, pending.len());
+    for rendered in pending {
+        out.extend_from_slice(rendered);
+    }
+    out
+}
+
+fn decode_chunk(payload: &[u8]) -> Result<Vec<SnapshotEntry>, String> {
+    let mut r = Reader::new(payload);
+    let n = r.len()?;
+    let mut entries = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        entries.push(read_entry(&mut r)?);
+    }
+    r.finish()?;
+    Ok(entries)
+}
+
+/// One entry:
+/// `key (pattern cells ‖ buffers u8 ‖ dtype u8 ‖ size 3×u32) ‖
+///  u32 n ‖ n × (tuning ‖ f64 score) ‖ u64 candidates ‖ u64 last_used`
+/// where pattern cells are `u32 count ‖ count × (3×i16 offset ‖ u16 n)`.
+fn encode_entry(entry: &SnapshotEntry) -> Vec<u8> {
+    let pattern = entry.key.pattern();
+    let mut out = Vec::with_capacity(40 + pattern.len() * 8 + entry.entries.len() * 18);
+    put_u32_len(&mut out, pattern.len());
+    for (o, c) in pattern.iter() {
+        put_i16(&mut out, o.dx);
+        put_i16(&mut out, o.dy);
+        put_i16(&mut out, o.dz);
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    out.push(entry.key.buffers());
+    out.push(match entry.key.dtype() {
+        DType::F32 => 0,
+        DType::F64 => 1,
+    });
+    let size = entry.key.size();
+    out.extend_from_slice(&size.x.to_le_bytes());
+    out.extend_from_slice(&size.y.to_le_bytes());
+    out.extend_from_slice(&size.z.to_le_bytes());
+    put_u32_len(&mut out, entry.entries.len());
+    for (t, score) in &entry.entries {
+        put_tuning(&mut out, t);
+        out.extend_from_slice(&score.to_le_bytes());
+    }
+    out.extend_from_slice(&u64::try_from(entry.candidates).unwrap_or(u64::MAX).to_le_bytes());
+    out.extend_from_slice(&entry.last_used.to_le_bytes());
+    out
+}
+
+fn read_entry(r: &mut Reader<'_>) -> Result<SnapshotEntry, String> {
+    let cells = r.len()?;
+    let mut pattern = StencilPattern::new();
+    for _ in 0..cells {
+        let dx = i32::from(r.i16()?);
+        let dy = i32::from(r.i16()?);
+        let dz = i32::from(r.i16()?);
+        let count = r.u16()?;
+        pattern.add_count(Offset::new(dx, dy, dz), count);
+    }
+    let buffers = r.u8()?;
+    let dtype = match r.u8()? {
+        0 => DType::F32,
+        1 => DType::F64,
+        other => return Err(format!("unknown dtype byte {other:#04x}")),
+    };
+    let size = GridSize { x: r.u32()?, y: r.u32()?, z: r.u32()? };
+    let key = InstanceKey::from_parts(pattern, buffers, dtype, size);
+    let n = r.len()?;
+    let mut entries = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let t = read_tuning(r)?;
+        let score = r.f64()?;
+        entries.push((t, score));
+    }
+    let candidates =
+        usize::try_from(r.u64()?).map_err(|_| "candidate count overflow".to_owned())?;
+    let last_used = r.u64()?;
+    Ok(SnapshotEntry { key, entries, candidates, last_used })
+}
+
+// ---------------------------------------------------------------------------
+// Shared pieces
+// ---------------------------------------------------------------------------
+
+fn tuning_fits(t: &TuningVector) -> bool {
+    t.as_array().iter().all(|&v| u16::try_from(v).is_ok())
+}
+
+fn offset_fits(o: Offset) -> bool {
+    [o.dx, o.dy, o.dz].iter().all(|&v| i16::try_from(v).is_ok())
+}
+
+/// Five `u16`s in canonical `(bx, by, bz, u, c)` order.
+fn put_tuning(out: &mut Vec<u8>, t: &TuningVector) {
+    debug_assert!(tuning_fits(t), "caller must fall back to JSON when components overflow u16");
+    for v in t.as_array() {
+        out.extend_from_slice(&u16::try_from(v).unwrap_or(u16::MAX).to_le_bytes());
+    }
+}
+
+fn read_tuning(r: &mut Reader<'_>) -> Result<TuningVector, String> {
+    let bx = u32::from(r.u16()?);
+    let by = u32::from(r.u16()?);
+    let bz = u32::from(r.u16()?);
+    let u = u32::from(r.u16()?);
+    let c = u32::from(r.u16()?);
+    Ok(TuningVector::new(bx, by, bz, u, c))
+}
+
+fn put_i16(out: &mut Vec<u8>, v: i32) {
+    debug_assert!(
+        i16::try_from(v).is_ok(),
+        "caller must fall back to JSON when offsets overflow i16"
+    );
+    let clamped = i16::try_from(v).unwrap_or(if v < 0 { i16::MIN } else { i16::MAX });
+    out.extend_from_slice(&clamped.to_le_bytes());
+}
+
+fn put_u32_len(out: &mut Vec<u8>, len: usize) {
+    out.extend_from_slice(&u32::try_from(len).unwrap_or(u32::MAX).to_le_bytes());
+}
+
+fn transport(kind: &str, msg: &str) -> ServeError {
+    ServeError::Transport(format!("binary {kind} payload: {msg}"))
+}
+
+/// A bounds-checked cursor over a decode payload: every read either
+/// yields bytes that exist or a description of the truncation. The
+/// split-based `take` keeps the whole decoder free of panicking indexing.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], String> {
+        let Some((head, tail)) = self.buf.split_first_chunk::<N>() else {
+            return Err(format!("truncated: wanted {N} more bytes, {} left", self.buf.len()));
+        };
+        self.buf = tail;
+        Ok(*head)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        let [b] = self.take::<1>()?;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take::<2>()?))
+    }
+
+    fn i16(&mut self) -> Result<i16, String> {
+        Ok(i16::from_le_bytes(self.take::<2>()?))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take::<4>()?))
+    }
+
+    /// A `u32` count/length prefix widened to `usize` — `try_from`, not
+    /// `as`, so a 16-bit `usize` would fail loudly instead of wrapping.
+    fn len(&mut self) -> Result<usize, String> {
+        let n = self.u32()?;
+        usize::try_from(n).map_err(|_| format!("count {n} does not fit usize"))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take::<8>()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take::<8>()?))
+    }
+
+    /// Rejects trailing bytes — a payload must decode exactly.
+    fn finish(&self) -> Result<(), String> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing bytes after the payload", self.buf.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorl_serve::snapshot::SNAPSHOT_FORMAT_VERSION;
+    use stencil_model::{StencilInstance, StencilKernel};
+
+    fn sample_top_k() -> TopK {
+        TopK {
+            entries: vec![
+                (TuningVector::new(64, 16, 8, 4, 2), -1.25),
+                (TuningVector::new(1024, 2, 1, 0, 256), f64::MIN_POSITIVE),
+                (TuningVector::new(2, 2, 2, 8, 1), -0.0),
+            ],
+            candidates: 8640,
+            seconds: 0.004_375,
+        }
+    }
+
+    fn sample_entry(n: u32, last_used: u64) -> SnapshotEntry {
+        let key =
+            StencilInstance::new(StencilKernel::laplacian(), GridSize::cube(n)).unwrap().key();
+        SnapshotEntry {
+            key,
+            entries: vec![
+                (TuningVector::new(8, 8, 8, 2, 1), 0.5),
+                (TuningVector::new(16, 4, 2, 0, 3), -2.625),
+            ],
+            candidates: 8640,
+            last_used,
+        }
+    }
+
+    fn sample_snapshot() -> CacheSnapshot {
+        CacheSnapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            ranker_fingerprint: 0xfeed_f00d_dead_beef,
+            entries: (0..7).map(|i| sample_entry(64 + 8 * i, u64::from(i))).collect(),
+        }
+    }
+
+    fn sample_stats() -> ServeStats {
+        let mut batch_size_hist = [0u64; BATCH_SIZE_BUCKETS];
+        batch_size_hist[0] = 3;
+        batch_size_hist[BATCH_SIZE_BUCKETS - 1] = 9;
+        let mut batch_latency_hist = [0u64; LATENCY_BUCKETS];
+        batch_latency_hist[7] = 1234;
+        ServeStats {
+            requests: u64::MAX,
+            batches: 41,
+            max_batch: 17,
+            scored_instances: 29,
+            cache_hits: 1000,
+            cache_misses: 77,
+            cache_evictions: 3,
+            cache_entries: 74,
+            queue_depth: 5,
+            shed_queue: 2,
+            shed_latency: 1,
+            recent_batch_latency_p99_s: 0.012_8,
+            batch_size_hist,
+            batch_latency_p50_s: 6.4e-5,
+            batch_latency_p95_s: 1.28e-4,
+            batch_latency_p99_s: 2.56e-4,
+            batch_latency_hist,
+        }
+    }
+
+    #[test]
+    fn top_k_roundtrips_bit_for_bit() {
+        let top = sample_top_k();
+        let back = decode_top_k(&encode_top_k(&top)).unwrap();
+        assert_eq!(back.candidates, top.candidates);
+        assert_eq!(back.seconds.to_bits(), top.seconds.to_bits());
+        assert_eq!(back.entries.len(), top.entries.len());
+        for ((t, s), (bt, bs)) in top.entries.iter().zip(&back.entries) {
+            assert_eq!(t, bt);
+            assert_eq!(s.to_bits(), bs.to_bits(), "scores must survive bitwise (−0.0 included)");
+        }
+    }
+
+    #[test]
+    fn stats_roundtrip_exactly() {
+        let stats = sample_stats();
+        let back = decode_stats(&encode_stats(&stats)).unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn snapshot_chunks_roundtrip_and_match_json_semantics() {
+        let snap = sample_snapshot();
+        for per_chunk in [1, 2, 3, 100] {
+            let (header, chunks) = snapshot_to_chunks(&snap, per_chunk);
+            assert_eq!(header, snap.to_chunks(per_chunk).0, "chunk boundaries must not fork");
+            for c in &chunks {
+                assert!(c.verify(), "binary chunks carry real FNV-1a checksums");
+            }
+            let back = snapshot_from_chunks(&header, &chunks).unwrap();
+            assert_eq!(back, snap, "per_chunk={per_chunk}");
+        }
+    }
+
+    #[test]
+    fn binary_chunks_are_less_than_half_the_json_bytes() {
+        // The codec exists for exactly this; the benchmark tripwire pins
+        // the same bound on the live transport.
+        let snap = sample_snapshot();
+        let json: usize = snap.to_chunks(64).1.iter().map(|c| c.payload.len()).sum();
+        let bin: usize = snapshot_to_chunks(&snap, 64).1.iter().map(|c| c.payload.len()).sum();
+        assert!(bin * 2 <= json, "binary {bin} bytes vs JSON {json} bytes");
+    }
+
+    #[test]
+    fn truncated_payloads_fault_at_every_length() {
+        let top = encode_top_k(&sample_top_k());
+        for cut in 0..top.len() {
+            assert!(decode_top_k(&top[..cut]).is_err(), "cut at {cut} must fault");
+        }
+        let stats = encode_stats(&sample_stats());
+        for cut in 0..stats.len() {
+            assert!(decode_stats(&stats[..cut]).is_err(), "cut at {cut} must fault");
+        }
+        let (_, chunks) = snapshot_to_chunks(&sample_snapshot(), 100);
+        let chunk = &chunks[0].payload;
+        for cut in 0..chunk.len() {
+            assert!(decode_chunk(&chunk[..cut]).is_err(), "cut at {cut} must fault");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut top = encode_top_k(&sample_top_k());
+        top.push(0);
+        let err = decode_top_k(&top).unwrap_err();
+        assert!(matches!(err, ServeError::Transport(ref m) if m.contains("trailing")), "{err}");
+    }
+
+    #[test]
+    fn garbage_counts_fault_instead_of_allocating() {
+        // A payload whose entry count claims u32::MAX must fail on the
+        // missing bytes, not try to materialize four billion entries.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 64]);
+        assert!(decode_top_k(&payload).is_err());
+        assert!(decode_chunk(&payload).is_err());
+    }
+
+    #[test]
+    fn unknown_dtype_byte_faults() {
+        let entry = sample_entry(64, 1);
+        let mut bytes = encode_entry(&entry);
+        // The dtype byte sits right after the pattern cells and buffer
+        // count.
+        let dtype_at = 4 + entry.key.pattern().len() * 8 + 1;
+        bytes[dtype_at] = 9;
+        let mut r = Reader::new(&bytes);
+        let err = read_entry(&mut r).unwrap_err();
+        assert!(err.contains("dtype"), "{err}");
+    }
+
+    #[test]
+    fn fits_checks_spot_overflowing_values() {
+        assert!(top_k_fits(&sample_top_k()));
+        let mut top = sample_top_k();
+        top.entries.push((TuningVector::new(70_000, 1, 1, 0, 1), 0.0));
+        assert!(!top_k_fits(&top));
+
+        let mut snap = sample_snapshot();
+        assert!(snapshot_fits(&snap));
+        let far = StencilPattern::from_points([(40_000, 0, 0), (0, 0, 0)]);
+        snap.entries[0].key = InstanceKey::from_parts(far, 1, DType::F32, GridSize::cube(64));
+        assert!(!snapshot_fits(&snap));
+    }
+
+    #[test]
+    fn empty_top_k_and_snapshot_encode() {
+        let top = TopK { entries: Vec::new(), candidates: 0, seconds: 0.0 };
+        assert_eq!(decode_top_k(&encode_top_k(&top)).unwrap().entries.len(), 0);
+        let snap = CacheSnapshot::empty(3);
+        let (header, chunks) = snapshot_to_chunks(&snap, 64);
+        assert!(chunks.is_empty());
+        assert_eq!(snapshot_from_chunks(&header, &chunks).unwrap(), snap);
+    }
+}

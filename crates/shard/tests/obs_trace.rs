@@ -97,29 +97,32 @@ fn cache_hits_are_recorded_under_the_requests_trace() {
     );
 }
 
-/// Interop, new client → old v2 server: the fake peer rejects the v3
-/// probe with the stock version fault and answers the v2 probe. The
-/// client downgrades (counted), completes tunes over the v2 link, its
-/// client-side spans still close, and the link is never poisoned — the
-/// trace simply does not cross the wire.
+/// Interop, new client → old v2 server: the fake peer rejects the v4 and
+/// v3 probes with the stock version fault and answers the v2 probe. The
+/// client walks the ladder down (each rung counted), completes tunes over
+/// the v2 link, its client-side spans still close, and the link is never
+/// poisoned — the trace simply does not cross the wire.
 #[test]
-fn v3_client_downgrades_cleanly_against_a_v2_only_server() {
+fn new_client_downgrades_cleanly_against_a_v2_only_server() {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let server = std::thread::spawn(move || {
-        // Connection 1: reject the v3 probe like a shipped v2 build.
-        let (mut stream, _) = listener.accept().unwrap();
-        let fault = ServeError::Transport(
-            "peer speaks protocol version 3, this build speaks 2".to_string(),
-        );
-        wire::write_frame_v2(&mut stream, FrameKind::Error, 0, &wire::encode_fault(&fault))
-            .unwrap();
-        drop(stream);
-        // Connection 2: answer the v2 probe, then serve two v2 tunes.
+        // Connections 1 and 2: reject the v4 then v3 probes like a
+        // shipped v2 build (which faults any version it doesn't speak).
+        for rejected in [4u16, 3] {
+            let (mut stream, _) = listener.accept().unwrap();
+            let fault = ServeError::Transport(format!(
+                "peer speaks protocol version {rejected}, this build speaks 2"
+            ));
+            wire::write_frame_v2(&mut stream, FrameKind::Error, 0, &wire::encode_fault(&fault))
+                .unwrap();
+            drop(stream);
+        }
+        // Connection 3: answer the v2 probe, then serve two v2 tunes.
         let (mut stream, _) = listener.accept().unwrap();
         let probe = wire::read_frame(&mut stream).unwrap();
         assert_eq!(probe.kind, FrameKind::Fingerprint);
-        assert_eq!(probe.version, PROTOCOL_V2, "second probe walks down to v2");
+        assert_eq!(probe.version, PROTOCOL_V2, "third probe walks down to v2");
         wire::write_frame_v2(&mut stream, FrameKind::FingerprintOk, 0, &wire::to_payload(&0u64))
             .unwrap();
         for marker in [7usize, 8] {
@@ -144,10 +147,11 @@ fn v3_client_downgrades_cleanly_against_a_v2_only_server() {
     server.join().unwrap();
 
     let stats = shard.link_stats();
-    assert_eq!(stats.v2_downgrades, 1, "exactly one rung taken: {stats:?}");
+    assert_eq!(stats.v3_downgrades, 1, "the v4 probe was rejected once: {stats:?}");
+    assert_eq!(stats.v2_downgrades, 1, "the v3 probe was rejected once: {stats:?}");
     assert_eq!(stats.v1_downgrades, 0, "{stats:?}");
     assert_eq!(stats.poisoned, 0, "a version downgrade is not a poisoning: {stats:?}");
-    assert_eq!(stats.dials, 2, "initial dial plus the downgrade redial: {stats:?}");
+    assert_eq!(stats.dials, 3, "initial dial plus one redial per rejected rung: {stats:?}");
 
     // Client-side spans close even though the trace never crossed.
     let events = shard.flight_recorder().snapshot();
@@ -402,7 +406,7 @@ fn link_stats_count_a_healthy_links_lifecycle() {
     let stats = shard.link_stats();
     assert_eq!(stats.dials, 1, "negotiation reuses the eager stream");
     assert_eq!(stats.reconnects, 0);
-    assert_eq!(stats.v2_downgrades + stats.v1_downgrades, 0, "{stats:?}");
+    assert_eq!(stats.v3_downgrades + stats.v2_downgrades + stats.v1_downgrades, 0, "{stats:?}");
     assert_eq!(stats.poisoned, 0);
     assert_eq!(stats.in_flight, 0, "the answered tune left the window");
 }

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 use sorl::tuner::TopK;
 use sorl::StencilRanker;
 use sorl_serve::{ServeConfig, ServeError, TuneRequest, TuneService};
-use sorl_shard::wire::{self, FrameKind, PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3};
+use sorl_shard::wire::{self, FrameKind, PayloadCodec, PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V4};
 use sorl_shard::{ReconnectPolicy, ShardServer, ShardTransport, TcpShard};
 use stencil_model::{GridSize, StencilInstance, StencilKernel};
 
@@ -37,20 +37,21 @@ fn marked_answer(marker: usize) -> TopK {
 }
 
 /// Answers the client's negotiation probe (a `Fingerprint` request with
-/// id 0, sent in v3 first) like a real v3 server would.
+/// id 0, sent in v4 first) like a real v4 server would.
 fn answer_probe(stream: &mut TcpStream) {
     let probe = wire::read_frame(stream).expect("negotiation probe");
     assert_eq!(probe.kind, FrameKind::Fingerprint);
-    assert_eq!(probe.version, PROTOCOL_V3);
+    assert_eq!(probe.version, PROTOCOL_V4);
     assert_eq!(probe.request_id, 0);
-    wire::write_frame_v3(
-        stream,
-        FrameKind::FingerprintOk,
-        0,
-        probe.trace_id,
-        &wire::to_payload(&0u64),
-    )
-    .unwrap();
+    write_v4_json(stream, FrameKind::FingerprintOk, 0, probe.trace_id, &wire::to_payload(&0u64));
+}
+
+/// Writes one v4 frame with a JSON payload — the fake servers' reply
+/// helper (real v4 servers may also answer hot kinds in binary; JSON is
+/// always legal, the codec byte says which was sent).
+fn write_v4_json(stream: &mut TcpStream, kind: FrameKind, id: u64, trace: u64, payload: &[u8]) {
+    wire::write_frame_coded(stream, PROTOCOL_V4, kind, id, trace, PayloadCodec::Json, payload)
+        .unwrap();
 }
 
 /// Tiny deterministic xorshift64* — the vendored proptest shim has no
@@ -91,14 +92,15 @@ fn interleaved_completions_resolve_to_their_own_tickets() {
             for _ in 0..M {
                 let frame = wire::read_frame(&mut stream).unwrap();
                 assert_eq!(frame.kind, FrameKind::Tune);
-                assert_eq!(frame.version, PROTOCOL_V3);
+                assert_eq!(frame.version, PROTOCOL_V4);
+                assert_eq!(frame.codec, PayloadCodec::Json, "requests stay JSON in every version");
                 let req: TuneRequest = wire::from_payload(&frame.payload).unwrap();
                 pending.push((frame.request_id, frame.trace_id, req.k));
             }
             XorShift(seed).shuffle(&mut pending);
             for (id, trace, k) in pending {
                 let payload = wire::to_payload(&marked_answer(k));
-                wire::write_frame_v3(&mut stream, FrameKind::TuneOk, id, trace, &payload).unwrap();
+                write_v4_json(&mut stream, FrameKind::TuneOk, id, trace, &payload);
             }
         });
 
@@ -134,14 +136,13 @@ fn response_for_an_unknown_request_id_poisons_the_link() {
         let frame = wire::read_frame(&mut stream).unwrap();
         let payload = wire::to_payload(&marked_answer(1));
         // Reply to a request nobody made.
-        wire::write_frame_v3(
+        write_v4_json(
             &mut stream,
             FrameKind::TuneOk,
             frame.request_id + 999,
             frame.trace_id,
             &payload,
-        )
-        .unwrap();
+        );
     });
     let shard = TcpShard::connect(addr).unwrap();
     let err = shard.tune(lap(64), 1).unwrap_err();
@@ -163,14 +164,7 @@ fn wrong_kind_for_a_known_request_id_poisons_the_link() {
         answer_probe(&mut stream);
         let frame = wire::read_frame(&mut stream).unwrap();
         // StatsOk is a fine frame kind — for somebody else's request.
-        wire::write_frame_v3(
-            &mut stream,
-            FrameKind::StatsOk,
-            frame.request_id,
-            frame.trace_id,
-            &[],
-        )
-        .unwrap();
+        write_v4_json(&mut stream, FrameKind::StatsOk, frame.request_id, frame.trace_id, &[]);
     });
     let shard = TcpShard::connect(addr).unwrap();
     let err = shard.tune(lap(64), 1).unwrap_err();
@@ -211,19 +205,19 @@ fn v1_client_interoperates_with_the_v2_server() {
     assert_eq!(reply.request_id, 42, "the request id is echoed");
 }
 
-/// Interop, new client → old server: a v1-only peer faults the v3 and v2
-/// negotiation probes with its version error; the client walks the ladder
-/// down, redialing per rung, and speaks lock-step v1 on the last
+/// Interop, new client → old server: a v1-only peer faults the v4, v3
+/// and v2 negotiation probes with its version error; the client walks the
+/// ladder down, redialing per rung, and speaks lock-step v1 on the last
 /// connection.
 #[test]
-fn v2_client_downgrades_against_a_v1_only_server() {
+fn new_client_downgrades_against_a_v1_only_server() {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let server = std::thread::spawn(move || {
-        // Connections 1 and 2: reject the v3 then the v2 probe exactly
+        // Connections 1–3: reject the v4, v3 then v2 probes exactly
         // like the shipped v1 server rejected unknown versions — a v1
         // error frame, then hang up.
-        for probed in [3u16, 2] {
+        for probed in [4u16, 3, 2] {
             let (mut stream, _) = listener.accept().unwrap();
             let fault = ServeError::Transport(format!(
                 "peer speaks protocol version {probed}, this build speaks 1"
@@ -231,7 +225,7 @@ fn v2_client_downgrades_against_a_v1_only_server() {
             wire::write_frame(&mut stream, FrameKind::Error, &wire::encode_fault(&fault)).unwrap();
             drop(stream);
         }
-        // Connection 3: the downgraded client, speaking plain v1 lock-step.
+        // Connection 4: the downgraded client, speaking plain v1 lock-step.
         let (mut stream, _) = listener.accept().unwrap();
         for marker in [11usize, 22] {
             let frame = wire::read_frame(&mut stream).unwrap();
